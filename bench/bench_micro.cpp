@@ -1,0 +1,141 @@
+// Micro-benchmarks (google-benchmark) for the building blocks: simulator
+// and analytical-model evaluation throughput, featurization, learned-model
+// inference, fusion application, and tile enumeration. These quantify the
+// §7.3 premise that model evaluations are orders of magnitude cheaper than
+// hardware measurements.
+#include <benchmark/benchmark.h>
+
+#include "analytical/analytical_model.h"
+#include "core/trainer.h"
+#include "dataset/datasets.h"
+#include "dataset/families.h"
+#include "features/featurizer.h"
+#include "sim/simulator.h"
+
+namespace tpuperf {
+namespace {
+
+// Shared fixtures, built once.
+struct Fixture {
+  ir::Program program = data::BuildProgram("ResNetV1", 0);
+  sim::TpuSimulator simulator{sim::TpuTarget::V2()};
+  analytical::AnalyticalModel analytical{sim::TpuTarget::V2()};
+  data::EdgeList edges = data::EdgeList::FromGraph(program.graph);
+  data::FusionConfig default_fusion =
+      data::DefaultFusion(program.graph, edges);
+  std::vector<ir::Kernel> kernels =
+      data::ApplyFusion(program.graph, edges, default_fusion);
+  ir::Graph kernel = PickKernel();
+  ir::TileConfig tile{simulator.DefaultTile(kernel)};
+  core::LearnedCostModel model{MakeModel()};
+  core::PreparedKernel prepared = MakePrepared();
+
+  ir::Graph PickKernel() {
+    // The largest kernel: representative of conv-fusion inference cost.
+    const ir::Kernel* best = &kernels.front();
+    for (const auto& k : kernels) {
+      if (k.graph.num_nodes() > best->graph.num_nodes()) best = &k;
+    }
+    return best->graph;
+  }
+  core::LearnedCostModel MakeModel() {
+    core::LearnedCostModel m(core::ModelConfig::TileTaskDefault());
+    for (const auto& k : kernels) {
+      m.FitNodeScaler(k.graph);
+      m.FitTileScaler(simulator.DefaultTile(k.graph));
+    }
+    m.FinishFitting();
+    return m;
+  }
+  core::PreparedKernel MakePrepared() { return model.Prepare(kernel); }
+};
+
+Fixture& F() {
+  static Fixture fixture;
+  return fixture;
+}
+
+void BM_SimulatorMeasure(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.simulator.Measure(f.kernel, f.tile));
+  }
+}
+BENCHMARK(BM_SimulatorMeasure);
+
+void BM_AnalyticalEstimate(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.analytical.EstimateRuntime(f.kernel, f.tile));
+  }
+}
+BENCHMARK(BM_AnalyticalEstimate);
+
+void BM_FeaturizeKernel(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::FeaturizeKernel(f.kernel));
+  }
+}
+BENCHMARK(BM_FeaturizeKernel);
+
+void BM_ModelPrepare(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.Prepare(f.kernel));
+  }
+}
+BENCHMARK(BM_ModelPrepare);
+
+void BM_ModelInference(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.PredictScore(f.prepared, &f.tile));
+  }
+}
+BENCHMARK(BM_ModelInference);
+
+void BM_TileEnumeration(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.simulator.EnumerateTiles(f.kernel, 256));
+  }
+}
+BENCHMARK(BM_TileEnumeration);
+
+void BM_DefaultFusionPass(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::DefaultFusion(f.program.graph, f.edges));
+  }
+}
+BENCHMARK(BM_DefaultFusionPass);
+
+void BM_ApplyFusion(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        data::ApplyFusion(f.program.graph, f.edges, f.default_fusion));
+  }
+}
+BENCHMARK(BM_ApplyFusion);
+
+void BM_GraphFingerprint(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.kernel.Fingerprint());
+  }
+}
+BENCHMARK(BM_GraphFingerprint);
+
+void BM_BuildProgramGraph(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::BuildProgram("ResNetV1", 0));
+  }
+}
+BENCHMARK(BM_BuildProgramGraph);
+
+}  // namespace
+}  // namespace tpuperf
+
+BENCHMARK_MAIN();

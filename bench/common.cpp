@@ -1,0 +1,100 @@
+#include "bench/common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/trainer.h"
+
+namespace tpuperf::bench {
+
+double ReproScale() {
+  const char* env = std::getenv("REPRO_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+Env MakeEnv() {
+  Env env;
+  env.scale = ReproScale();
+  env.corpus = data::GenerateCorpus();
+  env.random_split = data::RandomSplit(env.corpus, /*seed=*/1234);
+  env.manual_split = data::ManualSplit(env.corpus);
+  env.options.max_tile_configs_per_kernel = 32;
+  env.options.fusion_configs_per_program = 10;
+  env.options.ApplyScale(env.scale);
+  return env;
+}
+
+data::TileDataset BuildTile(const Env& env, const sim::TpuSimulator& sim,
+                            const analytical::AnalyticalModel& analytical) {
+  (void)analytical;
+  return data::BuildTileDataset(env.corpus, sim, env.options);
+}
+
+data::FusionDataset BuildFusion(const Env& env, const sim::TpuSimulator& sim,
+                                analytical::AnalyticalModel& analytical) {
+  return data::BuildFusionDataset(env.corpus, sim, analytical, env.options);
+}
+
+void CalibrateAnalytical(analytical::AnalyticalModel& analytical,
+                         const data::FusionDataset& dataset,
+                         std::span<const int> program_ids) {
+  std::vector<analytical::AnalyticalModel::CalibrationSample> samples;
+  for (const int pid : program_ids) {
+    for (const auto& s : dataset.samples) {
+      if (s.record.program_id != pid || !s.from_default_config) continue;
+      samples.push_back({&s.record.kernel.graph, s.tile, s.runtime});
+    }
+  }
+  analytical.CalibrateFusionCoefficients(samples);
+}
+
+TrainedModel TrainTile(core::ModelConfig config, const data::TileDataset& ds,
+                       std::span<const int> train_ids, double scale) {
+  config.train_steps =
+      std::max(200, static_cast<int>(config.train_steps * scale));
+  TrainedModel out;
+  out.model = std::make_unique<core::LearnedCostModel>(config);
+  out.cache = std::make_unique<core::PreparedCache>(*out.model);
+  out.stats = core::TrainTileTask(*out.model, ds, train_ids, *out.cache);
+  return out;
+}
+
+TrainedModel TrainFusion(core::ModelConfig config,
+                         const data::FusionDataset& ds,
+                         std::span<const int> train_ids, double scale) {
+  config.train_steps =
+      std::max(200, static_cast<int>(config.train_steps * scale));
+  TrainedModel out;
+  out.model = std::make_unique<core::LearnedCostModel>(config);
+  out.cache = std::make_unique<core::PreparedCache>(*out.model);
+  out.stats = core::TrainFusionTask(*out.model, ds, train_ids, *out.cache);
+  return out;
+}
+
+void PrintBanner(const std::string& title, const std::string& description) {
+  std::printf("\n");
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  if (!description.empty()) std::printf("%s\n", description.c_str());
+  std::printf("(REPRO_SCALE=%.2f; paper reference values in brackets)\n",
+              ReproScale());
+  PrintRule();
+}
+
+void PrintRule() {
+  std::printf(
+      "--------------------------------------------------------------------"
+      "----------\n");
+}
+
+std::string Num(double v, int width, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
+  return buf;
+}
+
+}  // namespace tpuperf::bench

@@ -1,0 +1,67 @@
+// Shared environment for the paper-reproduction benches: corpus, simulated
+// TPUs, datasets, splits, trained models, and table-printing helpers.
+//
+// Every bench binary regenerates what it needs deterministically; the
+// REPRO_SCALE environment variable (default 1.0) scales dataset budgets and
+// training steps so the full suite can be run quickly (e.g. REPRO_SCALE=0.3)
+// or more thoroughly (2.0).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytical/analytical_model.h"
+#include "core/evaluation.h"
+#include "dataset/datasets.h"
+#include "dataset/families.h"
+#include "sim/simulator.h"
+
+namespace tpuperf::bench {
+
+double ReproScale();
+
+struct Env {
+  std::vector<ir::Program> corpus;
+  sim::TpuSimulator sim_v2{sim::TpuTarget::V2()};
+  sim::TpuSimulator sim_v3{sim::TpuTarget::V3()};
+  data::SplitSpec random_split;
+  data::SplitSpec manual_split;
+  data::DatasetOptions options;
+  double scale = 1.0;
+};
+
+Env MakeEnv();
+
+// Builds datasets on the given simulator (defaults target TPU v2).
+data::TileDataset BuildTile(const Env& env, const sim::TpuSimulator& sim,
+                            const analytical::AnalyticalModel& analytical);
+data::FusionDataset BuildFusion(const Env& env, const sim::TpuSimulator& sim,
+                                analytical::AnalyticalModel& analytical);
+
+// Calibrates the analytical model's fusion coefficients on the default-
+// config kernels of the given programs (paper §5.2 uses the test set).
+void CalibrateAnalytical(analytical::AnalyticalModel& analytical,
+                         const data::FusionDataset& dataset,
+                         std::span<const int> program_ids);
+
+// Trains a model (steps scaled by REPRO_SCALE) and returns it with its
+// prepared-kernel cache.
+struct TrainedModel {
+  std::unique_ptr<core::LearnedCostModel> model;
+  std::unique_ptr<core::PreparedCache> cache;
+  core::TrainStats stats;
+};
+TrainedModel TrainTile(core::ModelConfig config, const data::TileDataset& ds,
+                       std::span<const int> train_ids, double scale);
+TrainedModel TrainFusion(core::ModelConfig config,
+                         const data::FusionDataset& ds,
+                         std::span<const int> train_ids, double scale);
+
+// ---- Output helpers --------------------------------------------------------
+void PrintBanner(const std::string& title, const std::string& description);
+void PrintRule();
+// "12.3" / " n/a" fixed-width cell.
+std::string Num(double v, int width = 6, int precision = 1);
+
+}  // namespace tpuperf::bench

@@ -1,0 +1,66 @@
+// Fusion autotuning scenario (paper §7.3): when TPU access is scarce, drive
+// simulated annealing with the learned cost model on CPU and spend only a
+// minute of hardware time validating the most promising fusion
+// configurations — versus annealing directly on the hardware for ten
+// minutes.
+//
+//   $ ./build/examples/fusion_search
+#include <cstdio>
+
+#include "autotuner/fusion_tuner.h"
+#include "dataset/families.h"
+
+using namespace tpuperf;
+
+int main() {
+  const sim::TpuSimulator tpu(sim::TpuTarget::V2());
+  analytical::AnalyticalModel analytical(tpu.target());
+
+  // Train the fusion cost model on NMT variants; tune a different variant.
+  std::vector<ir::Program> corpus;
+  for (int v = 0; v < 3; ++v) corpus.push_back(data::BuildProgram("NMT", v));
+  corpus.push_back(data::BuildProgram("TranslateLike", 0));
+  data::DatasetOptions options;
+  options.fusion_configs_per_program = 8;
+  const auto dataset =
+      data::BuildFusionDataset(corpus, tpu, analytical, options);
+  std::printf("fusion dataset: %zu unique kernels\n", dataset.samples.size());
+
+  core::ModelConfig config = core::ModelConfig::FusionTaskDefault();
+  config.train_steps = 1500;
+  core::LearnedCostModel model(config);
+  core::PreparedCache cache(model);
+  const std::vector<int> train_ids = {0, 1, 2, 3};
+  const auto stats = core::TrainFusionTask(model, dataset, train_ids, cache);
+  std::printf("fusion model trained in %.1fs\n\n", stats.wall_seconds);
+
+  const ir::Program target = data::BuildProgram("NMT", 5);
+  tune::FusionAutotuner tuner(tpu, analytical);
+
+  tune::FusionTuneOptions opts;
+  opts.max_steps = 250;
+  opts.seed = 7;
+
+  // Hardware-only annealing, 10 simulated minutes.
+  opts.hardware_budget_sec = 600;
+  const auto hw = tuner.TuneWithHardware(target, opts);
+
+  // Learned-model annealing + 1 simulated minute of validation.
+  tune::LearnedEvaluator learned(model, cache);
+  opts.hardware_budget_sec = 60;
+  const auto guided = tuner.TuneWithModel(target, learned, opts);
+
+  std::printf("tuning %s (default runtime %.1f us)\n", target.name.c_str(),
+              hw.default_runtime_sec * 1e6);
+  std::printf("  %-30s %8s %13s %10s\n", "strategy", "speedup", "hardware-sec",
+              "configs");
+  std::printf("  %-30s %7.3fx %13.0f %10d\n", "anneal on hardware (10 min)",
+              hw.Speedup(), hw.hardware_seconds, hw.configs_explored);
+  std::printf("  %-30s %7.3fx %13.0f %10d\n",
+              "learned model + hardware (1 min)", guided.Speedup(),
+              guided.hardware_seconds, guided.configs_explored);
+  std::printf(
+      "\nThe learned model lets the autotuner reach comparable speedups with "
+      "~10x less\nhardware time (paper Fig. 5).\n");
+  return 0;
+}

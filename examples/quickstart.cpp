@@ -1,0 +1,79 @@
+// Quickstart: build a tensor computation graph, run it on the simulated
+// TPU, compare the analytical model's estimate, and get a prediction from a
+// (tiny, freshly trained) learned cost model.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "analytical/analytical_model.h"
+#include "core/evaluation.h"
+#include "dataset/families.h"
+#include "ir/builder.h"
+#include "sim/simulator.h"
+
+using namespace tpuperf;
+
+int main() {
+  // ---- 1. Build a kernel: dense layer with bias + relu --------------------
+  ir::GraphBuilder b;
+  const ir::NodeId x = b.Parameter(ir::Shape({128, 256}));
+  const ir::NodeId y = b.Dense(x, 512);
+  b.MarkOutput(y);
+  const ir::Graph kernel = std::move(b).Build();
+  std::printf("Kernel (%d nodes):\n%s\n", kernel.num_nodes(),
+              kernel.ToString().c_str());
+
+  // ---- 2. Enumerate tile sizes and measure on the simulated TPU v2 --------
+  const sim::TpuSimulator tpu(sim::TpuTarget::V2());
+  const auto tiles = tpu.EnumerateTiles(kernel, /*max_configs=*/64);
+  std::printf("%zu valid tile configurations; a few measurements:\n",
+              tiles.size());
+  for (size_t i = 0; i < tiles.size(); i += tiles.size() / 4) {
+    std::printf("  tile %-12s -> %8.2f us\n", tiles[i].ToString().c_str(),
+                tpu.Measure(kernel, tiles[i]) * 1e6);
+  }
+
+  // ---- 3. The analytical baseline picks its best tile ---------------------
+  const analytical::AnalyticalModel analytical(tpu.target());
+  const ir::TileConfig analytical_best = analytical.SelectBestTile(kernel, tiles);
+  std::printf("analytical model picks %s -> %.2f us (true)\n",
+              analytical_best.ToString().c_str(),
+              tpu.Measure(kernel, analytical_best) * 1e6);
+
+  // ---- 4. Train a small learned cost model and let it pick ----------------
+  const auto corpus = std::vector<ir::Program>{
+      data::BuildProgram("RankingLike", 0), data::BuildProgram("RNNLM", 0)};
+  data::DatasetOptions options;
+  options.max_tile_configs_per_kernel = 16;
+  const auto dataset = data::BuildTileDataset(corpus, tpu, options);
+
+  core::ModelConfig config = core::ModelConfig::TileTaskDefault();
+  config.hidden_dim = 24;
+  config.train_steps = 600;
+  core::LearnedCostModel model(config);
+  core::PreparedCache cache(model);
+  const std::vector<int> train_ids = {0, 1};
+  const auto stats = core::TrainTileTask(model, dataset, train_ids, cache);
+  std::printf("trained learned model: %s (loss %.3f -> %.3f in %.1fs)\n",
+              config.Summary().c_str(), stats.first_loss, stats.final_loss,
+              stats.wall_seconds);
+
+  const core::PreparedKernel prepared = model.Prepare(kernel);
+  const ir::TileConfig* learned_best = &tiles.front();
+  double best_score = model.PredictScore(prepared, learned_best);
+  for (const auto& tile : tiles) {
+    const double score = model.PredictScore(prepared, &tile);
+    if (score < best_score) {
+      best_score = score;
+      learned_best = &tile;
+    }
+  }
+  double true_best = tpu.Measure(kernel, tiles.front());
+  for (const auto& tile : tiles) {
+    true_best = std::min(true_best, tpu.Measure(kernel, tile));
+  }
+  std::printf("learned model picks    %s -> %.2f us (true); true best %.2f us\n",
+              learned_best->ToString().c_str(),
+              tpu.Measure(kernel, *learned_best) * 1e6, true_best * 1e6);
+  return 0;
+}

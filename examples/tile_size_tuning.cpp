@@ -1,0 +1,62 @@
+// Tile-size autotuning scenario (paper §7.1-7.2): train the learned cost
+// model on a slice of the corpus, then tune an unseen ResNet variant three
+// ways — exhaustive hardware search, learned-model-in-compiler (top-1), and
+// learned top-10 + hardware verification — and compare speedups and
+// hardware cost.
+//
+//   $ ./build/examples/tile_size_tuning
+#include <cstdio>
+
+#include "autotuner/tile_tuner.h"
+#include "dataset/families.h"
+
+using namespace tpuperf;
+
+int main() {
+  const sim::TpuSimulator tpu(sim::TpuTarget::V2());
+  const analytical::AnalyticalModel analytical(tpu.target());
+
+  // Train on a handful of programs spanning conv and dense families.
+  std::vector<ir::Program> corpus;
+  for (int v = 0; v < 3; ++v) corpus.push_back(data::BuildProgram("ResNetV1", v));
+  corpus.push_back(data::BuildProgram("InceptionLike", 0));
+  corpus.push_back(data::BuildProgram("RNNLM", 0));
+  data::DatasetOptions options;
+  options.max_tile_configs_per_kernel = 24;
+  const auto dataset = data::BuildTileDataset(corpus, tpu, options);
+  std::printf("training dataset: %zu kernels, %zu samples\n",
+              dataset.kernels.size(), dataset.TotalSamples());
+
+  core::ModelConfig config = core::ModelConfig::TileTaskDefault();
+  config.train_steps = 1500;
+  core::LearnedCostModel model(config);
+  core::PreparedCache cache(model);
+  const std::vector<int> train_ids = {0, 1, 2, 3, 4};
+  const auto stats = core::TrainTileTask(model, dataset, train_ids, cache);
+  std::printf("model trained in %.1fs (%zu parameters)\n\n",
+              stats.wall_seconds, model.parameter_scalars());
+
+  // Tune an unseen ResNet variant.
+  const ir::Program target = data::BuildProgram("ResNetV1", 7);
+  tune::TileSizeAutotuner tuner(tpu, analytical, /*max_candidates=*/128);
+  tune::LearnedEvaluator learned(model, cache);
+
+  const auto exhaustive =
+      tuner.Tune(target, tune::TileTuneMode::kExhaustive, nullptr);
+  const auto top1 = tuner.Tune(target, tune::TileTuneMode::kModelOnly, &learned);
+  const auto top10 = tuner.Tune(target, tune::TileTuneMode::kTopK, &learned, 10);
+
+  std::printf("tuning %s (%d tiled kernels)\n", target.name.c_str(),
+              exhaustive.kernels);
+  std::printf("  %-28s %8s %14s\n", "mode", "speedup", "hardware-sec");
+  std::printf("  %-28s %7.3fx %14.0f\n", "exhaustive search",
+              exhaustive.Speedup(), exhaustive.hardware_seconds);
+  std::printf("  %-28s %7.3fx %14s\n", "learned model in compiler",
+              top1.Speedup(), "0 (model only)");
+  std::printf("  %-28s %7.3fx %14.0f\n", "learned top-10 + hardware",
+              top10.Speedup(), top10.hardware_seconds);
+  std::printf(
+      "\nThe top-10 mode recovers most of the exhaustive gain at a small "
+      "fraction of the\nhardware cost — the paper's §7.2 result.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// End-to-end training workflow: generate a corpus slice, build the tile-size
+// dataset, train the learned cost model, evaluate it against the analytical
+// baseline, and persist the trained model to disk for later use (the §7.1
+// "retrain or fine-tune with more data" deployment story).
+//
+//   $ ./build/examples/train_and_save [output.model]
+#include <cstdio>
+
+#include "core/evaluation.h"
+#include "dataset/families.h"
+
+using namespace tpuperf;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/tpuperf_tile.model";
+
+  const sim::TpuSimulator tpu(sim::TpuTarget::V2());
+  const analytical::AnalyticalModel analytical(tpu.target());
+
+  // A mixed corpus: train on variant 0-1 of each family, test on variant 2.
+  std::vector<ir::Program> corpus;
+  std::vector<int> train_ids, test_ids;
+  for (const char* family :
+       {"ResNetV1", "NMT", "RankingLike", "Char2FeatsLike"}) {
+    for (int v = 0; v < 3; ++v) {
+      if (v < 2) train_ids.push_back(static_cast<int>(corpus.size()));
+      else test_ids.push_back(static_cast<int>(corpus.size()));
+      corpus.push_back(data::BuildProgram(family, v));
+    }
+  }
+  data::DatasetOptions options;
+  options.max_tile_configs_per_kernel = 24;
+  const auto dataset = data::BuildTileDataset(corpus, tpu, options);
+  std::printf("dataset: %zu kernels, %zu samples (train %zu / test %zu "
+              "programs)\n",
+              dataset.kernels.size(), dataset.TotalSamples(),
+              train_ids.size(), test_ids.size());
+
+  core::ModelConfig config = core::ModelConfig::TileTaskDefault();
+  config.train_steps = 2000;
+  core::LearnedCostModel model(config);
+  core::PreparedCache cache(model);
+  const auto stats = core::TrainTileTask(model, dataset, train_ids, cache);
+  std::printf("trained %zu-parameter model in %.1fs (loss %.3f -> %.3f)\n",
+              model.parameter_scalars(), stats.wall_seconds, stats.first_loss,
+              stats.final_loss);
+
+  const auto learned = core::EvaluateTileTask(
+      dataset, test_ids, corpus, core::MakeLearnedTileScorer(model, cache));
+  const auto baseline = core::EvaluateTileTask(
+      dataset, test_ids, corpus, core::MakeAnalyticalTileScorer(analytical));
+  std::printf("\n%-22s %10s %10s\n", "test program", "learned", "analytical");
+  for (size_t i = 0; i < learned.size(); ++i) {
+    std::printf("%-22s %9.2f%% %9.2f%%  (Tile-Size APE, lower is better)\n",
+                learned[i].application.c_str(), learned[i].ape,
+                baseline[i].ape);
+  }
+
+  // Persist and reload; predictions must survive the round trip.
+  model.SaveToFile(path);
+  core::LearnedCostModel reloaded(config);
+  reloaded.LoadFromFile(path);
+  const auto& kdata = dataset.kernels.front();
+  const core::PreparedKernel pk =
+      reloaded.Prepare(kdata.record.kernel.graph);
+  const double score = reloaded.PredictScore(pk, &kdata.configs.front());
+  std::printf("\nmodel saved to %s and reloaded (sample prediction %.4f)\n",
+              path.c_str(), score);
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "autotuner/evaluators.h"
+
+#include "sim/hash.h"
+
+namespace tpuperf::tune {
+namespace {
+
+std::uint64_t KernelTileKey(const ir::Graph& kernel,
+                            const ir::TileConfig& tile) {
+  std::uint64_t h = kernel.Fingerprint();
+  for (const auto d : tile.dims) {
+    h = sim::HashCombine(h, static_cast<std::uint64_t>(d));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::optional<double> HardwareEvaluator::EstimateKernel(
+    const ir::Graph& kernel, const ir::TileConfig& tile) {
+  const std::uint64_t fp = kernel.Fingerprint();
+  if (compiled_.emplace(fp, true).second) spent_ += costs_.compile_sec;
+
+  const std::uint64_t key = KernelTileKey(kernel, tile);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  spent_ += costs_.run_sec;
+  ++measurements_;
+  const double runtime = simulator_.Measure(kernel, tile);
+  cache_.emplace(key, runtime);
+  return runtime;
+}
+
+std::optional<double> LearnedEvaluator::EstimateKernel(
+    const ir::Graph& kernel, const ir::TileConfig& tile) {
+  const std::uint64_t key = KernelTileKey(kernel, tile);
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  spent_ += inference_sec_;
+  const core::PreparedKernel& pk = cache_.Get(kernel, kernel.Fingerprint());
+  const ir::TileConfig* tile_arg =
+      model_.config().use_tile_features ? &tile : nullptr;
+  const double estimate = model_.PredictSeconds(pk, tile_arg);
+  memo_.emplace(key, estimate);
+  return estimate;
+}
+
+std::optional<double> AnalyticalEvaluator::EstimateKernel(
+    const ir::Graph& kernel, const ir::TileConfig& tile) {
+  spent_ += 1e-6;
+  const auto estimate = model_.EstimateAbsoluteRuntime(kernel, tile);
+  if (!estimate.has_value()) return std::nullopt;
+  return estimate;
+}
+
+}  // namespace tpuperf::tune

@@ -1,0 +1,204 @@
+#include "autotuner/fusion_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace tpuperf::tune {
+namespace {
+
+// Per-Tune cache of compiler tile choices, keyed by kernel fingerprint —
+// fusion configs of one program share most of their kernels.
+class TileChoiceCache {
+ public:
+  TileChoiceCache(const sim::TpuSimulator& simulator,
+                  const analytical::AnalyticalModel& analytical)
+      : simulator_(simulator), analytical_(analytical) {}
+
+  const ir::TileConfig& Get(const ir::Graph& kernel, std::uint64_t fp) {
+    const auto it = cache_.find(fp);
+    if (it != cache_.end()) return it->second;
+    return cache_
+        .emplace(fp, data::CompilerDefaultTile(kernel, simulator_, analytical_))
+        .first->second;
+  }
+
+ private:
+  const sim::TpuSimulator& simulator_;
+  const analytical::AnalyticalModel& analytical_;
+  std::unordered_map<std::uint64_t, ir::TileConfig> cache_;
+};
+
+double SumConfigCost(const ir::Program& program, const data::EdgeList& edges,
+                     const data::FusionConfig& config, CostEvaluator& evaluator,
+                     TileChoiceCache& tiles) {
+  const auto kernels = data::ApplyFusion(program.graph, edges, config);
+  double total = 0;
+  for (const ir::Kernel& kernel : kernels) {
+    const std::uint64_t fp = kernel.graph.Fingerprint();
+    const ir::TileConfig& tile = tiles.Get(kernel.graph, fp);
+    const auto cost = evaluator.EstimateKernel(kernel.graph, tile);
+    if (cost.has_value()) total += *cost;
+    // Kernels the evaluator cannot score contribute nothing; only the
+    // analytical evaluator on data-formatting kernels hits this (§7.3 notes
+    // the analytical model is unusable as a fusion guide for this reason).
+  }
+  return total;
+}
+
+}  // namespace
+
+double FusionAutotuner::ConfigCost(const ir::Program& program,
+                                   const data::EdgeList& edges,
+                                   const data::FusionConfig& config,
+                                   CostEvaluator& evaluator) const {
+  TileChoiceCache tiles(simulator_, analytical_);
+  return SumConfigCost(program, edges, config, evaluator, tiles);
+}
+
+double FusionAutotuner::TrueRuntime(const ir::Program& program,
+                                    const data::EdgeList& edges,
+                                    const data::FusionConfig& config) const {
+  TileChoiceCache tiles(simulator_, analytical_);
+  const auto kernels = data::ApplyFusion(program.graph, edges, config);
+  double total = 0;
+  for (const ir::Kernel& kernel : kernels) {
+    const std::uint64_t fp = kernel.graph.Fingerprint();
+    total += simulator_.Measure(kernel.graph, tiles.Get(kernel.graph, fp));
+  }
+  return total;
+}
+
+FusionTuneResult FusionAutotuner::TuneWithHardware(
+    const ir::Program& program, const FusionTuneOptions& options) const {
+  FusionTuneResult result;
+  result.program = program.name;
+  std::mt19937_64 rng(options.seed);
+
+  const data::EdgeList edges = data::EdgeList::FromGraph(program.graph);
+  const data::FusionConfig default_config =
+      data::DefaultFusion(program.graph, edges);
+  result.default_runtime_sec = TrueRuntime(program, edges, default_config);
+
+  data::FusionConfig current =
+      options.start_from_default
+          ? default_config
+          : data::RandomFusion(program.graph, edges, rng, 0.5);
+
+  HardwareEvaluator hardware(simulator_);
+  TileChoiceCache tiles(simulator_, analytical_);
+  double current_cost =
+      SumConfigCost(program, edges, current, hardware, tiles);
+  data::FusionConfig best = current;
+  double best_cost = current_cost;
+  result.configs_explored = 1;
+
+  double temperature = options.initial_temperature;
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int step = 0; step < options.max_steps &&
+                     hardware.SpentSeconds() < options.hardware_budget_sec;
+       ++step) {
+    const auto next = data::FlipOneEdge(program.graph, edges, current, rng);
+    temperature *= options.cooling;
+    if (!next.has_value()) continue;
+    const double next_cost =
+        SumConfigCost(program, edges, *next, hardware, tiles);
+    ++result.configs_explored;
+    const double relative = (next_cost - current_cost) /
+                            std::max(current_cost, 1e-12);
+    if (next_cost <= current_cost ||
+        unit(rng) < std::exp(-relative / std::max(temperature, 1e-6))) {
+      current = *next;
+      current_cost = next_cost;
+      if (current_cost < best_cost) {
+        best = current;
+        best_cost = current_cost;
+      }
+    }
+  }
+  result.hardware_seconds = hardware.SpentSeconds();
+  result.best_runtime_sec = TrueRuntime(program, edges, best);
+  if (options.start_from_default) {
+    // The compiler falls back to its default when search finds nothing
+    // better; from a random start the search result stands on its own
+    // (§7.3's random-start comparison).
+    result.best_runtime_sec =
+        std::min(result.best_runtime_sec, result.default_runtime_sec);
+  }
+  return result;
+}
+
+FusionTuneResult FusionAutotuner::TuneWithModel(
+    const ir::Program& program, CostEvaluator& model,
+    const FusionTuneOptions& options) const {
+  FusionTuneResult result;
+  result.program = program.name;
+  std::mt19937_64 rng(options.seed);
+
+  const data::EdgeList edges = data::EdgeList::FromGraph(program.graph);
+  const data::FusionConfig default_config =
+      data::DefaultFusion(program.graph, edges);
+  result.default_runtime_sec = TrueRuntime(program, edges, default_config);
+
+  data::FusionConfig current =
+      options.start_from_default
+          ? default_config
+          : data::RandomFusion(program.graph, edges, rng, 0.5);
+
+  // ---- Phase 1: anneal on the cost model (CPU) ----------------------------
+  TileChoiceCache tiles(simulator_, analytical_);
+  const double model_start = model.SpentSeconds();
+  double current_cost = SumConfigCost(program, edges, current, model, tiles);
+  // Best-first pool of distinct candidates, keyed by predicted cost.
+  std::multimap<double, data::FusionConfig> pool;
+  std::unordered_map<std::uint64_t, bool> pooled;
+  const auto offer = [&](double cost, const data::FusionConfig& config) {
+    if (!pooled.emplace(config.Fingerprint(), true).second) return;
+    pool.emplace(cost, config);
+    while (static_cast<int>(pool.size()) > options.validate_top) {
+      pool.erase(std::prev(pool.end()));
+    }
+  };
+  offer(current_cost, current);
+
+  double temperature = options.initial_temperature;
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int step = 0;
+       step < options.max_steps &&
+       model.SpentSeconds() - model_start < options.model_budget_sec;
+       ++step) {
+    const auto next = data::FlipOneEdge(program.graph, edges, current, rng);
+    temperature *= options.cooling;
+    if (!next.has_value()) continue;
+    const double next_cost = SumConfigCost(program, edges, *next, model, tiles);
+    ++result.configs_explored;
+    offer(next_cost, *next);
+    const double relative = (next_cost - current_cost) /
+                            std::max(current_cost, 1e-12);
+    if (next_cost <= current_cost ||
+        unit(rng) < std::exp(-relative / std::max(temperature, 1e-6))) {
+      current = *next;
+      current_cost = next_cost;
+    }
+  }
+
+  // ---- Phase 2: validate promising configs on hardware, in ranked order ---
+  HardwareEvaluator hardware(simulator_);
+  double best_true = std::numeric_limits<double>::infinity();
+  for (const auto& [predicted, config] : pool) {
+    if (hardware.SpentSeconds() >= options.hardware_budget_sec) break;
+    TileChoiceCache vtiles(simulator_, analytical_);
+    const double true_cost =
+        SumConfigCost(program, edges, config, hardware, vtiles);
+    best_true = std::min(best_true, true_cost);
+  }
+  if (options.start_from_default || !std::isfinite(best_true)) {
+    best_true = std::min(best_true, result.default_runtime_sec);
+  }
+  result.hardware_seconds = hardware.SpentSeconds();
+  result.best_runtime_sec = best_true;
+  return result;
+}
+
+}  // namespace tpuperf::tune

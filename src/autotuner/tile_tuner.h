@@ -1,0 +1,60 @@
+// Tile-size autotuning (paper §7.1-7.2, Fig. 4).
+//
+// Modes mirror the figure's series:
+//   * kExhaustive    — measure every valid tile on hardware ('Exhaustive');
+//   * kModelOnly     — trust the model's argmin ('Learned model 1', the
+//                      in-compiler integration of §7.1);
+//   * kTopK          — model ranks candidates, top-k are verified on real
+//                      hardware ('Learned model 10' / 'Analytical 10').
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autotuner/evaluators.h"
+#include "dataset/fusion.h"
+#include "ir/program.h"
+
+namespace tpuperf::tune {
+
+enum class TileTuneMode { kExhaustive, kModelOnly, kTopK };
+
+struct TileTuneResult {
+  std::string program;
+  // True total runtime (sum over kernels) of the compiler-default tiles
+  // (best according to the analytical model, §2.3).
+  double default_runtime_sec = 0;
+  // True total runtime of the tuned tile choices.
+  double tuned_runtime_sec = 0;
+  // Simulated hardware seconds consumed by verification measurements.
+  double hardware_seconds = 0;
+  int kernels = 0;
+
+  double Speedup() const {
+    return tuned_runtime_sec > 0 ? default_runtime_sec / tuned_runtime_sec
+                                 : 1.0;
+  }
+};
+
+class TileSizeAutotuner {
+ public:
+  TileSizeAutotuner(const sim::TpuSimulator& simulator,
+                    const analytical::AnalyticalModel& analytical,
+                    int max_candidates = 256)
+      : simulator_(simulator),
+        analytical_(analytical),
+        max_candidates_(max_candidates) {}
+
+  // Tunes every kernel of the program (after default fusion). `ranker` is
+  // the cost model used for ranking in kModelOnly / kTopK modes (ignored
+  // for kExhaustive).
+  TileTuneResult Tune(const ir::Program& program, TileTuneMode mode,
+                      CostEvaluator* ranker, int top_k = 10) const;
+
+ private:
+  const sim::TpuSimulator& simulator_;
+  const analytical::AnalyticalModel& analytical_;
+  int max_candidates_;
+};
+
+}  // namespace tpuperf::tune

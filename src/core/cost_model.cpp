@@ -1,0 +1,312 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/losses.h"
+#include "nn/ops.h"
+
+namespace tpuperf::core {
+namespace {
+
+// Width of the option-1 extras appended to every node's features.
+int NodeExtraWidth(const ModelConfig& c) {
+  int extra = 0;
+  if (c.use_tile_features &&
+      c.tile_placement == FeaturePlacement::kNodeFeatures) {
+    extra += feat::kTileFeatures;
+  }
+  if (c.use_static_perf &&
+      c.static_perf_placement == FeaturePlacement::kNodeFeatures) {
+    extra += feat::kStaticPerfFeatures;
+  }
+  return extra;
+}
+
+// Width of the option-2 extras appended to the kernel embedding.
+int KernelExtraWidth(const ModelConfig& c) {
+  int extra = 0;
+  if (c.use_tile_features &&
+      c.tile_placement == FeaturePlacement::kKernelEmbedding) {
+    extra += feat::kTileFeatures;
+  }
+  if (c.use_static_perf &&
+      c.static_perf_placement == FeaturePlacement::kKernelEmbedding) {
+    extra += feat::kStaticPerfFeatures;
+  }
+  return extra;
+}
+
+}  // namespace
+
+LearnedCostModel::LearnedCostModel(ModelConfig config)
+    : config_(config),
+      store_(std::make_unique<nn::ParamStore>()),
+      init_rng_(config.seed),
+      dropout_rng_(config.seed ^ 0xD20ull),
+      node_scaler_(feat::kNodeScalarFeatures),
+      tile_scaler_(feat::kTileFeatures),
+      perf_scaler_(feat::kStaticPerfFeatures) {
+  const int hidden = config_.hidden_dim;
+  opcode_embedding_ = nn::Embedding(*store_, "opcode_embedding",
+                                    ir::kNumOpCodes,
+                                    config_.opcode_embedding_dim, init_rng_);
+  const int input_width = config_.opcode_embedding_dim +
+                          feat::kNodeScalarFeatures + NodeExtraWidth(config_);
+  f1_ = nn::Mlp(*store_, "f1", input_width, {hidden}, nn::Activation::kRelu,
+                init_rng_);
+
+  switch (config_.gnn) {
+    case GnnKind::kGraphSage:
+      for (int l = 0; l < config_.gnn_layers; ++l) {
+        sage_layers_.emplace_back(*store_, "sage" + std::to_string(l), hidden,
+                                  config_.directed_edges,
+                                  /*l2_normalize=*/true, init_rng_);
+      }
+      break;
+    case GnnKind::kGat:
+      for (int l = 0; l < config_.gnn_layers; ++l) {
+        gat_layers_.emplace_back(*store_, "gat" + std::to_string(l), hidden,
+                                 config_.gat_heads, init_rng_);
+      }
+      break;
+    case GnnKind::kNone:
+      break;
+  }
+
+  std::vector<int> final_sizes(
+      static_cast<size_t>(std::max(0, config_.node_final_layers)), hidden);
+  node_final_ = nn::Mlp(*store_, "node_final", hidden, std::move(final_sizes),
+                        nn::Activation::kRelu, init_rng_);
+
+  switch (config_.reduction) {
+    case ReductionKind::kPerNode:
+      per_node_head_ = nn::Linear(*store_, "per_node_head", hidden, 1,
+                                  init_rng_);
+      kernel_embedding_dim_ = 1;
+      break;
+    case ReductionKind::kColumnWise:
+      kernel_embedding_dim_ = 2 * hidden;  // mean ++ max (Table 5)
+      break;
+    case ReductionKind::kLstm:
+      reduction_lstm_ = nn::Lstm(*store_, "reduction_lstm", hidden, hidden,
+                                 init_rng_);
+      kernel_embedding_dim_ = hidden;
+      break;
+    case ReductionKind::kTransformer:
+      reduction_transformer_ = nn::TransformerEncoder(
+          *store_, "reduction_tx", hidden, config_.transformer_heads,
+          config_.transformer_layers, init_rng_);
+      kernel_embedding_dim_ = hidden;
+      break;
+  }
+
+  output_head_ =
+      nn::Linear(*store_, "output_head",
+                 kernel_embedding_dim_ + KernelExtraWidth(config_), 1,
+                 init_rng_, /*bias=*/true);
+  // Start the output head near zero so early predictions sit at the bias
+  // (see SetOutputBias) instead of the random-projection scale of the
+  // kernel embedding.
+  for (float& w : output_head_.weight_param()->value.flat()) w *= 0.1f;
+}
+
+void LearnedCostModel::FitNodeScaler(const ir::Graph& kernel) {
+  const feat::KernelFeatures kf = feat::FeaturizeKernel(kernel);
+  for (const auto& row : kf.node_scalars) node_scaler_.Observe(row);
+  perf_scaler_.Observe(kf.static_perf);
+}
+
+void LearnedCostModel::FitTileScaler(const ir::TileConfig& tile) {
+  tile_scaler_.Observe(feat::TileFeatures(tile));
+}
+
+PreparedKernel LearnedCostModel::Prepare(const ir::Graph& kernel) const {
+  if (!fitted_) {
+    throw std::logic_error("LearnedCostModel: scalers not fitted");
+  }
+  const feat::KernelFeatures kf = feat::FeaturizeKernel(kernel);
+  PreparedKernel pk;
+  pk.num_nodes = kf.num_nodes();
+  pk.opcode_ids = kf.opcode_ids;
+  pk.node_features = nn::Matrix(pk.num_nodes, feat::kNodeScalarFeatures);
+  for (int i = 0; i < pk.num_nodes; ++i) {
+    node_scaler_.TransformRow(kf.node_scalars[static_cast<size_t>(i)],
+                              pk.node_features.row(i));
+  }
+  pk.structure = nn::BuildGraphStructure(kf.operand_lists);
+  pk.static_perf.resize(feat::kStaticPerfFeatures);
+  perf_scaler_.TransformRow(kf.static_perf, pk.static_perf);
+  return pk;
+}
+
+std::vector<float> LearnedCostModel::ScaledTileFeatures(
+    const ir::TileConfig& tile) const {
+  const std::vector<double> raw = feat::TileFeatures(tile);
+  std::vector<float> scaled(raw.size());
+  tile_scaler_.TransformRow(raw, scaled);
+  return scaled;
+}
+
+nn::Tensor LearnedCostModel::Forward(nn::Tape& tape,
+                                     const PreparedKernel& kernel,
+                                     const ir::TileConfig* tile,
+                                     bool training) {
+  return ForwardImpl(tape, kernel, tile, training, dropout_rng_);
+}
+
+double LearnedCostModel::PredictScore(const PreparedKernel& kernel,
+                                      const ir::TileConfig* tile) const {
+  nn::Tape tape(/*grad_enabled=*/false);
+  return ForwardImpl(tape, kernel, tile, /*training=*/false, dropout_rng_)
+      .scalar();
+}
+
+double LearnedCostModel::PredictSeconds(const PreparedKernel& kernel,
+                                        const ir::TileConfig* tile) const {
+  const double score = PredictScore(kernel, tile);
+  return config_.log_target ? std::exp(score) : score;
+}
+
+nn::Tensor LearnedCostModel::ForwardImpl(nn::Tape& tape,
+                                         const PreparedKernel& kernel,
+                                         const ir::TileConfig* tile,
+                                         bool training,
+                                         std::mt19937_64& dropout_rng) const {
+  const int n = kernel.num_nodes;
+  if (n == 0) throw std::invalid_argument("Forward: empty kernel");
+  if (config_.use_tile_features && tile == nullptr) {
+    throw std::invalid_argument("Forward: model expects a tile config");
+  }
+
+  // ---- Node inputs: opcode embedding ++ scalars (++ option-1 extras) ------
+  nn::Tensor embed = opcode_embedding_.Forward(tape, kernel.opcode_ids);
+  nn::Tensor scalars = tape.Leaf(kernel.node_features);
+  std::vector<nn::Tensor> parts = {embed, scalars};
+
+  std::vector<float> tile_row;
+  if (config_.use_tile_features) tile_row = ScaledTileFeatures(*tile);
+
+  const auto broadcast_rows = [&](std::span<const float> row) {
+    nn::Matrix m(n, static_cast<int>(row.size()));
+    for (int i = 0; i < n; ++i) {
+      std::copy(row.begin(), row.end(), m.row(i).begin());
+    }
+    return tape.Leaf(std::move(m));
+  };
+
+  if (config_.use_tile_features &&
+      config_.tile_placement == FeaturePlacement::kNodeFeatures) {
+    parts.push_back(broadcast_rows(tile_row));
+  }
+  if (config_.use_static_perf &&
+      config_.static_perf_placement == FeaturePlacement::kNodeFeatures) {
+    parts.push_back(broadcast_rows(kernel.static_perf));
+  }
+
+  nn::Tensor x = nn::ConcatColsOp(tape, parts);
+  nn::Tensor h = f1_.Forward(tape, x);
+  if (training && config_.dropout > 0) {
+    h = nn::DropoutOp(tape, h, config_.dropout, dropout_rng);
+  }
+
+  // ---- GNN ----------------------------------------------------------------
+  for (const auto& layer : sage_layers_) {
+    h = layer.Forward(tape, h, kernel.structure);
+  }
+  for (const auto& layer : gat_layers_) {
+    h = layer.Forward(tape, h, kernel.structure);
+  }
+
+  h = node_final_.Forward(tape, h);
+  if (training && config_.dropout > 0) {
+    h = nn::DropoutOp(tape, h, config_.dropout, dropout_rng);
+  }
+
+  // ---- Reduction to the kernel embedding -----------------------------------
+  nn::Tensor kernel_embedding;
+  switch (config_.reduction) {
+    case ReductionKind::kPerNode: {
+      nn::Tensor per_node = per_node_head_.Forward(tape, h);  // [n, 1]
+      kernel_embedding = nn::ColSumOp(tape, per_node);        // [1, 1]
+      break;
+    }
+    case ReductionKind::kColumnWise: {
+      const nn::Tensor cols[] = {nn::ColMeanOp(tape, h), nn::ColMaxOp(tape, h)};
+      kernel_embedding = nn::ConcatColsOp(tape, cols);
+      break;
+    }
+    case ReductionKind::kLstm: {
+      kernel_embedding = reduction_lstm_.Forward(tape, h).final_hidden;
+      break;
+    }
+    case ReductionKind::kTransformer: {
+      nn::Tensor enc = reduction_transformer_.Forward(tape, h);
+      kernel_embedding = nn::ColMeanOp(tape, enc);  // mean (see header note)
+      break;
+    }
+  }
+
+  // ---- Option-2 extras ------------------------------------------------------
+  std::vector<nn::Tensor> kparts = {kernel_embedding};
+  const auto leaf_row = [&](std::span<const float> row) {
+    nn::Matrix m(1, static_cast<int>(row.size()));
+    std::copy(row.begin(), row.end(), m.row(0).begin());
+    return tape.Leaf(std::move(m));
+  };
+  if (config_.use_tile_features &&
+      config_.tile_placement == FeaturePlacement::kKernelEmbedding) {
+    kparts.push_back(leaf_row(tile_row));
+  }
+  if (config_.use_static_perf &&
+      config_.static_perf_placement == FeaturePlacement::kKernelEmbedding) {
+    kparts.push_back(leaf_row(kernel.static_perf));
+  }
+  nn::Tensor merged = kparts.size() == 1 ? kparts.front()
+                                         : nn::ConcatColsOp(tape, kparts);
+
+  // Linear output head without activation (§3.2).
+  return output_head_.Forward(tape, merged);
+}
+
+void LearnedCostModel::SetOutputBias(float value) {
+  nn::Parameter* bias = output_head_.bias_param();
+  if (bias != nullptr) bias->value.Fill(value);
+}
+
+void LearnedCostModel::Save(std::ostream& os) const {
+  const char magic[8] = {'T', 'P', 'U', 'P', 'E', 'R', 'F', '1'};
+  os.write(magic, sizeof(magic));
+  node_scaler_.Save(os);
+  tile_scaler_.Save(os);
+  perf_scaler_.Save(os);
+  store_->Save(os);
+}
+
+void LearnedCostModel::Load(std::istream& is) {
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  if (std::string_view(magic, 8) != "TPUPERF1") {
+    throw std::runtime_error("LearnedCostModel::Load: bad magic");
+  }
+  node_scaler_.Load(is);
+  tile_scaler_.Load(is);
+  perf_scaler_.Load(is);
+  store_->Load(is);
+  fitted_ = true;
+}
+
+void LearnedCostModel::SaveToFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  Save(os);
+}
+
+void LearnedCostModel::LoadFromFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  Load(is);
+}
+
+}  // namespace tpuperf::core

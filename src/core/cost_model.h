@@ -1,0 +1,111 @@
+// The learned performance model (paper §3, Fig. 3).
+//
+// Pipeline: opcode embedding ++ scaled node features (optionally ++ kernel
+// features, option 1) -> feedforward f1 -> GNN (GraphSAGE / GAT / none) ->
+// node final layers -> reduction (per-node / column-wise / LSTM /
+// Transformer) -> (optionally ++ kernel features, option 2) -> linear ->
+// scalar runtime prediction.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+
+#include "core/model_config.h"
+#include "features/featurizer.h"
+#include "features/scaler.h"
+#include "ir/graph.h"
+#include "ir/tile.h"
+#include "nn/attention.h"
+#include "nn/gnn.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+
+namespace tpuperf::core {
+
+// A kernel featurized and scaled once, reusable across tile configs and
+// training steps.
+struct PreparedKernel {
+  std::vector<int> opcode_ids;
+  nn::Matrix node_features;          // [n, kNodeScalarFeatures], scaled
+  nn::GraphStructure structure;      // adjacency operators
+  std::vector<float> static_perf;    // scaled, kStaticPerfFeatures wide
+  int num_nodes = 0;
+};
+
+class LearnedCostModel {
+ public:
+  explicit LearnedCostModel(ModelConfig config);
+
+  const ModelConfig& config() const noexcept { return config_; }
+
+  // ---- Feature scaling -----------------------------------------------------
+  // Scalers must be fitted (or loaded) before Prepare/Predict.
+  void FitNodeScaler(const ir::Graph& kernel);    // observe one kernel
+  void FitTileScaler(const ir::TileConfig& tile); // observe one tile config
+  void FinishFitting() { fitted_ = true; }
+  bool fitted() const noexcept { return fitted_; }
+
+  PreparedKernel Prepare(const ir::Graph& kernel) const;
+
+  // ---- Prediction ----------------------------------------------------------
+  // Raw model output for a kernel (+ optional tile config). For rank-loss
+  // models this is a unitless score (lower = faster); for log-target models
+  // it is log(seconds).
+  double PredictScore(const PreparedKernel& kernel,
+                      const ir::TileConfig* tile = nullptr) const;
+  // Absolute runtime in seconds (applies exp() for log-target models).
+  double PredictSeconds(const PreparedKernel& kernel,
+                        const ir::TileConfig* tile = nullptr) const;
+
+  // Differentiable forward pass used by the trainer. `tape` must outlive the
+  // returned tensor. `training` enables dropout.
+  nn::Tensor Forward(nn::Tape& tape, const PreparedKernel& kernel,
+                     const ir::TileConfig* tile, bool training);
+
+  // Initializes the output head's bias to `value` — for log-target models
+  // the trainer sets this to the mean log runtime of the training set so the
+  // regression starts centered instead of ~10 nats away.
+  void SetOutputBias(float value);
+
+  // ---- Parameters ----------------------------------------------------------
+  nn::ParamStore& params() noexcept { return *store_; }
+  std::size_t parameter_scalars() const { return store_->scalar_count(); }
+
+  void Save(std::ostream& os) const;
+  void Load(std::istream& is);
+  void SaveToFile(const std::string& path) const;
+  void LoadFromFile(const std::string& path);
+
+ private:
+  nn::Tensor ForwardImpl(nn::Tape& tape, const PreparedKernel& kernel,
+                         const ir::TileConfig* tile, bool training,
+                         std::mt19937_64& dropout_rng) const;
+  // Scales a tile config's features into a float row.
+  std::vector<float> ScaledTileFeatures(const ir::TileConfig& tile) const;
+
+  ModelConfig config_;
+  std::unique_ptr<nn::ParamStore> store_;
+  std::mt19937_64 init_rng_;
+  mutable std::mt19937_64 dropout_rng_;
+
+  feat::FeatureScaler node_scaler_;
+  feat::FeatureScaler tile_scaler_;
+  feat::FeatureScaler perf_scaler_;
+  bool fitted_ = false;
+
+  // ---- Modules (built at construction from config_) -------------------------
+  nn::Embedding opcode_embedding_;
+  nn::Mlp f1_;
+  std::vector<nn::GraphSageLayer> sage_layers_;
+  std::vector<nn::GatLayer> gat_layers_;
+  nn::Mlp node_final_;
+  nn::Lstm reduction_lstm_;
+  nn::TransformerEncoder reduction_transformer_;
+  nn::Linear per_node_head_;
+  nn::Linear output_head_;
+  int kernel_embedding_dim_ = 0;
+};
+
+}  // namespace tpuperf::core

@@ -1,0 +1,100 @@
+#include "core/model_config.h"
+
+#include <sstream>
+
+namespace tpuperf::core {
+
+std::string_view ToString(GnnKind k) noexcept {
+  switch (k) {
+    case GnnKind::kNone:
+      return "No GNN";
+    case GnnKind::kGraphSage:
+      return "GraphSAGE";
+    case GnnKind::kGat:
+      return "GAT";
+  }
+  return "?";
+}
+
+std::string_view ToString(ReductionKind k) noexcept {
+  switch (k) {
+    case ReductionKind::kPerNode:
+      return "per-node";
+    case ReductionKind::kColumnWise:
+      return "column-wise";
+    case ReductionKind::kLstm:
+      return "LSTM";
+    case ReductionKind::kTransformer:
+      return "Transformer";
+  }
+  return "?";
+}
+
+std::string_view ToString(LossKind k) noexcept {
+  switch (k) {
+    case LossKind::kRankHinge:
+      return "rank-hinge";
+    case LossKind::kRankLogistic:
+      return "rank-logistic";
+    case LossKind::kMse:
+      return "mse";
+  }
+  return "?";
+}
+
+ModelConfig ModelConfig::TileTaskDefault() {
+  // §5.1 best model: GraphSAGE + LSTM reduction, rank loss, static perf and
+  // tile size as node features (Table 6 'GraphSAGE + LSTM').
+  ModelConfig c;
+  c.gnn = GnnKind::kGraphSage;
+  c.reduction = ReductionKind::kLstm;
+  c.loss = LossKind::kRankHinge;
+  c.use_tile_features = true;
+  c.tile_placement = FeaturePlacement::kNodeFeatures;
+  c.use_static_perf = true;
+  c.static_perf_placement = FeaturePlacement::kNodeFeatures;
+  c.log_target = false;
+  c.grad_clip = nn::GradClip::kNorm;
+  c.grad_clip_norm = 5.0;
+  return c;
+}
+
+ModelConfig ModelConfig::FusionTaskDefault() {
+  // §5.2 best model: GraphSAGE + Transformer reduction, MSE on
+  // log-transformed runtimes (Table 7 'GraphSAGE + Transformer').
+  ModelConfig c;
+  c.gnn = GnnKind::kGraphSage;
+  c.reduction = ReductionKind::kTransformer;
+  c.loss = LossKind::kMse;
+  c.log_target = true;
+  c.use_tile_features = false;
+  c.use_static_perf = true;
+  c.static_perf_placement = FeaturePlacement::kNodeFeatures;
+  c.learning_rate = 1.5e-3;
+  c.lr_decay = 0.98;
+  c.grad_clip = nn::GradClip::kNorm;
+  c.grad_clip_norm = 2.0;
+  c.train_steps = 3000;
+  c.hidden_dim = 48;
+  return c;
+}
+
+std::string ModelConfig::Summary() const {
+  std::ostringstream os;
+  os << ToString(gnn) << " + " << ToString(reduction) << ", "
+     << ToString(loss) << (directed_edges ? ", directed" : ", undirected")
+     << ", static-perf="
+     << (use_static_perf
+             ? (static_perf_placement == FeaturePlacement::kNodeFeatures
+                    ? "node"
+                    : "kernel-emb")
+             : "off");
+  if (use_tile_features) {
+    os << ", tile="
+       << (tile_placement == FeaturePlacement::kNodeFeatures ? "node"
+                                                             : "kernel-emb");
+  }
+  return os.str();
+}
+
+}  // namespace tpuperf::core

@@ -1,0 +1,78 @@
+// Configuration space of the learned performance model.
+//
+// Every axis ablated in the paper is a field here:
+//   * GNN kind (No GNN / GraphSAGE / GAT)            — Table 4 columns
+//   * reduction (per-node / column-wise / LSTM / Transformer) — Table 4 rows
+//   * loss (rank hinge / rank logistic / MSE)        — §3.3, Table 3
+//   * edge direction                                  — Table 3 'Undirected'
+//   * static performance features + placement        — Table 3
+//   * tile-size feature placement                    — Table 3 'Move tile-size'
+// plus the fixed hyperparameters of Table 5 and the tuned training
+// hyperparameters of Tables 6-7 (scaled down for CPU training).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/optimizer.h"
+
+namespace tpuperf::core {
+
+enum class GnnKind { kNone, kGraphSage, kGat };
+enum class ReductionKind { kPerNode, kColumnWise, kLstm, kTransformer };
+enum class LossKind { kRankHinge, kRankLogistic, kMse };
+// Where kernel-level features enter the network (paper Fig. 3):
+// option 1 appends them to every node's features; option 2 appends them to
+// the kernel embedding after reduction.
+enum class FeaturePlacement { kNodeFeatures, kKernelEmbedding };
+
+std::string_view ToString(GnnKind k) noexcept;
+std::string_view ToString(ReductionKind k) noexcept;
+std::string_view ToString(LossKind k) noexcept;
+
+struct ModelConfig {
+  // ---- Architecture --------------------------------------------------------
+  GnnKind gnn = GnnKind::kGraphSage;
+  ReductionKind reduction = ReductionKind::kLstm;
+  bool directed_edges = true;
+
+  // ---- Features ------------------------------------------------------------
+  bool use_static_perf = true;
+  FeaturePlacement static_perf_placement = FeaturePlacement::kNodeFeatures;
+  // Tile features exist only in the tile-size task.
+  bool use_tile_features = false;
+  FeaturePlacement tile_placement = FeaturePlacement::kNodeFeatures;
+
+  // ---- Capacity (paper values in comments; scaled for CPU) ------------------
+  int opcode_embedding_dim = 16;  // paper: 256
+  int hidden_dim = 32;            // paper: 512/1024
+  int gnn_layers = 3;             // paper: 3
+  int node_final_layers = 2;      // paper: 3
+  int transformer_layers = 1;     // paper: 1-3
+  int transformer_heads = 4;      // paper: 4
+  int gat_heads = 2;              // paper: 2-4
+  float dropout = 0.1f;           // paper: 0.1-0.25
+
+  // ---- Objective & training --------------------------------------------------
+  LossKind loss = LossKind::kRankHinge;
+  // Fusion task predicts log-runtime (targets are right-skewed, §3.3).
+  bool log_target = false;
+  double learning_rate = 1.5e-3;
+  double lr_decay = 1.0;
+  nn::GradClip grad_clip = nn::GradClip::kNone;
+  double grad_clip_norm = 1.0;
+  int train_steps = 3000;
+  // Tile task: tile configs compared per rank-loss batch.
+  int configs_per_batch = 12;
+  // Fusion task: kernels per MSE batch.
+  int kernels_per_batch = 8;
+  std::uint64_t seed = 42;
+
+  // The best-performing configurations selected in §5 (bold in Table 4).
+  static ModelConfig TileTaskDefault();
+  static ModelConfig FusionTaskDefault();
+
+  std::string Summary() const;
+};
+
+}  // namespace tpuperf::core

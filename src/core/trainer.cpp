@@ -1,0 +1,247 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <random>
+#include <unordered_set>
+
+#include "nn/losses.h"
+#include "nn/ops.h"
+
+namespace tpuperf::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Family name -> indices into the dataset, for balanced sampling.
+template <typename GetFamily>
+std::vector<std::vector<int>> GroupByFamily(int count, GetFamily get_family,
+                                            std::span<const int> keep) {
+  std::unordered_set<int> wanted(keep.begin(), keep.end());
+  std::map<std::string, std::vector<int>> groups;
+  for (int i = 0; i < count; ++i) {
+    const auto [family, program_id] = get_family(i);
+    if (!wanted.contains(program_id)) continue;
+    groups[family].push_back(i);
+  }
+  std::vector<std::vector<int>> out;
+  out.reserve(groups.size());
+  for (auto& [family, indices] : groups) out.push_back(std::move(indices));
+  return out;
+}
+
+nn::RankSurrogate Surrogate(LossKind loss) {
+  return loss == LossKind::kRankLogistic ? nn::RankSurrogate::kLogistic
+                                         : nn::RankSurrogate::kHinge;
+}
+
+nn::AdamConfig MakeAdamConfig(const ModelConfig& c) {
+  nn::AdamConfig a;
+  a.learning_rate = c.learning_rate;
+  a.lr_decay = c.lr_decay;
+  a.clip = c.grad_clip;
+  a.clip_norm = c.grad_clip_norm;
+  return a;
+}
+
+}  // namespace
+
+const PreparedKernel& PreparedCache::Get(const ir::Graph& kernel,
+                                         std::uint64_t fingerprint) {
+  const auto it = cache_.find(fingerprint);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(fingerprint, model_.Prepare(kernel)).first->second;
+}
+
+TrainStats TrainTileTask(LearnedCostModel& model,
+                         const data::TileDataset& dataset,
+                         std::span<const int> train_program_ids,
+                         PreparedCache& cache) {
+  const auto start = Clock::now();
+  const ModelConfig& cfg = model.config();
+  std::mt19937_64 rng(cfg.seed ^ 0x7e11ull);
+
+  // ---- Fit feature scalers on the training slice ---------------------------
+  if (!model.fitted()) {
+    std::unordered_set<std::uint64_t> seen;
+    std::unordered_set<int> wanted(train_program_ids.begin(),
+                                   train_program_ids.end());
+    for (const auto& k : dataset.kernels) {
+      if (!wanted.contains(k.record.program_id)) continue;
+      if (!seen.insert(k.record.fingerprint).second) continue;
+      model.FitNodeScaler(k.record.kernel.graph);
+      for (const auto& tile : k.configs) model.FitTileScaler(tile);
+    }
+    model.FinishFitting();
+  }
+
+  const auto families = GroupByFamily(
+      static_cast<int>(dataset.kernels.size()),
+      [&](int i) {
+        const auto& rec = dataset.kernels[static_cast<size_t>(i)].record;
+        return std::pair(rec.family, rec.program_id);
+      },
+      train_program_ids);
+  if (families.empty()) {
+    throw std::invalid_argument("TrainTileTask: no training kernels");
+  }
+
+  nn::Adam adam(MakeAdamConfig(cfg));
+  const auto params = model.params().params();
+
+  TrainStats stats;
+  double window_loss = 0;
+  int window_count = 0;
+  for (int step = 0; step < cfg.train_steps; ++step) {
+    // Balanced sampling: cycle families, pick a random kernel inside.
+    const auto& family = families[static_cast<size_t>(step) % families.size()];
+    std::uniform_int_distribution<size_t> pick(0, family.size() - 1);
+    const auto& kdata = dataset.kernels[static_cast<size_t>(family[pick(rng)])];
+    if (kdata.configs.size() < 2) continue;
+
+    const PreparedKernel& pk =
+        cache.Get(kdata.record.kernel.graph, kdata.record.fingerprint);
+
+    // Sample a batch of distinct tile configs of this kernel.
+    const int m = std::min<int>(cfg.configs_per_batch,
+                                static_cast<int>(kdata.configs.size()));
+    std::vector<int> chosen(kdata.configs.size());
+    std::iota(chosen.begin(), chosen.end(), 0);
+    std::shuffle(chosen.begin(), chosen.end(), rng);
+    chosen.resize(static_cast<size_t>(m));
+
+    nn::Tape tape(/*grad_enabled=*/true);
+    std::vector<nn::Tensor> preds;
+    std::vector<double> targets;
+    preds.reserve(static_cast<size_t>(m));
+    for (const int c : chosen) {
+      preds.push_back(model.Forward(tape, pk,
+                                    &kdata.configs[static_cast<size_t>(c)],
+                                    /*training=*/true));
+      targets.push_back(kdata.runtimes[static_cast<size_t>(c)]);
+    }
+    nn::Tensor stacked = nn::ConcatRowsOp(tape, preds);
+    nn::Tensor loss;
+    if (cfg.loss == LossKind::kMse) {
+      // Ablation row 'MSE loss (not rank)': regress log runtimes directly.
+      loss = nn::MseLogLoss(tape, stacked, targets);
+    } else {
+      loss = nn::PairwiseRankLoss(tape, stacked, targets, Surrogate(cfg.loss));
+    }
+    tape.Backward(loss);
+    adam.Step(params);
+
+    const double value = loss.scalar();
+    if (step == 0) stats.first_loss = value;
+    window_loss += value;
+    ++window_count;
+    if ((step + 1) % 100 == 0) {
+      adam.DecayLearningRate();
+      if (step + 1 < cfg.train_steps) {
+        window_loss = 0;
+        window_count = 0;
+      }
+    }
+  }
+  stats.steps = cfg.train_steps;
+  stats.final_loss = window_count > 0 ? window_loss / window_count : 0;
+  stats.wall_seconds = Seconds(start);
+  return stats;
+}
+
+TrainStats TrainFusionTask(LearnedCostModel& model,
+                           const data::FusionDataset& dataset,
+                           std::span<const int> train_program_ids,
+                           PreparedCache& cache) {
+  const auto start = Clock::now();
+  const ModelConfig& cfg = model.config();
+  std::mt19937_64 rng(cfg.seed ^ 0xF007ull);
+
+  if (!model.fitted()) {
+    std::unordered_set<int> wanted(train_program_ids.begin(),
+                                   train_program_ids.end());
+    double log_sum = 0;
+    long log_count = 0;
+    for (const auto& s : dataset.samples) {
+      if (!wanted.contains(s.record.program_id)) continue;
+      model.FitNodeScaler(s.record.kernel.graph);
+      model.FitTileScaler(s.tile);
+      log_sum += std::log(s.runtime + 1e-9);
+      ++log_count;
+    }
+    model.FinishFitting();
+    if (cfg.log_target && log_count > 0) {
+      model.SetOutputBias(static_cast<float>(log_sum / log_count));
+    }
+  }
+
+  const auto families = GroupByFamily(
+      static_cast<int>(dataset.samples.size()),
+      [&](int i) {
+        const auto& rec = dataset.samples[static_cast<size_t>(i)].record;
+        return std::pair(rec.family, rec.program_id);
+      },
+      train_program_ids);
+  if (families.empty()) {
+    throw std::invalid_argument("TrainFusionTask: no training samples");
+  }
+
+  nn::Adam adam(MakeAdamConfig(cfg));
+  const auto params = model.params().params();
+
+  TrainStats stats;
+  double window_loss = 0;
+  int window_count = 0;
+  for (int step = 0; step < cfg.train_steps; ++step) {
+    nn::Tape tape(/*grad_enabled=*/true);
+    std::vector<nn::Tensor> preds;
+    std::vector<double> targets;
+    for (int b = 0; b < cfg.kernels_per_batch; ++b) {
+      const auto& family =
+          families[(static_cast<size_t>(step) * cfg.kernels_per_batch + b) %
+                   families.size()];
+      std::uniform_int_distribution<size_t> pick(0, family.size() - 1);
+      const auto& sample =
+          dataset.samples[static_cast<size_t>(family[pick(rng)])];
+      const PreparedKernel& pk =
+          cache.Get(sample.record.kernel.graph, sample.record.fingerprint);
+      const ir::TileConfig* tile =
+          cfg.use_tile_features ? &sample.tile : nullptr;
+      preds.push_back(model.Forward(tape, pk, tile, /*training=*/true));
+      targets.push_back(sample.runtime);
+    }
+    nn::Tensor stacked = nn::ConcatRowsOp(tape, preds);
+    nn::Tensor loss;
+    if (cfg.loss == LossKind::kMse) {
+      loss = nn::MseLogLoss(tape, stacked, targets);
+    } else {
+      loss = nn::PairwiseRankLoss(tape, stacked, targets, Surrogate(cfg.loss));
+    }
+    tape.Backward(loss);
+    adam.Step(params);
+
+    const double value = loss.scalar();
+    if (step == 0) stats.first_loss = value;
+    window_loss += value;
+    ++window_count;
+    if ((step + 1) % 100 == 0) {
+      adam.DecayLearningRate();
+      if (step + 1 < cfg.train_steps) {
+        window_loss = 0;
+        window_count = 0;
+      }
+    }
+  }
+  stats.steps = cfg.train_steps;
+  stats.final_loss = window_count > 0 ? window_loss / window_count : 0;
+  stats.wall_seconds = Seconds(start);
+  return stats;
+}
+
+}  // namespace tpuperf::core

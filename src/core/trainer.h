@@ -1,0 +1,55 @@
+// Training loops for both tasks (paper §3.3, §4, §5).
+//
+// Both trainers draw examples evenly per model family to counter the
+// dataset imbalance of §4 (ResNet variants have 300x more samples than
+// AlexNet variants). The tile-size trainer builds rank-loss batches from
+// tile configs of a single kernel; the fusion trainer builds MSE batches of
+// kernels with log-transformed runtime targets.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "dataset/datasets.h"
+
+namespace tpuperf::core {
+
+// Prepare() results cached by kernel fingerprint (duplicate kernels across
+// and within programs share featurization).
+class PreparedCache {
+ public:
+  explicit PreparedCache(const LearnedCostModel& model) : model_(model) {}
+
+  const PreparedKernel& Get(const ir::Graph& kernel, std::uint64_t fingerprint);
+
+  std::size_t size() const noexcept { return cache_.size(); }
+
+ private:
+  const LearnedCostModel& model_;
+  std::unordered_map<std::uint64_t, PreparedKernel> cache_;
+};
+
+struct TrainStats {
+  long steps = 0;
+  double first_loss = 0;
+  double final_loss = 0;   // mean over the last eval window
+  double wall_seconds = 0;
+};
+
+// Fits the model's feature scalers on the training slice of the tile-size
+// dataset and trains with the configured rank (or ablation MSE) loss.
+TrainStats TrainTileTask(LearnedCostModel& model,
+                         const data::TileDataset& dataset,
+                         std::span<const int> train_program_ids,
+                         PreparedCache& cache);
+
+// Fits scalers on the training slice of the fusion dataset and trains with
+// squared error on log runtimes.
+TrainStats TrainFusionTask(LearnedCostModel& model,
+                           const data::FusionDataset& dataset,
+                           std::span<const int> train_program_ids,
+                           PreparedCache& cache);
+
+}  // namespace tpuperf::core

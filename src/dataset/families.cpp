@@ -1,0 +1,609 @@
+#include "dataset/families.h"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "ir/builder.h"
+
+namespace tpuperf::data {
+namespace {
+
+using ir::GraphBuilder;
+using ir::NodeId;
+using ir::OpCode;
+using ir::Padding;
+using ir::Shape;
+
+// ---- Reusable model sub-blocks -------------------------------------------
+
+NodeId ConvBnRelu(GraphBuilder& b, NodeId x, std::int64_t filters,
+                  std::int64_t k, std::int64_t stride,
+                  Padding pad = Padding::kSame) {
+  const std::int64_t cin = b.shape_of(x).dim(3);
+  const NodeId w = b.Parameter(Shape({k, k, cin, filters}));
+  NodeId y = b.Conv2d(x, w, stride, pad);
+  const NodeId scale = b.Parameter(Shape({filters}));
+  const NodeId offset = b.Parameter(Shape({filters}));
+  y = b.BatchNorm(y, scale, offset);
+  return b.Relu(y);
+}
+
+NodeId ResidualBlockV1(GraphBuilder& b, NodeId x, std::int64_t filters) {
+  NodeId y = ConvBnRelu(b, x, filters, 3, 1);
+  const std::int64_t cin = b.shape_of(y).dim(3);
+  const NodeId w = b.Parameter(Shape({3, 3, cin, filters}));
+  y = b.Conv2d(y, w, 1, Padding::kSame);
+  const NodeId scale = b.Parameter(Shape({filters}));
+  const NodeId offset = b.Parameter(Shape({filters}));
+  y = b.BatchNorm(y, scale, offset);
+  NodeId shortcut = x;
+  if (b.shape_of(x).dim(3) != filters) {
+    const NodeId pw = b.Parameter(Shape({1, 1, b.shape_of(x).dim(3), filters}));
+    shortcut = b.Conv2d(x, pw, 1, Padding::kSame);
+  }
+  return b.Relu(b.Binary(OpCode::kAdd, y, shortcut));
+}
+
+// Pre-activation variant (ResNet v2 ordering).
+NodeId ResidualBlockV2(GraphBuilder& b, NodeId x, std::int64_t filters) {
+  const std::int64_t cin = b.shape_of(x).dim(3);
+  const NodeId s1 = b.Parameter(Shape({cin}));
+  const NodeId o1 = b.Parameter(Shape({cin}));
+  NodeId y = b.Relu(b.BatchNorm(x, s1, o1));
+  const NodeId w1 = b.Parameter(Shape({3, 3, cin, filters}));
+  y = b.Conv2d(y, w1, 1, Padding::kSame);
+  const NodeId s2 = b.Parameter(Shape({filters}));
+  const NodeId o2 = b.Parameter(Shape({filters}));
+  y = b.Relu(b.BatchNorm(y, s2, o2));
+  const NodeId w2 = b.Parameter(Shape({3, 3, filters, filters}));
+  y = b.Conv2d(y, w2, 1, Padding::kSame);
+  NodeId shortcut = x;
+  if (cin != filters) {
+    const NodeId pw = b.Parameter(Shape({1, 1, cin, filters}));
+    shortcut = b.Conv2d(x, pw, 1, Padding::kSame);
+  }
+  return b.Binary(OpCode::kAdd, y, shortcut);
+}
+
+// Mean + variance layer normalization built from primitives (~12 nodes).
+NodeId LayerNormish(GraphBuilder& b, NodeId x) {
+  const Shape& s = b.shape_of(x);
+  const std::int64_t d = s.dim(s.rank() - 1);
+  NodeId mean = b.Reduce(x, {s.rank() - 1});
+  mean = b.Binary(OpCode::kMultiply, mean,
+                  b.Constant(b.shape_of(mean)));  // 1/d scaling constant
+  NodeId centered = b.Binary(OpCode::kSubtract, x, b.Broadcast(mean, s));
+  NodeId var = b.Reduce(b.Binary(OpCode::kMultiply, centered, centered),
+                        {s.rank() - 1});
+  NodeId inv = b.Unary(OpCode::kRsqrt,
+                       b.Binary(OpCode::kAdd, var, b.Constant(b.shape_of(var))));
+  NodeId normed = b.Binary(OpCode::kMultiply, centered, b.Broadcast(inv, s));
+  const NodeId gain = b.Parameter(Shape({d}));
+  normed = b.Binary(OpCode::kMultiply, normed, b.Broadcast(gain, s));
+  const NodeId bias = b.Parameter(Shape({d}));
+  return b.Binary(OpCode::kAdd, normed, b.Broadcast(bias, s));
+}
+
+// One LSTM cell step over [batch, in] with hidden size h.
+struct LstmState {
+  NodeId h;
+  NodeId c;
+};
+
+LstmState LstmCell(GraphBuilder& b, NodeId x, LstmState state,
+                   std::int64_t hidden) {
+  const auto gate = [&](OpCode activation) {
+    NodeId xw = b.Dot(x, b.Parameter(Shape({b.shape_of(x).dim(1), hidden})));
+    NodeId hw = b.Dot(state.h,
+                      b.Parameter(Shape({b.shape_of(state.h).dim(1), hidden})));
+    NodeId z = b.Binary(OpCode::kAdd, xw, hw);
+    z = b.AddBias(z, b.Parameter(Shape({hidden})));
+    return b.Unary(activation, z);
+  };
+  const NodeId i = gate(OpCode::kLogistic);
+  const NodeId f = gate(OpCode::kLogistic);
+  const NodeId g = gate(OpCode::kTanh);
+  const NodeId o = gate(OpCode::kLogistic);
+  LstmState next;
+  next.c = b.Binary(OpCode::kAdd, b.Binary(OpCode::kMultiply, f, state.c),
+                    b.Binary(OpCode::kMultiply, i, g));
+  next.h = b.Binary(OpCode::kMultiply, o, b.Unary(OpCode::kTanh, next.c));
+  return next;
+}
+
+// Single-head scaled-dot attention over [n, d] sequences.
+NodeId AttentionBlock(GraphBuilder& b, NodeId x) {
+  const std::int64_t d = b.shape_of(x).dim(1);
+  NodeId q = b.Dot(x, b.Parameter(Shape({d, d})));
+  NodeId k = b.Dot(x, b.Parameter(Shape({d, d})));
+  NodeId v = b.Dot(x, b.Parameter(Shape({d, d})));
+  NodeId scores = b.Dot(q, b.Transpose(k, {1, 0}));
+  scores = b.Binary(OpCode::kMultiply, scores, b.Constant(b.shape_of(scores)));
+  NodeId attn = b.Softmax(scores);
+  NodeId ctx = b.Dot(attn, v);
+  NodeId merged = b.Dot(ctx, b.Parameter(Shape({d, d})));
+  return b.Binary(OpCode::kAdd, x, merged);
+}
+
+NodeId TransformerBlock(GraphBuilder& b, NodeId x) {
+  NodeId h = AttentionBlock(b, LayerNormish(b, x));
+  const std::int64_t d = b.shape_of(h).dim(1);
+  NodeId f = LayerNormish(b, h);
+  f = b.Dense(f, 2 * d, /*relu=*/true);
+  f = b.Dense(f, d, /*relu=*/false);
+  return b.Binary(OpCode::kAdd, h, f);
+}
+
+// 1-D convolution over sequences represented as [batch, 1, time, channels].
+NodeId Conv1d(GraphBuilder& b, NodeId x, std::int64_t filters, std::int64_t k,
+              std::int64_t stride) {
+  const std::int64_t cin = b.shape_of(x).dim(3);
+  const NodeId w = b.Parameter(Shape({1, k, cin, filters}));
+  return b.Relu(b.Conv2d(x, w, stride, Padding::kSame));
+}
+
+// ---- Family builders -------------------------------------------------------
+
+ir::Program ResNetV1(int variant) {
+  const std::int64_t batches[] = {32, 64, 128, 256};
+  const int depths[] = {2, 3, 4};
+  const std::int64_t batch = batches[variant % 4];
+  const int blocks_per_stage = depths[(variant / 4) % 3];
+  GraphBuilder b;
+  NodeId x = b.Parameter(Shape({batch, 32, 32, 3}));
+  NodeId h = ConvBnRelu(b, x, 16, 3, 1);
+  std::int64_t filters = 16;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int block = 0; block < blocks_per_stage; ++block) {
+      h = ResidualBlockV1(b, h, filters);
+    }
+    if (stage < 2) {
+      h = b.Pool2d(h, 2, 2);
+      filters *= 2;
+    }
+  }
+  h = b.Reduce(h, {1, 2});  // global average pool
+  h = b.Dense(h, 10, /*relu=*/false);
+  NodeId out = b.Softmax(h);
+  b.MarkOutput(out);
+  return ir::Program{"resnet_v1_v" + std::to_string(variant), "ResNetV1",
+                     std::move(b).Build()};
+}
+
+ir::Program ResNetV2(int variant) {
+  const std::int64_t batches[] = {16, 32, 64, 128, 256};
+  const std::int64_t batch = batches[variant % 5];
+  const int blocks_per_stage = 2 + (variant / 5) % 2;
+  GraphBuilder b;
+  NodeId x = b.Parameter(Shape({batch, 32, 32, 3}));
+  NodeId h = ConvBnRelu(b, x, 16, 3, 1);
+  std::int64_t filters = 16;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int block = 0; block < blocks_per_stage; ++block) {
+      h = ResidualBlockV2(b, h, filters);
+    }
+    if (stage < 2) {
+      h = b.Pool2d(h, 2, 2);
+      filters *= 2;
+    }
+  }
+  h = b.Reduce(h, {1, 2});
+  h = b.Dense(h, 10, /*relu=*/false);
+  b.MarkOutput(b.Softmax(h));
+  return ir::Program{"resnet_v2_v" + std::to_string(variant), "ResNetV2",
+                     std::move(b).Build()};
+}
+
+ir::Program InceptionLike(int variant) {
+  const std::int64_t batch = (variant % 2 == 0) ? 32 : 64;
+  const int num_blocks = 2 + (variant / 2) % 2;
+  const std::int64_t width = (variant / 4 == 0) ? 16 : 32;
+  GraphBuilder b;
+  NodeId x = b.Parameter(Shape({batch, 32, 32, 3}));
+  NodeId h = ConvBnRelu(b, x, width, 3, 1);
+  for (int block = 0; block < num_blocks; ++block) {
+    const NodeId b1 = ConvBnRelu(b, h, width, 1, 1);
+    const NodeId b3 = ConvBnRelu(b, ConvBnRelu(b, h, width / 2, 1, 1), width, 3, 1);
+    const NodeId b5 = ConvBnRelu(b, ConvBnRelu(b, h, width / 2, 1, 1), width, 5, 1);
+    const std::int64_t cin = b.shape_of(h).dim(3);
+    const NodeId pw = b.Parameter(Shape({1, 1, cin, width}));
+    const NodeId bp = b.Conv2d(h, pw, 1, Padding::kSame);
+    h = b.Concatenate({b1, b3, b5, bp}, 3);
+  }
+  h = b.Reduce(h, {1, 2});
+  h = b.Dense(h, 100, /*relu=*/false);
+  b.MarkOutput(b.Softmax(h));
+  return ir::Program{"inception_v" + std::to_string(variant), "InceptionLike",
+                     std::move(b).Build()};
+}
+
+ir::Program AlexNetLike(int variant) {
+  GraphBuilder b;
+  NodeId x = b.Parameter(Shape({64, 56, 56, 3}));
+  NodeId h = ConvBnRelu(b, x, 48, 11, 4, Padding::kValid);
+  h = b.Pool2d(h, 3, 2);
+  h = ConvBnRelu(b, h, 128, 5, 1);
+  h = b.Pool2d(h, 2, 2);
+  h = ConvBnRelu(b, h, 192, 3, 1);
+  h = ConvBnRelu(b, h, 128, 3, 1);
+  const Shape& s = b.shape_of(h);
+  h = b.Reshape(h, Shape({s.dim(0), s.dim(1) * s.dim(2) * s.dim(3)}));
+  h = b.Dense(h, 512);
+  h = b.Dense(h, 256);
+  h = b.Dense(h, 100, /*relu=*/false);
+  b.MarkOutput(b.Softmax(h));
+  return ir::Program{"alexnet_v" + std::to_string(variant), "AlexNetLike",
+                     std::move(b).Build()};
+}
+
+ir::Program SsdLike(int variant) {
+  const std::int64_t batch = 8 * (1 + variant % 3);
+  const std::int64_t width = (variant / 3 == 0) ? 24 : 40;
+  GraphBuilder b;
+  NodeId x = b.Parameter(Shape({batch, 64, 64, 3}));
+  NodeId h = ConvBnRelu(b, x, width, 3, 2);
+  std::vector<NodeId> head_outputs;
+  std::int64_t filters = width;
+  for (int scale = 0; scale < 3; ++scale) {
+    h = ConvBnRelu(b, h, filters, 3, 1);
+    // Class + box heads at this scale.
+    const std::int64_t cin = b.shape_of(h).dim(3);
+    const NodeId cls_w = b.Parameter(Shape({3, 3, cin, 12}));
+    NodeId cls = b.Conv2d(h, cls_w, 1, Padding::kSame);
+    const NodeId box_w = b.Parameter(Shape({3, 3, cin, 16}));
+    NodeId box = b.Conv2d(h, box_w, 1, Padding::kSame);
+    const Shape& cs = b.shape_of(cls);
+    cls = b.Reshape(cls, Shape({cs.dim(0), cs.dim(1) * cs.dim(2) * cs.dim(3)}));
+    const Shape& bs = b.shape_of(box);
+    box = b.Reshape(box, Shape({bs.dim(0), bs.dim(1) * bs.dim(2) * bs.dim(3)}));
+    head_outputs.push_back(cls);
+    head_outputs.push_back(box);
+    h = b.Pool2d(h, 2, 2);
+    filters += width / 2;
+  }
+  NodeId merged = b.Concatenate(head_outputs, 1);
+  b.MarkOutput(b.Unary(OpCode::kLogistic, merged));
+  return ir::Program{"ssd_v" + std::to_string(variant), "SSDLike",
+                     std::move(b).Build()};
+}
+
+ir::Program Nmt(int variant) {
+  const std::int64_t batch = (variant % 2 == 0) ? 16 : 32;
+  const std::int64_t hidden = (variant / 2 % 2 == 0) ? 128 : 256;
+  const int steps = 3 + (variant / 4) % 2;
+  GraphBuilder b;
+  LstmState enc{b.Parameter(Shape({batch, hidden})),
+                b.Parameter(Shape({batch, hidden}))};
+  std::vector<NodeId> enc_states;
+  for (int t = 0; t < steps; ++t) {
+    const NodeId x = b.Parameter(Shape({batch, hidden}));
+    enc = LstmCell(b, x, enc, hidden);
+    enc_states.push_back(enc.h);
+  }
+  // Attention over encoder states.
+  NodeId memory = b.Concatenate(enc_states, 0);  // [steps*batch, hidden]
+  NodeId query = b.Dot(enc.h, b.Parameter(Shape({hidden, hidden})));
+  NodeId scores = b.Dot(query, b.Transpose(memory, {1, 0}));
+  NodeId attn = b.Softmax(scores);
+  NodeId ctx = b.Dot(attn, memory);
+  // Decoder step + projection.
+  LstmState dec{ctx, b.Parameter(Shape({batch, hidden}))};
+  dec = LstmCell(b, enc.h, dec, hidden);
+  NodeId logits = b.Dense(dec.h, 512, /*relu=*/false);
+  b.MarkOutput(b.Softmax(logits));
+  return ir::Program{"nmt_v" + std::to_string(variant), "NMT",
+                     std::move(b).Build()};
+}
+
+ir::Program TranslateLike(int variant) {
+  const std::int64_t batch = 16 + 16 * (variant % 3);
+  const std::int64_t hidden = (variant / 3 == 0) ? 128 : 192;
+  GraphBuilder b;
+  NodeId x = b.Parameter(Shape({batch, hidden}));
+  // Stacked GRU-ish cells.
+  NodeId h = b.Parameter(Shape({batch, hidden}));
+  for (int layer = 0; layer < 3; ++layer) {
+    NodeId z = b.Unary(
+        OpCode::kLogistic,
+        b.Binary(OpCode::kAdd,
+                 b.Dot(x, b.Parameter(Shape({hidden, hidden}))),
+                 b.Dot(h, b.Parameter(Shape({hidden, hidden})))));
+    NodeId r = b.Unary(
+        OpCode::kLogistic,
+        b.Binary(OpCode::kAdd,
+                 b.Dot(x, b.Parameter(Shape({hidden, hidden}))),
+                 b.Dot(h, b.Parameter(Shape({hidden, hidden})))));
+    NodeId cand = b.Unary(
+        OpCode::kTanh,
+        b.Binary(OpCode::kAdd,
+                 b.Dot(x, b.Parameter(Shape({hidden, hidden}))),
+                 b.Dot(b.Binary(OpCode::kMultiply, r, h),
+                       b.Parameter(Shape({hidden, hidden})))));
+    const NodeId ones = b.Constant(b.shape_of(z));
+    NodeId keep = b.Binary(OpCode::kSubtract, ones, z);
+    h = b.Binary(OpCode::kAdd, b.Binary(OpCode::kMultiply, keep, h),
+                 b.Binary(OpCode::kMultiply, z, cand));
+    x = h;
+  }
+  NodeId logits = b.Dense(h, 1024, /*relu=*/false);
+  b.MarkOutput(b.Softmax(logits));
+  return ir::Program{"translate_v" + std::to_string(variant), "TranslateLike",
+                     std::move(b).Build()};
+}
+
+ir::Program TransformerLm(int variant) {
+  const std::int64_t tokens = (variant % 2 == 0) ? 64 : 128;  // batch*seq
+  const std::int64_t dmodel = (variant / 2 % 2 == 0) ? 128 : 256;
+  const int blocks = 1 + (variant / 4) % 2;
+  GraphBuilder b;
+  NodeId h = b.Parameter(Shape({tokens, dmodel}));
+  for (int block = 0; block < blocks; ++block) h = TransformerBlock(b, h);
+  h = LayerNormish(b, h);
+  NodeId logits = b.Dense(h, 1024, /*relu=*/false);
+  b.MarkOutput(b.Softmax(logits));
+  return ir::Program{"transformer_lm_v" + std::to_string(variant),
+                     "TransformerLM", std::move(b).Build()};
+}
+
+ir::Program RnnLm(int variant) {
+  const std::int64_t batch = (variant % 2 == 0) ? 32 : 64;
+  const std::int64_t hidden = (variant / 2 % 3 == 0) ? 64
+                              : (variant / 2 % 3 == 1) ? 128 : 96;
+  GraphBuilder b;
+  LstmState s{b.Parameter(Shape({batch, hidden})),
+              b.Parameter(Shape({batch, hidden}))};
+  for (int t = 0; t < 4; ++t) {
+    const NodeId x = b.Parameter(Shape({batch, hidden}));
+    s = LstmCell(b, x, s, hidden);
+  }
+  NodeId logits = b.Dense(s.h, 2048, /*relu=*/false);
+  b.MarkOutput(b.Softmax(logits));
+  return ir::Program{"rnn_lm_v" + std::to_string(variant), "RNNLM",
+                     std::move(b).Build()};
+}
+
+ir::Program WaveRnnLike(int variant) {
+  const std::int64_t batch = 4 + 4 * (variant % 3);
+  const std::int64_t hidden = (variant / 3 == 0) ? 128 : 256;
+  GraphBuilder b;
+  // Conditioning conv1d pre-net over a short audio window.
+  NodeId cond = b.Parameter(Shape({batch, 1, 32, 16}));
+  cond = Conv1d(b, cond, 32, 5, 1);
+  cond = Conv1d(b, cond, 32, 5, 2);
+  const Shape& cs = b.shape_of(cond);
+  NodeId flat =
+      b.Reshape(cond, Shape({cs.dim(0), cs.dim(1) * cs.dim(2) * cs.dim(3)}));
+  NodeId proj = b.Dense(flat, hidden, /*relu=*/true);
+  // Sample-level GRU-ish core + dual softmax heads (coarse/fine).
+  LstmState s{proj, b.Parameter(Shape({batch, hidden}))};
+  s = LstmCell(b, proj, s, hidden);
+  NodeId coarse = b.Dense(s.h, 256, /*relu=*/false);
+  NodeId fine = b.Dense(s.h, 256, /*relu=*/false);
+  b.MarkOutput(b.Softmax(coarse));
+  b.MarkOutput(b.Softmax(fine));
+  return ir::Program{"wavernn_v" + std::to_string(variant), "WaveRNNLike",
+                     std::move(b).Build()};
+}
+
+ir::Program ConvDrawLike(int variant) {
+  const std::int64_t batch = 8 * (1 + variant % 2);
+  const std::int64_t width = (variant / 2 % 3 == 0) ? 16
+                             : (variant / 2 % 3 == 1) ? 24 : 32;
+  GraphBuilder b;
+  NodeId x = b.Parameter(Shape({batch, 32, 32, 3}));
+  // Recurrent read/write loop, unrolled twice.
+  NodeId canvas = b.Parameter(Shape({batch, 32, 32, 3}));
+  LstmState s{b.Parameter(Shape({batch, 128})),
+              b.Parameter(Shape({batch, 128}))};
+  for (int step = 0; step < 2; ++step) {
+    NodeId err = b.Binary(OpCode::kSubtract, x, canvas);
+    NodeId enc = ConvBnRelu(b, err, width, 5, 2);
+    enc = ConvBnRelu(b, enc, width * 2, 5, 2);
+    const Shape& es = b.shape_of(enc);
+    NodeId flat =
+        b.Reshape(enc, Shape({es.dim(0), es.dim(1) * es.dim(2) * es.dim(3)}));
+    NodeId zmu = b.Dense(flat, 128, /*relu=*/false);
+    NodeId zlogvar = b.Dense(flat, 128, /*relu=*/false);
+    NodeId z = b.Binary(
+        OpCode::kAdd, zmu,
+        b.Binary(OpCode::kMultiply,
+                 b.Unary(OpCode::kExp, zlogvar),
+                 b.Parameter(Shape({batch, 128}))));  // noise input
+    s = LstmCell(b, z, s, 128);
+    NodeId dec = b.Dense(s.h, 32 * 32 * 3, /*relu=*/false);
+    NodeId patch = b.Reshape(dec, Shape({batch, 32, 32, 3}));
+    canvas = b.Binary(OpCode::kAdd, canvas, patch);
+  }
+  b.MarkOutput(b.Unary(OpCode::kLogistic, canvas));
+  return ir::Program{"convdraw_v" + std::to_string(variant), "ConvDrawLike",
+                     std::move(b).Build()};
+}
+
+ir::Program DlrmLike(int variant) {
+  GraphBuilder b;
+  const std::int64_t batch = 128;
+  // Bottom MLP over dense features.
+  NodeId dense = b.Parameter(Shape({batch, 13}));
+  NodeId bot = b.Dense(dense, 64);
+  bot = b.Dense(bot, 32);
+  // Sparse embeddings arrive as already-gathered vectors.
+  std::vector<NodeId> features = {bot};
+  for (int f = 0; f < 8; ++f) {
+    features.push_back(b.Parameter(Shape({batch, 32})));
+  }
+  NodeId stacked = b.Concatenate(features, 1);  // [batch, 9*32]
+  // Pairwise feature interactions via a dot product.
+  NodeId inter =
+      b.Dot(stacked, b.Parameter(Shape({b.shape_of(stacked).dim(1), 64})));
+  NodeId top_in = b.Concatenate({bot, inter}, 1);
+  NodeId top = b.Dense(top_in, 128);
+  top = b.Dense(top, 64);
+  top = b.Dense(top, 1, /*relu=*/false);
+  b.MarkOutput(b.Unary(OpCode::kLogistic, top));
+  return ir::Program{"dlrm_v" + std::to_string(variant), "DLRMLike",
+                     std::move(b).Build()};
+}
+
+ir::Program AutoCompletionLm(int variant) {
+  const std::int64_t batch = 8 + 8 * (variant % 2);
+  const std::int64_t hidden = (variant / 2 == 0) ? 48 : 64;
+  GraphBuilder b;
+  LstmState s{b.Parameter(Shape({batch, hidden})),
+              b.Parameter(Shape({batch, hidden}))};
+  for (int t = 0; t < 2; ++t) {
+    const NodeId x = b.Parameter(Shape({batch, hidden}));
+    s = LstmCell(b, x, s, hidden);
+  }
+  NodeId logits = b.Dense(s.h, 256, /*relu=*/false);
+  b.MarkOutput(b.Softmax(logits));
+  return ir::Program{"autocomplete_v" + std::to_string(variant),
+                     "AutoCompletionLM", std::move(b).Build()};
+}
+
+ir::Program SmartComposeLike(int variant) {
+  const std::int64_t batch = 16 * (1 + variant % 2);
+  const std::int64_t hidden = (variant / 2 == 0) ? 96 : 160;
+  GraphBuilder b;
+  NodeId prefix = b.Parameter(Shape({batch, hidden}));
+  NodeId context = b.Parameter(Shape({batch, hidden}));
+  NodeId joined = b.Concatenate({prefix, context}, 1);
+  LstmState s{b.Parameter(Shape({batch, hidden})),
+              b.Parameter(Shape({batch, hidden}))};
+  s = LstmCell(b, joined, s, hidden);
+  s = LstmCell(b, s.h, s, hidden);
+  NodeId logits = b.Dense(s.h, 4096, /*relu=*/false);
+  b.MarkOutput(b.Softmax(logits));
+  return ir::Program{"smartcompose_v" + std::to_string(variant),
+                     "SmartComposeLike", std::move(b).Build()};
+}
+
+ir::Program Char2FeatsLike(int variant) {
+  const std::int64_t batch = 16 * (1 + variant % 2);
+  const std::int64_t width = (variant / 2 == 0) ? 32 : 48;
+  GraphBuilder b;
+  NodeId chars = b.Parameter(Shape({batch, 1, 64, 16}));
+  NodeId h = Conv1d(b, chars, width, 3, 1);
+  h = Conv1d(b, h, width, 3, 2);
+  h = Conv1d(b, h, width * 2, 3, 2);
+  h = b.Reduce(h, {1, 2});  // pool over time
+  h = b.Dense(h, 128);
+  h = b.Dense(h, 64, /*relu=*/false);
+  b.MarkOutput(b.Unary(OpCode::kTanh, h));
+  return ir::Program{"char2feats_v" + std::to_string(variant),
+                     "Char2FeatsLike", std::move(b).Build()};
+}
+
+ir::Program RankingLike(int variant) {
+  const std::int64_t batch = 64 * (1 + variant % 3);
+  const std::int64_t width = (variant / 3 == 0) ? 128 : 256;
+  GraphBuilder b;
+  NodeId query = b.Parameter(Shape({batch, 64}));
+  NodeId doc = b.Parameter(Shape({batch, 256}));
+  NodeId q = b.Dense(query, width);
+  q = b.Dense(q, width / 2);
+  NodeId d = b.Dense(doc, width);
+  d = b.Dense(d, width / 2);
+  NodeId joined = b.Concatenate({q, d, b.Binary(OpCode::kMultiply, q, d)}, 1);
+  NodeId h = b.Dense(joined, width);
+  h = b.Dense(h, width / 4);
+  h = b.Dense(h, 1, /*relu=*/false);
+  b.MarkOutput(b.Unary(OpCode::kLogistic, h));
+  return ir::Program{"ranking_v" + std::to_string(variant), "RankingLike",
+                     std::move(b).Build()};
+}
+
+ir::Program ImageEmbedLike(int variant) {
+  const std::int64_t batch = 16 * (1 + variant % 2);
+  const std::int64_t width = (variant / 2 == 0) ? 24 : 40;
+  GraphBuilder b;
+  NodeId x = b.Parameter(Shape({batch, 48, 48, 3}));
+  NodeId h = ConvBnRelu(b, x, width, 5, 2);
+  h = ConvBnRelu(b, h, width * 2, 3, 2);
+  h = ConvBnRelu(b, h, width * 2, 3, 1);
+  h = b.Reduce(h, {1, 2});
+  h = b.Dense(h, 128, /*relu=*/false);
+  // L2 normalize the embedding.
+  NodeId sq = b.Binary(OpCode::kMultiply, h, h);
+  NodeId norm = b.Reduce(sq, {1});
+  NodeId inv = b.Unary(OpCode::kRsqrt,
+                       b.Binary(OpCode::kAdd, norm, b.Constant(b.shape_of(norm))));
+  NodeId out = b.Binary(OpCode::kMultiply, h, b.Broadcast(inv, b.shape_of(h)));
+  b.MarkOutput(out);
+  return ir::Program{"imageembed_v" + std::to_string(variant),
+                     "ImageEmbedLike", std::move(b).Build()};
+}
+
+ir::Program Feats2WaveLike(int variant) {
+  const std::int64_t batch = 4 * (1 + variant % 2);
+  const std::int64_t width = (variant / 2 == 0) ? 32 : 64;
+  GraphBuilder b;
+  NodeId feats = b.Parameter(Shape({batch, 64}));
+  NodeId h = b.Dense(feats, 1 * 64 * width, /*relu=*/true);
+  h = b.Reshape(h, Shape({batch, 1, 64, width}));
+  h = Conv1d(b, h, width, 9, 1);
+  h = Conv1d(b, h, width, 9, 1);
+  h = Conv1d(b, h, 16, 5, 1);
+  const Shape& s = b.shape_of(h);
+  h = b.Reshape(h, Shape({s.dim(0), s.dim(1) * s.dim(2) * s.dim(3)}));
+  h = b.Dense(h, 1024, /*relu=*/false);
+  b.MarkOutput(b.Unary(OpCode::kTanh, h));
+  return ir::Program{"feats2wave_v" + std::to_string(variant),
+                     "Feats2WaveLike", std::move(b).Build()};
+}
+
+struct FamilySpec {
+  const char* name;
+  int variants;
+  ir::Program (*build)(int);
+};
+
+const FamilySpec kFamilies[] = {
+    {"ResNetV1", 12, ResNetV1},
+    {"ResNetV2", 10, ResNetV2},
+    {"InceptionLike", 8, InceptionLike},
+    {"NMT", 8, Nmt},
+    {"TransformerLM", 8, TransformerLm},
+    {"TranslateLike", 6, TranslateLike},
+    {"RNNLM", 6, RnnLm},
+    {"WaveRNNLike", 6, WaveRnnLike},
+    {"SSDLike", 6, SsdLike},
+    {"ConvDrawLike", 6, ConvDrawLike},
+    {"AlexNetLike", 1, AlexNetLike},
+    {"DLRMLike", 1, DlrmLike},
+    {"AutoCompletionLM", 4, AutoCompletionLm},
+    {"SmartComposeLike", 4, SmartComposeLike},
+    {"Char2FeatsLike", 4, Char2FeatsLike},
+    {"RankingLike", 6, RankingLike},
+    {"ImageEmbedLike", 4, ImageEmbedLike},
+    {"Feats2WaveLike", 4, Feats2WaveLike},
+};
+
+}  // namespace
+
+std::vector<ir::Program> GenerateCorpus() {
+  std::vector<ir::Program> corpus;
+  corpus.reserve(104);
+  for (const FamilySpec& family : kFamilies) {
+    for (int v = 0; v < family.variants; ++v) {
+      corpus.push_back(family.build(v));
+    }
+  }
+  return corpus;
+}
+
+std::vector<std::string> FamilyNames() {
+  std::vector<std::string> names;
+  for (const FamilySpec& family : kFamilies) names.emplace_back(family.name);
+  return names;
+}
+
+ir::Program BuildProgram(const std::string& family, int variant) {
+  for (const FamilySpec& spec : kFamilies) {
+    if (family == spec.name) return spec.build(variant % spec.variants);
+  }
+  throw std::invalid_argument("unknown family: " + family);
+}
+
+}  // namespace tpuperf::data

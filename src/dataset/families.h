@@ -1,0 +1,33 @@
+// Synthetic XLA program corpus (paper §4).
+//
+// The paper's dataset is "104 XLA programs used in production or commonly in
+// research". This generator reproduces the corpus structure with 18 model
+// families named after the paper's benchmarks — convolutional vision models
+// (ResNet v1/v2, Inception, AlexNet, SSD), sequence models (NMT, Translate,
+// Transformer LM, RNN LM, WaveRNN, auto-completion, SmartCompose,
+// Char2Feats), generative/conv-seq hybrids (ConvDraw, Feats2Wave), and
+// dense recommendation/retrieval models (DLRM, Ranking, ImageEmbed) — each
+// expanded into depth/width/batch variants.
+//
+// The family imbalance of §4 ("many variations of ResNet models, but just
+// one AlexNet model and one DLRM model") is reproduced deliberately: the
+// trainer must draw examples evenly per family to cope.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.h"
+
+namespace tpuperf::data {
+
+// Generates the full 104-program corpus, deterministically.
+std::vector<ir::Program> GenerateCorpus();
+
+// Family names in generation order (18 families).
+std::vector<std::string> FamilyNames();
+
+// Builds a single small program of the given family and variant, for tests
+// and examples. Throws std::invalid_argument on unknown family names.
+ir::Program BuildProgram(const std::string& family, int variant);
+
+}  // namespace tpuperf::data

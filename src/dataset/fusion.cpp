@@ -1,0 +1,320 @@
+#include "dataset/fusion.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "sim/hash.h"
+
+namespace tpuperf::data {
+namespace {
+
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpCode;
+
+bool IsInlinedInput(OpCode op) {
+  return op == OpCode::kParameter || op == OpCode::kConstant ||
+         op == OpCode::kIota;
+}
+
+// Union-find over node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[static_cast<size_t>(a)] = b;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+EdgeList EdgeList::FromGraph(const Graph& graph) {
+  EdgeList list;
+  for (const Node& n : graph.nodes()) {
+    for (const NodeId operand : n.operands) {
+      if (IsInlinedInput(graph.node(operand).op)) continue;
+      list.edges.push_back(Edge{operand, n.id});
+    }
+  }
+  return list;
+}
+
+std::uint64_t FusionConfig::Fingerprint() const {
+  std::uint64_t h = 0xfeedc0ffee123457ull;
+  for (size_t i = 0; i < fuse_edge.size(); ++i) {
+    if (fuse_edge[i]) h = sim::HashCombine(h, static_cast<std::uint64_t>(i));
+  }
+  return h;
+}
+
+std::optional<std::vector<int>> DerivePartition(const Graph& graph,
+                                                const EdgeList& edges,
+                                                const FusionConfig& config,
+                                                const FusionLimits& limits) {
+  if (config.fuse_edge.size() != edges.edges.size()) {
+    throw std::invalid_argument("DerivePartition: config/edge size mismatch");
+  }
+  const int n = graph.num_nodes();
+  UnionFind uf(n);
+  for (size_t e = 0; e < edges.edges.size(); ++e) {
+    if (config.fuse_edge[e]) {
+      uf.Union(edges.edges[e].producer, edges.edges[e].consumer);
+    }
+  }
+
+  // Compact group ids.
+  std::vector<int> group_of(static_cast<size_t>(n), -1);
+  std::map<int, int> remap;
+  for (int i = 0; i < n; ++i) {
+    const int root = uf.Find(i);
+    auto [it, inserted] = remap.try_emplace(root, static_cast<int>(remap.size()));
+    group_of[static_cast<size_t>(i)] = it->second;
+  }
+  const int num_groups = static_cast<int>(remap.size());
+
+  // Group size bound (computation nodes only).
+  std::vector<int> group_size(static_cast<size_t>(num_groups), 0);
+  for (const Node& node : graph.nodes()) {
+    if (IsInlinedInput(node.op)) continue;
+    if (++group_size[static_cast<size_t>(
+            group_of[static_cast<size_t>(node.id)])] >
+        limits.max_group_nodes) {
+      return std::nullopt;
+    }
+  }
+
+  // Acyclicity of the condensed group graph (Kahn's algorithm).
+  std::vector<std::vector<int>> succ(static_cast<size_t>(num_groups));
+  std::vector<int> indegree(static_cast<size_t>(num_groups), 0);
+  for (const Node& node : graph.nodes()) {
+    const int g_to = group_of[static_cast<size_t>(node.id)];
+    for (const NodeId operand : node.operands) {
+      const int g_from = group_of[static_cast<size_t>(operand)];
+      if (g_from == g_to) continue;
+      succ[static_cast<size_t>(g_from)].push_back(g_to);
+      ++indegree[static_cast<size_t>(g_to)];
+    }
+  }
+  std::queue<int> ready;
+  for (int g = 0; g < num_groups; ++g) {
+    if (indegree[static_cast<size_t>(g)] == 0) ready.push(g);
+  }
+  int visited = 0;
+  while (!ready.empty()) {
+    const int g = ready.front();
+    ready.pop();
+    ++visited;
+    for (const int s : succ[static_cast<size_t>(g)]) {
+      if (--indegree[static_cast<size_t>(s)] == 0) ready.push(s);
+    }
+  }
+  if (visited != num_groups) return std::nullopt;  // cycle
+  return group_of;
+}
+
+std::vector<ir::Kernel> ExtractKernels(const Graph& graph,
+                                       const std::vector<int>& group_of) {
+  const int num_groups =
+      group_of.empty() ? 0
+                       : 1 + *std::max_element(group_of.begin(), group_of.end());
+
+  // Which nodes' values cross group boundaries or leave the program?
+  std::vector<bool> crosses(static_cast<size_t>(graph.num_nodes()), false);
+  {
+    std::vector<bool> has_user(static_cast<size_t>(graph.num_nodes()), false);
+    for (const Node& node : graph.nodes()) {
+      for (const NodeId operand : node.operands) {
+        has_user[static_cast<size_t>(operand)] = true;
+        if (group_of[static_cast<size_t>(operand)] !=
+            group_of[static_cast<size_t>(node.id)]) {
+          crosses[static_cast<size_t>(operand)] = true;
+        }
+      }
+    }
+    for (const Node& node : graph.nodes()) {
+      if (!has_user[static_cast<size_t>(node.id)] || node.is_output) {
+        crosses[static_cast<size_t>(node.id)] = true;  // program output
+      }
+    }
+  }
+
+  std::vector<ir::Kernel> kernels;
+  for (int g = 0; g < num_groups; ++g) {
+    // Nodes of this group in id (= topological) order.
+    std::vector<NodeId> members;
+    bool any_compute = false;
+    for (const Node& node : graph.nodes()) {
+      if (group_of[static_cast<size_t>(node.id)] != g) continue;
+      members.push_back(node.id);
+      if (!IsInlinedInput(node.op)) any_compute = true;
+    }
+    if (!any_compute) continue;  // inlined-inputs-only group: no kernel
+
+    Graph kgraph;
+    std::map<NodeId, NodeId> local_id;  // program node -> kernel node
+
+    // Maps a producer value from outside the group into this kernel as a
+    // parameter node.
+    const auto import_value = [&](NodeId program_id) -> NodeId {
+      const auto it = local_id.find(program_id);
+      if (it != local_id.end()) return it->second;
+      Node param;
+      param.op = OpCode::kParameter;
+      param.shape = graph.node(program_id).shape;
+      const NodeId local = kgraph.AddNode(std::move(param));
+      local_id.emplace(program_id, local);
+      return local;
+    };
+
+    for (const NodeId id : members) {
+      const Node& node = graph.node(id);
+      if (IsInlinedInput(node.op)) {
+        // Materialized lazily by import_value when used.
+        continue;
+      }
+      Node copy = node;
+      copy.operands.clear();
+      for (const NodeId operand : node.operands) {
+        const Node& producer = graph.node(operand);
+        if (group_of[static_cast<size_t>(operand)] == g &&
+            !IsInlinedInput(producer.op)) {
+          copy.operands.push_back(local_id.at(operand));
+        } else if (IsInlinedInput(producer.op)) {
+          // Inlined inputs keep their original opcode so the featurizer
+          // sees parameter vs constant distinctions.
+          const auto it = local_id.find(operand);
+          if (it != local_id.end()) {
+            copy.operands.push_back(it->second);
+          } else {
+            Node inlined;
+            inlined.op = producer.op == OpCode::kIota ? OpCode::kIota
+                                                      : producer.op;
+            inlined.shape = producer.shape;
+            const NodeId local = kgraph.AddNode(std::move(inlined));
+            local_id.emplace(operand, local);
+            copy.operands.push_back(local);
+          }
+        } else {
+          copy.operands.push_back(import_value(operand));
+        }
+      }
+      copy.is_output = crosses[static_cast<size_t>(id)];
+      const NodeId local = kgraph.AddNode(std::move(copy));
+      local_id.emplace(id, local);
+    }
+
+    ir::Kernel kernel;
+    kernel.kind = ir::Kernel::Classify(kgraph);
+    kernel.graph = std::move(kgraph);
+    kernels.push_back(std::move(kernel));
+  }
+  return kernels;
+}
+
+std::vector<ir::Kernel> ApplyFusion(const Graph& graph, const EdgeList& edges,
+                                    const FusionConfig& config,
+                                    const FusionLimits& limits) {
+  const auto partition = DerivePartition(graph, edges, config, limits);
+  if (!partition.has_value()) {
+    throw std::invalid_argument("ApplyFusion: invalid fusion configuration");
+  }
+  return ExtractKernels(graph, *partition);
+}
+
+FusionConfig DefaultFusion(const Graph& graph, const EdgeList& edges,
+                           const FusionLimits& limits) {
+  FusionConfig config;
+  config.fuse_edge.assign(edges.edges.size(), false);
+
+  // Single-consumer producers can fuse without duplication.
+  std::vector<int> user_count(static_cast<size_t>(graph.num_nodes()), 0);
+  for (const Node& node : graph.nodes()) {
+    for (const NodeId operand : node.operands) {
+      ++user_count[static_cast<size_t>(operand)];
+    }
+  }
+
+  for (size_t e = 0; e < edges.edges.size(); ++e) {
+    const auto& edge = edges.edges[e];
+    const Node& producer = graph.node(edge.producer);
+    const Node& consumer = graph.node(edge.consumer);
+    const bool producer_cheap = ir::IsElementwise(producer.op) ||
+                                ir::IsDataMovement(producer.op) ||
+                                producer.op == OpCode::kReduce ||
+                                producer.op == OpCode::kBatchNormInference;
+    const bool epilogue_fusion =
+        ir::UsesMatrixUnit(producer.op) &&
+        (ir::IsElementwise(consumer.op) ||
+         consumer.op == OpCode::kBatchNormInference ||
+         consumer.op == OpCode::kReduce);
+    const bool single_user = user_count[static_cast<size_t>(edge.producer)] == 1;
+    if (!single_user) continue;
+    if (!producer_cheap && !epilogue_fusion) continue;
+
+    config.fuse_edge[e] = true;
+    if (!DerivePartition(graph, edges, config, limits).has_value()) {
+      config.fuse_edge[e] = false;  // would create a cycle or oversize group
+    }
+  }
+  return config;
+}
+
+FusionConfig RandomFusion(const Graph& graph, const EdgeList& edges,
+                          std::mt19937_64& rng, double fuse_prob,
+                          const FusionLimits& limits) {
+  FusionConfig config;
+  config.fuse_edge.assign(edges.edges.size(), false);
+  std::bernoulli_distribution fuse(fuse_prob);
+  for (size_t e = 0; e < edges.edges.size(); ++e) {
+    config.fuse_edge[e] = fuse(rng);
+  }
+  // Repair: unfuse random fused edges until the configuration is valid.
+  std::vector<size_t> fused;
+  for (size_t e = 0; e < edges.edges.size(); ++e) {
+    if (config.fuse_edge[e]) fused.push_back(e);
+  }
+  std::shuffle(fused.begin(), fused.end(), rng);
+  while (!DerivePartition(graph, edges, config, limits).has_value()) {
+    if (fused.empty()) break;  // all-unfused is always valid
+    config.fuse_edge[fused.back()] = false;
+    fused.pop_back();
+  }
+  return config;
+}
+
+std::optional<FusionConfig> FlipOneEdge(const Graph& graph,
+                                        const EdgeList& edges,
+                                        const FusionConfig& config,
+                                        std::mt19937_64& rng,
+                                        const FusionLimits& limits) {
+  if (edges.edges.empty()) return std::nullopt;
+  FusionConfig next = config;
+  std::uniform_int_distribution<size_t> pick(0, edges.edges.size() - 1);
+  const size_t e = pick(rng);
+  next.fuse_edge[e] = !next.fuse_edge[e];
+  if (!DerivePartition(graph, edges, next, limits).has_value()) {
+    return std::nullopt;
+  }
+  return next;
+}
+
+}  // namespace tpuperf::data

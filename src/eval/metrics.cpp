@@ -1,0 +1,77 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tpuperf::eval {
+
+double KendallTau(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("KendallTau: length mismatch");
+  }
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  long concordant = 0, discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0) ++concordant;
+      else if (prod < 0) ++discordant;
+      // Ties contribute to neither (tau-a).
+    }
+  }
+  const double pairs = 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  return (concordant - discordant) / pairs;
+}
+
+double Mape(std::span<const double> predictions,
+            std::span<const double> targets) {
+  if (predictions.size() != targets.size()) {
+    throw std::invalid_argument("Mape: length mismatch");
+  }
+  double total = 0;
+  size_t counted = 0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i] <= 0) continue;
+    total += std::abs(predictions[i] - targets[i]) / targets[i];
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : 100.0 * total / static_cast<double>(counted);
+}
+
+double TileSizeApe(std::span<const KernelTileRuntimes> kernels) {
+  double gap = 0, best_total = 0;
+  for (const auto& k : kernels) {
+    gap += std::abs(k.chosen_true_runtime - k.best_true_runtime);
+    best_total += k.best_true_runtime;
+  }
+  return best_total > 0 ? 100.0 * gap / best_total : 0.0;
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double total = 0;
+  for (const double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+double StdDev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0;
+  for (const double v : values) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace tpuperf::eval

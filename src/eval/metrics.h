@@ -1,0 +1,40 @@
+// Evaluation metrics (paper §5).
+//
+//  * Tile-Size APE (Eq. 2): how far a program is from the per-kernel-optimal
+//    tile choice when following the model's predicted-best tiles.
+//  * MAPE: mean absolute percentage error of absolute runtime estimates
+//    (fusion task).
+//  * Kendall's tau: rank correlation between predictions and targets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tpuperf::eval {
+
+// Kendall rank correlation coefficient (tau-a) between two equal-length
+// sequences. Returns 0 for degenerate inputs (<2 elements, all ties).
+double KendallTau(std::span<const double> a, std::span<const double> b);
+
+// Mean absolute percentage error: 100/n * sum |pred - target| / target.
+// Entries with target <= 0 are skipped.
+double Mape(std::span<const double> predictions,
+            std::span<const double> targets);
+
+// Per-kernel inputs for the Tile-Size APE of one program.
+struct KernelTileRuntimes {
+  // True runtime of the configuration the model would pick (predicted-best).
+  double chosen_true_runtime = 0;
+  // True runtime of the actually-best configuration.
+  double best_true_runtime = 0;
+};
+
+// Eq. 2: 100 * sum_k |t_chosen - t_best| / sum_k t_best.
+double TileSizeApe(std::span<const KernelTileRuntimes> kernels);
+
+// Aggregation helpers used for the per-application tables.
+double Mean(std::span<const double> values);
+double Median(std::vector<double> values);  // by value: sorts a copy
+double StdDev(std::span<const double> values);
+
+}  // namespace tpuperf::eval

@@ -1,0 +1,140 @@
+#include "ir/analysis.h"
+
+#include <algorithm>
+
+namespace tpuperf::ir::analysis {
+
+CostSummary& CostSummary::operator+=(const CostSummary& other) {
+  flops += other.flops;
+  mxu_flops += other.mxu_flops;
+  vector_ops += other.vector_ops;
+  transcendental_ops += other.transcendental_ops;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  peak_working_set_bytes =
+      std::max(peak_working_set_bytes, other.peak_working_set_bytes);
+  return *this;
+}
+
+CostSummary AnalyzeNode(const Node& node, const Graph& graph) {
+  CostSummary c;
+  const double out_elems = static_cast<double>(node.shape.num_elements());
+
+  switch (node.op) {
+    case OpCode::kParameter:
+    case OpCode::kConstant:
+    case OpCode::kIota:
+    case OpCode::kBitcast:
+      break;  // free
+
+    case OpCode::kDot: {
+      // lhs[..., m, k] x rhs[..., k, n]: contraction length is the last
+      // dimension of the lhs operand.
+      const Shape& lhs = graph.node(node.operands.at(0)).shape;
+      const std::int64_t k =
+          lhs.rank() > 0 ? lhs.dim(lhs.rank() - 1) : 1;
+      c.flops = out_elems * 2.0 * static_cast<double>(k);
+      c.mxu_flops = c.flops;
+      break;
+    }
+
+    case OpCode::kConvolution: {
+      // out elems x 2 x window taps x input features (MACs).
+      const std::int64_t taps = std::max<std::int64_t>(1, node.window.TapCount());
+      std::int64_t cin = node.feature_in;
+      if (cin <= 0) {
+        const Shape& in = graph.node(node.operands.at(0)).shape;
+        cin = in.rank() > 0 ? in.dim(in.rank() - 1) : 1;  // NHWC
+      }
+      c.flops = out_elems * 2.0 * static_cast<double>(taps) *
+                static_cast<double>(cin);
+      c.mxu_flops = c.flops;
+      break;
+    }
+
+    case OpCode::kReduce: {
+      const Shape& in = graph.node(node.operands.at(0)).shape;
+      const double in_elems = static_cast<double>(in.num_elements());
+      c.flops = in_elems;
+      c.vector_ops = in_elems;
+      break;
+    }
+
+    case OpCode::kReduceWindow: {
+      const std::int64_t taps = std::max<std::int64_t>(1, node.window.TapCount());
+      c.flops = out_elems * static_cast<double>(taps);
+      c.vector_ops = c.flops;
+      break;
+    }
+
+    case OpCode::kSoftmax: {
+      // max, subtract, exp, sum, divide: ~5 passes; exp + divide hit the SFU.
+      c.flops = out_elems * 5.0;
+      c.vector_ops = out_elems * 4.0;
+      c.transcendental_ops = out_elems;
+      break;
+    }
+
+    case OpCode::kBatchNormInference: {
+      // (x - mean) * inv_stddev * scale + offset: 4 vector passes.
+      c.flops = out_elems * 4.0;
+      c.vector_ops = c.flops;
+      break;
+    }
+
+    default: {
+      if (IsDataMovement(node.op)) {
+        // Data formatting occupies the vector/permute units but does no FP
+        // arithmetic.
+        c.vector_ops = out_elems;
+        break;
+      }
+      // Elementwise unary/binary/ternary.
+      const double ops_per_elem =
+          node.op == OpCode::kSelect || node.op == OpCode::kClamp ? 2.0 : 1.0;
+      c.flops = out_elems * ops_per_elem;
+      c.vector_ops = c.flops;
+      if (IsTranscendental(node.op)) c.transcendental_ops = out_elems;
+      break;
+    }
+  }
+
+  // Working set of this node: operands + output.
+  std::int64_t ws = node.shape.byte_size();
+  for (const NodeId operand : node.operands) {
+    ws += graph.node(operand).shape.byte_size();
+  }
+  c.peak_working_set_bytes = ws;
+  return c;
+}
+
+CostSummary AnalyzeKernel(const Graph& graph) {
+  CostSummary total;
+  for (const Node& n : graph.nodes()) {
+    total += AnalyzeNode(n, graph);
+    if (n.op == OpCode::kParameter || n.op == OpCode::kConstant) {
+      total.bytes_read += n.shape.byte_size();
+    }
+  }
+  for (const NodeId id : graph.OutputIds()) {
+    total.bytes_written += graph.node(id).shape.byte_size();
+  }
+  return total;
+}
+
+double ScratchpadBytesPerOutputElement(const Graph& graph) {
+  const NodeId root = graph.RootId();
+  if (root == kInvalidNode) return 8.0;
+  const double root_elems = std::max<double>(
+      1.0, static_cast<double>(graph.node(root).shape.num_elements()));
+  const CostSummary c = AnalyzeKernel(graph);
+  const double traffic = static_cast<double>(c.bytes_read + c.bytes_written) +
+                         0.5 * static_cast<double>(c.peak_working_set_bytes);
+  // Factor 2 for the double-buffered copy-in/compute/copy-out pipeline.
+  const double per_elem = 2.0 * traffic / root_elems;
+  const double floor =
+      2.0 * ByteWidth(graph.node(root).shape.element_type());
+  return std::max(per_elem, floor);
+}
+
+}  // namespace tpuperf::ir::analysis

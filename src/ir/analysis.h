@@ -1,0 +1,52 @@
+// Static cost analysis of kernel graphs.
+//
+// These are the "static analyses that determine high-level performance
+// metrics of a given kernel" (paper §3.1): floating point operation count,
+// bytes read, bytes written, and the number of instructions executing on the
+// special functional unit. They are *estimates* — deliberately blind to the
+// backend's code generation — and are shared by the analytical baseline, the
+// featurizer (optional static performance features) and the tile enumerator.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/graph.h"
+#include "ir/node.h"
+
+namespace tpuperf::ir::analysis {
+
+struct CostSummary {
+  // Total floating-point operations (MXU + vector).
+  double flops = 0;
+  // Subset of flops executed on the systolic matrix unit (dot/convolution).
+  double mxu_flops = 0;
+  // Elementwise vector-unit element operations.
+  double vector_ops = 0;
+  // Operations executing on the special (transcendental) functional unit —
+  // static performance feature (4) in §3.1.
+  double transcendental_ops = 0;
+  // HBM traffic: bytes of kernel parameters read and outputs written —
+  // static performance features (2) and (3).
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+  // Largest single-node working set (operands + output), a proxy for
+  // scratchpad pressure of intermediates.
+  std::int64_t peak_working_set_bytes = 0;
+
+  CostSummary& operator+=(const CostSummary& other);
+};
+
+// Cost of a single node, given its defining graph (operand shapes matter).
+CostSummary AnalyzeNode(const Node& node, const Graph& graph);
+
+// Aggregate cost of a kernel graph. bytes_read/bytes_written cover parameter
+// and output tensors only (intermediates stay in scratchpad after fusion).
+CostSummary AnalyzeKernel(const Graph& graph);
+
+// Scratchpad bytes consumed per element of the root output tile: output
+// element + the pro-rated input elements + intermediate slack, doubled for
+// the copy-in/compute/copy-out pipeline (paper Appendix A). Drives the tile
+// enumerator's footprint bound.
+double ScratchpadBytesPerOutputElement(const Graph& graph);
+
+}  // namespace tpuperf::ir::analysis

@@ -1,0 +1,40 @@
+// A node in the tensor computation graph: one primitive tensor operation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/opcode.h"
+#include "ir/shape.h"
+
+namespace tpuperf::ir {
+
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+struct Node {
+  NodeId id = kInvalidNode;
+  OpCode op = OpCode::kParameter;
+  // Output tensor shape. A node produces exactly one output (paper §2).
+  Shape shape;
+  // Ids of operand nodes inside the same graph. The graph maintains the
+  // invariant that every operand id is smaller than the node's own id, which
+  // makes node order a topological order and the graph acyclic by
+  // construction.
+  std::vector<NodeId> operands;
+  // Convolution / reduce-window metadata; empty for other ops.
+  Window window;
+  // Dimensions reduced over (kReduce / kSoftmax) or contracted (kDot: the
+  // contracting dimension of the LHS; RHS contracts its second-to-last dim).
+  std::vector<int> reduce_dims;
+  // Convolution feature counts (input/output channels) so cost analysis does
+  // not need to re-derive them from operand shapes.
+  std::int64_t feature_in = 0;
+  std::int64_t feature_out = 0;
+  // True when this node's value is an output of its kernel and is written
+  // back to HBM. Kernel outputs are "expressed via an extra feature
+  // associated with the output nodes" (§3.1).
+  bool is_output = false;
+};
+
+}  // namespace tpuperf::ir

@@ -1,0 +1,24 @@
+// A tensor program: a named computation graph of primitive operations.
+//
+// Programs are what the autotuner optimizes (paper Fig. 1). Before fusion a
+// program is a single graph of primitive ops; the fusion pass partitions it
+// into kernels (see data::FusionPass).
+#pragma once
+
+#include <string>
+
+#include "ir/graph.h"
+
+namespace tpuperf::ir {
+
+struct Program {
+  // Unique program name, e.g. "resnet_v1_50_b128".
+  std::string name;
+  // Model family the program belongs to, e.g. "ResNetV1". The trainer draws
+  // examples evenly per family to counter dataset imbalance (paper §4).
+  std::string family;
+  // The primitive (pre-fusion) computation graph.
+  Graph graph;
+};
+
+}  // namespace tpuperf::ir

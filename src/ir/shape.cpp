@@ -1,0 +1,103 @@
+#include "ir/shape.h"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace tpuperf::ir {
+
+int ByteWidth(ElementType t) noexcept {
+  switch (t) {
+    case ElementType::kF32:
+      return 4;
+    case ElementType::kBF16:
+      return 2;
+    case ElementType::kS32:
+      return 4;
+    case ElementType::kPred:
+      return 1;
+  }
+  return 4;
+}
+
+std::string_view ToString(ElementType t) noexcept {
+  switch (t) {
+    case ElementType::kF32:
+      return "f32";
+    case ElementType::kBF16:
+      return "bf16";
+    case ElementType::kS32:
+      return "s32";
+    case ElementType::kPred:
+      return "pred";
+  }
+  return "f32";
+}
+
+Shape::Shape(std::vector<std::int64_t> dims, ElementType etype)
+    : dims_(std::move(dims)), etype_(etype) {
+  for (const auto d : dims_) {
+    if (d <= 0) throw std::invalid_argument("shape dimensions must be > 0");
+  }
+  layout_.resize(dims_.size());
+  // Default layout: last dimension is fastest-varying (row-major).
+  for (size_t i = 0; i < layout_.size(); ++i) {
+    layout_[i] = static_cast<int>(layout_.size() - 1 - i);
+  }
+}
+
+Shape::Shape(std::initializer_list<std::int64_t> dims, ElementType etype)
+    : Shape(std::vector<std::int64_t>(dims), etype) {}
+
+void Shape::set_minor_to_major(std::vector<int> layout) {
+  if (layout.size() != dims_.size()) {
+    throw std::invalid_argument("layout rank mismatch");
+  }
+  std::vector<bool> seen(layout.size(), false);
+  for (const int d : layout) {
+    if (d < 0 || d >= rank() || seen[static_cast<size_t>(d)]) {
+      throw std::invalid_argument("layout is not a permutation");
+    }
+    seen[static_cast<size_t>(d)] = true;
+  }
+  layout_ = std::move(layout);
+}
+
+std::int64_t Shape::num_elements() const noexcept {
+  return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
+                         std::multiplies<>());
+}
+
+std::int64_t Shape::byte_size() const noexcept {
+  return num_elements() * ByteWidth(etype_);
+}
+
+bool Shape::operator==(const Shape& other) const noexcept {
+  return dims_ == other.dims_ && layout_ == other.layout_ &&
+         etype_ == other.etype_;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << ir::ToString(etype_) << '[';
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << dims_[i];
+  }
+  os << ']';
+  os << '{';
+  for (size_t i = 0; i < layout_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << layout_[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+std::int64_t Window::TapCount() const noexcept {
+  std::int64_t taps = 1;
+  for (const auto& d : dims) taps *= d.size;
+  return taps;
+}
+
+}  // namespace tpuperf::ir

@@ -1,0 +1,93 @@
+// Tensor shapes with element types and layouts.
+//
+// The paper's node features include "output tensor shape, tensor layout,
+// striding, padding, and when applicable, convolution filter size" (§3.1).
+// Shape carries the dimension extents plus a minor-to-major layout
+// permutation, like XLA's shape-with-layout.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tpuperf::ir {
+
+enum class ElementType : std::uint8_t {
+  kF32 = 0,
+  kBF16,
+  kS32,
+  kPred,
+};
+
+// Bytes occupied by one element of the given type.
+int ByteWidth(ElementType t) noexcept;
+std::string_view ToString(ElementType t) noexcept;
+
+// Maximum tensor rank the featurizer encodes without truncation. Tensors of
+// higher rank are legal; their dimension lists are truncated when featurized
+// (the sum/product features recover the lost volume, §3.1).
+inline constexpr int kMaxEncodedRank = 6;
+
+class Shape {
+ public:
+  Shape() = default;
+  // Constructs a shape with the default (descending minor-to-major) layout.
+  explicit Shape(std::vector<std::int64_t> dims,
+                 ElementType etype = ElementType::kF32);
+  Shape(std::initializer_list<std::int64_t> dims,
+        ElementType etype = ElementType::kF32);
+
+  int rank() const noexcept { return static_cast<int>(dims_.size()); }
+  const std::vector<std::int64_t>& dims() const noexcept { return dims_; }
+  std::int64_t dim(int i) const { return dims_.at(static_cast<size_t>(i)); }
+  ElementType element_type() const noexcept { return etype_; }
+
+  // Layout as a minor-to-major permutation of dimension indices;
+  // minor_to_major()[0] is the fastest-varying dimension.
+  const std::vector<int>& minor_to_major() const noexcept { return layout_; }
+  void set_minor_to_major(std::vector<int> layout);
+  // The fastest-varying dimension index, or -1 for rank-0 shapes.
+  int minor_dim() const noexcept {
+    return layout_.empty() ? -1 : layout_.front();
+  }
+
+  std::int64_t num_elements() const noexcept;
+  std::int64_t byte_size() const noexcept;
+
+  bool operator==(const Shape& other) const noexcept;
+  bool operator!=(const Shape& other) const noexcept {
+    return !(*this == other);
+  }
+
+  // e.g. "f32[64,128]{1,0}".
+  std::string ToString() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+  std::vector<int> layout_;  // minor-to-major
+  ElementType etype_ = ElementType::kF32;
+};
+
+// Per-dimension window metadata for convolution / reduce-window, mirroring
+// XLA's Window proto: filter size, stride, symmetric padding and dilation.
+struct WindowDim {
+  std::int64_t size = 1;
+  std::int64_t stride = 1;
+  std::int64_t padding_low = 0;
+  std::int64_t padding_high = 0;
+  std::int64_t dilation = 1;
+
+  bool operator==(const WindowDim&) const = default;
+};
+
+struct Window {
+  std::vector<WindowDim> dims;
+
+  bool empty() const noexcept { return dims.empty(); }
+  // Product of window sizes (taps per output element).
+  std::int64_t TapCount() const noexcept;
+  bool operator==(const Window&) const = default;
+};
+
+}  // namespace tpuperf::ir

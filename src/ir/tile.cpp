@@ -1,0 +1,127 @@
+#include "ir/tile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tpuperf::ir {
+namespace {
+
+// Candidate tile extents for one dimension: powers of two up to the extent,
+// the full extent, and (optionally) hardware-aligned values.
+std::vector<std::int64_t> DimCandidates(std::int64_t dim, bool hw_aligned) {
+  std::vector<std::int64_t> c;
+  for (std::int64_t v = 1; v < dim; v *= 2) c.push_back(v);
+  c.push_back(dim);
+  if (hw_aligned) {
+    for (const std::int64_t v : {std::int64_t{8}, std::int64_t{128},
+                                 std::int64_t{256}, std::int64_t{384}}) {
+      if (v < dim) c.push_back(v);
+    }
+  }
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  return c;
+}
+
+}  // namespace
+
+std::int64_t TileConfig::volume() const noexcept {
+  std::int64_t v = 1;
+  for (const auto d : dims) v *= d;
+  return v;
+}
+
+std::string TileConfig::ToString() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) os << ',';
+    os << dims[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+bool IsValidTile(const TileConfig& tile, const Shape& shape) noexcept {
+  if (static_cast<int>(tile.dims.size()) != shape.rank()) return false;
+  for (int i = 0; i < shape.rank(); ++i) {
+    const auto t = tile.dims[static_cast<size_t>(i)];
+    if (t < 1 || t > shape.dim(i)) return false;
+  }
+  return true;
+}
+
+std::int64_t TileIterations(const TileConfig& tile, const Shape& shape) {
+  std::int64_t iters = 1;
+  for (int i = 0; i < shape.rank(); ++i) {
+    const auto t = tile.dims[static_cast<size_t>(i)];
+    iters *= (shape.dim(i) + t - 1) / t;
+  }
+  return iters;
+}
+
+std::vector<TileConfig> EnumerateTiles(const Shape& root_shape,
+                                       double per_element_footprint,
+                                       const TileEnumeratorOptions& options) {
+  const int rank = root_shape.rank();
+  if (rank == 0) return {TileConfig{}};
+
+  std::vector<std::vector<std::int64_t>> per_dim;
+  per_dim.reserve(static_cast<size_t>(rank));
+  for (int i = 0; i < rank; ++i) {
+    per_dim.push_back(
+        DimCandidates(root_shape.dim(i), options.include_hardware_aligned));
+  }
+
+  // Cross product with footprint pruning.
+  std::vector<TileConfig> all;
+  std::vector<size_t> idx(static_cast<size_t>(rank), 0);
+  const double budget = static_cast<double>(options.scratchpad_bytes);
+  while (true) {
+    TileConfig cfg;
+    cfg.dims.resize(static_cast<size_t>(rank));
+    for (int i = 0; i < rank; ++i) {
+      cfg.dims[static_cast<size_t>(i)] = per_dim[static_cast<size_t>(i)][idx[static_cast<size_t>(i)]];
+    }
+    const double footprint =
+        static_cast<double>(cfg.volume()) * per_element_footprint;
+    if (footprint <= budget) all.push_back(std::move(cfg));
+
+    // Advance the odometer.
+    int d = rank - 1;
+    while (d >= 0) {
+      if (++idx[static_cast<size_t>(d)] <
+          per_dim[static_cast<size_t>(d)].size()) {
+        break;
+      }
+      idx[static_cast<size_t>(d)] = 0;
+      --d;
+    }
+    if (d < 0) break;
+  }
+
+  if (all.empty()) {
+    // Even a single-element tile busts the budget only for degenerate
+    // footprints; fall back to the all-ones tile so every kernel has at
+    // least one configuration.
+    TileConfig ones;
+    ones.dims.assign(static_cast<size_t>(rank), 1);
+    all.push_back(std::move(ones));
+  }
+
+  if (static_cast<int>(all.size()) <= options.max_configs) return all;
+
+  // Deterministic stride subsample, always keeping the last (full) config.
+  std::vector<TileConfig> sampled;
+  sampled.reserve(static_cast<size_t>(options.max_configs));
+  const double stride =
+      static_cast<double>(all.size()) / options.max_configs;
+  for (int i = 0; i < options.max_configs; ++i) {
+    sampled.push_back(all[static_cast<size_t>(i * stride)]);
+  }
+  sampled.back() = all.back();
+  return sampled;
+}
+
+}  // namespace tpuperf::ir

@@ -1,0 +1,55 @@
+// Tile configurations and the valid-tile enumerator.
+//
+// A kernel computes one piece (tile) of its output at a time from pieces of
+// its inputs because the on-chip scratchpad is small (paper §2.2). A
+// TileConfig assigns a tile extent to every dimension of the kernel root's
+// output shape. The enumerator mirrors XLA: it lists every valid tile size
+// for a kernel (2 to 500,000 options in the paper; bounded here).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "ir/shape.h"
+
+namespace tpuperf::ir {
+
+struct TileConfig {
+  // Tile extent per output dimension; same rank as the root output shape.
+  std::vector<std::int64_t> dims;
+
+  bool operator==(const TileConfig&) const = default;
+
+  std::int64_t volume() const noexcept;
+  std::string ToString() const;
+};
+
+// True when `tile` has the same rank as `shape` and 1 <= tile[i] <= dim[i].
+bool IsValidTile(const TileConfig& tile, const Shape& shape) noexcept;
+
+// Number of tile iterations: prod(ceil(dim_i / tile_i)).
+std::int64_t TileIterations(const TileConfig& tile, const Shape& shape);
+
+struct TileEnumeratorOptions {
+  // Per-tile scratchpad footprint bound in bytes (double-buffered working
+  // set must fit the simulated vmem).
+  std::int64_t scratchpad_bytes = 16ll * 1024 * 1024;
+  // Upper bound on returned configs; the full candidate cross-product is
+  // deterministically subsampled above this.
+  int max_configs = 1024;
+  // Hardware-aligned extents (multiples of the 128-wide MXU / 8-sublane VPU)
+  // are added as candidates in addition to powers of two.
+  bool include_hardware_aligned = true;
+};
+
+// Enumerates valid tile configurations for the kernel rooted at
+// `root_shape`. `per_element_footprint` is the scratchpad bytes consumed per
+// output tile element (inputs + intermediates + output, double-buffered);
+// compute it with analysis::ScratchpadBytesPerOutputElement.
+std::vector<TileConfig> EnumerateTiles(const Shape& root_shape,
+                                       double per_element_footprint,
+                                       const TileEnumeratorOptions& options);
+
+}  // namespace tpuperf::ir

@@ -1,0 +1,75 @@
+// Graph neural network layers: GraphSAGE (paper §3.2) and GAT (§6.2 Q3).
+//
+// Both operate on dense per-kernel inputs: a node-feature matrix [n, d] and
+// adjacency structure. Kernels in the datasets average ~41 nodes (paper §4),
+// so dense adjacency is the right trade-off here.
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/tape.h"
+
+namespace tpuperf::nn {
+
+// Precomputed constant adjacency operators for one kernel graph.
+struct GraphStructure {
+  // Row-normalized (mean-aggregator) adjacency over incoming dataflow edges:
+  // in_agg[i][j] = 1/|operands(i)| if j is an operand of i.
+  Matrix in_agg;
+  // Row-normalized adjacency over outgoing edges (users).
+  Matrix out_agg;
+  // Symmetric union used by the undirected ablation and as the GAT mask
+  // (includes self-loops).
+  Matrix sym_mask;
+};
+
+// One GraphSAGE layer:
+//   eps_i = l2(f3(concat(h_i, mean_{j in N_in(i)} f2_in(h_j),
+//                             mean_{j in N_out(i)} f2_out(h_j))))
+// With directed=false a single f2 is applied over the symmetric
+// neighborhood — the 'Undirected' ablation of Table 3.
+class GraphSageLayer {
+ public:
+  GraphSageLayer() = default;
+  GraphSageLayer(ParamStore& store, const std::string& name, int dim,
+                 bool directed, bool l2_normalize, std::mt19937_64& rng);
+
+  Tensor Forward(Tape& tape, Tensor h, const GraphStructure& gs) const;
+
+ private:
+  Linear f2_in_, f2_out_, f3_;
+  bool directed_ = true;
+  bool l2_normalize_ = true;
+};
+
+// One multi-head GAT layer with additive attention
+// (LeakyReLU(a_src . Wh_i + a_dst . Wh_j)) masked to graph edges
+// (plus self-loops); heads are concatenated.
+class GatLayer {
+ public:
+  GatLayer() = default;
+  GatLayer(ParamStore& store, const std::string& name, int dim, int num_heads,
+           std::mt19937_64& rng);
+
+  Tensor Forward(Tape& tape, Tensor h, const GraphStructure& gs) const;
+
+ private:
+  struct Head {
+    Linear w;
+    Parameter* a_src = nullptr;
+    Parameter* a_dst = nullptr;
+  };
+  std::vector<Head> heads_;
+  Linear merge_;
+  int head_dim_ = 0;
+};
+
+// Builds the dense adjacency operators from operand lists.
+// operand_lists[i] holds the operand node ids of node i.
+GraphStructure BuildGraphStructure(
+    const std::vector<std::vector<int>>& operand_lists);
+
+}  // namespace tpuperf::nn

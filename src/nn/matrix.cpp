@@ -1,0 +1,203 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tpuperf::nn {
+namespace {
+
+void CheckSameShape(const Matrix& a, const Matrix& b, const char* what) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                a.ShapeString() + " vs " + b.ShapeString());
+  }
+}
+
+}  // namespace
+
+Matrix Matrix::Constant(int rows, int cols, float value) {
+  Matrix m(rows, cols);
+  m.Fill(value);
+  return m;
+}
+
+Matrix Matrix::FromRow(std::span<const float> values) {
+  Matrix m(1, static_cast<int>(values.size()));
+  std::copy(values.begin(), values.end(), m.data());
+  return m;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string Matrix::ShapeString() const {
+  return "[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("MatMul: " + a.ShapeString() + " x " +
+                                b.ShapeString());
+  }
+  Matrix out(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
+    const float* __restrict a_row = a.data() + static_cast<size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* __restrict b_row = b.data() + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("MatMulTransposeA: " + a.ShapeString() +
+                                "^T x " + b.ShapeString());
+  }
+  Matrix out(a.cols(), b.cols());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* __restrict a_row = a.data() + static_cast<size_t>(p) * m;
+    const float* __restrict b_row = b.data() + static_cast<size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("MatMulTransposeB: " + a.ShapeString() +
+                                " x " + b.ShapeString() + "^T");
+  }
+  Matrix out(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* __restrict a_row = a.data() + static_cast<size_t>(i) * k;
+    float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* __restrict b_row = b.data() + static_cast<size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "Add");
+  Matrix out(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] + b.data()[i];
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "Sub");
+  Matrix out(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] - b.data()[i];
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "Hadamard");
+  Matrix out(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+Matrix Scale(const Matrix& a, float s) {
+  Matrix out(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * s;
+  return out;
+}
+
+void AccumulateInto(Matrix& dst, const Matrix& src) {
+  CheckSameShape(dst, src, "AccumulateInto");
+  for (size_t i = 0; i < dst.size(); ++i) dst.data()[i] += src.data()[i];
+}
+
+void AccumulateScaled(Matrix& dst, const Matrix& src, float s) {
+  CheckSameShape(dst, src, "AccumulateScaled");
+  for (size_t i = 0; i < dst.size(); ++i) dst.data()[i] += s * src.data()[i];
+}
+
+Matrix ColSum(const Matrix& a) {
+  Matrix out(1, a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) out.at(0, j) += a.at(i, j);
+  }
+  return out;
+}
+
+Matrix ColMean(const Matrix& a) {
+  Matrix out = ColSum(a);
+  if (a.rows() > 0) {
+    const float inv = 1.0f / static_cast<float>(a.rows());
+    for (int j = 0; j < a.cols(); ++j) out.at(0, j) *= inv;
+  }
+  return out;
+}
+
+Matrix ColMax(const Matrix& a, std::vector<int>* argmax_rows) {
+  Matrix out(1, a.cols());
+  if (argmax_rows != nullptr) argmax_rows->assign(static_cast<size_t>(a.cols()), 0);
+  for (int j = 0; j < a.cols(); ++j) {
+    float best = a.rows() > 0 ? a.at(0, j) : 0.0f;
+    int best_row = 0;
+    for (int i = 1; i < a.rows(); ++i) {
+      if (a.at(i, j) > best) {
+        best = a.at(i, j);
+        best_row = i;
+      }
+    }
+    out.at(0, j) = best;
+    if (argmax_rows != nullptr) (*argmax_rows)[static_cast<size_t>(j)] = best_row;
+  }
+  return out;
+}
+
+double FrobeniusNorm(const Matrix& a) {
+  double acc = 0;
+  for (const float v : a.flat()) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double DotAll(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "DotAll");
+  double acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a.data()[i]) * b.data()[i];
+  }
+  return acc;
+}
+
+float MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "MaxAbsDiff");
+  float worst = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+}  // namespace tpuperf::nn

@@ -1,0 +1,100 @@
+// Dense row-major float matrices and the handful of BLAS-like kernels the
+// autograd engine is built on. Everything in the learned cost model's
+// forward/backward passes bottoms out here.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tpuperf::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static Matrix Constant(int rows, int cols, float value);
+  static Matrix FromRow(std::span<const float> values);
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float& at(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::span<float> flat() noexcept { return data_; }
+  std::span<const float> flat() const noexcept { return data_; }
+  std::span<float> row(int r) noexcept {
+    return {data_.data() + static_cast<size_t>(r) * cols_,
+            static_cast<size_t>(cols_)};
+  }
+  std::span<const float> row(int r) const noexcept {
+    return {data_.data() + static_cast<size_t>(r) * cols_,
+            static_cast<size_t>(cols_)};
+  }
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  std::string ShapeString() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+// out = a @ b. Shapes: [m,k] x [k,n] -> [m,n].
+Matrix MatMul(const Matrix& a, const Matrix& b);
+// out = a^T @ b. Shapes: [k,m] x [k,n] -> [m,n].
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+// out = a @ b^T. Shapes: [m,k] x [n,k] -> [m,n].
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+Matrix Transpose(const Matrix& a);
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+Matrix Scale(const Matrix& a, float s);
+
+// dst += src (shapes must match).
+void AccumulateInto(Matrix& dst, const Matrix& src);
+// dst += s * src.
+void AccumulateScaled(Matrix& dst, const Matrix& src, float s);
+
+// Column-wise sum of rows: [n,c] -> [1,c].
+Matrix ColSum(const Matrix& a);
+// Column-wise mean: [n,c] -> [1,c].
+Matrix ColMean(const Matrix& a);
+// Column-wise max with argmax row indices: [n,c] -> [1,c].
+Matrix ColMax(const Matrix& a, std::vector<int>* argmax_rows);
+
+// Frobenius norm and dot product over all entries.
+double FrobeniusNorm(const Matrix& a);
+double DotAll(const Matrix& a, const Matrix& b);
+
+// Max |a - b| over entries; shapes must match.
+float MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace tpuperf::nn

@@ -1,0 +1,553 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tpuperf::nn {
+namespace {
+
+// Shorthand: elementwise unary op with dy/dx computable from x and y.
+template <typename Fwd, typename Bwd>
+Tensor Unary(Tape& tape, Tensor x, Fwd fwd, Bwd bwd) {
+  const Matrix& xv = x.value();
+  Matrix y(xv.rows(), xv.cols());
+  for (size_t i = 0; i < xv.size(); ++i) y.data()[i] = fwd(xv.data()[i]);
+  TapeNode* xn = x.node();
+  Matrix yv = y;  // captured copy for backward
+  return tape.NewNode(
+      std::move(y), {xn},
+      [xn, xv_copy = xv, yv = std::move(yv), bwd](TapeNode& self) {
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+          xn->grad.data()[i] +=
+              self.grad.data()[i] * bwd(xv_copy.data()[i], yv.data()[i]);
+        }
+      });
+}
+
+}  // namespace
+
+Tensor MatMulOp(Tape& tape, Tensor a, Tensor b) {
+  Matrix y = MatMul(a.value(), b.value());
+  TapeNode* an = a.node();
+  TapeNode* bn = b.node();
+  return tape.NewNode(std::move(y), {an, bn}, [an, bn](TapeNode& self) {
+    if (an->requires_grad) {
+      AccumulateInto(an->grad, MatMulTransposeB(self.grad, bn->value));
+    }
+    if (bn->requires_grad) {
+      AccumulateInto(bn->grad, MatMulTransposeA(an->value, self.grad));
+    }
+  });
+}
+
+Tensor MatMulConstA(Tape& tape, const Matrix& a, Tensor x) {
+  Matrix y = MatMul(a, x.value());
+  TapeNode* xn = x.node();
+  return tape.NewNode(std::move(y), {xn}, [xn, a](TapeNode& self) {
+    AccumulateInto(xn->grad, MatMulTransposeA(a, self.grad));
+  });
+}
+
+Tensor AddOp(Tape& tape, Tensor a, Tensor b) {
+  Matrix y = Add(a.value(), b.value());
+  TapeNode* an = a.node();
+  TapeNode* bn = b.node();
+  return tape.NewNode(std::move(y), {an, bn}, [an, bn](TapeNode& self) {
+    if (an->requires_grad) AccumulateInto(an->grad, self.grad);
+    if (bn->requires_grad) AccumulateInto(bn->grad, self.grad);
+  });
+}
+
+Tensor SubOp(Tape& tape, Tensor a, Tensor b) {
+  Matrix y = Sub(a.value(), b.value());
+  TapeNode* an = a.node();
+  TapeNode* bn = b.node();
+  return tape.NewNode(std::move(y), {an, bn}, [an, bn](TapeNode& self) {
+    if (an->requires_grad) AccumulateInto(an->grad, self.grad);
+    if (bn->requires_grad) AccumulateScaled(bn->grad, self.grad, -1.0f);
+  });
+}
+
+Tensor MulOp(Tape& tape, Tensor a, Tensor b) {
+  Matrix y = Hadamard(a.value(), b.value());
+  TapeNode* an = a.node();
+  TapeNode* bn = b.node();
+  return tape.NewNode(std::move(y), {an, bn}, [an, bn](TapeNode& self) {
+    if (an->requires_grad) {
+      AccumulateInto(an->grad, Hadamard(self.grad, bn->value));
+    }
+    if (bn->requires_grad) {
+      AccumulateInto(bn->grad, Hadamard(self.grad, an->value));
+    }
+  });
+}
+
+Tensor ScaleOp(Tape& tape, Tensor a, float s) {
+  Matrix y = Scale(a.value(), s);
+  TapeNode* an = a.node();
+  return tape.NewNode(std::move(y), {an}, [an, s](TapeNode& self) {
+    AccumulateScaled(an->grad, self.grad, s);
+  });
+}
+
+Tensor AddScalarOp(Tape& tape, Tensor a, float s) {
+  Matrix y = a.value();
+  for (float& v : y.flat()) v += s;
+  TapeNode* an = a.node();
+  return tape.NewNode(std::move(y), {an}, [an](TapeNode& self) {
+    AccumulateInto(an->grad, self.grad);
+  });
+}
+
+Tensor AddRowBroadcastOp(Tape& tape, Tensor x, Tensor bias) {
+  const Matrix& xv = x.value();
+  const Matrix& bv = bias.value();
+  if (bv.rows() != 1 || bv.cols() != xv.cols()) {
+    throw std::invalid_argument("AddRowBroadcastOp: bias must be [1, cols]");
+  }
+  Matrix y(xv.rows(), xv.cols());
+  for (int i = 0; i < xv.rows(); ++i) {
+    for (int j = 0; j < xv.cols(); ++j) y.at(i, j) = xv.at(i, j) + bv.at(0, j);
+  }
+  TapeNode* xn = x.node();
+  TapeNode* bn = bias.node();
+  return tape.NewNode(std::move(y), {xn, bn}, [xn, bn](TapeNode& self) {
+    if (xn->requires_grad) AccumulateInto(xn->grad, self.grad);
+    if (bn->requires_grad) AccumulateInto(bn->grad, ColSum(self.grad));
+  });
+}
+
+Tensor ReluOp(Tape& tape, Tensor x) {
+  return Unary(
+      tape, x, [](float v) { return v > 0 ? v : 0.0f; },
+      [](float v, float) { return v > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyReluOp(Tape& tape, Tensor x, float alpha) {
+  return Unary(
+      tape, x, [alpha](float v) { return v > 0 ? v : alpha * v; },
+      [alpha](float v, float) { return v > 0 ? 1.0f : alpha; });
+}
+
+Tensor TanhOp(Tape& tape, Tensor x) {
+  return Unary(
+      tape, x, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor SigmoidOp(Tape& tape, Tensor x) {
+  return Unary(
+      tape, x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor ExpOp(Tape& tape, Tensor x) {
+  return Unary(
+      tape, x, [](float v) { return std::exp(v); },
+      [](float, float y) { return y; });
+}
+
+Tensor LogOp(Tape& tape, Tensor x, float eps) {
+  return Unary(
+      tape, x, [eps](float v) { return std::log(v + eps); },
+      [eps](float v, float) { return 1.0f / (v + eps); });
+}
+
+Tensor DropoutOp(Tape& tape, Tensor x, float rate, std::mt19937_64& rng) {
+  if (rate <= 0.0f) return x;
+  if (rate >= 1.0f) throw std::invalid_argument("DropoutOp: rate must be < 1");
+  const Matrix& xv = x.value();
+  Matrix mask(xv.rows(), xv.cols());
+  std::bernoulli_distribution keep(1.0 - rate);
+  const float scale = 1.0f / (1.0f - rate);
+  for (float& m : mask.flat()) m = keep(rng) ? scale : 0.0f;
+  Matrix y = Hadamard(xv, mask);
+  TapeNode* xn = x.node();
+  return tape.NewNode(std::move(y), {xn},
+                      [xn, mask = std::move(mask)](TapeNode& self) {
+                        AccumulateInto(xn->grad, Hadamard(self.grad, mask));
+                      });
+}
+
+Tensor RowL2NormalizeOp(Tape& tape, Tensor x, float eps) {
+  const Matrix& xv = x.value();
+  Matrix y(xv.rows(), xv.cols());
+  std::vector<float> inv_norms(static_cast<size_t>(xv.rows()));
+  for (int i = 0; i < xv.rows(); ++i) {
+    double acc = 0;
+    for (int j = 0; j < xv.cols(); ++j) {
+      acc += static_cast<double>(xv.at(i, j)) * xv.at(i, j);
+    }
+    const float inv = 1.0f / (std::sqrt(static_cast<float>(acc)) + eps);
+    inv_norms[static_cast<size_t>(i)] = inv;
+    for (int j = 0; j < xv.cols(); ++j) y.at(i, j) = xv.at(i, j) * inv;
+  }
+  TapeNode* xn = x.node();
+  Matrix yv = y;
+  return tape.NewNode(
+      std::move(y), {xn},
+      [xn, yv = std::move(yv), inv_norms = std::move(inv_norms)](
+          TapeNode& self) {
+        // d/dx (x/|x|) = (G - y (y . G)) / |x|.
+        for (int i = 0; i < self.grad.rows(); ++i) {
+          double dot = 0;
+          for (int j = 0; j < self.grad.cols(); ++j) {
+            dot += static_cast<double>(self.grad.at(i, j)) * yv.at(i, j);
+          }
+          const float inv = inv_norms[static_cast<size_t>(i)];
+          for (int j = 0; j < self.grad.cols(); ++j) {
+            xn->grad.at(i, j) +=
+                (self.grad.at(i, j) - static_cast<float>(dot) * yv.at(i, j)) *
+                inv;
+          }
+        }
+      });
+}
+
+Tensor LayerNormRowsOp(Tape& tape, Tensor x, Tensor gamma, Tensor beta,
+                       float eps) {
+  const Matrix& xv = x.value();
+  const int n = xv.rows(), c = xv.cols();
+  Matrix xhat(n, c);
+  std::vector<float> inv_std(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double mean = 0;
+    for (int j = 0; j < c; ++j) mean += xv.at(i, j);
+    mean /= c;
+    double var = 0;
+    for (int j = 0; j < c; ++j) {
+      const double d = xv.at(i, j) - mean;
+      var += d * d;
+    }
+    var /= c;
+    const float istd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    inv_std[static_cast<size_t>(i)] = istd;
+    for (int j = 0; j < c; ++j) {
+      xhat.at(i, j) = (xv.at(i, j) - static_cast<float>(mean)) * istd;
+    }
+  }
+  const Matrix& gv = gamma.value();
+  const Matrix& bv = beta.value();
+  Matrix y(n, c);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < c; ++j) {
+      y.at(i, j) = xhat.at(i, j) * gv.at(0, j) + bv.at(0, j);
+    }
+  }
+  TapeNode* xn = x.node();
+  TapeNode* gn = gamma.node();
+  TapeNode* bn = beta.node();
+  return tape.NewNode(
+      std::move(y), {xn, gn, bn},
+      [xn, gn, bn, xhat = std::move(xhat), inv_std = std::move(inv_std)](
+          TapeNode& self) {
+        const int n = self.grad.rows(), c = self.grad.cols();
+        if (gn->requires_grad || bn->requires_grad) {
+          for (int j = 0; j < c; ++j) {
+            float dg = 0, db = 0;
+            for (int i = 0; i < n; ++i) {
+              dg += self.grad.at(i, j) * xhat.at(i, j);
+              db += self.grad.at(i, j);
+            }
+            if (gn->requires_grad) gn->grad.at(0, j) += dg;
+            if (bn->requires_grad) bn->grad.at(0, j) += db;
+          }
+        }
+        if (xn->requires_grad) {
+          for (int i = 0; i < n; ++i) {
+            // dxhat = G * gamma; dx = istd*(dxhat - mean(dxhat)
+            //                               - xhat*mean(dxhat*xhat)).
+            double mean_dxhat = 0, mean_dxhat_xhat = 0;
+            for (int j = 0; j < c; ++j) {
+              const double dxh =
+                  static_cast<double>(self.grad.at(i, j)) * gn->value.at(0, j);
+              mean_dxhat += dxh;
+              mean_dxhat_xhat += dxh * xhat.at(i, j);
+            }
+            mean_dxhat /= c;
+            mean_dxhat_xhat /= c;
+            const float istd = inv_std[static_cast<size_t>(i)];
+            for (int j = 0; j < c; ++j) {
+              const double dxh =
+                  static_cast<double>(self.grad.at(i, j)) * gn->value.at(0, j);
+              xn->grad.at(i, j) += static_cast<float>(
+                  istd * (dxh - mean_dxhat - xhat.at(i, j) * mean_dxhat_xhat));
+            }
+          }
+        }
+      });
+}
+
+namespace {
+
+Tensor SoftmaxImpl(Tape& tape, Tensor x, const Matrix* mask) {
+  const Matrix& xv = x.value();
+  const int n = xv.rows(), c = xv.cols();
+  Matrix y(n, c);
+  for (int i = 0; i < n; ++i) {
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (int j = 0; j < c; ++j) {
+      if (mask != nullptr && mask->at(i, j) == 0.0f) continue;
+      max_v = std::max(max_v, xv.at(i, j));
+    }
+    double denom = 0;
+    for (int j = 0; j < c; ++j) {
+      if (mask != nullptr && mask->at(i, j) == 0.0f) {
+        y.at(i, j) = 0.0f;
+        continue;
+      }
+      const float e = std::exp(xv.at(i, j) - max_v);
+      y.at(i, j) = e;
+      denom += e;
+    }
+    if (denom > 0) {
+      const float inv = 1.0f / static_cast<float>(denom);
+      for (int j = 0; j < c; ++j) y.at(i, j) *= inv;
+    }
+  }
+  TapeNode* xn = x.node();
+  Matrix yv = y;
+  return tape.NewNode(
+      std::move(y), {xn}, [xn, yv = std::move(yv)](TapeNode& self) {
+        // dx = y * (G - sum_j(G_j y_j)) row-wise.
+        for (int i = 0; i < self.grad.rows(); ++i) {
+          double dot = 0;
+          for (int j = 0; j < self.grad.cols(); ++j) {
+            dot += static_cast<double>(self.grad.at(i, j)) * yv.at(i, j);
+          }
+          for (int j = 0; j < self.grad.cols(); ++j) {
+            xn->grad.at(i, j) += yv.at(i, j) * (self.grad.at(i, j) -
+                                                static_cast<float>(dot));
+          }
+        }
+      });
+}
+
+}  // namespace
+
+Tensor SoftmaxRowsOp(Tape& tape, Tensor x) { return SoftmaxImpl(tape, x, nullptr); }
+
+Tensor MaskedSoftmaxRowsOp(Tape& tape, Tensor x, const Matrix& mask) {
+  if (!mask.same_shape(x.value())) {
+    throw std::invalid_argument("MaskedSoftmaxRowsOp: mask shape mismatch");
+  }
+  return SoftmaxImpl(tape, x, &mask);
+}
+
+Tensor ConcatColsOp(Tape& tape, std::span<const Tensor> parts) {
+  if (parts.empty()) throw std::invalid_argument("ConcatColsOp: empty");
+  const int n = parts.front().rows();
+  int total_cols = 0;
+  for (const Tensor& t : parts) {
+    if (t.rows() != n) {
+      throw std::invalid_argument("ConcatColsOp: row count mismatch");
+    }
+    total_cols += t.cols();
+  }
+  Matrix y(n, total_cols);
+  std::vector<TapeNode*> parents;
+  std::vector<int> offsets;
+  int off = 0;
+  for (const Tensor& t : parts) {
+    const Matrix& v = t.value();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < v.cols(); ++j) y.at(i, off + j) = v.at(i, j);
+    }
+    parents.push_back(t.node());
+    offsets.push_back(off);
+    off += v.cols();
+  }
+  return tape.NewNode(
+      std::move(y), parents,
+      [parents, offsets](TapeNode& self) {
+        for (size_t p = 0; p < parents.size(); ++p) {
+          TapeNode* parent = parents[p];
+          if (!parent->requires_grad) continue;
+          const int off = offsets[p];
+          for (int i = 0; i < parent->value.rows(); ++i) {
+            for (int j = 0; j < parent->value.cols(); ++j) {
+              parent->grad.at(i, j) += self.grad.at(i, off + j);
+            }
+          }
+        }
+      });
+}
+
+Tensor ConcatRowsOp(Tape& tape, std::span<const Tensor> parts) {
+  if (parts.empty()) throw std::invalid_argument("ConcatRowsOp: empty");
+  const int c = parts.front().cols();
+  int total_rows = 0;
+  for (const Tensor& t : parts) {
+    if (t.cols() != c) {
+      throw std::invalid_argument("ConcatRowsOp: col count mismatch");
+    }
+    total_rows += t.rows();
+  }
+  Matrix y(total_rows, c);
+  std::vector<TapeNode*> parents;
+  std::vector<int> offsets;
+  int off = 0;
+  for (const Tensor& t : parts) {
+    const Matrix& v = t.value();
+    for (int i = 0; i < v.rows(); ++i) {
+      for (int j = 0; j < c; ++j) y.at(off + i, j) = v.at(i, j);
+    }
+    parents.push_back(t.node());
+    offsets.push_back(off);
+    off += v.rows();
+  }
+  return tape.NewNode(
+      std::move(y), parents,
+      [parents, offsets](TapeNode& self) {
+        for (size_t p = 0; p < parents.size(); ++p) {
+          TapeNode* parent = parents[p];
+          if (!parent->requires_grad) continue;
+          const int off = offsets[p];
+          for (int i = 0; i < parent->value.rows(); ++i) {
+            for (int j = 0; j < parent->value.cols(); ++j) {
+              parent->grad.at(i, j) += self.grad.at(off + i, j);
+            }
+          }
+        }
+      });
+}
+
+Tensor SliceRowOp(Tape& tape, Tensor x, int row) {
+  const Matrix& xv = x.value();
+  if (row < 0 || row >= xv.rows()) {
+    throw std::out_of_range("SliceRowOp: row out of range");
+  }
+  Matrix y(1, xv.cols());
+  for (int j = 0; j < xv.cols(); ++j) y.at(0, j) = xv.at(row, j);
+  TapeNode* xn = x.node();
+  return tape.NewNode(std::move(y), {xn}, [xn, row](TapeNode& self) {
+    for (int j = 0; j < self.grad.cols(); ++j) {
+      xn->grad.at(row, j) += self.grad.at(0, j);
+    }
+  });
+}
+
+Tensor ColSumOp(Tape& tape, Tensor x) {
+  Matrix y = ColSum(x.value());
+  TapeNode* xn = x.node();
+  return tape.NewNode(std::move(y), {xn}, [xn](TapeNode& self) {
+    for (int i = 0; i < xn->grad.rows(); ++i) {
+      for (int j = 0; j < xn->grad.cols(); ++j) {
+        xn->grad.at(i, j) += self.grad.at(0, j);
+      }
+    }
+  });
+}
+
+Tensor ColMeanOp(Tape& tape, Tensor x) {
+  Matrix y = ColMean(x.value());
+  TapeNode* xn = x.node();
+  const float inv = x.rows() > 0 ? 1.0f / static_cast<float>(x.rows()) : 0.0f;
+  return tape.NewNode(std::move(y), {xn}, [xn, inv](TapeNode& self) {
+    for (int i = 0; i < xn->grad.rows(); ++i) {
+      for (int j = 0; j < xn->grad.cols(); ++j) {
+        xn->grad.at(i, j) += self.grad.at(0, j) * inv;
+      }
+    }
+  });
+}
+
+Tensor ColMaxOp(Tape& tape, Tensor x) {
+  std::vector<int> argmax;
+  Matrix y = ColMax(x.value(), &argmax);
+  TapeNode* xn = x.node();
+  return tape.NewNode(std::move(y), {xn},
+                      [xn, argmax = std::move(argmax)](TapeNode& self) {
+                        for (int j = 0; j < self.grad.cols(); ++j) {
+                          xn->grad.at(argmax[static_cast<size_t>(j)], j) +=
+                              self.grad.at(0, j);
+                        }
+                      });
+}
+
+Tensor SumAllOp(Tape& tape, Tensor x) {
+  Matrix y(1, 1);
+  double acc = 0;
+  for (const float v : x.value().flat()) acc += v;
+  y.at(0, 0) = static_cast<float>(acc);
+  TapeNode* xn = x.node();
+  return tape.NewNode(std::move(y), {xn}, [xn](TapeNode& self) {
+    const float g = self.grad.at(0, 0);
+    for (float& v : xn->grad.flat()) v += g;
+  });
+}
+
+Tensor MeanAllOp(Tape& tape, Tensor x) {
+  const float inv =
+      x.value().size() > 0 ? 1.0f / static_cast<float>(x.value().size()) : 0.0f;
+  Tensor s = SumAllOp(tape, x);
+  return ScaleOp(tape, s, inv);
+}
+
+Tensor GatherRowsOp(Tape& tape, Tensor table, std::span<const int> ids) {
+  const Matrix& tv = table.value();
+  Matrix y(static_cast<int>(ids.size()), tv.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int r = ids[i];
+    if (r < 0 || r >= tv.rows()) {
+      throw std::out_of_range("GatherRowsOp: id out of range");
+    }
+    for (int j = 0; j < tv.cols(); ++j) {
+      y.at(static_cast<int>(i), j) = tv.at(r, j);
+    }
+  }
+  TapeNode* tn = table.node();
+  std::vector<int> ids_copy(ids.begin(), ids.end());
+  return tape.NewNode(std::move(y), {tn},
+                      [tn, ids = std::move(ids_copy)](TapeNode& self) {
+                        for (size_t i = 0; i < ids.size(); ++i) {
+                          for (int j = 0; j < self.grad.cols(); ++j) {
+                            tn->grad.at(ids[i], j) +=
+                                self.grad.at(static_cast<int>(i), j);
+                          }
+                        }
+                      });
+}
+
+Tensor OuterSumOp(Tape& tape, Tensor a, Tensor b) {
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  if (av.cols() != 1 || bv.cols() != 1) {
+    throw std::invalid_argument("OuterSumOp: expects column vectors");
+  }
+  Matrix y(av.rows(), bv.rows());
+  for (int i = 0; i < av.rows(); ++i) {
+    for (int j = 0; j < bv.rows(); ++j) {
+      y.at(i, j) = av.at(i, 0) + bv.at(j, 0);
+    }
+  }
+  TapeNode* an = a.node();
+  TapeNode* bn = b.node();
+  return tape.NewNode(std::move(y), {an, bn}, [an, bn](TapeNode& self) {
+    if (an->requires_grad) {
+      for (int i = 0; i < self.grad.rows(); ++i) {
+        float acc = 0;
+        for (int j = 0; j < self.grad.cols(); ++j) acc += self.grad.at(i, j);
+        an->grad.at(i, 0) += acc;
+      }
+    }
+    if (bn->requires_grad) {
+      for (int j = 0; j < self.grad.cols(); ++j) {
+        float acc = 0;
+        for (int i = 0; i < self.grad.rows(); ++i) acc += self.grad.at(i, j);
+        bn->grad.at(j, 0) += acc;
+      }
+    }
+  });
+}
+
+Tensor TransposeOp(Tape& tape, Tensor x) {
+  Matrix y = Transpose(x.value());
+  TapeNode* xn = x.node();
+  return tape.NewNode(std::move(y), {xn}, [xn](TapeNode& self) {
+    AccumulateInto(xn->grad, Transpose(self.grad));
+  });
+}
+
+}  // namespace tpuperf::nn

@@ -1,0 +1,73 @@
+// Differentiable operations on Tape tensors.
+//
+// Each op computes the forward value eagerly and records a closure that
+// pushes d(out) into d(inputs). Every op here is covered by a numerical
+// gradient check in tests/nn_grad_test.cpp.
+#pragma once
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "nn/tape.h"
+
+namespace tpuperf::nn {
+
+// y = a @ b.
+Tensor MatMulOp(Tape& tape, Tensor a, Tensor b);
+// y = A @ x where A is a constant (e.g. a normalized adjacency matrix).
+Tensor MatMulConstA(Tape& tape, const Matrix& a, Tensor x);
+
+Tensor AddOp(Tape& tape, Tensor a, Tensor b);
+Tensor SubOp(Tape& tape, Tensor a, Tensor b);
+Tensor MulOp(Tape& tape, Tensor a, Tensor b);  // elementwise
+Tensor ScaleOp(Tape& tape, Tensor a, float s);
+Tensor AddScalarOp(Tape& tape, Tensor a, float s);
+// y[i, :] = x[i, :] + bias[0, :]; bias is [1, c].
+Tensor AddRowBroadcastOp(Tape& tape, Tensor x, Tensor bias);
+
+Tensor ReluOp(Tape& tape, Tensor x);
+Tensor LeakyReluOp(Tape& tape, Tensor x, float alpha);
+Tensor TanhOp(Tape& tape, Tensor x);
+Tensor SigmoidOp(Tape& tape, Tensor x);
+Tensor ExpOp(Tape& tape, Tensor x);
+// log(x + eps), guarded for non-negative inputs.
+Tensor LogOp(Tape& tape, Tensor x, float eps = 1e-12f);
+
+// Inverted dropout; identity when rate <= 0.
+Tensor DropoutOp(Tape& tape, Tensor x, float rate, std::mt19937_64& rng);
+
+// Rows scaled to unit L2 norm (GraphSAGE's l2 normalization).
+Tensor RowL2NormalizeOp(Tape& tape, Tensor x, float eps = 1e-6f);
+// Per-row layer normalization with learned gain/bias ([1, c] each).
+Tensor LayerNormRowsOp(Tape& tape, Tensor x, Tensor gamma, Tensor beta,
+                       float eps = 1e-5f);
+
+// Row-wise softmax. With `mask` (same shape, entries 0/1), masked-out
+// entries get probability 0; fully-masked rows become all-zero.
+Tensor SoftmaxRowsOp(Tape& tape, Tensor x);
+Tensor MaskedSoftmaxRowsOp(Tape& tape, Tensor x, const Matrix& mask);
+
+Tensor ConcatColsOp(Tape& tape, std::span<const Tensor> parts);
+Tensor ConcatRowsOp(Tape& tape, std::span<const Tensor> parts);
+// y = x[row, :] as a [1, c] tensor.
+Tensor SliceRowOp(Tape& tape, Tensor x, int row);
+
+// Column-wise reductions: [n, c] -> [1, c].
+Tensor ColSumOp(Tape& tape, Tensor x);
+Tensor ColMeanOp(Tape& tape, Tensor x);
+Tensor ColMaxOp(Tape& tape, Tensor x);
+
+// Whole-matrix reductions to [1, 1].
+Tensor SumAllOp(Tape& tape, Tensor x);
+Tensor MeanAllOp(Tape& tape, Tensor x);
+
+// y[i, :] = table[ids[i], :]; backward scatter-adds into table rows.
+Tensor GatherRowsOp(Tape& tape, Tensor table, std::span<const int> ids);
+
+// y[i, j] = a[i, 0] + b[j, 0] for column vectors a, b (GAT attention logits).
+Tensor OuterSumOp(Tape& tape, Tensor a, Tensor b);
+
+Tensor TransposeOp(Tape& tape, Tensor x);
+
+}  // namespace tpuperf::nn

@@ -1,0 +1,48 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace tpuperf::nn {
+
+void Adam::Step(std::span<Parameter* const> params) {
+  ++step_;
+
+  double norm_sq = 0;
+  for (const Parameter* p : params) {
+    for (const float g : p->grad.flat()) {
+      norm_sq += static_cast<double>(g) * g;
+    }
+  }
+  last_grad_norm_ = std::sqrt(norm_sq);
+
+  double scale = 1.0;
+  if (config_.clip == GradClip::kNorm && last_grad_norm_ > config_.clip_norm &&
+      last_grad_norm_ > 0) {
+    scale = config_.clip_norm / last_grad_norm_;
+  }
+
+  const double bc1 = 1.0 - std::pow(config_.beta1, step_);
+  const double bc2 = 1.0 - std::pow(config_.beta2, step_);
+  for (Parameter* p : params) {
+    if (p->adam_m.empty()) {
+      p->adam_m = Matrix(p->value.rows(), p->value.cols());
+      p->adam_v = Matrix(p->value.rows(), p->value.cols());
+    }
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const double g = static_cast<double>(p->grad.data()[i]) * scale;
+      const double m_new =
+          config_.beta1 * p->adam_m.data()[i] + (1.0 - config_.beta1) * g;
+      const double v_new =
+          config_.beta2 * p->adam_v.data()[i] + (1.0 - config_.beta2) * g * g;
+      p->adam_m.data()[i] = static_cast<float>(m_new);
+      p->adam_v.data()[i] = static_cast<float>(v_new);
+      const double m_hat = m_new / bc1;
+      const double v_hat = v_new / bc2;
+      p->value.data()[i] -= static_cast<float>(
+          config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon));
+    }
+    p->grad.SetZero();
+  }
+}
+
+}  // namespace tpuperf::nn

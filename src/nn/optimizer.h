@@ -1,0 +1,47 @@
+// Adam optimizer with global-norm gradient clipping and multiplicative
+// learning-rate decay — the training hyperparameter axes of paper Tables 6-7
+// (learning rate, learning-rate decay, gradient clipping).
+#pragma once
+
+#include <span>
+
+#include "nn/parameters.h"
+
+namespace tpuperf::nn {
+
+enum class GradClip { kNone, kNorm };
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  // Multiplicative decay applied by DecayLearningRate() (1.0 = constant).
+  double lr_decay = 1.0;
+  GradClip clip = GradClip::kNone;
+  double clip_norm = 1.0;
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig config) : config_(config) {}
+
+  // Applies one update from the accumulated grads, then zeroes them.
+  void Step(std::span<Parameter* const> params);
+
+  // Called once per epoch (or eval period) to decay the learning rate.
+  void DecayLearningRate() { config_.learning_rate *= config_.lr_decay; }
+
+  double learning_rate() const noexcept { return config_.learning_rate; }
+  long step_count() const noexcept { return step_; }
+
+  // Global gradient L2 norm of the last Step() before clipping.
+  double last_grad_norm() const noexcept { return last_grad_norm_; }
+
+ private:
+  AdamConfig config_;
+  long step_ = 0;
+  double last_grad_norm_ = 0;
+};
+
+}  // namespace tpuperf::nn

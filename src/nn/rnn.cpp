@@ -1,0 +1,42 @@
+#include "nn/rnn.h"
+
+#include <stdexcept>
+
+namespace tpuperf::nn {
+
+Lstm::Lstm(ParamStore& store, const std::string& name, int in_features,
+           int hidden, std::mt19937_64& rng)
+    : hidden_(hidden) {
+  const int z = in_features + hidden;
+  input_gate_ = Linear(store, name + ".wi", z, hidden, rng, /*bias=*/true);
+  forget_gate_ = Linear(store, name + ".wf", z, hidden, rng, /*bias=*/true);
+  cell_gate_ = Linear(store, name + ".wg", z, hidden, rng, /*bias=*/true);
+  output_gate_ = Linear(store, name + ".wo", z, hidden, rng, /*bias=*/true);
+}
+
+Lstm::Output Lstm::Forward(Tape& tape, Tensor x) const {
+  if (hidden_ == 0) throw std::logic_error("Lstm: uninitialized");
+  const int seq_len = x.rows();
+  Tensor h = tape.Leaf(Matrix(1, hidden_));
+  Tensor c = tape.Leaf(Matrix(1, hidden_));
+  std::vector<Tensor> states;
+  states.reserve(static_cast<size_t>(seq_len));
+  for (int t = 0; t < seq_len; ++t) {
+    Tensor xt = SliceRowOp(tape, x, t);
+    const Tensor zh[] = {xt, h};
+    Tensor z = ConcatColsOp(tape, zh);
+    Tensor i = SigmoidOp(tape, input_gate_.Forward(tape, z));
+    Tensor f = SigmoidOp(tape, forget_gate_.Forward(tape, z));
+    Tensor g = TanhOp(tape, cell_gate_.Forward(tape, z));
+    Tensor o = SigmoidOp(tape, output_gate_.Forward(tape, z));
+    c = AddOp(tape, MulOp(tape, f, c), MulOp(tape, i, g));
+    h = MulOp(tape, o, TanhOp(tape, c));
+    states.push_back(h);
+  }
+  Output out;
+  out.final_hidden = h;
+  out.all_hidden = ConcatRowsOp(tape, states);
+  return out;
+}
+
+}  // namespace tpuperf::nn

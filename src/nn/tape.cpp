@@ -1,0 +1,66 @@
+#include "nn/tape.h"
+
+#include <stdexcept>
+
+namespace tpuperf::nn {
+
+Tensor Tape::Leaf(Matrix value, bool requires_grad) {
+  TapeNode node;
+  node.value = std::move(value);
+  node.requires_grad = requires_grad && grad_enabled_;
+  nodes_.push_back(std::move(node));
+  return Tensor(&nodes_.back());
+}
+
+Tensor Tape::ParamLeaf(Parameter& param) {
+  TapeNode node;
+  node.value = param.value;  // snapshot; parameters are small
+  node.requires_grad = grad_enabled_;
+  if (grad_enabled_) {
+    Parameter* p = &param;
+    node.backward = [p](TapeNode& self) { AccumulateInto(p->grad, self.grad); };
+  }
+  nodes_.push_back(std::move(node));
+  return Tensor(&nodes_.back());
+}
+
+Tensor Tape::NewNode(Matrix value, std::vector<TapeNode*> parents,
+                     std::function<void(TapeNode&)> backward) {
+  TapeNode node;
+  node.value = std::move(value);
+  bool any_grad = false;
+  for (const TapeNode* p : parents) {
+    if (p != nullptr && p->requires_grad) any_grad = true;
+  }
+  node.requires_grad = any_grad && grad_enabled_;
+  if (node.requires_grad) {
+    node.parents = std::move(parents);
+    node.backward = std::move(backward);
+  }
+  nodes_.push_back(std::move(node));
+  return Tensor(&nodes_.back());
+}
+
+void Tape::Backward(Tensor loss) {
+  if (!grad_enabled_) {
+    throw std::logic_error("Backward() on a grad-disabled tape");
+  }
+  if (!loss.defined() || loss.rows() != 1 || loss.cols() != 1) {
+    throw std::invalid_argument("Backward() expects a defined 1x1 loss");
+  }
+  TapeNode* loss_node = loss.node();
+  loss_node->EnsureGrad();
+  loss_node->grad.at(0, 0) = 1.0f;
+
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    TapeNode& node = *it;
+    if (!node.requires_grad || !node.backward) continue;
+    if (node.grad.empty()) continue;  // no gradient reached this node
+    for (TapeNode* parent : node.parents) {
+      if (parent != nullptr && parent->requires_grad) parent->EnsureGrad();
+    }
+    node.backward(node);
+  }
+}
+
+}  // namespace tpuperf::nn

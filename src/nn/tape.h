@@ -1,0 +1,93 @@
+// Reverse-mode automatic differentiation on a per-step tape.
+//
+// Every forward pass records its intermediate values on a Tape; calling
+// Backward() walks the tape in reverse creation order (which is a valid
+// topological order, since operands are created before results) and
+// accumulates gradients. Parameters enter a tape through ParamLeaf, which
+// routes their gradient into the Parameter's persistent grad buffer.
+//
+// The tape is cleared/destroyed after each optimization step; creating one
+// with grad_enabled=false gives a cheap inference mode that records no
+// backward closures.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/parameters.h"
+
+namespace tpuperf::nn {
+
+class Tape;
+
+struct TapeNode {
+  Matrix value;
+  Matrix grad;  // allocated lazily, same shape as value
+  bool requires_grad = false;
+  std::vector<TapeNode*> parents;
+  // Propagates this node's grad into its parents' grads.
+  std::function<void(TapeNode&)> backward;
+
+  void EnsureGrad() {
+    if (grad.empty() && !value.empty()) {
+      grad = Matrix(value.rows(), value.cols());
+    } else if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+      grad = Matrix(value.rows(), value.cols());
+    }
+  }
+};
+
+// Lightweight non-owning handle to a tape node.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TapeNode* node) : node_(node) {}
+
+  bool defined() const noexcept { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_->requires_grad; }
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+  float scalar() const { return node_->value.at(0, 0); }
+  TapeNode* node() const noexcept { return node_; }
+
+ private:
+  TapeNode* node_ = nullptr;
+};
+
+class Tape {
+ public:
+  explicit Tape(bool grad_enabled = true) : grad_enabled_(grad_enabled) {}
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  bool grad_enabled() const noexcept { return grad_enabled_; }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  // A constant (or trainable-by-itself) leaf.
+  Tensor Leaf(Matrix value, bool requires_grad = false);
+
+  // A leaf view of a persistent Parameter; backward accumulates into
+  // param.grad.
+  Tensor ParamLeaf(Parameter& param);
+
+  // Records an op result. `backward` may be empty for non-differentiable
+  // ops; it is dropped when no parent requires grad or grads are disabled.
+  Tensor NewNode(Matrix value, std::vector<TapeNode*> parents,
+                 std::function<void(TapeNode&)> backward);
+
+  // Seeds d(loss)=1 and runs all backward closures in reverse order.
+  // `loss` must be a 1x1 tensor recorded on this tape.
+  void Backward(Tensor loss);
+
+  void Clear() { nodes_.clear(); }
+
+ private:
+  std::deque<TapeNode> nodes_;  // deque: stable addresses
+  bool grad_enabled_;
+};
+
+}  // namespace tpuperf::nn

@@ -1,0 +1,41 @@
+// Deterministic hashing utilities for the simulator.
+//
+// All "noise" in the simulated TPU (scheduling jitter, run-to-run
+// measurement variation) is a pure function of structural hashes, never a
+// stateful PRNG stream, so measurements are exactly reproducible regardless
+// of evaluation order.
+#pragma once
+
+#include <cstdint>
+
+namespace tpuperf::sim {
+
+// SplitMix64 finalizer: a strong 64-bit mixing function.
+constexpr std::uint64_t Mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) noexcept {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+template <typename... Rest>
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b,
+                                    Rest... rest) noexcept {
+  return HashCombine(HashCombine(a, b), rest...);
+}
+
+// Maps a hash to [0, 1).
+constexpr double HashUnit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Maps a hash to [-1, 1).
+constexpr double HashSigned(std::uint64_t h) noexcept {
+  return 2.0 * HashUnit(h) - 1.0;
+}
+
+}  // namespace tpuperf::sim

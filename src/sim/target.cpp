@@ -1,0 +1,28 @@
+#include "sim/target.h"
+
+namespace tpuperf::sim {
+
+TpuTarget TpuTarget::V2() {
+  TpuTarget t;
+  t.name = "tpu_v2";
+  t.clock_hz = 940e6;
+  t.mxu_count = 1;
+  t.hbm_bytes_per_sec = 350e9;
+  t.scratchpad_bytes = 16ll * 1024 * 1024;
+  return t;
+}
+
+TpuTarget TpuTarget::V3() {
+  // "TPU v3 has higher memory bandwidth and twice as many matrix multiplier
+  // units compared to TPU v2" (paper §2.1).
+  TpuTarget t;
+  t.name = "tpu_v3";
+  t.clock_hz = 940e6;
+  t.mxu_count = 2;
+  t.hbm_bytes_per_sec = 450e9;
+  t.scratchpad_bytes = 32ll * 1024 * 1024;
+  t.dma_ramp_bytes = 128e3;
+  return t;
+}
+
+}  // namespace tpuperf::sim

@@ -1,0 +1,53 @@
+// Machine descriptions for the simulated TPU generations.
+//
+// Mirrors the architecture sketch of paper §2.1: systolic-array matrix
+// units, an 8x128 vector processing unit with a VLIW issue model, a special
+// functional unit for transcendentals, software-managed scratchpad memory,
+// and HBM whose achieved bandwidth depends on transfer size. TPU v3 has
+// twice the matrix units and higher memory bandwidth than v2 (§2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tpuperf::sim {
+
+struct TpuTarget {
+  std::string name;
+
+  // Clock and functional-unit throughputs (per TPU core).
+  double clock_hz = 940e6;
+  int mxu_count = 1;             // systolic matrix units
+  int mxu_dim = 128;             // 128x128 systolic array
+  int vpu_sublanes = 8;          // vector unit geometry: 8 x 128 lanes
+  int vpu_lanes = 128;
+  double sfu_lanes = 128;        // special functional unit width
+
+  // Memory system.
+  double hbm_bytes_per_sec = 350e9;     // nominal peak per core
+  double dma_latency_sec = 1.2e-6;      // fixed setup cost per tile transfer
+  double dma_ramp_bytes = 96e3;         // bytes at 50% bandwidth efficiency
+  std::int64_t scratchpad_bytes = 16ll * 1024 * 1024;
+
+  // VLIW issue overhead charged per (non-parameter) op per tile iteration.
+  double issue_overhead_sec = 14e-9;
+  // Fixed kernel launch/drain overhead.
+  double kernel_launch_sec = 2.0e-6;
+
+  // Peak MXU throughput in FLOP/s: mxu_count * dim^2 * 2 (MAC = 2 flops) *
+  // clock.
+  double PeakMatmulFlops() const noexcept {
+    return static_cast<double>(mxu_count) * mxu_dim * mxu_dim * 2.0 * clock_hz;
+  }
+  // Peak vector-unit element ops per second.
+  double PeakVectorOps() const noexcept {
+    return static_cast<double>(vpu_sublanes) * vpu_lanes * clock_hz;
+  }
+  // Transcendental ops per second (serial special-function unit).
+  double PeakSfuOps() const noexcept { return sfu_lanes * clock_hz * 0.25; }
+
+  static TpuTarget V2();
+  static TpuTarget V3();
+};
+
+}  // namespace tpuperf::sim

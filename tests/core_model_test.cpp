@@ -1,0 +1,233 @@
+// Tests for the learned cost model: construction across the full
+// architecture grid (parameterized), forward determinism, feature-placement
+// options, save/load fidelity, and short-training behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/cost_model.h"
+#include "core/trainer.h"
+#include "dataset/families.h"
+#include "dataset/fusion.h"
+#include "ir/builder.h"
+#include "sim/simulator.h"
+
+namespace tpuperf::core {
+namespace {
+
+ir::Graph SmallKernel() {
+  ir::GraphBuilder b;
+  const ir::NodeId x = b.Parameter(ir::Shape({16, 32}));
+  const ir::NodeId w = b.Parameter(ir::Shape({32, 64}));
+  const ir::NodeId d = b.Dot(x, w);
+  b.Unary(ir::OpCode::kTanh, d);
+  return std::move(b).Build();
+}
+
+ModelConfig SmallConfig() {
+  ModelConfig c = ModelConfig::TileTaskDefault();
+  c.hidden_dim = 16;
+  c.opcode_embedding_dim = 8;
+  c.gnn_layers = 2;
+  c.train_steps = 50;
+  return c;
+}
+
+void FitOn(LearnedCostModel& model, const ir::Graph& kernel) {
+  model.FitNodeScaler(kernel);
+  model.FitTileScaler(ir::TileConfig{{16, 64}});
+  model.FitTileScaler(ir::TileConfig{{1, 8}});
+  model.FinishFitting();
+}
+
+// The full Table-4 grid must construct and produce finite predictions.
+class ModelGridTest
+    : public ::testing::TestWithParam<std::tuple<GnnKind, ReductionKind>> {};
+
+TEST_P(ModelGridTest, ForwardIsFiniteAndDeterministic) {
+  const auto [gnn, reduction] = GetParam();
+  ModelConfig config = SmallConfig();
+  config.gnn = gnn;
+  config.reduction = reduction;
+  LearnedCostModel model(config);
+  const auto kernel = SmallKernel();
+  FitOn(model, kernel);
+  const PreparedKernel pk = model.Prepare(kernel);
+  const ir::TileConfig tile{{8, 64}};
+  const double a = model.PredictScore(pk, &tile);
+  const double b = model.PredictScore(pk, &tile);
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_DOUBLE_EQ(a, b);
+  // Different tiles must be able to produce different scores.
+  const ir::TileConfig other{{1, 8}};
+  EXPECT_NE(model.PredictScore(pk, &other), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelGridTest,
+    ::testing::Combine(
+        ::testing::Values(GnnKind::kNone, GnnKind::kGraphSage, GnnKind::kGat),
+        ::testing::Values(ReductionKind::kPerNode, ReductionKind::kColumnWise,
+                          ReductionKind::kLstm, ReductionKind::kTransformer)));
+
+TEST(CostModel, RequiresFittedScalers) {
+  LearnedCostModel model(SmallConfig());
+  EXPECT_THROW(model.Prepare(SmallKernel()), std::logic_error);
+}
+
+TEST(CostModel, RequiresTileWhenConfigured) {
+  LearnedCostModel model(SmallConfig());
+  const auto kernel = SmallKernel();
+  FitOn(model, kernel);
+  const PreparedKernel pk = model.Prepare(kernel);
+  EXPECT_THROW(model.PredictScore(pk, nullptr), std::invalid_argument);
+}
+
+TEST(CostModel, FeaturePlacementOptionsChangeArchitectureNotValidity) {
+  for (const auto placement : {FeaturePlacement::kNodeFeatures,
+                               FeaturePlacement::kKernelEmbedding}) {
+    ModelConfig config = SmallConfig();
+    config.tile_placement = placement;
+    config.static_perf_placement = placement;
+    LearnedCostModel model(config);
+    const auto kernel = SmallKernel();
+    FitOn(model, kernel);
+    const PreparedKernel pk = model.Prepare(kernel);
+    const ir::TileConfig tile{{8, 64}};
+    EXPECT_TRUE(std::isfinite(model.PredictScore(pk, &tile)));
+  }
+}
+
+TEST(CostModel, LogTargetExponentiatesSeconds) {
+  ModelConfig config = SmallConfig();
+  config.use_tile_features = false;
+  config.log_target = true;
+  LearnedCostModel model(config);
+  const auto kernel = SmallKernel();
+  FitOn(model, kernel);
+  model.SetOutputBias(-10.0f);
+  const PreparedKernel pk = model.Prepare(kernel);
+  const double score = model.PredictScore(pk);
+  EXPECT_NEAR(model.PredictSeconds(pk), std::exp(score), 1e-12);
+  EXPECT_GT(model.PredictSeconds(pk), 0.0);
+}
+
+TEST(CostModel, SaveLoadReproducesPredictions) {
+  ModelConfig config = SmallConfig();
+  LearnedCostModel a(config);
+  const auto kernel = SmallKernel();
+  FitOn(a, kernel);
+  const PreparedKernel pk = a.Prepare(kernel);
+  const ir::TileConfig tile{{8, 64}};
+  const double expected = a.PredictScore(pk, &tile);
+
+  std::stringstream stream;
+  a.Save(stream);
+  config.seed = 777;  // different init; load must overwrite
+  LearnedCostModel b(config);
+  b.Load(stream);
+  const PreparedKernel pk_b = b.Prepare(kernel);
+  EXPECT_DOUBLE_EQ(b.PredictScore(pk_b, &tile), expected);
+}
+
+TEST(CostModel, SaveLoadFileRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "tpuperf_model_test.bin";
+  ModelConfig config = SmallConfig();
+  LearnedCostModel a(config);
+  FitOn(a, SmallKernel());
+  a.SaveToFile(path);
+  LearnedCostModel b(config);
+  b.LoadFromFile(path);
+  EXPECT_TRUE(b.fitted());
+  std::remove(path.c_str());
+  EXPECT_THROW(b.LoadFromFile("/nonexistent/path/model.bin"),
+               std::runtime_error);
+}
+
+TEST(CostModel, LoadRejectsBadMagic) {
+  LearnedCostModel model(SmallConfig());
+  std::stringstream stream("not a model file at all....");
+  EXPECT_THROW(model.Load(stream), std::runtime_error);
+}
+
+TEST(CostModel, SetOutputBiasShiftsPrediction) {
+  ModelConfig config = SmallConfig();
+  config.use_tile_features = false;
+  LearnedCostModel model(config);
+  const auto kernel = SmallKernel();
+  FitOn(model, kernel);
+  const PreparedKernel pk = model.Prepare(kernel);
+  const double before = model.PredictScore(pk);
+  model.SetOutputBias(static_cast<float>(before) + 5.0f);
+  // Bias replacement moves the output (head weights unchanged).
+  EXPECT_GT(model.PredictScore(pk), before);
+}
+
+TEST(PreparedCacheTest, ReusesPreparedKernels) {
+  LearnedCostModel model(SmallConfig());
+  const auto kernel = SmallKernel();
+  FitOn(model, kernel);
+  PreparedCache cache(model);
+  const auto fp = kernel.Fingerprint();
+  const PreparedKernel& a = cache.Get(kernel, fp);
+  const PreparedKernel& b = cache.Get(kernel, fp);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Trainer, ShortTileTrainingReducesLoss) {
+  const auto program = data::BuildProgram("RNNLM", 0);
+  const std::vector<ir::Program> corpus = {program};
+  sim::TpuSimulator simulator(sim::TpuTarget::V2());
+  data::DatasetOptions options;
+  options.max_tile_configs_per_kernel = 8;
+  const auto dataset = data::BuildTileDataset(corpus, simulator, options);
+  ASSERT_FALSE(dataset.kernels.empty());
+
+  ModelConfig config = SmallConfig();
+  config.train_steps = 300;
+  LearnedCostModel model(config);
+  PreparedCache cache(model);
+  const std::vector<int> train_ids = {0};
+  const TrainStats stats = TrainTileTask(model, dataset, train_ids, cache);
+  EXPECT_LT(stats.final_loss, stats.first_loss);
+  EXPECT_EQ(stats.steps, 300);
+}
+
+TEST(Trainer, ShortFusionTrainingReducesLoss) {
+  const auto program = data::BuildProgram("RankingLike", 0);
+  const std::vector<ir::Program> corpus = {program};
+  sim::TpuSimulator simulator(sim::TpuTarget::V2());
+  analytical::AnalyticalModel analytical(sim::TpuTarget::V2());
+  data::DatasetOptions options;
+  options.fusion_configs_per_program = 4;
+  const auto dataset =
+      data::BuildFusionDataset(corpus, simulator, analytical, options);
+  ASSERT_FALSE(dataset.samples.empty());
+
+  ModelConfig config = ModelConfig::FusionTaskDefault();
+  config.hidden_dim = 16;
+  config.opcode_embedding_dim = 8;
+  config.train_steps = 300;
+  LearnedCostModel model(config);
+  PreparedCache cache(model);
+  const std::vector<int> train_ids = {0};
+  const TrainStats stats = TrainFusionTask(model, dataset, train_ids, cache);
+  EXPECT_LT(stats.final_loss, stats.first_loss);
+}
+
+TEST(Trainer, ThrowsWithoutTrainingData) {
+  sim::TpuSimulator simulator(sim::TpuTarget::V2());
+  data::TileDataset empty;
+  LearnedCostModel model(SmallConfig());
+  PreparedCache cache(model);
+  const std::vector<int> none;
+  EXPECT_THROW(TrainTileTask(model, empty, none, cache),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tpuperf::core

@@ -1,0 +1,105 @@
+// Tests for the synthetic program corpus: size, validity, determinism, and
+// the family imbalance structure described in paper §4.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dataset/families.h"
+
+namespace tpuperf::data {
+namespace {
+
+TEST(Corpus, Has104UniquePrograms) {
+  const auto corpus = GenerateCorpus();
+  EXPECT_EQ(corpus.size(), 104u);
+  std::set<std::string> names;
+  for (const auto& p : corpus) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+  }
+}
+
+TEST(Corpus, EveryProgramIsValid) {
+  for (const auto& p : GenerateCorpus()) {
+    const auto error = p.graph.Validate();
+    EXPECT_FALSE(error.has_value()) << p.name << ": " << error.value_or("");
+    EXPECT_GT(p.graph.num_nodes(), 10) << p.name;
+    EXPECT_FALSE(p.family.empty()) << p.name;
+  }
+}
+
+TEST(Corpus, FamilyImbalanceMatchesPaperStructure) {
+  std::map<std::string, int> counts;
+  for (const auto& p : GenerateCorpus()) ++counts[p.family];
+  // "many variations of ResNet models, but just one AlexNet model and one
+  // DLRM model" (§4).
+  EXPECT_EQ(counts["ResNetV1"], 12);
+  EXPECT_EQ(counts["AlexNetLike"], 1);
+  EXPECT_EQ(counts["DLRMLike"], 1);
+  EXPECT_GT(counts["ResNetV1"], counts["WaveRNNLike"]);
+  EXPECT_EQ(counts.size(), FamilyNames().size());
+}
+
+TEST(Corpus, DeterministicAcrossGenerations) {
+  const auto a = GenerateCorpus();
+  const auto b = GenerateCorpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].graph.Fingerprint(), b[i].graph.Fingerprint());
+  }
+}
+
+TEST(Corpus, VariantsDiffer) {
+  const auto v0 = BuildProgram("ResNetV1", 0);
+  const auto v1 = BuildProgram("ResNetV1", 1);
+  EXPECT_NE(v0.graph.Fingerprint(), v1.graph.Fingerprint());
+}
+
+TEST(Corpus, UnknownFamilyThrows) {
+  EXPECT_THROW(BuildProgram("NoSuchFamily", 0), std::invalid_argument);
+}
+
+// Each family builder produces a structurally sensible program.
+class FamilyBuilderTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilyBuilderTest, BuildsValidVariantZero) {
+  const auto program = BuildProgram(GetParam(), 0);
+  EXPECT_EQ(program.family, GetParam());
+  EXPECT_FALSE(program.graph.Validate().has_value());
+  EXPECT_FALSE(program.graph.OutputIds().empty());
+  EXPECT_FALSE(program.graph.ParameterIds().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyBuilderTest,
+    ::testing::Values("ResNetV1", "ResNetV2", "InceptionLike", "NMT",
+                      "TransformerLM", "TranslateLike", "RNNLM", "WaveRNNLike",
+                      "SSDLike", "ConvDrawLike", "AlexNetLike", "DLRMLike",
+                      "AutoCompletionLM", "SmartComposeLike", "Char2FeatsLike",
+                      "RankingLike", "ImageEmbedLike", "Feats2WaveLike"));
+
+TEST(Corpus, ConvFamiliesContainConvolutions) {
+  for (const char* family : {"ResNetV1", "InceptionLike", "SSDLike"}) {
+    const auto program = BuildProgram(family, 0);
+    bool has_conv = false;
+    for (const auto& n : program.graph.nodes()) {
+      if (n.op == ir::OpCode::kConvolution) has_conv = true;
+    }
+    EXPECT_TRUE(has_conv) << family;
+  }
+}
+
+TEST(Corpus, SequenceFamiliesContainDots) {
+  for (const char* family : {"NMT", "TransformerLM", "RNNLM"}) {
+    const auto program = BuildProgram(family, 0);
+    bool has_dot = false;
+    for (const auto& n : program.graph.nodes()) {
+      if (n.op == ir::OpCode::kDot) has_dot = true;
+    }
+    EXPECT_TRUE(has_dot) << family;
+  }
+}
+
+}  // namespace
+}  // namespace tpuperf::data

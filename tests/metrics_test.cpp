@@ -1,0 +1,110 @@
+// Tests for the evaluation metrics (paper §5): Kendall's tau, MAPE,
+// Tile-Size APE (Eq. 2), and aggregation helpers.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "eval/metrics.h"
+
+namespace tpuperf::eval {
+namespace {
+
+TEST(KendallTau, PerfectAgreement) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(KendallTau(a, a), 1.0);
+}
+
+TEST(KendallTau, PerfectDisagreement) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(KendallTau(a, b), -1.0);
+}
+
+TEST(KendallTau, KnownMixedCase) {
+  // Pairs: (1,2):concordant, (1,3):concordant, (2,3):discordant
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {1, 3, 2};
+  EXPECT_NEAR(KendallTau(a, b), (2.0 - 1.0) / 3.0, 1e-12);
+}
+
+TEST(KendallTau, TiesContributeNothing) {
+  const std::vector<double> a = {1, 1, 2};
+  const std::vector<double> b = {1, 2, 3};
+  // Pairs: (0,1) tie in a; (0,2) concordant; (1,2) concordant -> 2/3.
+  EXPECT_NEAR(KendallTau(a, b), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTau, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(KendallTau(std::vector<double>{}, std::vector<double>{}),
+                   0.0);
+  EXPECT_DOUBLE_EQ(KendallTau(std::vector<double>{1}, std::vector<double>{2}),
+                   0.0);
+  EXPECT_THROW(KendallTau(std::vector<double>{1}, std::vector<double>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Mape, ExactPredictionsGiveZero) {
+  const std::vector<double> t = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mape(t, t), 0.0);
+}
+
+TEST(Mape, KnownValue) {
+  const std::vector<double> pred = {1.1, 1.8};
+  const std::vector<double> target = {1.0, 2.0};
+  EXPECT_NEAR(Mape(pred, target), 100.0 * (0.1 + 0.1) / 2.0, 1e-9);
+}
+
+TEST(Mape, SkipsNonPositiveTargets) {
+  const std::vector<double> pred = {5.0, 1.1};
+  const std::vector<double> target = {0.0, 1.0};
+  EXPECT_NEAR(Mape(pred, target), 10.0, 1e-9);
+}
+
+TEST(TileSizeApe, ZeroWhenChosenIsBest) {
+  const std::vector<KernelTileRuntimes> kernels = {{1e-5, 1e-5}, {2e-5, 2e-5}};
+  EXPECT_DOUBLE_EQ(TileSizeApe(kernels), 0.0);
+}
+
+TEST(TileSizeApe, Equation2) {
+  // Eq. 2: 100 * sum|chosen - best| / sum best.
+  const std::vector<KernelTileRuntimes> kernels = {{1.2e-5, 1e-5},
+                                                   {2e-5, 2e-5}};
+  EXPECT_NEAR(TileSizeApe(kernels), 100.0 * 0.2e-5 / 3e-5, 1e-9);
+}
+
+TEST(TileSizeApe, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(TileSizeApe(std::vector<KernelTileRuntimes>{}), 0.0);
+}
+
+TEST(Aggregates, MeanMedianStdDev) {
+  const std::vector<double> v = {1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(Mean(v), 22.0);
+  EXPECT_DOUBLE_EQ(Median(v), 3.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{1, 2, 3, 4}), 2.5);
+  EXPECT_NEAR(StdDev(std::vector<double>{2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(StdDev(std::vector<double>{42}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{}), 0.0);
+}
+
+// Property: tau is antisymmetric under reversal of one argument.
+class KendallTauPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KendallTauPropertyTest, AntisymmetricUnderNegation) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> a(12), b(12), neg_b(12);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = dist(rng);
+    b[i] = dist(rng);
+    neg_b[i] = -b[i];
+  }
+  EXPECT_NEAR(KendallTau(a, b), -KendallTau(a, neg_b), 1e-12);
+  EXPECT_NEAR(KendallTau(a, b), KendallTau(b, a), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KendallTauPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace tpuperf::eval

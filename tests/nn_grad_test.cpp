@@ -1,0 +1,442 @@
+// Numerical gradient verification for every differentiable op and layer.
+//
+// Strategy: build a tiny scalar loss on top of the op under test, compute
+// analytic gradients via the tape, then compare against central finite
+// differences on the same forward function. This is the main property-based
+// safety net under the learned cost model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <random>
+
+#include "nn/attention.h"
+#include "nn/gnn.h"
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "nn/ops.h"
+#include "nn/rnn.h"
+#include "nn/tape.h"
+
+namespace tpuperf::nn {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, std::mt19937_64& rng,
+                    float scale = 1.0f) {
+  Matrix m(rows, cols);
+  std::uniform_real_distribution<float> dist(-scale, scale);
+  for (float& v : m.flat()) v = dist(rng);
+  return m;
+}
+
+// Forward function: inputs -> scalar loss value. The function must rebuild
+// the graph from scratch on each call (for finite differences).
+using ForwardFn = std::function<double(const std::vector<Matrix>&)>;
+// Tape-based version returning the loss tensor and input leaf tensors.
+using TapeFn =
+    std::function<Tensor(Tape&, std::vector<Tensor>&)>;
+
+// Checks d(loss)/d(inputs[k]) for all k against central differences.
+void CheckGradients(const std::vector<Matrix>& inputs, const TapeFn& build,
+                    float tolerance = 2e-2f, float h = 1e-3f) {
+  // Analytic gradients.
+  Tape tape(/*grad_enabled=*/true);
+  std::vector<Tensor> leaves;
+  leaves.reserve(inputs.size());
+  for (const Matrix& m : inputs) {
+    leaves.push_back(tape.Leaf(m, /*requires_grad=*/true));
+  }
+  std::vector<Tensor> leaves_copy = leaves;
+  Tensor loss = build(tape, leaves_copy);
+  ASSERT_EQ(loss.rows(), 1);
+  ASSERT_EQ(loss.cols(), 1);
+  tape.Backward(loss);
+
+  const auto eval = [&](const std::vector<Matrix>& xs) {
+    Tape t(/*grad_enabled=*/false);
+    std::vector<Tensor> ls;
+    ls.reserve(xs.size());
+    for (const Matrix& m : xs) ls.push_back(t.Leaf(m, false));
+    return static_cast<double>(build(t, ls).scalar());
+  };
+
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    const Matrix& analytic = leaves[k].node()->grad.empty()
+                                 ? Matrix(inputs[k].rows(), inputs[k].cols())
+                                 : leaves[k].node()->grad;
+    for (int r = 0; r < inputs[k].rows(); ++r) {
+      for (int c = 0; c < inputs[k].cols(); ++c) {
+        std::vector<Matrix> plus = inputs;
+        std::vector<Matrix> minus = inputs;
+        plus[k].at(r, c) += h;
+        minus[k].at(r, c) -= h;
+        const double numeric = (eval(plus) - eval(minus)) / (2.0 * h);
+        const double got = analytic.at(r, c);
+        const double denom = std::max({1.0, std::abs(numeric), std::abs(got)});
+        EXPECT_NEAR(got / denom, numeric / denom, tolerance)
+            << "input " << k << " entry (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(GradCheck, MatMul) {
+  std::mt19937_64 rng(1);
+  CheckGradients({RandomMatrix(3, 4, rng), RandomMatrix(4, 2, rng)},
+                 [](Tape& t, std::vector<Tensor>& in) {
+                   return SumAllOp(t, MatMulOp(t, in[0], in[1]));
+                 });
+}
+
+TEST(GradCheck, MatMulConstA) {
+  std::mt19937_64 rng(2);
+  const Matrix a = RandomMatrix(5, 3, rng);
+  CheckGradients({RandomMatrix(3, 4, rng)},
+                 [a](Tape& t, std::vector<Tensor>& in) {
+                   return SumAllOp(t, MatMulConstA(t, a, in[0]));
+                 });
+}
+
+TEST(GradCheck, AddSubMulScale) {
+  std::mt19937_64 rng(3);
+  CheckGradients(
+      {RandomMatrix(3, 3, rng), RandomMatrix(3, 3, rng)},
+      [](Tape& t, std::vector<Tensor>& in) {
+        Tensor a = AddOp(t, in[0], in[1]);
+        Tensor s = SubOp(t, a, in[1]);
+        Tensor m = MulOp(t, s, in[0]);
+        return SumAllOp(t, ScaleOp(t, m, 0.5f));
+      });
+}
+
+TEST(GradCheck, AddRowBroadcast) {
+  std::mt19937_64 rng(4);
+  CheckGradients({RandomMatrix(4, 3, rng), RandomMatrix(1, 3, rng)},
+                 [](Tape& t, std::vector<Tensor>& in) {
+                   return SumAllOp(t, AddRowBroadcastOp(t, in[0], in[1]));
+                 });
+}
+
+TEST(GradCheck, Activations) {
+  std::mt19937_64 rng(5);
+  for (int which = 0; which < 5; ++which) {
+    CheckGradients(
+        {RandomMatrix(3, 4, rng, 0.8f)},
+        [which](Tape& t, std::vector<Tensor>& in) {
+          Tensor y;
+          switch (which) {
+            case 0: y = ReluOp(t, AddScalarOp(t, in[0], 0.05f)); break;
+            case 1: y = TanhOp(t, in[0]); break;
+            case 2: y = SigmoidOp(t, in[0]); break;
+            case 3: y = ExpOp(t, in[0]); break;
+            default: y = LeakyReluOp(t, AddScalarOp(t, in[0], 0.05f), 0.2f);
+          }
+          return SumAllOp(t, MulOp(t, y, y));
+        });
+  }
+}
+
+TEST(GradCheck, LogGuarded) {
+  std::mt19937_64 rng(6);
+  Matrix x = RandomMatrix(3, 3, rng);
+  for (float& v : x.flat()) v = std::abs(v) + 0.5f;
+  CheckGradients({x}, [](Tape& t, std::vector<Tensor>& in) {
+    return SumAllOp(t, LogOp(t, in[0]));
+  });
+}
+
+TEST(GradCheck, RowL2Normalize) {
+  std::mt19937_64 rng(7);
+  CheckGradients({RandomMatrix(3, 5, rng)},
+                 [](Tape& t, std::vector<Tensor>& in) {
+                   Tensor y = RowL2NormalizeOp(t, in[0]);
+                   return SumAllOp(t, MulOp(t, y, y));
+                 });
+}
+
+TEST(GradCheck, LayerNormRows) {
+  std::mt19937_64 rng(8);
+  CheckGradients(
+      {RandomMatrix(3, 6, rng), RandomMatrix(1, 6, rng), RandomMatrix(1, 6, rng)},
+      [](Tape& t, std::vector<Tensor>& in) {
+        Tensor y = LayerNormRowsOp(t, in[0], in[1], in[2]);
+        return SumAllOp(t, MulOp(t, y, y));
+      },
+      /*tolerance=*/3e-2f);
+}
+
+TEST(GradCheck, SoftmaxRows) {
+  std::mt19937_64 rng(9);
+  CheckGradients({RandomMatrix(3, 4, rng)},
+                 [](Tape& t, std::vector<Tensor>& in) {
+                   Tensor y = SoftmaxRowsOp(t, in[0]);
+                   return SumAllOp(t, MulOp(t, y, y));
+                 });
+}
+
+TEST(GradCheck, MaskedSoftmaxRows) {
+  std::mt19937_64 rng(10);
+  Matrix mask(3, 4);
+  mask.at(0, 0) = 1;
+  mask.at(0, 2) = 1;
+  mask.at(1, 1) = 1;
+  mask.at(1, 3) = 1;
+  mask.at(2, 0) = 1;
+  mask.at(2, 1) = 1;
+  CheckGradients({RandomMatrix(3, 4, rng)},
+                 [mask](Tape& t, std::vector<Tensor>& in) {
+                   Tensor y = MaskedSoftmaxRowsOp(t, in[0], mask);
+                   return SumAllOp(t, MulOp(t, y, y));
+                 });
+}
+
+TEST(GradCheck, ConcatAndSlice) {
+  std::mt19937_64 rng(11);
+  CheckGradients(
+      {RandomMatrix(2, 3, rng), RandomMatrix(2, 2, rng)},
+      [](Tape& t, std::vector<Tensor>& in) {
+        const Tensor parts[] = {in[0], in[1]};
+        Tensor y = ConcatColsOp(t, parts);
+        Tensor row = SliceRowOp(t, y, 1);
+        return SumAllOp(t, MulOp(t, row, row));
+      });
+  CheckGradients(
+      {RandomMatrix(2, 3, rng), RandomMatrix(3, 3, rng)},
+      [](Tape& t, std::vector<Tensor>& in) {
+        const Tensor parts[] = {in[0], in[1]};
+        Tensor y = ConcatRowsOp(t, parts);
+        return SumAllOp(t, MulOp(t, y, y));
+      });
+}
+
+TEST(GradCheck, ColumnReductions) {
+  std::mt19937_64 rng(12);
+  for (int which = 0; which < 3; ++which) {
+    CheckGradients({RandomMatrix(4, 3, rng)},
+                   [which](Tape& t, std::vector<Tensor>& in) {
+                     Tensor y;
+                     switch (which) {
+                       case 0: y = ColSumOp(t, in[0]); break;
+                       case 1: y = ColMeanOp(t, in[0]); break;
+                       default: y = ColMaxOp(t, in[0]);
+                     }
+                     return SumAllOp(t, MulOp(t, y, y));
+                   });
+  }
+}
+
+TEST(GradCheck, MeanAll) {
+  std::mt19937_64 rng(13);
+  CheckGradients({RandomMatrix(3, 3, rng)},
+                 [](Tape& t, std::vector<Tensor>& in) {
+                   Tensor y = MulOp(t, in[0], in[0]);
+                   return MeanAllOp(t, y);
+                 });
+}
+
+TEST(GradCheck, GatherRows) {
+  std::mt19937_64 rng(14);
+  const std::vector<int> ids = {2, 0, 2, 1};
+  CheckGradients({RandomMatrix(3, 4, rng)},
+                 [ids](Tape& t, std::vector<Tensor>& in) {
+                   Tensor y = GatherRowsOp(t, in[0], ids);
+                   return SumAllOp(t, MulOp(t, y, y));
+                 });
+}
+
+TEST(GradCheck, OuterSum) {
+  std::mt19937_64 rng(15);
+  CheckGradients({RandomMatrix(3, 1, rng), RandomMatrix(4, 1, rng)},
+                 [](Tape& t, std::vector<Tensor>& in) {
+                   Tensor y = OuterSumOp(t, in[0], in[1]);
+                   return SumAllOp(t, MulOp(t, y, y));
+                 });
+}
+
+TEST(GradCheck, Transpose) {
+  std::mt19937_64 rng(16);
+  CheckGradients({RandomMatrix(3, 4, rng)},
+                 [](Tape& t, std::vector<Tensor>& in) {
+                   Tensor y = TransposeOp(t, in[0]);
+                   return SumAllOp(t, MulOp(t, y, y));
+                 });
+}
+
+TEST(GradCheck, PairwiseRankLossHinge) {
+  std::mt19937_64 rng(17);
+  const std::vector<double> targets = {3.0, 1.0, 2.0, 5.0};
+  CheckGradients({RandomMatrix(4, 1, rng)},
+                 [targets](Tape& t, std::vector<Tensor>& in) {
+                   return PairwiseRankLoss(t, in[0], targets,
+                                           RankSurrogate::kHinge);
+                 });
+}
+
+TEST(GradCheck, PairwiseRankLossLogistic) {
+  std::mt19937_64 rng(18);
+  const std::vector<double> targets = {3.0, 1.0, 2.0, 5.0};
+  CheckGradients({RandomMatrix(4, 1, rng)},
+                 [targets](Tape& t, std::vector<Tensor>& in) {
+                   return PairwiseRankLoss(t, in[0], targets,
+                                           RankSurrogate::kLogistic);
+                 });
+}
+
+TEST(GradCheck, MseLogLoss) {
+  std::mt19937_64 rng(19);
+  const std::vector<double> targets = {1e-6, 5e-6, 2e-5};
+  CheckGradients({RandomMatrix(3, 1, rng)},
+                 [targets](Tape& t, std::vector<Tensor>& in) {
+                   return MseLogLoss(t, in[0], targets);
+                 });
+}
+
+// ---- Layer-level checks: gradients flow through parameters --------------
+
+// Wraps parameter gradients: builds the module once, then checks gradient of
+// loss wrt a chosen parameter numerically by perturbing param values.
+void CheckParamGradients(ParamStore& store,
+                         const std::function<double(Tape&)>& forward_loss,
+                         float tolerance = 3e-2f, float h = 1e-3f) {
+  store.ZeroGrad();
+  {
+    Tape tape(true);
+    // Rebuild loss and backprop.
+    Tape* tp = &tape;
+    Matrix loss(1, 1);
+    loss.at(0, 0) = static_cast<float>(forward_loss(*tp));
+    // forward_loss is expected to run Backward itself when grads enabled.
+  }
+  for (Parameter* p : store.params()) {
+    for (size_t i = 0; i < std::min<size_t>(p->value.size(), 4); ++i) {
+      const float original = p->value.data()[i];
+      p->value.data()[i] = original + h;
+      Tape tp(false);
+      const double plus = forward_loss(tp);
+      p->value.data()[i] = original - h;
+      Tape tm(false);
+      const double minus = forward_loss(tm);
+      p->value.data()[i] = original;
+      const double numeric = (plus - minus) / (2.0 * h);
+      const double got = p->grad.data()[i];
+      const double denom = std::max({1.0, std::abs(numeric), std::abs(got)});
+      EXPECT_NEAR(got / denom, numeric / denom, tolerance)
+          << p->name << " entry " << i;
+    }
+  }
+}
+
+TEST(GradCheck, LinearAndMlpParams) {
+  std::mt19937_64 rng(20);
+  ParamStore store;
+  Mlp mlp(store, "mlp", 4, {5, 3}, Activation::kRelu, rng);
+  const Matrix x = RandomMatrix(3, 4, rng);
+  const auto loss_fn = [&](Tape& tape) {
+    Tensor in = tape.Leaf(x);
+    Tensor y = mlp.Forward(tape, in);
+    Tensor loss = SumAllOp(tape, MulOp(tape, y, y));
+    if (tape.grad_enabled()) tape.Backward(loss);
+    return static_cast<double>(loss.scalar());
+  };
+  CheckParamGradients(store, loss_fn);
+}
+
+TEST(GradCheck, EmbeddingParams) {
+  std::mt19937_64 rng(21);
+  ParamStore store;
+  Embedding emb(store, "emb", 6, 4, rng);
+  const std::vector<int> ids = {1, 3, 1, 5};
+  const auto loss_fn = [&](Tape& tape) {
+    Tensor y = emb.Forward(tape, ids);
+    Tensor loss = SumAllOp(tape, MulOp(tape, y, y));
+    if (tape.grad_enabled()) tape.Backward(loss);
+    return static_cast<double>(loss.scalar());
+  };
+  CheckParamGradients(store, loss_fn);
+}
+
+TEST(GradCheck, LstmParams) {
+  std::mt19937_64 rng(22);
+  ParamStore store;
+  Lstm lstm(store, "lstm", 3, 4, rng);
+  const Matrix x = RandomMatrix(5, 3, rng);
+  const auto loss_fn = [&](Tape& tape) {
+    Tensor in = tape.Leaf(x);
+    auto out = lstm.Forward(tape, in);
+    Tensor loss = SumAllOp(tape, MulOp(tape, out.final_hidden, out.final_hidden));
+    if (tape.grad_enabled()) tape.Backward(loss);
+    return static_cast<double>(loss.scalar());
+  };
+  CheckParamGradients(store, loss_fn);
+}
+
+TEST(GradCheck, TransformerParams) {
+  std::mt19937_64 rng(23);
+  ParamStore store;
+  TransformerEncoder enc(store, "tx", 4, 2, 1, rng);
+  const Matrix x = RandomMatrix(3, 4, rng);
+  const auto loss_fn = [&](Tape& tape) {
+    Tensor in = tape.Leaf(x);
+    Tensor y = enc.Forward(tape, in);
+    Tensor loss = SumAllOp(tape, MulOp(tape, y, y));
+    if (tape.grad_enabled()) tape.Backward(loss);
+    return static_cast<double>(loss.scalar());
+  };
+  CheckParamGradients(store, loss_fn);
+}
+
+TEST(GradCheck, GraphSageParams) {
+  std::mt19937_64 rng(24);
+  ParamStore store;
+  GraphSageLayer layer(store, "sage", 4, /*directed=*/true,
+                       /*l2_normalize=*/true, rng);
+  const std::vector<std::vector<int>> operands = {{}, {0}, {0, 1}, {2}};
+  const GraphStructure gs = BuildGraphStructure(operands);
+  const Matrix x = RandomMatrix(4, 4, rng);
+  const auto loss_fn = [&](Tape& tape) {
+    Tensor in = tape.Leaf(x);
+    Tensor y = layer.Forward(tape, in, gs);
+    Tensor loss = SumAllOp(tape, MulOp(tape, y, y));
+    if (tape.grad_enabled()) tape.Backward(loss);
+    return static_cast<double>(loss.scalar());
+  };
+  CheckParamGradients(store, loss_fn);
+}
+
+TEST(GradCheck, GatParams) {
+  std::mt19937_64 rng(25);
+  ParamStore store;
+  GatLayer layer(store, "gat", 4, /*num_heads=*/2, rng);
+  const std::vector<std::vector<int>> operands = {{}, {0}, {0, 1}, {2}};
+  const GraphStructure gs = BuildGraphStructure(operands);
+  const Matrix x = RandomMatrix(4, 4, rng);
+  const auto loss_fn = [&](Tape& tape) {
+    Tensor in = tape.Leaf(x);
+    Tensor y = layer.Forward(tape, in, gs);
+    Tensor loss = SumAllOp(tape, MulOp(tape, y, y));
+    if (tape.grad_enabled()) tape.Backward(loss);
+    return static_cast<double>(loss.scalar());
+  };
+  CheckParamGradients(store, loss_fn);
+}
+
+TEST(GradCheck, UndirectedGraphSageParams) {
+  std::mt19937_64 rng(26);
+  ParamStore store;
+  GraphSageLayer layer(store, "sage_u", 4, /*directed=*/false,
+                       /*l2_normalize=*/true, rng);
+  const std::vector<std::vector<int>> operands = {{}, {0}, {0, 1}, {1, 2}};
+  const GraphStructure gs = BuildGraphStructure(operands);
+  const Matrix x = RandomMatrix(4, 4, rng);
+  const auto loss_fn = [&](Tape& tape) {
+    Tensor in = tape.Leaf(x);
+    Tensor y = layer.Forward(tape, in, gs);
+    Tensor loss = SumAllOp(tape, MulOp(tape, y, y));
+    if (tape.grad_enabled()) tape.Backward(loss);
+    return static_cast<double>(loss.scalar());
+  };
+  CheckParamGradients(store, loss_fn);
+}
+
+}  // namespace
+}  // namespace tpuperf::nn

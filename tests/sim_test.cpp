@@ -1,0 +1,208 @@
+// Tests for the TPU simulator: determinism, physical plausibility
+// (monotonicity, pipeline bounds), the modelled second-order effects, and
+// the v2 vs v3 relationship.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "sim/hash.h"
+#include "sim/simulator.h"
+
+namespace tpuperf::sim {
+namespace {
+
+using ir::GraphBuilder;
+using ir::NodeId;
+using ir::OpCode;
+using ir::Padding;
+using ir::Shape;
+using ir::TileConfig;
+
+ir::Graph MatmulKernel(std::int64_t m, std::int64_t k, std::int64_t n) {
+  GraphBuilder b;
+  const NodeId x = b.Parameter(Shape({m, k}));
+  const NodeId w = b.Parameter(Shape({k, n}));
+  b.Dot(x, w);
+  return std::move(b).Build();
+}
+
+ir::Graph ElementwiseKernel(std::int64_t rows, std::int64_t cols) {
+  GraphBuilder b;
+  const NodeId x = b.Parameter(Shape({rows, cols}));
+  const NodeId y = b.Parameter(Shape({rows, cols}));
+  b.Unary(OpCode::kTanh, b.Binary(OpCode::kAdd, x, y));
+  return std::move(b).Build();
+}
+
+TEST(Hash, MixesAndIsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+  EXPECT_EQ(HashCombine(1, 2, 3), HashCombine(1, 2, 3));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  for (const std::uint64_t h : {0ull, 1ull, 0xffffffffffffffffull}) {
+    EXPECT_GE(HashUnit(h), 0.0);
+    EXPECT_LT(HashUnit(h), 1.0);
+    EXPECT_GE(HashSigned(h), -1.0);
+    EXPECT_LT(HashSigned(h), 1.0);
+  }
+}
+
+TEST(Target, V3IsStrictlyBeefier) {
+  const TpuTarget v2 = TpuTarget::V2();
+  const TpuTarget v3 = TpuTarget::V3();
+  EXPECT_EQ(v3.mxu_count, 2 * v2.mxu_count);  // "twice as many MXUs" (§2.1)
+  EXPECT_GT(v3.hbm_bytes_per_sec, v2.hbm_bytes_per_sec);
+  EXPECT_GT(v3.PeakMatmulFlops(), v2.PeakMatmulFlops());
+}
+
+TEST(Simulator, Deterministic) {
+  const TpuSimulator sim(TpuTarget::V2());
+  const auto kernel = MatmulKernel(256, 256, 256);
+  const TileConfig tile = sim.DefaultTile(kernel);
+  EXPECT_DOUBLE_EQ(sim.Simulate(kernel, tile).runtime_sec,
+                   sim.Simulate(kernel, tile).runtime_sec);
+  EXPECT_DOUBLE_EQ(sim.Measure(kernel, tile), sim.Measure(kernel, tile));
+}
+
+TEST(Simulator, RuntimePositiveAndAboveLaunchOverhead) {
+  const TpuSimulator sim(TpuTarget::V2());
+  const auto kernel = ElementwiseKernel(8, 8);
+  const auto result = sim.Simulate(kernel, sim.DefaultTile(kernel));
+  EXPECT_GT(result.runtime_sec, sim.target().kernel_launch_sec);
+}
+
+// More work of the same shape must take at least as long.
+class SimMonotonicityTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SimMonotonicityTest, MoreFlopsMoreTime) {
+  const TpuSimulator sim(TpuTarget::V2());
+  const std::int64_t n = GetParam();
+  const auto small = MatmulKernel(n, n, n);
+  const auto big = MatmulKernel(2 * n, n, n);
+  EXPECT_LT(sim.Simulate(small, sim.DefaultTile(small)).runtime_sec,
+            sim.Simulate(big, sim.DefaultTile(big)).runtime_sec * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimMonotonicityTest,
+                         ::testing::Values(64, 128, 256, 512, 1024));
+
+TEST(Simulator, V3FasterOnMatmulHeavyKernels) {
+  const TpuSimulator v2(TpuTarget::V2());
+  const TpuSimulator v3(TpuTarget::V3());
+  const auto kernel = MatmulKernel(1024, 1024, 1024);
+  const TileConfig tile = v2.DefaultTile(kernel);
+  EXPECT_LT(v3.Simulate(kernel, tile).runtime_sec,
+            v2.Simulate(kernel, tile).runtime_sec);
+}
+
+TEST(Simulator, PipelineIsMaxOfComputeAndTransfer) {
+  const TpuSimulator sim(TpuTarget::V2());
+  const auto kernel = MatmulKernel(512, 512, 512);
+  const auto result = sim.Simulate(kernel, sim.DefaultTile(kernel));
+  const double steady =
+      std::max(result.compute_sec_per_tile, result.transfer_sec_per_tile);
+  const double lower = sim.target().kernel_launch_sec +
+                       steady * static_cast<double>(result.tile_iterations);
+  EXPECT_GE(result.runtime_sec, lower * 0.999);
+  EXPECT_EQ(result.compute_bound,
+            result.compute_sec_per_tile >= result.transfer_sec_per_tile);
+}
+
+TEST(Simulator, MeasurementIsMinOfNoisyRuns) {
+  const TpuSimulator sim(TpuTarget::V2());
+  const auto kernel = ElementwiseKernel(128, 128);
+  const TileConfig tile = sim.DefaultTile(kernel);
+  const double base = sim.Simulate(kernel, tile).runtime_sec;
+  const double one = sim.Measure(kernel, tile, 1);
+  const double many = sim.Measure(kernel, tile, 10);
+  EXPECT_GE(one, base);         // noise is non-negative
+  EXPECT_LE(many, one * 1.0001);  // min over more runs can only improve
+  EXPECT_LE(many, base * 1.03 + 1e-12);
+}
+
+TEST(Simulator, TinyTilesPayLatency) {
+  const TpuSimulator sim(TpuTarget::V2());
+  const auto kernel = ElementwiseKernel(512, 512);
+  const TileConfig whole{{512, 512}};
+  const TileConfig slivers{{1, 512}};
+  EXPECT_LT(sim.Simulate(kernel, whole).runtime_sec,
+            sim.Simulate(kernel, slivers).runtime_sec);
+}
+
+TEST(Simulator, UnalignedMinorDimSuffersBankConflicts) {
+  const TpuSimulator sim(TpuTarget::V2());
+  const auto kernel = ElementwiseKernel(256, 512);
+  const auto aligned = sim.Simulate(kernel, TileConfig{{64, 256}});
+  const auto unaligned = sim.Simulate(kernel, TileConfig{{64, 255}});
+  // Same iteration count would not hold; compare stall factors directly.
+  EXPECT_GT(unaligned.stall_factor / aligned.stall_factor, 1.0);
+}
+
+TEST(Simulator, MxuAlignmentMattersForMatmul) {
+  const TpuSimulator sim(TpuTarget::V2());
+  const auto kernel = MatmulKernel(512, 512, 512);
+  const auto aligned = sim.Simulate(kernel, TileConfig{{128, 128}});
+  const auto padded = sim.Simulate(kernel, TileConfig{{128, 130}});
+  // 130 lanes round up to 256: utilization roughly halves.
+  EXPECT_GT(aligned.mxu_sec_per_tile * 1.5, 0.0);
+  const double aligned_rate = 128.0 * 128 / aligned.mxu_sec_per_tile;
+  const double padded_rate = 128.0 * 130 / padded.mxu_sec_per_tile;
+  EXPECT_GT(aligned_rate, padded_rate);
+}
+
+TEST(Simulator, ScratchpadPressureAddsSpills) {
+  const TpuSimulator sim(TpuTarget::V2());
+  const auto kernel = ElementwiseKernel(4096, 512);
+  const TileConfig big = sim.DefaultTile(kernel);  // near capacity
+  const TileConfig medium{{256, 512}};
+  const auto r_big = sim.Simulate(kernel, big);
+  const auto r_med = sim.Simulate(kernel, medium);
+  EXPECT_GT(r_big.scratchpad_pressure, r_med.scratchpad_pressure);
+}
+
+TEST(Simulator, DefaultTileFitsAndIsValid) {
+  const TpuSimulator sim(TpuTarget::V2());
+  for (std::int64_t n : {16, 256, 2048}) {
+    const auto kernel = MatmulKernel(n, n, n);
+    const TileConfig tile = sim.DefaultTile(kernel);
+    EXPECT_TRUE(ir::IsValidTile(
+        tile, kernel.node(kernel.RootId()).shape));
+  }
+}
+
+TEST(Simulator, TransferAccountsWeightResidency) {
+  const TpuSimulator sim(TpuTarget::V2());
+  // Small weights: resident in scratchpad, amortized across iterations.
+  const auto small_w = MatmulKernel(4096, 64, 64);
+  const TileConfig tiled{{256, 64}};
+  const auto result = sim.Simulate(small_w, tiled);
+  // Weight bytes (64*64*4 = 16KB) amortized: per-tile input bytes must be
+  // far below re-streaming the weights every iteration.
+  EXPECT_LT(result.bytes_in_per_tile,
+            64 * 64 * 4 + (4096.0 / result.tile_iterations) * 64 * 4 * 1.5);
+}
+
+TEST(Simulator, EnumerateTilesNonEmptyForAllKernels) {
+  const TpuSimulator sim(TpuTarget::V2());
+  for (std::int64_t n : {8, 64, 512}) {
+    EXPECT_FALSE(sim.EnumerateTiles(MatmulKernel(n, n, n)).empty());
+  }
+}
+
+TEST(Simulator, TranscendentalsSerializeOnSfu) {
+  const TpuSimulator sim(TpuTarget::V2());
+  GraphBuilder b1;
+  b1.Binary(OpCode::kAdd, b1.Parameter(Shape({512, 512})),
+            b1.Parameter(Shape({512, 512})));
+  const auto plain = std::move(b1).Build();
+  GraphBuilder b2;
+  b2.Unary(OpCode::kTanh, b2.Binary(OpCode::kAdd,
+                                    b2.Parameter(Shape({512, 512})),
+                                    b2.Parameter(Shape({512, 512}))));
+  const auto with_tanh = std::move(b2).Build();
+  const TileConfig tile{{256, 512}};
+  EXPECT_GT(sim.Simulate(with_tanh, tile).sfu_sec_per_tile, 0.0);
+  EXPECT_DOUBLE_EQ(sim.Simulate(plain, tile).sfu_sec_per_tile, 0.0);
+}
+
+}  // namespace
+}  // namespace tpuperf::sim

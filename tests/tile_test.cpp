@@ -1,0 +1,125 @@
+// Tests for tile configurations and the valid-tile enumerator, including
+// parameterized property sweeps over output shapes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/analysis.h"
+#include "ir/builder.h"
+#include "ir/tile.h"
+
+namespace tpuperf::ir {
+namespace {
+
+TEST(TileConfig, VolumeAndToString) {
+  const TileConfig t{{2, 8, 4}};
+  EXPECT_EQ(t.volume(), 64);
+  EXPECT_EQ(t.ToString(), "[2,8,4]");
+}
+
+TEST(TileConfig, Validity) {
+  const Shape shape({8, 16});
+  EXPECT_TRUE(IsValidTile(TileConfig{{8, 16}}, shape));
+  EXPECT_TRUE(IsValidTile(TileConfig{{1, 1}}, shape));
+  EXPECT_FALSE(IsValidTile(TileConfig{{9, 16}}, shape));   // too big
+  EXPECT_FALSE(IsValidTile(TileConfig{{0, 16}}, shape));   // zero
+  EXPECT_FALSE(IsValidTile(TileConfig{{8}}, shape));       // rank mismatch
+}
+
+TEST(TileConfig, Iterations) {
+  const Shape shape({10, 16});
+  EXPECT_EQ(TileIterations(TileConfig{{10, 16}}, shape), 1);
+  EXPECT_EQ(TileIterations(TileConfig{{5, 16}}, shape), 2);
+  EXPECT_EQ(TileIterations(TileConfig{{3, 16}}, shape), 4);  // ceil(10/3)=4
+  EXPECT_EQ(TileIterations(TileConfig{{1, 1}}, shape), 160);
+}
+
+// Property sweep: for a variety of shapes, every enumerated tile is valid,
+// within the footprint bound, unique, and the list is non-empty.
+class TileEnumeratorPropertyTest
+    : public ::testing::TestWithParam<std::vector<std::int64_t>> {};
+
+TEST_P(TileEnumeratorPropertyTest, AllEnumeratedTilesAreValidAndUnique) {
+  const Shape shape(GetParam());
+  TileEnumeratorOptions options;
+  options.scratchpad_bytes = 1 << 20;
+  options.max_configs = 512;
+  const double per_elem = 16.0;
+  const auto tiles = EnumerateTiles(shape, per_elem, options);
+  ASSERT_FALSE(tiles.empty());
+  std::set<std::string> seen;
+  for (const TileConfig& t : tiles) {
+    EXPECT_TRUE(IsValidTile(t, shape)) << t.ToString();
+    EXPECT_TRUE(seen.insert(t.ToString()).second) << "duplicate " << t.ToString();
+    EXPECT_LE(static_cast<double>(t.volume()) * per_elem,
+              static_cast<double>(options.scratchpad_bytes))
+        << t.ToString();
+  }
+  EXPECT_LE(static_cast<int>(tiles.size()), options.max_configs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TileEnumeratorPropertyTest,
+    ::testing::Values(std::vector<std::int64_t>{64},
+                      std::vector<std::int64_t>{128, 128},
+                      std::vector<std::int64_t>{7, 13},
+                      std::vector<std::int64_t>{32, 32, 32},
+                      std::vector<std::int64_t>{8, 28, 28, 64},
+                      std::vector<std::int64_t>{1, 1},
+                      std::vector<std::int64_t>{500, 3}));
+
+TEST(TileEnumerator, DeterministicSubsampleKeepsFullTile) {
+  const Shape shape({64, 64, 64});
+  TileEnumeratorOptions options;
+  options.scratchpad_bytes = 1ll << 30;  // effectively unbounded
+  options.max_configs = 16;
+  const auto a = EnumerateTiles(shape, 4.0, options);
+  const auto b = EnumerateTiles(shape, 4.0, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  // The full-output tile survives subsampling (it is the natural default).
+  EXPECT_EQ(a.back().dims, shape.dims());
+}
+
+TEST(TileEnumerator, FallsBackToOnesWhenBudgetTiny) {
+  const Shape shape({64, 64});
+  TileEnumeratorOptions options;
+  options.scratchpad_bytes = 4;  // nothing fits
+  const auto tiles = EnumerateTiles(shape, 1e9, options);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0].dims, (std::vector<std::int64_t>{1, 1}));
+}
+
+TEST(TileEnumerator, HardwareAlignedCandidatesIncluded) {
+  const Shape shape({512});
+  TileEnumeratorOptions options;
+  options.scratchpad_bytes = 1 << 24;
+  options.max_configs = 4096;
+  const auto tiles = EnumerateTiles(shape, 4.0, options);
+  bool has_128 = false, has_384 = false;
+  for (const auto& t : tiles) {
+    if (t.dims[0] == 128) has_128 = true;
+    if (t.dims[0] == 384) has_384 = true;  // non-power-of-two aligned
+  }
+  EXPECT_TRUE(has_128);
+  EXPECT_TRUE(has_384);
+}
+
+TEST(TileEnumerator, RespectsFootprintMonotonically) {
+  // Larger per-element footprint must not enumerate larger tile volumes.
+  const Shape shape({256, 256});
+  TileEnumeratorOptions options;
+  options.scratchpad_bytes = 1 << 20;
+  options.max_configs = 4096;
+  const auto small_fp = EnumerateTiles(shape, 4.0, options);
+  const auto large_fp = EnumerateTiles(shape, 64.0, options);
+  const auto max_volume = [](const std::vector<TileConfig>& v) {
+    std::int64_t best = 0;
+    for (const auto& t : v) best = std::max(best, t.volume());
+    return best;
+  };
+  EXPECT_GE(max_volume(small_fp), max_volume(large_fp));
+}
+
+}  // namespace
+}  // namespace tpuperf::ir
