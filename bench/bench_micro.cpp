@@ -5,6 +5,10 @@
 // hardware measurements.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
 #include "analytical/analytical_model.h"
 #include "core/trainer.h"
 #include "dataset/datasets.h"
@@ -95,6 +99,77 @@ void BM_ModelInference(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelInference);
 
+// A batch of 32 (kernel, tile) pairs drawn from the seed program's fused
+// kernels (cycled when the program has fewer), as the autotuner would form.
+struct Batch32 {
+  std::vector<core::PreparedKernel> prepared;
+  std::vector<ir::TileConfig> tiles;
+  std::vector<core::BatchItem> items;
+  core::PreparedBatch packed;
+
+  static constexpr int kBatch = 32;
+
+  explicit Batch32(Fixture& f) {
+    prepared.reserve(kBatch);
+    tiles.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      const ir::Graph& kernel =
+          f.kernels[static_cast<size_t>(i) % f.kernels.size()].graph;
+      prepared.push_back(f.model.Prepare(kernel));
+      tiles.push_back(f.simulator.DefaultTile(kernel));
+    }
+    for (int i = 0; i < kBatch; ++i) {
+      items.push_back({&prepared[static_cast<size_t>(i)],
+                       &tiles[static_cast<size_t>(i)]});
+    }
+    packed = f.model.PrepareBatch(items);
+  }
+};
+
+Batch32& B32() {
+  static Batch32 batch(F());
+  return batch;
+}
+
+// 32 predictions via 32 sequential forward passes.
+void BM_ModelInferenceSequential32(benchmark::State& state) {
+  auto& f = F();
+  auto& b = B32();
+  for (auto _ : state) {
+    double sum = 0;
+    for (int i = 0; i < Batch32::kBatch; ++i) {
+      sum += f.model.PredictScore(b.prepared[static_cast<size_t>(i)],
+                                  &b.tiles[static_cast<size_t>(i)]);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * Batch32::kBatch);
+}
+BENCHMARK(BM_ModelInferenceSequential32);
+
+// The same 32 predictions as one packed forward pass.
+void BM_ModelInferenceBatch32(benchmark::State& state) {
+  auto& f = F();
+  auto& b = B32();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.PredictBatch(b.packed));
+  }
+  state.SetItemsProcessed(state.iterations() * Batch32::kBatch);
+}
+BENCHMARK(BM_ModelInferenceBatch32);
+
+// PredictBatch including batch assembly from already-prepared kernels.
+void BM_ModelPrepareAndBatch32(benchmark::State& state) {
+  auto& f = F();
+  auto& b = B32();
+  for (auto _ : state) {
+    const core::PreparedBatch packed = f.model.PrepareBatch(b.items);
+    benchmark::DoNotOptimize(f.model.PredictBatch(packed));
+  }
+  state.SetItemsProcessed(state.iterations() * Batch32::kBatch);
+}
+BENCHMARK(BM_ModelPrepareAndBatch32);
+
 void BM_TileEnumeration(benchmark::State& state) {
   auto& f = F();
   for (auto _ : state) {
@@ -136,6 +211,64 @@ void BM_BuildProgramGraph(benchmark::State& state) {
 BENCHMARK(BM_BuildProgramGraph);
 
 }  // namespace
+
+// Times batch-32 prediction against 32 sequential predictions on the same
+// inputs and reports throughput plus the worst output divergence. Printed
+// after the google-benchmark table so the speedup and the parity bound are
+// visible in one run.
+void ReportBatchedThroughput() {
+  auto& f = F();
+  auto& b = B32();
+  using Clock = std::chrono::steady_clock;
+  const auto time_reps = [](auto&& fn) {
+    // Warm up once, then run for at least ~0.2 s.
+    fn();
+    int reps = 0;
+    const auto start = Clock::now();
+    double elapsed = 0;
+    do {
+      fn();
+      ++reps;
+      elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    } while (elapsed < 0.2);
+    return elapsed / reps;
+  };
+
+  std::vector<double> sequential(Batch32::kBatch);
+  const double seq_sec = time_reps([&] {
+    for (int i = 0; i < Batch32::kBatch; ++i) {
+      sequential[static_cast<size_t>(i)] = f.model.PredictScore(
+          b.prepared[static_cast<size_t>(i)], &b.tiles[static_cast<size_t>(i)]);
+    }
+  });
+  std::vector<double> batched;
+  const double batch_sec = time_reps([&] {
+    batched = f.model.PredictBatch(b.packed);
+  });
+
+  double max_diff = 0;
+  for (int i = 0; i < Batch32::kBatch; ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(batched[static_cast<size_t>(i)] -
+                                 sequential[static_cast<size_t>(i)]));
+  }
+  const double seq_rate = Batch32::kBatch / seq_sec;
+  const double batch_rate = Batch32::kBatch / batch_sec;
+  std::printf("\n--- Batched inference report (batch=%d) ---\n",
+              Batch32::kBatch);
+  std::printf("sequential: %10.0f predictions/s\n", seq_rate);
+  std::printf("batched:    %10.0f predictions/s\n", batch_rate);
+  std::printf("speedup:    %.2fx\n", batch_rate / seq_rate);
+  std::printf("max |batched - sequential| = %.3g\n", max_diff);
+}
+
 }  // namespace tpuperf
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  tpuperf::ReportBatchedThroughput();
+  return 0;
+}

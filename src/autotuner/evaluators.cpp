@@ -1,5 +1,7 @@
 #include "autotuner/evaluators.h"
 
+#include <algorithm>
+
 #include "sim/hash.h"
 
 namespace tpuperf::tune {
@@ -15,6 +17,16 @@ std::uint64_t KernelTileKey(const ir::Graph& kernel,
 }
 
 }  // namespace
+
+std::vector<std::optional<double>> CostEvaluator::EstimateBatch(
+    std::span<const KernelTileRef> items) {
+  std::vector<std::optional<double>> out;
+  out.reserve(items.size());
+  for (const KernelTileRef& item : items) {
+    out.push_back(EstimateKernel(*item.kernel, *item.tile));
+  }
+  return out;
+}
 
 std::optional<double> HardwareEvaluator::EstimateKernel(
     const ir::Graph& kernel, const ir::TileConfig& tile) {
@@ -45,6 +57,62 @@ std::optional<double> LearnedEvaluator::EstimateKernel(
   const double estimate = model_.PredictSeconds(pk, tile_arg);
   memo_.emplace(key, estimate);
   return estimate;
+}
+
+std::vector<std::optional<double>> LearnedEvaluator::EstimateBatch(
+    std::span<const KernelTileRef> items) {
+  std::vector<std::optional<double>> out(items.size());
+
+  // Resolve memo hits first; collect the misses for packed inference.
+  // Duplicate (kernel, tile) queries within one call (fusion configs repeat
+  // kernels) are collapsed to a single prediction and fanned back out.
+  std::vector<size_t> pending;
+  std::vector<std::uint64_t> keys(items.size());
+  std::unordered_map<std::uint64_t, size_t> in_flight;
+  pending.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    keys[i] = KernelTileKey(*items[i].kernel, *items[i].tile);
+    const auto it = memo_.find(keys[i]);
+    if (it != memo_.end()) {
+      out[i] = it->second;
+    } else if (in_flight.emplace(keys[i], i).second) {
+      pending.push_back(i);
+    }
+  }
+
+  const bool use_tiles = model_.config().use_tile_features;
+  for (size_t begin = 0; begin < pending.size(); begin += kMaxBatch) {
+    const size_t end = std::min(pending.size(), begin + kMaxBatch);
+    std::vector<core::BatchItem> batch_items;
+    batch_items.reserve(end - begin);
+    for (size_t p = begin; p < end; ++p) {
+      const KernelTileRef& item = items[pending[p]];
+      const core::PreparedKernel& pk =
+          cache_.Get(*item.kernel, item.kernel->Fingerprint());
+      batch_items.push_back({&pk, use_tiles ? item.tile : nullptr});
+    }
+    const core::PreparedBatch batch = model_.PrepareBatch(batch_items);
+    const std::vector<double> seconds = model_.PredictBatchSeconds(batch);
+    for (size_t p = begin; p < end; ++p) {
+      const double estimate = seconds[p - begin];
+      out[pending[p]] = estimate;
+      memo_.emplace(keys[pending[p]], estimate);
+    }
+    // Packed inference amortizes per-graph overhead, but only across the
+    // queries actually packed together: charge one full sequential cost for
+    // the chunk plus a quarter for each additional query. A chunk of 1 pays
+    // the sequential price; a chunk of 32 pays ~8.75x (matching the >=3.5x
+    // batch-32 amortization measured by bench_micro).
+    spent_ += inference_sec_ * (0.75 + 0.25 * static_cast<double>(end - begin));
+  }
+  // Fan the deduplicated predictions out to any duplicate queries.
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!out[i].has_value()) {
+      const auto it = memo_.find(keys[i]);
+      if (it != memo_.end()) out[i] = it->second;
+    }
+  }
+  return out;
 }
 
 std::optional<double> AnalyticalEvaluator::EstimateKernel(

@@ -10,7 +10,9 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "analytical/analytical_model.h"
 #include "core/evaluation.h"
@@ -19,6 +21,12 @@
 #include "sim/simulator.h"
 
 namespace tpuperf::tune {
+
+// One (kernel, tile) query of a batched estimate.
+struct KernelTileRef {
+  const ir::Graph* kernel = nullptr;
+  const ir::TileConfig* tile = nullptr;
+};
 
 // Abstract kernel-runtime estimator with an accumulated evaluation cost.
 class CostEvaluator {
@@ -29,6 +37,12 @@ class CostEvaluator {
   // when the evaluator cannot handle the kernel.
   virtual std::optional<double> EstimateKernel(const ir::Graph& kernel,
                                                const ir::TileConfig& tile) = 0;
+
+  // Batched estimate of many (kernel, tile) pairs. Result i corresponds to
+  // items[i]. The base implementation loops EstimateKernel; evaluators with
+  // a real batched path (the learned model) override it.
+  virtual std::vector<std::optional<double>> EstimateBatch(
+      std::span<const KernelTileRef> items);
 
   // Simulated wall-clock seconds spent so far on evaluations.
   virtual double SpentSeconds() const = 0;
@@ -76,8 +90,17 @@ class LearnedEvaluator : public CostEvaluator {
 
   std::optional<double> EstimateKernel(const ir::Graph& kernel,
                                        const ir::TileConfig& tile) override;
+  // Packs all un-memoized queries into PreparedBatch chunks and runs them
+  // through LearnedCostModel::PredictBatch — one large forward pass instead
+  // of one per candidate. Batched inference is charged a discounted
+  // per-query cost (large GEMMs amortize per-graph overhead).
+  std::vector<std::optional<double>> EstimateBatch(
+      std::span<const KernelTileRef> items) override;
   double SpentSeconds() const override { return spent_; }
   std::string_view name() const override { return "learned"; }
+
+  // Upper bound on kernels packed per PredictBatch call.
+  static constexpr int kMaxBatch = 64;
 
  private:
   const core::LearnedCostModel& model_;

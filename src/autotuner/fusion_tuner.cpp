@@ -34,11 +34,17 @@ double SumConfigCost(const ir::Program& program, const data::EdgeList& edges,
                      const data::FusionConfig& config, CostEvaluator& evaluator,
                      TileChoiceCache& tiles) {
   const auto kernels = data::ApplyFusion(program.graph, edges, config);
-  double total = 0;
+  // All kernels of the candidate config are scored in one batched call
+  // (the learned evaluator packs them into a single forward pass).
+  std::vector<KernelTileRef> refs;
+  refs.reserve(kernels.size());
   for (const ir::Kernel& kernel : kernels) {
     const std::uint64_t fp = kernel.graph.Fingerprint();
-    const ir::TileConfig& tile = tiles.Get(kernel.graph, fp);
-    const auto cost = evaluator.EstimateKernel(kernel.graph, tile);
+    refs.push_back({&kernel.graph, &tiles.Get(kernel.graph, fp)});
+  }
+  const auto costs = evaluator.EstimateBatch(refs);
+  double total = 0;
+  for (const auto& cost : costs) {
     if (cost.has_value()) total += *cost;
     // Kernels the evaluator cannot score contribute nothing; only the
     // analytical evaluator on data-formatting kernels hits this (§7.3 notes

@@ -43,31 +43,41 @@ TileTuneResult TileSizeAutotuner::Tune(const ir::Program& program,
         break;
       }
       case TileTuneMode::kModelOnly: {
+        // All candidates of this kernel are scored in one batched call.
+        std::vector<KernelTileRef> refs;
+        refs.reserve(candidates.size());
+        for (const auto& tile : candidates) {
+          refs.push_back({&kernel.graph, &tile});
+        }
+        const auto scores = ranker->EstimateBatch(refs);
         double best_score = std::numeric_limits<double>::infinity();
         const ir::TileConfig* best_tile = &candidates.front();
-        for (const auto& tile : candidates) {
-          const auto score = ranker->EstimateKernel(kernel.graph, tile);
-          if (score.has_value() && *score < best_score) {
-            best_score = *score;
-            best_tile = &tile;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (scores[i].has_value() && *scores[i] < best_score) {
+            best_score = *scores[i];
+            best_tile = &candidates[i];
           }
         }
         tuned = simulator_.Measure(kernel.graph, *best_tile);
         break;
       }
       case TileTuneMode::kTopK: {
-        // Rank all candidates with the model, verify the top k on hardware.
-        // The compiler default is always among the verified set (the
-        // autotuner keeps the default when nothing beats it), so the '10'
-        // series never regresses below 1.0x — as in the paper's Fig. 4.
+        // Rank all candidates with the model (batched), verify the top k on
+        // hardware. The compiler default is always among the verified set
+        // (the autotuner keeps the default when nothing beats it), so the
+        // '10' series never regresses below 1.0x — as in the paper's Fig. 4.
         tuned = default_runtime;
+        std::vector<KernelTileRef> refs;
+        refs.reserve(candidates.size());
+        for (const auto& tile : candidates) {
+          refs.push_back({&kernel.graph, &tile});
+        }
+        const auto scores = ranker->EstimateBatch(refs);
         std::vector<std::pair<double, int>> ranked;
         ranked.reserve(candidates.size());
         for (size_t i = 0; i < candidates.size(); ++i) {
-          const auto score =
-              ranker->EstimateKernel(kernel.graph, candidates[i]);
-          if (score.has_value()) {
-            ranked.emplace_back(*score, static_cast<int>(i));
+          if (scores[i].has_value()) {
+            ranked.emplace_back(*scores[i], static_cast<int>(i));
           }
         }
         std::sort(ranked.begin(), ranked.end());

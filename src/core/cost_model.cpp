@@ -135,7 +135,11 @@ PreparedKernel LearnedCostModel::Prepare(const ir::Graph& kernel) const {
     node_scaler_.TransformRow(kf.node_scalars[static_cast<size_t>(i)],
                               pk.node_features.row(i));
   }
-  pk.structure = nn::BuildGraphStructure(kf.operand_lists);
+  // The symmetric-mean operator is only read by the undirected GraphSAGE
+  // ablation; skip the extra n x n matrix otherwise.
+  const bool need_sym_norm =
+      config_.gnn == GnnKind::kGraphSage && !config_.directed_edges;
+  pk.structure = nn::BuildGraphStructure(kf.operand_lists, need_sym_norm);
   pk.static_perf.resize(feat::kStaticPerfFeatures);
   perf_scaler_.TransformRow(kf.static_perf, pk.static_perf);
   return pk;
@@ -147,6 +151,55 @@ std::vector<float> LearnedCostModel::ScaledTileFeatures(
   std::vector<float> scaled(raw.size());
   tile_scaler_.TransformRow(raw, scaled);
   return scaled;
+}
+
+PreparedBatch LearnedCostModel::PrepareBatch(
+    std::span<const BatchItem> items) const {
+  if (items.empty()) throw std::invalid_argument("PrepareBatch: empty batch");
+  const int batch = static_cast<int>(items.size());
+  int total_nodes = 0;
+  std::vector<const nn::GraphStructure*> structures;
+  structures.reserve(items.size());
+  for (const BatchItem& item : items) {
+    if (item.kernel == nullptr) {
+      throw std::invalid_argument("PrepareBatch: null kernel");
+    }
+    if (item.kernel->num_nodes == 0) {
+      throw std::invalid_argument("PrepareBatch: empty kernel");
+    }
+    if (config_.use_tile_features && item.tile == nullptr) {
+      throw std::invalid_argument("PrepareBatch: model expects tile configs");
+    }
+    total_nodes += item.kernel->num_nodes;
+    structures.push_back(&item.kernel->structure);
+  }
+
+  PreparedBatch pb;
+  pb.structure = nn::PackGraphStructures(structures);
+  pb.opcode_ids.reserve(static_cast<size_t>(total_nodes));
+  pb.node_features = nn::Matrix(total_nodes, feat::kNodeScalarFeatures);
+  pb.static_perf = nn::Matrix(batch, feat::kStaticPerfFeatures);
+  if (config_.use_tile_features) {
+    pb.tile_features = nn::Matrix(batch, feat::kTileFeatures);
+  }
+  int row = 0;
+  for (int b = 0; b < batch; ++b) {
+    const PreparedKernel& pk = *items[static_cast<size_t>(b)].kernel;
+    pb.opcode_ids.insert(pb.opcode_ids.end(), pk.opcode_ids.begin(),
+                         pk.opcode_ids.end());
+    for (int i = 0; i < pk.num_nodes; ++i, ++row) {
+      std::copy(pk.node_features.row(i).begin(), pk.node_features.row(i).end(),
+                pb.node_features.row(row).begin());
+    }
+    std::copy(pk.static_perf.begin(), pk.static_perf.end(),
+              pb.static_perf.row(b).begin());
+    if (config_.use_tile_features) {
+      const std::vector<float> scaled =
+          ScaledTileFeatures(*items[static_cast<size_t>(b)].tile);
+      std::copy(scaled.begin(), scaled.end(), pb.tile_features.row(b).begin());
+    }
+  }
+  return pb;
 }
 
 nn::Tensor LearnedCostModel::Forward(nn::Tape& tape,
@@ -167,6 +220,33 @@ double LearnedCostModel::PredictSeconds(const PreparedKernel& kernel,
                                         const ir::TileConfig* tile) const {
   const double score = PredictScore(kernel, tile);
   return config_.log_target ? std::exp(score) : score;
+}
+
+std::vector<double> LearnedCostModel::PredictBatch(
+    const PreparedBatch& batch) const {
+  nn::Tape tape(/*grad_enabled=*/false);
+  const nn::Tensor out =
+      ForwardBatchImpl(tape, batch, /*training=*/false, dropout_rng_);
+  std::vector<double> scores(static_cast<size_t>(out.rows()));
+  for (int b = 0; b < out.rows(); ++b) {
+    scores[static_cast<size_t>(b)] = out.value().at(b, 0);
+  }
+  return scores;
+}
+
+std::vector<double> LearnedCostModel::PredictBatchSeconds(
+    const PreparedBatch& batch) const {
+  std::vector<double> scores = PredictBatch(batch);
+  if (config_.log_target) {
+    for (double& s : scores) s = std::exp(s);
+  }
+  return scores;
+}
+
+nn::Tensor LearnedCostModel::ForwardBatch(nn::Tape& tape,
+                                          const PreparedBatch& batch,
+                                          bool training) {
+  return ForwardBatchImpl(tape, batch, training, dropout_rng_);
 }
 
 nn::Tensor LearnedCostModel::ForwardImpl(nn::Tape& tape,
@@ -267,6 +347,118 @@ nn::Tensor LearnedCostModel::ForwardImpl(nn::Tape& tape,
                                          : nn::ConcatColsOp(tape, kparts);
 
   // Linear output head without activation (§3.2).
+  return output_head_.Forward(tape, merged);
+}
+
+nn::Tensor LearnedCostModel::ForwardBatchImpl(
+    nn::Tape& tape, const PreparedBatch& batch, bool training,
+    std::mt19937_64& dropout_rng) const {
+  const int total = batch.total_nodes();
+  const int num_kernels = batch.num_kernels();
+  if (num_kernels == 0 || total == 0) {
+    throw std::invalid_argument("ForwardBatch: empty batch");
+  }
+  if (config_.use_tile_features && batch.tile_features.empty()) {
+    throw std::invalid_argument("ForwardBatch: batch lacks tile features");
+  }
+  const std::span<const int> offsets = batch.offsets();
+
+  // ---- Node inputs: opcode embedding ++ scalars (++ option-1 extras) ------
+  // One gather / one leaf over all nodes of the batch.
+  nn::Tensor embed = opcode_embedding_.Forward(tape, batch.opcode_ids);
+  nn::Tensor scalars = tape.Leaf(batch.node_features);
+  std::vector<nn::Tensor> parts = {embed, scalars};
+
+  // Expands per-kernel feature rows to one row per node of that kernel.
+  const auto broadcast_segments = [&](const nn::Matrix& per_kernel) {
+    nn::Matrix m(total, per_kernel.cols());
+    for (int b = 0; b < num_kernels; ++b) {
+      const auto src = per_kernel.row(b);
+      for (int i = offsets[static_cast<size_t>(b)];
+           i < offsets[static_cast<size_t>(b) + 1]; ++i) {
+        std::copy(src.begin(), src.end(), m.row(i).begin());
+      }
+    }
+    return tape.Leaf(std::move(m));
+  };
+
+  if (config_.use_tile_features &&
+      config_.tile_placement == FeaturePlacement::kNodeFeatures) {
+    parts.push_back(broadcast_segments(batch.tile_features));
+  }
+  if (config_.use_static_perf &&
+      config_.static_perf_placement == FeaturePlacement::kNodeFeatures) {
+    parts.push_back(broadcast_segments(batch.static_perf));
+  }
+
+  nn::Tensor x = nn::ConcatColsOp(tape, parts);
+  nn::Tensor h = f1_.Forward(tape, x);
+  if (training && config_.dropout > 0) {
+    h = nn::DropoutOp(tape, h, config_.dropout, dropout_rng);
+  }
+
+  // ---- GNN (block-diagonal aggregation, dense transforms batched) ---------
+  for (const auto& layer : sage_layers_) {
+    h = layer.Forward(tape, h, batch.structure);
+  }
+  for (const auto& layer : gat_layers_) {
+    h = layer.Forward(tape, h, batch.structure);
+  }
+
+  h = node_final_.Forward(tape, h);
+  if (training && config_.dropout > 0) {
+    h = nn::DropoutOp(tape, h, config_.dropout, dropout_rng);
+  }
+
+  // ---- Segment-aware reduction to [B, kernel_embedding_dim] ---------------
+  nn::Tensor kernel_embedding;
+  switch (config_.reduction) {
+    case ReductionKind::kPerNode: {
+      nn::Tensor per_node = per_node_head_.Forward(tape, h);        // [N, 1]
+      kernel_embedding = nn::SegmentSumOp(tape, per_node, offsets);  // [B, 1]
+      break;
+    }
+    case ReductionKind::kColumnWise: {
+      const nn::Tensor cols[] = {nn::SegmentMeanOp(tape, h, offsets),
+                                 nn::SegmentMaxOp(tape, h, offsets)};
+      kernel_embedding = nn::ConcatColsOp(tape, cols);
+      break;
+    }
+    case ReductionKind::kLstm: {
+      kernel_embedding = reduction_lstm_.ForwardBatched(tape, h, offsets);
+      break;
+    }
+    case ReductionKind::kTransformer: {
+      // Attention is O(n^2) per kernel and must not mix kernels, so the
+      // encoder runs per segment; everything before and after stays packed.
+      std::vector<nn::Tensor> segs;
+      segs.reserve(static_cast<size_t>(num_kernels));
+      for (int b = 0; b < num_kernels; ++b) {
+        const int begin = offsets[static_cast<size_t>(b)];
+        const int len = offsets[static_cast<size_t>(b) + 1] - begin;
+        nn::Tensor seg = nn::SliceRowsOp(tape, h, begin, len);
+        nn::Tensor enc = reduction_transformer_.Forward(tape, seg);
+        segs.push_back(nn::ColMeanOp(tape, enc));
+      }
+      kernel_embedding = nn::ConcatRowsOp(tape, segs);
+      break;
+    }
+  }
+
+  // ---- Option-2 extras ------------------------------------------------------
+  std::vector<nn::Tensor> kparts = {kernel_embedding};
+  if (config_.use_tile_features &&
+      config_.tile_placement == FeaturePlacement::kKernelEmbedding) {
+    kparts.push_back(tape.Leaf(batch.tile_features));
+  }
+  if (config_.use_static_perf &&
+      config_.static_perf_placement == FeaturePlacement::kKernelEmbedding) {
+    kparts.push_back(tape.Leaf(batch.static_perf));
+  }
+  nn::Tensor merged = kparts.size() == 1 ? kparts.front()
+                                         : nn::ConcatColsOp(tape, kparts);
+
+  // Linear output head without activation (§3.2); [B, 1].
   return output_head_.Forward(tape, merged);
 }
 

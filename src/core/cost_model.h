@@ -10,7 +10,9 @@
 #include <memory>
 #include <optional>
 #include <random>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/model_config.h"
 #include "features/featurizer.h"
@@ -34,6 +36,31 @@ struct PreparedKernel {
   int num_nodes = 0;
 };
 
+// One (kernel, tile) pair of a prediction batch. `tile` may be null for
+// models that do not use tile features.
+struct BatchItem {
+  const PreparedKernel* kernel = nullptr;
+  const ir::TileConfig* tile = nullptr;
+};
+
+// N prepared kernels packed into one batch: concatenated node features, a
+// block-diagonal graph structure, and per-kernel rows of kernel-level
+// features. The graph structure references the source PreparedKernels'
+// adjacency matrices rather than copying them, so the PreparedKernels must
+// outlive the batch (and any tape built from it); features are owned.
+struct PreparedBatch {
+  std::vector<int> opcode_ids;          // [total_nodes]
+  nn::Matrix node_features;             // [total_nodes, kNodeScalarFeatures]
+  nn::BatchedGraphStructure structure;  // block-diagonal adjacency
+  nn::Matrix static_perf;               // [B, kStaticPerfFeatures], scaled
+  nn::Matrix tile_features;             // [B, kTileFeatures] scaled; empty
+                                        // when the model has no tile features
+
+  int num_kernels() const noexcept { return structure.num_graphs(); }
+  int total_nodes() const noexcept { return structure.total_nodes(); }
+  std::span<const int> offsets() const noexcept { return structure.offsets; }
+};
+
 class LearnedCostModel {
  public:
   explicit LearnedCostModel(ModelConfig config);
@@ -49,6 +76,10 @@ class LearnedCostModel {
 
   PreparedKernel Prepare(const ir::Graph& kernel) const;
 
+  // Packs N prepared (kernel, tile) pairs into one batch. Tile configs are
+  // scaled here, once, so the packed batch is reusable across predictions.
+  PreparedBatch PrepareBatch(std::span<const BatchItem> items) const;
+
   // ---- Prediction ----------------------------------------------------------
   // Raw model output for a kernel (+ optional tile config). For rank-loss
   // models this is a unitless score (lower = faster); for log-target models
@@ -59,10 +90,25 @@ class LearnedCostModel {
   double PredictSeconds(const PreparedKernel& kernel,
                         const ir::TileConfig* tile = nullptr) const;
 
+  // Batched prediction: one forward pass over the packed batch, with all
+  // dense layers running as single large GEMMs. Element i of the result
+  // equals PredictScore(kernel_i, tile_i) up to float accumulation (the
+  // packed ops reduce per segment in the same order, so in practice the
+  // outputs are identical).
+  std::vector<double> PredictBatch(const PreparedBatch& batch) const;
+  // As PredictBatch, but in seconds (applies exp() for log-target models).
+  std::vector<double> PredictBatchSeconds(const PreparedBatch& batch) const;
+
   // Differentiable forward pass used by the trainer. `tape` must outlive the
   // returned tensor. `training` enables dropout.
   nn::Tensor Forward(nn::Tape& tape, const PreparedKernel& kernel,
                      const ir::TileConfig* tile, bool training);
+
+  // Differentiable batched forward: returns a [B, 1] tensor of scores.
+  // `batch` must outlive `tape` (the tape's closures reference its adjacency
+  // blocks).
+  nn::Tensor ForwardBatch(nn::Tape& tape, const PreparedBatch& batch,
+                          bool training);
 
   // Initializes the output head's bias to `value` — for log-target models
   // the trainer sets this to the mean log runtime of the training set so the
@@ -82,6 +128,9 @@ class LearnedCostModel {
   nn::Tensor ForwardImpl(nn::Tape& tape, const PreparedKernel& kernel,
                          const ir::TileConfig* tile, bool training,
                          std::mt19937_64& dropout_rng) const;
+  nn::Tensor ForwardBatchImpl(nn::Tape& tape, const PreparedBatch& batch,
+                              bool training,
+                              std::mt19937_64& dropout_rng) const;
   // Scales a tile config's features into a float row.
   std::vector<float> ScaledTileFeatures(const ir::TileConfig& tile) const;
 

@@ -54,9 +54,15 @@ nn::AdamConfig MakeAdamConfig(const ModelConfig& c) {
 
 const PreparedKernel& PreparedCache::Get(const ir::Graph& kernel,
                                          std::uint64_t fingerprint) {
-  const auto it = cache_.find(fingerprint);
-  if (it != cache_.end()) return it->second;
-  return cache_.emplace(fingerprint, model_.Prepare(kernel)).first->second;
+  std::deque<Entry>& chain = cache_[fingerprint];
+  const std::uint64_t sig = kernel.StructuralSignature();
+  for (const Entry& entry : chain) {
+    if (entry.structural_sig == sig) return entry.prepared;
+  }
+  if (!chain.empty()) ++collisions_;
+  chain.push_back(Entry{sig, model_.Prepare(kernel)});
+  ++entries_;
+  return chain.back().prepared;
 }
 
 TrainStats TrainTileTask(LearnedCostModel& model,
@@ -116,17 +122,18 @@ TrainStats TrainTileTask(LearnedCostModel& model,
     std::shuffle(chosen.begin(), chosen.end(), rng);
     chosen.resize(static_cast<size_t>(m));
 
-    nn::Tape tape(/*grad_enabled=*/true);
-    std::vector<nn::Tensor> preds;
+    // One packed batch (same kernel, m tile configs) -> one forward pass.
+    std::vector<BatchItem> items;
     std::vector<double> targets;
-    preds.reserve(static_cast<size_t>(m));
+    items.reserve(static_cast<size_t>(m));
+    targets.reserve(static_cast<size_t>(m));
     for (const int c : chosen) {
-      preds.push_back(model.Forward(tape, pk,
-                                    &kdata.configs[static_cast<size_t>(c)],
-                                    /*training=*/true));
+      items.push_back({&pk, &kdata.configs[static_cast<size_t>(c)]});
       targets.push_back(kdata.runtimes[static_cast<size_t>(c)]);
     }
-    nn::Tensor stacked = nn::ConcatRowsOp(tape, preds);
+    const PreparedBatch batch = model.PrepareBatch(items);
+    nn::Tape tape(/*grad_enabled=*/true);
+    nn::Tensor stacked = model.ForwardBatch(tape, batch, /*training=*/true);
     nn::Tensor loss;
     if (cfg.loss == LossKind::kMse) {
       // Ablation row 'MSE loss (not rank)': regress log runtimes directly.
@@ -199,9 +206,11 @@ TrainStats TrainFusionTask(LearnedCostModel& model,
   double window_loss = 0;
   int window_count = 0;
   for (int step = 0; step < cfg.train_steps; ++step) {
-    nn::Tape tape(/*grad_enabled=*/true);
-    std::vector<nn::Tensor> preds;
+    // Assemble the minibatch, then run it as one packed forward pass.
+    std::vector<BatchItem> items;
     std::vector<double> targets;
+    items.reserve(static_cast<size_t>(cfg.kernels_per_batch));
+    targets.reserve(static_cast<size_t>(cfg.kernels_per_batch));
     for (int b = 0; b < cfg.kernels_per_batch; ++b) {
       const auto& family =
           families[(static_cast<size_t>(step) * cfg.kernels_per_batch + b) %
@@ -211,12 +220,12 @@ TrainStats TrainFusionTask(LearnedCostModel& model,
           dataset.samples[static_cast<size_t>(family[pick(rng)])];
       const PreparedKernel& pk =
           cache.Get(sample.record.kernel.graph, sample.record.fingerprint);
-      const ir::TileConfig* tile =
-          cfg.use_tile_features ? &sample.tile : nullptr;
-      preds.push_back(model.Forward(tape, pk, tile, /*training=*/true));
+      items.push_back({&pk, cfg.use_tile_features ? &sample.tile : nullptr});
       targets.push_back(sample.runtime);
     }
-    nn::Tensor stacked = nn::ConcatRowsOp(tape, preds);
+    const PreparedBatch batch = model.PrepareBatch(items);
+    nn::Tape tape(/*grad_enabled=*/true);
+    nn::Tensor stacked = model.ForwardBatch(tape, batch, /*training=*/true);
     nn::Tensor loss;
     if (cfg.loss == LossKind::kMse) {
       loss = nn::MseLogLoss(tape, stacked, targets);

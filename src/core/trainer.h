@@ -7,6 +7,7 @@
 // kernels with log-transformed runtime targets.
 #pragma once
 
+#include <deque>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -17,18 +18,33 @@
 namespace tpuperf::core {
 
 // Prepare() results cached by kernel fingerprint (duplicate kernels across
-// and within programs share featurization).
+// and within programs share featurization). Entries are verified against a
+// cheap structural signature of the graph, so two distinct kernels whose
+// fingerprints collide each get their own prepared entry instead of silently
+// sharing one.
 class PreparedCache {
  public:
   explicit PreparedCache(const LearnedCostModel& model) : model_(model) {}
 
   const PreparedKernel& Get(const ir::Graph& kernel, std::uint64_t fingerprint);
 
-  std::size_t size() const noexcept { return cache_.size(); }
+  // Total prepared entries (collision chains count each entry).
+  std::size_t size() const noexcept { return entries_; }
+  // Fingerprint collisions detected (distinct graphs, same fingerprint).
+  std::size_t collisions() const noexcept { return collisions_; }
 
  private:
+  struct Entry {
+    std::uint64_t structural_sig = 0;
+    PreparedKernel prepared;
+  };
+
   const LearnedCostModel& model_;
-  std::unordered_map<std::uint64_t, PreparedKernel> cache_;
+  // deque: appending to a collision chain must not invalidate references
+  // returned by earlier Get() calls.
+  std::unordered_map<std::uint64_t, std::deque<Entry>> cache_;
+  std::size_t entries_ = 0;
+  std::size_t collisions_ = 0;
 };
 
 struct TrainStats {

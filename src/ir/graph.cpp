@@ -18,6 +18,15 @@ void HashMix(std::uint64_t& h, std::uint64_t v) noexcept {
   }
 }
 
+// Independent mixer (splitmix64 finalizer) for StructuralSignature, so the
+// two hashes don't collide jointly.
+void SigMix(std::uint64_t& h, std::uint64_t v) noexcept {
+  std::uint64_t z = h + v + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  h = z ^ (z >> 31);
+}
+
 }  // namespace
 
 NodeId Graph::AddNode(Node node) {
@@ -140,6 +149,35 @@ std::uint64_t Graph::Fingerprint() const {
       HashMix(h, static_cast<std::uint64_t>(d) + 31);
     }
     HashMix(h, n.is_output ? 2 : 1);
+  }
+  return h;
+}
+
+// Walks the same fields as Fingerprint (keep the two in sync) through an
+// independent mixer; see the header for why both exist.
+std::uint64_t Graph::StructuralSignature() const {
+  std::uint64_t h = static_cast<std::uint64_t>(nodes_.size());
+  for (const Node& n : nodes_) {
+    SigMix(h, static_cast<std::uint64_t>(n.op));
+    SigMix(h, static_cast<std::uint64_t>(n.shape.element_type()));
+    for (const auto d : n.shape.dims()) {
+      SigMix(h, static_cast<std::uint64_t>(d));
+    }
+    for (const int l : n.shape.minor_to_major()) {
+      SigMix(h, static_cast<std::uint64_t>(l) + 17);
+    }
+    for (const NodeId operand : n.operands) {
+      SigMix(h, static_cast<std::uint64_t>(operand) + 1000003);
+    }
+    for (const auto& w : n.window.dims) {
+      SigMix(h, static_cast<std::uint64_t>(w.size));
+      SigMix(h, static_cast<std::uint64_t>(w.stride) + 3);
+      SigMix(h, static_cast<std::uint64_t>(w.padding_low) + 7);
+    }
+    for (const int d : n.reduce_dims) {
+      SigMix(h, static_cast<std::uint64_t>(d) + 31);
+    }
+    SigMix(h, n.is_output ? 2 : 1);
   }
   return h;
 }

@@ -57,6 +57,13 @@ class Graph {
   // edges; used to deduplicate kernels in the fusion dataset (§4).
   std::uint64_t Fingerprint() const;
 
+  // Second structural hash over the same fields with an independent mixing
+  // scheme. Callers that key by Fingerprint (e.g. core::PreparedCache) use
+  // it to detect fingerprint collisions between distinct graphs — a joint
+  // collision of both hashes is astronomically unlikely. Keep its field
+  // walk in sync with Fingerprint's.
+  std::uint64_t StructuralSignature() const;
+
   // Multi-line textual dump for debugging, one node per line.
   std::string ToString() const;
 

@@ -1,0 +1,53 @@
+// Fast float transcendentals for the NN hot paths.
+//
+// Cephes-style expf: ~2 ulp relative error, branch-free, and vectorizable
+// (float->int conversion + exponent-bit assembly), unlike libm calls which
+// also promote through double in generic code. Sigmoid and tanh derive from
+// it, so every layer — batched or per-kernel — computes gate activations
+// with bit-identical formulas.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace tpuperf::nn {
+
+// e^x for float, |relative error| ~ 2 ulp over the clamped range.
+inline float FastExp(float x) {
+  constexpr float kLog2e = 1.442695040f;
+  // ln(2) split into a high part exactly representable in float and a low
+  // correction, so x - n*ln2 stays accurate.
+  constexpr float kLn2Hi = 0.693359375f;
+  constexpr float kLn2Lo = -2.12194440e-4f;
+  // min/max by value (std::clamp's reference semantics block the
+  // vectorizer).
+  x = x < -87.0f ? -87.0f : (x > 88.0f ? 88.0f : x);
+  // Round-to-nearest integer via the 2^23+2^22 magic constant: pure float
+  // arithmetic, so the whole function vectorizes (std::floor does not).
+  // Valid because |x * log2(e)| <= 127 after the clamp.
+  constexpr float kRoundMagic = 12582912.0f;  // 2^23 + 2^22
+  const float n = (kLog2e * x + kRoundMagic) - kRoundMagic;
+  x -= n * kLn2Hi;
+  x -= n * kLn2Lo;
+  // Degree-5 minimax polynomial for e^x on [-ln2/2, ln2/2] (Cephes).
+  float p = 1.9875691500e-4f;
+  p = p * x + 1.3981999507e-3f;
+  p = p * x + 8.3334519073e-3f;
+  p = p * x + 4.1665795894e-2f;
+  p = p * x + 1.6666665459e-1f;
+  p = p * x + 5.0000001201e-1f;
+  p = p * x * x + x + 1.0f;
+  // Scale by 2^n via the exponent bits.
+  const auto bits =
+      static_cast<std::uint32_t>(static_cast<int>(n) + 127) << 23;
+  return p * std::bit_cast<float>(bits);
+}
+
+inline float FastSigmoid(float x) { return 1.0f / (1.0f + FastExp(-x)); }
+
+// tanh(x) = 2*sigmoid(2x) - 1; saturates cleanly via the FastExp clamp.
+inline float FastTanh(float x) { return 2.0f / (1.0f + FastExp(-2.0f * x)) - 1.0f; }
+
+}  // namespace tpuperf::nn

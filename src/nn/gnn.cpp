@@ -5,7 +5,7 @@
 namespace tpuperf::nn {
 
 GraphStructure BuildGraphStructure(
-    const std::vector<std::vector<int>>& operand_lists) {
+    const std::vector<std::vector<int>>& operand_lists, bool build_sym_norm) {
   const int n = static_cast<int>(operand_lists.size());
   GraphStructure gs;
   gs.in_agg = Matrix(n, n);
@@ -35,7 +35,35 @@ GraphStructure BuildGraphStructure(
           1.0f / static_cast<float>(out_degree[static_cast<size_t>(j)]);
     }
   }
+  if (build_sym_norm) {
+    // Renormalize rows of in_agg + out_agg so the mean aggregator stays a
+    // mean (used by the undirected ablation).
+    gs.sym_norm = Add(gs.in_agg, gs.out_agg);
+    for (int i = 0; i < n; ++i) {
+      float total = 0;
+      for (int j = 0; j < n; ++j) total += gs.sym_norm.at(i, j);
+      if (total > 0) {
+        for (int j = 0; j < n; ++j) gs.sym_norm.at(i, j) /= total;
+      }
+    }
+  }
   return gs;
+}
+
+BatchedGraphStructure PackGraphStructures(
+    std::span<const GraphStructure* const> structures) {
+  BatchedGraphStructure batch;
+  batch.blocks.reserve(structures.size());
+  batch.offsets.reserve(structures.size() + 1);
+  batch.offsets.push_back(0);
+  for (const GraphStructure* gs : structures) {
+    if (gs == nullptr) {
+      throw std::invalid_argument("PackGraphStructures: null structure");
+    }
+    batch.blocks.push_back(gs);
+    batch.offsets.push_back(batch.offsets.back() + gs->in_agg.rows());
+  }
+  return batch;
 }
 
 GraphSageLayer::GraphSageLayer(ParamStore& store, const std::string& name,
@@ -63,18 +91,43 @@ Tensor GraphSageLayer::Forward(Tape& tape, Tensor h,
     out = f3_.Forward(tape, ConcatColsOp(tape, parts));
   } else {
     // Undirected ablation: same feedforward for both directions, aggregated
-    // over the symmetric neighborhood.
-    Matrix sym = Add(gs.in_agg, gs.out_agg);
-    // Renormalize rows so the mean aggregator stays a mean.
-    for (int i = 0; i < sym.rows(); ++i) {
-      float total = 0;
-      for (int j = 0; j < sym.cols(); ++j) total += sym.at(i, j);
-      if (total > 0) {
-        for (int j = 0; j < sym.cols(); ++j) sym.at(i, j) /= total;
-      }
+    // over the symmetric neighborhood (sym_norm, precomputed at build time).
+    Tensor msg =
+        MatMulConstA(tape, gs.sym_norm, ReluOp(tape, f2_in_.Forward(tape, h)));
+    const Tensor parts[] = {h, msg};
+    out = f3_.Forward(tape, ConcatColsOp(tape, parts));
+  }
+  out = ReluOp(tape, out);
+  if (l2_normalize_) out = RowL2NormalizeOp(tape, out);
+  return out;
+}
+
+Tensor GraphSageLayer::Forward(Tape& tape, Tensor h,
+                               const BatchedGraphStructure& gs) const {
+  std::vector<const Matrix*> blocks(gs.blocks.size());
+  Tensor out;
+  if (directed_) {
+    for (size_t b = 0; b < gs.blocks.size(); ++b) {
+      blocks[b] = &gs.blocks[b]->in_agg;
+    }
+    Tensor msg_in =
+        BlockDiagMatMulConstA(tape, blocks, gs.offsets,
+                              ReluOp(tape, f2_in_.Forward(tape, h)));
+    for (size_t b = 0; b < gs.blocks.size(); ++b) {
+      blocks[b] = &gs.blocks[b]->out_agg;
+    }
+    Tensor msg_out =
+        BlockDiagMatMulConstA(tape, blocks, gs.offsets,
+                              ReluOp(tape, f2_out_.Forward(tape, h)));
+    const Tensor parts[] = {h, msg_in, msg_out};
+    out = f3_.Forward(tape, ConcatColsOp(tape, parts));
+  } else {
+    for (size_t b = 0; b < gs.blocks.size(); ++b) {
+      blocks[b] = &gs.blocks[b]->sym_norm;
     }
     Tensor msg =
-        MatMulConstA(tape, sym, ReluOp(tape, f2_in_.Forward(tape, h)));
+        BlockDiagMatMulConstA(tape, blocks, gs.offsets,
+                              ReluOp(tape, f2_in_.Forward(tape, h)));
     const Tensor parts[] = {h, msg};
     out = f3_.Forward(tape, ConcatColsOp(tape, parts));
   }
@@ -114,6 +167,37 @@ Tensor GatLayer::Forward(Tape& tape, Tensor h,
     Tensor logits = LeakyReluOp(tape, OuterSumOp(tape, s, d), 0.2f);
     Tensor attn = MaskedSoftmaxRowsOp(tape, logits, gs.sym_mask);
     head_outputs.push_back(MatMulOp(tape, attn, wh));
+  }
+  Tensor merged = ConcatColsOp(tape, head_outputs);
+  return ReluOp(tape, merge_.Forward(tape, merged));
+}
+
+Tensor GatLayer::Forward(Tape& tape, Tensor h,
+                         const BatchedGraphStructure& gs) const {
+  if (heads_.empty()) throw std::logic_error("GatLayer: uninitialized");
+  const int batch = gs.num_graphs();
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(heads_.size());
+  for (const Head& head : heads_) {
+    // Dense projections over the whole packed batch (single GEMMs).
+    Tensor wh = head.w.Forward(tape, h);  // [N, head_dim]
+    Tensor s = MatMulOp(tape, wh, tape.ParamLeaf(*head.a_src));  // [N, 1]
+    Tensor d = MatMulOp(tape, wh, tape.ParamLeaf(*head.a_dst));  // [N, 1]
+    // Attention stays per segment: nodes never attend across kernels.
+    std::vector<Tensor> segs;
+    segs.reserve(static_cast<size_t>(batch));
+    for (int b = 0; b < batch; ++b) {
+      const int begin = gs.offsets[static_cast<size_t>(b)];
+      const int len = gs.offsets[static_cast<size_t>(b) + 1] - begin;
+      Tensor wh_b = SliceRowsOp(tape, wh, begin, len);
+      Tensor s_b = SliceRowsOp(tape, s, begin, len);
+      Tensor d_b = SliceRowsOp(tape, d, begin, len);
+      Tensor logits = LeakyReluOp(tape, OuterSumOp(tape, s_b, d_b), 0.2f);
+      Tensor attn = MaskedSoftmaxRowsOp(
+          tape, logits, gs.blocks[static_cast<size_t>(b)]->sym_mask);
+      segs.push_back(MatMulOp(tape, attn, wh_b));
+    }
+    head_outputs.push_back(ConcatRowsOp(tape, segs));
   }
   Tensor merged = ConcatColsOp(tape, head_outputs);
   return ReluOp(tape, merge_.Forward(tape, merged));

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,33 @@ struct GraphStructure {
   // Symmetric union used by the undirected ablation and as the GAT mask
   // (includes self-loops).
   Matrix sym_mask;
+  // Row-renormalized in_agg + out_agg (mean aggregator over the symmetric
+  // neighborhood), used by the undirected ablation. Built on demand: empty
+  // unless BuildGraphStructure was asked for it.
+  Matrix sym_norm;
 };
+
+// Block-diagonal adjacency over a packed batch of kernel graphs. Nodes of
+// kernel b occupy rows [offsets[b], offsets[b+1]) of the packed node matrix;
+// the implied batch adjacency is blockdiag(blocks[0]->in_agg, ...) etc., but
+// it is referenced and applied per block so the batch pays O(sum n_b^2) for
+// aggregation instead of O((sum n_b)^2). Non-owning: the pointed-to
+// structures (the PreparedKernels they live in) must outlive this batch and
+// any tape built from it.
+struct BatchedGraphStructure {
+  std::vector<const GraphStructure*> blocks;  // one per kernel, non-owning
+  std::vector<int> offsets;                   // B+1 entries, offsets[0] == 0
+
+  int num_graphs() const noexcept { return static_cast<int>(blocks.size()); }
+  int total_nodes() const noexcept {
+    return offsets.empty() ? 0 : offsets.back();
+  }
+};
+
+// Packs per-kernel structures into a block-diagonal batch structure
+// referencing (not copying) them.
+BatchedGraphStructure PackGraphStructures(
+    std::span<const GraphStructure* const> structures);
 
 // One GraphSAGE layer:
 //   eps_i = l2(f3(concat(h_i, mean_{j in N_in(i)} f2_in(h_j),
@@ -38,6 +65,11 @@ class GraphSageLayer {
                  bool directed, bool l2_normalize, std::mt19937_64& rng);
 
   Tensor Forward(Tape& tape, Tensor h, const GraphStructure& gs) const;
+  // Batched forward over a packed batch: dense transforms (f2, f3) run as
+  // single large GEMMs over all nodes; aggregation applies each block of the
+  // block-diagonal adjacency to its row segment. Row-for-row identical to
+  // running Forward per kernel.
+  Tensor Forward(Tape& tape, Tensor h, const BatchedGraphStructure& gs) const;
 
  private:
   Linear f2_in_, f2_out_, f3_;
@@ -55,6 +87,10 @@ class GatLayer {
            std::mt19937_64& rng);
 
   Tensor Forward(Tape& tape, Tensor h, const GraphStructure& gs) const;
+  // Batched forward: the per-head projections run as single GEMMs over all
+  // nodes; attention (inherently O(n^2) per graph) is applied per segment so
+  // nodes never attend across kernels.
+  Tensor Forward(Tape& tape, Tensor h, const BatchedGraphStructure& gs) const;
 
  private:
   struct Head {
@@ -68,8 +104,11 @@ class GatLayer {
 };
 
 // Builds the dense adjacency operators from operand lists.
-// operand_lists[i] holds the operand node ids of node i.
+// operand_lists[i] holds the operand node ids of node i. `build_sym_norm`
+// skips the symmetric-mean operator (an extra n x n matrix) when the model
+// is directed and will never read it.
 GraphStructure BuildGraphStructure(
-    const std::vector<std::vector<int>>& operand_lists);
+    const std::vector<std::vector<int>>& operand_lists,
+    bool build_sym_norm = true);
 
 }  // namespace tpuperf::nn

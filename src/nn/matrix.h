@@ -67,6 +67,11 @@ class Matrix {
 
 // out = a @ b. Shapes: [m,k] x [k,n] -> [m,n].
 Matrix MatMul(const Matrix& a, const Matrix& b);
+// out = a @ b where `a` is expected to be sparse (e.g. a normalized
+// adjacency matrix): skips zero entries of `a` row-wise instead of running
+// the dense register-tiled kernel. Per-row accumulation order matches
+// MatMul, so results agree to float-addition-of-zero terms.
+Matrix MatMulSparseA(const Matrix& a, const Matrix& b);
 // out = a^T @ b. Shapes: [k,m] x [k,n] -> [m,n].
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
 // out = a @ b^T. Shapes: [m,k] x [n,k] -> [m,n].

@@ -4,16 +4,21 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/fastmath.h"
+
 namespace tpuperf::nn {
 namespace {
 
 // Shorthand: elementwise unary op with dy/dx computable from x and y.
+// On grad-disabled tapes the backward closure (and its captured matrix
+// copies) is never built — inference pays for the forward values only.
 template <typename Fwd, typename Bwd>
 Tensor Unary(Tape& tape, Tensor x, Fwd fwd, Bwd bwd) {
   const Matrix& xv = x.value();
   Matrix y(xv.rows(), xv.cols());
   for (size_t i = 0; i < xv.size(); ++i) y.data()[i] = fwd(xv.data()[i]);
   TapeNode* xn = x.node();
+  if (!tape.grad_enabled()) return tape.NewNode(std::move(y), {xn}, nullptr);
   Matrix yv = y;  // captured copy for backward
   return tape.NewNode(
       std::move(y), {xn},
@@ -42,8 +47,11 @@ Tensor MatMulOp(Tape& tape, Tensor a, Tensor b) {
 }
 
 Tensor MatMulConstA(Tape& tape, const Matrix& a, Tensor x) {
-  Matrix y = MatMul(a, x.value());
+  // The constant operand here is an adjacency operator — sparse, so the
+  // zero-skip kernel beats the dense tiled one.
+  Matrix y = MatMulSparseA(a, x.value());
   TapeNode* xn = x.node();
+  if (!tape.grad_enabled()) return tape.NewNode(std::move(y), {xn}, nullptr);
   return tape.NewNode(std::move(y), {xn}, [xn, a](TapeNode& self) {
     AccumulateInto(xn->grad, MatMulTransposeA(a, self.grad));
   });
@@ -132,13 +140,13 @@ Tensor LeakyReluOp(Tape& tape, Tensor x, float alpha) {
 
 Tensor TanhOp(Tape& tape, Tensor x) {
   return Unary(
-      tape, x, [](float v) { return std::tanh(v); },
+      tape, x, [](float v) { return FastTanh(v); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor SigmoidOp(Tape& tape, Tensor x) {
   return Unary(
-      tape, x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      tape, x, [](float v) { return FastSigmoid(v); },
       [](float, float y) { return y * (1.0f - y); });
 }
 
@@ -184,6 +192,7 @@ Tensor RowL2NormalizeOp(Tape& tape, Tensor x, float eps) {
     for (int j = 0; j < xv.cols(); ++j) y.at(i, j) = xv.at(i, j) * inv;
   }
   TapeNode* xn = x.node();
+  if (!tape.grad_enabled()) return tape.NewNode(std::move(y), {xn}, nullptr);
   Matrix yv = y;
   return tape.NewNode(
       std::move(y), {xn},
@@ -307,6 +316,7 @@ Tensor SoftmaxImpl(Tape& tape, Tensor x, const Matrix* mask) {
     }
   }
   TapeNode* xn = x.node();
+  if (!tape.grad_enabled()) return tape.NewNode(std::move(y), {xn}, nullptr);
   Matrix yv = y;
   return tape.NewNode(
       std::move(y), {xn}, [xn, yv = std::move(yv)](TapeNode& self) {
@@ -352,7 +362,8 @@ Tensor ConcatColsOp(Tape& tape, std::span<const Tensor> parts) {
   for (const Tensor& t : parts) {
     const Matrix& v = t.value();
     for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < v.cols(); ++j) y.at(i, off + j) = v.at(i, j);
+      const auto src = v.row(i);
+      std::copy(src.begin(), src.end(), y.row(i).begin() + off);
     }
     parents.push_back(t.node());
     offsets.push_back(off);
@@ -390,9 +401,7 @@ Tensor ConcatRowsOp(Tape& tape, std::span<const Tensor> parts) {
   int off = 0;
   for (const Tensor& t : parts) {
     const Matrix& v = t.value();
-    for (int i = 0; i < v.rows(); ++i) {
-      for (int j = 0; j < c; ++j) y.at(off + i, j) = v.at(i, j);
-    }
+    std::copy(v.flat().begin(), v.flat().end(), y.row(off).begin());
     parents.push_back(t.node());
     offsets.push_back(off);
     off += v.rows();
@@ -426,6 +435,347 @@ Tensor SliceRowOp(Tape& tape, Tensor x, int row) {
       xn->grad.at(row, j) += self.grad.at(0, j);
     }
   });
+}
+
+Tensor SliceRowsOp(Tape& tape, Tensor x, int begin, int rows) {
+  const Matrix& xv = x.value();
+  if (begin < 0 || rows < 0 || begin + rows > xv.rows()) {
+    throw std::out_of_range("SliceRowsOp: range out of bounds");
+  }
+  Matrix y(rows, xv.cols());
+  if (rows > 0) {
+    // Row-major: the slice is one contiguous block.
+    const float* src = xv.data() + static_cast<size_t>(begin) * xv.cols();
+    std::copy(src, src + y.flat().size(), y.flat().begin());
+  }
+  TapeNode* xn = x.node();
+  return tape.NewNode(std::move(y), {xn}, [xn, begin](TapeNode& self) {
+    for (int i = 0; i < self.grad.rows(); ++i) {
+      for (int j = 0; j < self.grad.cols(); ++j) {
+        xn->grad.at(begin + i, j) += self.grad.at(i, j);
+      }
+    }
+  });
+}
+
+Tensor SliceColsOp(Tape& tape, Tensor x, int begin, int cols) {
+  const Matrix& xv = x.value();
+  if (begin < 0 || cols < 0 || begin + cols > xv.cols()) {
+    throw std::out_of_range("SliceColsOp: range out of bounds");
+  }
+  Matrix y(xv.rows(), cols);
+  for (int i = 0; i < xv.rows(); ++i) {
+    for (int j = 0; j < cols; ++j) y.at(i, j) = xv.at(i, begin + j);
+  }
+  TapeNode* xn = x.node();
+  return tape.NewNode(std::move(y), {xn}, [xn, begin](TapeNode& self) {
+    for (int i = 0; i < self.grad.rows(); ++i) {
+      for (int j = 0; j < self.grad.cols(); ++j) {
+        xn->grad.at(i, begin + j) += self.grad.at(i, j);
+      }
+    }
+  });
+}
+
+Tensor LstmGatePreactOp(Tape& tape, Tensor x_rows, std::span<const int> ids,
+                        Tensor h, Tensor w, Tensor bias) {
+  const Matrix& xv = x_rows.value();
+  const Matrix& hv = h.value();
+  const Matrix& wv = w.value();
+  const Matrix& bv = bias.value();
+  const int batch = static_cast<int>(ids.size());
+  const int out_cols = xv.cols();
+  if (hv.rows() != batch || wv.rows() != hv.cols() || wv.cols() != out_cols ||
+      bv.rows() != 1 || bv.cols() != out_cols) {
+    throw std::invalid_argument("LstmGatePreactOp: shape mismatch");
+  }
+  Matrix y = MatMul(hv, wv);
+  for (int r = 0; r < batch; ++r) {
+    const int src = ids[static_cast<size_t>(r)];
+    if (src < 0 || src >= xv.rows()) {
+      throw std::out_of_range("LstmGatePreactOp: id out of range");
+    }
+    float* __restrict out = y.data() + static_cast<size_t>(r) * out_cols;
+    const float* __restrict xr =
+        xv.data() + static_cast<size_t>(src) * out_cols;
+    for (int j = 0; j < out_cols; ++j) out[j] += xr[j] + bv.data()[j];
+  }
+  TapeNode* xn = x_rows.node();
+  TapeNode* hn = h.node();
+  TapeNode* wn = w.node();
+  TapeNode* bn = bias.node();
+  std::vector<int> ids_copy(ids.begin(), ids.end());
+  return tape.NewNode(
+      std::move(y), {xn, hn, wn, bn},
+      [xn, hn, wn, bn, ids = std::move(ids_copy)](TapeNode& self) {
+        const Matrix& g = self.grad;
+        if (xn->requires_grad) {
+          for (size_t r = 0; r < ids.size(); ++r) {
+            for (int j = 0; j < g.cols(); ++j) {
+              xn->grad.at(ids[r], j) += g.at(static_cast<int>(r), j);
+            }
+          }
+        }
+        if (hn->requires_grad) {
+          AccumulateInto(hn->grad, MatMulTransposeB(g, wn->value));
+        }
+        if (wn->requires_grad) {
+          AccumulateInto(wn->grad, MatMulTransposeA(hn->value, g));
+        }
+        if (bn->requires_grad) AccumulateInto(bn->grad, ColSum(g));
+      });
+}
+
+Tensor LstmCellOp(Tape& tape, Tensor preact, Tensor c_prev) {
+  const Matrix& pv = preact.value();
+  const Matrix& cv = c_prev.value();
+  const int batch = pv.rows();
+  const int hidden = cv.cols();
+  if (pv.cols() != 4 * hidden || cv.rows() != batch) {
+    throw std::invalid_argument("LstmCellOp: expects [B,4h] preact, [B,h] c");
+  }
+  Matrix y(batch, 2 * hidden);
+  // Gate activations and tanh(c) — backward state, skipped for inference.
+  const bool need_backward = tape.grad_enabled();
+  Matrix gates(need_backward ? batch : 0, 4 * hidden);
+  Matrix tanh_c(need_backward ? batch : 0, hidden);
+  // Activations over whole rows in contiguous per-gate segments (the [B,4h]
+  // layout is [i|f|g|o]), so the transcendental loops vectorize.
+  std::vector<float> act(static_cast<size_t>(4) * hidden);
+  for (int r = 0; r < batch; ++r) {
+    const float* __restrict p = pv.data() + static_cast<size_t>(r) * 4 * hidden;
+    const float* __restrict cp = cv.data() + static_cast<size_t>(r) * hidden;
+    float* __restrict a = act.data();
+    float* __restrict out = y.data() + static_cast<size_t>(r) * 2 * hidden;
+    for (int j = 0; j < 2 * hidden; ++j) a[j] = FastSigmoid(p[j]);
+    for (int j = 2 * hidden; j < 3 * hidden; ++j) a[j] = FastTanh(p[j]);
+    for (int j = 3 * hidden; j < 4 * hidden; ++j) a[j] = FastSigmoid(p[j]);
+    for (int j = 0; j < hidden; ++j) {
+      out[hidden + j] = a[hidden + j] * cp[j] + a[j] * a[2 * hidden + j];  // c
+    }
+    for (int j = 0; j < hidden; ++j) {
+      const float t = FastTanh(out[hidden + j]);
+      out[j] = a[3 * hidden + j] * t;  // h
+      if (need_backward) {
+        tanh_c.data()[static_cast<size_t>(r) * hidden + j] = t;
+      }
+    }
+    if (need_backward) {
+      std::copy(act.begin(), act.end(),
+                gates.data() + static_cast<size_t>(r) * 4 * hidden);
+    }
+  }
+  if (!need_backward) {
+    return tape.NewNode(std::move(y), {preact.node(), c_prev.node()}, nullptr);
+  }
+  TapeNode* pn = preact.node();
+  TapeNode* cn = c_prev.node();
+  return tape.NewNode(
+      std::move(y), {pn, cn},
+      [pn, cn, gates = std::move(gates), tanh_c = std::move(tanh_c),
+       hidden](TapeNode& self) {
+        const int batch = self.grad.rows();
+        for (int r = 0; r < batch; ++r) {
+          const float* __restrict g =
+              gates.data() + static_cast<size_t>(r) * 4 * hidden;
+          const float* __restrict tc =
+              tanh_c.data() + static_cast<size_t>(r) * hidden;
+          const float* __restrict dout =
+              self.grad.data() + static_cast<size_t>(r) * 2 * hidden;
+          const float* __restrict cp =
+              cn->value.data() + static_cast<size_t>(r) * hidden;
+          for (int j = 0; j < hidden; ++j) {
+            const float i_g = g[j], f_g = g[hidden + j];
+            const float g_g = g[2 * hidden + j], o_g = g[3 * hidden + j];
+            const float t = tc[j];
+            const float dh = dout[j];
+            // dc combines the h path (through tanh) and the direct c output.
+            const float dc = dh * o_g * (1.0f - t * t) + dout[hidden + j];
+            if (pn->requires_grad) {
+              float* __restrict dp =
+                  pn->grad.data() + static_cast<size_t>(r) * 4 * hidden;
+              dp[j] += dc * g_g * i_g * (1.0f - i_g);
+              dp[hidden + j] += dc * cp[j] * f_g * (1.0f - f_g);
+              dp[2 * hidden + j] += dc * i_g * (1.0f - g_g * g_g);
+              dp[3 * hidden + j] += dh * t * o_g * (1.0f - o_g);
+            }
+            if (cn->requires_grad) {
+              cn->grad.data()[static_cast<size_t>(r) * hidden + j] +=
+                  dc * f_g;
+            }
+          }
+        }
+      });
+}
+
+namespace {
+
+void CheckSegmentOffsets(const Matrix& x, std::span<const int> offsets,
+                         const char* op) {
+  if (offsets.size() < 2 || offsets.front() != 0 ||
+      offsets.back() != x.rows()) {
+    throw std::invalid_argument(std::string(op) + ": bad segment offsets");
+  }
+  for (size_t b = 1; b < offsets.size(); ++b) {
+    if (offsets[b] < offsets[b - 1]) {
+      throw std::invalid_argument(std::string(op) +
+                                  ": offsets not monotone");
+    }
+  }
+}
+
+}  // namespace
+
+Tensor SegmentSumOp(Tape& tape, Tensor x, std::span<const int> offsets) {
+  const Matrix& xv = x.value();
+  CheckSegmentOffsets(xv, offsets, "SegmentSumOp");
+  const int batch = static_cast<int>(offsets.size()) - 1;
+  Matrix y(batch, xv.cols());
+  for (int b = 0; b < batch; ++b) {
+    for (int i = offsets[static_cast<size_t>(b)];
+         i < offsets[static_cast<size_t>(b) + 1]; ++i) {
+      for (int j = 0; j < xv.cols(); ++j) y.at(b, j) += xv.at(i, j);
+    }
+  }
+  TapeNode* xn = x.node();
+  std::vector<int> offs(offsets.begin(), offsets.end());
+  return tape.NewNode(std::move(y), {xn},
+                      [xn, offs = std::move(offs)](TapeNode& self) {
+                        for (int b = 0; b < self.grad.rows(); ++b) {
+                          for (int i = offs[static_cast<size_t>(b)];
+                               i < offs[static_cast<size_t>(b) + 1]; ++i) {
+                            for (int j = 0; j < self.grad.cols(); ++j) {
+                              xn->grad.at(i, j) += self.grad.at(b, j);
+                            }
+                          }
+                        }
+                      });
+}
+
+Tensor SegmentMeanOp(Tape& tape, Tensor x, std::span<const int> offsets) {
+  const Matrix& xv = x.value();
+  CheckSegmentOffsets(xv, offsets, "SegmentMeanOp");
+  const int batch = static_cast<int>(offsets.size()) - 1;
+  Matrix y(batch, xv.cols());
+  std::vector<float> inv(static_cast<size_t>(batch), 0.0f);
+  for (int b = 0; b < batch; ++b) {
+    const int len = offsets[static_cast<size_t>(b) + 1] -
+                    offsets[static_cast<size_t>(b)];
+    if (len == 0) continue;
+    inv[static_cast<size_t>(b)] = 1.0f / static_cast<float>(len);
+    for (int i = offsets[static_cast<size_t>(b)];
+         i < offsets[static_cast<size_t>(b) + 1]; ++i) {
+      for (int j = 0; j < xv.cols(); ++j) y.at(b, j) += xv.at(i, j);
+    }
+    for (int j = 0; j < xv.cols(); ++j) {
+      y.at(b, j) *= inv[static_cast<size_t>(b)];
+    }
+  }
+  TapeNode* xn = x.node();
+  std::vector<int> offs(offsets.begin(), offsets.end());
+  return tape.NewNode(
+      std::move(y), {xn},
+      [xn, offs = std::move(offs), inv = std::move(inv)](TapeNode& self) {
+        for (int b = 0; b < self.grad.rows(); ++b) {
+          const float w = inv[static_cast<size_t>(b)];
+          for (int i = offs[static_cast<size_t>(b)];
+               i < offs[static_cast<size_t>(b) + 1]; ++i) {
+            for (int j = 0; j < self.grad.cols(); ++j) {
+              xn->grad.at(i, j) += self.grad.at(b, j) * w;
+            }
+          }
+        }
+      });
+}
+
+Tensor SegmentMaxOp(Tape& tape, Tensor x, std::span<const int> offsets) {
+  const Matrix& xv = x.value();
+  CheckSegmentOffsets(xv, offsets, "SegmentMaxOp");
+  const int batch = static_cast<int>(offsets.size()) - 1;
+  Matrix y(batch, xv.cols());
+  // argmax[b * cols + j] = row index of the max within segment b, column j.
+  std::vector<int> argmax(static_cast<size_t>(batch) * xv.cols(), -1);
+  for (int b = 0; b < batch; ++b) {
+    const int begin = offsets[static_cast<size_t>(b)];
+    const int end = offsets[static_cast<size_t>(b) + 1];
+    for (int j = 0; j < xv.cols(); ++j) {
+      float best = begin < end ? xv.at(begin, j) : 0.0f;
+      int best_row = begin < end ? begin : -1;
+      for (int i = begin + 1; i < end; ++i) {
+        if (xv.at(i, j) > best) {
+          best = xv.at(i, j);
+          best_row = i;
+        }
+      }
+      y.at(b, j) = best;
+      argmax[static_cast<size_t>(b) * xv.cols() + j] = best_row;
+    }
+  }
+  TapeNode* xn = x.node();
+  return tape.NewNode(std::move(y), {xn},
+                      [xn, argmax = std::move(argmax)](TapeNode& self) {
+                        const int cols = self.grad.cols();
+                        for (int b = 0; b < self.grad.rows(); ++b) {
+                          for (int j = 0; j < cols; ++j) {
+                            const int r =
+                                argmax[static_cast<size_t>(b) * cols + j];
+                            if (r >= 0) xn->grad.at(r, j) += self.grad.at(b, j);
+                          }
+                        }
+                      });
+}
+
+Tensor BlockDiagMatMulConstA(Tape& tape,
+                             std::span<const Matrix* const> blocks,
+                             std::span<const int> offsets, Tensor x) {
+  const Matrix& xv = x.value();
+  CheckSegmentOffsets(xv, offsets, "BlockDiagMatMulConstA");
+  if (blocks.size() + 1 != offsets.size()) {
+    throw std::invalid_argument("BlockDiagMatMulConstA: blocks/offsets size");
+  }
+  const int batch = static_cast<int>(blocks.size());
+  Matrix y(xv.rows(), xv.cols());
+  for (int b = 0; b < batch; ++b) {
+    const Matrix& a = *blocks[static_cast<size_t>(b)];
+    const int begin = offsets[static_cast<size_t>(b)];
+    const int len = offsets[static_cast<size_t>(b) + 1] - begin;
+    if (a.rows() != len || a.cols() != len) {
+      throw std::invalid_argument(
+          "BlockDiagMatMulConstA: block shape mismatch");
+    }
+    // y[begin+i, :] += a[i, k] * x[begin+k, :] — same kernel as MatMul.
+    for (int i = 0; i < len; ++i) {
+      for (int k = 0; k < len; ++k) {
+        const float av = a.at(i, k);
+        if (av == 0.0f) continue;
+        for (int j = 0; j < xv.cols(); ++j) {
+          y.at(begin + i, j) += av * xv.at(begin + k, j);
+        }
+      }
+    }
+  }
+  TapeNode* xn = x.node();
+  std::vector<const Matrix*> blocks_copy(blocks.begin(), blocks.end());
+  std::vector<int> offs(offsets.begin(), offsets.end());
+  return tape.NewNode(
+      std::move(y), {xn},
+      [xn, blocks = std::move(blocks_copy), offs = std::move(offs)](
+          TapeNode& self) {
+        // dx[begin+k, :] += a[i, k] * dy[begin+i, :].
+        for (size_t b = 0; b < blocks.size(); ++b) {
+          const Matrix& a = *blocks[b];
+          const int begin = offs[b];
+          for (int i = 0; i < a.rows(); ++i) {
+            for (int k = 0; k < a.cols(); ++k) {
+              const float av = a.at(i, k);
+              if (av == 0.0f) continue;
+              for (int j = 0; j < self.grad.cols(); ++j) {
+                xn->grad.at(begin + k, j) += av * self.grad.at(begin + i, j);
+              }
+            }
+          }
+        }
+      });
 }
 
 Tensor ColSumOp(Tape& tape, Tensor x) {
@@ -493,9 +843,8 @@ Tensor GatherRowsOp(Tape& tape, Tensor table, std::span<const int> ids) {
     if (r < 0 || r >= tv.rows()) {
       throw std::out_of_range("GatherRowsOp: id out of range");
     }
-    for (int j = 0; j < tv.cols(); ++j) {
-      y.at(static_cast<int>(i), j) = tv.at(r, j);
-    }
+    const auto src = tv.row(r);
+    std::copy(src.begin(), src.end(), y.row(static_cast<int>(i)).begin());
   }
   TapeNode* tn = table.node();
   std::vector<int> ids_copy(ids.begin(), ids.end());

@@ -52,11 +52,50 @@ Tensor ConcatColsOp(Tape& tape, std::span<const Tensor> parts);
 Tensor ConcatRowsOp(Tape& tape, std::span<const Tensor> parts);
 // y = x[row, :] as a [1, c] tensor.
 Tensor SliceRowOp(Tape& tape, Tensor x, int row);
+// y = x[begin:begin+rows, :] as a [rows, c] tensor.
+Tensor SliceRowsOp(Tape& tape, Tensor x, int begin, int rows);
+// y = x[:, begin:begin+cols] as a [r, cols] tensor.
+Tensor SliceColsOp(Tape& tape, Tensor x, int begin, int cols);
+
+// Fused LSTM gate pre-activation for one lockstep time step:
+//   y[r, :] = x_rows[ids[r], :] + h[r, :] @ w + bias[0, :]
+// where x_rows is the input-side gate projection precomputed for ALL nodes
+// in one large GEMM (hoisted out of the time loop), ids selects the active
+// row per segment, and w is the recurrent weight block [hidden, 4h].
+Tensor LstmGatePreactOp(Tape& tape, Tensor x_rows, std::span<const int> ids,
+                        Tensor h, Tensor w, Tensor bias);
+
+// Fused LSTM cell: given the pre-activation `preact` = [i | f | g | o]
+// ([B, 4h], gate order input/forget/cell/output) and the previous cell
+// state c_prev ([B, h]), computes
+//   c = sigmoid(f) * c_prev + sigmoid(i) * tanh(g)
+//   h = sigmoid(o) * tanh(c)
+// and returns [h | c] as one [B, 2h] tensor. One tape node instead of the
+// ~10 elementwise ops of the unfused cell; the arithmetic is identical.
+Tensor LstmCellOp(Tape& tape, Tensor preact, Tensor c_prev);
 
 // Column-wise reductions: [n, c] -> [1, c].
 Tensor ColSumOp(Tape& tape, Tensor x);
 Tensor ColMeanOp(Tape& tape, Tensor x);
 Tensor ColMaxOp(Tape& tape, Tensor x);
+
+// ---- Segment ops (batched inference over packed graphs) --------------------
+// `offsets` has B+1 monotone entries with offsets[0] == 0 and
+// offsets[B] == x.rows(); segment b is rows [offsets[b], offsets[b+1]).
+// Each op reduces [n, c] -> [B, c], with row b equal to the corresponding
+// column-wise reduction over segment b (same accumulation order, so batched
+// and per-kernel results agree exactly).
+Tensor SegmentSumOp(Tape& tape, Tensor x, std::span<const int> offsets);
+Tensor SegmentMeanOp(Tape& tape, Tensor x, std::span<const int> offsets);
+Tensor SegmentMaxOp(Tape& tape, Tensor x, std::span<const int> offsets);
+
+// y = blockdiag(blocks[0], ..., blocks[B-1]) @ x, applied block-sparsely:
+// rows [offsets[b], offsets[b+1]) of y are blocks[b] @ (same rows of x).
+// Cost is O(sum n_b^2 c), not O((sum n_b)^2 c) — the packed batch pays the
+// same adjacency flops as B separate kernels. `blocks` must outlive the tape.
+Tensor BlockDiagMatMulConstA(Tape& tape,
+                             std::span<const Matrix* const> blocks,
+                             std::span<const int> offsets, Tensor x);
 
 // Whole-matrix reductions to [1, 1].
 Tensor SumAllOp(Tape& tape, Tensor x);

@@ -1,0 +1,420 @@
+// Tests for the batched inference engine: PredictBatch parity with N
+// sequential PredictScore calls across the architecture grid, batched LSTM
+// reduction parity, batched training gradients, and the PreparedCache
+// fingerprint-collision / reuse behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/trainer.h"
+#include "ir/builder.h"
+#include "nn/ops.h"
+#include "nn/rnn.h"
+
+namespace tpuperf::core {
+namespace {
+
+// A random elementwise/dot kernel with at least `target_nodes` nodes.
+// Different seeds give different sizes and wiring, so packed batches mix
+// segment lengths.
+ir::Graph RandomKernel(std::uint64_t seed, int target_nodes) {
+  std::mt19937_64 rng(seed);
+  ir::GraphBuilder b;
+  std::vector<ir::NodeId> pool;
+  pool.push_back(b.Parameter(ir::Shape({16, 32})));
+  pool.push_back(b.Parameter(ir::Shape({16, 32})));
+  std::uniform_int_distribution<int> op_pick(0, 3);
+  while (static_cast<int>(pool.size()) < target_nodes) {
+    std::uniform_int_distribution<size_t> node_pick(0, pool.size() - 1);
+    const ir::NodeId x = pool[node_pick(rng)];
+    switch (op_pick(rng)) {
+      case 0:
+        pool.push_back(b.Tanh(x));
+        break;
+      case 1:
+        pool.push_back(b.Relu(x));
+        break;
+      case 2:
+        pool.push_back(b.Unary(ir::OpCode::kExp, x));
+        break;
+      default:
+        pool.push_back(b.Binary(ir::OpCode::kAdd, x, pool[node_pick(rng)]));
+        break;
+    }
+  }
+  b.MarkOutput(pool.back());
+  return std::move(b).Build();
+}
+
+ModelConfig SmallConfig() {
+  ModelConfig c = ModelConfig::TileTaskDefault();
+  c.hidden_dim = 16;
+  c.opcode_embedding_dim = 8;
+  c.gnn_layers = 2;
+  return c;
+}
+
+class BatchParityTest
+    : public ::testing::TestWithParam<std::tuple<GnnKind, ReductionKind>> {};
+
+// PredictBatch over a mixed-size batch must match per-kernel PredictScore
+// for every GNN variant and every reduction mode.
+TEST_P(BatchParityTest, PredictBatchMatchesSequential) {
+  const auto [gnn, reduction] = GetParam();
+  ModelConfig config = SmallConfig();
+  config.gnn = gnn;
+  config.reduction = reduction;
+  LearnedCostModel model(config);
+
+  std::vector<ir::Graph> kernels;
+  for (int k = 0; k < 6; ++k) {
+    kernels.push_back(RandomKernel(1000 + static_cast<std::uint64_t>(k) * 17,
+                                   5 + 7 * k));
+  }
+  for (const auto& kernel : kernels) model.FitNodeScaler(kernel);
+  const std::vector<ir::TileConfig> tiles = {
+      {{16, 64}}, {{1, 8}}, {{8, 8}}, {{4, 32}}, {{2, 16}}, {{32, 4}}};
+  for (const auto& tile : tiles) model.FitTileScaler(tile);
+  model.FinishFitting();
+
+  std::vector<PreparedKernel> prepared;
+  prepared.reserve(kernels.size());
+  for (const auto& kernel : kernels) prepared.push_back(model.Prepare(kernel));
+
+  std::vector<BatchItem> items;
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    items.push_back({&prepared[i], &tiles[i]});
+  }
+  const PreparedBatch batch = model.PrepareBatch(items);
+  EXPECT_EQ(batch.num_kernels(), static_cast<int>(items.size()));
+
+  const std::vector<double> batched = model.PredictBatch(batch);
+  ASSERT_EQ(batched.size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const double sequential = model.PredictScore(prepared[i], &tiles[i]);
+    EXPECT_TRUE(std::isfinite(batched[i]));
+    EXPECT_NEAR(batched[i], sequential, 1e-5)
+        << "kernel " << i << " (" << ToString(gnn) << " + "
+        << ToString(reduction) << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BatchParityTest,
+    ::testing::Combine(
+        ::testing::Values(GnnKind::kNone, GnnKind::kGraphSage, GnnKind::kGat),
+        ::testing::Values(ReductionKind::kPerNode, ReductionKind::kColumnWise,
+                          ReductionKind::kLstm, ReductionKind::kTransformer)));
+
+// The undirected (symmetric-aggregation) ablation must also agree.
+TEST(BatchParity, UndirectedGraphSage) {
+  ModelConfig config = SmallConfig();
+  config.directed_edges = false;
+  LearnedCostModel model(config);
+  std::vector<ir::Graph> kernels = {RandomKernel(7, 9), RandomKernel(8, 23)};
+  for (const auto& kernel : kernels) model.FitNodeScaler(kernel);
+  const ir::TileConfig tile{{8, 64}};
+  model.FitTileScaler(tile);
+  model.FinishFitting();
+
+  std::vector<PreparedKernel> prepared;
+  for (const auto& kernel : kernels) prepared.push_back(model.Prepare(kernel));
+  std::vector<BatchItem> items;
+  for (const auto& pk : prepared) items.push_back({&pk, &tile});
+  const std::vector<double> batched =
+      model.PredictBatch(model.PrepareBatch(items));
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    EXPECT_NEAR(batched[i], model.PredictScore(prepared[i], &tile), 1e-5);
+  }
+}
+
+// Both kernel-embedding feature placements (option 2) must agree too.
+TEST(BatchParity, KernelEmbeddingPlacement) {
+  ModelConfig config = SmallConfig();
+  config.tile_placement = FeaturePlacement::kKernelEmbedding;
+  config.static_perf_placement = FeaturePlacement::kKernelEmbedding;
+  LearnedCostModel model(config);
+  std::vector<ir::Graph> kernels = {RandomKernel(21, 12), RandomKernel(22, 4)};
+  for (const auto& kernel : kernels) model.FitNodeScaler(kernel);
+  const ir::TileConfig tile{{4, 16}};
+  model.FitTileScaler(tile);
+  model.FinishFitting();
+
+  std::vector<PreparedKernel> prepared;
+  for (const auto& kernel : kernels) prepared.push_back(model.Prepare(kernel));
+  std::vector<BatchItem> items;
+  for (const auto& pk : prepared) items.push_back({&pk, &tile});
+  const std::vector<double> batched =
+      model.PredictBatch(model.PrepareBatch(items));
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    EXPECT_NEAR(batched[i], model.PredictScore(prepared[i], &tile), 1e-5);
+  }
+}
+
+// PredictBatchSeconds applies the log-target exp() per element.
+TEST(BatchParity, SecondsAppliesExp) {
+  ModelConfig config = SmallConfig();
+  config.log_target = true;
+  config.use_tile_features = false;
+  LearnedCostModel model(config);
+  const ir::Graph kernel = RandomKernel(31, 10);
+  model.FitNodeScaler(kernel);
+  model.FinishFitting();
+  const PreparedKernel pk = model.Prepare(kernel);
+  const std::vector<BatchItem> items = {{&pk, nullptr}, {&pk, nullptr}};
+  const PreparedBatch batch = model.PrepareBatch(items);
+  const auto scores = model.PredictBatch(batch);
+  const auto seconds = model.PredictBatchSeconds(batch);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_NEAR(seconds[i], std::exp(scores[i]), 1e-9 * seconds[i] + 1e-12);
+  }
+}
+
+// Lockstep batched LSTM must reproduce per-segment sequential runs exactly,
+// including with duplicate lengths and a segment of length 1.
+TEST(BatchedLstm, MatchesSequentialPerSegment) {
+  nn::ParamStore store;
+  std::mt19937_64 rng(5);
+  nn::Lstm lstm(store, "lstm", 6, 8, rng);
+  const std::vector<int> lengths = {3, 1, 5, 3, 2};
+  std::vector<int> offsets = {0};
+  for (const int len : lengths) offsets.push_back(offsets.back() + len);
+  nn::Matrix x(offsets.back(), 6);
+  std::uniform_real_distribution<float> dist(-1, 1);
+  for (float& v : x.flat()) v = dist(rng);
+
+  nn::Tape tape(/*grad_enabled=*/false);
+  nn::Tensor packed = tape.Leaf(x);
+  nn::Tensor batched = lstm.ForwardBatched(tape, packed, offsets);
+  ASSERT_EQ(batched.rows(), static_cast<int>(lengths.size()));
+  for (size_t b = 0; b < lengths.size(); ++b) {
+    nn::Matrix seg(lengths[b], 6);
+    for (int i = 0; i < lengths[b]; ++i) {
+      for (int j = 0; j < 6; ++j) {
+        seg.at(i, j) = x.at(offsets[b] + i, j);
+      }
+    }
+    nn::Tensor sequential =
+        lstm.Forward(tape, tape.Leaf(std::move(seg))).final_hidden;
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_NEAR(batched.value().at(static_cast<int>(b), j),
+                  sequential.value().at(0, j), 1e-6)
+          << "segment " << b << " unit " << j;
+    }
+  }
+}
+
+// The fused batched-LSTM ops (LstmGatePreactOp, LstmCellOp) have
+// hand-written backwards; check them against finite differences through the
+// whole ForwardBatched computation.
+TEST(BatchedLstm, NumericalGradient) {
+  nn::ParamStore store;
+  std::mt19937_64 rng(11);
+  nn::Lstm lstm(store, "lstm", 3, 4, rng);
+  const std::vector<int> offsets = {0, 2, 5};
+  nn::Matrix x0(5, 3);
+  std::uniform_real_distribution<float> dist(-1, 1);
+  for (float& v : x0.flat()) v = dist(rng);
+
+  const auto loss_value = [&](const nn::Matrix& xv) {
+    nn::Tape tape(/*grad_enabled=*/true);
+    nn::Tensor x = tape.Leaf(xv, /*requires_grad=*/true);
+    nn::Tensor out = lstm.ForwardBatched(tape, x, offsets);
+    return nn::MeanAllOp(tape, out).scalar();
+  };
+
+  // Analytic gradients for the input and one gate weight.
+  nn::Tape tape(/*grad_enabled=*/true);
+  nn::Tensor x = tape.Leaf(x0, /*requires_grad=*/true);
+  nn::Tensor out = lstm.ForwardBatched(tape, x, offsets);
+  tape.Backward(nn::MeanAllOp(tape, out));
+  const nn::Matrix dx = x.grad();
+
+  const float h = 1e-2f;
+  for (const auto& [r, c] : {std::pair{0, 0}, {1, 2}, {3, 1}, {4, 2}}) {
+    nn::Matrix plus = x0, minus = x0;
+    plus.at(r, c) += h;
+    minus.at(r, c) -= h;
+    const float numeric = (loss_value(plus) - loss_value(minus)) / (2 * h);
+    EXPECT_NEAR(dx.at(r, c), numeric, 3e-2f * std::max(1.0f, std::abs(numeric)))
+        << "d/dx[" << r << "," << c << "]";
+  }
+
+  nn::Parameter* w = store.params().front();
+  const float analytic_w = w->grad.at(0, 0);
+  const float orig = w->value.at(0, 0);
+  w->value.at(0, 0) = orig + h;
+  const float lp = loss_value(x0);
+  w->value.at(0, 0) = orig - h;
+  const float lm = loss_value(x0);
+  w->value.at(0, 0) = orig;
+  const float numeric_w = (lp - lm) / (2 * h);
+  EXPECT_NEAR(analytic_w, numeric_w,
+              3e-2f * std::max(1.0f, std::abs(numeric_w)));
+}
+
+// Gradients must flow through the whole batched stack: a training step on a
+// packed batch must touch every parameter the sequential step touches.
+TEST(BatchedForward, GradientsReachParameters) {
+  ModelConfig config = SmallConfig();
+  config.dropout = 0;  // deterministic
+  LearnedCostModel model(config);
+  const ir::Graph a = RandomKernel(41, 8);
+  const ir::Graph b = RandomKernel(42, 15);
+  model.FitNodeScaler(a);
+  model.FitNodeScaler(b);
+  const ir::TileConfig tile{{8, 16}};
+  model.FitTileScaler(tile);
+  model.FinishFitting();
+  const PreparedKernel pa = model.Prepare(a);
+  const PreparedKernel pb = model.Prepare(b);
+  const std::vector<BatchItem> items = {{&pa, &tile}, {&pb, &tile}};
+  const PreparedBatch batch = model.PrepareBatch(items);
+
+  nn::Tape tape(/*grad_enabled=*/true);
+  nn::Tensor out = model.ForwardBatch(tape, batch, /*training=*/true);
+  ASSERT_EQ(out.rows(), 2);
+  nn::Tensor loss = nn::MeanAllOp(tape, out);
+  tape.Backward(loss);
+
+  int with_grad = 0;
+  for (nn::Parameter* p : model.params().params()) {
+    double norm = 0;
+    for (const float g : p->grad.flat()) norm += std::abs(g);
+    if (norm > 0) ++with_grad;
+  }
+  // The output head, LSTM gates, GNN layers, f1 and the embedding must all
+  // receive gradient; allow a small number of untouched rows (e.g. unused
+  // opcode embeddings are updated only via touched rows).
+  EXPECT_GT(with_grad, 10);
+}
+
+// Malformed batches are rejected.
+TEST(PrepareBatch, ValidatesInput) {
+  LearnedCostModel model(SmallConfig());
+  const ir::Graph kernel = RandomKernel(51, 6);
+  model.FitNodeScaler(kernel);
+  model.FitTileScaler(ir::TileConfig{{8, 16}});
+  model.FinishFitting();
+  const PreparedKernel pk = model.Prepare(kernel);
+
+  EXPECT_THROW(model.PrepareBatch({}), std::invalid_argument);
+  {
+    const std::vector<BatchItem> items = {{nullptr, nullptr}};
+    EXPECT_THROW(model.PrepareBatch(items), std::invalid_argument);
+  }
+  {
+    // Tile-feature models require a tile per item.
+    const std::vector<BatchItem> items = {{&pk, nullptr}};
+    EXPECT_THROW(model.PrepareBatch(items), std::invalid_argument);
+  }
+}
+
+// ---- PreparedCache ---------------------------------------------------------
+
+// Reuse: the same kernel fetched twice returns the same entry.
+TEST(PreparedCache, ReusesEntries) {
+  LearnedCostModel model(SmallConfig());
+  const ir::Graph kernel = RandomKernel(61, 10);
+  model.FitNodeScaler(kernel);
+  model.FitTileScaler(ir::TileConfig{{8, 16}});
+  model.FinishFitting();
+
+  PreparedCache cache(model);
+  const std::uint64_t fp = kernel.Fingerprint();
+  const PreparedKernel& first = cache.Get(kernel, fp);
+  const PreparedKernel& second = cache.Get(kernel, fp);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.collisions(), 0u);
+}
+
+// Collision regression: two structurally different kernels presented with
+// the same fingerprint must NOT share a prepared entry — the cache detects
+// the collision and keeps both, and earlier references stay valid.
+TEST(PreparedCache, FingerprintCollisionKeepsBothEntries) {
+  LearnedCostModel model(SmallConfig());
+  const ir::Graph small = RandomKernel(71, 5);
+  const ir::Graph large = RandomKernel(72, 19);
+  model.FitNodeScaler(small);
+  model.FitNodeScaler(large);
+  model.FitTileScaler(ir::TileConfig{{8, 16}});
+  model.FinishFitting();
+
+  PreparedCache cache(model);
+  // Force a collision: both graphs presented under the same key.
+  const std::uint64_t shared_key = 0xDEADBEEFull;
+  const PreparedKernel& a = cache.Get(small, shared_key);
+  const PreparedKernel& b = cache.Get(large, shared_key);
+  EXPECT_EQ(a.num_nodes, small.num_nodes());
+  EXPECT_EQ(b.num_nodes, large.num_nodes());
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.collisions(), 1u);
+
+  // The reference returned before the collision was appended stays usable
+  // and the chain resolves to the right entries on re-lookup.
+  EXPECT_EQ(&cache.Get(small, shared_key), &a);
+  EXPECT_EQ(&cache.Get(large, shared_key), &b);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.collisions(), 1u);
+  EXPECT_EQ(a.num_nodes, small.num_nodes());
+}
+
+// ---- Segment ops -----------------------------------------------------------
+
+TEST(SegmentOps, MatchColumnReductionsPerSegment) {
+  std::mt19937_64 rng(81);
+  std::uniform_real_distribution<float> dist(-2, 2);
+  const std::vector<int> offsets = {0, 3, 4, 9};
+  nn::Matrix x(9, 5);
+  for (float& v : x.flat()) v = dist(rng);
+
+  nn::Tape tape(/*grad_enabled=*/false);
+  nn::Tensor packed = tape.Leaf(x);
+  nn::Tensor sum = nn::SegmentSumOp(tape, packed, offsets);
+  nn::Tensor mean = nn::SegmentMeanOp(tape, packed, offsets);
+  nn::Tensor max = nn::SegmentMaxOp(tape, packed, offsets);
+  for (size_t b = 0; b + 1 < offsets.size(); ++b) {
+    const int len = offsets[b + 1] - offsets[b];
+    nn::Matrix seg(len, 5);
+    for (int i = 0; i < len; ++i) {
+      for (int j = 0; j < 5; ++j) seg.at(i, j) = x.at(offsets[b] + i, j);
+    }
+    nn::Tensor leaf = tape.Leaf(seg);
+    nn::Tensor cs = nn::ColSumOp(tape, leaf);
+    nn::Tensor cm = nn::ColMeanOp(tape, leaf);
+    nn::Tensor cx = nn::ColMaxOp(tape, leaf);
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_FLOAT_EQ(sum.value().at(static_cast<int>(b), j),
+                      cs.value().at(0, j));
+      EXPECT_FLOAT_EQ(mean.value().at(static_cast<int>(b), j),
+                      cm.value().at(0, j));
+      EXPECT_FLOAT_EQ(max.value().at(static_cast<int>(b), j),
+                      cx.value().at(0, j));
+    }
+  }
+}
+
+TEST(SegmentOps, RejectBadOffsets) {
+  nn::Tape tape(/*grad_enabled=*/false);
+  nn::Tensor x = tape.Leaf(nn::Matrix(4, 2));
+  {
+    const std::vector<int> bad = {0, 5};  // past the end
+    EXPECT_THROW(nn::SegmentSumOp(tape, x, bad), std::invalid_argument);
+  }
+  {
+    const std::vector<int> bad = {1, 4};  // does not start at 0
+    EXPECT_THROW(nn::SegmentMeanOp(tape, x, bad), std::invalid_argument);
+  }
+  {
+    const std::vector<int> bad = {0, 3, 2, 4};  // not monotone
+    EXPECT_THROW(nn::SegmentMaxOp(tape, x, bad), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace tpuperf::core
