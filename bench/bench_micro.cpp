@@ -5,11 +5,13 @@
 // hardware measurements.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 
 #include "analytical/analytical_model.h"
+#include "core/thread_pool.h"
 #include "core/trainer.h"
 #include "dataset/datasets.h"
 #include "dataset/families.h"
@@ -170,6 +172,22 @@ void BM_ModelPrepareAndBatch32(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelPrepareAndBatch32);
 
+// The packed batch-32 forward at a fixed worker-pool width (Arg). The /1
+// row is the serial baseline; wider rows show the thread-pool win on
+// multi-core hosts (chunk partitioning is bit-exact, so outputs are the
+// same at every width).
+void BM_ModelInferenceBatch32Threads(benchmark::State& state) {
+  auto& f = F();
+  auto& b = B32();
+  core::ThreadPool::SetNumThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.PredictBatch(b.packed));
+  }
+  core::ThreadPool::SetNumThreads(core::ThreadPool::DefaultNumThreads());
+  state.SetItemsProcessed(state.iterations() * Batch32::kBatch);
+}
+BENCHMARK(BM_ModelInferenceBatch32Threads)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_TileEnumeration(benchmark::State& state) {
   auto& f = F();
   for (auto _ : state) {
@@ -213,9 +231,11 @@ BENCHMARK(BM_BuildProgramGraph);
 }  // namespace
 
 // Times batch-32 prediction against 32 sequential predictions on the same
-// inputs and reports throughput plus the worst output divergence. Printed
-// after the google-benchmark table so the speedup and the parity bound are
-// visible in one run.
+// inputs — single-threaded AND on the worker pool — and reports throughput
+// plus the worst output divergence. Printed after the google-benchmark
+// table so the speedups and the parity bounds are visible in one run, and
+// written to BENCH_results.json so the perf trajectory is machine-readable
+// across PRs.
 void ReportBatchedThroughput() {
   auto& f = F();
   auto& b = B32();
@@ -234,6 +254,7 @@ void ReportBatchedThroughput() {
     return elapsed / reps;
   };
 
+  core::ThreadPool::SetNumThreads(1);
   std::vector<double> sequential(Batch32::kBatch);
   const double seq_sec = time_reps([&] {
     for (int i = 0; i < Batch32::kBatch; ++i) {
@@ -246,20 +267,73 @@ void ReportBatchedThroughput() {
     batched = f.model.PredictBatch(b.packed);
   });
 
+  // The same packed forward on a >= 4-wide pool (the partitioning is
+  // bit-exact, so `threaded` must equal `batched` element for element).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int threads = std::max(4, static_cast<int>(hw == 0 ? 1 : hw));
+  core::ThreadPool::SetNumThreads(threads);
+  std::vector<double> threaded;
+  const double threaded_sec = time_reps([&] {
+    threaded = f.model.PredictBatch(b.packed);
+  });
+  core::ThreadPool::SetNumThreads(core::ThreadPool::DefaultNumThreads());
+
   double max_diff = 0;
+  double max_thread_diff = 0;
   for (int i = 0; i < Batch32::kBatch; ++i) {
     max_diff = std::max(max_diff,
                         std::abs(batched[static_cast<size_t>(i)] -
                                  sequential[static_cast<size_t>(i)]));
+    max_thread_diff = std::max(max_thread_diff,
+                               std::abs(threaded[static_cast<size_t>(i)] -
+                                        batched[static_cast<size_t>(i)]));
   }
   const double seq_rate = Batch32::kBatch / seq_sec;
   const double batch_rate = Batch32::kBatch / batch_sec;
+  const double threaded_rate = Batch32::kBatch / threaded_sec;
   std::printf("\n--- Batched inference report (batch=%d) ---\n",
               Batch32::kBatch);
-  std::printf("sequential: %10.0f predictions/s\n", seq_rate);
-  std::printf("batched:    %10.0f predictions/s\n", batch_rate);
-  std::printf("speedup:    %.2fx\n", batch_rate / seq_rate);
+  std::printf("sequential (1 thread):  %10.0f predictions/s\n", seq_rate);
+  std::printf("batched    (1 thread):  %10.0f predictions/s\n", batch_rate);
+  std::printf("batched (%2d threads):   %10.0f predictions/s\n", threads,
+              threaded_rate);
+  std::printf("batch speedup:          %.2fx\n", batch_rate / seq_rate);
+  std::printf("thread speedup:         %.2fx (on %u hardware threads)\n",
+              threaded_rate / batch_rate, hw);
+  std::printf("total speedup:          %.2fx\n", threaded_rate / seq_rate);
   std::printf("max |batched - sequential| = %.3g\n", max_diff);
+  std::printf("max |threaded - batched|   = %.3g (must be 0)\n",
+              max_thread_diff);
+
+  FILE* json = std::fopen("BENCH_results.json", "w");
+  if (json == nullptr) {
+    std::printf("could not write BENCH_results.json\n");
+    return;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"benchmark\": \"PredictBatch\",\n");
+  std::fprintf(json, "  \"batch_size\": %d,\n", Batch32::kBatch);
+  std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(json, "  \"pool_threads\": %d,\n", threads);
+  std::fprintf(json, "  \"sequential_predictions_per_sec\": %.1f,\n",
+               seq_rate);
+  std::fprintf(json, "  \"batched_1thread_predictions_per_sec\": %.1f,\n",
+               batch_rate);
+  std::fprintf(json, "  \"batched_threaded_predictions_per_sec\": %.1f,\n",
+               threaded_rate);
+  std::fprintf(json, "  \"batch_speedup_vs_sequential\": %.3f,\n",
+               batch_rate / seq_rate);
+  std::fprintf(json, "  \"thread_speedup_vs_batched\": %.3f,\n",
+               threaded_rate / batch_rate);
+  std::fprintf(json, "  \"total_speedup_vs_sequential\": %.3f,\n",
+               threaded_rate / seq_rate);
+  std::fprintf(json, "  \"max_abs_diff_batched_vs_sequential\": %.3g,\n",
+               max_diff);
+  std::fprintf(json, "  \"max_abs_diff_threaded_vs_1thread\": %.3g\n",
+               max_thread_diff);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_results.json\n");
 }
 
 }  // namespace tpuperf

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/thread_pool.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
 
@@ -176,28 +177,42 @@ PreparedBatch LearnedCostModel::PrepareBatch(
 
   PreparedBatch pb;
   pb.structure = nn::PackGraphStructures(structures);
-  pb.opcode_ids.reserve(static_cast<size_t>(total_nodes));
+  pb.opcode_ids.resize(static_cast<size_t>(total_nodes));
   pb.node_features = nn::Matrix(total_nodes, feat::kNodeScalarFeatures);
   pb.static_perf = nn::Matrix(batch, feat::kStaticPerfFeatures);
   if (config_.use_tile_features) {
     pb.tile_features = nn::Matrix(batch, feat::kTileFeatures);
   }
-  int row = 0;
-  for (int b = 0; b < batch; ++b) {
-    const PreparedKernel& pk = *items[static_cast<size_t>(b)].kernel;
-    pb.opcode_ids.insert(pb.opcode_ids.end(), pk.opcode_ids.begin(),
-                         pk.opcode_ids.end());
-    for (int i = 0; i < pk.num_nodes; ++i, ++row) {
-      std::copy(pk.node_features.row(i).begin(), pk.node_features.row(i).end(),
-                pb.node_features.row(row).begin());
+  // Each item owns rows [offsets[b], offsets[b+1]) of the packed matrices
+  // (plus its own per-kernel row), so assembly — feature copies and tile
+  // scaling — shards across the pool without changing any output byte.
+  const std::span<const int> offsets = pb.offsets();
+  const auto assemble = [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const BatchItem& item = items[static_cast<size_t>(b)];
+      const PreparedKernel& pk = *item.kernel;
+      int row = offsets[static_cast<size_t>(b)];
+      std::copy(pk.opcode_ids.begin(), pk.opcode_ids.end(),
+                pb.opcode_ids.begin() + row);
+      for (int i = 0; i < pk.num_nodes; ++i, ++row) {
+        std::copy(pk.node_features.row(i).begin(),
+                  pk.node_features.row(i).end(),
+                  pb.node_features.row(row).begin());
+      }
+      const int bi = static_cast<int>(b);
+      std::copy(pk.static_perf.begin(), pk.static_perf.end(),
+                pb.static_perf.row(bi).begin());
+      if (config_.use_tile_features) {
+        const std::vector<float> scaled = ScaledTileFeatures(*item.tile);
+        std::copy(scaled.begin(), scaled.end(),
+                  pb.tile_features.row(bi).begin());
+      }
     }
-    std::copy(pk.static_perf.begin(), pk.static_perf.end(),
-              pb.static_perf.row(b).begin());
-    if (config_.use_tile_features) {
-      const std::vector<float> scaled =
-          ScaledTileFeatures(*items[static_cast<size_t>(b)].tile);
-      std::copy(scaled.begin(), scaled.end(), pb.tile_features.row(b).begin());
-    }
+  };
+  if (batch >= 8 && ThreadPool::Global().size() > 1) {
+    ParallelFor(0, batch, 4, assemble);
+  } else {
+    assemble(0, batch);
   }
   return pb;
 }
@@ -431,16 +446,40 @@ nn::Tensor LearnedCostModel::ForwardBatchImpl(
     case ReductionKind::kTransformer: {
       // Attention is O(n^2) per kernel and must not mix kernels, so the
       // encoder runs per segment; everything before and after stays packed.
-      std::vector<nn::Tensor> segs;
-      segs.reserve(static_cast<size_t>(num_kernels));
-      for (int b = 0; b < num_kernels; ++b) {
-        const int begin = offsets[static_cast<size_t>(b)];
-        const int len = offsets[static_cast<size_t>(b) + 1] - begin;
-        nn::Tensor seg = nn::SliceRowsOp(tape, h, begin, len);
-        nn::Tensor enc = reduction_transformer_.Forward(tape, seg);
-        segs.push_back(nn::ColMeanOp(tape, enc));
+      if (!tape.grad_enabled() && num_kernels > 1 &&
+          ThreadPool::Global().size() > 1) {
+        // Inference: segments are independent, so the encoder shards across
+        // the pool. Each chunk replays the identical ops on a private
+        // scratch tape; only the [1, hidden] results land on the caller's
+        // tape — bit-identical to the sequential loop.
+        nn::Matrix embeddings(num_kernels, kernel_embedding_dim_);
+        const nn::Matrix& hv = h.value();
+        ParallelFor(0, num_kernels, 1, [&](std::int64_t b0, std::int64_t b1) {
+          nn::Tape scratch(/*grad_enabled=*/false);
+          for (std::int64_t b = b0; b < b1; ++b) {
+            const int begin = offsets[static_cast<size_t>(b)];
+            const int len = offsets[static_cast<size_t>(b) + 1] - begin;
+            nn::Tensor enc = reduction_transformer_.Forward(
+                scratch, scratch.Leaf(nn::CopyRows(hv, begin, len)));
+            nn::Tensor mean = nn::ColMeanOp(scratch, enc);
+            std::copy(mean.value().row(0).begin(), mean.value().row(0).end(),
+                      embeddings.row(static_cast<int>(b)).begin());
+            scratch.Clear();
+          }
+        });
+        kernel_embedding = tape.Leaf(std::move(embeddings));
+      } else {
+        std::vector<nn::Tensor> segs;
+        segs.reserve(static_cast<size_t>(num_kernels));
+        for (int b = 0; b < num_kernels; ++b) {
+          const int begin = offsets[static_cast<size_t>(b)];
+          const int len = offsets[static_cast<size_t>(b) + 1] - begin;
+          nn::Tensor seg = nn::SliceRowsOp(tape, h, begin, len);
+          nn::Tensor enc = reduction_transformer_.Forward(tape, seg);
+          segs.push_back(nn::ColMeanOp(tape, enc));
+        }
+        kernel_embedding = nn::ConcatRowsOp(tape, segs);
       }
-      kernel_embedding = nn::ConcatRowsOp(tape, segs);
       break;
     }
   }

@@ -1,0 +1,87 @@
+// A fixed worker pool shared by every hot path in the repo: batched
+// inference (GEMM row partitions, per-segment GNN blocks), trainer
+// minibatch featurization, and the autotuners' candidate scoring.
+//
+// Determinism contract: ParallelFor partitions [begin, end) into contiguous
+// chunks whose boundaries depend ONLY on the range and the grain — never on
+// the worker count or on scheduling. A body that writes disjoint outputs per
+// chunk therefore produces bit-identical results at any pool size, including
+// the serial fallback (pool size 1 runs the chunks inline on the caller).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tpuperf::core {
+
+class ThreadPool {
+ public:
+  // `num_threads` <= 1 creates no workers: all work runs on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total threads that can execute work (workers + the calling thread's
+  // participation in ParallelFor); always >= 1.
+  int size() const noexcept { return num_threads_; }
+
+  // Runs body(chunk_begin, chunk_end) for contiguous chunks of exactly
+  // `grain` indices (the last chunk may be short). Chunks may run on any
+  // thread, in any order; the caller participates and blocks until every
+  // chunk finished. The first exception thrown by a body is rethrown here.
+  // Grain <= 0 means one chunk per available thread.
+  void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                   const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  // Schedules a task on the pool (runs inline when the pool has no workers)
+  // and returns its future.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+    } else {
+      Enqueue([task]() { (*task)(); });
+    }
+    return future;
+  }
+
+  // ---- Global pool ----------------------------------------------------------
+  // The process-wide pool used by nn kernels, trainers and evaluators.
+  // Created on first use with DefaultNumThreads() threads.
+  static ThreadPool& Global();
+  // Replaces the global pool. Must not be called while parallel work is in
+  // flight (intended for startup / benchmarks / tests).
+  static void SetNumThreads(int num_threads);
+  // TPUPERF_NUM_THREADS when set (clamped to >= 1), else
+  // std::thread::hardware_concurrency().
+  static int DefaultNumThreads();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  struct Queue;  // hides <mutex>/<condition_variable> plumbing in the .cpp
+  std::unique_ptr<Queue> queue_;
+  std::vector<std::thread> workers_;
+  int num_threads_ = 1;
+};
+
+// Shorthand for ThreadPool::Global().ParallelFor(...).
+inline void ParallelFor(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, body);
+}
+
+}  // namespace tpuperf::core

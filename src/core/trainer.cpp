@@ -7,6 +7,7 @@
 #include <random>
 #include <unordered_set>
 
+#include "core/thread_pool.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
 
@@ -54,15 +55,58 @@ nn::AdamConfig MakeAdamConfig(const ModelConfig& c) {
 
 const PreparedKernel& PreparedCache::Get(const ir::Graph& kernel,
                                          std::uint64_t fingerprint) {
-  std::deque<Entry>& chain = cache_[fingerprint];
   const std::uint64_t sig = kernel.StructuralSignature();
-  for (const Entry& entry : chain) {
-    if (entry.structural_sig == sig) return entry.prepared;
+  const auto find_entry = [&]() -> const PreparedKernel* {
+    const auto it = cache_.find(fingerprint);
+    if (it == cache_.end()) return nullptr;
+    for (const Entry& entry : it->second) {
+      if (entry.structural_sig == sig) return &entry.prepared;
+    }
+    return nullptr;
+  };
+  {
+    std::shared_lock lock(mu_);
+    if (const PreparedKernel* hit = find_entry()) return *hit;
   }
+  // Miss: claim the kernel, then featurize outside any lock (the expensive
+  // part — and the point of calling Get from pool workers). Concurrent
+  // misses on the same kernel wait for the claimant instead of redoing the
+  // featurization; distinct kernels prepare fully in parallel.
+  const std::pair<std::uint64_t, std::uint64_t> key{fingerprint, sig};
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (const PreparedKernel* hit = find_entry()) return *hit;
+    if (in_flight_.insert(key).second) break;  // ours to prepare
+    in_flight_done_.wait(lock);
+  }
+  lock.unlock();
+  PreparedKernel prepared;
+  try {
+    prepared = model_.Prepare(kernel);
+  } catch (...) {
+    std::scoped_lock relock(mu_);
+    in_flight_.erase(key);
+    in_flight_done_.notify_all();
+    throw;
+  }
+  lock.lock();
+  in_flight_.erase(key);
+  in_flight_done_.notify_all();
+  std::deque<Entry>& chain = cache_[fingerprint];
   if (!chain.empty()) ++collisions_;
-  chain.push_back(Entry{sig, model_.Prepare(kernel)});
+  chain.push_back(Entry{sig, std::move(prepared)});
   ++entries_;
   return chain.back().prepared;
+}
+
+std::size_t PreparedCache::size() const {
+  std::shared_lock lock(mu_);
+  return entries_;
+}
+
+std::size_t PreparedCache::collisions() const {
+  std::shared_lock lock(mu_);
+  return collisions_;
 }
 
 TrainStats TrainTileTask(LearnedCostModel& model,
@@ -206,22 +250,39 @@ TrainStats TrainFusionTask(LearnedCostModel& model,
   double window_loss = 0;
   int window_count = 0;
   for (int step = 0; step < cfg.train_steps; ++step) {
-    // Assemble the minibatch, then run it as one packed forward pass.
-    std::vector<BatchItem> items;
-    std::vector<double> targets;
-    items.reserve(static_cast<size_t>(cfg.kernels_per_batch));
-    targets.reserve(static_cast<size_t>(cfg.kernels_per_batch));
+    // Assemble the minibatch: the RNG draws stay serial (so sampling is
+    // identical at any pool width), then the picked kernels featurize
+    // concurrently through the thread-safe cache.
+    std::vector<const data::FusionSample*> picked;
+    picked.reserve(static_cast<size_t>(cfg.kernels_per_batch));
     for (int b = 0; b < cfg.kernels_per_batch; ++b) {
       const auto& family =
           families[(static_cast<size_t>(step) * cfg.kernels_per_batch + b) %
                    families.size()];
       std::uniform_int_distribution<size_t> pick(0, family.size() - 1);
-      const auto& sample =
-          dataset.samples[static_cast<size_t>(family[pick(rng)])];
-      const PreparedKernel& pk =
-          cache.Get(sample.record.kernel.graph, sample.record.fingerprint);
-      items.push_back({&pk, cfg.use_tile_features ? &sample.tile : nullptr});
-      targets.push_back(sample.runtime);
+      picked.push_back(&dataset.samples[static_cast<size_t>(family[pick(rng)])]);
+    }
+    std::vector<const PreparedKernel*> prepared(picked.size());
+    const auto featurize = [&](std::int64_t b0, std::int64_t b1) {
+      for (std::int64_t b = b0; b < b1; ++b) {
+        const auto& sample = *picked[static_cast<size_t>(b)];
+        prepared[static_cast<size_t>(b)] =
+            &cache.Get(sample.record.kernel.graph, sample.record.fingerprint);
+      }
+    };
+    if (picked.size() > 1 && ThreadPool::Global().size() > 1) {
+      ParallelFor(0, static_cast<std::int64_t>(picked.size()), 1, featurize);
+    } else {
+      featurize(0, static_cast<std::int64_t>(picked.size()));
+    }
+    std::vector<BatchItem> items;
+    std::vector<double> targets;
+    items.reserve(picked.size());
+    targets.reserve(picked.size());
+    for (size_t b = 0; b < picked.size(); ++b) {
+      items.push_back(
+          {prepared[b], cfg.use_tile_features ? &picked[b]->tile : nullptr});
+      targets.push_back(picked[b]->runtime);
     }
     const PreparedBatch batch = model.PrepareBatch(items);
     nn::Tape tape(/*grad_enabled=*/true);

@@ -7,9 +7,13 @@
 // kernels with log-transformed runtime targets.
 #pragma once
 
+#include <condition_variable>
 #include <deque>
+#include <set>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/cost_model.h"
@@ -22,6 +26,15 @@ namespace tpuperf::core {
 // cheap structural signature of the graph, so two distinct kernels whose
 // fingerprints collide each get their own prepared entry instead of silently
 // sharing one.
+//
+// Concurrency-safe: Get() may be called from any number of pool workers
+// (trainer minibatch featurization and the batched evaluators do). Hits take
+// a shared lock; misses featurize OUTSIDE the lock. A miss first claims the
+// (fingerprint, signature) pair in an in-flight set, so concurrent misses on
+// the SAME kernel block for the one featurization instead of each computing
+// and discarding their own, while distinct kernels still prepare fully in
+// parallel. Returned references stay valid for the cache's lifetime
+// (entries live in per-fingerprint deques and are never erased).
 class PreparedCache {
  public:
   explicit PreparedCache(const LearnedCostModel& model) : model_(model) {}
@@ -29,9 +42,9 @@ class PreparedCache {
   const PreparedKernel& Get(const ir::Graph& kernel, std::uint64_t fingerprint);
 
   // Total prepared entries (collision chains count each entry).
-  std::size_t size() const noexcept { return entries_; }
+  std::size_t size() const;
   // Fingerprint collisions detected (distinct graphs, same fingerprint).
-  std::size_t collisions() const noexcept { return collisions_; }
+  std::size_t collisions() const;
 
  private:
   struct Entry {
@@ -40,6 +53,10 @@ class PreparedCache {
   };
 
   const LearnedCostModel& model_;
+  mutable std::shared_mutex mu_;
+  std::condition_variable_any in_flight_done_;
+  // (fingerprint, structural signature) pairs being featurized right now.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> in_flight_;
   // deque: appending to a collision chain must not invalidate references
   // returned by earlier Get() calls.
   std::unordered_map<std::uint64_t, std::deque<Entry>> cache_;

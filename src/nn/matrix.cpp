@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/thread_pool.h"
+
 namespace tpuperf::nn {
 namespace {
 
@@ -13,6 +15,31 @@ void CheckSameShape(const Matrix& a, const Matrix& b, const char* what) {
                                 a.ShapeString() + " vs " + b.ShapeString());
   }
 }
+
+// Parallel dispatch threshold, in multiply-adds. Below this the GEMM
+// finishes faster than the fork/join overhead costs.
+constexpr std::int64_t kParallelFlops = 1 << 18;
+
+// Row grain for parallel GEMMs: large enough that a chunk amortizes task
+// dispatch, aligned to the 4-row register tile so every chunk boundary
+// falls between full row blocks (the per-row code path — tiled kernel vs
+// remainder loop — is then identical to the serial kernel's for every row,
+// keeping parallel outputs bit-identical to serial ones).
+std::int64_t RowGrain(int m, std::int64_t flops_per_row) {
+  std::int64_t rows = kParallelFlops / std::max<std::int64_t>(1, flops_per_row);
+  rows = std::max<std::int64_t>(4, (rows + 3) / 4 * 4);
+  return std::min<std::int64_t>(rows, m);
+}
+
+bool ShouldParallelize(std::int64_t m, std::int64_t k, std::int64_t n) {
+  return m * k * n >= 2 * kParallelFlops &&
+         core::ThreadPool::Global().size() > 1;
+}
+
+void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix& out, int i0,
+                    int i1);
+void MatMulSparseARowRange(const Matrix& a, const Matrix& b, Matrix& out,
+                           int i0, int i1);
 
 }  // namespace
 
@@ -64,16 +91,40 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
   Matrix out(a.rows(), b.cols());
 
-  // Register-tiled main kernel: 4 rows x 16 columns accumulated over the
-  // full k extent in registers — each b row is loaded once per 4 output
-  // rows and every output element is written exactly once. Batched
-  // inference lives on this path; every output row still accumulates over
-  // p in ascending order, so row values are independent of how rows are
-  // grouped into tiles (packed batches match per-kernel runs).
+  // Large GEMMs are partitioned by output row across the worker pool. Each
+  // row's value is computed by exactly one worker with the identical
+  // per-row instruction sequence as the serial kernel (chunk boundaries are
+  // aligned to the 4-row register tile), so the result is bit-identical at
+  // any thread count.
+  if (ShouldParallelize(m, k, n)) {
+    core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        MatMulRowRange(a, b, out, static_cast<int>(lo),
+                                       static_cast<int>(hi));
+                      });
+  } else {
+    MatMulRowRange(a, b, out, 0, m);
+  }
+  return out;
+}
+
+namespace {
+
+// Rows [i0, i1) of out = a @ b.
+//
+// Register-tiled main kernel: 4 rows x 16 columns accumulated over the
+// full k extent in registers — each b row is loaded once per 4 output
+// rows and every output element is written exactly once. Batched
+// inference lives on this path; every output row still accumulates over
+// p in ascending order, so row values are independent of how rows are
+// grouped into tiles (packed batches match per-kernel runs).
+void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix& out, int i0,
+                    int i1) {
+  const int k = a.cols(), n = b.cols();
   constexpr int kRowBlock = 4;
   constexpr int kColBlock = 16;
-  int i = 0;
-  for (; i + kRowBlock <= m; i += kRowBlock) {
+  int i = i0;
+  for (; i + kRowBlock <= i1; i += kRowBlock) {
     const float* __restrict a0 = a.data() + static_cast<size_t>(i) * k;
     const float* __restrict a1 = a0 + k;
     const float* __restrict a2 = a1 + k;
@@ -121,7 +172,14 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   }
   // Remaining rows (and any call with m < 4): row-at-a-time with the
   // zero-skip fast path for sparse operands such as adjacency matrices.
-  for (; i < m; ++i) {
+  MatMulSparseARowRange(a, b, out, i, i1);
+}
+
+// Rows [i0, i1) of the zero-skip kernel.
+void MatMulSparseARowRange(const Matrix& a, const Matrix& b, Matrix& out,
+                           int i0, int i1) {
+  const int k = a.cols(), n = b.cols();
+  for (int i = i0; i < i1; ++i) {
     float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
     const float* __restrict a_row = a.data() + static_cast<size_t>(i) * k;
     for (int p = 0; p < k; ++p) {
@@ -131,8 +189,9 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
       for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
     }
   }
-  return out;
 }
+
+}  // namespace
 
 Matrix MatMulSparseA(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) {
@@ -141,25 +200,96 @@ Matrix MatMulSparseA(const Matrix& a, const Matrix& b) {
   }
   Matrix out(a.rows(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
-    const float* __restrict a_row = a.data() + static_cast<size_t>(i) * k;
-    for (int p = 0; p < k; ++p) {
-      const float av = a_row[p];
-      if (av == 0.0f) continue;
-      const float* __restrict b_row = b.data() + static_cast<size_t>(p) * n;
-      for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-    }
+  // Rows are independent, so row partitioning is bit-exact at any thread
+  // count. The flops heuristic over-estimates sparse work; it still only
+  // fires on operands big enough that even ~10% density pays for dispatch.
+  if (ShouldParallelize(m, k, n)) {
+    core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        MatMulSparseARowRange(a, b, out, static_cast<int>(lo),
+                                              static_cast<int>(hi));
+                      });
+  } else {
+    MatMulSparseARowRange(a, b, out, 0, m);
   }
   return out;
 }
 
-Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
-  if (a.rows() != b.rows()) {
-    throw std::invalid_argument("MatMulTransposeA: " + a.ShapeString() +
-                                "^T x " + b.ShapeString());
+namespace {
+
+// Rows [i0, i1) of out = a^T @ b through the register-tiled kernel: 4
+// output rows (= columns of a) x 16 output columns accumulated over the
+// full k extent in registers, ascending p per element — the backward-pass
+// analogue of MatMulRowRange.
+void MatMulTransposeADenseRange(const Matrix& a, const Matrix& b, Matrix& out,
+                                int i0, int i1) {
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  constexpr int kRowBlock = 4;
+  constexpr int kColBlock = 16;
+  int i = i0;
+  for (; i + kRowBlock <= i1; i += kRowBlock) {
+    int j0 = 0;
+    for (; j0 + kColBlock <= n; j0 += kColBlock) {
+      float acc0[kColBlock] = {}, acc1[kColBlock] = {};
+      float acc2[kColBlock] = {}, acc3[kColBlock] = {};
+      for (int p = 0; p < k; ++p) {
+        const float* __restrict a_row =
+            a.data() + static_cast<size_t>(p) * m + i;
+        const float* __restrict b_row =
+            b.data() + static_cast<size_t>(p) * n + j0;
+        const float av0 = a_row[0], av1 = a_row[1];
+        const float av2 = a_row[2], av3 = a_row[3];
+        for (int j = 0; j < kColBlock; ++j) {
+          acc0[j] += av0 * b_row[j];
+          acc1[j] += av1 * b_row[j];
+          acc2[j] += av2 * b_row[j];
+          acc3[j] += av3 * b_row[j];
+        }
+      }
+      float* __restrict o0 = out.data() + static_cast<size_t>(i) * n + j0;
+      float* __restrict o1 = o0 + n;
+      float* __restrict o2 = o1 + n;
+      float* __restrict o3 = o2 + n;
+      for (int j = 0; j < kColBlock; ++j) {
+        o0[j] = acc0[j];
+        o1[j] = acc1[j];
+        o2[j] = acc2[j];
+        o3[j] = acc3[j];
+      }
+    }
+    for (; j0 < n; ++j0) {
+      float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (int p = 0; p < k; ++p) {
+        const float* __restrict a_row =
+            a.data() + static_cast<size_t>(p) * m + i;
+        const float bv = b.data()[static_cast<size_t>(p) * n + j0];
+        s0 += a_row[0] * bv;
+        s1 += a_row[1] * bv;
+        s2 += a_row[2] * bv;
+        s3 += a_row[3] * bv;
+      }
+      out.at(i, j0) = s0;
+      out.at(i + 1, j0) = s1;
+      out.at(i + 2, j0) = s2;
+      out.at(i + 3, j0) = s3;
+    }
   }
-  Matrix out(a.cols(), b.cols());
+  for (; i < i1; ++i) {
+    float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = a.data()[static_cast<size_t>(p) * m + i];
+      const float* __restrict b_row = b.data() + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// Columns [j0, j1) of out = a^T @ b with the zero-skip p-outer kernel —
+// kept for sparse left operands (MatMulConstA's backward feeds adjacency
+// operators through here). Column partitioning preserves the serial
+// per-element accumulation order exactly.
+void MatMulTransposeASparseCols(const Matrix& a, const Matrix& b, Matrix& out,
+                                int j0, int j1) {
   const int k = a.rows(), m = a.cols(), n = b.cols();
   for (int p = 0; p < k; ++p) {
     const float* __restrict a_row = a.data() + static_cast<size_t>(p) * m;
@@ -168,8 +298,119 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
       const float av = a_row[i];
       if (av == 0.0f) continue;
       float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      for (int j = j0; j < j1; ++j) out_row[j] += av * b_row[j];
     }
+  }
+}
+
+// Rows [i0, i1) of out = a @ b^T: 4x4 blocks of independent dot products
+// give the ILP the single-accumulator loop lacked; every element is still
+// one dot over ascending p, bitwise identical to the naive kernel.
+void MatMulTransposeBRowRange(const Matrix& a, const Matrix& b, Matrix& out,
+                              int i0, int i1) {
+  const int k = a.cols(), n = b.rows();
+  constexpr int kBlock = 4;
+  int i = i0;
+  for (; i + kBlock <= i1; i += kBlock) {
+    const float* __restrict a0 = a.data() + static_cast<size_t>(i) * k;
+    const float* __restrict a1 = a0 + k;
+    const float* __restrict a2 = a1 + k;
+    const float* __restrict a3 = a2 + k;
+    int j = 0;
+    for (; j + kBlock <= n; j += kBlock) {
+      const float* __restrict b0 = b.data() + static_cast<size_t>(j) * k;
+      const float* __restrict b1 = b0 + k;
+      const float* __restrict b2 = b1 + k;
+      const float* __restrict b3 = b2 + k;
+      float acc[kBlock][kBlock] = {};
+      for (int p = 0; p < k; ++p) {
+        const float av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+        const float bv0 = b0[p], bv1 = b1[p], bv2 = b2[p], bv3 = b3[p];
+        acc[0][0] += av0 * bv0; acc[0][1] += av0 * bv1;
+        acc[0][2] += av0 * bv2; acc[0][3] += av0 * bv3;
+        acc[1][0] += av1 * bv0; acc[1][1] += av1 * bv1;
+        acc[1][2] += av1 * bv2; acc[1][3] += av1 * bv3;
+        acc[2][0] += av2 * bv0; acc[2][1] += av2 * bv1;
+        acc[2][2] += av2 * bv2; acc[2][3] += av2 * bv3;
+        acc[3][0] += av3 * bv0; acc[3][1] += av3 * bv1;
+        acc[3][2] += av3 * bv2; acc[3][3] += av3 * bv3;
+      }
+      for (int ii = 0; ii < kBlock; ++ii) {
+        for (int jj = 0; jj < kBlock; ++jj) {
+          out.at(i + ii, j + jj) = acc[ii][jj];
+        }
+      }
+    }
+    for (; j < n; ++j) {
+      const float* __restrict b_row = b.data() + static_cast<size_t>(j) * k;
+      float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (int p = 0; p < k; ++p) {
+        const float bv = b_row[p];
+        s0 += a0[p] * bv;
+        s1 += a1[p] * bv;
+        s2 += a2[p] * bv;
+        s3 += a3[p] * bv;
+      }
+      out.at(i, j) = s0;
+      out.at(i + 1, j) = s1;
+      out.at(i + 2, j) = s2;
+      out.at(i + 3, j) = s3;
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* __restrict a_row = a.data() + static_cast<size_t>(i) * k;
+    float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* __restrict b_row = b.data() + static_cast<size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("MatMulTransposeA: " + a.ShapeString() +
+                                "^T x " + b.ShapeString());
+  }
+  Matrix out(a.cols(), b.cols());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+
+  // Same density dispatch as MatMul: mostly-zero left operands (adjacency
+  // operators arriving from MatMulConstA's backward) keep the zero-skip
+  // kernel; dense operands (activation/grad GEMMs of the backward pass) get
+  // the register-tiled kernel.
+  bool sparse = false;
+  if (static_cast<std::size_t>(k) * static_cast<std::size_t>(m) >= 256) {
+    std::size_t zeros = 0;
+    for (const float v : a.flat()) zeros += v == 0.0f;
+    sparse = zeros * 10 >= a.size() * 7;
+  }
+  if (sparse) {
+    if (ShouldParallelize(m, k, n)) {
+      core::ParallelFor(0, n, RowGrain(n, 2ll * k * m),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          MatMulTransposeASparseCols(
+                              a, b, out, static_cast<int>(lo),
+                              static_cast<int>(hi));
+                        });
+    } else {
+      MatMulTransposeASparseCols(a, b, out, 0, n);
+    }
+    return out;
+  }
+  if (ShouldParallelize(m, k, n)) {
+    core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        MatMulTransposeADenseRange(a, b, out,
+                                                   static_cast<int>(lo),
+                                                   static_cast<int>(hi));
+                      });
+  } else {
+    MatMulTransposeADenseRange(a, b, out, 0, m);
   }
   return out;
 }
@@ -181,16 +422,24 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   }
   Matrix out(a.rows(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* __restrict a_row = a.data() + static_cast<size_t>(i) * k;
-    float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* __restrict b_row = b.data() + static_cast<size_t>(j) * k;
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      out_row[j] = acc;
-    }
+  if (ShouldParallelize(m, k, n)) {
+    core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        MatMulTransposeBRowRange(a, b, out,
+                                                 static_cast<int>(lo),
+                                                 static_cast<int>(hi));
+                      });
+  } else {
+    MatMulTransposeBRowRange(a, b, out, 0, m);
   }
+  return out;
+}
+
+Matrix CopyRows(const Matrix& a, int begin, int len) {
+  assert(begin >= 0 && len >= 0 && begin + len <= a.rows());
+  Matrix out(len, a.cols());
+  const float* src = a.data() + static_cast<size_t>(begin) * a.cols();
+  std::copy(src, src + out.size(), out.data());
   return out;
 }
 

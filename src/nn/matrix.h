@@ -65,17 +65,26 @@ class Matrix {
   std::vector<float> data_;
 };
 
-// out = a @ b. Shapes: [m,k] x [k,n] -> [m,n].
+// out = a @ b. Shapes: [m,k] x [k,n] -> [m,n]. Large products are
+// partitioned by output row across the global core::ThreadPool; the
+// partitioning is bit-exact (each row is produced by the same instruction
+// sequence at any thread count).
 Matrix MatMul(const Matrix& a, const Matrix& b);
 // out = a @ b where `a` is expected to be sparse (e.g. a normalized
 // adjacency matrix): skips zero entries of `a` row-wise instead of running
 // the dense register-tiled kernel. Per-row accumulation order matches
 // MatMul, so results agree to float-addition-of-zero terms.
 Matrix MatMulSparseA(const Matrix& a, const Matrix& b);
-// out = a^T @ b. Shapes: [k,m] x [k,n] -> [m,n].
+// out = a^T @ b. Shapes: [k,m] x [k,n] -> [m,n]. Dense operands run the
+// register-tiled kernel (backward-pass GEMMs); mostly-zero operands keep a
+// zero-skip kernel. Both row/column-partition across the pool when large.
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
-// out = a @ b^T. Shapes: [m,k] x [n,k] -> [m,n].
+// out = a @ b^T. Shapes: [m,k] x [n,k] -> [m,n]. 4x4 register blocks of
+// dot products, row-partitioned across the pool when large.
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+// Rows [begin, begin+len) of `a` as an owned matrix (contiguous copy).
+Matrix CopyRows(const Matrix& a, int begin, int len);
 
 Matrix Transpose(const Matrix& a);
 Matrix Add(const Matrix& a, const Matrix& b);

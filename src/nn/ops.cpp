@@ -4,10 +4,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/thread_pool.h"
 #include "nn/fastmath.h"
 
 namespace tpuperf::nn {
 namespace {
+
+// Work (in multiply-adds / transcendental evaluations) below which an op
+// runs serially: fork/join overhead beats the parallel win under this.
+constexpr std::int64_t kParallelOpWork = 1 << 18;
+
+bool UseParallel(std::int64_t work) {
+  return work >= kParallelOpWork && core::ThreadPool::Global().size() > 1;
+}
 
 // Shorthand: elementwise unary op with dy/dx computable from x and y.
 // On grad-disabled tapes the backward closure (and its captured matrix
@@ -540,30 +549,42 @@ Tensor LstmCellOp(Tape& tape, Tensor preact, Tensor c_prev) {
   Matrix gates(need_backward ? batch : 0, 4 * hidden);
   Matrix tanh_c(need_backward ? batch : 0, hidden);
   // Activations over whole rows in contiguous per-gate segments (the [B,4h]
-  // layout is [i|f|g|o]), so the transcendental loops vectorize.
-  std::vector<float> act(static_cast<size_t>(4) * hidden);
-  for (int r = 0; r < batch; ++r) {
-    const float* __restrict p = pv.data() + static_cast<size_t>(r) * 4 * hidden;
-    const float* __restrict cp = cv.data() + static_cast<size_t>(r) * hidden;
-    float* __restrict a = act.data();
-    float* __restrict out = y.data() + static_cast<size_t>(r) * 2 * hidden;
-    for (int j = 0; j < 2 * hidden; ++j) a[j] = FastSigmoid(p[j]);
-    for (int j = 2 * hidden; j < 3 * hidden; ++j) a[j] = FastTanh(p[j]);
-    for (int j = 3 * hidden; j < 4 * hidden; ++j) a[j] = FastSigmoid(p[j]);
-    for (int j = 0; j < hidden; ++j) {
-      out[hidden + j] = a[hidden + j] * cp[j] + a[j] * a[2 * hidden + j];  // c
-    }
-    for (int j = 0; j < hidden; ++j) {
-      const float t = FastTanh(out[hidden + j]);
-      out[j] = a[3 * hidden + j] * t;  // h
+  // layout is [i|f|g|o]), so the transcendental loops vectorize. Rows are
+  // independent — the lockstep batch partitions across the pool (each chunk
+  // owns its rows and a private scratch buffer), bit-exact at any width.
+  const auto cell_rows = [&](std::int64_t r0, std::int64_t r1) {
+    std::vector<float> act(static_cast<size_t>(4) * hidden);
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* __restrict p =
+          pv.data() + static_cast<size_t>(r) * 4 * hidden;
+      const float* __restrict cp = cv.data() + static_cast<size_t>(r) * hidden;
+      float* __restrict a = act.data();
+      float* __restrict out = y.data() + static_cast<size_t>(r) * 2 * hidden;
+      for (int j = 0; j < 2 * hidden; ++j) a[j] = FastSigmoid(p[j]);
+      for (int j = 2 * hidden; j < 3 * hidden; ++j) a[j] = FastTanh(p[j]);
+      for (int j = 3 * hidden; j < 4 * hidden; ++j) a[j] = FastSigmoid(p[j]);
+      for (int j = 0; j < hidden; ++j) {
+        out[hidden + j] = a[hidden + j] * cp[j] + a[j] * a[2 * hidden + j];
+      }
+      for (int j = 0; j < hidden; ++j) {
+        const float t = FastTanh(out[hidden + j]);
+        out[j] = a[3 * hidden + j] * t;  // h; out[hidden+j] is c
+        if (need_backward) {
+          tanh_c.data()[static_cast<size_t>(r) * hidden + j] = t;
+        }
+      }
       if (need_backward) {
-        tanh_c.data()[static_cast<size_t>(r) * hidden + j] = t;
+        std::copy(act.begin(), act.end(),
+                  gates.data() + static_cast<size_t>(r) * 4 * hidden);
       }
     }
-    if (need_backward) {
-      std::copy(act.begin(), act.end(),
-                gates.data() + static_cast<size_t>(r) * 4 * hidden);
-    }
+  };
+  // ~10 transcendentals per cell lane, each tens of flops.
+  const bool parallel_rows = UseParallel(40ll * batch * hidden);
+  if (parallel_rows) {
+    core::ParallelFor(0, batch, 8, cell_rows);
+  } else {
+    cell_rows(0, batch);
   }
   if (!need_backward) {
     return tape.NewNode(std::move(y), {preact.node(), c_prev.node()}, nullptr);
@@ -572,10 +593,13 @@ Tensor LstmCellOp(Tape& tape, Tensor preact, Tensor c_prev) {
   TapeNode* cn = c_prev.node();
   return tape.NewNode(
       std::move(y), {pn, cn},
-      [pn, cn, gates = std::move(gates), tanh_c = std::move(tanh_c),
-       hidden](TapeNode& self) {
+      [pn, cn, gates = std::move(gates), tanh_c = std::move(tanh_c), hidden,
+       parallel_rows](TapeNode& self) {
         const int batch = self.grad.rows();
-        for (int r = 0; r < batch; ++r) {
+        // Rows write disjoint grad rows of preact/c — same partitioning as
+        // the forward pass.
+        const auto cell_rows_backward = [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
           const float* __restrict g =
               gates.data() + static_cast<size_t>(r) * 4 * hidden;
           const float* __restrict tc =
@@ -604,6 +628,12 @@ Tensor LstmCellOp(Tape& tape, Tensor preact, Tensor c_prev) {
                   dc * f_g;
             }
           }
+        }
+        };
+        if (parallel_rows) {
+          core::ParallelFor(0, batch, 8, cell_rows_backward);
+        } else {
+          cell_rows_backward(0, batch);
         }
       });
 }
@@ -735,45 +765,71 @@ Tensor BlockDiagMatMulConstA(Tape& tape,
   }
   const int batch = static_cast<int>(blocks.size());
   Matrix y(xv.rows(), xv.cols());
+  std::int64_t block_flops = 0;
   for (int b = 0; b < batch; ++b) {
     const Matrix& a = *blocks[static_cast<size_t>(b)];
-    const int begin = offsets[static_cast<size_t>(b)];
-    const int len = offsets[static_cast<size_t>(b) + 1] - begin;
+    const int len = offsets[static_cast<size_t>(b) + 1] -
+                    offsets[static_cast<size_t>(b)];
     if (a.rows() != len || a.cols() != len) {
       throw std::invalid_argument(
           "BlockDiagMatMulConstA: block shape mismatch");
     }
-    // y[begin+i, :] += a[i, k] * x[begin+k, :] — same kernel as MatMul.
-    for (int i = 0; i < len; ++i) {
-      for (int k = 0; k < len; ++k) {
-        const float av = a.at(i, k);
-        if (av == 0.0f) continue;
-        for (int j = 0; j < xv.cols(); ++j) {
-          y.at(begin + i, j) += av * xv.at(begin + k, j);
+    block_flops += 2ll * len * len * xv.cols();
+  }
+  // Each block writes only its own row segment, so sharding blocks across
+  // the pool is bit-exact at any thread count.
+  const auto forward_blocks = [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const Matrix& a = *blocks[static_cast<size_t>(b)];
+      const int begin = offsets[static_cast<size_t>(b)];
+      const int len = offsets[static_cast<size_t>(b) + 1] - begin;
+      // y[begin+i, :] += a[i, k] * x[begin+k, :] — same kernel as MatMul.
+      for (int i = 0; i < len; ++i) {
+        for (int k = 0; k < len; ++k) {
+          const float av = a.at(i, k);
+          if (av == 0.0f) continue;
+          for (int j = 0; j < xv.cols(); ++j) {
+            y.at(begin + i, j) += av * xv.at(begin + k, j);
+          }
         }
       }
     }
+  };
+  const bool parallel = batch > 1 && UseParallel(block_flops);
+  if (parallel) {
+    core::ParallelFor(0, batch, 1, forward_blocks);
+  } else {
+    forward_blocks(0, batch);
   }
   TapeNode* xn = x.node();
   std::vector<const Matrix*> blocks_copy(blocks.begin(), blocks.end());
   std::vector<int> offs(offsets.begin(), offsets.end());
   return tape.NewNode(
       std::move(y), {xn},
-      [xn, blocks = std::move(blocks_copy), offs = std::move(offs)](
-          TapeNode& self) {
-        // dx[begin+k, :] += a[i, k] * dy[begin+i, :].
-        for (size_t b = 0; b < blocks.size(); ++b) {
-          const Matrix& a = *blocks[b];
-          const int begin = offs[b];
-          for (int i = 0; i < a.rows(); ++i) {
-            for (int k = 0; k < a.cols(); ++k) {
-              const float av = a.at(i, k);
-              if (av == 0.0f) continue;
-              for (int j = 0; j < self.grad.cols(); ++j) {
-                xn->grad.at(begin + k, j) += av * self.grad.at(begin + i, j);
+      [xn, blocks = std::move(blocks_copy), offs = std::move(offs),
+       parallel](TapeNode& self) {
+        // dx[begin+k, :] += a[i, k] * dy[begin+i, :]. Blocks touch disjoint
+        // grad row segments — same sharding as the forward pass.
+        const auto backward_blocks = [&](std::int64_t b0, std::int64_t b1) {
+          for (std::int64_t b = b0; b < b1; ++b) {
+            const Matrix& a = *blocks[static_cast<size_t>(b)];
+            const int begin = offs[static_cast<size_t>(b)];
+            for (int i = 0; i < a.rows(); ++i) {
+              for (int k = 0; k < a.cols(); ++k) {
+                const float av = a.at(i, k);
+                if (av == 0.0f) continue;
+                for (int j = 0; j < self.grad.cols(); ++j) {
+                  xn->grad.at(begin + k, j) += av * self.grad.at(begin + i, j);
+                }
               }
             }
           }
+        };
+        const auto batch = static_cast<std::int64_t>(blocks.size());
+        if (parallel) {
+          core::ParallelFor(0, batch, 1, backward_blocks);
+        } else {
+          backward_blocks(0, batch);
         }
       });
 }
