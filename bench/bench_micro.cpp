@@ -16,6 +16,9 @@
 #include "dataset/datasets.h"
 #include "dataset/families.h"
 #include "features/featurizer.h"
+#include "nn/losses.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
 #include "sim/simulator.h"
 
 namespace tpuperf {
@@ -188,6 +191,107 @@ void BM_ModelInferenceBatch32Threads(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelInferenceBatch32Threads)->Arg(1)->Arg(2)->Arg(4);
 
+// ---- Training-step fixtures -------------------------------------------------
+// A batch-32 minibatch trained end to end (forward + loss + backward +
+// Adam), for both paper tasks: the tile task's rank loss (GraphSAGE + LSTM
+// reduction) and the fusion task's log-MSE (GraphSAGE + Transformer
+// reduction). The kernels/tiles mirror the inference Batch32 fixture;
+// targets come from the simulator.
+struct TrainBatch32 {
+  static constexpr int kBatch = 32;
+
+  core::ModelConfig config;
+  std::vector<core::PreparedKernel> prepared;
+  std::vector<ir::TileConfig> tiles;
+  std::vector<core::BatchItem> items;
+  core::PreparedBatch packed;
+  std::vector<double> targets;
+
+  TrainBatch32(Fixture& f, core::ModelConfig cfg) : config(cfg) {
+    core::LearnedCostModel model = MakeModel(f);
+    prepared.reserve(kBatch);
+    tiles.reserve(kBatch);
+    targets.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      const ir::Graph& kernel =
+          f.kernels[static_cast<size_t>(i) % f.kernels.size()].graph;
+      prepared.push_back(model.Prepare(kernel));
+      tiles.push_back(f.simulator.DefaultTile(kernel));
+      targets.push_back(f.simulator.Measure(kernel, tiles.back()));
+    }
+    for (int i = 0; i < kBatch; ++i) {
+      items.push_back({&prepared[static_cast<size_t>(i)],
+                       config.use_tile_features
+                           ? &tiles[static_cast<size_t>(i)]
+                           : nullptr});
+    }
+    packed = model.PrepareBatch(items);
+  }
+
+  // A freshly initialized (deterministically seeded) model fitted on the
+  // fixture kernels — each timed mode trains its own copy so parameter
+  // drift never leaks between measurements.
+  core::LearnedCostModel MakeModel(Fixture& f) const {
+    core::LearnedCostModel m(config);
+    for (const auto& k : f.kernels) {
+      m.FitNodeScaler(k.graph);
+      m.FitTileScaler(f.simulator.DefaultTile(k.graph));
+    }
+    m.FinishFitting();
+    return m;
+  }
+
+  // One optimization step on `model` using `tape` (cleared here).
+  double Step(core::LearnedCostModel& model, nn::Adam& adam,
+              nn::Tape& tape) const {
+    tape.Clear();
+    nn::Tensor out = model.ForwardBatch(tape, packed, /*training=*/true);
+    nn::Tensor loss;
+    if (config.loss == core::LossKind::kMse) {
+      loss = nn::MseLogLoss(tape, out, targets);
+    } else {
+      loss = nn::PairwiseRankLoss(tape, out, targets,
+                                  nn::RankSurrogate::kHinge);
+    }
+    tape.Backward(loss);
+    adam.Step(model.params().params());
+    return loss.scalar();
+  }
+};
+
+TrainBatch32& RankTrain32() {
+  static TrainBatch32 batch(F(), core::ModelConfig::TileTaskDefault());
+  return batch;
+}
+
+TrainBatch32& MseTrain32() {
+  static TrainBatch32 batch(F(), core::ModelConfig::FusionTaskDefault());
+  return batch;
+}
+
+// The fused + arena training step (the production path).
+void TrainStepBenchmark(benchmark::State& state, TrainBatch32& b) {
+  auto& f = F();
+  core::LearnedCostModel model = b.MakeModel(f);
+  nn::Adam adam(nn::AdamConfig{});
+  nn::TapeArena arena;
+  nn::Tape tape(/*grad_enabled=*/true, &arena);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.Step(model, adam, tape));
+  }
+  state.SetItemsProcessed(state.iterations() * TrainBatch32::kBatch);
+}
+
+void BM_TrainStepRank32(benchmark::State& state) {
+  TrainStepBenchmark(state, RankTrain32());
+}
+BENCHMARK(BM_TrainStepRank32);
+
+void BM_TrainStepMse32(benchmark::State& state) {
+  TrainStepBenchmark(state, MseTrain32());
+}
+BENCHMARK(BM_TrainStepMse32);
+
 void BM_TileEnumeration(benchmark::State& state) {
   auto& f = F();
   for (auto _ : state) {
@@ -228,14 +332,127 @@ void BM_BuildProgramGraph(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildProgramGraph);
 
+// Warm up once, then run for at least ~0.2 s; returns seconds per call.
+template <typename Fn>
+double TimeReps(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();
+  int reps = 0;
+  const auto start = Clock::now();
+  double elapsed = 0;
+  do {
+    fn();
+    ++reps;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.2);
+  return elapsed / reps;
+}
+
+struct TrainTaskReport {
+  double seed_steps_per_sec = 0;
+  double fused_steps_per_sec = 0;
+  double fused_threaded_steps_per_sec = 0;
+  // Tape buffer requests per step == per-step heap allocations without the
+  // arena (each request was a fresh Matrix before); warm misses are what is
+  // left with it.
+  double buffer_requests_per_step = 0;
+  double cold_heap_allocations = 0;
+  double warm_heap_allocations_per_step = 0;
+};
+
+// Trains the batch-32 minibatch in three modes — seed per-op backward (the
+// pre-fusion path, no arena), fused backward + arena on 1 thread, and fused
+// on the pool — and counts per-step tape allocations through the arena.
+TrainTaskReport ReportTrainingTask(TrainBatch32& b, int pool_threads) {
+  auto& f = F();
+  TrainTaskReport r;
+
+  core::ThreadPool::SetNumThreads(1);
+  {
+    nn::SetFusedOps(false);
+    core::LearnedCostModel model = b.MakeModel(f);
+    nn::Adam adam(nn::AdamConfig{});
+    nn::Tape tape(/*grad_enabled=*/true);
+    r.seed_steps_per_sec = 1.0 / TimeReps([&] { b.Step(model, adam, tape); });
+    nn::SetFusedOps(true);
+  }
+  {
+    core::LearnedCostModel model = b.MakeModel(f);
+    nn::Adam adam(nn::AdamConfig{});
+    nn::TapeArena arena;
+    nn::Tape tape(/*grad_enabled=*/true, &arena);
+    // Cold step: every buffer request misses the (empty) pool.
+    b.Step(model, adam, tape);
+    r.cold_heap_allocations = static_cast<double>(arena.heap_allocations());
+    // Warm steps: requests keep coming, misses should stop.
+    constexpr int kWarmSteps = 10;
+    arena.ResetStats();
+    for (int i = 0; i < kWarmSteps; ++i) b.Step(model, adam, tape);
+    r.buffer_requests_per_step =
+        static_cast<double>(arena.requests()) / kWarmSteps;
+    r.warm_heap_allocations_per_step =
+        static_cast<double>(arena.heap_allocations()) / kWarmSteps;
+    r.fused_steps_per_sec = 1.0 / TimeReps([&] { b.Step(model, adam, tape); });
+  }
+  core::ThreadPool::SetNumThreads(pool_threads);
+  {
+    core::LearnedCostModel model = b.MakeModel(f);
+    nn::Adam adam(nn::AdamConfig{});
+    nn::TapeArena arena;
+    nn::Tape tape(/*grad_enabled=*/true, &arena);
+    r.fused_threaded_steps_per_sec =
+        1.0 / TimeReps([&] { b.Step(model, adam, tape); });
+  }
+  core::ThreadPool::SetNumThreads(core::ThreadPool::DefaultNumThreads());
+  return r;
+}
+
+void PrintTrainTask(const char* name, const TrainTaskReport& r,
+                    int pool_threads) {
+  std::printf("%s:\n", name);
+  std::printf("  seed backward  (1 thread):  %8.1f steps/s\n",
+              r.seed_steps_per_sec);
+  std::printf("  fused + arena  (1 thread):  %8.1f steps/s  (%.2fx)\n",
+              r.fused_steps_per_sec,
+              r.fused_steps_per_sec / r.seed_steps_per_sec);
+  std::printf("  fused + arena (%2d threads): %8.1f steps/s  (%.2fx)\n",
+              pool_threads, r.fused_threaded_steps_per_sec,
+              r.fused_threaded_steps_per_sec / r.seed_steps_per_sec);
+  std::printf(
+      "  tape allocations/step: %.0f without arena -> %.1f warm misses "
+      "(cold step: %.0f)\n",
+      r.buffer_requests_per_step, r.warm_heap_allocations_per_step,
+      r.cold_heap_allocations);
+}
+
+void PrintTrainTaskJson(FILE* json, const char* prefix,
+                        const TrainTaskReport& r) {
+  std::fprintf(json, "  \"%s_seed_steps_per_sec\": %.2f,\n", prefix,
+               r.seed_steps_per_sec);
+  std::fprintf(json, "  \"%s_fused_steps_per_sec\": %.2f,\n", prefix,
+               r.fused_steps_per_sec);
+  std::fprintf(json, "  \"%s_fused_threaded_steps_per_sec\": %.2f,\n", prefix,
+               r.fused_threaded_steps_per_sec);
+  std::fprintf(json, "  \"%s_fused_speedup_vs_seed\": %.3f,\n", prefix,
+               r.fused_steps_per_sec / r.seed_steps_per_sec);
+  std::fprintf(json, "  \"%s_allocations_per_step_no_arena\": %.1f,\n",
+               prefix, r.buffer_requests_per_step);
+  std::fprintf(json, "  \"%s_allocations_per_step_arena\": %.2f,\n", prefix,
+               r.warm_heap_allocations_per_step);
+  std::fprintf(json, "  \"%s_allocation_reduction_x\": %.1f,\n", prefix,
+               r.buffer_requests_per_step /
+                   std::max(1.0, r.warm_heap_allocations_per_step));
+}
+
 }  // namespace
 
 // Times batch-32 prediction against 32 sequential predictions on the same
-// inputs — single-threaded AND on the worker pool — and reports throughput
-// plus the worst output divergence. Printed after the google-benchmark
-// table so the speedups and the parity bounds are visible in one run, and
-// written to BENCH_results.json so the perf trajectory is machine-readable
-// across PRs.
+// inputs — single-threaded AND on the worker pool — plus batch-32 TRAINING
+// steps (forward + loss + backward + Adam) with the seed per-op backward vs
+// the fused backward + tape arena. Printed after the google-benchmark table
+// so the speedups, allocation counts, and parity bounds are visible in one
+// run, and written to BENCH_results.json so the perf trajectory is
+// machine-readable across PRs.
 void ReportBatchedThroughput() {
   auto& f = F();
   auto& b = B32();
@@ -305,6 +522,15 @@ void ReportBatchedThroughput() {
   std::printf("max |threaded - batched|   = %.3g (must be 0)\n",
               max_thread_diff);
 
+  // ---- Training throughput (batch-32 minibatch, fused vs seed backward) ----
+  std::printf("\n--- Training-step report (batch=%d) ---\n",
+              TrainBatch32::kBatch);
+  const TrainTaskReport rank_report = ReportTrainingTask(RankTrain32(),
+                                                         threads);
+  PrintTrainTask("rank loss (GraphSAGE + LSTM)", rank_report, threads);
+  const TrainTaskReport mse_report = ReportTrainingTask(MseTrain32(), threads);
+  PrintTrainTask("log-MSE (GraphSAGE + Transformer)", mse_report, threads);
+
   FILE* json = std::fopen("BENCH_results.json", "w");
   if (json == nullptr) {
     std::printf("could not write BENCH_results.json\n");
@@ -329,8 +555,12 @@ void ReportBatchedThroughput() {
                threaded_rate / seq_rate);
   std::fprintf(json, "  \"max_abs_diff_batched_vs_sequential\": %.3g,\n",
                max_diff);
-  std::fprintf(json, "  \"max_abs_diff_threaded_vs_1thread\": %.3g\n",
+  std::fprintf(json, "  \"max_abs_diff_threaded_vs_1thread\": %.3g,\n",
                max_thread_diff);
+  std::fprintf(json, "  \"train_batch_size\": %d,\n", TrainBatch32::kBatch);
+  PrintTrainTaskJson(json, "train_rank", rank_report);
+  PrintTrainTaskJson(json, "train_mse", mse_report);
+  std::fprintf(json, "  \"train_pool_threads\": %d\n", threads);
   std::fprintf(json, "}\n");
   std::fclose(json);
   std::printf("wrote BENCH_results.json\n");

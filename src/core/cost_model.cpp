@@ -444,31 +444,17 @@ nn::Tensor LearnedCostModel::ForwardBatchImpl(
       break;
     }
     case ReductionKind::kTransformer: {
-      // Attention is O(n^2) per kernel and must not mix kernels, so the
-      // encoder runs per segment; everything before and after stays packed.
-      if (!tape.grad_enabled() && num_kernels > 1 &&
-          ThreadPool::Global().size() > 1) {
-        // Inference: segments are independent, so the encoder shards across
-        // the pool. Each chunk replays the identical ops on a private
-        // scratch tape; only the [1, hidden] results land on the caller's
-        // tape — bit-identical to the sequential loop.
-        nn::Matrix embeddings(num_kernels, kernel_embedding_dim_);
-        const nn::Matrix& hv = h.value();
-        ParallelFor(0, num_kernels, 1, [&](std::int64_t b0, std::int64_t b1) {
-          nn::Tape scratch(/*grad_enabled=*/false);
-          for (std::int64_t b = b0; b < b1; ++b) {
-            const int begin = offsets[static_cast<size_t>(b)];
-            const int len = offsets[static_cast<size_t>(b) + 1] - begin;
-            nn::Tensor enc = reduction_transformer_.Forward(
-                scratch, scratch.Leaf(nn::CopyRows(hv, begin, len)));
-            nn::Tensor mean = nn::ColMeanOp(scratch, enc);
-            std::copy(mean.value().row(0).begin(), mean.value().row(0).end(),
-                      embeddings.row(static_cast<int>(b)).begin());
-            scratch.Clear();
-          }
-        });
-        kernel_embedding = tape.Leaf(std::move(embeddings));
+      // Attention is O(n^2) per kernel and must not mix kernels.
+      if (nn::FusedOpsEnabled()) {
+        // The whole encoder stack runs packed: dense transforms (q/k/v,
+        // layer norms, FFN) as single GEMMs over every node of the batch,
+        // attention block-diagonally per segment through one fused op whose
+        // forward and backward shard segments across the pool. This is the
+        // batched Transformer reduction — training and inference alike.
+        nn::Tensor enc = reduction_transformer_.Forward(tape, h, offsets);
+        kernel_embedding = nn::SegmentMeanOp(tape, enc, offsets);
       } else {
+        // Seed path: the encoder replayed per segment with per-op slices.
         std::vector<nn::Tensor> segs;
         segs.reserve(static_cast<size_t>(num_kernels));
         for (int b = 0; b < num_kernels; ++b) {

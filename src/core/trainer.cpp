@@ -145,6 +145,13 @@ TrainStats TrainTileTask(LearnedCostModel& model,
   nn::Adam adam(MakeAdamConfig(cfg));
   const auto params = model.params().params();
 
+  // One arena-backed tape for the whole run: Clear() recycles every node's
+  // value/grad buffer (and the node shells) into the arena, so steady-state
+  // steps run with (near) zero tape heap allocations instead of rebuilding
+  // the whole tape from malloc each minibatch.
+  nn::TapeArena arena;
+  nn::Tape tape(/*grad_enabled=*/true, &arena);
+
   TrainStats stats;
   double window_loss = 0;
   int window_count = 0;
@@ -176,7 +183,7 @@ TrainStats TrainTileTask(LearnedCostModel& model,
       targets.push_back(kdata.runtimes[static_cast<size_t>(c)]);
     }
     const PreparedBatch batch = model.PrepareBatch(items);
-    nn::Tape tape(/*grad_enabled=*/true);
+    tape.Clear();
     nn::Tensor stacked = model.ForwardBatch(tape, batch, /*training=*/true);
     nn::Tensor loss;
     if (cfg.loss == LossKind::kMse) {
@@ -246,6 +253,10 @@ TrainStats TrainFusionTask(LearnedCostModel& model,
   nn::Adam adam(MakeAdamConfig(cfg));
   const auto params = model.params().params();
 
+  // Persistent arena-backed tape — see TrainTileTask.
+  nn::TapeArena arena;
+  nn::Tape tape(/*grad_enabled=*/true, &arena);
+
   TrainStats stats;
   double window_loss = 0;
   int window_count = 0;
@@ -285,7 +296,7 @@ TrainStats TrainFusionTask(LearnedCostModel& model,
       targets.push_back(picked[b]->runtime);
     }
     const PreparedBatch batch = model.PrepareBatch(items);
-    nn::Tape tape(/*grad_enabled=*/true);
+    tape.Clear();
     nn::Tensor stacked = model.ForwardBatch(tape, batch, /*training=*/true);
     nn::Tensor loss;
     if (cfg.loss == LossKind::kMse) {

@@ -40,6 +40,25 @@ Tensor MultiHeadSelfAttention::Forward(Tape& tape, Tensor x) const {
   return out_.Forward(tape, merged);
 }
 
+Tensor MultiHeadSelfAttention::Forward(Tape& tape, Tensor x,
+                                       std::span<const int> offsets) const {
+  if (heads_.empty()) throw std::logic_error("MHSA: uninitialized");
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(heads_.size());
+  for (const Head& head : heads_) {
+    // Projections over the whole packed batch — single GEMMs.
+    Tensor q = head.q.Forward(tape, x);
+    Tensor k = head.k.Forward(tape, x);
+    Tensor v = head.v.Forward(tape, x);
+    // Attention stays per segment, fused into one differentiable op.
+    head_outputs.push_back(
+        BlockDiagSelfAttentionOp(tape, q, k, v, offsets, scale));
+  }
+  Tensor merged = ConcatColsOp(tape, head_outputs);
+  return out_.Forward(tape, merged);
+}
+
 TransformerEncoderLayer::TransformerEncoderLayer(ParamStore& store,
                                                  const std::string& name,
                                                  int dim, int num_heads,
@@ -52,6 +71,16 @@ TransformerEncoderLayer::TransformerEncoderLayer(ParamStore& store,
 
 Tensor TransformerEncoderLayer::Forward(Tape& tape, Tensor x) const {
   Tensor attn = attention_.Forward(tape, norm1_.Forward(tape, x));
+  Tensor h = AddOp(tape, x, attn);
+  Tensor ffn = ffn_.Forward(tape, norm2_.Forward(tape, h));
+  return AddOp(tape, h, ffn);
+}
+
+Tensor TransformerEncoderLayer::Forward(Tape& tape, Tensor x,
+                                        std::span<const int> offsets) const {
+  // Layer norms and the FFN are row-wise, so they run packed; only the
+  // attention needs the segment structure.
+  Tensor attn = attention_.Forward(tape, norm1_.Forward(tape, x), offsets);
   Tensor h = AddOp(tape, x, attn);
   Tensor ffn = ffn_.Forward(tape, norm2_.Forward(tape, h));
   return AddOp(tape, h, ffn);
@@ -70,6 +99,13 @@ TransformerEncoder::TransformerEncoder(ParamStore& store,
 Tensor TransformerEncoder::Forward(Tape& tape, Tensor x) const {
   Tensor h = x;
   for (const auto& layer : layers_) h = layer.Forward(tape, h);
+  return h;
+}
+
+Tensor TransformerEncoder::Forward(Tape& tape, Tensor x,
+                                   std::span<const int> offsets) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer.Forward(tape, h, offsets);
   return h;
 }
 

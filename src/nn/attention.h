@@ -1,8 +1,19 @@
 // Multi-head self-attention and the Transformer encoder layer used as the
 // global kernel-embedding reduction (paper §3.2, reduction option 3).
+//
+// Each class has two Forward overloads: the single-sequence form over an
+// [n, dim] input, and a batched form over a packed [N, dim] input whose row
+// segments (delimited by `offsets`, B+1 entries) are independent sequences.
+// In the batched form all dense transforms (q/k/v projections, layer norms,
+// the FFN) run as single GEMMs over the whole packed batch, and attention is
+// applied block-diagonally through BlockDiagSelfAttentionOp so sequences
+// never attend across segments — one differentiable op whose forward AND
+// backward shard segments across core::ThreadPool. Row-for-row identical to
+// running the single-sequence Forward per segment.
 #pragma once
 
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,6 +30,8 @@ class MultiHeadSelfAttention {
                          int num_heads, std::mt19937_64& rng);
 
   Tensor Forward(Tape& tape, Tensor x) const;
+  // Batched: block-diagonal attention over the packed segments of `x`.
+  Tensor Forward(Tape& tape, Tensor x, std::span<const int> offsets) const;
 
  private:
   struct Head {
@@ -37,6 +50,7 @@ class TransformerEncoderLayer {
                           int num_heads, std::mt19937_64& rng);
 
   Tensor Forward(Tape& tape, Tensor x) const;
+  Tensor Forward(Tape& tape, Tensor x, std::span<const int> offsets) const;
 
  private:
   MultiHeadSelfAttention attention_;
@@ -53,6 +67,7 @@ class TransformerEncoder {
                      int num_heads, int num_layers, std::mt19937_64& rng);
 
   Tensor Forward(Tape& tape, Tensor x) const;
+  Tensor Forward(Tape& tape, Tensor x, std::span<const int> offsets) const;
 
  private:
   std::vector<TransformerEncoderLayer> layers_;

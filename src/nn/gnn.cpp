@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "core/thread_pool.h"
-
 namespace tpuperf::nn {
 
 GraphStructure BuildGraphStructure(
@@ -178,6 +176,14 @@ Tensor GatLayer::Forward(Tape& tape, Tensor h,
                          const BatchedGraphStructure& gs) const {
   if (heads_.empty()) throw std::logic_error("GatLayer: uninitialized");
   const int batch = gs.num_graphs();
+  const bool fused = FusedOpsEnabled();
+  std::vector<const Matrix*> masks;
+  if (fused) {
+    masks.reserve(gs.blocks.size());
+    for (const GraphStructure* block : gs.blocks) {
+      masks.push_back(&block->sym_mask);
+    }
+  }
   std::vector<Tensor> head_outputs;
   head_outputs.reserve(heads_.size());
   for (const Head& head : heads_) {
@@ -186,36 +192,12 @@ Tensor GatLayer::Forward(Tape& tape, Tensor h,
     Tensor s = MatMulOp(tape, wh, tape.ParamLeaf(*head.a_src));  // [N, 1]
     Tensor d = MatMulOp(tape, wh, tape.ParamLeaf(*head.a_dst));  // [N, 1]
     // Attention stays per segment: nodes never attend across kernels.
-    if (!tape.grad_enabled() && batch > 1 &&
-        core::ThreadPool::Global().size() > 1) {
-      // Inference: the segments are data-independent, so they shard across
-      // the pool. Each chunk replays the identical op sequence on a private
-      // scratch tape and only the finished values are spliced back onto the
-      // caller's tape — outputs are bit-identical to the sequential path.
-      std::vector<Matrix> seg_values(static_cast<size_t>(batch));
-      core::ParallelFor(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
-        Tape scratch(/*grad_enabled=*/false);
-        for (std::int64_t b = b0; b < b1; ++b) {
-          const int begin = gs.offsets[static_cast<size_t>(b)];
-          const int len = gs.offsets[static_cast<size_t>(b) + 1] - begin;
-          Tensor wh_b = scratch.Leaf(CopyRows(wh.value(), begin, len));
-          Tensor s_b = scratch.Leaf(CopyRows(s.value(), begin, len));
-          Tensor d_b = scratch.Leaf(CopyRows(d.value(), begin, len));
-          Tensor logits =
-              LeakyReluOp(scratch, OuterSumOp(scratch, s_b, d_b), 0.2f);
-          Tensor attn = MaskedSoftmaxRowsOp(
-              scratch, logits, gs.blocks[static_cast<size_t>(b)]->sym_mask);
-          seg_values[static_cast<size_t>(b)] =
-              MatMulOp(scratch, attn, wh_b).value();
-          scratch.Clear();
-        }
-      });
-      std::vector<Tensor> segs;
-      segs.reserve(static_cast<size_t>(batch));
-      for (int b = 0; b < batch; ++b) {
-        segs.push_back(tape.Leaf(std::move(seg_values[static_cast<size_t>(b)])));
-      }
-      head_outputs.push_back(ConcatRowsOp(tape, segs));
+    if (fused) {
+      // One fused op per head: every segment's masked attention in one
+      // tape node whose forward and backward shard segments across the
+      // pool (the seed per-segment op loop below serializes the backward).
+      head_outputs.push_back(
+          BlockDiagGatAttentionOp(tape, s, d, wh, masks, gs.offsets, 0.2f));
     } else {
       std::vector<Tensor> segs;
       segs.reserve(static_cast<size_t>(batch));

@@ -36,6 +36,18 @@ bool ShouldParallelize(std::int64_t m, std::int64_t k, std::int64_t n) {
          core::ThreadPool::Global().size() > 1;
 }
 
+// Shared mostly-zero dispatch heuristic: operands at >=70% exact zeros
+// (masked attention weights, adjacency-like matrices) are cheaper through
+// the zero-skip kernels than the dense tiled ones. The scan is O(size),
+// ~1/n of the GEMM cost; tiny operands skip it.
+bool MostlyZero(const Matrix& a) {
+  if (a.size() < 256) return false;
+  std::size_t zeros = 0;
+  for (const float v : a.flat()) zeros += v == 0.0f;
+  return zeros * 10 >= a.size() * 7;
+}
+
+template <bool Accum>
 void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix& out, int i0,
                     int i1);
 void MatMulSparseARowRange(const Matrix& a, const Matrix& b, Matrix& out,
@@ -70,26 +82,23 @@ std::string Matrix::ShapeString() const {
   return s;
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.rows()) {
-    throw std::invalid_argument("MatMul: " + a.ShapeString() + " x " +
-                                b.ShapeString());
-  }
+namespace {
+
+void MatMulSparseADispatch(Matrix& out, const Matrix& a, const Matrix& b);
+
+// Fills pre-zeroed `out` with a @ b (the shared body of MatMul/MatMulInto).
+void MatMulDispatch(Matrix& out, const Matrix& a, const Matrix& b) {
   const int m = a.rows(), k = a.cols(), n = b.cols();
 
-  // Mostly-zero left operands (masked attention weights, adjacency-like
-  // matrices that carry gradients and so can't use MatMulConstA) are far
-  // cheaper through the zero-skip row kernel than the dense tiled one. The
-  // density scan is O(mk), ~1/n of the GEMM cost. Dispatch is per-matrix
-  // and row values are independent of it (skipping exact-zero terms), so
-  // packed batches still match per-kernel runs.
-  if (static_cast<std::size_t>(m) * static_cast<std::size_t>(k) >= 256) {
-    std::size_t zeros = 0;
-    for (const float v : a.flat()) zeros += v == 0.0f;
-    if (zeros * 10 >= a.size() * 7) return MatMulSparseA(a, b);
+  // Mostly-zero left operands (e.g. masked attention weights that carry
+  // gradients and so can't use MatMulConstA) take the zero-skip row
+  // kernel. Dispatch is per-matrix and row values are independent of it
+  // (skipping exact-zero terms), so packed batches still match per-kernel
+  // runs.
+  if (MostlyZero(a)) {
+    MatMulSparseADispatch(out, a, b);
+    return;
   }
-
-  Matrix out(a.rows(), b.cols());
 
   // Large GEMMs are partitioned by output row across the worker pool. Each
   // row's value is computed by exactly one worker with the identical
@@ -99,13 +108,34 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   if (ShouldParallelize(m, k, n)) {
     core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
                       [&](std::int64_t lo, std::int64_t hi) {
-                        MatMulRowRange(a, b, out, static_cast<int>(lo),
-                                       static_cast<int>(hi));
+                        MatMulRowRange<false>(a, b, out, static_cast<int>(lo),
+                                              static_cast<int>(hi));
                       });
   } else {
-    MatMulRowRange(a, b, out, 0, m);
+    MatMulRowRange<false>(a, b, out, 0, m);
   }
+}
+
+void CheckMatMulShapes(const Matrix& a, const Matrix& b, const char* what) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument(std::string(what) + ": " + a.ShapeString() +
+                                " x " + b.ShapeString());
+  }
+}
+
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  CheckMatMulShapes(a, b, "MatMul");
+  Matrix out(a.rows(), b.cols());
+  MatMulDispatch(out, a, b);
   return out;
+}
+
+void MatMulInto(Matrix& out, const Matrix& a, const Matrix& b) {
+  CheckMatMulShapes(a, b, "MatMulInto");
+  out = Matrix(a.rows(), b.cols(), out.TakeStorage());  // reshape + zero
+  MatMulDispatch(out, a, b);
 }
 
 namespace {
@@ -117,7 +147,9 @@ namespace {
 // rows and every output element is written exactly once. Batched
 // inference lives on this path; every output row still accumulates over
 // p in ascending order, so row values are independent of how rows are
-// grouped into tiles (packed batches match per-kernel runs).
+// grouped into tiles (packed batches match per-kernel runs). With Accum
+// the register partial sums are added onto `out` (fused backward).
+template <bool Accum>
 void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix& out, int i0,
                     int i1) {
   const int k = a.cols(), n = b.cols();
@@ -149,10 +181,17 @@ void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix& out, int i0,
         }
       }
       for (int j = 0; j < kColBlock; ++j) {
-        o0[j0 + j] = acc0[j];
-        o1[j0 + j] = acc1[j];
-        o2[j0 + j] = acc2[j];
-        o3[j0 + j] = acc3[j];
+        if constexpr (Accum) {
+          o0[j0 + j] += acc0[j];
+          o1[j0 + j] += acc1[j];
+          o2[j0 + j] += acc2[j];
+          o3[j0 + j] += acc3[j];
+        } else {
+          o0[j0 + j] = acc0[j];
+          o1[j0 + j] = acc1[j];
+          o2[j0 + j] = acc2[j];
+          o3[j0 + j] = acc3[j];
+        }
       }
     }
     for (; j0 < n; ++j0) {
@@ -164,10 +203,17 @@ void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix& out, int i0,
         s2 += a2[p] * bv;
         s3 += a3[p] * bv;
       }
-      o0[j0] = s0;
-      o1[j0] = s1;
-      o2[j0] = s2;
-      o3[j0] = s3;
+      if constexpr (Accum) {
+        o0[j0] += s0;
+        o1[j0] += s1;
+        o2[j0] += s2;
+        o3[j0] += s3;
+      } else {
+        o0[j0] = s0;
+        o1[j0] = s1;
+        o2[j0] = s2;
+        o3[j0] = s3;
+      }
     }
   }
   // Remaining rows (and any call with m < 4): row-at-a-time with the
@@ -193,12 +239,10 @@ void MatMulSparseARowRange(const Matrix& a, const Matrix& b, Matrix& out,
 
 }  // namespace
 
-Matrix MatMulSparseA(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.rows()) {
-    throw std::invalid_argument("MatMulSparseA: " + a.ShapeString() + " x " +
-                                b.ShapeString());
-  }
-  Matrix out(a.rows(), b.cols());
+namespace {
+
+// Fills pre-zeroed `out` with a @ b through the zero-skip kernel.
+void MatMulSparseADispatch(Matrix& out, const Matrix& a, const Matrix& b) {
   const int m = a.rows(), k = a.cols(), n = b.cols();
   // Rows are independent, so row partitioning is bit-exact at any thread
   // count. The flops heuristic over-estimates sparse work; it still only
@@ -212,7 +256,21 @@ Matrix MatMulSparseA(const Matrix& a, const Matrix& b) {
   } else {
     MatMulSparseARowRange(a, b, out, 0, m);
   }
+}
+
+}  // namespace
+
+Matrix MatMulSparseA(const Matrix& a, const Matrix& b) {
+  CheckMatMulShapes(a, b, "MatMulSparseA");
+  Matrix out(a.rows(), b.cols());
+  MatMulSparseADispatch(out, a, b);
   return out;
+}
+
+void MatMulSparseAInto(Matrix& out, const Matrix& a, const Matrix& b) {
+  CheckMatMulShapes(a, b, "MatMulSparseAInto");
+  out = Matrix(a.rows(), b.cols(), out.TakeStorage());  // reshape + zero
+  MatMulSparseADispatch(out, a, b);
 }
 
 namespace {
@@ -220,7 +278,10 @@ namespace {
 // Rows [i0, i1) of out = a^T @ b through the register-tiled kernel: 4
 // output rows (= columns of a) x 16 output columns accumulated over the
 // full k extent in registers, ascending p per element — the backward-pass
-// analogue of MatMulRowRange.
+// analogue of MatMulRowRange. With Accum the register partial sums are added
+// onto `out` instead of stored (out op= acc), fusing the backward's
+// grad-accumulation into the GEMM.
+template <bool Accum>
 void MatMulTransposeADenseRange(const Matrix& a, const Matrix& b, Matrix& out,
                                 int i0, int i1) {
   const int k = a.rows(), m = a.cols(), n = b.cols();
@@ -251,10 +312,17 @@ void MatMulTransposeADenseRange(const Matrix& a, const Matrix& b, Matrix& out,
       float* __restrict o2 = o1 + n;
       float* __restrict o3 = o2 + n;
       for (int j = 0; j < kColBlock; ++j) {
-        o0[j] = acc0[j];
-        o1[j] = acc1[j];
-        o2[j] = acc2[j];
-        o3[j] = acc3[j];
+        if constexpr (Accum) {
+          o0[j] += acc0[j];
+          o1[j] += acc1[j];
+          o2[j] += acc2[j];
+          o3[j] += acc3[j];
+        } else {
+          o0[j] = acc0[j];
+          o1[j] = acc1[j];
+          o2[j] = acc2[j];
+          o3[j] = acc3[j];
+        }
       }
     }
     for (; j0 < n; ++j0) {
@@ -268,10 +336,17 @@ void MatMulTransposeADenseRange(const Matrix& a, const Matrix& b, Matrix& out,
         s2 += a_row[2] * bv;
         s3 += a_row[3] * bv;
       }
-      out.at(i, j0) = s0;
-      out.at(i + 1, j0) = s1;
-      out.at(i + 2, j0) = s2;
-      out.at(i + 3, j0) = s3;
+      if constexpr (Accum) {
+        out.at(i, j0) += s0;
+        out.at(i + 1, j0) += s1;
+        out.at(i + 2, j0) += s2;
+        out.at(i + 3, j0) += s3;
+      } else {
+        out.at(i, j0) = s0;
+        out.at(i + 1, j0) = s1;
+        out.at(i + 2, j0) = s2;
+        out.at(i + 3, j0) = s3;
+      }
     }
   }
   for (; i < i1; ++i) {
@@ -305,7 +380,9 @@ void MatMulTransposeASparseCols(const Matrix& a, const Matrix& b, Matrix& out,
 
 // Rows [i0, i1) of out = a @ b^T: 4x4 blocks of independent dot products
 // give the ILP the single-accumulator loop lacked; every element is still
-// one dot over ascending p, bitwise identical to the naive kernel.
+// one dot over ascending p, bitwise identical to the naive kernel. With
+// Accum the dots are added onto `out` (fused backward accumulation).
+template <bool Accum>
 void MatMulTransposeBRowRange(const Matrix& a, const Matrix& b, Matrix& out,
                               int i0, int i1) {
   const int k = a.cols(), n = b.rows();
@@ -337,7 +414,11 @@ void MatMulTransposeBRowRange(const Matrix& a, const Matrix& b, Matrix& out,
       }
       for (int ii = 0; ii < kBlock; ++ii) {
         for (int jj = 0; jj < kBlock; ++jj) {
-          out.at(i + ii, j + jj) = acc[ii][jj];
+          if constexpr (Accum) {
+            out.at(i + ii, j + jj) += acc[ii][jj];
+          } else {
+            out.at(i + ii, j + jj) = acc[ii][jj];
+          }
         }
       }
     }
@@ -351,10 +432,17 @@ void MatMulTransposeBRowRange(const Matrix& a, const Matrix& b, Matrix& out,
         s2 += a2[p] * bv;
         s3 += a3[p] * bv;
       }
-      out.at(i, j) = s0;
-      out.at(i + 1, j) = s1;
-      out.at(i + 2, j) = s2;
-      out.at(i + 3, j) = s3;
+      if constexpr (Accum) {
+        out.at(i, j) += s0;
+        out.at(i + 1, j) += s1;
+        out.at(i + 2, j) += s2;
+        out.at(i + 3, j) += s3;
+      } else {
+        out.at(i, j) = s0;
+        out.at(i + 1, j) = s1;
+        out.at(i + 2, j) = s2;
+        out.at(i + 3, j) = s3;
+      }
     }
   }
   for (; i < i1; ++i) {
@@ -364,32 +452,32 @@ void MatMulTransposeBRowRange(const Matrix& a, const Matrix& b, Matrix& out,
       const float* __restrict b_row = b.data() + static_cast<size_t>(j) * k;
       float acc = 0.0f;
       for (int p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      out_row[j] = acc;
+      if constexpr (Accum) {
+        out_row[j] += acc;
+      } else {
+        out_row[j] = acc;
+      }
     }
   }
 }
 
 }  // namespace
 
-Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
-  if (a.rows() != b.rows()) {
-    throw std::invalid_argument("MatMulTransposeA: " + a.ShapeString() +
-                                "^T x " + b.ShapeString());
-  }
-  Matrix out(a.cols(), b.cols());
+namespace {
+
+// Shared body of MatMulTransposeA / MatMulTransposeAAccum. For the
+// non-accumulating call `out` must arrive zero-filled (the sparse kernel and
+// the dense remainder rows accumulate in place).
+template <bool Accum>
+void MatMulTransposeADispatch(const Matrix& a, const Matrix& b, Matrix& out) {
   const int k = a.rows(), m = a.cols(), n = b.cols();
 
   // Same density dispatch as MatMul: mostly-zero left operands (adjacency
   // operators arriving from MatMulConstA's backward) keep the zero-skip
   // kernel; dense operands (activation/grad GEMMs of the backward pass) get
   // the register-tiled kernel.
-  bool sparse = false;
-  if (static_cast<std::size_t>(k) * static_cast<std::size_t>(m) >= 256) {
-    std::size_t zeros = 0;
-    for (const float v : a.flat()) zeros += v == 0.0f;
-    sparse = zeros * 10 >= a.size() * 7;
-  }
-  if (sparse) {
+  if (MostlyZero(a)) {
+    // The zero-skip kernel is accumulate-natural (+=): it serves both modes.
     if (ShouldParallelize(m, k, n)) {
       core::ParallelFor(0, n, RowGrain(n, 2ll * k * m),
                         [&](std::int64_t lo, std::int64_t hi) {
@@ -400,39 +488,123 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
     } else {
       MatMulTransposeASparseCols(a, b, out, 0, n);
     }
-    return out;
+    return;
   }
   if (ShouldParallelize(m, k, n)) {
     core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
                       [&](std::int64_t lo, std::int64_t hi) {
-                        MatMulTransposeADenseRange(a, b, out,
-                                                   static_cast<int>(lo),
-                                                   static_cast<int>(hi));
+                        MatMulTransposeADenseRange<Accum>(
+                            a, b, out, static_cast<int>(lo),
+                            static_cast<int>(hi));
                       });
   } else {
-    MatMulTransposeADenseRange(a, b, out, 0, m);
+    MatMulTransposeADenseRange<Accum>(a, b, out, 0, m);
   }
-  return out;
 }
 
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.cols()) {
-    throw std::invalid_argument("MatMulTransposeB: " + a.ShapeString() +
-                                " x " + b.ShapeString() + "^T");
+void CheckTransposeAShapes(const Matrix& a, const Matrix& b,
+                           const char* what) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument(std::string(what) + ": " + a.ShapeString() +
+                                "^T x " + b.ShapeString());
   }
-  Matrix out(a.rows(), b.rows());
+}
+
+template <bool Accum>
+void MatMulTransposeBDispatch(const Matrix& a, const Matrix& b, Matrix& out) {
   const int m = a.rows(), k = a.cols(), n = b.rows();
   if (ShouldParallelize(m, k, n)) {
     core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
                       [&](std::int64_t lo, std::int64_t hi) {
-                        MatMulTransposeBRowRange(a, b, out,
-                                                 static_cast<int>(lo),
-                                                 static_cast<int>(hi));
+                        MatMulTransposeBRowRange<Accum>(
+                            a, b, out, static_cast<int>(lo),
+                            static_cast<int>(hi));
                       });
   } else {
-    MatMulTransposeBRowRange(a, b, out, 0, m);
+    MatMulTransposeBRowRange<Accum>(a, b, out, 0, m);
   }
+}
+
+void CheckTransposeBShapes(const Matrix& a, const Matrix& b,
+                           const char* what) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string(what) + ": " + a.ShapeString() +
+                                " x " + b.ShapeString() + "^T");
+  }
+}
+
+void CheckAccumShape(const Matrix& dst, int rows, int cols,
+                     const char* what) {
+  if (dst.rows() != rows || dst.cols() != cols) {
+    throw std::invalid_argument(std::string(what) + ": dst " +
+                                dst.ShapeString() + " != [" +
+                                std::to_string(rows) + "x" +
+                                std::to_string(cols) + "]");
+  }
+}
+
+}  // namespace
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  CheckTransposeAShapes(a, b, "MatMulTransposeA");
+  Matrix out(a.cols(), b.cols());
+  MatMulTransposeADispatch<false>(a, b, out);
   return out;
+}
+
+void MatMulTransposeAAccum(Matrix& dst, const Matrix& a, const Matrix& b) {
+  CheckTransposeAShapes(a, b, "MatMulTransposeAAccum");
+  CheckAccumShape(dst, a.cols(), b.cols(), "MatMulTransposeAAccum");
+  MatMulTransposeADispatch<true>(a, b, dst);
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  CheckTransposeBShapes(a, b, "MatMulTransposeB");
+  Matrix out(a.rows(), b.rows());
+  MatMulTransposeBDispatch<false>(a, b, out);
+  return out;
+}
+
+void MatMulTransposeBAccum(Matrix& dst, const Matrix& a, const Matrix& b) {
+  CheckTransposeBShapes(a, b, "MatMulTransposeBAccum");
+  CheckAccumShape(dst, a.rows(), b.rows(), "MatMulTransposeBAccum");
+  // dst += a @ b^T with `a` the (large) gradient and `b` typically a small
+  // weight operand: transposing b once lets the vectorized j-inner row
+  // kernel carry the GEMM instead of the scalar 4x4 dot kernel — the
+  // backward's hottest product runs at forward-kernel throughput. Each
+  // element still accumulates over ascending p, so values match the dot
+  // kernel up to FP contraction (~1 ulp). The transpose lives in a
+  // thread-local scratch (the same weight shapes recur step after step),
+  // so steady-state training allocates nothing here.
+  static thread_local Matrix bt_scratch;
+  Matrix bt(b.cols(), b.rows(), bt_scratch.TakeStorage(), Matrix::Uninit{});
+  for (int i = 0; i < b.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  // Same density dispatch as MatMul: mostly-zero gradients (post-ReLU) keep
+  // the zero-skip row kernel, which accumulates natively.
+  if (MostlyZero(a)) {
+    if (ShouldParallelize(m, k, n)) {
+      core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          MatMulSparseARowRange(a, bt, dst,
+                                                static_cast<int>(lo),
+                                                static_cast<int>(hi));
+                        });
+    } else {
+      MatMulSparseARowRange(a, bt, dst, 0, m);
+    }
+  } else if (ShouldParallelize(m, k, n)) {
+    core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        MatMulRowRange<true>(a, bt, dst, static_cast<int>(lo),
+                                             static_cast<int>(hi));
+                      });
+  } else {
+    MatMulRowRange<true>(a, bt, dst, 0, m);
+  }
+  bt_scratch = std::move(bt);  // hand the buffer back for the next call
 }
 
 Matrix CopyRows(const Matrix& a, int begin, int len) {
@@ -542,7 +714,9 @@ float MaxAbsDiff(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b, "MaxAbsDiff");
   float worst = 0.0f;
   for (size_t i = 0; i < a.size(); ++i) {
-    worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+    const float d = std::abs(a.data()[i] - b.data()[i]);
+    if (std::isnan(d)) return d;  // propagate: std::max would drop NaN
+    worst = std::max(worst, d);
   }
   return worst;
 }

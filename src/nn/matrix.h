@@ -19,6 +19,22 @@ class Matrix {
         data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {
     assert(rows >= 0 && cols >= 0);
   }
+  // Zero matrix reusing `recycled`'s heap storage when its capacity suffices
+  // (the TapeArena recycling path; see nn/tape.h).
+  Matrix(int rows, int cols, std::vector<float>&& recycled)
+      : rows_(rows), cols_(cols), data_(std::move(recycled)) {
+    assert(rows >= 0 && cols >= 0);
+    data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f);
+  }
+  // As above but WITHOUT the zero-fill: contents are unspecified. For
+  // outputs every element of which is about to be overwritten — skips a
+  // full memset per recycled buffer.
+  struct Uninit {};
+  Matrix(int rows, int cols, std::vector<float>&& recycled, Uninit)
+      : rows_(rows), cols_(cols), data_(std::move(recycled)) {
+    assert(rows >= 0 && cols >= 0);
+    data_.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
+  }
 
   static Matrix Constant(int rows, int cols, float value);
   static Matrix FromRow(std::span<const float> values);
@@ -57,6 +73,14 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
+  // Releases the underlying heap storage (for recycling); the matrix is left
+  // empty (0 x 0).
+  std::vector<float> TakeStorage() noexcept {
+    rows_ = 0;
+    cols_ = 0;
+    return std::move(data_);
+  }
+
   std::string ShapeString() const;
 
  private:
@@ -82,6 +106,23 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
 // out = a @ b^T. Shapes: [m,k] x [n,k] -> [m,n]. 4x4 register blocks of
 // dot products, row-partitioned across the pool when large.
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+// In-place variants writing into a caller-provided (typically arena-recycled)
+// matrix: `out` is reshaped/zeroed first, then filled exactly like the
+// allocating version — same kernels, same per-element float sequence.
+void MatMulInto(Matrix& out, const Matrix& a, const Matrix& b);
+void MatMulSparseAInto(Matrix& out, const Matrix& a, const Matrix& b);
+
+// Fused backward accumulation: dst += a^T @ b (resp. dst += a @ b^T) without
+// materializing the product. Each output element's partial sum is formed in
+// registers over ascending p and added to `dst` once — the same values as
+// AccumulateInto(dst, MatMulTransposeX(a, b)) up to FP contraction (~1 ulp)
+// — while skipping the temporary allocation and the extra O(mn) add pass.
+// The B variant additionally transposes the (typically small) right operand
+// once so the vectorized row kernel carries the product instead of the
+// scalar dot kernel: the backward's hottest GEMM runs at forward throughput.
+void MatMulTransposeAAccum(Matrix& dst, const Matrix& a, const Matrix& b);
+void MatMulTransposeBAccum(Matrix& dst, const Matrix& a, const Matrix& b);
 
 // Rows [begin, begin+len) of `a` as an owned matrix (contiguous copy).
 Matrix CopyRows(const Matrix& a, int begin, int len);

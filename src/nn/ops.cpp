@@ -1,7 +1,9 @@
 #include "nn/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/thread_pool.h"
@@ -9,6 +11,8 @@
 
 namespace tpuperf::nn {
 namespace {
+
+std::atomic<bool> g_fused_ops{true};
 
 // Work (in multiply-adds / transcendental evaluations) below which an op
 // runs serially: fork/join overhead beats the parallel win under this.
@@ -18,17 +22,36 @@ bool UseParallel(std::int64_t work) {
   return work >= kParallelOpWork && core::ThreadPool::Global().size() > 1;
 }
 
+void CheckSame(const Matrix& a, const Matrix& b, const char* op) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.ShapeString() + " vs " + b.ShapeString());
+  }
+}
+
 // Shorthand: elementwise unary op with dy/dx computable from x and y.
-// On grad-disabled tapes the backward closure (and its captured matrix
-// copies) is never built — inference pays for the forward values only.
+// Fused mode reads x and y from the tape nodes themselves in the backward
+// (the parent's value and self.value stay alive on the tape), so no matrix
+// copies are captured; seed mode keeps the pre-fusion captured copies. On
+// grad-disabled tapes neither closure is built — inference pays for the
+// forward values only.
 template <typename Fwd, typename Bwd>
 Tensor Unary(Tape& tape, Tensor x, Fwd fwd, Bwd bwd) {
   const Matrix& xv = x.value();
-  Matrix y(xv.rows(), xv.cols());
+  Matrix y = tape.NewMatrixUninit(xv.rows(), xv.cols());
   for (size_t i = 0; i < xv.size(); ++i) y.data()[i] = fwd(xv.data()[i]);
   TapeNode* xn = x.node();
   if (!tape.grad_enabled()) return tape.NewNode(std::move(y), {xn}, nullptr);
-  Matrix yv = y;  // captured copy for backward
+  if (FusedOpsEnabled()) {
+    return tape.NewNode(std::move(y), {xn}, [xn, bwd](TapeNode& self) {
+      const float* __restrict xd = xn->value.data();
+      const float* __restrict yd = self.value.data();
+      for (size_t i = 0; i < self.grad.size(); ++i) {
+        xn->grad.data()[i] += self.grad.data()[i] * bwd(xd[i], yd[i]);
+      }
+    });
+  }
+  Matrix yv = y;  // captured copy for backward (seed behavior)
   return tape.NewNode(
       std::move(y), {xn},
       [xn, xv_copy = xv, yv = std::move(yv), bwd](TapeNode& self) {
@@ -41,16 +64,37 @@ Tensor Unary(Tape& tape, Tensor x, Fwd fwd, Bwd bwd) {
 
 }  // namespace
 
+bool FusedOpsEnabled() noexcept {
+  return g_fused_ops.load(std::memory_order_relaxed);
+}
+
+void SetFusedOps(bool enabled) noexcept {
+  g_fused_ops.store(enabled, std::memory_order_relaxed);
+}
+
 Tensor MatMulOp(Tape& tape, Tensor a, Tensor b) {
-  Matrix y = MatMul(a.value(), b.value());
+  Matrix y = tape.NewMatrixUninit(a.rows(), b.cols());
+  MatMulInto(y, a.value(), b.value());
   TapeNode* an = a.node();
   TapeNode* bn = b.node();
-  return tape.NewNode(std::move(y), {an, bn}, [an, bn](TapeNode& self) {
+  if (!tape.grad_enabled()) return tape.NewNode(std::move(y), {an, bn}, nullptr);
+  const bool fused = FusedOpsEnabled();
+  return tape.NewNode(std::move(y), {an, bn}, [an, bn, fused](TapeNode& self) {
+    // The accumulate kernels produce bit-identical grads to the temp+add
+    // seed pair; they just skip the temporary and the extra add pass.
     if (an->requires_grad) {
-      AccumulateInto(an->grad, MatMulTransposeB(self.grad, bn->value));
+      if (fused) {
+        MatMulTransposeBAccum(an->grad, self.grad, bn->value);
+      } else {
+        AccumulateInto(an->grad, MatMulTransposeB(self.grad, bn->value));
+      }
     }
     if (bn->requires_grad) {
-      AccumulateInto(bn->grad, MatMulTransposeA(an->value, self.grad));
+      if (fused) {
+        MatMulTransposeAAccum(bn->grad, an->value, self.grad);
+      } else {
+        AccumulateInto(bn->grad, MatMulTransposeA(an->value, self.grad));
+      }
     }
   });
 }
@@ -58,16 +102,28 @@ Tensor MatMulOp(Tape& tape, Tensor a, Tensor b) {
 Tensor MatMulConstA(Tape& tape, const Matrix& a, Tensor x) {
   // The constant operand here is an adjacency operator — sparse, so the
   // zero-skip kernel beats the dense tiled one.
-  Matrix y = MatMulSparseA(a, x.value());
+  Matrix y = tape.NewMatrixUninit(a.rows(), x.cols());
+  MatMulSparseAInto(y, a, x.value());
   TapeNode* xn = x.node();
   if (!tape.grad_enabled()) return tape.NewNode(std::move(y), {xn}, nullptr);
-  return tape.NewNode(std::move(y), {xn}, [xn, a](TapeNode& self) {
-    AccumulateInto(xn->grad, MatMulTransposeA(a, self.grad));
+  const bool fused = FusedOpsEnabled();
+  return tape.NewNode(std::move(y), {xn}, [xn, a, fused](TapeNode& self) {
+    if (fused) {
+      MatMulTransposeAAccum(xn->grad, a, self.grad);
+    } else {
+      AccumulateInto(xn->grad, MatMulTransposeA(a, self.grad));
+    }
   });
 }
 
 Tensor AddOp(Tape& tape, Tensor a, Tensor b) {
-  Matrix y = Add(a.value(), b.value());
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  CheckSame(av, bv, "AddOp");
+  Matrix y = tape.NewMatrixUninit(av.rows(), av.cols());
+  for (size_t i = 0; i < av.size(); ++i) {
+    y.data()[i] = av.data()[i] + bv.data()[i];
+  }
   TapeNode* an = a.node();
   TapeNode* bn = b.node();
   return tape.NewNode(std::move(y), {an, bn}, [an, bn](TapeNode& self) {
@@ -77,7 +133,13 @@ Tensor AddOp(Tape& tape, Tensor a, Tensor b) {
 }
 
 Tensor SubOp(Tape& tape, Tensor a, Tensor b) {
-  Matrix y = Sub(a.value(), b.value());
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  CheckSame(av, bv, "SubOp");
+  Matrix y = tape.NewMatrixUninit(av.rows(), av.cols());
+  for (size_t i = 0; i < av.size(); ++i) {
+    y.data()[i] = av.data()[i] - bv.data()[i];
+  }
   TapeNode* an = a.node();
   TapeNode* bn = b.node();
   return tape.NewNode(std::move(y), {an, bn}, [an, bn](TapeNode& self) {
@@ -87,10 +149,34 @@ Tensor SubOp(Tape& tape, Tensor a, Tensor b) {
 }
 
 Tensor MulOp(Tape& tape, Tensor a, Tensor b) {
-  Matrix y = Hadamard(a.value(), b.value());
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  CheckSame(av, bv, "MulOp");
+  Matrix y = tape.NewMatrixUninit(av.rows(), av.cols());
+  for (size_t i = 0; i < av.size(); ++i) {
+    y.data()[i] = av.data()[i] * bv.data()[i];
+  }
   TapeNode* an = a.node();
   TapeNode* bn = b.node();
-  return tape.NewNode(std::move(y), {an, bn}, [an, bn](TapeNode& self) {
+  const bool fused = FusedOpsEnabled();
+  return tape.NewNode(std::move(y), {an, bn}, [an, bn, fused](TapeNode& self) {
+    if (fused) {
+      // Read the operand values from the parent nodes; no Hadamard temps.
+      const float* __restrict g = self.grad.data();
+      if (an->requires_grad) {
+        const float* __restrict bd = bn->value.data();
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+          an->grad.data()[i] += g[i] * bd[i];
+        }
+      }
+      if (bn->requires_grad) {
+        const float* __restrict ad = an->value.data();
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+          bn->grad.data()[i] += g[i] * ad[i];
+        }
+      }
+      return;
+    }
     if (an->requires_grad) {
       AccumulateInto(an->grad, Hadamard(self.grad, bn->value));
     }
@@ -101,7 +187,9 @@ Tensor MulOp(Tape& tape, Tensor a, Tensor b) {
 }
 
 Tensor ScaleOp(Tape& tape, Tensor a, float s) {
-  Matrix y = Scale(a.value(), s);
+  const Matrix& av = a.value();
+  Matrix y = tape.NewMatrixUninit(av.rows(), av.cols());
+  for (size_t i = 0; i < av.size(); ++i) y.data()[i] = av.data()[i] * s;
   TapeNode* an = a.node();
   return tape.NewNode(std::move(y), {an}, [an, s](TapeNode& self) {
     AccumulateScaled(an->grad, self.grad, s);
@@ -109,8 +197,9 @@ Tensor ScaleOp(Tape& tape, Tensor a, float s) {
 }
 
 Tensor AddScalarOp(Tape& tape, Tensor a, float s) {
-  Matrix y = a.value();
-  for (float& v : y.flat()) v += s;
+  const Matrix& av = a.value();
+  Matrix y = tape.NewMatrixUninit(av.rows(), av.cols());
+  for (size_t i = 0; i < av.size(); ++i) y.data()[i] = av.data()[i] + s;
   TapeNode* an = a.node();
   return tape.NewNode(std::move(y), {an}, [an](TapeNode& self) {
     AccumulateInto(an->grad, self.grad);
@@ -123,15 +212,28 @@ Tensor AddRowBroadcastOp(Tape& tape, Tensor x, Tensor bias) {
   if (bv.rows() != 1 || bv.cols() != xv.cols()) {
     throw std::invalid_argument("AddRowBroadcastOp: bias must be [1, cols]");
   }
-  Matrix y(xv.rows(), xv.cols());
+  Matrix y = tape.NewMatrixUninit(xv.rows(), xv.cols());
   for (int i = 0; i < xv.rows(); ++i) {
     for (int j = 0; j < xv.cols(); ++j) y.at(i, j) = xv.at(i, j) + bv.at(0, j);
   }
   TapeNode* xn = x.node();
   TapeNode* bn = bias.node();
-  return tape.NewNode(std::move(y), {xn, bn}, [xn, bn](TapeNode& self) {
+  const bool fused = FusedOpsEnabled();
+  return tape.NewNode(std::move(y), {xn, bn}, [xn, bn, fused](TapeNode& self) {
     if (xn->requires_grad) AccumulateInto(xn->grad, self.grad);
-    if (bn->requires_grad) AccumulateInto(bn->grad, ColSum(self.grad));
+    if (bn->requires_grad) {
+      if (fused) {
+        // Column sums accumulated straight into the bias grad (same
+        // ascending-row order as ColSum; no [1, c] temporary).
+        for (int i = 0; i < self.grad.rows(); ++i) {
+          for (int j = 0; j < self.grad.cols(); ++j) {
+            bn->grad.at(0, j) += self.grad.at(i, j);
+          }
+        }
+      } else {
+        AccumulateInto(bn->grad, ColSum(self.grad));
+      }
+    }
   });
 }
 
@@ -175,21 +277,55 @@ Tensor DropoutOp(Tape& tape, Tensor x, float rate, std::mt19937_64& rng) {
   if (rate <= 0.0f) return x;
   if (rate >= 1.0f) throw std::invalid_argument("DropoutOp: rate must be < 1");
   const Matrix& xv = x.value();
-  Matrix mask(xv.rows(), xv.cols());
+  Matrix mask = tape.NewMatrixUninit(xv.rows(), xv.cols());
   std::bernoulli_distribution keep(1.0 - rate);
   const float scale = 1.0f / (1.0f - rate);
   for (float& m : mask.flat()) m = keep(rng) ? scale : 0.0f;
-  Matrix y = Hadamard(xv, mask);
+  Matrix y = tape.NewMatrixUninit(xv.rows(), xv.cols());
+  for (size_t i = 0; i < xv.size(); ++i) {
+    y.data()[i] = xv.data()[i] * mask.data()[i];
+  }
   TapeNode* xn = x.node();
+  if (tape.grad_enabled() && FusedOpsEnabled()) {
+    // Stash the mask on the tape (arena-recycled) instead of in the closure.
+    TapeNode* mask_node = tape.Leaf(std::move(mask)).node();
+    return tape.NewNode(std::move(y), {xn}, [xn, mask_node](TapeNode& self) {
+      const float* __restrict m = mask_node->value.data();
+      for (size_t i = 0; i < self.grad.size(); ++i) {
+        xn->grad.data()[i] += self.grad.data()[i] * m[i];
+      }
+    });
+  }
   return tape.NewNode(std::move(y), {xn},
                       [xn, mask = std::move(mask)](TapeNode& self) {
                         AccumulateInto(xn->grad, Hadamard(self.grad, mask));
                       });
 }
 
+namespace {
+
+void RowL2NormalizeBackward(const Matrix& yv,
+                            const std::vector<float>& inv_norms, TapeNode* xn,
+                            TapeNode& self) {
+  // d/dx (x/|x|) = (G - y (y . G)) / |x|.
+  for (int i = 0; i < self.grad.rows(); ++i) {
+    double dot = 0;
+    for (int j = 0; j < self.grad.cols(); ++j) {
+      dot += static_cast<double>(self.grad.at(i, j)) * yv.at(i, j);
+    }
+    const float inv = inv_norms[static_cast<size_t>(i)];
+    for (int j = 0; j < self.grad.cols(); ++j) {
+      xn->grad.at(i, j) +=
+          (self.grad.at(i, j) - static_cast<float>(dot) * yv.at(i, j)) * inv;
+    }
+  }
+}
+
+}  // namespace
+
 Tensor RowL2NormalizeOp(Tape& tape, Tensor x, float eps) {
   const Matrix& xv = x.value();
-  Matrix y(xv.rows(), xv.cols());
+  Matrix y = tape.NewMatrixUninit(xv.rows(), xv.cols());
   std::vector<float> inv_norms(static_cast<size_t>(xv.rows()));
   for (int i = 0; i < xv.rows(); ++i) {
     double acc = 0;
@@ -202,32 +338,70 @@ Tensor RowL2NormalizeOp(Tape& tape, Tensor x, float eps) {
   }
   TapeNode* xn = x.node();
   if (!tape.grad_enabled()) return tape.NewNode(std::move(y), {xn}, nullptr);
+  if (FusedOpsEnabled()) {
+    // y is read back from self.value in the backward; only the per-row
+    // norms are captured.
+    return tape.NewNode(std::move(y), {xn},
+                        [xn, inv_norms = std::move(inv_norms)](TapeNode& self) {
+                          RowL2NormalizeBackward(self.value, inv_norms, xn,
+                                                 self);
+                        });
+  }
   Matrix yv = y;
   return tape.NewNode(
       std::move(y), {xn},
       [xn, yv = std::move(yv), inv_norms = std::move(inv_norms)](
-          TapeNode& self) {
-        // d/dx (x/|x|) = (G - y (y . G)) / |x|.
-        for (int i = 0; i < self.grad.rows(); ++i) {
-          double dot = 0;
-          for (int j = 0; j < self.grad.cols(); ++j) {
-            dot += static_cast<double>(self.grad.at(i, j)) * yv.at(i, j);
-          }
-          const float inv = inv_norms[static_cast<size_t>(i)];
-          for (int j = 0; j < self.grad.cols(); ++j) {
-            xn->grad.at(i, j) +=
-                (self.grad.at(i, j) - static_cast<float>(dot) * yv.at(i, j)) *
-                inv;
-          }
-        }
-      });
+          TapeNode& self) { RowL2NormalizeBackward(yv, inv_norms, xn, self); });
 }
+
+namespace {
+
+void LayerNormBackward(const Matrix& xhat, const std::vector<float>& inv_std,
+                       TapeNode* xn, TapeNode* gn, TapeNode* bn,
+                       TapeNode& self) {
+  const int n = self.grad.rows(), c = self.grad.cols();
+  if (gn->requires_grad || bn->requires_grad) {
+    for (int j = 0; j < c; ++j) {
+      float dg = 0, db = 0;
+      for (int i = 0; i < n; ++i) {
+        dg += self.grad.at(i, j) * xhat.at(i, j);
+        db += self.grad.at(i, j);
+      }
+      if (gn->requires_grad) gn->grad.at(0, j) += dg;
+      if (bn->requires_grad) bn->grad.at(0, j) += db;
+    }
+  }
+  if (xn->requires_grad) {
+    for (int i = 0; i < n; ++i) {
+      // dxhat = G * gamma; dx = istd*(dxhat - mean(dxhat)
+      //                               - xhat*mean(dxhat*xhat)).
+      double mean_dxhat = 0, mean_dxhat_xhat = 0;
+      for (int j = 0; j < c; ++j) {
+        const double dxh =
+            static_cast<double>(self.grad.at(i, j)) * gn->value.at(0, j);
+        mean_dxhat += dxh;
+        mean_dxhat_xhat += dxh * xhat.at(i, j);
+      }
+      mean_dxhat /= c;
+      mean_dxhat_xhat /= c;
+      const float istd = inv_std[static_cast<size_t>(i)];
+      for (int j = 0; j < c; ++j) {
+        const double dxh =
+            static_cast<double>(self.grad.at(i, j)) * gn->value.at(0, j);
+        xn->grad.at(i, j) += static_cast<float>(
+            istd * (dxh - mean_dxhat - xhat.at(i, j) * mean_dxhat_xhat));
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Tensor LayerNormRowsOp(Tape& tape, Tensor x, Tensor gamma, Tensor beta,
                        float eps) {
   const Matrix& xv = x.value();
   const int n = xv.rows(), c = xv.cols();
-  Matrix xhat(n, c);
+  Matrix xhat = tape.NewMatrixUninit(n, c);
   std::vector<float> inv_std(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     double mean = 0;
@@ -247,7 +421,7 @@ Tensor LayerNormRowsOp(Tape& tape, Tensor x, Tensor gamma, Tensor beta,
   }
   const Matrix& gv = gamma.value();
   const Matrix& bv = beta.value();
-  Matrix y(n, c);
+  Matrix y = tape.NewMatrixUninit(n, c);
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < c; ++j) {
       y.at(i, j) = xhat.at(i, j) * gv.at(0, j) + bv.at(0, j);
@@ -256,53 +430,43 @@ Tensor LayerNormRowsOp(Tape& tape, Tensor x, Tensor gamma, Tensor beta,
   TapeNode* xn = x.node();
   TapeNode* gn = gamma.node();
   TapeNode* bn = beta.node();
+  if (tape.grad_enabled() && FusedOpsEnabled()) {
+    // xhat lives on the tape (arena-recycled stash leaf), not in the closure.
+    TapeNode* xhat_node = tape.Leaf(std::move(xhat)).node();
+    return tape.NewNode(
+        std::move(y), {xn, gn, bn},
+        [xn, gn, bn, xhat_node, inv_std = std::move(inv_std)](TapeNode& self) {
+          LayerNormBackward(xhat_node->value, inv_std, xn, gn, bn, self);
+        });
+  }
   return tape.NewNode(
       std::move(y), {xn, gn, bn},
       [xn, gn, bn, xhat = std::move(xhat), inv_std = std::move(inv_std)](
           TapeNode& self) {
-        const int n = self.grad.rows(), c = self.grad.cols();
-        if (gn->requires_grad || bn->requires_grad) {
-          for (int j = 0; j < c; ++j) {
-            float dg = 0, db = 0;
-            for (int i = 0; i < n; ++i) {
-              dg += self.grad.at(i, j) * xhat.at(i, j);
-              db += self.grad.at(i, j);
-            }
-            if (gn->requires_grad) gn->grad.at(0, j) += dg;
-            if (bn->requires_grad) bn->grad.at(0, j) += db;
-          }
-        }
-        if (xn->requires_grad) {
-          for (int i = 0; i < n; ++i) {
-            // dxhat = G * gamma; dx = istd*(dxhat - mean(dxhat)
-            //                               - xhat*mean(dxhat*xhat)).
-            double mean_dxhat = 0, mean_dxhat_xhat = 0;
-            for (int j = 0; j < c; ++j) {
-              const double dxh =
-                  static_cast<double>(self.grad.at(i, j)) * gn->value.at(0, j);
-              mean_dxhat += dxh;
-              mean_dxhat_xhat += dxh * xhat.at(i, j);
-            }
-            mean_dxhat /= c;
-            mean_dxhat_xhat /= c;
-            const float istd = inv_std[static_cast<size_t>(i)];
-            for (int j = 0; j < c; ++j) {
-              const double dxh =
-                  static_cast<double>(self.grad.at(i, j)) * gn->value.at(0, j);
-              xn->grad.at(i, j) += static_cast<float>(
-                  istd * (dxh - mean_dxhat - xhat.at(i, j) * mean_dxhat_xhat));
-            }
-          }
-        }
+        LayerNormBackward(xhat, inv_std, xn, gn, bn, self);
       });
 }
 
 namespace {
 
+void SoftmaxBackward(const Matrix& yv, TapeNode* xn, TapeNode& self) {
+  // dx = y * (G - sum_j(G_j y_j)) row-wise.
+  for (int i = 0; i < self.grad.rows(); ++i) {
+    double dot = 0;
+    for (int j = 0; j < self.grad.cols(); ++j) {
+      dot += static_cast<double>(self.grad.at(i, j)) * yv.at(i, j);
+    }
+    for (int j = 0; j < self.grad.cols(); ++j) {
+      xn->grad.at(i, j) +=
+          yv.at(i, j) * (self.grad.at(i, j) - static_cast<float>(dot));
+    }
+  }
+}
+
 Tensor SoftmaxImpl(Tape& tape, Tensor x, const Matrix* mask) {
   const Matrix& xv = x.value();
   const int n = xv.rows(), c = xv.cols();
-  Matrix y(n, c);
+  Matrix y = tape.NewMatrixUninit(n, c);
   for (int i = 0; i < n; ++i) {
     float max_v = -std::numeric_limits<float>::infinity();
     for (int j = 0; j < c; ++j) {
@@ -326,21 +490,16 @@ Tensor SoftmaxImpl(Tape& tape, Tensor x, const Matrix* mask) {
   }
   TapeNode* xn = x.node();
   if (!tape.grad_enabled()) return tape.NewNode(std::move(y), {xn}, nullptr);
+  if (FusedOpsEnabled()) {
+    return tape.NewNode(std::move(y), {xn}, [xn](TapeNode& self) {
+      SoftmaxBackward(self.value, xn, self);
+    });
+  }
   Matrix yv = y;
-  return tape.NewNode(
-      std::move(y), {xn}, [xn, yv = std::move(yv)](TapeNode& self) {
-        // dx = y * (G - sum_j(G_j y_j)) row-wise.
-        for (int i = 0; i < self.grad.rows(); ++i) {
-          double dot = 0;
-          for (int j = 0; j < self.grad.cols(); ++j) {
-            dot += static_cast<double>(self.grad.at(i, j)) * yv.at(i, j);
-          }
-          for (int j = 0; j < self.grad.cols(); ++j) {
-            xn->grad.at(i, j) += yv.at(i, j) * (self.grad.at(i, j) -
-                                                static_cast<float>(dot));
-          }
-        }
-      });
+  return tape.NewNode(std::move(y), {xn},
+                      [xn, yv = std::move(yv)](TapeNode& self) {
+                        SoftmaxBackward(yv, xn, self);
+                      });
 }
 
 }  // namespace
@@ -364,7 +523,7 @@ Tensor ConcatColsOp(Tape& tape, std::span<const Tensor> parts) {
     }
     total_cols += t.cols();
   }
-  Matrix y(n, total_cols);
+  Matrix y = tape.NewMatrixUninit(n, total_cols);
   std::vector<TapeNode*> parents;
   std::vector<int> offsets;
   int off = 0;
@@ -404,7 +563,7 @@ Tensor ConcatRowsOp(Tape& tape, std::span<const Tensor> parts) {
     }
     total_rows += t.rows();
   }
-  Matrix y(total_rows, c);
+  Matrix y = tape.NewMatrixUninit(total_rows, c);
   std::vector<TapeNode*> parents;
   std::vector<int> offsets;
   int off = 0;
@@ -436,7 +595,7 @@ Tensor SliceRowOp(Tape& tape, Tensor x, int row) {
   if (row < 0 || row >= xv.rows()) {
     throw std::out_of_range("SliceRowOp: row out of range");
   }
-  Matrix y(1, xv.cols());
+  Matrix y = tape.NewMatrixUninit(1, xv.cols());
   for (int j = 0; j < xv.cols(); ++j) y.at(0, j) = xv.at(row, j);
   TapeNode* xn = x.node();
   return tape.NewNode(std::move(y), {xn}, [xn, row](TapeNode& self) {
@@ -451,7 +610,7 @@ Tensor SliceRowsOp(Tape& tape, Tensor x, int begin, int rows) {
   if (begin < 0 || rows < 0 || begin + rows > xv.rows()) {
     throw std::out_of_range("SliceRowsOp: range out of bounds");
   }
-  Matrix y(rows, xv.cols());
+  Matrix y = tape.NewMatrixUninit(rows, xv.cols());
   if (rows > 0) {
     // Row-major: the slice is one contiguous block.
     const float* src = xv.data() + static_cast<size_t>(begin) * xv.cols();
@@ -472,7 +631,7 @@ Tensor SliceColsOp(Tape& tape, Tensor x, int begin, int cols) {
   if (begin < 0 || cols < 0 || begin + cols > xv.cols()) {
     throw std::out_of_range("SliceColsOp: range out of bounds");
   }
-  Matrix y(xv.rows(), cols);
+  Matrix y = tape.NewMatrixUninit(xv.rows(), cols);
   for (int i = 0; i < xv.rows(); ++i) {
     for (int j = 0; j < cols; ++j) y.at(i, j) = xv.at(i, begin + j);
   }
@@ -498,7 +657,8 @@ Tensor LstmGatePreactOp(Tape& tape, Tensor x_rows, std::span<const int> ids,
       bv.rows() != 1 || bv.cols() != out_cols) {
     throw std::invalid_argument("LstmGatePreactOp: shape mismatch");
   }
-  Matrix y = MatMul(hv, wv);
+  Matrix y = tape.NewMatrixUninit(batch, out_cols);
+  MatMulInto(y, hv, wv);
   for (int r = 0; r < batch; ++r) {
     const int src = ids[static_cast<size_t>(r)];
     if (src < 0 || src >= xv.rows()) {
@@ -514,9 +674,10 @@ Tensor LstmGatePreactOp(Tape& tape, Tensor x_rows, std::span<const int> ids,
   TapeNode* wn = w.node();
   TapeNode* bn = bias.node();
   std::vector<int> ids_copy(ids.begin(), ids.end());
+  const bool fused = FusedOpsEnabled();
   return tape.NewNode(
       std::move(y), {xn, hn, wn, bn},
-      [xn, hn, wn, bn, ids = std::move(ids_copy)](TapeNode& self) {
+      [xn, hn, wn, bn, ids = std::move(ids_copy), fused](TapeNode& self) {
         const Matrix& g = self.grad;
         if (xn->requires_grad) {
           for (size_t r = 0; r < ids.size(); ++r) {
@@ -526,14 +687,80 @@ Tensor LstmGatePreactOp(Tape& tape, Tensor x_rows, std::span<const int> ids,
           }
         }
         if (hn->requires_grad) {
-          AccumulateInto(hn->grad, MatMulTransposeB(g, wn->value));
+          if (fused) {
+            MatMulTransposeBAccum(hn->grad, g, wn->value);
+          } else {
+            AccumulateInto(hn->grad, MatMulTransposeB(g, wn->value));
+          }
         }
         if (wn->requires_grad) {
-          AccumulateInto(wn->grad, MatMulTransposeA(hn->value, g));
+          if (fused) {
+            MatMulTransposeAAccum(wn->grad, hn->value, g);
+          } else {
+            AccumulateInto(wn->grad, MatMulTransposeA(hn->value, g));
+          }
         }
-        if (bn->requires_grad) AccumulateInto(bn->grad, ColSum(g));
+        if (bn->requires_grad) {
+          if (fused) {
+            for (int i = 0; i < g.rows(); ++i) {
+              for (int j = 0; j < g.cols(); ++j) {
+                bn->grad.at(0, j) += g.at(i, j);
+              }
+            }
+          } else {
+            AccumulateInto(bn->grad, ColSum(g));
+          }
+        }
       });
 }
+
+namespace {
+
+void LstmCellBackward(const Matrix& gates, const Matrix& tanh_c, int hidden,
+                      bool parallel_rows, TapeNode* pn, TapeNode* cn,
+                      TapeNode& self) {
+  const int batch = self.grad.rows();
+  // Rows write disjoint grad rows of preact/c — same partitioning as the
+  // forward pass.
+  const auto cell_rows_backward = [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* __restrict g =
+          gates.data() + static_cast<size_t>(r) * 4 * hidden;
+      const float* __restrict tc =
+          tanh_c.data() + static_cast<size_t>(r) * hidden;
+      const float* __restrict dout =
+          self.grad.data() + static_cast<size_t>(r) * 2 * hidden;
+      const float* __restrict cp =
+          cn->value.data() + static_cast<size_t>(r) * hidden;
+      for (int j = 0; j < hidden; ++j) {
+        const float i_g = g[j], f_g = g[hidden + j];
+        const float g_g = g[2 * hidden + j], o_g = g[3 * hidden + j];
+        const float t = tc[j];
+        const float dh = dout[j];
+        // dc combines the h path (through tanh) and the direct c output.
+        const float dc = dh * o_g * (1.0f - t * t) + dout[hidden + j];
+        if (pn->requires_grad) {
+          float* __restrict dp =
+              pn->grad.data() + static_cast<size_t>(r) * 4 * hidden;
+          dp[j] += dc * g_g * i_g * (1.0f - i_g);
+          dp[hidden + j] += dc * cp[j] * f_g * (1.0f - f_g);
+          dp[2 * hidden + j] += dc * i_g * (1.0f - g_g * g_g);
+          dp[3 * hidden + j] += dh * t * o_g * (1.0f - o_g);
+        }
+        if (cn->requires_grad) {
+          cn->grad.data()[static_cast<size_t>(r) * hidden + j] += dc * f_g;
+        }
+      }
+    }
+  };
+  if (parallel_rows) {
+    core::ParallelFor(0, batch, 8, cell_rows_backward);
+  } else {
+    cell_rows_backward(0, batch);
+  }
+}
+
+}  // namespace
 
 Tensor LstmCellOp(Tape& tape, Tensor preact, Tensor c_prev) {
   const Matrix& pv = preact.value();
@@ -543,11 +770,11 @@ Tensor LstmCellOp(Tape& tape, Tensor preact, Tensor c_prev) {
   if (pv.cols() != 4 * hidden || cv.rows() != batch) {
     throw std::invalid_argument("LstmCellOp: expects [B,4h] preact, [B,h] c");
   }
-  Matrix y(batch, 2 * hidden);
+  Matrix y = tape.NewMatrixUninit(batch, 2 * hidden);
   // Gate activations and tanh(c) — backward state, skipped for inference.
   const bool need_backward = tape.grad_enabled();
-  Matrix gates(need_backward ? batch : 0, 4 * hidden);
-  Matrix tanh_c(need_backward ? batch : 0, hidden);
+  Matrix gates = tape.NewMatrixUninit(need_backward ? batch : 0, 4 * hidden);
+  Matrix tanh_c = tape.NewMatrixUninit(need_backward ? batch : 0, hidden);
   // Activations over whole rows in contiguous per-gate segments (the [B,4h]
   // layout is [i|f|g|o]), so the transcendental loops vectorize. Rows are
   // independent — the lockstep batch partitions across the pool (each chunk
@@ -591,50 +818,23 @@ Tensor LstmCellOp(Tape& tape, Tensor preact, Tensor c_prev) {
   }
   TapeNode* pn = preact.node();
   TapeNode* cn = c_prev.node();
+  if (FusedOpsEnabled()) {
+    // Backward state lives on the tape (arena-recycled), not in the closure.
+    TapeNode* gates_node = tape.Leaf(std::move(gates)).node();
+    TapeNode* tanh_c_node = tape.Leaf(std::move(tanh_c)).node();
+    return tape.NewNode(std::move(y), {pn, cn},
+                        [pn, cn, gates_node, tanh_c_node, hidden,
+                         parallel_rows](TapeNode& self) {
+                          LstmCellBackward(gates_node->value,
+                                           tanh_c_node->value, hidden,
+                                           parallel_rows, pn, cn, self);
+                        });
+  }
   return tape.NewNode(
       std::move(y), {pn, cn},
       [pn, cn, gates = std::move(gates), tanh_c = std::move(tanh_c), hidden,
        parallel_rows](TapeNode& self) {
-        const int batch = self.grad.rows();
-        // Rows write disjoint grad rows of preact/c — same partitioning as
-        // the forward pass.
-        const auto cell_rows_backward = [&](std::int64_t r0, std::int64_t r1) {
-        for (std::int64_t r = r0; r < r1; ++r) {
-          const float* __restrict g =
-              gates.data() + static_cast<size_t>(r) * 4 * hidden;
-          const float* __restrict tc =
-              tanh_c.data() + static_cast<size_t>(r) * hidden;
-          const float* __restrict dout =
-              self.grad.data() + static_cast<size_t>(r) * 2 * hidden;
-          const float* __restrict cp =
-              cn->value.data() + static_cast<size_t>(r) * hidden;
-          for (int j = 0; j < hidden; ++j) {
-            const float i_g = g[j], f_g = g[hidden + j];
-            const float g_g = g[2 * hidden + j], o_g = g[3 * hidden + j];
-            const float t = tc[j];
-            const float dh = dout[j];
-            // dc combines the h path (through tanh) and the direct c output.
-            const float dc = dh * o_g * (1.0f - t * t) + dout[hidden + j];
-            if (pn->requires_grad) {
-              float* __restrict dp =
-                  pn->grad.data() + static_cast<size_t>(r) * 4 * hidden;
-              dp[j] += dc * g_g * i_g * (1.0f - i_g);
-              dp[hidden + j] += dc * cp[j] * f_g * (1.0f - f_g);
-              dp[2 * hidden + j] += dc * i_g * (1.0f - g_g * g_g);
-              dp[3 * hidden + j] += dh * t * o_g * (1.0f - o_g);
-            }
-            if (cn->requires_grad) {
-              cn->grad.data()[static_cast<size_t>(r) * hidden + j] +=
-                  dc * f_g;
-            }
-          }
-        }
-        };
-        if (parallel_rows) {
-          core::ParallelFor(0, batch, 8, cell_rows_backward);
-        } else {
-          cell_rows_backward(0, batch);
-        }
+        LstmCellBackward(gates, tanh_c, hidden, parallel_rows, pn, cn, self);
       });
 }
 
@@ -654,67 +854,101 @@ void CheckSegmentOffsets(const Matrix& x, std::span<const int> offsets,
   }
 }
 
+// Runs `body(b0, b1)` over segments [0, batch), sharded across the pool when
+// `parallel`. Every segment op writes disjoint output/grad row ranges per
+// segment, so the partitioning (which never depends on pool width) is
+// bit-exact at any thread count.
+template <typename Body>
+void ForEachSegment(int batch, bool parallel, const Body& body) {
+  if (parallel) {
+    core::ParallelFor(0, batch, 1, body);
+  } else {
+    body(0, batch);
+  }
+}
+
 }  // namespace
 
 Tensor SegmentSumOp(Tape& tape, Tensor x, std::span<const int> offsets) {
   const Matrix& xv = x.value();
   CheckSegmentOffsets(xv, offsets, "SegmentSumOp");
   const int batch = static_cast<int>(offsets.size()) - 1;
-  Matrix y(batch, xv.cols());
-  for (int b = 0; b < batch; ++b) {
-    for (int i = offsets[static_cast<size_t>(b)];
-         i < offsets[static_cast<size_t>(b) + 1]; ++i) {
-      for (int j = 0; j < xv.cols(); ++j) y.at(b, j) += xv.at(i, j);
+  Matrix y = tape.NewMatrix(batch, xv.cols());
+  const bool parallel =
+      batch > 1 && UseParallel(static_cast<std::int64_t>(xv.size()));
+  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      for (int i = offsets[static_cast<size_t>(b)];
+           i < offsets[static_cast<size_t>(b) + 1]; ++i) {
+        for (int j = 0; j < xv.cols(); ++j) {
+          y.at(static_cast<int>(b), j) += xv.at(i, j);
+        }
+      }
     }
-  }
+  });
   TapeNode* xn = x.node();
   std::vector<int> offs(offsets.begin(), offsets.end());
-  return tape.NewNode(std::move(y), {xn},
-                      [xn, offs = std::move(offs)](TapeNode& self) {
-                        for (int b = 0; b < self.grad.rows(); ++b) {
-                          for (int i = offs[static_cast<size_t>(b)];
-                               i < offs[static_cast<size_t>(b) + 1]; ++i) {
-                            for (int j = 0; j < self.grad.cols(); ++j) {
-                              xn->grad.at(i, j) += self.grad.at(b, j);
-                            }
-                          }
-                        }
-                      });
+  return tape.NewNode(
+      std::move(y), {xn},
+      [xn, offs = std::move(offs), parallel](TapeNode& self) {
+        ForEachSegment(
+            self.grad.rows(), parallel, [&](std::int64_t b0, std::int64_t b1) {
+              for (std::int64_t b = b0; b < b1; ++b) {
+                for (int i = offs[static_cast<size_t>(b)];
+                     i < offs[static_cast<size_t>(b) + 1]; ++i) {
+                  for (int j = 0; j < self.grad.cols(); ++j) {
+                    xn->grad.at(i, j) += self.grad.at(static_cast<int>(b), j);
+                  }
+                }
+              }
+            });
+      });
 }
 
 Tensor SegmentMeanOp(Tape& tape, Tensor x, std::span<const int> offsets) {
   const Matrix& xv = x.value();
   CheckSegmentOffsets(xv, offsets, "SegmentMeanOp");
   const int batch = static_cast<int>(offsets.size()) - 1;
-  Matrix y(batch, xv.cols());
+  Matrix y = tape.NewMatrix(batch, xv.cols());
   std::vector<float> inv(static_cast<size_t>(batch), 0.0f);
-  for (int b = 0; b < batch; ++b) {
-    const int len = offsets[static_cast<size_t>(b) + 1] -
-                    offsets[static_cast<size_t>(b)];
-    if (len == 0) continue;
-    inv[static_cast<size_t>(b)] = 1.0f / static_cast<float>(len);
-    for (int i = offsets[static_cast<size_t>(b)];
-         i < offsets[static_cast<size_t>(b) + 1]; ++i) {
-      for (int j = 0; j < xv.cols(); ++j) y.at(b, j) += xv.at(i, j);
+  const bool parallel =
+      batch > 1 && UseParallel(static_cast<std::int64_t>(xv.size()));
+  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const int len = offsets[static_cast<size_t>(b) + 1] -
+                      offsets[static_cast<size_t>(b)];
+      if (len == 0) continue;
+      inv[static_cast<size_t>(b)] = 1.0f / static_cast<float>(len);
+      for (int i = offsets[static_cast<size_t>(b)];
+           i < offsets[static_cast<size_t>(b) + 1]; ++i) {
+        for (int j = 0; j < xv.cols(); ++j) {
+          y.at(static_cast<int>(b), j) += xv.at(i, j);
+        }
+      }
+      for (int j = 0; j < xv.cols(); ++j) {
+        y.at(static_cast<int>(b), j) *= inv[static_cast<size_t>(b)];
+      }
     }
-    for (int j = 0; j < xv.cols(); ++j) {
-      y.at(b, j) *= inv[static_cast<size_t>(b)];
-    }
-  }
+  });
   TapeNode* xn = x.node();
   std::vector<int> offs(offsets.begin(), offsets.end());
   return tape.NewNode(
       std::move(y), {xn},
-      [xn, offs = std::move(offs), inv = std::move(inv)](TapeNode& self) {
-        for (int b = 0; b < self.grad.rows(); ++b) {
-          const float w = inv[static_cast<size_t>(b)];
-          for (int i = offs[static_cast<size_t>(b)];
-               i < offs[static_cast<size_t>(b) + 1]; ++i) {
-            for (int j = 0; j < self.grad.cols(); ++j) {
-              xn->grad.at(i, j) += self.grad.at(b, j) * w;
-            }
-          }
-        }
+      [xn, offs = std::move(offs), inv = std::move(inv),
+       parallel](TapeNode& self) {
+        ForEachSegment(
+            self.grad.rows(), parallel, [&](std::int64_t b0, std::int64_t b1) {
+              for (std::int64_t b = b0; b < b1; ++b) {
+                const float w = inv[static_cast<size_t>(b)];
+                for (int i = offs[static_cast<size_t>(b)];
+                     i < offs[static_cast<size_t>(b) + 1]; ++i) {
+                  for (int j = 0; j < self.grad.cols(); ++j) {
+                    xn->grad.at(i, j) +=
+                        self.grad.at(static_cast<int>(b), j) * w;
+                  }
+                }
+              }
+            });
       });
 }
 
@@ -722,37 +956,46 @@ Tensor SegmentMaxOp(Tape& tape, Tensor x, std::span<const int> offsets) {
   const Matrix& xv = x.value();
   CheckSegmentOffsets(xv, offsets, "SegmentMaxOp");
   const int batch = static_cast<int>(offsets.size()) - 1;
-  Matrix y(batch, xv.cols());
+  Matrix y = tape.NewMatrix(batch, xv.cols());
   // argmax[b * cols + j] = row index of the max within segment b, column j.
   std::vector<int> argmax(static_cast<size_t>(batch) * xv.cols(), -1);
-  for (int b = 0; b < batch; ++b) {
-    const int begin = offsets[static_cast<size_t>(b)];
-    const int end = offsets[static_cast<size_t>(b) + 1];
-    for (int j = 0; j < xv.cols(); ++j) {
-      float best = begin < end ? xv.at(begin, j) : 0.0f;
-      int best_row = begin < end ? begin : -1;
-      for (int i = begin + 1; i < end; ++i) {
-        if (xv.at(i, j) > best) {
-          best = xv.at(i, j);
-          best_row = i;
+  const bool parallel =
+      batch > 1 && UseParallel(static_cast<std::int64_t>(xv.size()));
+  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const int begin = offsets[static_cast<size_t>(b)];
+      const int end = offsets[static_cast<size_t>(b) + 1];
+      for (int j = 0; j < xv.cols(); ++j) {
+        float best = begin < end ? xv.at(begin, j) : 0.0f;
+        int best_row = begin < end ? begin : -1;
+        for (int i = begin + 1; i < end; ++i) {
+          if (xv.at(i, j) > best) {
+            best = xv.at(i, j);
+            best_row = i;
+          }
         }
+        y.at(static_cast<int>(b), j) = best;
+        argmax[static_cast<size_t>(b) * xv.cols() + j] = best_row;
       }
-      y.at(b, j) = best;
-      argmax[static_cast<size_t>(b) * xv.cols() + j] = best_row;
     }
-  }
+  });
   TapeNode* xn = x.node();
-  return tape.NewNode(std::move(y), {xn},
-                      [xn, argmax = std::move(argmax)](TapeNode& self) {
-                        const int cols = self.grad.cols();
-                        for (int b = 0; b < self.grad.rows(); ++b) {
-                          for (int j = 0; j < cols; ++j) {
-                            const int r =
-                                argmax[static_cast<size_t>(b) * cols + j];
-                            if (r >= 0) xn->grad.at(r, j) += self.grad.at(b, j);
-                          }
-                        }
-                      });
+  return tape.NewNode(
+      std::move(y), {xn},
+      [xn, argmax = std::move(argmax), parallel](TapeNode& self) {
+        const int cols = self.grad.cols();
+        ForEachSegment(
+            self.grad.rows(), parallel, [&](std::int64_t b0, std::int64_t b1) {
+              for (std::int64_t b = b0; b < b1; ++b) {
+                for (int j = 0; j < cols; ++j) {
+                  const int r = argmax[static_cast<size_t>(b) * cols + j];
+                  if (r >= 0) {
+                    xn->grad.at(r, j) += self.grad.at(static_cast<int>(b), j);
+                  }
+                }
+              }
+            });
+      });
 }
 
 Tensor BlockDiagMatMulConstA(Tape& tape,
@@ -764,7 +1007,7 @@ Tensor BlockDiagMatMulConstA(Tape& tape,
     throw std::invalid_argument("BlockDiagMatMulConstA: blocks/offsets size");
   }
   const int batch = static_cast<int>(blocks.size());
-  Matrix y(xv.rows(), xv.cols());
+  Matrix y = tape.NewMatrix(xv.rows(), xv.cols());  // accumulated: keep zeroed
   std::int64_t block_flops = 0;
   for (int b = 0; b < batch; ++b) {
     const Matrix& a = *blocks[static_cast<size_t>(b)];
@@ -796,11 +1039,7 @@ Tensor BlockDiagMatMulConstA(Tape& tape,
     }
   };
   const bool parallel = batch > 1 && UseParallel(block_flops);
-  if (parallel) {
-    core::ParallelFor(0, batch, 1, forward_blocks);
-  } else {
-    forward_blocks(0, batch);
-  }
+  ForEachSegment(batch, parallel, forward_blocks);
   TapeNode* xn = x.node();
   std::vector<const Matrix*> blocks_copy(blocks.begin(), blocks.end());
   std::vector<int> offs(offsets.begin(), offsets.end());
@@ -825,12 +1064,370 @@ Tensor BlockDiagMatMulConstA(Tape& tape,
             }
           }
         };
-        const auto batch = static_cast<std::int64_t>(blocks.size());
-        if (parallel) {
-          core::ParallelFor(0, batch, 1, backward_blocks);
-        } else {
-          backward_blocks(0, batch);
+        ForEachSegment(static_cast<int>(blocks.size()), parallel,
+                       backward_blocks);
+      });
+}
+
+// ---- Fused block-diagonal attention ----------------------------------------
+
+namespace {
+
+// Flat storage offsets for the per-segment [len_b, len_b] attention
+// matrices: segment b's probabilities occupy [sq[b], sq[b+1]) row-major.
+std::vector<std::int64_t> SquaredOffsets(std::span<const int> offsets) {
+  std::vector<std::int64_t> sq(offsets.size(), 0);
+  for (size_t b = 0; b + 1 < offsets.size(); ++b) {
+    const std::int64_t len = offsets[b + 1] - offsets[b];
+    sq[b + 1] = sq[b] + len * len;
+  }
+  // The saved probabilities pack into one Matrix row, so the sum of
+  // squared segment lengths must stay indexable by int.
+  if (sq.back() > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument(
+        "block-diagonal attention: sum of squared segment lengths exceeds "
+        "INT_MAX; split the batch");
+  }
+  return sq;
+}
+
+int MaxSegmentLength(std::span<const int> offsets) {
+  int max_len = 0;
+  for (size_t b = 0; b + 1 < offsets.size(); ++b) {
+    max_len = std::max(max_len, offsets[b + 1] - offsets[b]);
+  }
+  return max_len;
+}
+
+}  // namespace
+
+Tensor BlockDiagSelfAttentionOp(Tape& tape, Tensor q, Tensor k, Tensor v,
+                                std::span<const int> offsets, float scale) {
+  const Matrix& qv = q.value();
+  const Matrix& kv = k.value();
+  const Matrix& vv = v.value();
+  CheckSegmentOffsets(qv, offsets, "BlockDiagSelfAttentionOp");
+  if (!kv.same_shape(qv) || vv.rows() != qv.rows()) {
+    throw std::invalid_argument("BlockDiagSelfAttentionOp: shape mismatch");
+  }
+  const int batch = static_cast<int>(offsets.size()) - 1;
+  const int dim = qv.cols();
+  const int vdim = vv.cols();
+  const std::vector<std::int64_t> sq = SquaredOffsets(offsets);
+  const int max_len = MaxSegmentLength(offsets);
+  const bool save = tape.grad_enabled();
+  // The attention probabilities, saved for the backward on the tape itself
+  // (arena-recycled) rather than in a closure capture.
+  Matrix probs = save ? tape.NewMatrixUninit(1, static_cast<int>(sq.back()))
+                      : Matrix();
+  Matrix y = tape.NewMatrix(qv.rows(), vdim);
+  const bool parallel =
+      batch > 1 && UseParallel(sq.back() * (2ll * dim + vdim));
+  // Per segment and row: logits, softmax, then the value reduction — the
+  // same float sequence as MatMul/Scale/SoftmaxRows/MatMul per segment, so
+  // outputs are row-for-row identical to the unfused op chain. Segments
+  // write disjoint output rows (bit-exact sharding at any pool width).
+  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<float> srow(static_cast<size_t>(max_len));
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const int begin = offsets[static_cast<size_t>(b)];
+      const int len = offsets[static_cast<size_t>(b) + 1] - begin;
+      float* __restrict p_seg =
+          save ? probs.data() + sq[static_cast<size_t>(b)] : nullptr;
+      for (int i = 0; i < len; ++i) {
+        const float* __restrict qi =
+            qv.data() + static_cast<size_t>(begin + i) * dim;
+        // Scaled dot-product logits (ascending-p dots, as MatMul computes).
+        for (int j = 0; j < len; ++j) {
+          const float* __restrict kj =
+              kv.data() + static_cast<size_t>(begin + j) * dim;
+          float acc = 0.0f;
+          for (int p = 0; p < dim; ++p) acc += qi[p] * kj[p];
+          srow[static_cast<size_t>(j)] = acc * scale;
         }
+        // Row softmax, exactly as SoftmaxRowsOp.
+        float max_v = -std::numeric_limits<float>::infinity();
+        for (int j = 0; j < len; ++j) {
+          max_v = std::max(max_v, srow[static_cast<size_t>(j)]);
+        }
+        double denom = 0;
+        for (int j = 0; j < len; ++j) {
+          const float e = std::exp(srow[static_cast<size_t>(j)] - max_v);
+          srow[static_cast<size_t>(j)] = e;
+          denom += e;
+        }
+        if (denom > 0) {
+          const float inv = 1.0f / static_cast<float>(denom);
+          for (int j = 0; j < len; ++j) srow[static_cast<size_t>(j)] *= inv;
+        }
+        if (save) {
+          std::copy(srow.begin(), srow.begin() + len,
+                    p_seg + static_cast<std::int64_t>(i) * len);
+        }
+        // y_i = sum_j P_ij v_j (ascending j, as the MatMul row kernel).
+        float* __restrict yi =
+            y.data() + static_cast<size_t>(begin + i) * vdim;
+        for (int j = 0; j < len; ++j) {
+          const float pij = srow[static_cast<size_t>(j)];
+          if (pij == 0.0f) continue;
+          const float* __restrict vj =
+              vv.data() + static_cast<size_t>(begin + j) * vdim;
+          for (int c = 0; c < vdim; ++c) yi[c] += pij * vj[c];
+        }
+      }
+    }
+  });
+  TapeNode* qn = q.node();
+  TapeNode* kn = k.node();
+  TapeNode* vn = v.node();
+  if (!save) return tape.NewNode(std::move(y), {qn, kn, vn}, nullptr);
+  TapeNode* probs_node = tape.Leaf(std::move(probs)).node();
+  std::vector<int> offs(offsets.begin(), offsets.end());
+  return tape.NewNode(
+      std::move(y), {qn, kn, vn},
+      [qn, kn, vn, probs_node, offs = std::move(offs), sq, max_len, scale,
+       parallel, dim, vdim](TapeNode& self) {
+        // Per segment: dP = G v^T, softmax backward, then dq/dk/dv — all
+        // row-streamed, so nothing is materialized beyond two len-sized
+        // scratch rows per chunk. Segments touch disjoint grad rows of
+        // every operand, so the sharding is bit-exact at any pool width.
+        ForEachSegment(
+            static_cast<int>(offs.size()) - 1, parallel,
+            [&](std::int64_t b0, std::int64_t b1) {
+              std::vector<float> dp(static_cast<size_t>(max_len));
+              std::vector<float> ds(static_cast<size_t>(max_len));
+              for (std::int64_t b = b0; b < b1; ++b) {
+                const int begin = offs[static_cast<size_t>(b)];
+                const int len = offs[static_cast<size_t>(b) + 1] - begin;
+                const float* __restrict p_seg =
+                    probs_node->value.data() + sq[static_cast<size_t>(b)];
+                for (int i = 0; i < len; ++i) {
+                  const float* __restrict gi =
+                      self.grad.data() + static_cast<size_t>(begin + i) * vdim;
+                  const float* __restrict pi =
+                      p_seg + static_cast<std::int64_t>(i) * len;
+                  // dP_i[j] = G_i . v_j
+                  for (int j = 0; j < len; ++j) {
+                    const float* __restrict vj =
+                        vn->value.data() +
+                        static_cast<size_t>(begin + j) * vdim;
+                    float acc = 0.0f;
+                    for (int c = 0; c < vdim; ++c) acc += gi[c] * vj[c];
+                    dp[static_cast<size_t>(j)] = acc;
+                  }
+                  // Softmax backward (same double-precision row dot as
+                  // SoftmaxRowsOp's closure).
+                  double dot = 0;
+                  for (int j = 0; j < len; ++j) {
+                    dot += static_cast<double>(dp[static_cast<size_t>(j)]) *
+                           pi[j];
+                  }
+                  for (int j = 0; j < len; ++j) {
+                    ds[static_cast<size_t>(j)] =
+                        pi[j] * (dp[static_cast<size_t>(j)] -
+                                 static_cast<float>(dot));
+                  }
+                  if (qn->requires_grad) {
+                    float* __restrict dqi =
+                        qn->grad.data() + static_cast<size_t>(begin + i) * dim;
+                    for (int j = 0; j < len; ++j) {
+                      const float w = scale * ds[static_cast<size_t>(j)];
+                      if (w == 0.0f) continue;
+                      const float* __restrict kj =
+                          kn->value.data() +
+                          static_cast<size_t>(begin + j) * dim;
+                      for (int c = 0; c < dim; ++c) dqi[c] += w * kj[c];
+                    }
+                  }
+                  if (kn->requires_grad) {
+                    const float* __restrict qi =
+                        qn->value.data() + static_cast<size_t>(begin + i) * dim;
+                    for (int j = 0; j < len; ++j) {
+                      const float w = scale * ds[static_cast<size_t>(j)];
+                      if (w == 0.0f) continue;
+                      float* __restrict dkj =
+                          kn->grad.data() +
+                          static_cast<size_t>(begin + j) * dim;
+                      for (int c = 0; c < dim; ++c) dkj[c] += w * qi[c];
+                    }
+                  }
+                  if (vn->requires_grad) {
+                    for (int j = 0; j < len; ++j) {
+                      const float pij = pi[j];
+                      if (pij == 0.0f) continue;
+                      float* __restrict dvj =
+                          vn->grad.data() +
+                          static_cast<size_t>(begin + j) * vdim;
+                      for (int c = 0; c < vdim; ++c) dvj[c] += pij * gi[c];
+                    }
+                  }
+                }
+              }
+            });
+      });
+}
+
+Tensor BlockDiagGatAttentionOp(Tape& tape, Tensor s, Tensor d, Tensor wh,
+                               std::span<const Matrix* const> masks,
+                               std::span<const int> offsets, float alpha) {
+  const Matrix& sv = s.value();
+  const Matrix& dv = d.value();
+  const Matrix& whv = wh.value();
+  CheckSegmentOffsets(whv, offsets, "BlockDiagGatAttentionOp");
+  if (masks.size() + 1 != offsets.size()) {
+    throw std::invalid_argument("BlockDiagGatAttentionOp: masks/offsets size");
+  }
+  if (sv.cols() != 1 || dv.cols() != 1 || sv.rows() != whv.rows() ||
+      dv.rows() != whv.rows()) {
+    throw std::invalid_argument(
+        "BlockDiagGatAttentionOp: s/d must be [N, 1] logit columns");
+  }
+  const int batch = static_cast<int>(masks.size());
+  const int dim = whv.cols();
+  for (int b = 0; b < batch; ++b) {
+    const int len = offsets[static_cast<size_t>(b) + 1] -
+                    offsets[static_cast<size_t>(b)];
+    const Matrix& m = *masks[static_cast<size_t>(b)];
+    if (m.rows() != len || m.cols() != len) {
+      throw std::invalid_argument("BlockDiagGatAttentionOp: mask shape");
+    }
+  }
+  const std::vector<std::int64_t> sq = SquaredOffsets(offsets);
+  const int max_len = MaxSegmentLength(offsets);
+  const bool save = tape.grad_enabled();
+  Matrix probs = save ? tape.NewMatrixUninit(1, static_cast<int>(sq.back()))
+                      : Matrix();
+  Matrix y = tape.NewMatrix(whv.rows(), dim);
+  const bool parallel = batch > 1 && UseParallel(sq.back() * (dim + 8ll));
+  // Per segment and row: masked LeakyReLU(s_i + d_j) logits, masked softmax
+  // (the exact float sequence of OuterSum/LeakyRelu/MaskedSoftmaxRows), then
+  // the attention-weighted neighbor sum. Disjoint rows per segment.
+  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<float> lrow(static_cast<size_t>(max_len));
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const int begin = offsets[static_cast<size_t>(b)];
+      const int len = offsets[static_cast<size_t>(b) + 1] - begin;
+      const Matrix& mask = *masks[static_cast<size_t>(b)];
+      float* __restrict p_seg =
+          save ? probs.data() + sq[static_cast<size_t>(b)] : nullptr;
+      for (int i = 0; i < len; ++i) {
+        const float si = sv.at(begin + i, 0);
+        float max_v = -std::numeric_limits<float>::infinity();
+        for (int j = 0; j < len; ++j) {
+          if (mask.at(i, j) == 0.0f) continue;
+          const float z = si + dv.at(begin + j, 0);
+          const float l = z > 0 ? z : alpha * z;
+          lrow[static_cast<size_t>(j)] = l;
+          max_v = std::max(max_v, l);
+        }
+        double denom = 0;
+        for (int j = 0; j < len; ++j) {
+          if (mask.at(i, j) == 0.0f) {
+            lrow[static_cast<size_t>(j)] = 0.0f;
+            continue;
+          }
+          const float e = std::exp(lrow[static_cast<size_t>(j)] - max_v);
+          lrow[static_cast<size_t>(j)] = e;
+          denom += e;
+        }
+        if (denom > 0) {
+          const float inv = 1.0f / static_cast<float>(denom);
+          for (int j = 0; j < len; ++j) lrow[static_cast<size_t>(j)] *= inv;
+        }
+        if (save) {
+          std::copy(lrow.begin(), lrow.begin() + len,
+                    p_seg + static_cast<std::int64_t>(i) * len);
+        }
+        // y_i = sum_j P_ij wh_j — zero-skip, as the masked MatMul would.
+        float* __restrict yi = y.data() + static_cast<size_t>(begin + i) * dim;
+        for (int j = 0; j < len; ++j) {
+          const float pij = lrow[static_cast<size_t>(j)];
+          if (pij == 0.0f) continue;
+          const float* __restrict whj =
+              whv.data() + static_cast<size_t>(begin + j) * dim;
+          for (int c = 0; c < dim; ++c) yi[c] += pij * whj[c];
+        }
+      }
+    }
+  });
+  TapeNode* sn = s.node();
+  TapeNode* dn = d.node();
+  TapeNode* whn = wh.node();
+  if (!save) return tape.NewNode(std::move(y), {sn, dn, whn}, nullptr);
+  TapeNode* probs_node = tape.Leaf(std::move(probs)).node();
+  std::vector<int> offs(offsets.begin(), offsets.end());
+  return tape.NewNode(
+      std::move(y), {sn, dn, whn},
+      [sn, dn, whn, probs_node, offs = std::move(offs), sq, max_len, alpha,
+       parallel, dim](TapeNode& self) {
+        // Per row: dP = G wh^T, masked softmax backward, LeakyReLU backward
+        // (the pre-activation sign is recomputed from the s/d parent values
+        // — nothing else is saved), then the OuterSum row/column sums.
+        // Segments touch disjoint grad rows of s, d, and wh.
+        ForEachSegment(
+            static_cast<int>(offs.size()) - 1, parallel,
+            [&](std::int64_t b0, std::int64_t b1) {
+              std::vector<float> dp(static_cast<size_t>(max_len));
+              std::vector<float> dz(static_cast<size_t>(max_len));
+              for (std::int64_t b = b0; b < b1; ++b) {
+                const int begin = offs[static_cast<size_t>(b)];
+                const int len = offs[static_cast<size_t>(b) + 1] - begin;
+                const float* __restrict p_seg =
+                    probs_node->value.data() + sq[static_cast<size_t>(b)];
+                for (int i = 0; i < len; ++i) {
+                  const float* __restrict gi =
+                      self.grad.data() + static_cast<size_t>(begin + i) * dim;
+                  const float* __restrict pi =
+                      p_seg + static_cast<std::int64_t>(i) * len;
+                  // dP_i[j] = G_i . wh_j (only where P is non-zero; zero
+                  // probabilities contribute nothing downstream).
+                  for (int j = 0; j < len; ++j) {
+                    if (pi[j] == 0.0f) {
+                      dp[static_cast<size_t>(j)] = 0.0f;
+                      continue;
+                    }
+                    const float* __restrict whj =
+                        whn->value.data() +
+                        static_cast<size_t>(begin + j) * dim;
+                    float acc = 0.0f;
+                    for (int c = 0; c < dim; ++c) acc += gi[c] * whj[c];
+                    dp[static_cast<size_t>(j)] = acc;
+                  }
+                  double dot = 0;
+                  for (int j = 0; j < len; ++j) {
+                    dot += static_cast<double>(dp[static_cast<size_t>(j)]) *
+                           pi[j];
+                  }
+                  const float si = sn->value.at(begin + i, 0);
+                  float dsi = 0.0f;
+                  for (int j = 0; j < len; ++j) {
+                    const float dl =
+                        pi[j] * (dp[static_cast<size_t>(j)] -
+                                 static_cast<float>(dot));
+                    const float z = si + dn->value.at(begin + j, 0);
+                    const float g = dl * (z > 0 ? 1.0f : alpha);
+                    dz[static_cast<size_t>(j)] = g;
+                    dsi += g;
+                  }
+                  if (sn->requires_grad) sn->grad.at(begin + i, 0) += dsi;
+                  if (dn->requires_grad) {
+                    for (int j = 0; j < len; ++j) {
+                      dn->grad.at(begin + j, 0) += dz[static_cast<size_t>(j)];
+                    }
+                  }
+                  if (whn->requires_grad) {
+                    for (int j = 0; j < len; ++j) {
+                      const float pij = pi[j];
+                      if (pij == 0.0f) continue;
+                      float* __restrict dwhj =
+                          whn->grad.data() +
+                          static_cast<size_t>(begin + j) * dim;
+                      for (int c = 0; c < dim; ++c) dwhj[c] += pij * gi[c];
+                    }
+                  }
+                }
+              }
+            });
       });
 }
 
@@ -893,7 +1490,7 @@ Tensor MeanAllOp(Tape& tape, Tensor x) {
 
 Tensor GatherRowsOp(Tape& tape, Tensor table, std::span<const int> ids) {
   const Matrix& tv = table.value();
-  Matrix y(static_cast<int>(ids.size()), tv.cols());
+  Matrix y = tape.NewMatrixUninit(static_cast<int>(ids.size()), tv.cols());
   for (size_t i = 0; i < ids.size(); ++i) {
     const int r = ids[i];
     if (r < 0 || r >= tv.rows()) {
@@ -921,7 +1518,7 @@ Tensor OuterSumOp(Tape& tape, Tensor a, Tensor b) {
   if (av.cols() != 1 || bv.cols() != 1) {
     throw std::invalid_argument("OuterSumOp: expects column vectors");
   }
-  Matrix y(av.rows(), bv.rows());
+  Matrix y = tape.NewMatrixUninit(av.rows(), bv.rows());
   for (int i = 0; i < av.rows(); ++i) {
     for (int j = 0; j < bv.rows(); ++j) {
       y.at(i, j) = av.at(i, 0) + bv.at(j, 0);

@@ -13,6 +13,18 @@
 
 namespace tpuperf::nn {
 
+// Runtime toggle between the fused training hot paths (default) and the
+// seed per-op implementations. Fused mode: block-diagonal attention ops
+// replace the per-segment GAT/Transformer loops, backward closures write
+// gradients through the accumulate GEMM kernels without materializing
+// per-op temporaries, and elementwise backwards read their operands from
+// the tape nodes instead of captured copies. Seed mode reproduces the
+// pre-fusion op sequence — kept as the reference for gradient-parity tests
+// and as the benchmark baseline. The same arithmetic is performed either
+// way; parameter gradients agree to float reassociation (~1e-7 relative).
+bool FusedOpsEnabled() noexcept;
+void SetFusedOps(bool enabled) noexcept;
+
 // y = a @ b.
 Tensor MatMulOp(Tape& tape, Tensor a, Tensor b);
 // y = A @ x where A is a constant (e.g. a normalized adjacency matrix).
@@ -96,6 +108,35 @@ Tensor SegmentMaxOp(Tape& tape, Tensor x, std::span<const int> offsets);
 Tensor BlockDiagMatMulConstA(Tape& tape,
                              std::span<const Matrix* const> blocks,
                              std::span<const int> offsets, Tensor x);
+
+// ---- Fused block-diagonal masked attention ---------------------------------
+// Both ops pack every attention segment of a batch into ONE differentiable
+// tape node: the forward shards segments across core::ThreadPool, and —
+// unlike the per-segment op loops they replace — so does the fused backward
+// closure (each segment touches a disjoint row range of every operand's
+// grad, so the partitioning is bit-identical at any pool width). Attention
+// probabilities are saved on the tape itself (an arena-recycled stash leaf),
+// not in closure captures.
+
+// Scaled-dot-product self-attention per segment (the Transformer reduction):
+//   y[seg b] = Softmax(scale * q_b @ k_b^T) @ v_b
+// q, k are [N, d]; v is [N, dv]; segments follow `offsets` (B+1 entries).
+// Performs the same float sequence as MatMul/Softmax/MatMul per segment
+// (outputs agree to FP-contraction differences, ~1 ulp).
+Tensor BlockDiagSelfAttentionOp(Tape& tape, Tensor q, Tensor k, Tensor v,
+                                std::span<const int> offsets, float scale);
+
+// Additive (GAT) attention per segment with a LeakyReLU logit and an edge
+// mask:
+//   y[seg b] = MaskedSoftmax(LeakyReLU(s_b (+) d_b^T, alpha), masks[b]) @ wh_b
+// s, d are [N, 1] logit halves (a_src . Wh, a_dst . Wh); wh is [N, d];
+// masks[b] is the [len_b, len_b] 0/1 edge mask of segment b and must outlive
+// the tape (like BlockDiagMatMulConstA's blocks). Performs the same float
+// sequence as OuterSum/LeakyRelu/MaskedSoftmax/MatMul per segment (outputs
+// agree to FP-contraction differences, ~1 ulp).
+Tensor BlockDiagGatAttentionOp(Tape& tape, Tensor s, Tensor d, Tensor wh,
+                               std::span<const Matrix* const> masks,
+                               std::span<const int> offsets, float alpha);
 
 // Whole-matrix reductions to [1, 1].
 Tensor SumAllOp(Tape& tape, Tensor x);

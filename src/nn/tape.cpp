@@ -1,44 +1,125 @@
 #include "nn/tape.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace tpuperf::nn {
 
+Matrix TapeArena::Acquire(int rows, int cols) {
+  const std::size_t need =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  if (need == 0) return Matrix(rows, cols);
+  ++requests_;
+  // Best fit: the smallest pooled buffer whose capacity covers the request.
+  const auto it = pool_.lower_bound(need);
+  if (it != pool_.end()) {
+    std::vector<float> storage = std::move(it->second);
+    pool_.erase(it);
+    return Matrix(rows, cols, std::move(storage));
+  }
+  ++heap_allocations_;
+  return Matrix(rows, cols);
+}
+
+Matrix TapeArena::AcquireUninit(int rows, int cols) {
+  const std::size_t need =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  if (need == 0) return Matrix(rows, cols);
+  ++requests_;
+  const auto it = pool_.lower_bound(need);
+  if (it != pool_.end()) {
+    std::vector<float> storage = std::move(it->second);
+    pool_.erase(it);
+    return Matrix(rows, cols, std::move(storage), Matrix::Uninit{});
+  }
+  ++heap_allocations_;
+  return Matrix(rows, cols);
+}
+
+void TapeArena::Recycle(Matrix&& m) {
+  std::vector<float> storage = m.TakeStorage();
+  if (storage.capacity() == 0) return;
+  pool_.emplace(storage.capacity(), std::move(storage));
+}
+
+TapeNode& Tape::AllocNode() {
+  if (next_ < nodes_.size()) {
+    // Reuse a shell left by Clear(): its matrices were already recycled and
+    // its closure dropped; parents keeps its capacity.
+    TapeNode& node = nodes_[next_++];
+    node.requires_grad = false;
+    return node;
+  }
+  nodes_.emplace_back();
+  ++next_;
+  return nodes_.back();
+}
+
+void Tape::Clear() {
+  for (std::size_t i = 0; i < next_; ++i) {
+    TapeNode& node = nodes_[i];
+    if (arena_ != nullptr) {
+      arena_->Recycle(std::move(node.value));
+      arena_->Recycle(std::move(node.grad));
+    } else {
+      node.value = Matrix();
+      node.grad = Matrix();
+    }
+    node.parents.clear();     // keeps capacity for the next step
+    node.backward = nullptr;  // frees captured state promptly
+    node.requires_grad = false;
+  }
+  next_ = 0;
+}
+
 Tensor Tape::Leaf(Matrix value, bool requires_grad) {
-  TapeNode node;
+  TapeNode& node = AllocNode();
   node.value = std::move(value);
   node.requires_grad = requires_grad && grad_enabled_;
-  nodes_.push_back(std::move(node));
-  return Tensor(&nodes_.back());
+  return Tensor(&node);
 }
 
 Tensor Tape::ParamLeaf(Parameter& param) {
-  TapeNode node;
-  node.value = param.value;  // snapshot; parameters are small
+  TapeNode& node = AllocNode();
+  // Snapshot through the arena so the copy's buffer recycles across steps.
+  Matrix snapshot = NewMatrixUninit(param.value.rows(), param.value.cols());
+  std::copy(param.value.flat().begin(), param.value.flat().end(),
+            snapshot.data());
+  node.value = std::move(snapshot);
   node.requires_grad = grad_enabled_;
   if (grad_enabled_) {
     Parameter* p = &param;
     node.backward = [p](TapeNode& self) { AccumulateInto(p->grad, self.grad); };
   }
-  nodes_.push_back(std::move(node));
-  return Tensor(&nodes_.back());
+  return Tensor(&node);
 }
 
-Tensor Tape::NewNode(Matrix value, std::vector<TapeNode*> parents,
+Tensor Tape::NewNode(Matrix value, std::span<TapeNode* const> parents,
                      std::function<void(TapeNode&)> backward) {
-  TapeNode node;
+  TapeNode& node = AllocNode();
   node.value = std::move(value);
-  bool any_grad = false;
-  for (const TapeNode* p : parents) {
-    if (p != nullptr && p->requires_grad) any_grad = true;
+  if (grad_enabled_) {
+    bool any_grad = false;
+    for (const TapeNode* p : parents) {
+      if (p != nullptr && p->requires_grad) any_grad = true;
+    }
+    if (any_grad) {
+      node.requires_grad = true;
+      node.parents.assign(parents.begin(), parents.end());
+      node.backward = std::move(backward);
+    }
   }
-  node.requires_grad = any_grad && grad_enabled_;
-  if (node.requires_grad) {
-    node.parents = std::move(parents);
-    node.backward = std::move(backward);
-  }
-  nodes_.push_back(std::move(node));
-  return Tensor(&nodes_.back());
+  // Inference tapes (and dead subgraphs) skip the parent-list copy and the
+  // closure entirely.
+  return Tensor(&node);
+}
+
+Tensor Tape::NewNode(Matrix value, std::initializer_list<TapeNode*> parents,
+                     std::function<void(TapeNode&)> backward) {
+  return NewNode(std::move(value),
+                 std::span<TapeNode* const>(parents.begin(), parents.size()),
+                 std::move(backward));
 }
 
 void Tape::Backward(Tensor loss) {
@@ -48,16 +129,26 @@ void Tape::Backward(Tensor loss) {
   if (!loss.defined() || loss.rows() != 1 || loss.cols() != 1) {
     throw std::invalid_argument("Backward() expects a defined 1x1 loss");
   }
+  // Arena-aware EnsureGrad: recycled buffers arrive zero-filled, matching
+  // the lazily-allocated-grad semantics exactly.
+  const auto ensure_grad = [this](TapeNode& node) {
+    if (node.grad.rows() != node.value.rows() ||
+        node.grad.cols() != node.value.cols()) {
+      Matrix stale = std::move(node.grad);
+      node.grad = NewMatrix(node.value.rows(), node.value.cols());
+      if (arena_ != nullptr) arena_->Recycle(std::move(stale));
+    }
+  };
   TapeNode* loss_node = loss.node();
-  loss_node->EnsureGrad();
+  ensure_grad(*loss_node);
   loss_node->grad.at(0, 0) = 1.0f;
 
-  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
-    TapeNode& node = *it;
+  for (std::size_t i = next_; i-- > 0;) {
+    TapeNode& node = nodes_[i];
     if (!node.requires_grad || !node.backward) continue;
     if (node.grad.empty()) continue;  // no gradient reached this node
     for (TapeNode* parent : node.parents) {
-      if (parent != nullptr && parent->requires_grad) parent->EnsureGrad();
+      if (parent != nullptr && parent->requires_grad) ensure_grad(*parent);
     }
     node.backward(node);
   }

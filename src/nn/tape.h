@@ -6,13 +6,21 @@
 // accumulates gradients. Parameters enter a tape through ParamLeaf, which
 // routes their gradient into the Parameter's persistent grad buffer.
 //
-// The tape is cleared/destroyed after each optimization step; creating one
-// with grad_enabled=false gives a cheap inference mode that records no
-// backward closures.
+// The tape is cleared after each optimization step; creating one with
+// grad_enabled=false gives a cheap inference mode that records no backward
+// closures (and no parent lists). Attaching a TapeArena makes Clear()
+// recycle every node's value/grad heap buffer instead of freeing it, so a
+// long-lived tape reused across minibatches reaches a steady state with
+// (near) zero per-step heap allocations; the node shells themselves
+// (including their parent-vector capacity) are reused in place as well.
 #pragma once
 
+#include <cstddef>
 #include <deque>
 #include <functional>
+#include <initializer_list>
+#include <map>
+#include <span>
 #include <vector>
 
 #include "nn/matrix.h"
@@ -22,21 +30,55 @@ namespace tpuperf::nn {
 
 class Tape;
 
+// Recycles Matrix heap storage across tape clears and optimization steps.
+// Buffers are pooled by capacity and handed back best-fit, so the shape mix
+// may drift between steps (minibatches pack different node counts) without
+// defeating reuse. Single-threaded by design: tapes acquire/recycle only
+// from the thread that owns them (parallel backward bodies use stack-local
+// scratch, never the arena).
+class TapeArena {
+ public:
+  TapeArena() = default;
+  TapeArena(const TapeArena&) = delete;
+  TapeArena& operator=(const TapeArena&) = delete;
+
+  // A zero-filled [rows, cols] matrix, reusing pooled storage when a buffer
+  // with sufficient capacity is available.
+  Matrix Acquire(int rows, int cols);
+  // As Acquire but without the zero-fill (contents unspecified) — for
+  // outputs that are fully overwritten by their op.
+  Matrix AcquireUninit(int rows, int cols);
+  // Returns a matrix's heap storage to the pool.
+  void Recycle(Matrix&& m);
+
+  // ---- Instrumentation (the measurable win; see bench_micro) ---------------
+  // Buffer requests served since construction / last ResetStats().
+  std::size_t requests() const noexcept { return requests_; }
+  // Requests that had to hit the heap (pool misses). In steady state a
+  // training loop's per-step delta drops to ~0.
+  std::size_t heap_allocations() const noexcept { return heap_allocations_; }
+  std::size_t recycled() const noexcept {
+    return requests_ - heap_allocations_;
+  }
+  std::size_t pooled_buffers() const noexcept { return pool_.size(); }
+  void ResetStats() noexcept {
+    requests_ = 0;
+    heap_allocations_ = 0;
+  }
+
+ private:
+  std::multimap<std::size_t, std::vector<float>> pool_;  // keyed by capacity
+  std::size_t requests_ = 0;
+  std::size_t heap_allocations_ = 0;
+};
+
 struct TapeNode {
   Matrix value;
-  Matrix grad;  // allocated lazily, same shape as value
+  Matrix grad;  // allocated lazily (arena-aware, inside Tape::Backward)
   bool requires_grad = false;
   std::vector<TapeNode*> parents;
   // Propagates this node's grad into its parents' grads.
   std::function<void(TapeNode&)> backward;
-
-  void EnsureGrad() {
-    if (grad.empty() && !value.empty()) {
-      grad = Matrix(value.rows(), value.cols());
-    } else if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
-      grad = Matrix(value.rows(), value.cols());
-    }
-  }
 };
 
 // Lightweight non-owning handle to a tape node.
@@ -60,12 +102,30 @@ class Tensor {
 
 class Tape {
  public:
-  explicit Tape(bool grad_enabled = true) : grad_enabled_(grad_enabled) {}
+  explicit Tape(bool grad_enabled = true, TapeArena* arena = nullptr)
+      : grad_enabled_(grad_enabled), arena_(arena) {}
+  ~Tape() { Clear(); }
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
   bool grad_enabled() const noexcept { return grad_enabled_; }
-  std::size_t size() const noexcept { return nodes_.size(); }
+  std::size_t size() const noexcept { return next_; }
+  TapeArena* arena() const noexcept { return arena_; }
+
+  // A zero-filled matrix for an op output or saved backward state —
+  // arena-recycled when an arena is attached, plain-allocated otherwise.
+  // Ops route their allocations through this so Clear() can recycle them.
+  Matrix NewMatrix(int rows, int cols) {
+    return arena_ != nullptr ? arena_->Acquire(rows, cols)
+                             : Matrix(rows, cols);
+  }
+  // As NewMatrix but with unspecified contents on the recycled path — for
+  // op outputs that overwrite every element (or hand the buffer straight to
+  // a MatMul*Into kernel, which reshapes and zeroes it itself).
+  Matrix NewMatrixUninit(int rows, int cols) {
+    return arena_ != nullptr ? arena_->AcquireUninit(rows, cols)
+                             : Matrix(rows, cols);
+  }
 
   // A constant (or trainable-by-itself) leaf.
   Tensor Leaf(Matrix value, bool requires_grad = false);
@@ -75,19 +135,29 @@ class Tape {
   Tensor ParamLeaf(Parameter& param);
 
   // Records an op result. `backward` may be empty for non-differentiable
-  // ops; it is dropped when no parent requires grad or grads are disabled.
-  Tensor NewNode(Matrix value, std::vector<TapeNode*> parents,
+  // ops; it — and the parent list — are dropped when no parent requires
+  // grad or grads are disabled (inference tapes store neither).
+  Tensor NewNode(Matrix value, std::span<TapeNode* const> parents,
+                 std::function<void(TapeNode&)> backward);
+  Tensor NewNode(Matrix value, std::initializer_list<TapeNode*> parents,
                  std::function<void(TapeNode&)> backward);
 
   // Seeds d(loss)=1 and runs all backward closures in reverse order.
   // `loss` must be a 1x1 tensor recorded on this tape.
   void Backward(Tensor loss);
 
-  void Clear() { nodes_.clear(); }
+  // Drops all recorded nodes (recycling their buffers into the arena when
+  // one is attached) while keeping the node shells for reuse, so a tape
+  // reused across steps stops allocating once warm.
+  void Clear();
 
  private:
+  TapeNode& AllocNode();
+
   std::deque<TapeNode> nodes_;  // deque: stable addresses
+  std::size_t next_ = 0;        // nodes_[0, next_) are live
   bool grad_enabled_;
+  TapeArena* arena_ = nullptr;
 };
 
 }  // namespace tpuperf::nn

@@ -8,9 +8,13 @@
 #include <random>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/cost_model.h"
+#include "core/thread_pool.h"
 #include "core/trainer.h"
 #include "ir/builder.h"
+#include "nn/losses.h"
 #include "nn/ops.h"
 #include "nn/rnn.h"
 
@@ -310,6 +314,187 @@ TEST(PrepareBatch, ValidatesInput) {
     // Tile-feature models require a tile per item.
     const std::vector<BatchItem> items = {{&pk, nullptr}};
     EXPECT_THROW(model.PrepareBatch(items), std::invalid_argument);
+  }
+}
+
+// ---- Fused backward parity -------------------------------------------------
+
+namespace fused_parity {
+
+// Restores the default (fused) mode however the test exits.
+class FusedOpsGuard {
+ public:
+  explicit FusedOpsGuard(bool enabled) { nn::SetFusedOps(enabled); }
+  ~FusedOpsGuard() { nn::SetFusedOps(true); }
+};
+
+struct Minibatch32 {
+  std::vector<ir::Graph> kernels;
+  std::vector<PreparedKernel> prepared;
+  std::vector<ir::TileConfig> tiles;
+  std::vector<BatchItem> items;
+  std::vector<double> targets;
+  PreparedBatch batch;
+};
+
+// A batch-32 minibatch of mixed-size kernels, as the trainers assemble.
+Minibatch32 MakeMinibatch32(LearnedCostModel& model, std::uint64_t seed) {
+  Minibatch32 mb;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> runtime(1e-6, 1e-3);
+  for (int i = 0; i < 32; ++i) {
+    mb.kernels.push_back(
+        RandomKernel(seed + static_cast<std::uint64_t>(i) * 13, 4 + i % 14));
+    mb.tiles.push_back(ir::TileConfig{{1 << (i % 5), 8 << (i % 3)}});
+    mb.targets.push_back(runtime(rng));
+  }
+  for (const auto& kernel : mb.kernels) model.FitNodeScaler(kernel);
+  for (const auto& tile : mb.tiles) model.FitTileScaler(tile);
+  model.FinishFitting();
+  mb.prepared.reserve(mb.kernels.size());
+  for (const auto& kernel : mb.kernels) {
+    mb.prepared.push_back(model.Prepare(kernel));
+  }
+  for (size_t i = 0; i < mb.prepared.size(); ++i) {
+    mb.items.push_back({&mb.prepared[i], &mb.tiles[i]});
+  }
+  mb.batch = model.PrepareBatch(mb.items);
+  return mb;
+}
+
+// One training step's parameter gradients (forward + loss + backward). With
+// an arena the step runs twice on the same tape so the returned gradients
+// come from a WARM pass (every buffer recycled) — any op that failed to
+// fully overwrite a recycled buffer would diverge here.
+std::vector<nn::Matrix> StepGradients(LearnedCostModel& model,
+                                      const Minibatch32& mb, LossKind loss_kind,
+                                      nn::TapeArena* arena) {
+  nn::Tape tape(/*grad_enabled=*/true, arena);
+  const int passes = arena != nullptr ? 2 : 1;
+  for (int pass = 0; pass < passes; ++pass) {
+    model.params().ZeroGrad();
+    tape.Clear();
+    nn::Tensor out = model.ForwardBatch(tape, mb.batch, /*training=*/true);
+    nn::Tensor loss;
+    if (loss_kind == LossKind::kMse) {
+      loss = nn::MseLogLoss(tape, out, mb.targets);
+    } else {
+      loss = nn::PairwiseRankLoss(tape, out, mb.targets,
+                                  nn::RankSurrogate::kHinge);
+    }
+    tape.Backward(loss);
+  }
+  std::vector<nn::Matrix> grads;
+  for (nn::Parameter* p : model.params().params()) grads.push_back(p->grad);
+  return grads;
+}
+
+void ExpectGradsClose(const std::vector<nn::Matrix>& a,
+                      const std::vector<nn::Matrix>& b,
+                      const LearnedCostModel& model, double rel) {
+  ASSERT_EQ(a.size(), b.size());
+  double worst = 0;
+  for (size_t p = 0; p < a.size(); ++p) {
+    ASSERT_TRUE(a[p].same_shape(b[p]));
+    for (size_t i = 0; i < a[p].size(); ++i) {
+      const double x = a[p].data()[i];
+      const double y = b[p].data()[i];
+      const double denom = std::max({1.0, std::abs(x), std::abs(y)});
+      worst = std::max(worst, std::abs(x - y) / denom);
+    }
+  }
+  EXPECT_LE(worst, rel) << "worst relative gradient divergence (config "
+                        << model.config().Summary() << ")";
+}
+
+}  // namespace fused_parity
+
+class FusedBackwardParityTest
+    : public ::testing::TestWithParam<std::tuple<GnnKind, ReductionKind>> {};
+
+// The fused backward (block-diagonal attention ops, accumulate-GEMM
+// closures, arena-backed tape) must reproduce the seed per-op backward's
+// parameter gradients on a batch-32 minibatch for every GNN x reduction.
+TEST_P(FusedBackwardParityTest, MatchesSeedPerOpBackward) {
+  using fused_parity::FusedOpsGuard;
+  const auto [gnn, reduction] = GetParam();
+  ModelConfig config = SmallConfig();
+  config.gnn = gnn;
+  config.reduction = reduction;
+  config.dropout = 0;  // deterministic across the two runs
+  LearnedCostModel model(config);
+  const fused_parity::Minibatch32 mb = fused_parity::MakeMinibatch32(
+      model, 9000 + static_cast<std::uint64_t>(gnn) * 101 +
+                 static_cast<std::uint64_t>(reduction) * 7);
+
+  std::vector<nn::Matrix> seed_grads;
+  {
+    FusedOpsGuard guard(false);
+    seed_grads = fused_parity::StepGradients(model, mb, config.loss, nullptr);
+  }
+  nn::TapeArena arena;
+  const std::vector<nn::Matrix> fused_grads =
+      fused_parity::StepGradients(model, mb, config.loss, &arena);
+  fused_parity::ExpectGradsClose(fused_grads, seed_grads, model, 1e-6);
+  EXPECT_GT(arena.requests(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FusedBackwardParityTest,
+    ::testing::Combine(
+        ::testing::Values(GnnKind::kNone, GnnKind::kGraphSage, GnnKind::kGat),
+        ::testing::Values(ReductionKind::kPerNode, ReductionKind::kColumnWise,
+                          ReductionKind::kLstm, ReductionKind::kTransformer)));
+
+// MSE path too (the fusion task's loss).
+TEST(FusedBackwardParity, MseLossMatchesSeed) {
+  ModelConfig config = SmallConfig();
+  config.gnn = GnnKind::kGat;
+  config.reduction = ReductionKind::kTransformer;
+  config.loss = LossKind::kMse;
+  config.dropout = 0;
+  LearnedCostModel model(config);
+  const fused_parity::Minibatch32 mb =
+      fused_parity::MakeMinibatch32(model, 9100);
+  std::vector<nn::Matrix> seed_grads;
+  {
+    fused_parity::FusedOpsGuard guard(false);
+    seed_grads = fused_parity::StepGradients(model, mb, config.loss, nullptr);
+  }
+  const std::vector<nn::Matrix> fused_grads =
+      fused_parity::StepGradients(model, mb, config.loss, nullptr);
+  fused_parity::ExpectGradsClose(fused_grads, seed_grads, model, 1e-6);
+}
+
+// The fused backward shards attention segments, GEMM rows, and LSTM cell
+// rows across the pool; its partitioning never depends on the pool width,
+// so a 4-thread backward must be BIT-identical to the 1-thread run.
+TEST(FusedBackwardParity, ThreadedBackwardBitIdenticalAcrossWidths) {
+  for (const auto& [gnn, reduction] :
+       {std::pair{GnnKind::kGat, ReductionKind::kTransformer},
+        std::pair{GnnKind::kGraphSage, ReductionKind::kLstm}}) {
+    ModelConfig config = SmallConfig();
+    config.gnn = gnn;
+    config.reduction = reduction;
+    config.dropout = 0;
+    LearnedCostModel model(config);
+    const fused_parity::Minibatch32 mb =
+        fused_parity::MakeMinibatch32(model, 9200);
+
+    ThreadPool::SetNumThreads(1);
+    const std::vector<nn::Matrix> serial =
+        fused_parity::StepGradients(model, mb, config.loss, nullptr);
+    ThreadPool::SetNumThreads(4);
+    nn::TapeArena arena;
+    const std::vector<nn::Matrix> threaded =
+        fused_parity::StepGradients(model, mb, config.loss, &arena);
+    ThreadPool::SetNumThreads(ThreadPool::DefaultNumThreads());
+
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (size_t p = 0; p < serial.size(); ++p) {
+      EXPECT_EQ(nn::MaxAbsDiff(serial[p], threaded[p]), 0.0f)
+          << "param " << p << " diverges across pool widths";
+    }
   }
 }
 

@@ -420,6 +420,183 @@ TEST(GradCheck, GatParams) {
   CheckParamGradients(store, loss_fn);
 }
 
+// ---- Fused block-diagonal attention and segment ops ----------------------
+
+TEST(GradCheck, SegmentReductions) {
+  std::mt19937_64 rng(30);
+  const std::vector<int> offsets = {0, 3, 4, 7};
+  for (int which = 0; which < 3; ++which) {
+    CheckGradients({RandomMatrix(7, 3, rng)},
+                   [which, offsets](Tape& t, std::vector<Tensor>& in) {
+                     Tensor y;
+                     switch (which) {
+                       case 0: y = SegmentSumOp(t, in[0], offsets); break;
+                       case 1: y = SegmentMeanOp(t, in[0], offsets); break;
+                       default: y = SegmentMaxOp(t, in[0], offsets);
+                     }
+                     return SumAllOp(t, MulOp(t, y, y));
+                   });
+  }
+}
+
+TEST(GradCheck, BlockDiagSelfAttention) {
+  std::mt19937_64 rng(31);
+  const std::vector<int> offsets = {0, 3, 5, 9};
+  const float scale = 0.5f;
+  CheckGradients(
+      {RandomMatrix(9, 4, rng), RandomMatrix(9, 4, rng),
+       RandomMatrix(9, 3, rng)},
+      [offsets, scale](Tape& t, std::vector<Tensor>& in) {
+        Tensor y =
+            BlockDiagSelfAttentionOp(t, in[0], in[1], in[2], offsets, scale);
+        return SumAllOp(t, MulOp(t, y, y));
+      });
+}
+
+TEST(GradCheck, BlockDiagGatAttention) {
+  std::mt19937_64 rng(32);
+  const std::vector<int> offsets = {0, 4, 7};
+  // Edge masks from two small graphs (self-loops included, like sym_mask).
+  const GraphStructure g0 = BuildGraphStructure({{}, {0}, {0, 1}, {2}});
+  const GraphStructure g1 = BuildGraphStructure({{}, {0}, {1}});
+  const std::vector<const Matrix*> masks = {&g0.sym_mask, &g1.sym_mask};
+  CheckGradients(
+      {RandomMatrix(7, 1, rng), RandomMatrix(7, 1, rng),
+       RandomMatrix(7, 5, rng)},
+      [offsets, masks](Tape& t, std::vector<Tensor>& in) {
+        Tensor y = BlockDiagGatAttentionOp(t, in[0], in[1], in[2], masks,
+                                           offsets, 0.2f);
+        return SumAllOp(t, MulOp(t, y, y));
+      });
+}
+
+// The fused op must agree with the unfused per-segment op chain it replaces
+// — forward values exactly, gradients to float reassociation.
+TEST(GradCheck, BlockDiagGatAttentionMatchesOpChain) {
+  std::mt19937_64 rng(33);
+  const std::vector<int> offsets = {0, 4, 7};
+  const GraphStructure g0 = BuildGraphStructure({{}, {0}, {0, 1}, {2}});
+  const GraphStructure g1 = BuildGraphStructure({{}, {0}, {1}});
+  const std::vector<const Matrix*> masks = {&g0.sym_mask, &g1.sym_mask};
+  const Matrix s0 = RandomMatrix(7, 1, rng);
+  const Matrix d0 = RandomMatrix(7, 1, rng);
+  const Matrix wh0 = RandomMatrix(7, 5, rng);
+
+  Tape fused_tape(/*grad_enabled=*/true);
+  Tensor fs = fused_tape.Leaf(s0, true);
+  Tensor fd = fused_tape.Leaf(d0, true);
+  Tensor fwh = fused_tape.Leaf(wh0, true);
+  Tensor fy =
+      BlockDiagGatAttentionOp(fused_tape, fs, fd, fwh, masks, offsets, 0.2f);
+  fused_tape.Backward(SumAllOp(fused_tape, MulOp(fused_tape, fy, fy)));
+
+  Tape seed_tape(/*grad_enabled=*/true);
+  Tensor ss = seed_tape.Leaf(s0, true);
+  Tensor sd = seed_tape.Leaf(d0, true);
+  Tensor swh = seed_tape.Leaf(wh0, true);
+  std::vector<Tensor> segs;
+  for (size_t b = 0; b + 1 < offsets.size(); ++b) {
+    const int begin = offsets[b];
+    const int len = offsets[b + 1] - begin;
+    Tensor wh_b = SliceRowsOp(seed_tape, swh, begin, len);
+    Tensor s_b = SliceRowsOp(seed_tape, ss, begin, len);
+    Tensor d_b = SliceRowsOp(seed_tape, sd, begin, len);
+    Tensor logits =
+        LeakyReluOp(seed_tape, OuterSumOp(seed_tape, s_b, d_b), 0.2f);
+    Tensor attn = MaskedSoftmaxRowsOp(seed_tape, logits, *masks[b]);
+    segs.push_back(MatMulOp(seed_tape, attn, wh_b));
+  }
+  Tensor sy = ConcatRowsOp(seed_tape, segs);
+  seed_tape.Backward(SumAllOp(seed_tape, MulOp(seed_tape, sy, sy)));
+
+  // Same arithmetic, differently-structured loops: equal up to FP
+  // contraction (FMA) differences under -march=native.
+  EXPECT_LT(MaxAbsDiff(fy.value(), sy.value()), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(fs.grad(), ss.grad()), 1e-5f);
+  EXPECT_LT(MaxAbsDiff(fd.grad(), sd.grad()), 1e-5f);
+  EXPECT_LT(MaxAbsDiff(fwh.grad(), swh.grad()), 1e-5f);
+}
+
+// ---- Arena-backed tapes ---------------------------------------------------
+
+// A tape reused across steps through a TapeArena must (a) produce the exact
+// same gradients every step and (b) stop allocating once warm.
+TEST(TapeArenaTest, RecycledStepsAreExactAndAllocationFree) {
+  std::mt19937_64 rng(34);
+  ParamStore store;
+  Mlp mlp(store, "mlp", 6, {8, 4}, Activation::kRelu, rng);
+  const Matrix x = RandomMatrix(5, 6, rng);
+
+  TapeArena arena;
+  Tape tape(/*grad_enabled=*/true, &arena);
+  std::vector<Matrix> first_grads;
+  std::size_t warm_allocations = 0;
+  for (int step = 0; step < 4; ++step) {
+    tape.Clear();
+    store.ZeroGrad();
+    if (step == 1) arena.ResetStats();  // steps >= 1 should be all-recycled
+    Tensor in = tape.Leaf(x);
+    Tensor y = mlp.Forward(tape, in);
+    Tensor loss = SumAllOp(tape, MulOp(tape, y, y));
+    tape.Backward(loss);
+    if (step == 0) {
+      for (Parameter* p : store.params()) first_grads.push_back(p->grad);
+    } else {
+      size_t i = 0;
+      for (Parameter* p : store.params()) {
+        EXPECT_EQ(MaxAbsDiff(p->grad, first_grads[i++]), 0.0f)
+            << "step " << step << " param " << p->name;
+      }
+    }
+    if (step >= 1) warm_allocations = arena.heap_allocations();
+  }
+  EXPECT_GT(arena.requests(), 0u);
+  EXPECT_EQ(warm_allocations, 0u)
+      << "warm steps should recycle every tape buffer";
+}
+
+// Arena-backed gradients also pass the numerical check (same CheckGradients
+// harness, but the analytic pass runs on an arena tape warmed by a prior
+// identical pass).
+TEST(TapeArenaTest, NumericalGradientOnWarmArena) {
+  std::mt19937_64 rng(35);
+  const Matrix a = RandomMatrix(3, 4, rng);
+  const Matrix b = RandomMatrix(4, 2, rng);
+
+  TapeArena arena;
+  Tape tape(/*grad_enabled=*/true, &arena);
+  Matrix da, db;
+  for (int step = 0; step < 2; ++step) {  // second pass runs fully recycled
+    tape.Clear();
+    Tensor ta = tape.Leaf(a, true);
+    Tensor tb = tape.Leaf(b, true);
+    Tensor loss = SumAllOp(tape, MatMulOp(tape, ta, tb));
+    tape.Backward(loss);
+    da = ta.grad();
+    db = tb.grad();
+  }
+
+  const auto eval = [&](const Matrix& av, const Matrix& bv) {
+    Tape t(/*grad_enabled=*/false);
+    return SumAllOp(t, MatMulOp(t, t.Leaf(av), t.Leaf(bv))).scalar();
+  };
+  const float h = 1e-2f;
+  for (const auto& [r, c] : {std::pair{0, 0}, {2, 3}}) {
+    Matrix plus = a, minus = a;
+    plus.at(r, c) += h;
+    minus.at(r, c) -= h;
+    const float numeric = (eval(plus, b) - eval(minus, b)) / (2 * h);
+    EXPECT_NEAR(da.at(r, c), numeric, 2e-2f);
+  }
+  for (const auto& [r, c] : {std::pair{0, 1}, {3, 0}}) {
+    Matrix plus = b, minus = b;
+    plus.at(r, c) += h;
+    minus.at(r, c) -= h;
+    const float numeric = (eval(a, plus) - eval(a, minus)) / (2 * h);
+    EXPECT_NEAR(db.at(r, c), numeric, 2e-2f);
+  }
+}
+
 TEST(GradCheck, UndirectedGraphSageParams) {
   std::mt19937_64 rng(26);
   ParamStore store;
