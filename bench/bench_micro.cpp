@@ -14,6 +14,7 @@
 #include "core/thread_pool.h"
 #include "core/trainer.h"
 #include "dataset/datasets.h"
+#include "bench/common.h"
 #include "dataset/families.h"
 #include "features/featurizer.h"
 #include "nn/losses.h"
@@ -531,6 +532,9 @@ void ReportBatchedThroughput() {
   const TrainTaskReport mse_report = ReportTrainingTask(MseTrain32(), threads);
   PrintTrainTask("log-MSE (GraphSAGE + Transformer)", mse_report, threads);
 
+  // This writer regenerates the file wholesale; carry the dataset-store
+  // numbers (written by the table benches) across the rewrite.
+  const std::string dataset_store = bench::PreservedDatasetStoreJson();
   FILE* json = std::fopen("BENCH_results.json", "w");
   if (json == nullptr) {
     std::printf("could not write BENCH_results.json\n");
@@ -560,8 +564,11 @@ void ReportBatchedThroughput() {
   std::fprintf(json, "  \"train_batch_size\": %d,\n", TrainBatch32::kBatch);
   PrintTrainTaskJson(json, "train_rank", rank_report);
   PrintTrainTaskJson(json, "train_mse", mse_report);
-  std::fprintf(json, "  \"train_pool_threads\": %d\n", threads);
-  std::fprintf(json, "}\n");
+  std::fprintf(json, "  \"train_pool_threads\": %d", threads);
+  if (!dataset_store.empty()) {
+    std::fprintf(json, ",\n  \"dataset_store\": %s", dataset_store.c_str());
+  }
+  std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_results.json\n");
 }

@@ -1,13 +1,131 @@
 #include "bench/common.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/trainer.h"
+#include "features/featurizer.h"
 
 namespace tpuperf::bench {
+namespace {
+
+// Loaded stores are registered here and served through one union source so
+// every PreparedCache (trainers, evaluators) sees all of them.
+class UnionFeatureSource final : public feat::KernelFeatureSource {
+ public:
+  void Register(std::shared_ptr<const data::StoredFeatures> store) {
+    stores_.push_back(std::move(store));
+  }
+
+  const feat::KernelFeatures* Lookup(
+      std::uint64_t fingerprint, std::uint64_t structural_sig) const override {
+    for (const auto& store : stores_) {
+      if (const feat::KernelFeatures* kf =
+              store->Lookup(fingerprint, structural_sig)) {
+        return kf;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::shared_ptr<const data::StoredFeatures>> stores_;
+};
+
+UnionFeatureSource& Union() {
+  static UnionFeatureSource source;
+  return source;
+}
+
+std::vector<StoreBuildInfo>& MutableStoreBuilds() {
+  static std::vector<StoreBuildInfo> builds;
+  return builds;
+}
+
+void NoteStoreBuild(const char* task, const std::string& target,
+                    const data::StoreLoadStats& stats,
+                    std::shared_ptr<data::StoredFeatures> features) {
+  MutableStoreBuilds().push_back(
+      {task, target, stats.cache_hit, stats.seconds, stats.path});
+  if (stats.path.empty()) {
+    std::printf("[dataset store] %s/%s: no TPUPERF_DATASET_DIR, built "
+                "in-process (%.2fs)\n",
+                task, target.c_str(), stats.seconds);
+  } else if (stats.cache_hit) {
+    std::printf("[dataset store] %s/%s: warm hit, loaded %s in %.3fs\n", task,
+                target.c_str(), stats.path.c_str(), stats.seconds);
+  } else {
+    std::printf("[dataset store] %s/%s: cold miss, built and wrote %s in "
+                "%.2fs\n",
+                task, target.c_str(), stats.path.c_str(), stats.seconds);
+  }
+  if (features != nullptr && !features->empty()) {
+    Union().Register(std::move(features));
+    feat::SetGlobalKernelFeatureSource(&Union());
+  }
+}
+
+std::string ReadFileIfExists(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+// Finds `"key": <number>` in machine-written JSON; NaN when absent.
+double FindJsonNumber(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return std::nan("");
+  return std::atof(text.c_str() + pos + needle.size());
+}
+
+// Removes a top-level `"key": <object-or-scalar>` entry (plus the comma
+// that joined it) from machine-written JSON with no braces inside strings.
+std::string RemoveJsonKey(std::string text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t key_pos = text.find(needle);
+  if (key_pos == std::string::npos) return text;
+  std::size_t value_end = key_pos + needle.size();
+  while (value_end < text.size() && std::isspace(static_cast<unsigned char>(text[value_end]))) ++value_end;
+  if (value_end < text.size() && text[value_end] == '{') {
+    int depth = 0;
+    do {
+      if (text[value_end] == '{') ++depth;
+      if (text[value_end] == '}') --depth;
+      ++value_end;
+    } while (value_end < text.size() && depth > 0);
+  } else {
+    while (value_end < text.size() && text[value_end] != ',' &&
+           text[value_end] != '}') {
+      ++value_end;
+    }
+  }
+  std::size_t cut_begin = key_pos;
+  std::size_t cut_end = value_end;
+  // Swallow the separating comma: the one after the value, else the one
+  // before the key (when this entry was last).
+  std::size_t after = cut_end;
+  while (after < text.size() && std::isspace(static_cast<unsigned char>(text[after]))) ++after;
+  if (after < text.size() && text[after] == ',') {
+    cut_end = after + 1;
+  } else {
+    std::size_t before = cut_begin;
+    while (before > 0 && std::isspace(static_cast<unsigned char>(text[before - 1]))) --before;
+    if (before > 0 && text[before - 1] == ',') cut_begin = before - 1;
+  }
+  text.erase(cut_begin, cut_end - cut_begin);
+  return text;
+}
+
+}  // namespace
 
 double ReproScale() {
   const char* env = std::getenv("REPRO_SCALE");
@@ -16,27 +134,168 @@ double ReproScale() {
   return v > 0 ? v : 1.0;
 }
 
+std::string DatasetDir() {
+  const char* env = std::getenv("TPUPERF_DATASET_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
 Env MakeEnv() {
   Env env;
   env.scale = ReproScale();
-  env.corpus = data::GenerateCorpus();
-  env.random_split = data::RandomSplit(env.corpus, /*seed=*/1234);
-  env.manual_split = data::ManualSplit(env.corpus);
+  env.dataset_dir = DatasetDir();
   env.options.max_tile_configs_per_kernel = 32;
   env.options.fusion_configs_per_program = 10;
   env.options.ApplyScale(env.scale);
+  // Scales above 1 also grow the corpus (~scale x variants per family);
+  // below 1 only the per-program budgets shrink — the split methods need
+  // every family present.
+  env.corpus = data::GenerateCorpus(
+      {.scale = std::max(1.0, env.scale), .seed = env.options.seed});
+  env.random_split = data::RandomSplit(env.corpus, /*seed=*/1234);
+  env.manual_split = data::ManualSplit(env.corpus);
   return env;
 }
 
 data::TileDataset BuildTile(const Env& env, const sim::TpuSimulator& sim,
                             const analytical::AnalyticalModel& analytical) {
   (void)analytical;
-  return data::BuildTileDataset(env.corpus, sim, env.options);
+  std::shared_ptr<data::StoredFeatures> features;
+  data::StoreLoadStats stats;
+  auto dataset = data::LoadOrBuildTileDataset(env.dataset_dir, env.corpus,
+                                              sim, env.options, &features,
+                                              &stats);
+  NoteStoreBuild("tile", sim.target().name, stats, std::move(features));
+  return dataset;
 }
 
 data::FusionDataset BuildFusion(const Env& env, const sim::TpuSimulator& sim,
                                 analytical::AnalyticalModel& analytical) {
-  return data::BuildFusionDataset(env.corpus, sim, analytical, env.options);
+  std::shared_ptr<data::StoredFeatures> features;
+  data::StoreLoadStats stats;
+  auto dataset = data::LoadOrBuildFusionDataset(env.dataset_dir, env.corpus,
+                                                sim, analytical, env.options,
+                                                &features, &stats);
+  NoteStoreBuild("fusion", sim.target().name, stats, std::move(features));
+  return dataset;
+}
+
+const std::vector<StoreBuildInfo>& StoreBuilds() {
+  return MutableStoreBuilds();
+}
+
+bool ReportDatasetStore(bool enforce_warm) {
+  const auto& builds = MutableStoreBuilds();
+  if (builds.empty()) return true;
+  double total = 0;
+  bool all_hit = true;
+  std::printf("\nDataset store summary:\n");
+  for (const auto& b : builds) {
+    total += b.seconds;
+    all_hit = all_hit && b.cache_hit;
+    std::printf("  %-6s %-6s %-4s %8.3fs  %s\n", b.task.c_str(),
+                b.target.c_str(), b.cache_hit ? "warm" : "cold", b.seconds,
+                b.path.empty() ? "(in-process)" : b.path.c_str());
+  }
+  const long invocations = feat::FeaturizeKernelInvocations();
+  std::printf("  dataset-ready in %.3fs total (%s); featurizer invoked %ld "
+              "times this process\n",
+              total, all_hit ? "all warm" : "cold or mixed", invocations);
+  if (enforce_warm && all_hit && invocations > 0) {
+    std::printf("  ERROR: warm-cache run re-featurized %ld kernels — the "
+                "store read path is broken\n",
+                invocations);
+    return false;
+  }
+  return true;
+}
+
+std::string PreservedDatasetStoreJson() {
+  const std::string text = ReadFileIfExists("BENCH_results.json");
+  const std::string needle = "\"dataset_store\":";
+  const std::size_t key_pos = text.find(needle);
+  if (key_pos == std::string::npos) return {};
+  std::size_t begin = key_pos + needle.size();
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  if (begin >= text.size() || text[begin] != '{') return {};
+  std::size_t end = begin;
+  int depth = 0;
+  do {
+    if (text[end] == '{') ++depth;
+    if (text[end] == '}') --depth;
+    ++end;
+  } while (end < text.size() && depth > 0);
+  if (depth != 0) return {};
+  return text.substr(begin, end - begin);
+}
+
+void WriteStoreReportJson() {
+  const auto& builds = MutableStoreBuilds();
+  if (builds.empty() || DatasetDir().empty()) return;
+  double total = 0;
+  bool all_hit = true;
+  bool all_miss = true;
+  for (const auto& b : builds) {
+    total += b.seconds;
+    all_hit = all_hit && b.cache_hit;
+    all_miss = all_miss && !b.cache_hit;
+  }
+  const std::string path = "BENCH_results.json";
+  const std::string old_text = ReadFileIfExists(path);
+  // The cold numbers survive warm reruns so the file shows the pair; a
+  // mixed run (some hits, some misses — e.g. a bench that needs stores a
+  // previous bench did not populate) records neither total, and the
+  // speedup is only emitted when the warm and cold runs covered the same
+  // number of builds (same workload shape).
+  double cold = FindJsonNumber(old_text, "cold_dataset_ready_seconds");
+  double warm = FindJsonNumber(old_text, "warm_dataset_ready_seconds");
+  double cold_builds = FindJsonNumber(old_text, "cold_builds");
+  double warm_builds = FindJsonNumber(old_text, "warm_builds");
+  if (all_hit) {
+    warm = total;
+    warm_builds = static_cast<double>(builds.size());
+  } else if (all_miss) {
+    cold = total;
+    cold_builds = static_cast<double>(builds.size());
+  }
+
+  std::ostringstream value;
+  value << "{\n";
+  value << "    \"builds\": " << builds.size() << ",\n";
+  value << "    \"repro_scale\": " << ReproScale() << ",\n";
+  value << "    \"last_run_warm\": " << (all_hit ? "true" : "false") << ",\n";
+  if (!std::isnan(cold)) {
+    value << "    \"cold_builds\": " << cold_builds << ",\n";
+    value << "    \"cold_dataset_ready_seconds\": " << cold << ",\n";
+  }
+  if (!std::isnan(warm)) {
+    value << "    \"warm_builds\": " << warm_builds << ",\n";
+    value << "    \"warm_dataset_ready_seconds\": " << warm << ",\n";
+  }
+  if (!std::isnan(cold) && !std::isnan(warm) && warm > 0 &&
+      cold_builds == warm_builds) {
+    value << "    \"warm_vs_cold_speedup\": " << cold / warm << ",\n";
+  }
+  value << "    \"featurizer_invocations\": "
+        << feat::FeaturizeKernelInvocations() << "\n  }";
+
+  std::string text = RemoveJsonKey(old_text, "dataset_store");
+  const std::string entry = "  \"dataset_store\": " + value.str();
+  std::string out;
+  const std::size_t end = text.rfind('}');
+  if (text.empty() || text[0] != '{' || end == std::string::npos) {
+    out = "{\n" + entry + "\n}\n";
+  } else {
+    std::string head = text.substr(0, end);
+    while (!head.empty() && std::isspace(static_cast<unsigned char>(head.back()))) head.pop_back();
+    const bool has_other_keys = head.find(':') != std::string::npos;
+    if (!head.empty() && head.back() == ',') head.pop_back();
+    out = head + (has_other_keys ? ",\n" : "\n") + entry + "\n}\n";
+  }
+  std::ofstream os(path, std::ios::trunc);
+  os << out;
 }
 
 void CalibrateAnalytical(analytical::AnalyticalModel& analytical,

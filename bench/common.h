@@ -4,7 +4,14 @@
 // Every bench binary regenerates what it needs deterministically; the
 // REPRO_SCALE environment variable (default 1.0) scales dataset budgets and
 // training steps so the full suite can be run quickly (e.g. REPRO_SCALE=0.3)
-// or more thoroughly (2.0).
+// or more thoroughly (2.0). Scales above 1 also grow the program corpus
+// itself (~REPRO_SCALE x variants per family, see data::CorpusOptions).
+//
+// When TPUPERF_DATASET_DIR is set, BuildTile/BuildFusion route through the
+// on-disk dataset store (src/dataset/store.h): the first run builds and
+// writes each dataset, later runs load it back — including every kernel's
+// raw featurization, which is registered process-globally so trainers and
+// evaluators never call feat::FeaturizeKernel on a warm cache.
 #pragma once
 
 #include <memory>
@@ -15,11 +22,15 @@
 #include "core/evaluation.h"
 #include "dataset/datasets.h"
 #include "dataset/families.h"
+#include "dataset/store.h"
 #include "sim/simulator.h"
 
 namespace tpuperf::bench {
 
 double ReproScale();
+
+// TPUPERF_DATASET_DIR, or empty when unset (in-process generation).
+std::string DatasetDir();
 
 struct Env {
   std::vector<ir::Program> corpus;
@@ -29,9 +40,41 @@ struct Env {
   data::SplitSpec manual_split;
   data::DatasetOptions options;
   double scale = 1.0;
+  std::string dataset_dir;  // empty => no store I/O
 };
 
 Env MakeEnv();
+
+// One dataset build/load that went through the store layer.
+struct StoreBuildInfo {
+  std::string task;    // "tile" | "fusion"
+  std::string target;  // e.g. "TPUv2"
+  bool cache_hit = false;
+  double seconds = 0;
+  std::string path;  // empty when no cache dir was configured
+};
+
+// Store activity of this process, in build order.
+const std::vector<StoreBuildInfo>& StoreBuilds();
+
+// Prints the dataset-store summary (per-build hit/miss and timings plus the
+// featurizer invocation count). With `enforce_warm`, a run whose every
+// build was a cache hit must never have invoked feat::FeaturizeKernel —
+// returns false (and says why) when that warm-path guarantee is violated.
+bool ReportDatasetStore(bool enforce_warm);
+
+// Records the store summary under the "dataset_store" key of
+// ./BENCH_results.json, preserving the other keys (bench_micro's report).
+// All-miss runs record cold_dataset_ready_seconds, all-hit runs record
+// warm_dataset_ready_seconds (mixed runs record neither total), and the
+// warm-vs-cold speedup is emitted once both totals from same-shaped runs
+// are in the file. No-op when no cache dir is configured.
+void WriteStoreReportJson();
+
+// The current "dataset_store" JSON value of ./BENCH_results.json, or ""
+// when absent. Writers that regenerate the whole file (bench_micro)
+// re-emit it so the store numbers survive their rewrite.
+std::string PreservedDatasetStoreJson();
 
 // Builds datasets on the given simulator (defaults target TPU v2).
 data::TileDataset BuildTile(const Env& env, const sim::TpuSimulator& sim,

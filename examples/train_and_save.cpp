@@ -1,13 +1,19 @@
 // End-to-end training workflow: generate a corpus slice, build the tile-size
-// dataset, train the learned cost model, evaluate it against the analytical
-// baseline, and persist the trained model to disk for later use (the §7.1
-// "retrain or fine-tune with more data" deployment story).
+// dataset (cached in the on-disk store when TPUPERF_DATASET_DIR is set —
+// rerun the example to see the warm path skip generation and featurization
+// entirely), train the learned cost model, evaluate it against the
+// analytical baseline, and persist the trained model to disk for later use
+// (the §7.1 "retrain or fine-tune with more data" deployment story).
 //
 //   $ ./build/examples/train_and_save [output.model]
+//   $ TPUPERF_DATASET_DIR=/tmp/tpuperf_cache ./build/examples/train_and_save
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/evaluation.h"
 #include "dataset/families.h"
+#include "dataset/store.h"
+#include "features/featurizer.h"
 
 using namespace tpuperf;
 
@@ -30,7 +36,20 @@ int main(int argc, char** argv) {
   }
   data::DatasetOptions options;
   options.max_tile_configs_per_kernel = 24;
-  const auto dataset = data::BuildTileDataset(corpus, tpu, options);
+  const char* cache_env = std::getenv("TPUPERF_DATASET_DIR");
+  const std::string cache_dir = cache_env == nullptr ? "" : cache_env;
+  std::shared_ptr<data::StoredFeatures> features;
+  data::StoreLoadStats store_stats;
+  const auto dataset = data::LoadOrBuildTileDataset(
+      cache_dir, corpus, tpu, options, &features, &store_stats);
+  if (!cache_dir.empty()) {
+    std::printf("dataset store: %s %s in %.3fs\n",
+                store_stats.cache_hit ? "loaded" : "built and wrote",
+                store_stats.path.c_str(), store_stats.seconds);
+    // Serve the cached featurizations to the trainer's PreparedCache: on a
+    // warm store the whole run below never calls feat::FeaturizeKernel.
+    if (features != nullptr) feat::SetGlobalKernelFeatureSource(features.get());
+  }
   std::printf("dataset: %zu kernels, %zu samples (train %zu / test %zu "
               "programs)\n",
               dataset.kernels.size(), dataset.TotalSamples(),
@@ -56,13 +75,16 @@ int main(int argc, char** argv) {
                 baseline[i].ape);
   }
 
-  // Persist and reload; predictions must survive the round trip.
+  // Persist and reload; predictions must survive the round trip. The
+  // reload check also goes through a PreparedCache so a warm dataset store
+  // serves its featurization too.
   model.SaveToFile(path);
   core::LearnedCostModel reloaded(config);
   reloaded.LoadFromFile(path);
+  core::PreparedCache reloaded_cache(reloaded);
   const auto& kdata = dataset.kernels.front();
-  const core::PreparedKernel pk =
-      reloaded.Prepare(kdata.record.kernel.graph);
+  const core::PreparedKernel& pk =
+      reloaded_cache.Get(kdata.record.kernel.graph, kdata.record.fingerprint);
   const double score = reloaded.PredictScore(pk, &kdata.configs.front());
   std::printf("\nmodel saved to %s and reloaded (sample prediction %.4f)\n",
               path.c_str(), score);

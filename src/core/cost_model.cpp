@@ -114,9 +114,12 @@ LearnedCostModel::LearnedCostModel(ModelConfig config)
 }
 
 void LearnedCostModel::FitNodeScaler(const ir::Graph& kernel) {
-  const feat::KernelFeatures kf = feat::FeaturizeKernel(kernel);
-  for (const auto& row : kf.node_scalars) node_scaler_.Observe(row);
-  perf_scaler_.Observe(kf.static_perf);
+  FitNodeScaler(feat::FeaturizeKernel(kernel));
+}
+
+void LearnedCostModel::FitNodeScaler(const feat::KernelFeatures& features) {
+  for (const auto& row : features.node_scalars) node_scaler_.Observe(row);
+  perf_scaler_.Observe(features.static_perf);
 }
 
 void LearnedCostModel::FitTileScaler(const ir::TileConfig& tile) {
@@ -124,10 +127,14 @@ void LearnedCostModel::FitTileScaler(const ir::TileConfig& tile) {
 }
 
 PreparedKernel LearnedCostModel::Prepare(const ir::Graph& kernel) const {
+  return Prepare(feat::FeaturizeKernel(kernel));
+}
+
+PreparedKernel LearnedCostModel::Prepare(
+    const feat::KernelFeatures& kf) const {
   if (!fitted_) {
     throw std::logic_error("LearnedCostModel: scalers not fitted");
   }
-  const feat::KernelFeatures kf = feat::FeaturizeKernel(kernel);
   PreparedKernel pk;
   pk.num_nodes = kf.num_nodes();
   pk.opcode_ids = kf.opcode_ids;

@@ -70,11 +70,19 @@ class LearnedCostModel {
   // ---- Feature scaling -----------------------------------------------------
   // Scalers must be fitted (or loaded) before Prepare/Predict.
   void FitNodeScaler(const ir::Graph& kernel);    // observe one kernel
+  // As above from pre-extracted raw features (the dataset store's warm
+  // path); observes the same rows in the same order, so the fitted scaler
+  // state is bit-identical to featurizing the graph in-process.
+  void FitNodeScaler(const feat::KernelFeatures& features);
   void FitTileScaler(const ir::TileConfig& tile); // observe one tile config
   void FinishFitting() { fitted_ = true; }
   bool fitted() const noexcept { return fitted_; }
 
   PreparedKernel Prepare(const ir::Graph& kernel) const;
+  // Prepares from pre-extracted raw features without touching the graph (no
+  // feat::FeaturizeKernel call). Produces the same PreparedKernel as
+  // Prepare(graph) when `features` came from FeaturizeKernel(graph).
+  PreparedKernel Prepare(const feat::KernelFeatures& features) const;
 
   // Packs N prepared (kernel, tile) pairs into one batch. Tile configs are
   // scaled here, once, so the packed batch is reusable across predictions.

@@ -51,6 +51,22 @@ nn::AdamConfig MakeAdamConfig(const ModelConfig& c) {
   return a;
 }
 
+// Observes one kernel's node features for scaler fitting, preferring the
+// cached raw features of the dataset store (no FeaturizeKernel call) when
+// the source holds them. The observed rows are identical either way.
+void FitNodeScalerVia(LearnedCostModel& model,
+                      const feat::KernelFeatureSource* source,
+                      const ir::Graph& kernel, std::uint64_t fingerprint) {
+  if (source != nullptr) {
+    if (const feat::KernelFeatures* cached =
+            source->Lookup(fingerprint, kernel.StructuralSignature())) {
+      model.FitNodeScaler(*cached);
+      return;
+    }
+  }
+  model.FitNodeScaler(kernel);
+}
+
 }  // namespace
 
 const PreparedKernel& PreparedCache::Get(const ir::Graph& kernel,
@@ -82,7 +98,10 @@ const PreparedKernel& PreparedCache::Get(const ir::Graph& kernel,
   lock.unlock();
   PreparedKernel prepared;
   try {
-    prepared = model_.Prepare(kernel);
+    const feat::KernelFeatures* cached =
+        features_ != nullptr ? features_->Lookup(fingerprint, sig) : nullptr;
+    prepared = cached != nullptr ? model_.Prepare(*cached)
+                                 : model_.Prepare(kernel);
   } catch (...) {
     std::scoped_lock relock(mu_);
     in_flight_.erase(key);
@@ -125,7 +144,8 @@ TrainStats TrainTileTask(LearnedCostModel& model,
     for (const auto& k : dataset.kernels) {
       if (!wanted.contains(k.record.program_id)) continue;
       if (!seen.insert(k.record.fingerprint).second) continue;
-      model.FitNodeScaler(k.record.kernel.graph);
+      FitNodeScalerVia(model, cache.feature_source(), k.record.kernel.graph,
+                       k.record.fingerprint);
       for (const auto& tile : k.configs) model.FitTileScaler(tile);
     }
     model.FinishFitting();
@@ -228,7 +248,8 @@ TrainStats TrainFusionTask(LearnedCostModel& model,
     long log_count = 0;
     for (const auto& s : dataset.samples) {
       if (!wanted.contains(s.record.program_id)) continue;
-      model.FitNodeScaler(s.record.kernel.graph);
+      FitNodeScalerVia(model, cache.feature_source(), s.record.kernel.graph,
+                       s.record.fingerprint);
       model.FitTileScaler(s.tile);
       log_sum += std::log(s.runtime + 1e-9);
       ++log_count;

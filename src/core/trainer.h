@@ -35,11 +35,27 @@ namespace tpuperf::core {
 // and discarding their own, while distinct kernels still prepare fully in
 // parallel. Returned references stay valid for the cache's lifetime
 // (entries live in per-fingerprint deques and are never erased).
+// Misses first consult the kernel-feature source (by default the process
+// global one, where benches register loaded dataset stores): when the raw
+// features are cached there, Prepare runs from them and the kernel graph is
+// never re-featurized — warm-store runs keep feat::FeaturizeKernelInvocations
+// at zero. The default argument snapshots the global at construction, so
+// register sources (load stores) BEFORE constructing caches; a cache built
+// earlier silently falls back to in-process featurization (correct, just
+// cold — bench_table1/2's warm check catches the regression).
 class PreparedCache {
  public:
-  explicit PreparedCache(const LearnedCostModel& model) : model_(model) {}
+  explicit PreparedCache(const LearnedCostModel& model,
+                         const feat::KernelFeatureSource* features =
+                             feat::GlobalKernelFeatureSource())
+      : model_(model), features_(features) {}
 
   const PreparedKernel& Get(const ir::Graph& kernel, std::uint64_t fingerprint);
+
+  // The raw-feature source consulted on miss (nullptr when none).
+  const feat::KernelFeatureSource* feature_source() const noexcept {
+    return features_;
+  }
 
   // Total prepared entries (collision chains count each entry).
   std::size_t size() const;
@@ -53,6 +69,7 @@ class PreparedCache {
   };
 
   const LearnedCostModel& model_;
+  const feat::KernelFeatureSource* features_ = nullptr;
   mutable std::shared_mutex mu_;
   std::condition_variable_any in_flight_done_;
   // (fingerprint, structural signature) pairs being featurized right now.

@@ -1,5 +1,7 @@
 #include "dataset/families.h"
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <map>
 #include <stdexcept>
@@ -15,6 +17,19 @@ using ir::NodeId;
 using ir::OpCode;
 using ir::Padding;
 using ir::Shape;
+
+// Splits a variant index into its base-grid index and extension tier. Tier
+// 0 is the original depth/width/batch grid; tier t >= 1 re-runs that grid
+// with one extra structural knob (per family) that no base variant touches,
+// so every (base, tier) pair builds a structurally distinct program.
+struct VariantTier {
+  int base = 0;
+  int tier = 0;
+};
+
+VariantTier SplitVariant(int variant, int base_variants) {
+  return {variant % base_variants, variant / base_variants};
+}
 
 // ---- Reusable model sub-blocks -------------------------------------------
 
@@ -147,12 +162,14 @@ NodeId Conv1d(GraphBuilder& b, NodeId x, std::int64_t filters, std::int64_t k,
 // ---- Family builders -------------------------------------------------------
 
 ir::Program ResNetV1(int variant) {
+  const auto [v, tier] = SplitVariant(variant, 12);
   const std::int64_t batches[] = {32, 64, 128, 256};
   const int depths[] = {2, 3, 4};
-  const std::int64_t batch = batches[variant % 4];
-  const int blocks_per_stage = depths[(variant / 4) % 3];
+  const std::int64_t batch = batches[v % 4];
+  const int blocks_per_stage = depths[(v / 4) % 3];
+  const std::int64_t res = 32 + 8 * tier;  // tiers grow input resolution
   GraphBuilder b;
-  NodeId x = b.Parameter(Shape({batch, 32, 32, 3}));
+  NodeId x = b.Parameter(Shape({batch, res, res, 3}));
   NodeId h = ConvBnRelu(b, x, 16, 3, 1);
   std::int64_t filters = 16;
   for (int stage = 0; stage < 3; ++stage) {
@@ -173,11 +190,13 @@ ir::Program ResNetV1(int variant) {
 }
 
 ir::Program ResNetV2(int variant) {
+  const auto [v, tier] = SplitVariant(variant, 10);
   const std::int64_t batches[] = {16, 32, 64, 128, 256};
-  const std::int64_t batch = batches[variant % 5];
-  const int blocks_per_stage = 2 + (variant / 5) % 2;
+  const std::int64_t batch = batches[v % 5];
+  const int blocks_per_stage = 2 + (v / 5) % 2;
+  const std::int64_t res = 32 + 8 * tier;
   GraphBuilder b;
-  NodeId x = b.Parameter(Shape({batch, 32, 32, 3}));
+  NodeId x = b.Parameter(Shape({batch, res, res, 3}));
   NodeId h = ConvBnRelu(b, x, 16, 3, 1);
   std::int64_t filters = 16;
   for (int stage = 0; stage < 3; ++stage) {
@@ -197,11 +216,13 @@ ir::Program ResNetV2(int variant) {
 }
 
 ir::Program InceptionLike(int variant) {
-  const std::int64_t batch = (variant % 2 == 0) ? 32 : 64;
-  const int num_blocks = 2 + (variant / 2) % 2;
-  const std::int64_t width = (variant / 4 == 0) ? 16 : 32;
+  const auto [v, tier] = SplitVariant(variant, 8);
+  const std::int64_t batch = (v % 2 == 0) ? 32 : 64;
+  const int num_blocks = 2 + (v / 2) % 2;
+  const std::int64_t width = (v / 4 == 0) ? 16 : 32;
+  const std::int64_t res = 32 + 8 * tier;
   GraphBuilder b;
-  NodeId x = b.Parameter(Shape({batch, 32, 32, 3}));
+  NodeId x = b.Parameter(Shape({batch, res, res, 3}));
   NodeId h = ConvBnRelu(b, x, width, 3, 1);
   for (int block = 0; block < num_blocks; ++block) {
     const NodeId b1 = ConvBnRelu(b, h, width, 1, 1);
@@ -220,8 +241,9 @@ ir::Program InceptionLike(int variant) {
 }
 
 ir::Program AlexNetLike(int variant) {
+  const int tier = variant;  // one base variant; tiers grow the batch
   GraphBuilder b;
-  NodeId x = b.Parameter(Shape({64, 56, 56, 3}));
+  NodeId x = b.Parameter(Shape({64 + 32 * tier, 56, 56, 3}));
   NodeId h = ConvBnRelu(b, x, 48, 11, 4, Padding::kValid);
   h = b.Pool2d(h, 3, 2);
   h = ConvBnRelu(b, h, 128, 5, 1);
@@ -239,10 +261,12 @@ ir::Program AlexNetLike(int variant) {
 }
 
 ir::Program SsdLike(int variant) {
-  const std::int64_t batch = 8 * (1 + variant % 3);
-  const std::int64_t width = (variant / 3 == 0) ? 24 : 40;
+  const auto [v, tier] = SplitVariant(variant, 6);
+  const std::int64_t batch = 8 * (1 + v % 3);
+  const std::int64_t width = (v / 3 == 0) ? 24 : 40;
+  const std::int64_t res = 64 + 16 * tier;
   GraphBuilder b;
-  NodeId x = b.Parameter(Shape({batch, 64, 64, 3}));
+  NodeId x = b.Parameter(Shape({batch, res, res, 3}));
   NodeId h = ConvBnRelu(b, x, width, 3, 2);
   std::vector<NodeId> head_outputs;
   std::int64_t filters = width;
@@ -270,9 +294,11 @@ ir::Program SsdLike(int variant) {
 }
 
 ir::Program Nmt(int variant) {
-  const std::int64_t batch = (variant % 2 == 0) ? 16 : 32;
-  const std::int64_t hidden = (variant / 2 % 2 == 0) ? 128 : 256;
-  const int steps = 3 + (variant / 4) % 2;
+  const auto [v, tier] = SplitVariant(variant, 8);
+  const std::int64_t batch = (v % 2 == 0) ? 16 : 32;
+  const std::int64_t hidden = (v / 2 % 2 == 0) ? 128 : 256;
+  // Base steps are 3/4; tiers add 2 so the parity chains never collide.
+  const int steps = 3 + (v / 4) % 2 + 2 * tier;
   GraphBuilder b;
   LstmState enc{b.Parameter(Shape({batch, hidden})),
                 b.Parameter(Shape({batch, hidden}))};
@@ -298,13 +324,15 @@ ir::Program Nmt(int variant) {
 }
 
 ir::Program TranslateLike(int variant) {
-  const std::int64_t batch = 16 + 16 * (variant % 3);
-  const std::int64_t hidden = (variant / 3 == 0) ? 128 : 192;
+  const auto [v, tier] = SplitVariant(variant, 6);
+  const std::int64_t batch = 16 + 16 * (v % 3);
+  const std::int64_t hidden = (v / 3 == 0) ? 128 : 192;
+  const int layers = 3 + tier;
   GraphBuilder b;
   NodeId x = b.Parameter(Shape({batch, hidden}));
   // Stacked GRU-ish cells.
   NodeId h = b.Parameter(Shape({batch, hidden}));
-  for (int layer = 0; layer < 3; ++layer) {
+  for (int layer = 0; layer < layers; ++layer) {
     NodeId z = b.Unary(
         OpCode::kLogistic,
         b.Binary(OpCode::kAdd,
@@ -334,9 +362,11 @@ ir::Program TranslateLike(int variant) {
 }
 
 ir::Program TransformerLm(int variant) {
-  const std::int64_t tokens = (variant % 2 == 0) ? 64 : 128;  // batch*seq
-  const std::int64_t dmodel = (variant / 2 % 2 == 0) ? 128 : 256;
-  const int blocks = 1 + (variant / 4) % 2;
+  const auto [v, tier] = SplitVariant(variant, 8);
+  // +40 per tier keeps the 64- and 128-token chains disjoint at every tier.
+  const std::int64_t tokens = ((v % 2 == 0) ? 64 : 128) + 40 * tier;
+  const std::int64_t dmodel = (v / 2 % 2 == 0) ? 128 : 256;
+  const int blocks = 1 + (v / 4) % 2;
   GraphBuilder b;
   NodeId h = b.Parameter(Shape({tokens, dmodel}));
   for (int block = 0; block < blocks; ++block) h = TransformerBlock(b, h);
@@ -348,13 +378,15 @@ ir::Program TransformerLm(int variant) {
 }
 
 ir::Program RnnLm(int variant) {
-  const std::int64_t batch = (variant % 2 == 0) ? 32 : 64;
-  const std::int64_t hidden = (variant / 2 % 3 == 0) ? 64
-                              : (variant / 2 % 3 == 1) ? 128 : 96;
+  const auto [v, tier] = SplitVariant(variant, 6);
+  const std::int64_t batch = (v % 2 == 0) ? 32 : 64;
+  const std::int64_t hidden = (v / 2 % 3 == 0) ? 64
+                              : (v / 2 % 3 == 1) ? 128 : 96;
+  const int timesteps = 4 + tier;
   GraphBuilder b;
   LstmState s{b.Parameter(Shape({batch, hidden})),
               b.Parameter(Shape({batch, hidden}))};
-  for (int t = 0; t < 4; ++t) {
+  for (int t = 0; t < timesteps; ++t) {
     const NodeId x = b.Parameter(Shape({batch, hidden}));
     s = LstmCell(b, x, s, hidden);
   }
@@ -365,11 +397,13 @@ ir::Program RnnLm(int variant) {
 }
 
 ir::Program WaveRnnLike(int variant) {
-  const std::int64_t batch = 4 + 4 * (variant % 3);
-  const std::int64_t hidden = (variant / 3 == 0) ? 128 : 256;
+  const auto [v, tier] = SplitVariant(variant, 6);
+  const std::int64_t batch = 4 + 4 * (v % 3);
+  const std::int64_t hidden = (v / 3 == 0) ? 128 : 256;
+  const std::int64_t window = 32 + 16 * tier;
   GraphBuilder b;
   // Conditioning conv1d pre-net over a short audio window.
-  NodeId cond = b.Parameter(Shape({batch, 1, 32, 16}));
+  NodeId cond = b.Parameter(Shape({batch, 1, window, 16}));
   cond = Conv1d(b, cond, 32, 5, 1);
   cond = Conv1d(b, cond, 32, 5, 2);
   const Shape& cs = b.shape_of(cond);
@@ -388,16 +422,18 @@ ir::Program WaveRnnLike(int variant) {
 }
 
 ir::Program ConvDrawLike(int variant) {
-  const std::int64_t batch = 8 * (1 + variant % 2);
-  const std::int64_t width = (variant / 2 % 3 == 0) ? 16
-                             : (variant / 2 % 3 == 1) ? 24 : 32;
+  const auto [v, tier] = SplitVariant(variant, 6);
+  const std::int64_t batch = 8 * (1 + v % 2);
+  const std::int64_t width = (v / 2 % 3 == 0) ? 16
+                             : (v / 2 % 3 == 1) ? 24 : 32;
+  const int unroll = 2 + tier;
   GraphBuilder b;
   NodeId x = b.Parameter(Shape({batch, 32, 32, 3}));
   // Recurrent read/write loop, unrolled twice.
   NodeId canvas = b.Parameter(Shape({batch, 32, 32, 3}));
   LstmState s{b.Parameter(Shape({batch, 128})),
               b.Parameter(Shape({batch, 128}))};
-  for (int step = 0; step < 2; ++step) {
+  for (int step = 0; step < unroll; ++step) {
     NodeId err = b.Binary(OpCode::kSubtract, x, canvas);
     NodeId enc = ConvBnRelu(b, err, width, 5, 2);
     enc = ConvBnRelu(b, enc, width * 2, 5, 2);
@@ -422,6 +458,7 @@ ir::Program ConvDrawLike(int variant) {
 }
 
 ir::Program DlrmLike(int variant) {
+  const int tier = variant;  // one base variant; tiers add sparse features
   GraphBuilder b;
   const std::int64_t batch = 128;
   // Bottom MLP over dense features.
@@ -430,7 +467,7 @@ ir::Program DlrmLike(int variant) {
   bot = b.Dense(bot, 32);
   // Sparse embeddings arrive as already-gathered vectors.
   std::vector<NodeId> features = {bot};
-  for (int f = 0; f < 8; ++f) {
+  for (int f = 0; f < 8 + 2 * tier; ++f) {
     features.push_back(b.Parameter(Shape({batch, 32})));
   }
   NodeId stacked = b.Concatenate(features, 1);  // [batch, 9*32]
@@ -447,12 +484,13 @@ ir::Program DlrmLike(int variant) {
 }
 
 ir::Program AutoCompletionLm(int variant) {
-  const std::int64_t batch = 8 + 8 * (variant % 2);
-  const std::int64_t hidden = (variant / 2 == 0) ? 48 : 64;
+  const auto [v, tier] = SplitVariant(variant, 4);
+  const std::int64_t batch = 8 + 8 * (v % 2);
+  const std::int64_t hidden = (v / 2 == 0) ? 48 : 64;
   GraphBuilder b;
   LstmState s{b.Parameter(Shape({batch, hidden})),
               b.Parameter(Shape({batch, hidden}))};
-  for (int t = 0; t < 2; ++t) {
+  for (int t = 0; t < 2 + tier; ++t) {
     const NodeId x = b.Parameter(Shape({batch, hidden}));
     s = LstmCell(b, x, s, hidden);
   }
@@ -463,8 +501,9 @@ ir::Program AutoCompletionLm(int variant) {
 }
 
 ir::Program SmartComposeLike(int variant) {
-  const std::int64_t batch = 16 * (1 + variant % 2);
-  const std::int64_t hidden = (variant / 2 == 0) ? 96 : 160;
+  const auto [v, tier] = SplitVariant(variant, 4);
+  const std::int64_t batch = 16 * (1 + v % 2);
+  const std::int64_t hidden = (v / 2 == 0) ? 96 : 160;
   GraphBuilder b;
   NodeId prefix = b.Parameter(Shape({batch, hidden}));
   NodeId context = b.Parameter(Shape({batch, hidden}));
@@ -472,7 +511,7 @@ ir::Program SmartComposeLike(int variant) {
   LstmState s{b.Parameter(Shape({batch, hidden})),
               b.Parameter(Shape({batch, hidden}))};
   s = LstmCell(b, joined, s, hidden);
-  s = LstmCell(b, s.h, s, hidden);
+  for (int t = 0; t < 1 + tier; ++t) s = LstmCell(b, s.h, s, hidden);
   NodeId logits = b.Dense(s.h, 4096, /*relu=*/false);
   b.MarkOutput(b.Softmax(logits));
   return ir::Program{"smartcompose_v" + std::to_string(variant),
@@ -480,10 +519,12 @@ ir::Program SmartComposeLike(int variant) {
 }
 
 ir::Program Char2FeatsLike(int variant) {
-  const std::int64_t batch = 16 * (1 + variant % 2);
-  const std::int64_t width = (variant / 2 == 0) ? 32 : 48;
+  const auto [v, tier] = SplitVariant(variant, 4);
+  const std::int64_t batch = 16 * (1 + v % 2);
+  const std::int64_t width = (v / 2 == 0) ? 32 : 48;
+  const std::int64_t seq = 64 + 32 * tier;
   GraphBuilder b;
-  NodeId chars = b.Parameter(Shape({batch, 1, 64, 16}));
+  NodeId chars = b.Parameter(Shape({batch, 1, seq, 16}));
   NodeId h = Conv1d(b, chars, width, 3, 1);
   h = Conv1d(b, h, width, 3, 2);
   h = Conv1d(b, h, width * 2, 3, 2);
@@ -496,11 +537,12 @@ ir::Program Char2FeatsLike(int variant) {
 }
 
 ir::Program RankingLike(int variant) {
-  const std::int64_t batch = 64 * (1 + variant % 3);
-  const std::int64_t width = (variant / 3 == 0) ? 128 : 256;
+  const auto [v, tier] = SplitVariant(variant, 6);
+  const std::int64_t batch = 64 * (1 + v % 3);
+  const std::int64_t width = (v / 3 == 0) ? 128 : 256;
   GraphBuilder b;
   NodeId query = b.Parameter(Shape({batch, 64}));
-  NodeId doc = b.Parameter(Shape({batch, 256}));
+  NodeId doc = b.Parameter(Shape({batch, 256 + 64 * tier}));
   NodeId q = b.Dense(query, width);
   q = b.Dense(q, width / 2);
   NodeId d = b.Dense(doc, width);
@@ -515,10 +557,12 @@ ir::Program RankingLike(int variant) {
 }
 
 ir::Program ImageEmbedLike(int variant) {
-  const std::int64_t batch = 16 * (1 + variant % 2);
-  const std::int64_t width = (variant / 2 == 0) ? 24 : 40;
+  const auto [v, tier] = SplitVariant(variant, 4);
+  const std::int64_t batch = 16 * (1 + v % 2);
+  const std::int64_t width = (v / 2 == 0) ? 24 : 40;
+  const std::int64_t res = 48 + 16 * tier;
   GraphBuilder b;
-  NodeId x = b.Parameter(Shape({batch, 48, 48, 3}));
+  NodeId x = b.Parameter(Shape({batch, res, res, 3}));
   NodeId h = ConvBnRelu(b, x, width, 5, 2);
   h = ConvBnRelu(b, h, width * 2, 3, 2);
   h = ConvBnRelu(b, h, width * 2, 3, 1);
@@ -536,12 +580,14 @@ ir::Program ImageEmbedLike(int variant) {
 }
 
 ir::Program Feats2WaveLike(int variant) {
-  const std::int64_t batch = 4 * (1 + variant % 2);
-  const std::int64_t width = (variant / 2 == 0) ? 32 : 64;
+  const auto [v, tier] = SplitVariant(variant, 4);
+  const std::int64_t batch = 4 * (1 + v % 2);
+  const std::int64_t width = (v / 2 == 0) ? 32 : 64;
+  const std::int64_t time = 64 + 32 * tier;
   GraphBuilder b;
   NodeId feats = b.Parameter(Shape({batch, 64}));
-  NodeId h = b.Dense(feats, 1 * 64 * width, /*relu=*/true);
-  h = b.Reshape(h, Shape({batch, 1, 64, width}));
+  NodeId h = b.Dense(feats, 1 * time * width, /*relu=*/true);
+  h = b.Reshape(h, Shape({batch, 1, time, width}));
   h = Conv1d(b, h, width, 9, 1);
   h = Conv1d(b, h, width, 9, 1);
   h = Conv1d(b, h, 16, 5, 1);
@@ -583,11 +629,27 @@ const FamilySpec kFamilies[] = {
 }  // namespace
 
 std::vector<ir::Program> GenerateCorpus() {
+  return GenerateCorpus(CorpusOptions{});
+}
+
+std::vector<ir::Program> GenerateCorpus(const CorpusOptions& options) {
+  const double scale = std::max(1.0, options.scale);
   std::vector<ir::Program> corpus;
-  corpus.reserve(104);
+  corpus.reserve(static_cast<size_t>(std::lround(104 * scale)));
   for (const FamilySpec& family : kFamilies) {
     for (int v = 0; v < family.variants; ++v) {
       corpus.push_back(family.build(v));
+    }
+    const int extra =
+        static_cast<int>(std::lround(family.variants * (scale - 1.0)));
+    if (extra <= 0) continue;
+    // Extension variants are a consecutive window of the (unbounded) tier
+    // space starting at a seed-chosen offset: consecutive indices are
+    // distinct by construction, identical seeds give identical corpora.
+    const int offset = static_cast<int>(
+        options.seed % static_cast<std::uint64_t>(3 * family.variants + 1));
+    for (int i = 0; i < extra; ++i) {
+      corpus.push_back(family.build(family.variants + offset + i));
     }
   }
   return corpus;
@@ -600,8 +662,11 @@ std::vector<std::string> FamilyNames() {
 }
 
 ir::Program BuildProgram(const std::string& family, int variant) {
+  if (variant < 0) {
+    throw std::invalid_argument("negative variant for family " + family);
+  }
   for (const FamilySpec& spec : kFamilies) {
-    if (family == spec.name) return spec.build(variant % spec.variants);
+    if (family == spec.name) return spec.build(variant);
   }
   throw std::invalid_argument("unknown family: " + family);
 }

@@ -14,6 +14,7 @@
 // trainer must draw examples evenly per family to cope.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "ir/program.h"
@@ -23,11 +24,33 @@ namespace tpuperf::data {
 // Generates the full 104-program corpus, deterministically.
 std::vector<ir::Program> GenerateCorpus();
 
+// Corpus scale-up knobs (ROADMAP "Dataset scale-out"). Every family's
+// variant space extends past its base grid into tiers: tier t of a family
+// re-runs the base depth/width/batch grid with one extra knob the base grid
+// never varies (input resolution, unroll depth, sequence length, ...), so
+// extended variants are structurally distinct from every base variant and
+// from each other.
+struct CorpusOptions {
+  // Multiplies each family's variant count; 4.0 generates the ~4x corpus
+  // (416 programs). Values <= 1 keep the base 104-program corpus — the
+  // split methods need at least one variant per family.
+  double scale = 1.0;
+  // Selects which window of the extension space the extra variants come
+  // from. Identical seeds always generate identical corpora.
+  std::uint64_t seed = 0;
+};
+
+// Generates the scaled corpus, deterministically per (scale, seed). With
+// the default options this is exactly GenerateCorpus().
+std::vector<ir::Program> GenerateCorpus(const CorpusOptions& options);
+
 // Family names in generation order (18 families).
 std::vector<std::string> FamilyNames();
 
 // Builds a single small program of the given family and variant, for tests
-// and examples. Throws std::invalid_argument on unknown family names.
+// and examples. Variants beyond the family's base grid are valid and
+// address the extension tiers (see CorpusOptions). Throws
+// std::invalid_argument on unknown family names or negative variants.
 ir::Program BuildProgram(const std::string& family, int variant);
 
 }  // namespace tpuperf::data

@@ -1,0 +1,945 @@
+#include "dataset/store.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "core/thread_pool.h"
+#include "sim/hash.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TPUPERF_STORE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace tpuperf::data {
+namespace {
+
+// ---- Little-endian encoding (host-independent) -----------------------------
+
+class Enc {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  const std::string& bytes() const noexcept { return out_; }
+
+ private:
+  std::string out_;
+};
+
+std::uint32_t ReadU32At(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ReadU64At(const unsigned char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// Bounds-checked little-endian decoder; every overrun names the record it
+// happened in.
+class Dec {
+ public:
+  Dec(const unsigned char* data, std::size_t size, std::string context)
+      : data_(data), size_(size), context_(std::move(context)) {}
+
+  std::uint8_t U8() {
+    Require(1);
+    return data_[off_++];
+  }
+  std::uint32_t U32() {
+    Require(4);
+    const std::uint32_t v = ReadU32At(data_ + off_);
+    off_ += 4;
+    return v;
+  }
+  std::uint64_t U64() {
+    Require(8);
+    const std::uint64_t v = ReadU64At(data_ + off_);
+    off_ += 8;
+    return v;
+  }
+  std::int32_t I32() { return static_cast<std::int32_t>(U32()); }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    Require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + off_), n);
+    off_ += n;
+    return s;
+  }
+
+  bool AtEnd() const noexcept { return off_ == size_; }
+  std::size_t remaining() const noexcept { return size_ - off_; }
+  const std::string& context() const noexcept { return context_; }
+
+  // Guards element counts read from the payload before any allocation: a
+  // crafted count whose elements (>= `min_bytes` each) could not possibly
+  // fit the remaining bytes must fail loudly instead of attempting a
+  // multi-GB resize.
+  void RequireCount(std::uint64_t count, std::size_t min_bytes,
+                    const char* what) const {
+    if (count > remaining() / min_bytes) {
+      throw StoreError(context_ + ": " + what + " count " +
+                       std::to_string(count) +
+                       " exceeds the record payload (corrupt store)");
+    }
+  }
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw StoreError(context_ + ": " + what);
+  }
+
+ private:
+  void Require(std::size_t n) const {
+    if (off_ + n > size_) {
+      throw StoreError(context_ + ": payload overrun at byte " +
+                       std::to_string(off_) + " (corrupt or truncated record)");
+    }
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+  std::string context_;
+};
+
+std::uint64_t Fnv1a64(const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t HashString(std::string_view s) noexcept {
+  return Fnv1a64(s.data(), s.size());
+}
+
+enum RecordType : std::uint32_t {
+  kProgramRecord = 1,
+  kTileKernelRecord = 2,
+  kFusionSampleRecord = 3,
+  kFeaturizedRecord = 4,
+  kScalerRecord = 5,
+};
+
+// Header layout: magic(8) version(4) feature_hash(8) record_count(8).
+constexpr std::size_t kHeaderSize = 28;
+constexpr std::size_t kRecordCountOffset = 20;
+// Per-record prefix: type(4) payload_size(8) checksum(8).
+constexpr std::size_t kRecordHeaderSize = 20;
+
+// ---- IR serialization ------------------------------------------------------
+
+void EncodeShape(Enc& e, const ir::Shape& shape) {
+  e.U32(static_cast<std::uint32_t>(shape.rank()));
+  for (const std::int64_t d : shape.dims()) e.I64(d);
+  for (const int l : shape.minor_to_major()) e.I32(l);
+  e.U8(static_cast<std::uint8_t>(shape.element_type()));
+}
+
+ir::Shape DecodeShape(Dec& d) {
+  const std::uint32_t rank = d.U32();
+  if (rank > 64) d.Fail("implausible shape rank " + std::to_string(rank));
+  std::vector<std::int64_t> dims(rank);
+  for (auto& v : dims) v = d.I64();
+  std::vector<int> layout(rank);
+  for (auto& v : layout) v = d.I32();
+  const std::uint8_t etype = d.U8();
+  if (etype > static_cast<std::uint8_t>(ir::ElementType::kPred)) {
+    d.Fail("unknown element type " + std::to_string(etype));
+  }
+  ir::Shape shape(std::move(dims), static_cast<ir::ElementType>(etype));
+  shape.set_minor_to_major(std::move(layout));
+  return shape;
+}
+
+void EncodeGraph(Enc& e, const ir::Graph& graph) {
+  e.U32(static_cast<std::uint32_t>(graph.num_nodes()));
+  for (const ir::Node& n : graph.nodes()) {
+    e.U8(static_cast<std::uint8_t>(n.op));
+    EncodeShape(e, n.shape);
+    e.U32(static_cast<std::uint32_t>(n.operands.size()));
+    for (const ir::NodeId id : n.operands) e.I32(id);
+    e.U32(static_cast<std::uint32_t>(n.window.dims.size()));
+    for (const ir::WindowDim& w : n.window.dims) {
+      e.I64(w.size);
+      e.I64(w.stride);
+      e.I64(w.padding_low);
+      e.I64(w.padding_high);
+      e.I64(w.dilation);
+    }
+    e.U32(static_cast<std::uint32_t>(n.reduce_dims.size()));
+    for (const int r : n.reduce_dims) e.I32(r);
+    e.I64(n.feature_in);
+    e.I64(n.feature_out);
+    e.U8(n.is_output ? 1 : 0);
+  }
+}
+
+ir::Graph DecodeGraph(Dec& d) {
+  const std::uint32_t num_nodes = d.U32();
+  d.RequireCount(num_nodes, 16, "node");
+  ir::Graph graph;
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    ir::Node n;
+    const std::uint8_t op = d.U8();
+    if (op >= static_cast<std::uint8_t>(ir::kNumOpCodes)) {
+      d.Fail("unknown opcode " + std::to_string(op) + " in node " +
+             std::to_string(i));
+    }
+    n.op = static_cast<ir::OpCode>(op);
+    n.shape = DecodeShape(d);
+    const std::uint32_t num_operands = d.U32();
+    d.RequireCount(num_operands, 4, "operand");
+    n.operands.resize(num_operands);
+    for (auto& id : n.operands) id = d.I32();
+    const std::uint32_t num_window = d.U32();
+    d.RequireCount(num_window, 40, "window dim");
+    n.window.dims.resize(num_window);
+    for (auto& w : n.window.dims) {
+      w.size = d.I64();
+      w.stride = d.I64();
+      w.padding_low = d.I64();
+      w.padding_high = d.I64();
+      w.dilation = d.I64();
+    }
+    const std::uint32_t num_reduce = d.U32();
+    d.RequireCount(num_reduce, 4, "reduce dim");
+    n.reduce_dims.resize(num_reduce);
+    for (auto& r : n.reduce_dims) r = d.I32();
+    n.feature_in = d.I64();
+    n.feature_out = d.I64();
+    n.is_output = d.U8() != 0;
+    graph.AddNode(std::move(n));  // re-validates the operand-order invariant
+  }
+  return graph;
+}
+
+void EncodeTile(Enc& e, const ir::TileConfig& tile) {
+  e.U32(static_cast<std::uint32_t>(tile.dims.size()));
+  for (const std::int64_t v : tile.dims) e.I64(v);
+}
+
+ir::TileConfig DecodeTile(Dec& d) {
+  const std::uint32_t rank = d.U32();
+  if (rank > 64) d.Fail("implausible tile rank " + std::to_string(rank));
+  ir::TileConfig tile;
+  tile.dims.resize(rank);
+  for (auto& v : tile.dims) v = d.I64();
+  return tile;
+}
+
+void EncodeKernelRecord(Enc& e, const KernelRecord& record) {
+  EncodeGraph(e, record.kernel.graph);
+  e.U8(static_cast<std::uint8_t>(record.kernel.kind));
+  e.U64(record.fingerprint);
+  e.I32(record.program_id);
+  e.Str(record.family);
+}
+
+KernelRecord DecodeKernelRecord(Dec& d) {
+  KernelRecord record;
+  record.kernel.graph = DecodeGraph(d);
+  const std::uint8_t kind = d.U8();
+  if (kind > static_cast<std::uint8_t>(ir::KernelKind::kDataFormatting)) {
+    d.Fail("unknown kernel kind " + std::to_string(kind));
+  }
+  record.kernel.kind = static_cast<ir::KernelKind>(kind);
+  record.fingerprint = d.U64();
+  record.program_id = d.I32();
+  record.family = d.Str();
+  if (record.fingerprint != record.kernel.graph.Fingerprint()) {
+    d.Fail("stored fingerprint does not match the decoded graph "
+           "(serialization drift or tampering)");
+  }
+  return record;
+}
+
+// ---- Record payloads -------------------------------------------------------
+
+std::string EncodeProgramPayload(const ProgramInfo& p) {
+  Enc e;
+  e.I32(p.program_id);
+  e.Str(p.name);
+  e.Str(p.family);
+  return e.bytes();
+}
+
+ProgramInfo DecodeProgramPayload(Dec& d) {
+  ProgramInfo p;
+  p.program_id = d.I32();
+  p.name = d.Str();
+  p.family = d.Str();
+  return p;
+}
+
+std::string EncodeTileKernelPayload(const TileKernelData& k) {
+  Enc e;
+  EncodeKernelRecord(e, k.record);
+  if (k.configs.size() != k.runtimes.size()) {
+    throw StoreError("tile kernel has " + std::to_string(k.configs.size()) +
+                     " configs but " + std::to_string(k.runtimes.size()) +
+                     " runtimes; refusing to serialize");
+  }
+  e.U32(static_cast<std::uint32_t>(k.configs.size()));
+  for (std::size_t i = 0; i < k.configs.size(); ++i) {
+    EncodeTile(e, k.configs[i]);
+    e.F64(k.runtimes[i]);
+  }
+  return e.bytes();
+}
+
+TileKernelData DecodeTileKernelPayload(Dec& d) {
+  TileKernelData k;
+  k.record = DecodeKernelRecord(d);
+  const std::uint32_t count = d.U32();
+  k.configs.reserve(count);
+  k.runtimes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    k.configs.push_back(DecodeTile(d));
+    k.runtimes.push_back(d.F64());
+  }
+  return k;
+}
+
+std::string EncodeFusionSamplePayload(const FusionSample& s) {
+  Enc e;
+  EncodeKernelRecord(e, s.record);
+  EncodeTile(e, s.tile);
+  e.F64(s.runtime);
+  e.U8(s.from_default_config ? 1 : 0);
+  return e.bytes();
+}
+
+FusionSample DecodeFusionSamplePayload(Dec& d) {
+  FusionSample s;
+  s.record = DecodeKernelRecord(d);
+  s.tile = DecodeTile(d);
+  s.runtime = d.F64();
+  s.from_default_config = d.U8() != 0;
+  return s;
+}
+
+std::string EncodeFeaturizedPayload(const FeaturizedKernel& fk) {
+  Enc e;
+  e.U64(fk.fingerprint);
+  e.U64(fk.structural_sig);
+  const feat::KernelFeatures& kf = fk.features;
+  const auto n = static_cast<std::uint32_t>(kf.opcode_ids.size());
+  e.U32(n);
+  e.U32(static_cast<std::uint32_t>(feat::kNodeScalarFeatures));
+  for (const int id : kf.opcode_ids) e.I32(id);
+  for (const auto& row : kf.node_scalars) {
+    if (row.size() != static_cast<std::size_t>(feat::kNodeScalarFeatures)) {
+      throw StoreError("featurized record has a node-scalar row of width " +
+                       std::to_string(row.size()) + "; refusing to serialize");
+    }
+    for (const double v : row) e.F64(v);
+  }
+  // Adjacency (operand lists) in CSR form: row_ptr then column indices.
+  std::uint32_t nnz = 0;
+  for (const auto& ops : kf.operand_lists) {
+    nnz += static_cast<std::uint32_t>(ops.size());
+  }
+  e.U32(nnz);
+  std::uint32_t row_start = 0;
+  e.U32(0);
+  for (const auto& ops : kf.operand_lists) {
+    row_start += static_cast<std::uint32_t>(ops.size());
+    e.U32(row_start);
+  }
+  for (const auto& ops : kf.operand_lists) {
+    for (const int id : ops) e.I32(id);
+  }
+  e.U32(static_cast<std::uint32_t>(kf.static_perf.size()));
+  for (const double v : kf.static_perf) e.F64(v);
+  return e.bytes();
+}
+
+FeaturizedKernel DecodeFeaturizedPayload(Dec& d) {
+  FeaturizedKernel fk;
+  fk.fingerprint = d.U64();
+  fk.structural_sig = d.U64();
+  const std::uint32_t n = d.U32();
+  const std::uint32_t width = d.U32();
+  if (width != static_cast<std::uint32_t>(feat::kNodeScalarFeatures)) {
+    d.Fail("node-scalar width " + std::to_string(width) +
+           " does not match the current featurizer (" +
+           std::to_string(feat::kNodeScalarFeatures) + ")");
+  }
+  d.RequireCount(n, 4, "featurized node");
+  feat::KernelFeatures& kf = fk.features;
+  kf.opcode_ids.resize(n);
+  for (auto& id : kf.opcode_ids) {
+    id = d.I32();
+    if (id < 0 || id >= ir::kNumOpCodes) {
+      d.Fail("featurized opcode id " + std::to_string(id) + " out of range");
+    }
+  }
+  d.RequireCount(static_cast<std::uint64_t>(n) * width, 8, "node scalar");
+  kf.node_scalars.assign(n, std::vector<double>(
+                                static_cast<std::size_t>(width)));
+  for (auto& row : kf.node_scalars) {
+    for (auto& v : row) v = d.F64();
+  }
+  const std::uint32_t nnz = d.U32();
+  d.RequireCount(nnz, 4, "CSR edge");
+  std::vector<std::uint32_t> row_ptr(n + 1);
+  for (auto& v : row_ptr) v = d.U32();
+  if (row_ptr.front() != 0 || row_ptr.back() != nnz) {
+    d.Fail("CSR row pointers do not cover the stored edges");
+  }
+  kf.operand_lists.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (row_ptr[i + 1] < row_ptr[i]) d.Fail("CSR row pointers not monotone");
+    kf.operand_lists[i].resize(row_ptr[i + 1] - row_ptr[i]);
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (auto& id : kf.operand_lists[i]) {
+      id = d.I32();
+      if (id < 0 || static_cast<std::uint32_t>(id) >= i) {
+        d.Fail("CSR operand " + std::to_string(id) + " of node " +
+               std::to_string(i) + " breaks the topological invariant");
+      }
+    }
+  }
+  const std::uint32_t perf = d.U32();
+  if (perf != static_cast<std::uint32_t>(feat::kStaticPerfFeatures)) {
+    d.Fail("static-perf width " + std::to_string(perf) +
+           " does not match the current featurizer");
+  }
+  kf.static_perf.resize(perf);
+  for (auto& v : kf.static_perf) v = d.F64();
+  return fk;
+}
+
+std::string EncodeScalerPayload(const std::string& name,
+                                const feat::FeatureScaler& scaler) {
+  Enc e;
+  e.Str(name);
+  e.U32(static_cast<std::uint32_t>(scaler.num_features()));
+  e.I64(scaler.observed());
+  for (const double v : scaler.mins()) e.F64(v);
+  for (const double v : scaler.maxs()) e.F64(v);
+  return e.bytes();
+}
+
+std::pair<std::string, feat::FeatureScaler> DecodeScalerPayload(Dec& d) {
+  std::string name = d.Str();
+  const std::uint32_t width = d.U32();
+  if (width > (1u << 20)) d.Fail("implausible scaler width");
+  const long observed = static_cast<long>(d.I64());
+  std::vector<double> mins(width);
+  for (auto& v : mins) v = d.F64();
+  std::vector<double> maxs(width);
+  for (auto& v : maxs) v = d.F64();
+  return {std::move(name),
+          feat::FeatureScaler::FromStats(std::move(mins), std::move(maxs),
+                                         observed)};
+}
+
+// ---- Shared build-path helpers ---------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Featurizes every unique (fingerprint, signature) kernel once, sharded
+// across the global thread pool. Output order is the deterministic
+// first-seen record order regardless of pool width.
+std::shared_ptr<StoredFeatures> FeaturizeUnique(
+    const std::vector<const KernelRecord*>& records) {
+  std::vector<const KernelRecord*> unique;
+  std::vector<std::uint64_t> sigs;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (const KernelRecord* rec : records) {
+    const std::uint64_t sig = rec->kernel.graph.StructuralSignature();
+    if (seen.insert({rec->fingerprint, sig}).second) {
+      unique.push_back(rec);
+      sigs.push_back(sig);
+    }
+  }
+  std::vector<FeaturizedKernel> featurized(unique.size());
+  const auto body = [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t i = b0; i < b1; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      featurized[u].fingerprint = unique[u]->fingerprint;
+      featurized[u].structural_sig = sigs[u];
+      featurized[u].features =
+          feat::FeaturizeKernel(unique[u]->kernel.graph);
+    }
+  };
+  const auto n = static_cast<std::int64_t>(unique.size());
+  if (n > 1 && core::ThreadPool::Global().size() > 1) {
+    core::ParallelFor(0, n, 1, body);
+  } else {
+    body(0, n);
+  }
+  auto out = std::make_shared<StoredFeatures>();
+  for (FeaturizedKernel& fk : featurized) out->Add(std::move(fk));
+  return out;
+}
+
+void VerifyPrograms(const StoreContents& contents,
+                    std::span<const ir::Program> corpus,
+                    const std::string& path) {
+  if (contents.programs.size() != corpus.size()) {
+    throw StoreError(path + ": store was built from a different corpus (" +
+                     std::to_string(contents.programs.size()) +
+                     " programs stored, " + std::to_string(corpus.size()) +
+                     " expected)");
+  }
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const ProgramInfo& p = contents.programs[i];
+    if (p.program_id != static_cast<int>(i) || p.name != corpus[i].name ||
+        p.family != corpus[i].family) {
+      throw StoreError(path + ": program " + std::to_string(i) +
+                       " is \"" + p.name + "\" in the store but \"" +
+                       corpus[i].name + "\" in the generating corpus");
+    }
+  }
+}
+
+void FillStats(StoreLoadStats* stats, bool hit, std::string path,
+               Clock::time_point start) {
+  if (stats == nullptr) return;
+  stats->cache_hit = hit;
+  stats->path = std::move(path);
+  stats->seconds = Seconds(start);
+}
+
+}  // namespace
+
+// ---- StoredFeatures --------------------------------------------------------
+
+void StoredFeatures::Add(FeaturizedKernel kernel) {
+  if (Lookup(kernel.fingerprint, kernel.structural_sig) != nullptr) return;
+  entries_.push_back(std::move(kernel));
+  const FeaturizedKernel& stored = entries_.back();
+  by_fingerprint_[stored.fingerprint].push_back(&stored);
+}
+
+const feat::KernelFeatures* StoredFeatures::Lookup(
+    std::uint64_t fingerprint, std::uint64_t structural_sig) const {
+  const auto it = by_fingerprint_.find(fingerprint);
+  if (it == by_fingerprint_.end()) return nullptr;
+  for (const FeaturizedKernel* fk : it->second) {
+    if (fk->structural_sig == structural_sig) return &fk->features;
+  }
+  return nullptr;
+}
+
+// ---- Format-level helpers --------------------------------------------------
+
+std::uint64_t FeatureConfigHash() {
+  return sim::HashCombine(
+      0xFEA701ull, static_cast<std::uint64_t>(feat::kNodeScalarFeatures),
+      static_cast<std::uint64_t>(feat::kTileFeatures),
+      static_cast<std::uint64_t>(feat::kStaticPerfFeatures),
+      static_cast<std::uint64_t>(ir::kMaxEncodedRank),
+      static_cast<std::uint64_t>(ir::kNumOpCodes));
+}
+
+// ---- DatasetWriter ---------------------------------------------------------
+
+namespace {
+std::ofstream& Stream(void* p) { return *static_cast<std::ofstream*>(p); }
+}  // namespace
+
+DatasetWriter::DatasetWriter(std::string path) : path_(std::move(path)) {
+  // Unique temporary per writer: concurrent cold builds of the same key
+  // (shared cache dirs) each complete their own file, and the atomic rename
+  // makes the last finisher win with a consistent store.
+  tmp_path_ = path_ + ".tmp." +
+              std::to_string(static_cast<unsigned long long>(
+                  Clock::now().time_since_epoch().count())) +
+              "." +
+              std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  auto stream = std::make_unique<std::ofstream>(
+      tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!*stream) {
+    throw StoreError(tmp_path_ + ": cannot open for writing");
+  }
+  stream->write(kStoreMagic, sizeof(kStoreMagic));
+  Enc e;
+  e.U32(kStoreFormatVersion);
+  e.U64(FeatureConfigHash());
+  e.U64(0);  // record count, patched by Finish()
+  stream->write(e.bytes().data(),
+                static_cast<std::streamsize>(e.bytes().size()));
+  stream_ = stream.release();
+}
+
+DatasetWriter::~DatasetWriter() {
+  if (stream_ != nullptr) {
+    delete &Stream(stream_);
+    stream_ = nullptr;
+  }
+  if (!finished_) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+  }
+}
+
+void DatasetWriter::WriteRecord(std::uint32_t type,
+                                const std::string& payload) {
+  if (finished_ || stream_ == nullptr) {
+    throw StoreError(path_ + ": writer already finished");
+  }
+  Enc header;
+  header.U32(type);
+  header.U64(payload.size());
+  header.U64(Fnv1a64(payload.data(), payload.size()));
+  auto& os = Stream(stream_);
+  os.write(header.bytes().data(),
+           static_cast<std::streamsize>(header.bytes().size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!os) throw StoreError(tmp_path_ + ": write failed");
+  ++count_;
+}
+
+void DatasetWriter::Add(const ProgramInfo& program) {
+  WriteRecord(kProgramRecord, EncodeProgramPayload(program));
+}
+
+void DatasetWriter::Add(const TileKernelData& kernel) {
+  WriteRecord(kTileKernelRecord, EncodeTileKernelPayload(kernel));
+}
+
+void DatasetWriter::Add(const FusionSample& sample) {
+  WriteRecord(kFusionSampleRecord, EncodeFusionSamplePayload(sample));
+}
+
+void DatasetWriter::Add(const FeaturizedKernel& kernel) {
+  WriteRecord(kFeaturizedRecord, EncodeFeaturizedPayload(kernel));
+}
+
+void DatasetWriter::AddScaler(const std::string& name,
+                              const feat::FeatureScaler& scaler) {
+  WriteRecord(kScalerRecord, EncodeScalerPayload(name, scaler));
+}
+
+void DatasetWriter::Finish() {
+  if (finished_) return;
+  if (stream_ == nullptr) throw StoreError(path_ + ": writer has no stream");
+  auto& os = Stream(stream_);
+  os.seekp(static_cast<std::streamoff>(kRecordCountOffset));
+  Enc e;
+  e.U64(count_);
+  os.write(e.bytes().data(), static_cast<std::streamsize>(e.bytes().size()));
+  os.flush();
+  const bool ok = static_cast<bool>(os);
+  delete &os;
+  stream_ = nullptr;
+  if (!ok) throw StoreError(tmp_path_ + ": flush failed");
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, path_, ec);
+  if (ec) {
+    throw StoreError(path_ + ": rename from temporary failed (" +
+                     ec.message() + ")");
+  }
+  finished_ = true;
+}
+
+// ---- DatasetReader ---------------------------------------------------------
+
+DatasetReader::DatasetReader(std::string path, ReadMode mode)
+    : path_(std::move(path)) {
+#if defined(TPUPERF_STORE_HAS_MMAP)
+  if (mode == ReadMode::kAuto || mode == ReadMode::kMmap) {
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        void* base = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                            PROT_READ, MAP_PRIVATE, fd, 0);
+        if (base != MAP_FAILED) {
+          map_base_ = base;
+          map_size_ = static_cast<std::size_t>(st.st_size);
+          data_ = static_cast<const unsigned char*>(base);
+          size_ = map_size_;
+          mapped_ = true;
+        }
+      }
+      ::close(fd);
+    }
+  }
+#else
+  if (mode == ReadMode::kMmap) {
+    throw StoreError(path_ + ": mmap reads are not supported on this platform");
+  }
+#endif
+  if (!mapped_) {
+    if (mode == ReadMode::kMmap) {
+      throw StoreError(path_ + ": cannot mmap (missing or empty file?)");
+    }
+    std::ifstream is(path_, std::ios::binary);
+    if (!is) throw StoreError(path_ + ": cannot open");
+    owned_.assign(std::istreambuf_iterator<char>(is),
+                  std::istreambuf_iterator<char>());
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+
+  if (size_ < kHeaderSize) {
+    throw StoreError(path_ + ": truncated header (" + std::to_string(size_) +
+                     " bytes, need " + std::to_string(kHeaderSize) + ")");
+  }
+  if (std::memcmp(data_, kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    throw StoreError(path_ + ": bad magic — not a tpuperf dataset store");
+  }
+  version_ = ReadU32At(data_ + 8);
+  if (version_ == 0) {
+    throw StoreError(path_ + ": invalid format version 0");
+  }
+  if (version_ > kStoreFormatVersion) {
+    throw StoreError(path_ + ": format version " + std::to_string(version_) +
+                     " was written by a newer tpuperf (this build reads up "
+                     "to version " +
+                     std::to_string(kStoreFormatVersion) +
+                     "); refusing to guess at its layout");
+  }
+  feature_hash_ = ReadU64At(data_ + 12);
+  if (feature_hash_ != FeatureConfigHash()) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "feature-config hash mismatch (store 0x%016llx, current "
+                  "0x%016llx)",
+                  static_cast<unsigned long long>(feature_hash_),
+                  static_cast<unsigned long long>(FeatureConfigHash()));
+    throw StoreError(path_ + ": " + buf +
+                     " — the featurizer layout changed; regenerate the "
+                     "dataset cache");
+  }
+  count_ = ReadU64At(data_ + kRecordCountOffset);
+}
+
+DatasetReader::~DatasetReader() {
+#if defined(TPUPERF_STORE_HAS_MMAP)
+  if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+#endif
+}
+
+StoreContents DatasetReader::ReadAll() const {
+  StoreContents out;
+  std::size_t off = kHeaderSize;
+  for (std::uint64_t r = 0; r < count_; ++r) {
+    const std::string context =
+        path_ + ": record " + std::to_string(r);
+    if (off + kRecordHeaderSize > size_) {
+      throw StoreError(context + ": record header runs past end of file "
+                       "(truncated store)");
+    }
+    const std::uint32_t type = ReadU32At(data_ + off);
+    const std::uint64_t payload_size = ReadU64At(data_ + off + 4);
+    const std::uint64_t checksum = ReadU64At(data_ + off + 12);
+    if (payload_size > size_ - (off + kRecordHeaderSize)) {
+      throw StoreError(context + ": payload of " +
+                       std::to_string(payload_size) +
+                       " bytes runs past end of file (truncated store)");
+    }
+    const unsigned char* payload = data_ + off + kRecordHeaderSize;
+    if (Fnv1a64(payload, payload_size) != checksum) {
+      throw StoreError(context + " (type " + std::to_string(type) +
+                       "): checksum mismatch — corrupted store");
+    }
+    Dec d(payload, payload_size, context);
+    try {
+      switch (type) {
+        case kProgramRecord:
+          out.programs.push_back(DecodeProgramPayload(d));
+          break;
+        case kTileKernelRecord:
+          out.tile.kernels.push_back(DecodeTileKernelPayload(d));
+          break;
+        case kFusionSampleRecord:
+          out.fusion.samples.push_back(DecodeFusionSamplePayload(d));
+          break;
+        case kFeaturizedRecord:
+          out.features->Add(DecodeFeaturizedPayload(d));
+          break;
+        case kScalerRecord: {
+          auto [name, scaler] = DecodeScalerPayload(d);
+          out.scalers.insert_or_assign(std::move(name), std::move(scaler));
+          break;
+        }
+        default:
+          throw StoreError(context + ": unknown record type " +
+                           std::to_string(type));
+      }
+    } catch (const StoreError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw StoreError(context + ": " + e.what());
+    }
+    if (!d.AtEnd()) {
+      throw StoreError(context + ": trailing bytes inside record payload");
+    }
+    off += kRecordHeaderSize + payload_size;
+  }
+  if (off != size_) {
+    throw StoreError(path_ + ": " + std::to_string(size_ - off) +
+                     " trailing bytes after the last record");
+  }
+  return out;
+}
+
+// ---- Cache-directory layer -------------------------------------------------
+
+std::uint64_t DatasetCacheKey(std::string_view task, std::string_view target,
+                              std::span<const ir::Program> corpus,
+                              const DatasetOptions& options) {
+  std::uint64_t key = sim::HashCombine(HashString(task), HashString(target));
+  key = sim::HashCombine(key, corpus.size());
+  for (const ir::Program& p : corpus) {
+    key = sim::HashCombine(key, HashString(p.name), HashString(p.family),
+                           p.graph.Fingerprint());
+  }
+  key = sim::HashCombine(
+      key, static_cast<std::uint64_t>(options.max_tile_configs_per_kernel),
+      static_cast<std::uint64_t>(options.max_enumerated_tiles),
+      static_cast<std::uint64_t>(options.fusion_configs_per_program),
+      options.seed);
+  return sim::HashCombine(key, FeatureConfigHash(),
+                          static_cast<std::uint64_t>(kStoreFormatVersion));
+}
+
+std::string StorePath(const std::string& dir, std::string_view task,
+                      std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += task;
+  path += '_';
+  path += buf;
+  path += ".tpds";
+  return path;
+}
+
+TileDataset LoadOrBuildTileDataset(const std::string& cache_dir,
+                                   std::span<const ir::Program> corpus,
+                                   const sim::TpuSimulator& simulator,
+                                   const DatasetOptions& options,
+                                   std::shared_ptr<StoredFeatures>* features,
+                                   StoreLoadStats* stats) {
+  const auto start = Clock::now();
+  if (features != nullptr) features->reset();
+  if (cache_dir.empty()) {
+    TileDataset dataset = BuildTileDataset(corpus, simulator, options);
+    FillStats(stats, false, "", start);
+    return dataset;
+  }
+  const std::uint64_t key =
+      DatasetCacheKey("tile", simulator.target().name, corpus, options);
+  const std::string path = StorePath(cache_dir, "tile", key);
+  if (std::filesystem::exists(path)) {
+    DatasetReader reader(path);
+    StoreContents contents = reader.ReadAll();
+    VerifyPrograms(contents, corpus, path);
+    if (features != nullptr) *features = contents.features;
+    FillStats(stats, true, path, start);
+    return std::move(contents.tile);
+  }
+  TileDataset dataset = BuildTileDataset(corpus, simulator, options);
+  std::vector<const KernelRecord*> records;
+  records.reserve(dataset.kernels.size());
+  for (const TileKernelData& k : dataset.kernels) records.push_back(&k.record);
+  auto stored = FeaturizeUnique(records);
+  std::filesystem::create_directories(cache_dir);
+  DatasetWriter writer(path);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    writer.Add(ProgramInfo{static_cast<int>(i), corpus[i].name,
+                           corpus[i].family});
+  }
+  for (const TileKernelData& k : dataset.kernels) writer.Add(k);
+  for (const FeaturizedKernel& fk : stored->entries()) writer.Add(fk);
+  writer.Finish();
+  if (features != nullptr) *features = std::move(stored);
+  FillStats(stats, false, path, start);
+  return dataset;
+}
+
+FusionDataset LoadOrBuildFusionDataset(
+    const std::string& cache_dir, std::span<const ir::Program> corpus,
+    const sim::TpuSimulator& simulator,
+    const analytical::AnalyticalModel& analytical,
+    const DatasetOptions& options,
+    std::shared_ptr<StoredFeatures>* features, StoreLoadStats* stats) {
+  const auto start = Clock::now();
+  if (features != nullptr) features->reset();
+  if (cache_dir.empty()) {
+    FusionDataset dataset =
+        BuildFusionDataset(corpus, simulator, analytical, options);
+    FillStats(stats, false, "", start);
+    return dataset;
+  }
+  const std::uint64_t key =
+      DatasetCacheKey("fusion", simulator.target().name, corpus, options);
+  const std::string path = StorePath(cache_dir, "fusion", key);
+  if (std::filesystem::exists(path)) {
+    DatasetReader reader(path);
+    StoreContents contents = reader.ReadAll();
+    VerifyPrograms(contents, corpus, path);
+    if (features != nullptr) *features = contents.features;
+    FillStats(stats, true, path, start);
+    return std::move(contents.fusion);
+  }
+  FusionDataset dataset =
+      BuildFusionDataset(corpus, simulator, analytical, options);
+  std::vector<const KernelRecord*> records;
+  records.reserve(dataset.samples.size());
+  for (const FusionSample& s : dataset.samples) records.push_back(&s.record);
+  auto stored = FeaturizeUnique(records);
+  std::filesystem::create_directories(cache_dir);
+  DatasetWriter writer(path);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    writer.Add(ProgramInfo{static_cast<int>(i), corpus[i].name,
+                           corpus[i].family});
+  }
+  for (const FusionSample& s : dataset.samples) writer.Add(s);
+  for (const FeaturizedKernel& fk : stored->entries()) writer.Add(fk);
+  writer.Finish();
+  if (features != nullptr) *features = std::move(stored);
+  FillStats(stats, false, path, start);
+  return dataset;
+}
+
+}  // namespace tpuperf::data

@@ -1,0 +1,230 @@
+// On-disk featurized dataset store (ROADMAP "Dataset scale-out").
+//
+// The paper collects its 25M/208M-sample datasets once and reuses them for
+// every experiment (§4); Halide's learned cost model and TenSet ship
+// pre-featurized sample stores for the same reason. This store decouples
+// training scale from generation cost the same way: a dataset build
+// (simulation measurements) and its featurization (feat::FeaturizeKernel
+// graph walks) are written to disk once, and warm runs load both without
+// touching the simulator or the featurizer.
+//
+// File format (versioned, little-endian regardless of host):
+//
+//   header:  magic "TPUPERFD" (8) | format version u32 | feature-config
+//            hash u64 | record count u64
+//   record:  type u32 | payload size u64 | FNV-1a-64 checksum of payload
+//            u64 | payload bytes
+//
+// Record types: program info, tile-task kernels (graph + measured tile
+// configs + runtimes), fusion samples, featurized kernels (raw node
+// features + adjacency in CSR form), and named feature-scaler statistics.
+// Readers verify the magic, reject files written by a newer format version,
+// reject mismatched feature-config hashes (the featurizer layout changed;
+// cached matrices would be meaningless), and verify every record's size and
+// checksum — corruption fails loudly with a diagnostic StoreError, never a
+// silent partial load.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/datasets.h"
+#include "features/featurizer.h"
+#include "features/scaler.h"
+
+namespace tpuperf::data {
+
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+inline constexpr char kStoreMagic[8] = {'T', 'P', 'U', 'P',
+                                        'E', 'R', 'F', 'D'};
+
+// Hash of the feature-extractor layout (block widths, encoded rank, opcode
+// vocabulary size). Stored in every file header; a mismatch means the
+// cached featurized matrices no longer describe what the model would see
+// and the store must be regenerated.
+std::uint64_t FeatureConfigHash();
+
+// Thrown on any malformed, truncated, corrupted, or incompatible store
+// file. The message names the file and what failed.
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// One kernel's raw featurization keyed by the graph hashes core's
+// PreparedCache already uses (fingerprint + structural signature for
+// collision safety).
+struct FeaturizedKernel {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t structural_sig = 0;
+  feat::KernelFeatures features;
+};
+
+// Loaded featurized records, servable as a feat::KernelFeatureSource so
+// PreparedCache and the trainers skip FeaturizeKernel on warm runs. Safe
+// for concurrent Lookup once populated; pointers stay valid for the
+// object's lifetime.
+class StoredFeatures final : public feat::KernelFeatureSource {
+ public:
+  // Appends one record (first entry wins on exact duplicates).
+  void Add(FeaturizedKernel kernel);
+
+  const feat::KernelFeatures* Lookup(
+      std::uint64_t fingerprint, std::uint64_t structural_sig) const override;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  // Records in insertion order, for serialization.
+  const std::deque<FeaturizedKernel>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::deque<FeaturizedKernel> entries_;  // stable addresses
+  std::unordered_map<std::uint64_t, std::vector<const FeaturizedKernel*>>
+      by_fingerprint_;
+};
+
+// Corpus manifest entry: program identity survives serialization, so split
+// specs computed over the generating corpus stay meaningful for a loaded
+// dataset.
+struct ProgramInfo {
+  int program_id = -1;
+  std::string name;
+  std::string family;
+
+  bool operator==(const ProgramInfo&) const = default;
+};
+
+// Everything a store file holds.
+struct StoreContents {
+  std::vector<ProgramInfo> programs;
+  TileDataset tile;
+  FusionDataset fusion;
+  std::shared_ptr<StoredFeatures> features =
+      std::make_shared<StoredFeatures>();
+  std::map<std::string, feat::FeatureScaler> scalers;
+};
+
+// Streams records to `path`. Writes go to a temporary sibling file that is
+// atomically renamed into place by Finish(), so readers never observe a
+// half-written store; an unfinished writer removes its temporary on
+// destruction.
+class DatasetWriter {
+ public:
+  explicit DatasetWriter(std::string path);
+  ~DatasetWriter();
+  DatasetWriter(const DatasetWriter&) = delete;
+  DatasetWriter& operator=(const DatasetWriter&) = delete;
+
+  void Add(const ProgramInfo& program);
+  void Add(const TileKernelData& kernel);
+  void Add(const FusionSample& sample);
+  void Add(const FeaturizedKernel& kernel);
+  void AddScaler(const std::string& name, const feat::FeatureScaler& scaler);
+
+  std::uint64_t record_count() const noexcept { return count_; }
+
+  // Patches the record count into the header and renames the temporary
+  // file to the final path. Throws StoreError on I/O failure.
+  void Finish();
+
+ private:
+  void WriteRecord(std::uint32_t type, const std::string& payload);
+
+  std::string path_;
+  std::string tmp_path_;
+  void* stream_ = nullptr;  // std::ofstream, kept out of the header
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+enum class ReadMode {
+  kAuto,   // mmap when the platform supports it, else stream
+  kMmap,   // require mmap (throws where unsupported)
+  kStream  // buffered read
+};
+
+// Validates the header on construction and decodes records on ReadAll().
+// Any inconsistency — bad magic, future format version, feature-config
+// mismatch, truncation, checksum or structural corruption — throws
+// StoreError with the file name and failing offset/record.
+class DatasetReader {
+ public:
+  explicit DatasetReader(std::string path, ReadMode mode = ReadMode::kAuto);
+  ~DatasetReader();
+  DatasetReader(const DatasetReader&) = delete;
+  DatasetReader& operator=(const DatasetReader&) = delete;
+
+  std::uint32_t format_version() const noexcept { return version_; }
+  std::uint64_t feature_config_hash() const noexcept { return feature_hash_; }
+  std::uint64_t record_count() const noexcept { return count_; }
+  bool mapped() const noexcept { return mapped_; }
+
+  StoreContents ReadAll() const;
+
+ private:
+  std::string path_;
+  std::vector<unsigned char> owned_;  // stream fallback buffer
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_base_ = nullptr;
+  std::size_t map_size_ = 0;
+  bool mapped_ = false;
+  std::uint32_t version_ = 0;
+  std::uint64_t feature_hash_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+// ---- Cache-directory layer (TPUPERF_DATASET_DIR) ---------------------------
+
+// Key identifying one concrete dataset build: task, simulated target,
+// corpus (names + graph fingerprints), generation budgets, and the feature
+// configuration. Part of the store file name, so distinct builds never
+// collide in one cache directory.
+std::uint64_t DatasetCacheKey(std::string_view task, std::string_view target,
+                              std::span<const ir::Program> corpus,
+                              const DatasetOptions& options);
+
+// "<dir>/<task>_<key as 16 hex digits>.tpds".
+std::string StorePath(const std::string& dir, std::string_view task,
+                      std::uint64_t key);
+
+struct StoreLoadStats {
+  bool cache_hit = false;
+  std::string path;       // file consulted (empty when no cache dir)
+  double seconds = 0;     // wall time to load (hit) or build+write (miss)
+};
+
+// Loads the tile-size dataset for (corpus, options, simulator target) from
+// `cache_dir` when a store exists; otherwise builds it in-process,
+// featurizes every unique kernel (sharded across core::ThreadPool), and
+// writes the store for the next run. An empty `cache_dir` means plain
+// in-process generation with no I/O and no featurization. A present but
+// corrupt store throws StoreError rather than silently rebuilding.
+// `features` (optional) receives the featurized records for registration
+// with feat::SetGlobalKernelFeatureSource.
+TileDataset LoadOrBuildTileDataset(
+    const std::string& cache_dir, std::span<const ir::Program> corpus,
+    const sim::TpuSimulator& simulator, const DatasetOptions& options,
+    std::shared_ptr<StoredFeatures>* features = nullptr,
+    StoreLoadStats* stats = nullptr);
+
+// Fusion-task counterpart of LoadOrBuildTileDataset.
+FusionDataset LoadOrBuildFusionDataset(
+    const std::string& cache_dir, std::span<const ir::Program> corpus,
+    const sim::TpuSimulator& simulator,
+    const analytical::AnalyticalModel& analytical,
+    const DatasetOptions& options,
+    std::shared_ptr<StoredFeatures>* features = nullptr,
+    StoreLoadStats* stats = nullptr);
+
+}  // namespace tpuperf::data

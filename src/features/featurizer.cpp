@@ -1,9 +1,13 @@
 #include "features/featurizer.h"
 
+#include <atomic>
 #include <cmath>
 
 namespace tpuperf::feat {
 namespace {
+
+std::atomic<long> g_featurize_invocations{0};
+std::atomic<const KernelFeatureSource*> g_feature_source{nullptr};
 
 double Log1p(double v) { return std::log1p(std::max(0.0, v)); }
 
@@ -60,7 +64,24 @@ std::vector<double> NodeScalars(const ir::Node& node) {
 
 }  // namespace
 
+long FeaturizeKernelInvocations() noexcept {
+  return g_featurize_invocations.load(std::memory_order_relaxed);
+}
+
+void ResetFeaturizeKernelInvocations() noexcept {
+  g_featurize_invocations.store(0, std::memory_order_relaxed);
+}
+
+void SetGlobalKernelFeatureSource(const KernelFeatureSource* source) noexcept {
+  g_feature_source.store(source, std::memory_order_release);
+}
+
+const KernelFeatureSource* GlobalKernelFeatureSource() noexcept {
+  return g_feature_source.load(std::memory_order_acquire);
+}
+
 KernelFeatures FeaturizeKernel(const ir::Graph& kernel) {
+  g_featurize_invocations.fetch_add(1, std::memory_order_relaxed);
   KernelFeatures kf;
   const int n = kernel.num_nodes();
   kf.opcode_ids.reserve(static_cast<size_t>(n));

@@ -15,6 +15,7 @@
 // changing what information the model sees.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "ir/analysis.h"
@@ -50,6 +51,33 @@ struct KernelFeatures {
 
 // Extracts raw features from a kernel graph.
 KernelFeatures FeaturizeKernel(const ir::Graph& kernel);
+
+// Process-wide count of FeaturizeKernel invocations (atomic). The on-disk
+// dataset store uses it to prove warm-cache runs never re-walk a kernel
+// graph; TileFeatures and scaling passes are deliberately not counted (they
+// are per-sample arithmetic, unavoidable per batch).
+long FeaturizeKernelInvocations() noexcept;
+void ResetFeaturizeKernelInvocations() noexcept;
+
+// Source of pre-computed raw kernel features, keyed by the kernel graph's
+// Fingerprint() with its StructuralSignature() as the collision check (both
+// hashes are opaque here; ir::Graph defines them). Implemented by the
+// on-disk dataset store; consulted by core::PreparedCache and the trainers
+// so warm-cache runs skip FeaturizeKernel entirely. Lookup must be safe to
+// call concurrently and return nullptr when the kernel is absent; returned
+// pointers stay valid for the source's lifetime.
+class KernelFeatureSource {
+ public:
+  virtual ~KernelFeatureSource() = default;
+  virtual const KernelFeatures* Lookup(
+      std::uint64_t fingerprint, std::uint64_t structural_sig) const = 0;
+};
+
+// Process-global default source (non-owning; nullptr when unset). Benches
+// register loaded stores here before any training/evaluation starts; set-up
+// is expected to happen single-threaded, reads are atomic.
+void SetGlobalKernelFeatureSource(const KernelFeatureSource* source) noexcept;
+const KernelFeatureSource* GlobalKernelFeatureSource() noexcept;
 
 // Raw tile-size feature vector: dims padded/truncated to kMaxEncodedRank,
 // then sum and product of all (untruncated) values.

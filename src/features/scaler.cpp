@@ -53,6 +53,19 @@ void FeatureScaler::TransformRow(std::span<const double> row,
   }
 }
 
+FeatureScaler FeatureScaler::FromStats(std::vector<double> min,
+                                       std::vector<double> max,
+                                       long observed) {
+  if (min.size() != max.size()) {
+    throw std::invalid_argument("FeatureScaler::FromStats: width mismatch");
+  }
+  FeatureScaler scaler;
+  scaler.min_ = std::move(min);
+  scaler.max_ = std::move(max);
+  scaler.observed_ = observed;
+  return scaler;
+}
+
 void FeatureScaler::Save(std::ostream& os) const {
   const std::uint64_t n = min_.size();
   os.write(reinterpret_cast<const char*>(&n), sizeof(n));

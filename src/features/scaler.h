@@ -30,6 +30,15 @@ class FeatureScaler {
   bool fitted() const noexcept { return observed_ > 0; }
   long observed() const noexcept { return observed_; }
 
+  // Raw fitted statistics, for serialization (the dataset store) and tests.
+  std::span<const double> mins() const noexcept { return min_; }
+  std::span<const double> maxs() const noexcept { return max_; }
+
+  // Reconstructs a scaler from serialized statistics. Throws
+  // std::invalid_argument when min/max widths differ.
+  static FeatureScaler FromStats(std::vector<double> min,
+                                 std::vector<double> max, long observed);
+
   void Save(std::ostream& os) const;
   void Load(std::istream& is);
 

@@ -164,6 +164,75 @@ TEST_F(DatasetTest, OptionsScaleClampsAtTwo) {
   EXPECT_EQ(options.max_tile_configs_per_kernel, 200);
 }
 
+// ---- Split properties on the scaled corpus ---------------------------------
+
+// RandomSplit partitions (disjoint + exhaustive), keeps its stratification
+// counts, and stays deterministic per seed at every corpus scale.
+TEST(ScaledSplits, RandomSplitPropertiesHoldAtEveryScale) {
+  for (const double scale : {1.0, 2.0, 4.0}) {
+    const auto corpus = GenerateCorpus({.scale = scale, .seed = 9});
+    const SplitSpec split = RandomSplit(corpus, 1234);
+    std::set<int> all;
+    for (const auto* ids : {&split.train, &split.validation, &split.test}) {
+      for (const int id : *ids) {
+        EXPECT_TRUE(all.insert(id).second)
+            << "overlapping split at scale " << scale;
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, static_cast<int>(corpus.size()));
+      }
+    }
+    EXPECT_EQ(all.size(), corpus.size()) << "scale " << scale;
+    EXPECT_EQ(split.test.size(), 8u) << "scale " << scale;
+    EXPECT_EQ(split.validation.size(), 8u) << "scale " << scale;
+    std::set<std::string> test_families;
+    for (const int id : split.test) {
+      test_families.insert(corpus[static_cast<size_t>(id)].family);
+    }
+    EXPECT_EQ(test_families.size(), 8u) << "one variant per family";
+
+    const SplitSpec again = RandomSplit(corpus, 1234);
+    EXPECT_EQ(split.train, again.train);
+    EXPECT_EQ(split.validation, again.validation);
+    EXPECT_EQ(split.test, again.test);
+  }
+}
+
+// ManualSplit holds out whole families at every scale: six test programs,
+// no held-out family leaks into train/validation, and train + validation +
+// test + dropped extra held-out variants account for the whole corpus.
+TEST(ScaledSplits, ManualSplitPropertiesHoldAtEveryScale) {
+  const std::set<std::string> heldout = {"RankingLike", "Feats2WaveLike",
+                                         "ImageEmbedLike", "SmartComposeLike",
+                                         "WaveRNNLike"};
+  for (const double scale : {1.0, 2.0, 4.0}) {
+    const auto corpus = GenerateCorpus({.scale = scale, .seed = 9});
+    const SplitSpec split = ManualSplit(corpus);
+    EXPECT_EQ(split.test.size(), 6u) << "scale " << scale;
+    std::set<int> all;
+    std::size_t heldout_total = 0;
+    for (const auto& p : corpus) {
+      if (heldout.contains(p.family)) ++heldout_total;
+    }
+    for (const auto* ids : {&split.train, &split.validation, &split.test}) {
+      for (const int id : *ids) {
+        EXPECT_TRUE(all.insert(id).second) << "overlap at scale " << scale;
+      }
+    }
+    for (const int id : split.train) {
+      EXPECT_FALSE(heldout.contains(corpus[static_cast<size_t>(id)].family));
+    }
+    for (const int id : split.validation) {
+      EXPECT_FALSE(heldout.contains(corpus[static_cast<size_t>(id)].family));
+    }
+    for (const int id : split.test) {
+      EXPECT_TRUE(heldout.contains(corpus[static_cast<size_t>(id)].family));
+    }
+    // Dropped variants are exactly the held-out families minus the six
+    // test programs — nothing else leaks out of the corpus.
+    EXPECT_EQ(all.size(), corpus.size() - (heldout_total - 6));
+  }
+}
+
 TEST_F(DatasetTest, DeterministicRebuild) {
   DatasetOptions options;
   options.max_tile_configs_per_kernel = 4;

@@ -2,8 +2,10 @@
 // the family imbalance structure described in paper §4.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 #include <set>
+#include <string>
 
 #include "dataset/families.h"
 
@@ -88,6 +90,86 @@ TEST(Corpus, ConvFamiliesContainConvolutions) {
     }
     EXPECT_TRUE(has_conv) << family;
   }
+}
+
+// ---- Scaled corpus (ROADMAP "Dataset scale-out") ---------------------------
+
+TEST(ScaledCorpus, DefaultOptionsMatchBaseCorpus) {
+  const auto base = GenerateCorpus();
+  const auto scaled = GenerateCorpus(CorpusOptions{});
+  ASSERT_EQ(base.size(), scaled.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].name, scaled[i].name);
+    EXPECT_EQ(base[i].graph.Fingerprint(), scaled[i].graph.Fingerprint());
+  }
+}
+
+TEST(ScaledCorpus, FourXScaleQuadruplesEveryFamily) {
+  const auto corpus = GenerateCorpus({.scale = 4.0, .seed = 7});
+  EXPECT_EQ(corpus.size(), 4 * 104u);
+  std::map<std::string, int> counts;
+  for (const auto& p : corpus) ++counts[p.family];
+  const auto base = GenerateCorpus();
+  std::map<std::string, int> base_counts;
+  for (const auto& p : base) ++base_counts[p.family];
+  for (const auto& [family, count] : base_counts) {
+    EXPECT_EQ(counts[family], 4 * count) << family;
+  }
+}
+
+TEST(ScaledCorpus, AllProgramsDistinctAndValidAtEveryScale) {
+  for (const double scale : {1.0, 2.0, 4.0}) {
+    const auto corpus = GenerateCorpus({.scale = scale, .seed = 3});
+    std::set<std::string> names;
+    std::set<std::uint64_t> fingerprints;
+    for (const auto& p : corpus) {
+      EXPECT_TRUE(names.insert(p.name).second)
+          << "duplicate name " << p.name << " at scale " << scale;
+      EXPECT_TRUE(fingerprints.insert(p.graph.Fingerprint()).second)
+          << "duplicate structure " << p.name << " at scale " << scale;
+      const auto error = p.graph.Validate();
+      EXPECT_FALSE(error.has_value()) << p.name << ": " << error.value_or("");
+    }
+  }
+}
+
+TEST(ScaledCorpus, DeterministicPerSeedAndSensitiveToIt) {
+  const auto a = GenerateCorpus({.scale = 3.0, .seed = 11});
+  const auto b = GenerateCorpus({.scale = 3.0, .seed = 11});
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].graph.Fingerprint(), b[i].graph.Fingerprint());
+  }
+  const auto c = GenerateCorpus({.scale = 3.0, .seed = 12});
+  ASSERT_EQ(a.size(), c.size());
+  bool any_difference = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != c[i].name) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference) << "seed must select different variants";
+}
+
+TEST(ScaledCorpus, ExtensionTiersAreStructurallyDistinct) {
+  // Tier variants reuse the base grid with one extra knob: same family,
+  // new fingerprints, and never a collision with the base grid.
+  for (const char* family : {"ResNetV1", "NMT", "TransformerLM", "DLRMLike",
+                             "WaveRNNLike"}) {
+    std::set<std::uint64_t> fingerprints;
+    for (int variant = 0; variant < 3 * 12; ++variant) {
+      const auto program = BuildProgram(family, variant);
+      EXPECT_EQ(program.family, family);
+      EXPECT_FALSE(program.graph.Validate().has_value())
+          << family << " v" << variant;
+      EXPECT_TRUE(fingerprints.insert(program.graph.Fingerprint()).second)
+          << family << " v" << variant << " duplicates an earlier variant";
+    }
+  }
+}
+
+TEST(ScaledCorpus, ScaleBelowOneKeepsBaseCorpus) {
+  const auto corpus = GenerateCorpus({.scale = 0.25, .seed = 5});
+  EXPECT_EQ(corpus.size(), 104u);
 }
 
 TEST(Corpus, SequenceFamiliesContainDots) {

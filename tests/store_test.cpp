@@ -1,0 +1,600 @@
+// Tests for the on-disk featurized dataset store (src/dataset/store.h):
+// bit-exact round trips for every record type, loud rejection of corrupted
+// or incompatible files, program identity across serialization, and
+// training-parity from a warm store at pool widths 1 and 4.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "core/trainer.h"
+#include "dataset/families.h"
+#include "dataset/store.h"
+#include "features/featurizer.h"
+
+namespace tpuperf::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- Fixture: a small corpus, its datasets, and a scratch directory --------
+
+class StoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new std::vector<ir::Program>();
+    for (const char* family : {"RNNLM", "RankingLike", "Char2FeatsLike",
+                               "NMT"}) {
+      corpus_->push_back(BuildProgram(family, 0));
+      corpus_->push_back(BuildProgram(family, 1));
+    }
+    simulator_ = new sim::TpuSimulator(sim::TpuTarget::V2());
+    analytical_ = new analytical::AnalyticalModel(sim::TpuTarget::V2());
+    options_ = new DatasetOptions();
+    options_->max_tile_configs_per_kernel = 6;
+    options_->fusion_configs_per_program = 2;
+    tile_ = new TileDataset(BuildTileDataset(*corpus_, *simulator_, *options_));
+    fusion_ = new FusionDataset(
+        BuildFusionDataset(*corpus_, *simulator_, *analytical_, *options_));
+  }
+  static void TearDownTestSuite() {
+    delete fusion_;
+    delete tile_;
+    delete options_;
+    delete analytical_;
+    delete simulator_;
+    delete corpus_;
+  }
+
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tpuperf_store_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static std::vector<ir::Program>* corpus_;
+  static sim::TpuSimulator* simulator_;
+  static analytical::AnalyticalModel* analytical_;
+  static DatasetOptions* options_;
+  static TileDataset* tile_;
+  static FusionDataset* fusion_;
+  fs::path dir_;
+};
+
+std::vector<ir::Program>* StoreTest::corpus_ = nullptr;
+sim::TpuSimulator* StoreTest::simulator_ = nullptr;
+analytical::AnalyticalModel* StoreTest::analytical_ = nullptr;
+DatasetOptions* StoreTest::options_ = nullptr;
+TileDataset* StoreTest::tile_ = nullptr;
+FusionDataset* StoreTest::fusion_ = nullptr;
+
+// ---- Bit-exact comparison helpers ------------------------------------------
+
+void ExpectGraphsEqual(const ir::Graph& a, const ir::Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (int i = 0; i < a.num_nodes(); ++i) {
+    const ir::Node& na = a.node(i);
+    const ir::Node& nb = b.node(i);
+    EXPECT_EQ(na.op, nb.op) << "node " << i;
+    EXPECT_EQ(na.shape, nb.shape) << "node " << i;
+    EXPECT_EQ(na.shape.minor_to_major(), nb.shape.minor_to_major());
+    EXPECT_EQ(na.operands, nb.operands) << "node " << i;
+    EXPECT_EQ(na.window, nb.window) << "node " << i;
+    EXPECT_EQ(na.reduce_dims, nb.reduce_dims) << "node " << i;
+    EXPECT_EQ(na.feature_in, nb.feature_in) << "node " << i;
+    EXPECT_EQ(na.feature_out, nb.feature_out) << "node " << i;
+    EXPECT_EQ(na.is_output, nb.is_output) << "node " << i;
+  }
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(a.StructuralSignature(), b.StructuralSignature());
+}
+
+void ExpectRecordsEqual(const KernelRecord& a, const KernelRecord& b) {
+  ExpectGraphsEqual(a.kernel.graph, b.kernel.graph);
+  EXPECT_EQ(a.kernel.kind, b.kernel.kind);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.program_id, b.program_id);
+  EXPECT_EQ(a.family, b.family);
+}
+
+void ExpectTileKernelsEqual(const TileKernelData& a, const TileKernelData& b) {
+  ExpectRecordsEqual(a.record, b.record);
+  ASSERT_EQ(a.configs.size(), b.configs.size());
+  for (std::size_t i = 0; i < a.configs.size(); ++i) {
+    EXPECT_EQ(a.configs[i], b.configs[i]);
+  }
+  ASSERT_EQ(a.runtimes.size(), b.runtimes.size());
+  for (std::size_t i = 0; i < a.runtimes.size(); ++i) {
+    // EXPECT_EQ on doubles is exact: the round trip must be bit-for-bit.
+    EXPECT_EQ(a.runtimes[i], b.runtimes[i]);
+  }
+}
+
+void ExpectFusionSamplesEqual(const FusionSample& a, const FusionSample& b) {
+  ExpectRecordsEqual(a.record, b.record);
+  EXPECT_EQ(a.tile, b.tile);
+  EXPECT_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.from_default_config, b.from_default_config);
+}
+
+void ExpectFeaturizedEqual(const FeaturizedKernel& a,
+                           const FeaturizedKernel& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.structural_sig, b.structural_sig);
+  EXPECT_EQ(a.features.opcode_ids, b.features.opcode_ids);
+  EXPECT_EQ(a.features.operand_lists, b.features.operand_lists);
+  ASSERT_EQ(a.features.node_scalars.size(), b.features.node_scalars.size());
+  for (std::size_t i = 0; i < a.features.node_scalars.size(); ++i) {
+    EXPECT_EQ(a.features.node_scalars[i], b.features.node_scalars[i]);
+  }
+  EXPECT_EQ(a.features.static_perf, b.features.static_perf);
+}
+
+FeaturizedKernel Featurize(const KernelRecord& record) {
+  return {record.fingerprint, record.kernel.graph.StructuralSignature(),
+          feat::FeaturizeKernel(record.kernel.graph)};
+}
+
+// Flips one byte of a file in place.
+void CorruptByte(const std::string& path, std::uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5a);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+void TruncateFile(const std::string& path, std::uint64_t size) {
+  fs::resize_file(path, size);
+}
+
+// ---- Round trips ------------------------------------------------------------
+
+TEST_F(StoreTest, EmptyStoreRoundTrips) {
+  const std::string path = Path("empty.tpds");
+  {
+    DatasetWriter writer(path);
+    EXPECT_EQ(writer.record_count(), 0u);
+    writer.Finish();
+  }
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  DatasetReader reader(path);
+  EXPECT_EQ(reader.format_version(), kStoreFormatVersion);
+  EXPECT_EQ(reader.feature_config_hash(), FeatureConfigHash());
+  EXPECT_EQ(reader.record_count(), 0u);
+  const StoreContents contents = reader.ReadAll();
+  EXPECT_TRUE(contents.programs.empty());
+  EXPECT_TRUE(contents.tile.kernels.empty());
+  EXPECT_TRUE(contents.fusion.samples.empty());
+  EXPECT_TRUE(contents.features->empty());
+  EXPECT_TRUE(contents.scalers.empty());
+}
+
+// One record and 32 records; both ends of the batch-size spectrum must be
+// byte-faithful.
+void RoundTripTileBatch(const TileDataset& dataset, const std::string& path,
+                        int count) {
+  ASSERT_FALSE(dataset.kernels.empty());
+  std::vector<const TileKernelData*> written;
+  {
+    DatasetWriter writer(path);
+    for (int i = 0; i < count; ++i) {
+      const TileKernelData& k =
+          dataset.kernels[static_cast<std::size_t>(i) %
+                          dataset.kernels.size()];
+      writer.Add(k);
+      written.push_back(&k);
+    }
+    writer.Finish();
+  }
+  DatasetReader reader(path);
+  ASSERT_EQ(reader.record_count(), static_cast<std::uint64_t>(count));
+  const StoreContents contents = reader.ReadAll();
+  ASSERT_EQ(contents.tile.kernels.size(), static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ExpectTileKernelsEqual(*written[static_cast<std::size_t>(i)],
+                           contents.tile.kernels[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_F(StoreTest, SingleRecordRoundTripsBitExact) {
+  RoundTripTileBatch(*tile_, Path("one.tpds"), 1);
+}
+
+TEST_F(StoreTest, ThirtyTwoRecordRoundTripsBitExact) {
+  RoundTripTileBatch(*tile_, Path("thirtytwo.tpds"), 32);
+}
+
+TEST_F(StoreTest, FullDatasetsRoundTripBitExact) {
+  const std::string path = Path("full.tpds");
+  std::vector<FeaturizedKernel> featurized;
+  {
+    DatasetWriter writer(path);
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      writer.Add(ProgramInfo{static_cast<int>(i), (*corpus_)[i].name,
+                             (*corpus_)[i].family});
+    }
+    for (const auto& k : tile_->kernels) writer.Add(k);
+    for (const auto& s : fusion_->samples) writer.Add(s);
+    for (const auto& s : fusion_->samples) {
+      featurized.push_back(Featurize(s.record));
+      writer.Add(featurized.back());
+    }
+    writer.Finish();
+  }
+  const StoreContents contents = DatasetReader(path).ReadAll();
+
+  ASSERT_EQ(contents.programs.size(), corpus_->size());
+  for (std::size_t i = 0; i < corpus_->size(); ++i) {
+    EXPECT_EQ(contents.programs[i].program_id, static_cast<int>(i));
+    EXPECT_EQ(contents.programs[i].name, (*corpus_)[i].name);
+    EXPECT_EQ(contents.programs[i].family, (*corpus_)[i].family);
+  }
+  ASSERT_EQ(contents.tile.kernels.size(), tile_->kernels.size());
+  for (std::size_t i = 0; i < tile_->kernels.size(); ++i) {
+    ExpectTileKernelsEqual(tile_->kernels[i], contents.tile.kernels[i]);
+  }
+  ASSERT_EQ(contents.fusion.samples.size(), fusion_->samples.size());
+  for (std::size_t i = 0; i < fusion_->samples.size(); ++i) {
+    ExpectFusionSamplesEqual(fusion_->samples[i], contents.fusion.samples[i]);
+  }
+  // Duplicate featurized records collapse; every written one must be
+  // retrievable and bit-exact.
+  for (const FeaturizedKernel& fk : featurized) {
+    const feat::KernelFeatures* loaded =
+        contents.features->Lookup(fk.fingerprint, fk.structural_sig);
+    ASSERT_NE(loaded, nullptr);
+    FeaturizedKernel roundtripped{fk.fingerprint, fk.structural_sig, *loaded};
+    ExpectFeaturizedEqual(fk, roundtripped);
+  }
+  // KernelsOfPrograms/SamplesOfPrograms see identical membership: program
+  // identity survived serialization.
+  const std::vector<int> ids = {0, 2, 5};
+  EXPECT_EQ(tile_->KernelsOfPrograms(ids),
+            contents.tile.KernelsOfPrograms(ids));
+  EXPECT_EQ(fusion_->SamplesOfPrograms(ids),
+            contents.fusion.SamplesOfPrograms(ids));
+}
+
+TEST_F(StoreTest, ScalerStatsRoundTripBitExact) {
+  feat::FeatureScaler scaler(feat::kNodeScalarFeatures);
+  for (const auto& s : fusion_->samples) {
+    const feat::KernelFeatures kf =
+        feat::FeaturizeKernel(s.record.kernel.graph);
+    for (const auto& row : kf.node_scalars) scaler.Observe(row);
+  }
+  ASSERT_TRUE(scaler.fitted());
+
+  const std::string path = Path("scalers.tpds");
+  {
+    DatasetWriter writer(path);
+    writer.AddScaler("fusion/node", scaler);
+    writer.AddScaler("empty", feat::FeatureScaler(feat::kTileFeatures));
+    writer.Finish();
+  }
+  const StoreContents contents = DatasetReader(path).ReadAll();
+  ASSERT_EQ(contents.scalers.size(), 2u);
+  const feat::FeatureScaler& loaded = contents.scalers.at("fusion/node");
+  EXPECT_EQ(loaded.observed(), scaler.observed());
+  ASSERT_EQ(loaded.num_features(), scaler.num_features());
+  for (int i = 0; i < scaler.num_features(); ++i) {
+    EXPECT_EQ(loaded.mins()[static_cast<std::size_t>(i)],
+              scaler.mins()[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(loaded.maxs()[static_cast<std::size_t>(i)],
+              scaler.maxs()[static_cast<std::size_t>(i)]);
+    // Transforms agree exactly, including the clamp edges.
+    EXPECT_EQ(loaded.Transform(i, 0.37), scaler.Transform(i, 0.37));
+  }
+  const feat::FeatureScaler& empty = contents.scalers.at("empty");
+  EXPECT_FALSE(empty.fitted());
+  EXPECT_EQ(empty.num_features(), feat::kTileFeatures);
+}
+
+TEST_F(StoreTest, MmapAndStreamReadsAgree) {
+  const std::string path = Path("modes.tpds");
+  {
+    DatasetWriter writer(path);
+    writer.Add(tile_->kernels.front());
+    writer.Add(Featurize(tile_->kernels.front().record));
+    writer.Finish();
+  }
+  DatasetReader stream_reader(path, ReadMode::kStream);
+  EXPECT_FALSE(stream_reader.mapped());
+  const StoreContents via_stream = stream_reader.ReadAll();
+  DatasetReader auto_reader(path, ReadMode::kAuto);
+  const StoreContents via_auto = auto_reader.ReadAll();
+  ASSERT_EQ(via_stream.tile.kernels.size(), via_auto.tile.kernels.size());
+  ExpectTileKernelsEqual(via_stream.tile.kernels.front(),
+                         via_auto.tile.kernels.front());
+  EXPECT_EQ(via_stream.features->size(), via_auto.features->size());
+}
+
+// ---- Adversarial corruption -------------------------------------------------
+
+class StoreCorruptionTest : public StoreTest {
+ protected:
+  // Writes a small valid store and returns its path.
+  std::string WriteValid(const std::string& name) {
+    const std::string path = Path(name);
+    DatasetWriter writer(path);
+    writer.Add(tile_->kernels.front());
+    writer.Add(Featurize(tile_->kernels.front().record));
+    writer.Finish();
+    return path;
+  }
+
+  static void ExpectRejected(const std::string& path,
+                             const std::string& message_fragment) {
+    try {
+      DatasetReader reader(path);
+      (void)reader.ReadAll();
+      FAIL() << "expected StoreError mentioning \"" << message_fragment
+             << "\"";
+    } catch (const StoreError& e) {
+      EXPECT_NE(std::string(e.what()).find(message_fragment),
+                std::string::npos)
+          << "actual error: " << e.what();
+    }
+  }
+};
+
+TEST_F(StoreCorruptionTest, TruncatedHeaderFailsLoudly) {
+  const std::string path = WriteValid("trunc_header.tpds");
+  TruncateFile(path, 11);
+  ExpectRejected(path, "truncated header");
+}
+
+TEST_F(StoreCorruptionTest, TruncatedPayloadFailsLoudly) {
+  const std::string path = WriteValid("trunc_payload.tpds");
+  TruncateFile(path, fs::file_size(path) - 7);
+  ExpectRejected(path, "truncated store");
+}
+
+TEST_F(StoreCorruptionTest, FlippedMagicFailsLoudly) {
+  const std::string path = WriteValid("magic.tpds");
+  CorruptByte(path, 0);
+  ExpectRejected(path, "bad magic");
+}
+
+TEST_F(StoreCorruptionTest, FutureFormatVersionIsRejected) {
+  const std::string path = WriteValid("future.tpds");
+  // The version lives at bytes [8, 12); bump it far past the current one.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  const std::uint32_t future = kStoreFormatVersion + 3;
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<char>((future >> (8 * i)) & 0xff);
+  }
+  f.seekp(8);
+  f.write(bytes, 4);
+  f.close();
+  ExpectRejected(path, "newer tpuperf");
+}
+
+TEST_F(StoreCorruptionTest, FeatureConfigHashMismatchIsRejected) {
+  const std::string path = WriteValid("feature_hash.tpds");
+  CorruptByte(path, 14);  // inside the feature-config hash field [12, 20)
+  ExpectRejected(path, "feature-config hash mismatch");
+}
+
+TEST_F(StoreCorruptionTest, CorruptedRecordChecksumFailsLoudly) {
+  const std::string path = WriteValid("checksum.tpds");
+  // First record payload starts after the 28-byte header and the 20-byte
+  // record header; flip a byte in the middle of the payload.
+  CorruptByte(path, 28 + 20 + 33);
+  ExpectRejected(path, "checksum mismatch");
+}
+
+TEST_F(StoreCorruptionTest, UnknownRecordTypeFailsLoudly) {
+  const std::string path = WriteValid("rectype.tpds");
+  // The record type is outside the payload checksum; patch it to garbage.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  const char type99[4] = {99, 0, 0, 0};
+  f.seekp(28);
+  f.write(type99, 4);
+  f.close();
+  ExpectRejected(path, "unknown record type");
+}
+
+TEST_F(StoreCorruptionTest, TrailingGarbageFailsLoudly) {
+  const std::string path = WriteValid("trailing.tpds");
+  std::ofstream f(path, std::ios::binary | std::ios::app);
+  f.write("junk", 4);
+  f.close();
+  ExpectRejected(path, "trailing bytes");
+}
+
+TEST_F(StoreCorruptionTest, MissingFileFailsLoudly) {
+  try {
+    DatasetReader reader(Path("does_not_exist.tpds"));
+    FAIL() << "expected StoreError";
+  } catch (const StoreError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot"), std::string::npos);
+  }
+}
+
+// ---- LoadOrBuild + warm-training parity -------------------------------------
+
+TEST_F(StoreTest, LoadOrBuildRoundTripsDatasetsAndPrograms) {
+  StoreLoadStats cold_stats;
+  std::shared_ptr<StoredFeatures> cold_features;
+  const TileDataset cold = LoadOrBuildTileDataset(
+      dir_.string(), *corpus_, *simulator_, *options_, &cold_features,
+      &cold_stats);
+  EXPECT_FALSE(cold_stats.cache_hit);
+  ASSERT_NE(cold_features, nullptr);
+  EXPECT_GT(cold_features->size(), 0u);
+
+  StoreLoadStats warm_stats;
+  std::shared_ptr<StoredFeatures> warm_features;
+  const TileDataset warm = LoadOrBuildTileDataset(
+      dir_.string(), *corpus_, *simulator_, *options_, &warm_features,
+      &warm_stats);
+  EXPECT_TRUE(warm_stats.cache_hit);
+  EXPECT_EQ(warm_stats.path, cold_stats.path);
+  ASSERT_NE(warm_features, nullptr);
+  EXPECT_EQ(warm_features->size(), cold_features->size());
+  ASSERT_EQ(warm.kernels.size(), cold.kernels.size());
+  for (std::size_t i = 0; i < cold.kernels.size(); ++i) {
+    ExpectTileKernelsEqual(cold.kernels[i], warm.kernels[i]);
+  }
+
+  // Changing the generation budget changes the key: no false sharing.
+  DatasetOptions other = *options_;
+  other.max_tile_configs_per_kernel += 1;
+  EXPECT_NE(DatasetCacheKey("tile", simulator_->target().name, *corpus_,
+                            *options_),
+            DatasetCacheKey("tile", simulator_->target().name, *corpus_,
+                            other));
+}
+
+// Trains both tasks for 50 steps from (a) in-process featurization and (b)
+// the warm store, at pool widths 1 and 4: identical seeds must give
+// identical splits of work and losses within 1e-6 relative.
+TEST_F(StoreTest, WarmStoreTrainingMatchesInProcess) {
+  // Populate the store once (cold), then reload both datasets and their
+  // featurized records from disk (warm) — training below runs off the
+  // actually-deserialized features.
+  const TileDataset tile_cold = LoadOrBuildTileDataset(
+      dir_.string(), *corpus_, *simulator_, *options_);
+  (void)LoadOrBuildFusionDataset(dir_.string(), *corpus_, *simulator_,
+                                 *analytical_, *options_);
+  StoreLoadStats tile_stats;
+  std::shared_ptr<StoredFeatures> features;
+  const TileDataset tile_warm = LoadOrBuildTileDataset(
+      dir_.string(), *corpus_, *simulator_, *options_, &features,
+      &tile_stats);
+  ASSERT_TRUE(tile_stats.cache_hit);
+  StoreLoadStats fusion_stats;
+  std::shared_ptr<StoredFeatures> fusion_features;
+  const FusionDataset fusion_warm = LoadOrBuildFusionDataset(
+      dir_.string(), *corpus_, *simulator_, *analytical_, *options_,
+      &fusion_features, &fusion_stats);
+  ASSERT_TRUE(fusion_stats.cache_hit);
+  const FusionDataset fusion_in_process =
+      BuildFusionDataset(*corpus_, *simulator_, *analytical_, *options_);
+
+  std::vector<int> all_ids;
+  for (std::size_t i = 0; i < corpus_->size(); ++i) {
+    all_ids.push_back(static_cast<int>(i));
+  }
+
+  const auto tile_config = [] {
+    core::ModelConfig c = core::ModelConfig::TileTaskDefault();
+    c.hidden_dim = 16;
+    c.opcode_embedding_dim = 8;
+    c.train_steps = 50;
+    return c;
+  }();
+  const auto fusion_config = [] {
+    core::ModelConfig c = core::ModelConfig::FusionTaskDefault();
+    c.hidden_dim = 16;
+    c.opcode_embedding_dim = 8;
+    c.train_steps = 50;
+    return c;
+  }();
+
+  for (const int width : {1, 4}) {
+    core::ThreadPool::SetNumThreads(width);
+
+    // ---- rank loss (tile task) ---------------------------------------------
+    core::LearnedCostModel in_process(tile_config);
+    core::PreparedCache in_process_cache(in_process, /*features=*/nullptr);
+    const core::TrainStats a =
+        core::TrainTileTask(in_process, tile_cold, all_ids, in_process_cache);
+
+    feat::ResetFeaturizeKernelInvocations();
+    core::LearnedCostModel warm(tile_config);
+    core::PreparedCache warm_cache(warm, features.get());
+    const core::TrainStats b =
+        core::TrainTileTask(warm, tile_warm, all_ids, warm_cache);
+    EXPECT_EQ(feat::FeaturizeKernelInvocations(), 0)
+        << "warm tile training touched the featurizer (width " << width << ")";
+
+    EXPECT_NEAR(a.first_loss, b.first_loss,
+                1e-6 * std::max(1.0, std::abs(a.first_loss)))
+        << "width " << width;
+    EXPECT_NEAR(a.final_loss, b.final_loss,
+                1e-6 * std::max(1.0, std::abs(a.final_loss)))
+        << "width " << width;
+
+    // ---- log-MSE loss (fusion task) ----------------------------------------
+    core::LearnedCostModel in_process_f(fusion_config);
+    core::PreparedCache in_process_f_cache(in_process_f, nullptr);
+    const core::TrainStats c = core::TrainFusionTask(
+        in_process_f, fusion_in_process, all_ids, in_process_f_cache);
+
+    feat::ResetFeaturizeKernelInvocations();
+    core::LearnedCostModel warm_f(fusion_config);
+    core::PreparedCache warm_f_cache(warm_f, fusion_features.get());
+    const core::TrainStats d =
+        core::TrainFusionTask(warm_f, fusion_warm, all_ids, warm_f_cache);
+    EXPECT_EQ(feat::FeaturizeKernelInvocations(), 0)
+        << "warm fusion training touched the featurizer (width " << width
+        << ")";
+
+    EXPECT_NEAR(c.first_loss, d.first_loss,
+                1e-6 * std::max(1.0, std::abs(c.first_loss)))
+        << "width " << width;
+    EXPECT_NEAR(c.final_loss, d.final_loss,
+                1e-6 * std::max(1.0, std::abs(c.final_loss)))
+        << "width " << width;
+  }
+  core::ThreadPool::SetNumThreads(1);
+}
+
+// Split identity across the store round trip: the same seed selects the
+// same program ids, and those ids index the same kernels in the loaded
+// dataset as in the generating one.
+TEST_F(StoreTest, SplitsSurviveStoreRoundTrip) {
+  const std::string path = Path("splits.tpds");
+  {
+    DatasetWriter writer(path);
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      writer.Add(ProgramInfo{static_cast<int>(i), (*corpus_)[i].name,
+                             (*corpus_)[i].family});
+    }
+    for (const auto& k : tile_->kernels) writer.Add(k);
+    writer.Finish();
+  }
+  const StoreContents contents = DatasetReader(path).ReadAll();
+
+  const SplitSpec before = RandomSplit(*corpus_, 99);
+  const SplitSpec after = RandomSplit(*corpus_, 99);
+  EXPECT_EQ(before.train, after.train);
+  EXPECT_EQ(before.validation, after.validation);
+  EXPECT_EQ(before.test, after.test);
+
+  EXPECT_EQ(tile_->KernelsOfPrograms(before.train),
+            contents.tile.KernelsOfPrograms(before.train));
+  EXPECT_EQ(tile_->KernelsOfPrograms(before.test),
+            contents.tile.KernelsOfPrograms(before.test));
+  for (const int id : before.train) {
+    const auto& p = contents.programs[static_cast<std::size_t>(id)];
+    EXPECT_EQ(p.name, (*corpus_)[static_cast<std::size_t>(id)].name);
+    EXPECT_EQ(p.family, (*corpus_)[static_cast<std::size_t>(id)].family);
+  }
+}
+
+}  // namespace
+}  // namespace tpuperf::data
