@@ -17,6 +17,7 @@
 #include "bench/common.h"
 #include "dataset/families.h"
 #include "features/featurizer.h"
+#include "nn/gemm_backend.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
@@ -293,6 +294,34 @@ void BM_TrainStepMse32(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStepMse32);
 
+// ---- Per-GEMM-backend variants ---------------------------------------------
+// One BM_ModelInferenceBatch32 / BM_TrainStep* row per registered GEMM
+// backend (nn/gemm_backend.h), registered dynamically in main() because the
+// backend list is only known at runtime (builtin always; blas/eigen when
+// compiled in). Each run selects its backend for the timed region and
+// restores the previous selection afterwards.
+
+void BM_ModelInferenceBatch32Backend(benchmark::State& state,
+                                     const std::string& backend) {
+  auto& f = F();
+  auto& b = B32();
+  const std::string previous = nn::CurrentGemmBackendName();
+  nn::SetGemmBackend(backend);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.PredictBatch(b.packed));
+  }
+  nn::SetGemmBackend(previous);
+  state.SetItemsProcessed(state.iterations() * Batch32::kBatch);
+}
+
+void BM_TrainStepBackend(benchmark::State& state, TrainBatch32& b,
+                         const std::string& backend) {
+  const std::string previous = nn::CurrentGemmBackendName();
+  nn::SetGemmBackend(backend);
+  TrainStepBenchmark(state, b);
+  nn::SetGemmBackend(previous);
+}
+
 void BM_TileEnumeration(benchmark::State& state) {
   auto& f = F();
   for (auto _ : state) {
@@ -447,6 +476,28 @@ void PrintTrainTaskJson(FILE* json, const char* prefix,
 
 }  // namespace
 
+// One BM_ModelInferenceBatch32 / BM_TrainStep* row per registered GEMM
+// backend (nn/gemm_backend.h), registered dynamically because the backend
+// list is only known at runtime (builtin always; blas/eigen when compiled
+// in and found). Called from main() between Initialize and run.
+void RegisterPerBackendBenchmarks() {
+  for (const std::string& backend : nn::GemmBackendNames()) {
+    benchmark::RegisterBenchmark(
+        ("BM_ModelInferenceBatch32/backend:" + backend).c_str(),
+        BM_ModelInferenceBatch32Backend, backend);
+    benchmark::RegisterBenchmark(
+        ("BM_TrainStepRank32/backend:" + backend).c_str(),
+        [backend](benchmark::State& state) {
+          BM_TrainStepBackend(state, RankTrain32(), backend);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_TrainStepMse32/backend:" + backend).c_str(),
+        [backend](benchmark::State& state) {
+          BM_TrainStepBackend(state, MseTrain32(), backend);
+        });
+  }
+}
+
 // Times batch-32 prediction against 32 sequential predictions on the same
 // inputs — single-threaded AND on the worker pool — plus batch-32 TRAINING
 // steps (forward + loss + backward + Adam) with the seed per-op backward vs
@@ -532,6 +583,66 @@ void ReportBatchedThroughput() {
   const TrainTaskReport mse_report = ReportTrainingTask(MseTrain32(), threads);
   PrintTrainTask("log-MSE (GraphSAGE + Transformer)", mse_report, threads);
 
+  // ---- Per-GEMM-backend throughput (batch-32 inference + train steps) ------
+  // Like-for-like single-threaded rates for every registered backend, with
+  // the max prediction deviation from the builtin kernels (0 for builtin by
+  // construction; external backends are bounded by nn::kGemmParityRtol per
+  // GEMM).
+  struct BackendReport {
+    std::string name;
+    double preds_per_sec = 0;
+    double rank_steps_per_sec = 0;
+    double mse_steps_per_sec = 0;
+    double max_abs_diff_vs_builtin = 0;
+  };
+  const std::string default_backend = nn::CurrentGemmBackendName();
+  std::vector<BackendReport> backend_reports;
+  std::vector<double> builtin_preds;  // "builtin" is always listed first
+  core::ThreadPool::SetNumThreads(1);
+  std::printf("\n--- GEMM backend report (batch=%d, 1 thread) ---\n",
+              Batch32::kBatch);
+  for (const std::string& name : nn::GemmBackendNames()) {
+    nn::SetGemmBackend(name);
+    BackendReport r;
+    r.name = name;
+    std::vector<double> preds;
+    r.preds_per_sec =
+        Batch32::kBatch / time_reps([&] { preds = f.model.PredictBatch(b.packed); });
+    if (name == "builtin") builtin_preds = preds;
+    for (int i = 0; i < Batch32::kBatch && !builtin_preds.empty(); ++i) {
+      r.max_abs_diff_vs_builtin =
+          std::max(r.max_abs_diff_vs_builtin,
+                   std::abs(preds[static_cast<size_t>(i)] -
+                            builtin_preds[static_cast<size_t>(i)]));
+    }
+    {
+      auto& tb = RankTrain32();
+      core::LearnedCostModel model = tb.MakeModel(f);
+      nn::Adam adam(nn::AdamConfig{});
+      nn::TapeArena arena;
+      nn::Tape tape(/*grad_enabled=*/true, &arena);
+      r.rank_steps_per_sec =
+          1.0 / TimeReps([&] { tb.Step(model, adam, tape); });
+    }
+    {
+      auto& tb = MseTrain32();
+      core::LearnedCostModel model = tb.MakeModel(f);
+      nn::Adam adam(nn::AdamConfig{});
+      nn::TapeArena arena;
+      nn::Tape tape(/*grad_enabled=*/true, &arena);
+      r.mse_steps_per_sec =
+          1.0 / TimeReps([&] { tb.Step(model, adam, tape); });
+    }
+    std::printf(
+        "%-10s %10.0f preds/s  rank %7.1f steps/s  mse %7.1f steps/s  "
+        "max|pred - builtin| = %.3g\n",
+        name.c_str(), r.preds_per_sec, r.rank_steps_per_sec,
+        r.mse_steps_per_sec, r.max_abs_diff_vs_builtin);
+    backend_reports.push_back(std::move(r));
+  }
+  nn::SetGemmBackend(default_backend);
+  core::ThreadPool::SetNumThreads(core::ThreadPool::DefaultNumThreads());
+
   // This writer regenerates the file wholesale; carry the dataset-store
   // numbers (written by the table benches) across the rewrite.
   const std::string dataset_store = bench::PreservedDatasetStoreJson();
@@ -564,7 +675,23 @@ void ReportBatchedThroughput() {
   std::fprintf(json, "  \"train_batch_size\": %d,\n", TrainBatch32::kBatch);
   PrintTrainTaskJson(json, "train_rank", rank_report);
   PrintTrainTaskJson(json, "train_mse", mse_report);
-  std::fprintf(json, "  \"train_pool_threads\": %d", threads);
+  std::fprintf(json, "  \"train_pool_threads\": %d,\n", threads);
+  std::fprintf(json, "  \"gemm_backend_default\": \"%s\",\n",
+               default_backend.c_str());
+  std::fprintf(json, "  \"gemm_backends\": {");
+  for (std::size_t i = 0; i < backend_reports.size(); ++i) {
+    const BackendReport& r = backend_reports[i];
+    std::fprintf(json,
+                 "%s\n    \"%s\": {\n"
+                 "      \"batched_1thread_predictions_per_sec\": %.1f,\n"
+                 "      \"train_rank_steps_per_sec\": %.2f,\n"
+                 "      \"train_mse_steps_per_sec\": %.2f,\n"
+                 "      \"max_abs_diff_vs_builtin\": %.3g\n    }",
+                 i == 0 ? "" : ",", r.name.c_str(), r.preds_per_sec,
+                 r.rank_steps_per_sec, r.mse_steps_per_sec,
+                 r.max_abs_diff_vs_builtin);
+  }
+  std::fprintf(json, "\n  }");
   if (!dataset_store.empty()) {
     std::fprintf(json, ",\n  \"dataset_store\": %s", dataset_store.c_str());
   }
@@ -578,6 +705,7 @@ void ReportBatchedThroughput() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  tpuperf::RegisterPerBackendBenchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   tpuperf::ReportBatchedThroughput();

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (used by the CI docs job).
+
+Checks every [text](target) link in the given markdown files:
+  * relative file targets must exist on disk (resolved against the
+    containing file's directory);
+  * #anchors (same-file or cross-file) must match a heading's GitHub slug;
+  * http(s)/mailto targets are ignored (CI has no business flaking on the
+    network).
+
+Exit code 0 when everything resolves, 1 with one line per broken link
+otherwise.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces -> dashes."""
+    heading = re.sub(r"[`*_]", "", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(text: str) -> set[str]:
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are examples, not navigation.
+    prose = CODE_FENCE_RE.sub("", text)
+    own_slugs = heading_slugs(text)
+    for match in LINK_RE.finditer(prose):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}: broken link -> {target}")
+                continue
+            slugs = (
+                heading_slugs(resolved.read_text(encoding="utf-8"))
+                if resolved.suffix == ".md"
+                else set()
+            )
+        else:
+            resolved = path
+            slugs = own_slugs
+        if anchor and anchor not in slugs:
+            errors.append(f"{path}: broken anchor -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    all_errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            all_errors.append(f"{name}: file not found")
+            continue
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    checked = len(argv) - 1
+    if all_errors:
+        print(f"{len(all_errors)} broken links in {checked} files",
+              file=sys.stderr)
+        return 1
+    print(f"all links OK in {checked} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

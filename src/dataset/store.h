@@ -1,28 +1,44 @@
-// On-disk featurized dataset store (ROADMAP "Dataset scale-out").
-//
-// The paper collects its 25M/208M-sample datasets once and reuses them for
-// every experiment (§4); Halide's learned cost model and TenSet ship
-// pre-featurized sample stores for the same reason. This store decouples
-// training scale from generation cost the same way: a dataset build
-// (simulation measurements) and its featurization (feat::FeaturizeKernel
-// graph walks) are written to disk once, and warm runs load both without
-// touching the simulator or the featurizer.
-//
-// File format (versioned, little-endian regardless of host):
-//
-//   header:  magic "TPUPERFD" (8) | format version u32 | feature-config
-//            hash u64 | record count u64
-//   record:  type u32 | payload size u64 | FNV-1a-64 checksum of payload
-//            u64 | payload bytes
-//
-// Record types: program info, tile-task kernels (graph + measured tile
-// configs + runtimes), fusion samples, featurized kernels (raw node
-// features + adjacency in CSR form), and named feature-scaler statistics.
-// Readers verify the magic, reject files written by a newer format version,
-// reject mismatched feature-config hashes (the featurizer layout changed;
-// cached matrices would be meaningless), and verify every record's size and
-// checksum — corruption fails loudly with a diagnostic StoreError, never a
-// silent partial load.
+/// \file
+/// On-disk featurized dataset store (ROADMAP "Dataset scale-out").
+///
+/// The paper collects its 25M/208M-sample datasets once and reuses them
+/// for every experiment (§4); Halide's learned cost model and TenSet ship
+/// pre-featurized sample stores for the same reason. This store decouples
+/// training scale from generation cost the same way: a dataset build
+/// (simulation measurements) and its featurization (feat::FeaturizeKernel
+/// graph walks) are written to disk once, and warm runs load both without
+/// touching the simulator or the featurizer.
+///
+/// ## Record framing
+///
+/// File format (versioned, little-endian regardless of host):
+///
+///     header:  magic "TPUPERFD" (8 B) | format version u32 |
+///              feature-config hash u64 | record count u64
+///     record:  type u32 | payload size u64 | FNV-1a-64 checksum of
+///              payload u64 | payload bytes
+///
+/// Records are written back to back after the header; the record count is
+/// patched into the header by DatasetWriter::Finish(). Record types:
+/// program info, tile-task kernels (graph + measured tile configs +
+/// runtimes), fusion samples, featurized kernels (raw node features as
+/// f64 + adjacency in CSR form + static perf), and named feature-scaler
+/// statistics. Unknown record types are a read error (not skipped): a
+/// store is only readable by a format version >= the one that wrote it.
+///
+/// ## Corruption guarantees
+///
+/// Readers verify the magic, reject files written by a NEWER format
+/// version, reject mismatched feature-config hashes (the featurizer
+/// layout changed; cached matrices would be meaningless), and verify
+/// every record's size and checksum — truncation, bit flips, trailing
+/// garbage, and structural nonsense all fail loudly with a diagnostic
+/// StoreError naming the file and failing offset/record, never a silent
+/// partial load. Writers stream to a temporary sibling file renamed
+/// atomically into place by Finish(), so a crashed or unfinished writer
+/// leaves no half-written store behind (the temporary is removed on
+/// destruction). tests/store_test.cpp exercises each failure mode
+/// adversarially.
 #pragma once
 
 #include <cstdint>
@@ -46,32 +62,32 @@ inline constexpr std::uint32_t kStoreFormatVersion = 1;
 inline constexpr char kStoreMagic[8] = {'T', 'P', 'U', 'P',
                                         'E', 'R', 'F', 'D'};
 
-// Hash of the feature-extractor layout (block widths, encoded rank, opcode
-// vocabulary size). Stored in every file header; a mismatch means the
-// cached featurized matrices no longer describe what the model would see
-// and the store must be regenerated.
+/// Hash of the feature-extractor layout (block widths, encoded rank, opcode
+/// vocabulary size). Stored in every file header; a mismatch means the
+/// cached featurized matrices no longer describe what the model would see
+/// and the store must be regenerated.
 std::uint64_t FeatureConfigHash();
 
-// Thrown on any malformed, truncated, corrupted, or incompatible store
-// file. The message names the file and what failed.
+/// Thrown on any malformed, truncated, corrupted, or incompatible store
+/// file. The message names the file and what failed.
 class StoreError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
 
-// One kernel's raw featurization keyed by the graph hashes core's
-// PreparedCache already uses (fingerprint + structural signature for
-// collision safety).
+/// One kernel's raw featurization keyed by the graph hashes core's
+/// PreparedCache already uses (fingerprint + structural signature for
+/// collision safety).
 struct FeaturizedKernel {
   std::uint64_t fingerprint = 0;
   std::uint64_t structural_sig = 0;
   feat::KernelFeatures features;
 };
 
-// Loaded featurized records, servable as a feat::KernelFeatureSource so
-// PreparedCache and the trainers skip FeaturizeKernel on warm runs. Safe
-// for concurrent Lookup once populated; pointers stay valid for the
-// object's lifetime.
+/// Loaded featurized records, servable as a feat::KernelFeatureSource so
+/// PreparedCache and the trainers skip FeaturizeKernel on warm runs. Safe
+/// for concurrent Lookup once populated; pointers stay valid for the
+/// object's lifetime.
 class StoredFeatures final : public feat::KernelFeatureSource {
  public:
   // Appends one record (first entry wins on exact duplicates).
@@ -93,9 +109,9 @@ class StoredFeatures final : public feat::KernelFeatureSource {
       by_fingerprint_;
 };
 
-// Corpus manifest entry: program identity survives serialization, so split
-// specs computed over the generating corpus stay meaningful for a loaded
-// dataset.
+/// Corpus manifest entry: program identity survives serialization, so split
+/// specs computed over the generating corpus stay meaningful for a loaded
+/// dataset.
 struct ProgramInfo {
   int program_id = -1;
   std::string name;
@@ -104,7 +120,7 @@ struct ProgramInfo {
   bool operator==(const ProgramInfo&) const = default;
 };
 
-// Everything a store file holds.
+/// Everything a store file holds.
 struct StoreContents {
   std::vector<ProgramInfo> programs;
   TileDataset tile;
@@ -114,10 +130,10 @@ struct StoreContents {
   std::map<std::string, feat::FeatureScaler> scalers;
 };
 
-// Streams records to `path`. Writes go to a temporary sibling file that is
-// atomically renamed into place by Finish(), so readers never observe a
-// half-written store; an unfinished writer removes its temporary on
-// destruction.
+/// Streams records to `path`. Writes go to a temporary sibling file that is
+/// atomically renamed into place by Finish(), so readers never observe a
+/// half-written store; an unfinished writer removes its temporary on
+/// destruction.
 class DatasetWriter {
  public:
   explicit DatasetWriter(std::string path);
@@ -153,10 +169,10 @@ enum class ReadMode {
   kStream  // buffered read
 };
 
-// Validates the header on construction and decodes records on ReadAll().
-// Any inconsistency — bad magic, future format version, feature-config
-// mismatch, truncation, checksum or structural corruption — throws
-// StoreError with the file name and failing offset/record.
+/// Validates the header on construction and decodes records on ReadAll().
+/// Any inconsistency — bad magic, future format version, feature-config
+/// mismatch, truncation, checksum or structural corruption — throws
+/// StoreError with the file name and failing offset/record.
 class DatasetReader {
  public:
   explicit DatasetReader(std::string path, ReadMode mode = ReadMode::kAuto);
@@ -184,17 +200,17 @@ class DatasetReader {
   std::uint64_t count_ = 0;
 };
 
-// ---- Cache-directory layer (TPUPERF_DATASET_DIR) ---------------------------
+/// ---- Cache-directory layer (TPUPERF_DATASET_DIR) ---------------------------
 
-// Key identifying one concrete dataset build: task, simulated target,
-// corpus (names + graph fingerprints), generation budgets, and the feature
-// configuration. Part of the store file name, so distinct builds never
-// collide in one cache directory.
+/// Key identifying one concrete dataset build: task, simulated target,
+/// corpus (names + graph fingerprints), generation budgets, and the feature
+/// configuration. Part of the store file name, so distinct builds never
+/// collide in one cache directory.
 std::uint64_t DatasetCacheKey(std::string_view task, std::string_view target,
                               std::span<const ir::Program> corpus,
                               const DatasetOptions& options);
 
-// "<dir>/<task>_<key as 16 hex digits>.tpds".
+/// "<dir>/<task>_<key as 16 hex digits>.tpds".
 std::string StorePath(const std::string& dir, std::string_view task,
                       std::uint64_t key);
 
@@ -204,21 +220,21 @@ struct StoreLoadStats {
   double seconds = 0;     // wall time to load (hit) or build+write (miss)
 };
 
-// Loads the tile-size dataset for (corpus, options, simulator target) from
-// `cache_dir` when a store exists; otherwise builds it in-process,
-// featurizes every unique kernel (sharded across core::ThreadPool), and
-// writes the store for the next run. An empty `cache_dir` means plain
-// in-process generation with no I/O and no featurization. A present but
-// corrupt store throws StoreError rather than silently rebuilding.
-// `features` (optional) receives the featurized records for registration
-// with feat::SetGlobalKernelFeatureSource.
+/// Loads the tile-size dataset for (corpus, options, simulator target) from
+/// `cache_dir` when a store exists; otherwise builds it in-process,
+/// featurizes every unique kernel (sharded across core::ThreadPool), and
+/// writes the store for the next run. An empty `cache_dir` means plain
+/// in-process generation with no I/O and no featurization. A present but
+/// corrupt store throws StoreError rather than silently rebuilding.
+/// `features` (optional) receives the featurized records for registration
+/// with feat::SetGlobalKernelFeatureSource.
 TileDataset LoadOrBuildTileDataset(
     const std::string& cache_dir, std::span<const ir::Program> corpus,
     const sim::TpuSimulator& simulator, const DatasetOptions& options,
     std::shared_ptr<StoredFeatures>* features = nullptr,
     StoreLoadStats* stats = nullptr);
 
-// Fusion-task counterpart of LoadOrBuildTileDataset.
+/// Fusion-task counterpart of LoadOrBuildTileDataset.
 FusionDataset LoadOrBuildFusionDataset(
     const std::string& cache_dir, std::span<const ir::Program> corpus,
     const sim::TpuSimulator& simulator,

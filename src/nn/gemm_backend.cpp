@@ -1,0 +1,1020 @@
+// GEMM backend dispatch: the built-in register-tiled kernels (moved here
+// from nn/matrix.cpp so all GEMM code lives in one translation unit), the
+// backend registry/selection, the routed external backends (CBLAS, Eigen —
+// compile-gated), and the nn::MatMul* entry-point wrappers themselves.
+#include "nn/gemm_backend.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "core/thread_pool.h"
+
+#ifdef TPUPERF_WITH_BLAS
+#include <cblas.h>
+#endif
+#ifdef TPUPERF_WITH_EIGEN
+#include <Eigen/Core>
+#endif
+
+namespace tpuperf::nn {
+namespace {
+
+// ---- Shared dispatch heuristics (unchanged from the pre-backend code) ------
+
+// Parallel dispatch threshold, in multiply-adds. Below this the GEMM
+// finishes faster than the fork/join overhead costs.
+constexpr std::int64_t kParallelFlops = 1 << 18;
+
+// Row grain for parallel GEMMs: large enough that a chunk amortizes task
+// dispatch, aligned to the 4-row register tile so every chunk boundary
+// falls between full row blocks (the per-row code path — tiled kernel vs
+// remainder loop — is then identical to the serial kernel's for every row,
+// keeping parallel outputs bit-identical to serial ones).
+std::int64_t RowGrain(int m, std::int64_t flops_per_row) {
+  std::int64_t rows = kParallelFlops / std::max<std::int64_t>(1, flops_per_row);
+  rows = std::max<std::int64_t>(4, (rows + 3) / 4 * 4);
+  return std::min<std::int64_t>(rows, m);
+}
+
+bool ShouldParallelize(std::int64_t m, std::int64_t k, std::int64_t n) {
+  return m * k * n >= 2 * kParallelFlops &&
+         core::ThreadPool::Global().size() > 1;
+}
+
+// Shared mostly-zero dispatch heuristic: operands at >=70% exact zeros
+// (masked attention weights, adjacency-like matrices) are cheaper through
+// the zero-skip kernels than the dense tiled ones. The scan is O(size),
+// ~1/n of the GEMM cost; tiny operands skip it.
+bool MostlyZero(const Matrix& a) {
+  if (a.size() < 256) return false;
+  std::size_t zeros = 0;
+  for (const float v : a.flat()) zeros += v == 0.0f;
+  return zeros * 10 >= a.size() * 7;
+}
+
+// ---- Built-in kernels (verbatim from the pre-backend nn/matrix.cpp) --------
+
+void MatMulSparseARowRange(const Matrix& a, const Matrix& b, Matrix& out,
+                           int i0, int i1);
+
+// Rows [i0, i1) of out = a @ b.
+//
+// Register-tiled main kernel: 4 rows x 16 columns accumulated over the
+// full k extent in registers — each b row is loaded once per 4 output
+// rows and every output element is written exactly once. Batched
+// inference lives on this path; every output row still accumulates over
+// p in ascending order, so row values are independent of how rows are
+// grouped into tiles (packed batches match per-kernel runs). With Accum
+// the register partial sums are added onto `out` (fused backward).
+template <bool Accum>
+void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix& out, int i0,
+                    int i1) {
+  const int k = a.cols(), n = b.cols();
+  constexpr int kRowBlock = 4;
+  constexpr int kColBlock = 16;
+  int i = i0;
+  for (; i + kRowBlock <= i1; i += kRowBlock) {
+    const float* __restrict a0 = a.data() + static_cast<size_t>(i) * k;
+    const float* __restrict a1 = a0 + k;
+    const float* __restrict a2 = a1 + k;
+    const float* __restrict a3 = a2 + k;
+    float* __restrict o0 = out.data() + static_cast<size_t>(i) * n;
+    float* __restrict o1 = o0 + n;
+    float* __restrict o2 = o1 + n;
+    float* __restrict o3 = o2 + n;
+    int j0 = 0;
+    for (; j0 + kColBlock <= n; j0 += kColBlock) {
+      float acc0[kColBlock] = {}, acc1[kColBlock] = {};
+      float acc2[kColBlock] = {}, acc3[kColBlock] = {};
+      for (int p = 0; p < k; ++p) {
+        const float* __restrict b_row =
+            b.data() + static_cast<size_t>(p) * n + j0;
+        const float av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+        for (int j = 0; j < kColBlock; ++j) {
+          acc0[j] += av0 * b_row[j];
+          acc1[j] += av1 * b_row[j];
+          acc2[j] += av2 * b_row[j];
+          acc3[j] += av3 * b_row[j];
+        }
+      }
+      for (int j = 0; j < kColBlock; ++j) {
+        if constexpr (Accum) {
+          o0[j0 + j] += acc0[j];
+          o1[j0 + j] += acc1[j];
+          o2[j0 + j] += acc2[j];
+          o3[j0 + j] += acc3[j];
+        } else {
+          o0[j0 + j] = acc0[j];
+          o1[j0 + j] = acc1[j];
+          o2[j0 + j] = acc2[j];
+          o3[j0 + j] = acc3[j];
+        }
+      }
+    }
+    for (; j0 < n; ++j0) {
+      float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (int p = 0; p < k; ++p) {
+        const float bv = b.data()[static_cast<size_t>(p) * n + j0];
+        s0 += a0[p] * bv;
+        s1 += a1[p] * bv;
+        s2 += a2[p] * bv;
+        s3 += a3[p] * bv;
+      }
+      if constexpr (Accum) {
+        o0[j0] += s0;
+        o1[j0] += s1;
+        o2[j0] += s2;
+        o3[j0] += s3;
+      } else {
+        o0[j0] = s0;
+        o1[j0] = s1;
+        o2[j0] = s2;
+        o3[j0] = s3;
+      }
+    }
+  }
+  // Remaining rows (and any call with m < 4): row-at-a-time with the
+  // zero-skip fast path for sparse operands such as adjacency matrices.
+  MatMulSparseARowRange(a, b, out, i, i1);
+}
+
+// Rows [i0, i1) of the zero-skip kernel.
+void MatMulSparseARowRange(const Matrix& a, const Matrix& b, Matrix& out,
+                           int i0, int i1) {
+  const int k = a.cols(), n = b.cols();
+  for (int i = i0; i < i1; ++i) {
+    float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
+    const float* __restrict a_row = a.data() + static_cast<size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* __restrict b_row = b.data() + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// Fills pre-zeroed `out` with a @ b through the zero-skip kernel.
+void MatMulSparseADispatch(Matrix& out, const Matrix& a, const Matrix& b) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  // Rows are independent, so row partitioning is bit-exact at any thread
+  // count. The flops heuristic over-estimates sparse work; it still only
+  // fires on operands big enough that even ~10% density pays for dispatch.
+  if (ShouldParallelize(m, k, n)) {
+    core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        MatMulSparseARowRange(a, b, out, static_cast<int>(lo),
+                                              static_cast<int>(hi));
+                      });
+  } else {
+    MatMulSparseARowRange(a, b, out, 0, m);
+  }
+}
+
+// Fills pre-zeroed `out` with a @ b, `sparse_a` being the caller's
+// (already computed) MostlyZero verdict — the routed backends share their
+// scan with this dispatch instead of paying it twice.
+void MatMulDispatchKnown(Matrix& out, const Matrix& a, const Matrix& b,
+                         bool sparse_a) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+
+  // Mostly-zero left operands (e.g. masked attention weights that carry
+  // gradients and so can't use MatMulConstA) take the zero-skip row
+  // kernel. Dispatch is per-matrix and row values are independent of it
+  // (skipping exact-zero terms), so packed batches still match per-kernel
+  // runs.
+  if (sparse_a) {
+    MatMulSparseADispatch(out, a, b);
+    return;
+  }
+
+  // Large GEMMs are partitioned by output row across the worker pool. Each
+  // row's value is computed by exactly one worker with the identical
+  // per-row instruction sequence as the serial kernel (chunk boundaries are
+  // aligned to the 4-row register tile), so the result is bit-identical at
+  // any thread count.
+  if (ShouldParallelize(m, k, n)) {
+    core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        MatMulRowRange<false>(a, b, out, static_cast<int>(lo),
+                                              static_cast<int>(hi));
+                      });
+  } else {
+    MatMulRowRange<false>(a, b, out, 0, m);
+  }
+}
+
+// Fills pre-zeroed `out` with a @ b (the shared body of MatMul/MatMulInto).
+void MatMulDispatch(Matrix& out, const Matrix& a, const Matrix& b) {
+  MatMulDispatchKnown(out, a, b, MostlyZero(a));
+}
+
+// Rows [i0, i1) of out = a^T @ b through the register-tiled kernel: 4
+// output rows (= columns of a) x 16 output columns accumulated over the
+// full k extent in registers, ascending p per element — the backward-pass
+// analogue of MatMulRowRange. With Accum the register partial sums are added
+// onto `out` instead of stored (out op= acc), fusing the backward's
+// grad-accumulation into the GEMM.
+template <bool Accum>
+void MatMulTransposeADenseRange(const Matrix& a, const Matrix& b, Matrix& out,
+                                int i0, int i1) {
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  constexpr int kRowBlock = 4;
+  constexpr int kColBlock = 16;
+  int i = i0;
+  for (; i + kRowBlock <= i1; i += kRowBlock) {
+    int j0 = 0;
+    for (; j0 + kColBlock <= n; j0 += kColBlock) {
+      float acc0[kColBlock] = {}, acc1[kColBlock] = {};
+      float acc2[kColBlock] = {}, acc3[kColBlock] = {};
+      for (int p = 0; p < k; ++p) {
+        const float* __restrict a_row =
+            a.data() + static_cast<size_t>(p) * m + i;
+        const float* __restrict b_row =
+            b.data() + static_cast<size_t>(p) * n + j0;
+        const float av0 = a_row[0], av1 = a_row[1];
+        const float av2 = a_row[2], av3 = a_row[3];
+        for (int j = 0; j < kColBlock; ++j) {
+          acc0[j] += av0 * b_row[j];
+          acc1[j] += av1 * b_row[j];
+          acc2[j] += av2 * b_row[j];
+          acc3[j] += av3 * b_row[j];
+        }
+      }
+      float* __restrict o0 = out.data() + static_cast<size_t>(i) * n + j0;
+      float* __restrict o1 = o0 + n;
+      float* __restrict o2 = o1 + n;
+      float* __restrict o3 = o2 + n;
+      for (int j = 0; j < kColBlock; ++j) {
+        if constexpr (Accum) {
+          o0[j] += acc0[j];
+          o1[j] += acc1[j];
+          o2[j] += acc2[j];
+          o3[j] += acc3[j];
+        } else {
+          o0[j] = acc0[j];
+          o1[j] = acc1[j];
+          o2[j] = acc2[j];
+          o3[j] = acc3[j];
+        }
+      }
+    }
+    for (; j0 < n; ++j0) {
+      float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (int p = 0; p < k; ++p) {
+        const float* __restrict a_row =
+            a.data() + static_cast<size_t>(p) * m + i;
+        const float bv = b.data()[static_cast<size_t>(p) * n + j0];
+        s0 += a_row[0] * bv;
+        s1 += a_row[1] * bv;
+        s2 += a_row[2] * bv;
+        s3 += a_row[3] * bv;
+      }
+      if constexpr (Accum) {
+        out.at(i, j0) += s0;
+        out.at(i + 1, j0) += s1;
+        out.at(i + 2, j0) += s2;
+        out.at(i + 3, j0) += s3;
+      } else {
+        out.at(i, j0) = s0;
+        out.at(i + 1, j0) = s1;
+        out.at(i + 2, j0) = s2;
+        out.at(i + 3, j0) = s3;
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = a.data()[static_cast<size_t>(p) * m + i];
+      const float* __restrict b_row = b.data() + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// Columns [j0, j1) of out = a^T @ b with the zero-skip p-outer kernel —
+// kept for sparse left operands (MatMulConstA's backward feeds adjacency
+// operators through here). Column partitioning preserves the serial
+// per-element accumulation order exactly.
+void MatMulTransposeASparseCols(const Matrix& a, const Matrix& b, Matrix& out,
+                                int j0, int j1) {
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* __restrict a_row = a.data() + static_cast<size_t>(p) * m;
+    const float* __restrict b_row = b.data() + static_cast<size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
+      for (int j = j0; j < j1; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// Shared body of MatMulTransposeA / MatMulTransposeAAccum, taking the
+// caller's precomputed MostlyZero verdict. For the non-accumulating call
+// `out` must arrive zero-filled (the sparse kernel and the dense remainder
+// rows accumulate in place).
+template <bool Accum>
+void MatMulTransposeADispatchKnown(const Matrix& a, const Matrix& b,
+                                   Matrix& out, bool sparse_a) {
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+
+  // Same density dispatch as MatMul: mostly-zero left operands (adjacency
+  // operators arriving from MatMulConstA's backward) keep the zero-skip
+  // kernel; dense operands (activation/grad GEMMs of the backward pass) get
+  // the register-tiled kernel.
+  if (sparse_a) {
+    // The zero-skip kernel is accumulate-natural (+=): it serves both modes.
+    if (ShouldParallelize(m, k, n)) {
+      core::ParallelFor(0, n, RowGrain(n, 2ll * k * m),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          MatMulTransposeASparseCols(
+                              a, b, out, static_cast<int>(lo),
+                              static_cast<int>(hi));
+                        });
+    } else {
+      MatMulTransposeASparseCols(a, b, out, 0, n);
+    }
+    return;
+  }
+  if (ShouldParallelize(m, k, n)) {
+    core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        MatMulTransposeADenseRange<Accum>(
+                            a, b, out, static_cast<int>(lo),
+                            static_cast<int>(hi));
+                      });
+  } else {
+    MatMulTransposeADenseRange<Accum>(a, b, out, 0, m);
+  }
+}
+
+template <bool Accum>
+void MatMulTransposeADispatch(const Matrix& a, const Matrix& b, Matrix& out) {
+  MatMulTransposeADispatchKnown<Accum>(a, b, out, MostlyZero(a));
+}
+
+// Rows [i0, i1) of out = a @ b^T: 4x4 blocks of independent dot products
+// give the ILP the single-accumulator loop lacked; every element is still
+// one dot over ascending p, bitwise identical to the naive kernel. With
+// Accum the dots are added onto `out` (fused backward accumulation).
+template <bool Accum>
+void MatMulTransposeBRowRange(const Matrix& a, const Matrix& b, Matrix& out,
+                              int i0, int i1) {
+  const int k = a.cols(), n = b.rows();
+  constexpr int kBlock = 4;
+  int i = i0;
+  for (; i + kBlock <= i1; i += kBlock) {
+    const float* __restrict a0 = a.data() + static_cast<size_t>(i) * k;
+    const float* __restrict a1 = a0 + k;
+    const float* __restrict a2 = a1 + k;
+    const float* __restrict a3 = a2 + k;
+    int j = 0;
+    for (; j + kBlock <= n; j += kBlock) {
+      const float* __restrict b0 = b.data() + static_cast<size_t>(j) * k;
+      const float* __restrict b1 = b0 + k;
+      const float* __restrict b2 = b1 + k;
+      const float* __restrict b3 = b2 + k;
+      float acc[kBlock][kBlock] = {};
+      for (int p = 0; p < k; ++p) {
+        const float av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+        const float bv0 = b0[p], bv1 = b1[p], bv2 = b2[p], bv3 = b3[p];
+        acc[0][0] += av0 * bv0; acc[0][1] += av0 * bv1;
+        acc[0][2] += av0 * bv2; acc[0][3] += av0 * bv3;
+        acc[1][0] += av1 * bv0; acc[1][1] += av1 * bv1;
+        acc[1][2] += av1 * bv2; acc[1][3] += av1 * bv3;
+        acc[2][0] += av2 * bv0; acc[2][1] += av2 * bv1;
+        acc[2][2] += av2 * bv2; acc[2][3] += av2 * bv3;
+        acc[3][0] += av3 * bv0; acc[3][1] += av3 * bv1;
+        acc[3][2] += av3 * bv2; acc[3][3] += av3 * bv3;
+      }
+      for (int ii = 0; ii < kBlock; ++ii) {
+        for (int jj = 0; jj < kBlock; ++jj) {
+          if constexpr (Accum) {
+            out.at(i + ii, j + jj) += acc[ii][jj];
+          } else {
+            out.at(i + ii, j + jj) = acc[ii][jj];
+          }
+        }
+      }
+    }
+    for (; j < n; ++j) {
+      const float* __restrict b_row = b.data() + static_cast<size_t>(j) * k;
+      float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (int p = 0; p < k; ++p) {
+        const float bv = b_row[p];
+        s0 += a0[p] * bv;
+        s1 += a1[p] * bv;
+        s2 += a2[p] * bv;
+        s3 += a3[p] * bv;
+      }
+      if constexpr (Accum) {
+        out.at(i, j) += s0;
+        out.at(i + 1, j) += s1;
+        out.at(i + 2, j) += s2;
+        out.at(i + 3, j) += s3;
+      } else {
+        out.at(i, j) = s0;
+        out.at(i + 1, j) = s1;
+        out.at(i + 2, j) = s2;
+        out.at(i + 3, j) = s3;
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* __restrict a_row = a.data() + static_cast<size_t>(i) * k;
+    float* __restrict out_row = out.data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* __restrict b_row = b.data() + static_cast<size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      if constexpr (Accum) {
+        out_row[j] += acc;
+      } else {
+        out_row[j] = acc;
+      }
+    }
+  }
+}
+
+template <bool Accum>
+void MatMulTransposeBDispatch(const Matrix& a, const Matrix& b, Matrix& out) {
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  if (ShouldParallelize(m, k, n)) {
+    core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        MatMulTransposeBRowRange<Accum>(
+                            a, b, out, static_cast<int>(lo),
+                            static_cast<int>(hi));
+                      });
+  } else {
+    MatMulTransposeBRowRange<Accum>(a, b, out, 0, m);
+  }
+}
+
+// dst += a @ b^T, taking the caller's precomputed MostlyZero verdict for
+// `a`. The transpose-the-small-operand trick: transposing b once lets the
+// vectorized j-inner row kernel carry the GEMM instead of the scalar 4x4
+// dot kernel — the backward's hottest product runs at forward-kernel
+// throughput. Each element still accumulates over ascending p, so values
+// match the dot kernel up to FP contraction (~1 ulp). The transpose lives
+// in a thread-local scratch (the same weight shapes recur step after
+// step), so steady-state training allocates nothing here.
+void TransposeBAccumKnown(Matrix& dst, const Matrix& a, const Matrix& b,
+                          bool sparse_a) {
+  static thread_local Matrix bt_scratch;
+  Matrix bt(b.cols(), b.rows(), bt_scratch.TakeStorage(), Matrix::Uninit{});
+  for (int i = 0; i < b.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  // Same density dispatch as MatMul: mostly-zero gradients (post-ReLU)
+  // keep the zero-skip row kernel, which accumulates natively.
+  if (sparse_a) {
+    if (ShouldParallelize(m, k, n)) {
+      core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          MatMulSparseARowRange(a, bt, dst,
+                                                static_cast<int>(lo),
+                                                static_cast<int>(hi));
+                        });
+    } else {
+      MatMulSparseARowRange(a, bt, dst, 0, m);
+    }
+  } else if (ShouldParallelize(m, k, n)) {
+    core::ParallelFor(0, m, RowGrain(m, 2ll * k * n),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        MatMulRowRange<true>(a, bt, dst,
+                                             static_cast<int>(lo),
+                                             static_cast<int>(hi));
+                      });
+  } else {
+    MatMulRowRange<true>(a, bt, dst, 0, m);
+  }
+  bt_scratch = std::move(bt);  // hand the buffer back for the next call
+}
+
+// ---- The built-in backend ---------------------------------------------------
+
+class BuiltinBackend final : public GemmBackend {
+ public:
+  std::string_view name() const noexcept override { return "builtin"; }
+
+  void MatMul(Matrix& out, const Matrix& a, const Matrix& b) override {
+    MatMulDispatch(out, a, b);
+  }
+  void MatMulSparseA(Matrix& out, const Matrix& a, const Matrix& b) override {
+    MatMulSparseADispatch(out, a, b);
+  }
+  void MatMulTransposeA(Matrix& out, const Matrix& a,
+                        const Matrix& b) override {
+    MatMulTransposeADispatch<false>(a, b, out);
+  }
+  void MatMulTransposeB(Matrix& out, const Matrix& a,
+                        const Matrix& b) override {
+    MatMulTransposeBDispatch<false>(a, b, out);
+  }
+  void MatMulTransposeAAccum(Matrix& dst, const Matrix& a,
+                             const Matrix& b) override {
+    MatMulTransposeADispatch<true>(a, b, dst);
+  }
+  void MatMulTransposeBAccum(Matrix& dst, const Matrix& a,
+                             const Matrix& b) override {
+    TransposeBAccumKnown(dst, a, b, MostlyZero(a));
+  }
+};
+
+}  // namespace
+
+// ---- Routed external backends ----------------------------------------------
+
+namespace {
+
+bool WorthExternalCall(std::int64_t m, std::int64_t k, std::int64_t n) {
+  return m * k * n >= RoutedGemmBackend::kExternalDispatchFlops;
+}
+
+}  // namespace
+
+// The fallback paths call the built-in dispatch internals directly with
+// the density verdict the router just computed, so no operand is ever
+// MostlyZero-scanned twice. Products below the external threshold skip
+// the scan here entirely — the builtin dispatch performs its own single
+// scan, exactly as if it had been selected.
+
+void RoutedGemmBackend::MatMul(Matrix& out, const Matrix& a, const Matrix& b) {
+  if (!WorthExternalCall(a.rows(), a.cols(), b.cols())) {
+    MatMulDispatch(out, a, b);
+    return;
+  }
+  if (MostlyZero(a)) {
+    MatMulDispatchKnown(out, a, b, /*sparse_a=*/true);
+    return;
+  }
+  DenseMatMul(out, a, b, /*accumulate=*/false);
+}
+
+void RoutedGemmBackend::MatMulSparseA(Matrix& out, const Matrix& a,
+                                      const Matrix& b) {
+  // Callers reach this entry point only when they already know `a` is
+  // sparse (adjacency operators): the zero-skip kernel always wins.
+  MatMulSparseADispatch(out, a, b);
+}
+
+void RoutedGemmBackend::MatMulTransposeA(Matrix& out, const Matrix& a,
+                                         const Matrix& b) {
+  if (!WorthExternalCall(a.cols(), a.rows(), b.cols())) {
+    MatMulTransposeADispatch<false>(a, b, out);
+    return;
+  }
+  if (MostlyZero(a)) {
+    MatMulTransposeADispatchKnown<false>(a, b, out, /*sparse_a=*/true);
+    return;
+  }
+  DenseTransposeA(out, a, b, /*accumulate=*/false);
+}
+
+void RoutedGemmBackend::MatMulTransposeB(Matrix& out, const Matrix& a,
+                                         const Matrix& b) {
+  // No density check: the built-in TransposeB has no zero-skip path, so a
+  // large product always goes to the library regardless of sparsity.
+  if (!WorthExternalCall(a.rows(), a.cols(), b.rows())) {
+    MatMulTransposeBDispatch<false>(a, b, out);
+    return;
+  }
+  DenseTransposeB(out, a, b, /*accumulate=*/false);
+}
+
+void RoutedGemmBackend::MatMulTransposeAAccum(Matrix& dst, const Matrix& a,
+                                              const Matrix& b) {
+  if (!WorthExternalCall(a.cols(), a.rows(), b.cols())) {
+    MatMulTransposeADispatch<true>(a, b, dst);
+    return;
+  }
+  if (MostlyZero(a)) {
+    MatMulTransposeADispatchKnown<true>(a, b, dst, /*sparse_a=*/true);
+    return;
+  }
+  DenseTransposeA(dst, a, b, /*accumulate=*/true);
+}
+
+void RoutedGemmBackend::MatMulTransposeBAccum(Matrix& dst, const Matrix& a,
+                                              const Matrix& b) {
+  if (!WorthExternalCall(a.rows(), a.cols(), b.rows())) {
+    TransposeBAccumKnown(dst, a, b, MostlyZero(a));
+    return;
+  }
+  if (MostlyZero(a)) {
+    TransposeBAccumKnown(dst, a, b, /*sparse_a=*/true);
+    return;
+  }
+  DenseTransposeB(dst, a, b, /*accumulate=*/true);
+}
+
+// ---- CBLAS backend ----------------------------------------------------------
+
+#ifdef TPUPERF_WITH_BLAS
+namespace {
+
+// Routes large dense products to cblas_sgemm. All operands are row-major;
+// the transpose flags map straight onto CBLAS op arguments, so no copies
+// are made. Accumulation is beta=1 (`out` holds prior gradients); the
+// non-accumulating calls use beta=0 on the pre-zeroed output.
+class BlasBackend final : public RoutedGemmBackend {
+ public:
+  std::string_view name() const noexcept override { return "blas"; }
+
+ protected:
+  void DenseMatMul(Matrix& out, const Matrix& a, const Matrix& b,
+                   bool accumulate) override {
+    cblas_sgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans, a.rows(), b.cols(),
+                a.cols(), 1.0f, a.data(), a.cols(), b.data(), b.cols(),
+                accumulate ? 1.0f : 0.0f, out.data(), b.cols());
+  }
+  void DenseTransposeA(Matrix& out, const Matrix& a, const Matrix& b,
+                       bool accumulate) override {
+    // a is stored [k, m]; CblasTrans reads it as [m, k] with lda = m.
+    cblas_sgemm(CblasRowMajor, CblasTrans, CblasNoTrans, a.cols(), b.cols(),
+                a.rows(), 1.0f, a.data(), a.cols(), b.data(), b.cols(),
+                accumulate ? 1.0f : 0.0f, out.data(), b.cols());
+  }
+  void DenseTransposeB(Matrix& out, const Matrix& a, const Matrix& b,
+                       bool accumulate) override {
+    // b is stored [n, k]; CblasTrans reads it as [k, n] with ldb = k.
+    cblas_sgemm(CblasRowMajor, CblasNoTrans, CblasTrans, a.rows(), b.rows(),
+                a.cols(), 1.0f, a.data(), a.cols(), b.data(), b.cols(),
+                accumulate ? 1.0f : 0.0f, out.data(), b.rows());
+  }
+};
+
+}  // namespace
+#endif  // TPUPERF_WITH_BLAS
+
+// ---- Eigen backend ----------------------------------------------------------
+
+#ifdef TPUPERF_WITH_EIGEN
+namespace {
+
+using EigenRowMat =
+    Eigen::Matrix<float, Eigen::Dynamic, Eigen::Dynamic, Eigen::RowMajor>;
+using ConstMap = Eigen::Map<const EigenRowMat>;
+using MutMap = Eigen::Map<EigenRowMat>;
+
+// Routes large dense products to Eigen's expression-template GEMM (which
+// vectorizes and cache-blocks). Maps alias the Matrix storage directly; no
+// copies.
+class EigenBackend final : public RoutedGemmBackend {
+ public:
+  std::string_view name() const noexcept override { return "eigen"; }
+
+ protected:
+  void DenseMatMul(Matrix& out, const Matrix& a, const Matrix& b,
+                   bool accumulate) override {
+    ConstMap am(a.data(), a.rows(), a.cols());
+    ConstMap bm(b.data(), b.rows(), b.cols());
+    MutMap om(out.data(), out.rows(), out.cols());
+    if (accumulate) {
+      om.noalias() += am * bm;
+    } else {
+      om.noalias() = am * bm;
+    }
+  }
+  void DenseTransposeA(Matrix& out, const Matrix& a, const Matrix& b,
+                       bool accumulate) override {
+    ConstMap am(a.data(), a.rows(), a.cols());
+    ConstMap bm(b.data(), b.rows(), b.cols());
+    MutMap om(out.data(), out.rows(), out.cols());
+    if (accumulate) {
+      om.noalias() += am.transpose() * bm;
+    } else {
+      om.noalias() = am.transpose() * bm;
+    }
+  }
+  void DenseTransposeB(Matrix& out, const Matrix& a, const Matrix& b,
+                       bool accumulate) override {
+    ConstMap am(a.data(), a.rows(), a.cols());
+    ConstMap bm(b.data(), b.rows(), b.cols());
+    MutMap om(out.data(), out.rows(), out.cols());
+    if (accumulate) {
+      om.noalias() += am * bm.transpose();
+    } else {
+      om.noalias() = am * bm.transpose();
+    }
+  }
+};
+
+}  // namespace
+#endif  // TPUPERF_WITH_EIGEN
+
+// ---- Registry + selection ---------------------------------------------------
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // The builtin backend lives outside the (mutable) vector so
+  // BuiltinGemmBackend() — called on every routed/parity GEMM, possibly
+  // from pool workers — can read it without the mutex: it is constructed
+  // once and never moved or destroyed.
+  BuiltinBackend builtin;
+  // Registered non-builtin backends, guarded by `mu`. The unique_ptr
+  // pointees are stable across registration (only Unregister destroys
+  // one, and that is a test hook; see the header).
+  std::vector<std::unique_ptr<GemmBackend>> extras;
+  std::atomic<GemmBackend*> current{nullptr};  // null until first selection
+  bool env_consumed = false;
+  std::atomic<bool> parity{false};
+
+  Registry() {
+#ifdef TPUPERF_WITH_BLAS
+    extras.push_back(std::make_unique<BlasBackend>());
+#endif
+#ifdef TPUPERF_WITH_EIGEN
+    extras.push_back(std::make_unique<EigenBackend>());
+#endif
+  }
+
+  GemmBackend* FindLocked(std::string_view name) {
+    if (name == builtin.name()) return &builtin;
+    for (const auto& backend : extras) {
+      if (backend->name() == name) return backend.get();
+    }
+    return nullptr;
+  }
+
+  std::string NamesForErrorLocked() {
+    std::string names{builtin.name()};
+    for (const auto& backend : extras) {
+      names += ", ";
+      names += backend->name();
+    }
+    return names;
+  }
+
+  // Reads TPUPERF_GEMM_PARITY (and, when `select` and no programmatic
+  // choice was made yet, TPUPERF_GEMM_BACKEND). Throws on an unknown
+  // backend name so misconfiguration fails loudly at the first GEMM.
+  void ConsumeEnvLocked(bool select) {
+    if (env_consumed) return;
+    env_consumed = true;
+    if (const char* p = std::getenv("TPUPERF_GEMM_PARITY");
+        p != nullptr && p[0] != '\0' && !(p[0] == '0' && p[1] == '\0')) {
+      parity.store(true, std::memory_order_relaxed);
+    }
+    if (!select) return;
+    if (const char* name = std::getenv("TPUPERF_GEMM_BACKEND");
+        name != nullptr && name[0] != '\0') {
+      GemmBackend* backend = FindLocked(name);
+      if (backend == nullptr) {
+        throw std::invalid_argument(
+            std::string("TPUPERF_GEMM_BACKEND=") + name +
+            ": unknown GEMM backend (registered: " + NamesForErrorLocked() +
+            ")");
+      }
+      current.store(backend, std::memory_order_release);
+    }
+  }
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;  // leaked: outlive all statics
+  return *registry;
+}
+
+}  // namespace
+
+GemmBackend& BuiltinGemmBackend() {
+  return GetRegistry().builtin;  // immutable after construction: no lock
+}
+
+void RegisterGemmBackend(std::unique_ptr<GemmBackend> backend) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.FindLocked(backend->name()) != nullptr) {
+    throw std::invalid_argument("RegisterGemmBackend: duplicate name \"" +
+                                std::string(backend->name()) + "\"");
+  }
+  r.extras.push_back(std::move(backend));
+}
+
+void UnregisterGemmBackend(std::string_view name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (name == "builtin") {
+    throw std::invalid_argument(
+        "UnregisterGemmBackend: \"builtin\" cannot be removed");
+  }
+  for (auto it = r.extras.begin(); it != r.extras.end(); ++it) {
+    if ((*it)->name() != name) continue;
+    if (r.current.load(std::memory_order_acquire) == it->get()) {
+      r.current.store(&r.builtin, std::memory_order_release);
+    }
+    r.extras.erase(it);
+    return;
+  }
+  throw std::invalid_argument("UnregisterGemmBackend: unknown name \"" +
+                              std::string(name) + "\"");
+}
+
+std::vector<std::string> GemmBackendNames() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.extras.size() + 1);
+  names.emplace_back(r.builtin.name());
+  for (const auto& backend : r.extras) {
+    names.emplace_back(backend->name());
+  }
+  return names;
+}
+
+bool HasGemmBackend(std::string_view name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.FindLocked(name) != nullptr;
+}
+
+void SetGemmBackend(std::string_view name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  GemmBackend* backend = r.FindLocked(name);
+  if (backend == nullptr) {
+    throw std::invalid_argument("SetGemmBackend: unknown backend \"" +
+                                std::string(name) + "\" (registered: " +
+                                r.NamesForErrorLocked() + ")");
+  }
+  // A programmatic selection supersedes TPUPERF_GEMM_BACKEND; still consume
+  // the parity env so TPUPERF_GEMM_PARITY works regardless of call order.
+  r.ConsumeEnvLocked(/*select=*/false);
+  r.current.store(backend, std::memory_order_release);
+}
+
+GemmBackend& CurrentGemmBackend() {
+  Registry& r = GetRegistry();
+  GemmBackend* backend = r.current.load(std::memory_order_acquire);
+  if (backend != nullptr) return *backend;
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.ConsumeEnvLocked(/*select=*/true);
+  backend = r.current.load(std::memory_order_acquire);
+  if (backend == nullptr) {
+    backend = &r.builtin;  // default
+    r.current.store(backend, std::memory_order_release);
+  }
+  return *backend;
+}
+
+std::string CurrentGemmBackendName() {
+  return std::string(CurrentGemmBackend().name());
+}
+
+void ResetGemmBackendSelectionForTest() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.current.store(nullptr, std::memory_order_release);
+  r.env_consumed = false;
+  r.parity.store(false, std::memory_order_relaxed);
+}
+
+void SetGemmParityCheck(bool enabled) {
+  GetRegistry().parity.store(enabled, std::memory_order_relaxed);
+}
+
+bool GemmParityCheckEnabled() {
+  return GetRegistry().parity.load(std::memory_order_relaxed);
+}
+
+// ---- Entry-point wrappers (declared in nn/matrix.h) -------------------------
+
+namespace {
+
+void CheckMatMulShapes(const Matrix& a, const Matrix& b, const char* what) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument(std::string(what) + ": " + a.ShapeString() +
+                                " x " + b.ShapeString());
+  }
+}
+
+void CheckTransposeAShapes(const Matrix& a, const Matrix& b,
+                           const char* what) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument(std::string(what) + ": " + a.ShapeString() +
+                                "^T x " + b.ShapeString());
+  }
+}
+
+void CheckTransposeBShapes(const Matrix& a, const Matrix& b,
+                           const char* what) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string(what) + ": " + a.ShapeString() +
+                                " x " + b.ShapeString() + "^T");
+  }
+}
+
+void CheckAccumShape(const Matrix& dst, int rows, int cols,
+                     const char* what) {
+  if (dst.rows() != rows || dst.cols() != cols) {
+    throw std::invalid_argument(std::string(what) + ": dst " +
+                                dst.ShapeString() + " != [" +
+                                std::to_string(rows) + "x" +
+                                std::to_string(cols) + "]");
+  }
+}
+
+// Runs one entry point on the selected backend; in parity mode (and on a
+// non-builtin backend) recomputes it with the built-in kernels from the
+// same starting state and enforces kGemmParityRtol.
+void Dispatch(void (GemmBackend::*entry)(Matrix&, const Matrix&,
+                                         const Matrix&),
+              const char* what, Matrix& out, const Matrix& a,
+              const Matrix& b) {
+  GemmBackend& backend = CurrentGemmBackend();
+  GemmBackend& builtin = BuiltinGemmBackend();
+  if (!GemmParityCheckEnabled() || &backend == &builtin) {
+    (backend.*entry)(out, a, b);
+    return;
+  }
+  Matrix reference = out;  // pre-call state (zeros, or prior accumulation)
+  (backend.*entry)(out, a, b);
+  (builtin.*entry)(reference, a, b);
+  for (int i = 0; i < out.rows(); ++i) {
+    for (int j = 0; j < out.cols(); ++j) {
+      const float got = out.at(i, j);
+      const float want = reference.at(i, j);
+      const float diff = std::abs(got - want);
+      const float tol =
+          kGemmParityRtol * std::max(1.0f, std::abs(want));
+      if (diff <= tol) continue;  // NaN diff also falls through and throws
+      throw GemmParityError(
+          std::string("GEMM parity violation in ") + what + " on backend \"" +
+          std::string(backend.name()) + "\" at (" + std::to_string(i) + "," +
+          std::to_string(j) + "): got " + std::to_string(got) +
+          ", builtin " + std::to_string(want) + " (" + a.ShapeString() +
+          " x " + b.ShapeString() + ")");
+    }
+  }
+}
+
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  CheckMatMulShapes(a, b, "MatMul");
+  Matrix out(a.rows(), b.cols());
+  Dispatch(&GemmBackend::MatMul, "MatMul", out, a, b);
+  return out;
+}
+
+void MatMulInto(Matrix& out, const Matrix& a, const Matrix& b) {
+  CheckMatMulShapes(a, b, "MatMulInto");
+  out = Matrix(a.rows(), b.cols(), out.TakeStorage());  // reshape + zero
+  Dispatch(&GemmBackend::MatMul, "MatMulInto", out, a, b);
+}
+
+Matrix MatMulSparseA(const Matrix& a, const Matrix& b) {
+  CheckMatMulShapes(a, b, "MatMulSparseA");
+  Matrix out(a.rows(), b.cols());
+  Dispatch(&GemmBackend::MatMulSparseA, "MatMulSparseA", out, a, b);
+  return out;
+}
+
+void MatMulSparseAInto(Matrix& out, const Matrix& a, const Matrix& b) {
+  CheckMatMulShapes(a, b, "MatMulSparseAInto");
+  out = Matrix(a.rows(), b.cols(), out.TakeStorage());  // reshape + zero
+  Dispatch(&GemmBackend::MatMulSparseA, "MatMulSparseAInto", out, a, b);
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  CheckTransposeAShapes(a, b, "MatMulTransposeA");
+  Matrix out(a.cols(), b.cols());
+  Dispatch(&GemmBackend::MatMulTransposeA, "MatMulTransposeA", out, a, b);
+  return out;
+}
+
+void MatMulTransposeAAccum(Matrix& dst, const Matrix& a, const Matrix& b) {
+  CheckTransposeAShapes(a, b, "MatMulTransposeAAccum");
+  CheckAccumShape(dst, a.cols(), b.cols(), "MatMulTransposeAAccum");
+  Dispatch(&GemmBackend::MatMulTransposeAAccum, "MatMulTransposeAAccum", dst,
+           a, b);
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  CheckTransposeBShapes(a, b, "MatMulTransposeB");
+  Matrix out(a.rows(), b.rows());
+  Dispatch(&GemmBackend::MatMulTransposeB, "MatMulTransposeB", out, a, b);
+  return out;
+}
+
+void MatMulTransposeBAccum(Matrix& dst, const Matrix& a, const Matrix& b) {
+  CheckTransposeBShapes(a, b, "MatMulTransposeBAccum");
+  CheckAccumShape(dst, a.rows(), b.rows(), "MatMulTransposeBAccum");
+  Dispatch(&GemmBackend::MatMulTransposeBAccum, "MatMulTransposeBAccum", dst,
+           a, b);
+}
+
+}  // namespace tpuperf::nn

@@ -1,0 +1,196 @@
+/// \file
+/// Pluggable GEMM backend dispatch (ROADMAP "Multi-backend GEMM").
+///
+/// Every hot path in the reproduction — batched GNN inference, the fused
+/// attention backward, trainer minibatch steps — bottoms out in the six
+/// GEMM entry points declared in nn/matrix.h. This header makes those entry
+/// points dispatch through a process-global `GemmBackend`, so hosts with an
+/// optimized BLAS (or Eigen) can route large dense contractions to the
+/// tuned library while everything else keeps the built-in register-tiled
+/// kernels — mirroring how production stacks hand contractions to vendor
+/// libraries.
+///
+/// Backends:
+///   * `"builtin"` — always registered. The hand-written kernels: zero-skip
+///     sparse path, 4x16 register tiling, deterministic `core::ThreadPool`
+///     row partitioning. Selecting it reproduces the pre-backend results
+///     bit for bit.
+///   * `"blas"`   — compiled when CMake is configured with
+///     `-DTPUPERF_WITH_BLAS=ON` and a CBLAS (e.g. OpenBLAS) is found.
+///   * `"eigen"`  — compiled with `-DTPUPERF_WITH_EIGEN=ON` and Eigen3.
+///
+/// External backends are *routed* (see RoutedGemmBackend): only dense
+/// products above a flops threshold go to the library; mostly-zero operands
+/// keep the built-in zero-skip kernels and tiny operands skip the library
+/// call overhead. `MatMulSparseA` always runs built-in — callers use it
+/// precisely when they know the left operand is sparse.
+///
+/// Selection:
+///   * `nn::SetGemmBackend("name")` — programmatic, takes effect for every
+///     subsequent GEMM in the process.
+///   * `TPUPERF_GEMM_BACKEND=name` — environment override, read once at the
+///     first GEMM (or first CurrentGemmBackend* call). Unknown names throw
+///     `std::invalid_argument` listing what is registered — loudly, not a
+///     silent fallback.
+///
+/// Parity mode (`nn::SetGemmParityCheck(true)` or `TPUPERF_GEMM_PARITY=1`):
+/// every dispatched GEMM on a non-builtin backend is recomputed with the
+/// built-in kernels and compared element-wise. Backends are free to reorder
+/// and contract the k-extent sum (FMA, SIMD lane trees), so agreement is
+/// required within `kGemmParityRtol`:
+///     |backend - builtin| <= kGemmParityRtol * max(1, |builtin|)
+/// A violation throws `GemmParityError` naming the entry point, shapes, and
+/// worst element. Parity mode is a debugging tool — it roughly triples the
+/// cost of every checked GEMM.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace tpuperf::nn {
+
+/// Relative tolerance of the parity check: the documented bound on
+/// FP-contraction disagreement between backends. External libraries sum the
+/// k-extent in a different association (SIMD lane trees, FMA contraction)
+/// than the built-in ascending-p loops; for the operand magnitudes and
+/// k <= a few thousand seen here, the drift stays well under 1e-4 relative.
+inline constexpr float kGemmParityRtol = 1e-4f;
+
+/// Thrown by parity mode when a backend disagrees with the built-in kernels
+/// beyond kGemmParityRtol.
+class GemmParityError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One GEMM implementation covering all six entry points of nn/matrix.h.
+///
+/// Contract (shapes are pre-validated by the nn::MatMul* wrappers; `out`
+/// arrives already shaped and zero-filled for the non-accumulating calls):
+///   * MatMul:          out  = a @ b           a:[m,k] b:[k,n] out:[m,n]
+///   * MatMulSparseA:   out  = a @ b           (a expected mostly zero)
+///   * MatMulTransposeA: out = a^T @ b         a:[k,m] b:[k,n] out:[m,n]
+///   * MatMulTransposeB: out = a @ b^T         a:[m,k] b:[n,k] out:[m,n]
+///   * MatMulTransposeAAccum: dst += a^T @ b   (dst holds prior grads)
+///   * MatMulTransposeBAccum: dst += a @ b^T
+///
+/// Implementations must be safe to call concurrently from pool workers
+/// (no mutable per-call state beyond locals / thread_locals) and must not
+/// depend on `core::ThreadPool` width for their *values* — the built-in
+/// kernels partition deterministically, external libraries run their own
+/// (pool-independent) schedule.
+class GemmBackend {
+ public:
+  virtual ~GemmBackend() = default;
+
+  /// Stable registry name ("builtin", "blas", "eigen", ...).
+  virtual std::string_view name() const noexcept = 0;
+
+  virtual void MatMul(Matrix& out, const Matrix& a, const Matrix& b) = 0;
+  virtual void MatMulSparseA(Matrix& out, const Matrix& a,
+                             const Matrix& b) = 0;
+  virtual void MatMulTransposeA(Matrix& out, const Matrix& a,
+                                const Matrix& b) = 0;
+  virtual void MatMulTransposeB(Matrix& out, const Matrix& a,
+                                const Matrix& b) = 0;
+  virtual void MatMulTransposeAAccum(Matrix& dst, const Matrix& a,
+                                     const Matrix& b) = 0;
+  virtual void MatMulTransposeBAccum(Matrix& dst, const Matrix& a,
+                                     const Matrix& b) = 0;
+};
+
+/// Base class for backends that wrap an external dense-GEMM library.
+///
+/// Implements the six entry points with the routing policy described in the
+/// file comment: dense operands whose product exceeds
+/// `kExternalDispatchFlops` multiply-adds go to the subclass's Dense*
+/// hooks; mostly-zero left operands (the same >=70%-zeros heuristic the
+/// built-in dispatch uses) and small products fall back to the built-in
+/// kernels, whose zero-skip / low-overhead paths beat a library call
+/// there. Each operand is density-scanned at most once per call (the
+/// verdict is forwarded into the built-in dispatch). `MatMulSparseA`
+/// always runs built-in; large `MatMulTransposeB` products always go to
+/// the library (the built-in kernel has no zero-skip path there).
+class RoutedGemmBackend : public GemmBackend {
+ public:
+  /// Minimum m*k*n (multiply-adds) before a product is worth a library
+  /// call; below this the built-in kernels finish faster than the
+  /// dispatch + pack overhead of typical BLAS implementations.
+  static constexpr long long kExternalDispatchFlops = 1 << 15;
+
+  void MatMul(Matrix& out, const Matrix& a, const Matrix& b) final;
+  void MatMulSparseA(Matrix& out, const Matrix& a, const Matrix& b) final;
+  void MatMulTransposeA(Matrix& out, const Matrix& a, const Matrix& b) final;
+  void MatMulTransposeB(Matrix& out, const Matrix& a, const Matrix& b) final;
+  void MatMulTransposeAAccum(Matrix& dst, const Matrix& a,
+                             const Matrix& b) final;
+  void MatMulTransposeBAccum(Matrix& dst, const Matrix& a,
+                             const Matrix& b) final;
+
+ protected:
+  /// Library hooks. `accumulate=false`: overwrite `out` (it arrives
+  /// zero-filled, so beta=0 and beta=1 are both correct); `accumulate=true`:
+  /// out += product. Shapes as in the GemmBackend contract.
+  virtual void DenseMatMul(Matrix& out, const Matrix& a, const Matrix& b,
+                           bool accumulate) = 0;
+  virtual void DenseTransposeA(Matrix& out, const Matrix& a, const Matrix& b,
+                               bool accumulate) = 0;
+  virtual void DenseTransposeB(Matrix& out, const Matrix& a, const Matrix& b,
+                               bool accumulate) = 0;
+};
+
+/// The always-available built-in backend (register-tiled kernels).
+GemmBackend& BuiltinGemmBackend();
+
+// ---- Registry ---------------------------------------------------------------
+
+/// Registers `backend` under backend->name(). Throws std::invalid_argument
+/// on a duplicate name (names are stable identities, not slots). The
+/// registry owns the backend for the remainder of the process.
+void RegisterGemmBackend(std::unique_ptr<GemmBackend> backend);
+
+/// Removes a registered backend by name (a test hook — production code
+/// registers for process lifetime). Throws std::invalid_argument for
+/// "builtin" or an unknown name; if the removed backend was selected,
+/// selection falls back to "builtin". The backend is destroyed: callers
+/// must ensure no GEMM is in flight on it (the registry cannot).
+void UnregisterGemmBackend(std::string_view name);
+
+/// Names of all registered backends, "builtin" first, registration order
+/// after that.
+std::vector<std::string> GemmBackendNames();
+
+bool HasGemmBackend(std::string_view name);
+
+// ---- Selection --------------------------------------------------------------
+
+/// Selects the backend every subsequent nn::MatMul* call dispatches to.
+/// Throws std::invalid_argument (listing the registered names) when `name`
+/// is unknown.
+void SetGemmBackend(std::string_view name);
+
+/// The currently selected backend. On the first call (unless
+/// SetGemmBackend ran earlier) this reads TPUPERF_GEMM_BACKEND; an unknown
+/// value there throws std::invalid_argument just like SetGemmBackend.
+GemmBackend& CurrentGemmBackend();
+std::string CurrentGemmBackendName();
+
+/// Re-arms the lazy TPUPERF_GEMM_BACKEND read and clears any programmatic
+/// selection (test hook for env-selection coverage).
+void ResetGemmBackendSelectionForTest();
+
+// ---- Parity mode ------------------------------------------------------------
+
+/// When enabled, every GEMM dispatched to a non-builtin backend is
+/// recomputed with the built-in kernels and compared within
+/// kGemmParityRtol; disagreement throws GemmParityError. Also armed by
+/// TPUPERF_GEMM_PARITY=1 (read at the same lazy init as the backend env).
+void SetGemmParityCheck(bool enabled);
+bool GemmParityCheckEnabled();
+
+}  // namespace tpuperf::nn

@@ -80,8 +80,11 @@ Tensor MatMulOp(Tape& tape, Tensor a, Tensor b) {
   if (!tape.grad_enabled()) return tape.NewNode(std::move(y), {an, bn}, nullptr);
   const bool fused = FusedOpsEnabled();
   return tape.NewNode(std::move(y), {an, bn}, [an, bn, fused](TapeNode& self) {
-    // The accumulate kernels produce bit-identical grads to the temp+add
-    // seed pair; they just skip the temporary and the extra add pass.
+    // The accumulate entry points (dispatched through the selected GEMM
+    // backend, nn/gemm_backend.h) produce bit-identical grads to the
+    // temp+add seed pair on the built-in backend; they just skip the
+    // temporary and the extra add pass. External backends agree within
+    // nn::kGemmParityRtol.
     if (an->requires_grad) {
       if (fused) {
         MatMulTransposeBAccum(an->grad, self.grad, bn->value);
@@ -101,7 +104,9 @@ Tensor MatMulOp(Tape& tape, Tensor a, Tensor b) {
 
 Tensor MatMulConstA(Tape& tape, const Matrix& a, Tensor x) {
   // The constant operand here is an adjacency operator — sparse, so the
-  // zero-skip kernel beats the dense tiled one.
+  // zero-skip kernel beats the dense tiled one (the MatMulSparseA entry
+  // point runs the built-in kernel on every GEMM backend; its backward
+  // below hits the backends' mostly-zero fallback the same way).
   Matrix y = tape.NewMatrixUninit(a.rows(), x.cols());
   MatMulSparseAInto(y, a, x.value());
   TapeNode* xn = x.node();
@@ -678,6 +683,8 @@ Tensor LstmGatePreactOp(Tape& tape, Tensor x_rows, std::span<const int> ids,
   return tape.NewNode(
       std::move(y), {xn, hn, wn, bn},
       [xn, hn, wn, bn, ids = std::move(ids_copy), fused](TapeNode& self) {
+        // Backward GEMMs below dispatch through the selected backend
+        // (nn/gemm_backend.h), like MatMulOp's.
         const Matrix& g = self.grad;
         if (xn->requires_grad) {
           for (size_t r = 0; r < ids.size(); ++r) {

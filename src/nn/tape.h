@@ -1,18 +1,50 @@
-// Reverse-mode automatic differentiation on a per-step tape.
-//
-// Every forward pass records its intermediate values on a Tape; calling
-// Backward() walks the tape in reverse creation order (which is a valid
-// topological order, since operands are created before results) and
-// accumulates gradients. Parameters enter a tape through ParamLeaf, which
-// routes their gradient into the Parameter's persistent grad buffer.
-//
-// The tape is cleared after each optimization step; creating one with
-// grad_enabled=false gives a cheap inference mode that records no backward
-// closures (and no parent lists). Attaching a TapeArena makes Clear()
-// recycle every node's value/grad heap buffer instead of freeing it, so a
-// long-lived tape reused across minibatches reaches a steady state with
-// (near) zero per-step heap allocations; the node shells themselves
-// (including their parent-vector capacity) are reused in place as well.
+/// \file
+/// Reverse-mode automatic differentiation on a per-step tape.
+///
+/// Every forward pass records its intermediate values on a Tape; calling
+/// Backward() walks the tape in reverse creation order (which is a valid
+/// topological order, since operands are created before results) and
+/// accumulates gradients. Parameters enter a tape through ParamLeaf, which
+/// routes their gradient into the Parameter's persistent grad buffer.
+///
+/// ## TapeArena lifecycle
+///
+/// The tape is cleared after each optimization step; creating one with
+/// grad_enabled=false gives a cheap inference mode that records no
+/// backward closures (and no parent lists). Attaching a TapeArena makes
+/// Clear() recycle every node's value/grad heap buffer instead of freeing
+/// it, so a long-lived tape reused across minibatches reaches a steady
+/// state with (near) zero per-step heap allocations; the node shells
+/// themselves (including their parent-vector capacity) are reused in place
+/// as well. The intended pattern (both trainers follow it):
+///
+///   1. construct one `TapeArena` and one `Tape(/*grad_enabled=*/true,
+///      &arena)` for the whole training run;
+///   2. per step: `tape.Clear()` (recycles last step's buffers into the
+///      arena) → forward → `Backward` → optimizer step;
+///   3. the arena must outlive the tape (the tape's destructor recycles
+///      into it); never share one arena between tapes on different
+///      threads — it is single-threaded by design.
+///
+/// Ops must route every tape-lifetime allocation through
+/// Tape::NewMatrix/NewMatrixUninit so Clear() can recycle it; stack-local
+/// scratch in parallel backward bodies deliberately bypasses the arena.
+///
+/// ## Stash-leaf rules
+///
+/// A backward closure must not capture Matrix copies (that defeats the
+/// arena and doubles memory traffic). State that the backward needs but
+/// that is not an op output — a dropout mask, LayerNorm's xhat, softmax
+/// probabilities — is "stashed" as an extra gradless leaf:
+///
+///   TapeNode* stash = tape.Leaf(std::move(state)).node();
+///
+/// and the closure captures the `TapeNode*`. Rules: allocate the stashed
+/// matrix via tape.NewMatrix* (so its storage is recyclable); create the
+/// stash leaf on the same tape as (and no later than) the node whose
+/// backward reads it — node pointers stay valid until Clear(), which is
+/// exactly the closure's lifetime; leave requires_grad false so Backward
+/// skips it.
 #pragma once
 
 #include <cstddef>
@@ -30,32 +62,33 @@ namespace tpuperf::nn {
 
 class Tape;
 
-// Recycles Matrix heap storage across tape clears and optimization steps.
-// Buffers are pooled by capacity and handed back best-fit, so the shape mix
-// may drift between steps (minibatches pack different node counts) without
-// defeating reuse. Single-threaded by design: tapes acquire/recycle only
-// from the thread that owns them (parallel backward bodies use stack-local
-// scratch, never the arena).
+/// Recycles Matrix heap storage across tape clears and optimization steps.
+/// Buffers are pooled by capacity and handed back best-fit, so the shape
+/// mix may drift between steps (minibatches pack different node counts)
+/// without defeating reuse. Single-threaded by design: tapes
+/// acquire/recycle only from the thread that owns them (parallel backward
+/// bodies use stack-local scratch, never the arena). See the file comment
+/// for the lifecycle contract.
 class TapeArena {
  public:
   TapeArena() = default;
   TapeArena(const TapeArena&) = delete;
   TapeArena& operator=(const TapeArena&) = delete;
 
-  // A zero-filled [rows, cols] matrix, reusing pooled storage when a buffer
-  // with sufficient capacity is available.
+  /// A zero-filled [rows, cols] matrix, reusing pooled storage when a
+  /// buffer with sufficient capacity is available.
   Matrix Acquire(int rows, int cols);
-  // As Acquire but without the zero-fill (contents unspecified) — for
-  // outputs that are fully overwritten by their op.
+  /// As Acquire but without the zero-fill (contents unspecified) — for
+  /// outputs that are fully overwritten by their op.
   Matrix AcquireUninit(int rows, int cols);
-  // Returns a matrix's heap storage to the pool.
+  /// Returns a matrix's heap storage to the pool.
   void Recycle(Matrix&& m);
 
   // ---- Instrumentation (the measurable win; see bench_micro) ---------------
-  // Buffer requests served since construction / last ResetStats().
+  /// Buffer requests served since construction / last ResetStats().
   std::size_t requests() const noexcept { return requests_; }
-  // Requests that had to hit the heap (pool misses). In steady state a
-  // training loop's per-step delta drops to ~0.
+  /// Requests that had to hit the heap (pool misses). In steady state a
+  /// training loop's per-step delta drops to ~0.
   std::size_t heap_allocations() const noexcept { return heap_allocations_; }
   std::size_t recycled() const noexcept {
     return requests_ - heap_allocations_;
@@ -72,16 +105,19 @@ class TapeArena {
   std::size_t heap_allocations_ = 0;
 };
 
+/// One recorded op result (or leaf) on the tape. Addresses are stable for
+/// the life of the tape (deque storage), so backward closures and stash
+/// leaves hold raw `TapeNode*`.
 struct TapeNode {
   Matrix value;
-  Matrix grad;  // allocated lazily (arena-aware, inside Tape::Backward)
+  Matrix grad;  ///< allocated lazily (arena-aware, inside Tape::Backward)
   bool requires_grad = false;
   std::vector<TapeNode*> parents;
-  // Propagates this node's grad into its parents' grads.
+  /// Propagates this node's grad into its parents' grads.
   std::function<void(TapeNode&)> backward;
 };
 
-// Lightweight non-owning handle to a tape node.
+/// Lightweight non-owning handle to a tape node.
 class Tensor {
  public:
   Tensor() = default;
@@ -100,6 +136,8 @@ class Tensor {
   TapeNode* node_ = nullptr;
 };
 
+/// The recording. One per training/inference step stream; reuse across
+/// steps (with Clear()) + a TapeArena is the zero-allocation steady state.
 class Tape {
  public:
   explicit Tape(bool grad_enabled = true, TapeArena* arena = nullptr)
@@ -112,43 +150,44 @@ class Tape {
   std::size_t size() const noexcept { return next_; }
   TapeArena* arena() const noexcept { return arena_; }
 
-  // A zero-filled matrix for an op output or saved backward state —
-  // arena-recycled when an arena is attached, plain-allocated otherwise.
-  // Ops route their allocations through this so Clear() can recycle them.
+  /// A zero-filled matrix for an op output or saved backward state —
+  /// arena-recycled when an arena is attached, plain-allocated otherwise.
+  /// Ops route their allocations through this so Clear() can recycle them.
   Matrix NewMatrix(int rows, int cols) {
     return arena_ != nullptr ? arena_->Acquire(rows, cols)
                              : Matrix(rows, cols);
   }
-  // As NewMatrix but with unspecified contents on the recycled path — for
-  // op outputs that overwrite every element (or hand the buffer straight to
-  // a MatMul*Into kernel, which reshapes and zeroes it itself).
+  /// As NewMatrix but with unspecified contents on the recycled path — for
+  /// op outputs that overwrite every element (or hand the buffer straight
+  /// to a MatMul*Into kernel, which reshapes and zeroes it itself).
   Matrix NewMatrixUninit(int rows, int cols) {
     return arena_ != nullptr ? arena_->AcquireUninit(rows, cols)
                              : Matrix(rows, cols);
   }
 
-  // A constant (or trainable-by-itself) leaf.
+  /// A constant (or trainable-by-itself) leaf. With requires_grad=false
+  /// this is also the stash-leaf primitive (see the file comment).
   Tensor Leaf(Matrix value, bool requires_grad = false);
 
-  // A leaf view of a persistent Parameter; backward accumulates into
-  // param.grad.
+  /// A leaf view of a persistent Parameter; backward accumulates into
+  /// param.grad.
   Tensor ParamLeaf(Parameter& param);
 
-  // Records an op result. `backward` may be empty for non-differentiable
-  // ops; it — and the parent list — are dropped when no parent requires
-  // grad or grads are disabled (inference tapes store neither).
+  /// Records an op result. `backward` may be empty for non-differentiable
+  /// ops; it — and the parent list — are dropped when no parent requires
+  /// grad or grads are disabled (inference tapes store neither).
   Tensor NewNode(Matrix value, std::span<TapeNode* const> parents,
                  std::function<void(TapeNode&)> backward);
   Tensor NewNode(Matrix value, std::initializer_list<TapeNode*> parents,
                  std::function<void(TapeNode&)> backward);
 
-  // Seeds d(loss)=1 and runs all backward closures in reverse order.
-  // `loss` must be a 1x1 tensor recorded on this tape.
+  /// Seeds d(loss)=1 and runs all backward closures in reverse order.
+  /// `loss` must be a 1x1 tensor recorded on this tape.
   void Backward(Tensor loss);
 
-  // Drops all recorded nodes (recycling their buffers into the arena when
-  // one is attached) while keeping the node shells for reuse, so a tape
-  // reused across steps stops allocating once warm.
+  /// Drops all recorded nodes (recycling their buffers into the arena when
+  /// one is attached) while keeping the node shells for reuse, so a tape
+  /// reused across steps stops allocating once warm.
   void Clear();
 
  private:
