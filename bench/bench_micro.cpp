@@ -643,9 +643,10 @@ void ReportBatchedThroughput() {
   nn::SetGemmBackend(default_backend);
   core::ThreadPool::SetNumThreads(core::ThreadPool::DefaultNumThreads());
 
-  // This writer regenerates the file wholesale; carry the dataset-store
-  // numbers (written by the table benches) across the rewrite.
-  const std::string dataset_store = bench::PreservedDatasetStoreJson();
+  // This writer regenerates the file wholesale; carry the other sections'
+  // numbers (written by the table benches / bench_serve) across the rewrite.
+  const std::string dataset_store = bench::PreservedTopLevelJson("dataset_store");
+  const std::string serving = bench::PreservedTopLevelJson("serving");
   FILE* json = std::fopen("BENCH_results.json", "w");
   if (json == nullptr) {
     std::printf("could not write BENCH_results.json\n");
@@ -694,6 +695,9 @@ void ReportBatchedThroughput() {
   std::fprintf(json, "\n  }");
   if (!dataset_store.empty()) {
     std::fprintf(json, ",\n  \"dataset_store\": %s", dataset_store.c_str());
+  }
+  if (!serving.empty()) {
+    std::fprintf(json, ",\n  \"serving\": %s", serving.c_str());
   }
   std::fprintf(json, "\n}\n");
   std::fclose(json);

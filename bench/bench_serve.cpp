@@ -1,0 +1,320 @@
+// Serving-engine benchmark: drives serve::PredictionService with open-loop
+// arrival processes and reports the latency distribution, sustained
+// throughput, and achieved batch sizes of the adaptive micro-batcher.
+//
+// Profiles (all at ~60% of the closed-loop calibrated capacity, so the
+// numbers describe the batcher, not an overload collapse):
+//   steady  — fixed inter-arrival gap (the autotuner's evaluator loop);
+//   poisson — exponential inter-arrival (independent compiler clients);
+//   bursty  — back-to-back volleys of 32 with idle gaps at the same mean
+//             rate (volley-per-graph autotuner behaviour, §5.3).
+// Arrivals are open-loop: the generator issues at the scheduled instant
+// regardless of completions, and a request's latency is measured from its
+// SCHEDULED arrival, so batcher queueing delay is charged honestly.
+//
+// The model is scaler-fitted but untrained — serving cost depends only on
+// the architecture, not the weight values — and every profile first gates
+// on the service's exactness contract: each kernel's served score must be
+// bit-identical to a direct PredictScore (nonzero exit otherwise).
+//
+// Results are merged under the "serving" key of ./BENCH_results.json.
+// Request counts scale with REPRO_SCALE (CI smoke uses REPRO_SCALE=0.1).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "ir/builder.h"
+#include "serve/prediction_service.h"
+
+namespace {
+
+using namespace tpuperf;
+using Clock = std::chrono::steady_clock;
+
+// A random elementwise kernel (same generator family as the test suites).
+ir::Graph RandomKernel(std::uint64_t seed, int target_nodes) {
+  std::mt19937_64 rng(seed);
+  ir::GraphBuilder b;
+  std::vector<ir::NodeId> pool;
+  pool.push_back(b.Parameter(ir::Shape({16, 32})));
+  pool.push_back(b.Parameter(ir::Shape({16, 32})));
+  std::uniform_int_distribution<int> op_pick(0, 3);
+  while (static_cast<int>(pool.size()) < target_nodes) {
+    std::uniform_int_distribution<size_t> node_pick(0, pool.size() - 1);
+    const ir::NodeId x = pool[node_pick(rng)];
+    switch (op_pick(rng)) {
+      case 0: pool.push_back(b.Tanh(x)); break;
+      case 1: pool.push_back(b.Relu(x)); break;
+      case 2: pool.push_back(b.Unary(ir::OpCode::kExp, x)); break;
+      default:
+        pool.push_back(b.Binary(ir::OpCode::kAdd, x, pool[node_pick(rng)]));
+        break;
+    }
+  }
+  b.MarkOutput(pool.back());
+  return std::move(b).Build();
+}
+
+struct Workload {
+  std::vector<ir::Graph> kernels;
+  std::vector<ir::TileConfig> tiles;
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  std::mt19937_64 rng(2026);
+  for (int k = 0; k < 24; ++k) {
+    w.kernels.push_back(
+        RandomKernel(3000 + static_cast<std::uint64_t>(k), 6 + 2 * k));
+    w.tiles.push_back(ir::TileConfig{{static_cast<int>(8 << (k % 3)),
+                                      static_cast<int>(16 + 8 * (k % 4))}});
+  }
+  return w;
+}
+
+std::unique_ptr<core::LearnedCostModel> MakeModel(const Workload& w) {
+  core::ModelConfig config = core::ModelConfig::TileTaskDefault();
+  config.hidden_dim = 32;
+  config.opcode_embedding_dim = 16;
+  config.gnn_layers = 2;
+  auto model = std::make_unique<core::LearnedCostModel>(config);
+  for (const auto& kernel : w.kernels) model->FitNodeScaler(kernel);
+  for (const auto& tile : w.tiles) model->FitTileScaler(tile);
+  model->FinishFitting();
+  return model;
+}
+
+double PercentileUs(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted_us.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_us.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_us[lo] * (1 - frac) + sorted_us[hi] * frac;
+}
+
+struct ProfileResult {
+  std::string name;
+  std::size_t requests = 0;
+  double offered_qps = 0;
+  double achieved_qps = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  double mean_batch = 0;
+  std::uint64_t size_flushes = 0, deadline_flushes = 0;
+};
+
+// Closed-loop calibration: 8 synchronous clients hammering the service give
+// a capacity estimate the open-loop profiles are then run safely below.
+double CalibrateCapacityQps(const Workload& w, std::size_t requests) {
+  serve::PredictionService service(MakeModel(w), serve::ServiceConfig{});
+  constexpr int kClients = 8;
+  const std::size_t per_client = std::max<std::size_t>(1, requests / kClients);
+  std::vector<std::thread> clients;
+  const auto start = Clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(c) * 131 + 7);
+      std::uniform_int_distribution<size_t> pick(0, w.kernels.size() - 1);
+      for (std::size_t r = 0; r < per_client; ++r) {
+        const size_t i = pick(rng);
+        service.Predict(w.kernels[i], &w.tiles[i]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(per_client * kClients) / wall;
+}
+
+// Scheduled arrival offsets (seconds from profile start) for one profile.
+std::vector<double> ArrivalOffsets(const std::string& profile,
+                                   std::size_t requests, double rate_qps) {
+  std::vector<double> at(requests);
+  std::mt19937_64 rng(7177);
+  if (profile == "steady") {
+    for (std::size_t i = 0; i < requests; ++i) {
+      at[i] = static_cast<double>(i) / rate_qps;
+    }
+  } else if (profile == "poisson") {
+    std::exponential_distribution<double> gap(rate_qps);
+    double t = 0;
+    for (std::size_t i = 0; i < requests; ++i) {
+      t += gap(rng);
+      at[i] = t;
+    }
+  } else {  // bursty: volleys of 32 back-to-back, gaps keep the mean rate
+    constexpr std::size_t kVolley = 32;
+    const double volley_gap = static_cast<double>(kVolley) / rate_qps;
+    for (std::size_t i = 0; i < requests; ++i) {
+      at[i] = static_cast<double>(i / kVolley) * volley_gap;
+    }
+  }
+  return at;
+}
+
+ProfileResult RunProfile(const std::string& name, const Workload& w,
+                         std::size_t requests, double rate_qps) {
+  serve::PredictionService service(MakeModel(w), serve::ServiceConfig{});
+  const std::vector<double> at = ArrivalOffsets(name, requests, rate_qps);
+
+  struct Issued {
+    std::future<double> future;
+    Clock::time_point scheduled;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Issued> issued;
+  bool done = false;
+
+  const auto start = Clock::now();
+  std::thread generator([&] {
+    std::mt19937_64 rng(911);
+    std::uniform_int_distribution<size_t> pick(0, w.kernels.size() - 1);
+    for (std::size_t i = 0; i < requests; ++i) {
+      const auto scheduled =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(at[i]));
+      std::this_thread::sleep_until(scheduled);
+      const size_t k = pick(rng);
+      Issued out{service.PredictAsync(w.kernels[k], &w.tiles[k]), scheduled};
+      {
+        std::lock_guard lock(mu);
+        issued.push_back(std::move(out));
+      }
+      cv.notify_one();
+    }
+    std::lock_guard lock(mu);
+    done = true;
+    cv.notify_one();
+  });
+
+  // Drain in arrival order. Batches flush FIFO and resolve their futures
+  // together, so in-order gets observe each completion promptly.
+  std::vector<double> latency_us;
+  latency_us.reserve(requests);
+  for (;;) {
+    Issued next;
+    {
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&] { return !issued.empty() || done; });
+      if (issued.empty()) break;
+      next = std::move(issued.front());
+      issued.pop_front();
+    }
+    next.future.get();
+    latency_us.push_back(std::chrono::duration<double, std::micro>(
+                             Clock::now() - next.scheduled)
+                             .count());
+  }
+  generator.join();
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+  service.Shutdown();
+
+  ProfileResult r;
+  r.name = name;
+  r.requests = latency_us.size();
+  r.offered_qps = rate_qps;
+  r.achieved_qps = static_cast<double>(latency_us.size()) / wall;
+  std::sort(latency_us.begin(), latency_us.end());
+  r.p50_us = PercentileUs(latency_us, 0.50);
+  r.p95_us = PercentileUs(latency_us, 0.95);
+  r.p99_us = PercentileUs(latency_us, 0.99);
+  const serve::ServiceStats stats = service.stats();
+  r.mean_batch = stats.mean_batch_size();
+  r.size_flushes = stats.size_flushes;
+  r.deadline_flushes = stats.deadline_flushes;
+  return r;
+}
+
+// The exactness gate: every kernel served must score bit-identically to a
+// direct PredictScore on an identically configured model.
+bool CheckParity(const Workload& w) {
+  const auto direct_model = MakeModel(w);
+  serve::PredictionService service(MakeModel(w), serve::ServiceConfig{});
+  for (size_t i = 0; i < w.kernels.size(); ++i) {
+    const double direct = direct_model->PredictScore(
+        direct_model->Prepare(w.kernels[i]), &w.tiles[i]);
+    const double served = service.Predict(w.kernels[i], &w.tiles[i]);
+    if (served != direct) {
+      std::printf("PARITY VIOLATION kernel %zu: served %.17g != direct %.17g\n",
+                  i, served, direct);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tpuperf::bench;
+
+  PrintBanner("Serving — adaptive micro-batching latency/throughput",
+              "Open-loop Poisson/bursty/steady arrivals against "
+              "serve::PredictionService; latency from scheduled arrival.");
+
+  const Workload w = MakeWorkload();
+  if (!CheckParity(w)) {
+    std::printf("FAILED: served results must equal PredictScore exactly\n");
+    return 1;
+  }
+  std::printf("parity gate: %zu kernels served == PredictScore exactly\n\n",
+              w.kernels.size());
+
+  const double scale = ReproScale();
+  const std::size_t calibration_requests =
+      std::max<std::size_t>(200, static_cast<std::size_t>(2000 * scale));
+  const std::size_t profile_requests =
+      std::max<std::size_t>(200, static_cast<std::size_t>(2000 * scale));
+
+  const double capacity = CalibrateCapacityQps(w, calibration_requests);
+  const double offered = 0.6 * capacity;
+  std::printf("closed-loop capacity ~%.0f QPS; offering %.0f QPS (60%%)\n\n",
+              capacity, offered);
+
+  std::vector<ProfileResult> results;
+  for (const char* profile : {"poisson", "bursty", "steady"}) {
+    results.push_back(RunProfile(profile, w, profile_requests, offered));
+    const ProfileResult& r = results.back();
+    std::printf("%-8s  %6zu req  %7.0f QPS  p50 %7.0fus  p95 %7.0fus  "
+                "p99 %7.0fus  batch %5.1f  (%llu size / %llu deadline "
+                "flushes)\n",
+                r.name.c_str(), r.requests, r.achieved_qps, r.p50_us, r.p95_us,
+                r.p99_us, r.mean_batch,
+                static_cast<unsigned long long>(r.size_flushes),
+                static_cast<unsigned long long>(r.deadline_flushes));
+  }
+  PrintRule();
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "    \"calibrated_capacity_qps\": " << capacity << ",\n";
+  json << "    \"offered_qps\": " << offered << ",\n";
+  json << "    \"repro_scale\": " << scale << ",\n";
+  json << "    \"profiles\": {\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ProfileResult& r = results[i];
+    json << "      \"" << r.name << "\": {\n";
+    json << "        \"requests\": " << r.requests << ",\n";
+    json << "        \"achieved_qps\": " << r.achieved_qps << ",\n";
+    json << "        \"p50_us\": " << r.p50_us << ",\n";
+    json << "        \"p95_us\": " << r.p95_us << ",\n";
+    json << "        \"p99_us\": " << r.p99_us << ",\n";
+    json << "        \"mean_batch_size\": " << r.mean_batch << "\n";
+    json << "      }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "    }\n  }";
+  MergeTopLevelJsonKey("BENCH_results.json", "serving", json.str());
+  std::printf("wrote \"serving\" section of BENCH_results.json\n");
+  return 0;
+}

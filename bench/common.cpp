@@ -209,9 +209,9 @@ bool ReportDatasetStore(bool enforce_warm) {
   return true;
 }
 
-std::string PreservedDatasetStoreJson() {
+std::string PreservedTopLevelJson(const std::string& key) {
   const std::string text = ReadFileIfExists("BENCH_results.json");
-  const std::string needle = "\"dataset_store\":";
+  const std::string needle = "\"" + key + "\":";
   const std::size_t key_pos = text.find(needle);
   if (key_pos == std::string::npos) return {};
   std::size_t begin = key_pos + needle.size();
@@ -281,8 +281,13 @@ void WriteStoreReportJson() {
   value << "    \"featurizer_invocations\": "
         << feat::FeaturizeKernelInvocations() << "\n  }";
 
-  std::string text = RemoveJsonKey(old_text, "dataset_store");
-  const std::string entry = "  \"dataset_store\": " + value.str();
+  MergeTopLevelJsonKey(path, "dataset_store", value.str());
+}
+
+void MergeTopLevelJsonKey(const std::string& path, const std::string& key,
+                          const std::string& value_json) {
+  std::string text = RemoveJsonKey(ReadFileIfExists(path), key);
+  const std::string entry = "  \"" + key + "\": " + value_json;
   std::string out;
   const std::size_t end = text.rfind('}');
   if (text.empty() || text[0] != '{' || end == std::string::npos) {

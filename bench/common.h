@@ -71,10 +71,19 @@ bool ReportDatasetStore(bool enforce_warm);
 // are in the file. No-op when no cache dir is configured.
 void WriteStoreReportJson();
 
-// The current "dataset_store" JSON value of ./BENCH_results.json, or ""
-// when absent. Writers that regenerate the whole file (bench_micro)
-// re-emit it so the store numbers survive their rewrite.
-std::string PreservedDatasetStoreJson();
+// The current brace-matched JSON object value of a top-level `key` in
+// ./BENCH_results.json, or "" when absent. Writers that regenerate the
+// whole file (bench_micro) re-emit the other sections' values
+// ("dataset_store", "serving") so they survive the rewrite.
+std::string PreservedTopLevelJson(const std::string& key);
+
+// Replaces (or inserts) one top-level `"key": <value>` entry of the
+// machine-written JSON report at `path`, preserving every other key.
+// `value_json` is the already-serialized value (object or scalar). The
+// section writers (dataset_store, bench_serve's "serving") all merge
+// through here so none clobbers another's results.
+void MergeTopLevelJsonKey(const std::string& path, const std::string& key,
+                          const std::string& value_json);
 
 // Builds datasets on the given simulator (defaults target TPU v2).
 data::TileDataset BuildTile(const Env& env, const sim::TpuSimulator& sim,

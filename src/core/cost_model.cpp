@@ -340,12 +340,29 @@ nn::Tensor LearnedCostModel::ForwardImpl(nn::Tape& tape,
       break;
     }
     case ReductionKind::kLstm: {
-      kernel_embedding = reduction_lstm_.Forward(tape, h).final_hidden;
+      // Routed through the batched (fused-gate) LSTM with one [0, n)
+      // segment rather than Lstm::Forward: the two implementations
+      // associate the gate accumulations differently (x·Wx + h·Wh vs one
+      // [x|h]·W chain), and a segment's result in ForwardBatched is
+      // independent of its batch-mates — so this keeps PredictScore
+      // bit-identical to a PredictBatch containing the same kernel, the
+      // exactness contract serve::PredictionService promises.
+      const int offs[] = {0, n};
+      kernel_embedding = reduction_lstm_.ForwardBatched(tape, h, offs);
       break;
     }
     case ReductionKind::kTransformer: {
-      nn::Tensor enc = reduction_transformer_.Forward(tape, h);
-      kernel_embedding = nn::ColMeanOp(tape, enc);  // mean (see header note)
+      if (nn::FusedOpsEnabled()) {
+        // Same single-segment routing as the LSTM, for the same
+        // batch-vs-single exactness guarantee (the fused encoder
+        // reassociates layer GEMMs relative to the unpacked one).
+        const int offs[] = {0, n};
+        nn::Tensor enc = reduction_transformer_.Forward(tape, h, offs);
+        kernel_embedding = nn::SegmentMeanOp(tape, enc, offs);
+      } else {
+        nn::Tensor enc = reduction_transformer_.Forward(tape, h);
+        kernel_embedding = nn::ColMeanOp(tape, enc);  // mean (see header)
+      }
       break;
     }
   }

@@ -1,5 +1,7 @@
 #include "core/thread_pool.h"
 
+#include "core/env.h"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -181,15 +183,11 @@ void ThreadPool::SetNumThreads(int num_threads) {
 }
 
 int ThreadPool::DefaultNumThreads() {
-  if (const char* env = std::getenv("TPUPERF_NUM_THREADS")) {
-    try {
-      return std::max(1, std::stoi(env));
-    } catch (const std::exception&) {
-      // Unparseable override: fall through to hardware concurrency.
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+  // Strict full-string parse: "4x" or "" is a warning + fallback, never a
+  // silently truncated thread count. Well-formed values clamp to >= 1.
+  return static_cast<int>(EnvInt("TPUPERF_NUM_THREADS", fallback, 1, 4096));
 }
 
 }  // namespace tpuperf::core

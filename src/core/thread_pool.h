@@ -63,8 +63,10 @@ class ThreadPool {
   // Replaces the global pool. Must not be called while parallel work is in
   // flight (intended for startup / benchmarks / tests).
   static void SetNumThreads(int num_threads);
-  // TPUPERF_NUM_THREADS when set (clamped to >= 1), else
-  // std::thread::hardware_concurrency().
+  // TPUPERF_NUM_THREADS when set to a well-formed integer (strict
+  // full-string parse, clamped to >= 1), else
+  // std::thread::hardware_concurrency(). Malformed values ("4x", "") warn
+  // on stderr and fall back to hardware concurrency.
   static int DefaultNumThreads();
 
  private:

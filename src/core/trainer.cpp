@@ -88,6 +88,14 @@ const PreparedKernel& PreparedCache::Get(const ir::Graph& kernel,
   // part — and the point of calling Get from pool workers). Concurrent
   // misses on the same kernel wait for the claimant instead of redoing the
   // featurization; distinct kernels prepare fully in parallel.
+  //
+  // The claim MUST be released on every exit path — a claim that leaks when
+  // the claimant's featurization throws (a throwing feature source, a
+  // Prepare failure, even bad_alloc inserting the entry) would strand every
+  // waiter on in_flight_done_ forever. The guard below releases and wakes
+  // waiters during unwind; woken waiters re-check the cache and the first
+  // one re-claims, so they retry the featurization (and observe the same
+  // error themselves if it is deterministic) instead of deadlocking.
   const std::pair<std::uint64_t, std::uint64_t> key{fingerprint, sig};
   std::unique_lock lock(mu_);
   for (;;) {
@@ -95,22 +103,25 @@ const PreparedKernel& PreparedCache::Get(const ir::Graph& kernel,
     if (in_flight_.insert(key).second) break;  // ours to prepare
     in_flight_done_.wait(lock);
   }
+  struct ClaimGuard {
+    PreparedCache* cache;
+    const std::pair<std::uint64_t, std::uint64_t>& claim;
+    bool locked;  // whether the owner currently holds cache->mu_
+    ~ClaimGuard() {
+      std::unique_lock relock(cache->mu_, std::defer_lock);
+      if (!locked) relock.lock();
+      cache->in_flight_.erase(claim);
+      cache->in_flight_done_.notify_all();
+    }
+  };
+  ClaimGuard guard{this, key, /*locked=*/false};
   lock.unlock();
-  PreparedKernel prepared;
-  try {
-    const feat::KernelFeatures* cached =
-        features_ != nullptr ? features_->Lookup(fingerprint, sig) : nullptr;
-    prepared = cached != nullptr ? model_.Prepare(*cached)
-                                 : model_.Prepare(kernel);
-  } catch (...) {
-    std::scoped_lock relock(mu_);
-    in_flight_.erase(key);
-    in_flight_done_.notify_all();
-    throw;
-  }
+  const feat::KernelFeatures* cached =
+      features_ != nullptr ? features_->Lookup(fingerprint, sig) : nullptr;
+  PreparedKernel prepared =
+      cached != nullptr ? model_.Prepare(*cached) : model_.Prepare(kernel);
   lock.lock();
-  in_flight_.erase(key);
-  in_flight_done_.notify_all();
+  guard.locked = true;
   std::deque<Entry>& chain = cache_[fingerprint];
   if (!chain.empty()) ++collisions_;
   chain.push_back(Entry{sig, std::move(prepared)});

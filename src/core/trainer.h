@@ -33,8 +33,11 @@ namespace tpuperf::core {
 // (fingerprint, signature) pair in an in-flight set, so concurrent misses on
 // the SAME kernel block for the one featurization instead of each computing
 // and discarding their own, while distinct kernels still prepare fully in
-// parallel. Returned references stay valid for the cache's lifetime
-// (entries live in per-fingerprint deques and are never erased).
+// parallel. A claim is released on EVERY exit path — when the claimant's
+// featurization throws (e.g. a throwing feature source), waiters wake, one
+// re-claims and retries, and a deterministic error propagates to each caller
+// instead of stranding them. Returned references stay valid for the cache's
+// lifetime (entries live in per-fingerprint deques and are never erased).
 // Misses first consult the kernel-feature source (by default the process
 // global one, where benches register loaded dataset stores): when the raw
 // features are cached there, Prepare runs from them and the kernel graph is

@@ -1,7 +1,7 @@
 #include "dataset/store.h"
 
 #include <algorithm>
-#include <bit>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -24,137 +24,11 @@
 namespace tpuperf::data {
 namespace {
 
-// ---- Little-endian encoding (host-independent) -----------------------------
-
-class Enc {
- public:
-  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) {
-      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-  }
-  void U64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-  }
-  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
-  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
-  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
-  void Str(const std::string& s) {
-    U32(static_cast<std::uint32_t>(s.size()));
-    out_.append(s);
-  }
-
-  const std::string& bytes() const noexcept { return out_; }
-
- private:
-  std::string out_;
-};
-
-std::uint32_t ReadU32At(const unsigned char* p) noexcept {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  return v;
-}
-
-std::uint64_t ReadU64At(const unsigned char* p) noexcept {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  return v;
-}
-
-// Bounds-checked little-endian decoder; every overrun names the record it
-// happened in.
-class Dec {
- public:
-  Dec(const unsigned char* data, std::size_t size, std::string context)
-      : data_(data), size_(size), context_(std::move(context)) {}
-
-  std::uint8_t U8() {
-    Require(1);
-    return data_[off_++];
-  }
-  std::uint32_t U32() {
-    Require(4);
-    const std::uint32_t v = ReadU32At(data_ + off_);
-    off_ += 4;
-    return v;
-  }
-  std::uint64_t U64() {
-    Require(8);
-    const std::uint64_t v = ReadU64At(data_ + off_);
-    off_ += 8;
-    return v;
-  }
-  std::int32_t I32() { return static_cast<std::int32_t>(U32()); }
-  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
-  double F64() { return std::bit_cast<double>(U64()); }
-  std::string Str() {
-    const std::uint32_t n = U32();
-    Require(n);
-    std::string s(reinterpret_cast<const char*>(data_ + off_), n);
-    off_ += n;
-    return s;
-  }
-
-  bool AtEnd() const noexcept { return off_ == size_; }
-  std::size_t remaining() const noexcept { return size_ - off_; }
-  const std::string& context() const noexcept { return context_; }
-
-  // Guards element counts read from the payload before any allocation: a
-  // crafted count whose elements (>= `min_bytes` each) could not possibly
-  // fit the remaining bytes must fail loudly instead of attempting a
-  // multi-GB resize.
-  void RequireCount(std::uint64_t count, std::size_t min_bytes,
-                    const char* what) const {
-    if (count > remaining() / min_bytes) {
-      throw StoreError(context_ + ": " + what + " count " +
-                       std::to_string(count) +
-                       " exceeds the record payload (corrupt store)");
-    }
-  }
-
-  [[noreturn]] void Fail(const std::string& what) const {
-    throw StoreError(context_ + ": " + what);
-  }
-
- private:
-  void Require(std::size_t n) const {
-    if (off_ + n > size_) {
-      throw StoreError(context_ + ": payload overrun at byte " +
-                       std::to_string(off_) + " (corrupt or truncated record)");
-    }
-  }
-
-  const unsigned char* data_;
-  std::size_t size_;
-  std::size_t off_ = 0;
-  std::string context_;
-};
-
-std::uint64_t Fnv1a64(const void* data, std::size_t size) noexcept {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+// Enc/Dec/Fnv1a64 live in dataset/wire.h (shared with serve's snapshots).
 
 std::uint64_t HashString(std::string_view s) noexcept {
   return Fnv1a64(s.data(), s.size());
 }
-
-enum RecordType : std::uint32_t {
-  kProgramRecord = 1,
-  kTileKernelRecord = 2,
-  kFusionSampleRecord = 3,
-  kFeaturizedRecord = 4,
-  kScalerRecord = 5,
-};
 
 // Header layout: magic(8) version(4) feature_hash(8) record_count(8).
 constexpr std::size_t kHeaderSize = 28;
@@ -577,9 +451,62 @@ std::uint64_t FeatureConfigHash() {
 }
 
 // ---- DatasetWriter ---------------------------------------------------------
+//
+// On POSIX builds the writer drives a raw file descriptor with explicit
+// short-write/EINTR loops: ::write may transfer fewer bytes than asked (or
+// fail with EINTR when a signal lands mid-call), and std::ofstream gives no
+// way to retry the remainder — it just poisons the stream. Every syscall
+// result is checked; failures throw StoreError naming the file and errno.
+// Non-unix builds keep a buffered std::ofstream.
 
 namespace {
+
+#if defined(TPUPERF_STORE_HAS_MMAP)
+
+struct WriterIo {
+  int fd = -1;
+};
+
+int OpenForWrite(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+// Writes all `size` bytes to `fd`, looping over short writes and retrying
+// EINTR; throws StoreError if the kernel reports an error or no progress.
+void WriteAll(int fd, const char* data, std::size_t size,
+              const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StoreError(path + ": write failed (" +
+                       std::string(std::strerror(errno)) + ")");
+    }
+    if (n == 0) {
+      // Regular files never return 0 from a nonzero-size write, but a
+      // surprise here must not become an infinite loop.
+      throw StoreError(path + ": write made no progress");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void WarnClose(int fd, const std::string& path) {
+  if (::close(fd) != 0) {
+    std::fprintf(stderr, "[tpuperf] warning: close(%s) failed: %s\n",
+                 path.c_str(), std::strerror(errno));
+  }
+}
+
+#else
 std::ofstream& Stream(void* p) { return *static_cast<std::ofstream*>(p); }
+#endif
+
 }  // namespace
 
 DatasetWriter::DatasetWriter(std::string path) : path_(std::move(path)) {
@@ -591,25 +518,51 @@ DatasetWriter::DatasetWriter(std::string path) : path_(std::move(path)) {
                   Clock::now().time_since_epoch().count())) +
               "." +
               std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  Enc e;
+  e.U32(kStoreFormatVersion);
+  e.U64(FeatureConfigHash());
+  e.U64(0);  // record count, patched by Finish()
+#if defined(TPUPERF_STORE_HAS_MMAP)
+  const int fd = OpenForWrite(tmp_path_);
+  if (fd < 0) {
+    throw StoreError(tmp_path_ + ": cannot open for writing (" +
+                     std::string(std::strerror(errno)) + ")");
+  }
+  try {
+    WriteAll(fd, kStoreMagic, sizeof(kStoreMagic), tmp_path_);
+    WriteAll(fd, e.bytes().data(), e.bytes().size(), tmp_path_);
+  } catch (...) {
+    // The destructor never runs when the constructor throws; release the
+    // descriptor and the half-written temporary here.
+    WarnClose(fd, tmp_path_);
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+    throw;
+  }
+  io_ = new WriterIo{fd};
+#else
   auto stream = std::make_unique<std::ofstream>(
       tmp_path_, std::ios::binary | std::ios::trunc);
   if (!*stream) {
     throw StoreError(tmp_path_ + ": cannot open for writing");
   }
   stream->write(kStoreMagic, sizeof(kStoreMagic));
-  Enc e;
-  e.U32(kStoreFormatVersion);
-  e.U64(FeatureConfigHash());
-  e.U64(0);  // record count, patched by Finish()
   stream->write(e.bytes().data(),
                 static_cast<std::streamsize>(e.bytes().size()));
-  stream_ = stream.release();
+  io_ = stream.release();
+#endif
 }
 
 DatasetWriter::~DatasetWriter() {
-  if (stream_ != nullptr) {
-    delete &Stream(stream_);
-    stream_ = nullptr;
+  if (io_ != nullptr) {
+#if defined(TPUPERF_STORE_HAS_MMAP)
+    WriterIo* io = static_cast<WriterIo*>(io_);
+    WarnClose(io->fd, tmp_path_);
+    delete io;
+#else
+    delete &Stream(io_);
+#endif
+    io_ = nullptr;
   }
   if (!finished_) {
     std::error_code ec;
@@ -619,55 +572,83 @@ DatasetWriter::~DatasetWriter() {
 
 void DatasetWriter::WriteRecord(std::uint32_t type,
                                 const std::string& payload) {
-  if (finished_ || stream_ == nullptr) {
+  if (finished_ || io_ == nullptr) {
     throw StoreError(path_ + ": writer already finished");
   }
   Enc header;
   header.U32(type);
   header.U64(payload.size());
   header.U64(Fnv1a64(payload.data(), payload.size()));
-  auto& os = Stream(stream_);
+#if defined(TPUPERF_STORE_HAS_MMAP)
+  const int fd = static_cast<WriterIo*>(io_)->fd;
+  WriteAll(fd, header.bytes().data(), header.bytes().size(), tmp_path_);
+  WriteAll(fd, payload.data(), payload.size(), tmp_path_);
+#else
+  auto& os = Stream(io_);
   os.write(header.bytes().data(),
            static_cast<std::streamsize>(header.bytes().size()));
   os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   if (!os) throw StoreError(tmp_path_ + ": write failed");
+#endif
   ++count_;
 }
 
+void DatasetWriter::AddRaw(std::uint32_t type, const std::string& payload) {
+  WriteRecord(type, payload);
+}
+
 void DatasetWriter::Add(const ProgramInfo& program) {
-  WriteRecord(kProgramRecord, EncodeProgramPayload(program));
+  WriteRecord(kProgramRecordType, EncodeProgramPayload(program));
 }
 
 void DatasetWriter::Add(const TileKernelData& kernel) {
-  WriteRecord(kTileKernelRecord, EncodeTileKernelPayload(kernel));
+  WriteRecord(kTileKernelRecordType, EncodeTileKernelPayload(kernel));
 }
 
 void DatasetWriter::Add(const FusionSample& sample) {
-  WriteRecord(kFusionSampleRecord, EncodeFusionSamplePayload(sample));
+  WriteRecord(kFusionSampleRecordType, EncodeFusionSamplePayload(sample));
 }
 
 void DatasetWriter::Add(const FeaturizedKernel& kernel) {
-  WriteRecord(kFeaturizedRecord, EncodeFeaturizedPayload(kernel));
+  WriteRecord(kFeaturizedRecordType, EncodeFeaturizedPayload(kernel));
 }
 
 void DatasetWriter::AddScaler(const std::string& name,
                               const feat::FeatureScaler& scaler) {
-  WriteRecord(kScalerRecord, EncodeScalerPayload(name, scaler));
+  WriteRecord(kScalerRecordType, EncodeScalerPayload(name, scaler));
 }
 
 void DatasetWriter::Finish() {
   if (finished_) return;
-  if (stream_ == nullptr) throw StoreError(path_ + ": writer has no stream");
-  auto& os = Stream(stream_);
-  os.seekp(static_cast<std::streamoff>(kRecordCountOffset));
+  if (io_ == nullptr) throw StoreError(path_ + ": writer has no open file");
   Enc e;
   e.U64(count_);
+#if defined(TPUPERF_STORE_HAS_MMAP)
+  WriterIo* io = static_cast<WriterIo*>(io_);
+  const int fd = io->fd;
+  if (::lseek(fd, static_cast<off_t>(kRecordCountOffset), SEEK_SET) < 0) {
+    throw StoreError(tmp_path_ + ": seek to record count failed (" +
+                     std::string(std::strerror(errno)) + ")");
+  }
+  WriteAll(fd, e.bytes().data(), e.bytes().size(), tmp_path_);
+  io_ = nullptr;
+  delete io;
+  // A failed close can mean the kernel could not commit buffered data;
+  // surfacing it here keeps a corrupt store from being renamed into place.
+  if (::close(fd) != 0) {
+    throw StoreError(tmp_path_ + ": close failed (" +
+                     std::string(std::strerror(errno)) + ")");
+  }
+#else
+  auto& os = Stream(io_);
+  os.seekp(static_cast<std::streamoff>(kRecordCountOffset));
   os.write(e.bytes().data(), static_cast<std::streamsize>(e.bytes().size()));
   os.flush();
   const bool ok = static_cast<bool>(os);
   delete &os;
-  stream_ = nullptr;
+  io_ = nullptr;
   if (!ok) throw StoreError(tmp_path_ + ": flush failed");
+#endif
   std::error_code ec;
   std::filesystem::rename(tmp_path_, path_, ec);
   if (ec) {
@@ -697,7 +678,7 @@ DatasetReader::DatasetReader(std::string path, ReadMode mode)
           mapped_ = true;
         }
       }
-      ::close(fd);
+      WarnClose(fd, path_);
     }
   }
 #else
@@ -709,10 +690,48 @@ DatasetReader::DatasetReader(std::string path, ReadMode mode)
     if (mode == ReadMode::kMmap) {
       throw StoreError(path_ + ": cannot mmap (missing or empty file?)");
     }
+#if defined(TPUPERF_STORE_HAS_MMAP)
+    // Stream fallback: a raw-fd read loop. ::read may return fewer bytes
+    // than asked or fail with EINTR; loop until EOF or a hard error (which
+    // throws StoreError) rather than treating a short read as the end.
+    int fd;
+    do {
+      fd = ::open(path_.c_str(), O_RDONLY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      throw StoreError(path_ + ": cannot open (" +
+                       std::string(std::strerror(errno)) + ")");
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      const int saved = errno;
+      WarnClose(fd, path_);
+      throw StoreError(path_ + ": fstat failed (" +
+                       std::string(std::strerror(saved)) + ")");
+    }
+    owned_.resize(st.st_size > 0 ? static_cast<std::size_t>(st.st_size) : 0);
+    std::size_t done = 0;
+    while (done < owned_.size()) {
+      const ssize_t n = ::read(fd, owned_.data() + done, owned_.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int saved = errno;
+        WarnClose(fd, path_);
+        throw StoreError(path_ + ": read failed at byte " +
+                         std::to_string(done) + " (" +
+                         std::string(std::strerror(saved)) + ")");
+      }
+      if (n == 0) break;  // EOF before st_size (file shrank): validate below
+      done += static_cast<std::size_t>(n);
+    }
+    owned_.resize(done);
+    WarnClose(fd, path_);
+#else
     std::ifstream is(path_, std::ios::binary);
     if (!is) throw StoreError(path_ + ": cannot open");
     owned_.assign(std::istreambuf_iterator<char>(is),
                   std::istreambuf_iterator<char>());
+#endif
     data_ = owned_.data();
     size_ = owned_.size();
   }
@@ -752,12 +771,18 @@ DatasetReader::DatasetReader(std::string path, ReadMode mode)
 
 DatasetReader::~DatasetReader() {
 #if defined(TPUPERF_STORE_HAS_MMAP)
-  if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+  // Destructors cannot throw; a failed unmap still must not pass silently
+  // (it leaks the mapping and hides kernel-side trouble), so warn.
+  if (map_base_ != nullptr && ::munmap(map_base_, map_size_) != 0) {
+    std::fprintf(stderr, "[tpuperf] warning: munmap(%s) failed: %s\n",
+                 path_.c_str(), std::strerror(errno));
+  }
 #endif
 }
 
-StoreContents DatasetReader::ReadAll() const {
-  StoreContents out;
+void DatasetReader::ForEachRecord(
+    const std::function<void(std::uint32_t, const unsigned char*, std::size_t,
+                             const std::string&)>& fn) const {
   std::size_t off = kHeaderSize;
   for (std::uint64_t r = 0; r < count_; ++r) {
     const std::string context =
@@ -779,26 +804,45 @@ StoreContents DatasetReader::ReadAll() const {
       throw StoreError(context + " (type " + std::to_string(type) +
                        "): checksum mismatch — corrupted store");
     }
+    fn(type, payload, static_cast<std::size_t>(payload_size), context);
+    off += kRecordHeaderSize + payload_size;
+  }
+  if (off != size_) {
+    throw StoreError(path_ + ": " + std::to_string(size_ - off) +
+                     " trailing bytes after the last record");
+  }
+}
+
+StoreContents DatasetReader::ReadAll() const {
+  StoreContents out;
+  ForEachRecord([&out](std::uint32_t type, const unsigned char* payload,
+                       std::size_t payload_size, const std::string& context) {
     Dec d(payload, payload_size, context);
     try {
       switch (type) {
-        case kProgramRecord:
+        case kProgramRecordType:
           out.programs.push_back(DecodeProgramPayload(d));
           break;
-        case kTileKernelRecord:
+        case kTileKernelRecordType:
           out.tile.kernels.push_back(DecodeTileKernelPayload(d));
           break;
-        case kFusionSampleRecord:
+        case kFusionSampleRecordType:
           out.fusion.samples.push_back(DecodeFusionSamplePayload(d));
           break;
-        case kFeaturizedRecord:
+        case kFeaturizedRecordType:
           out.features->Add(DecodeFeaturizedPayload(d));
           break;
-        case kScalerRecord: {
+        case kScalerRecordType: {
           auto [name, scaler] = DecodeScalerPayload(d);
           out.scalers.insert_or_assign(std::move(name), std::move(scaler));
           break;
         }
+        case kModelConfigRecordType:
+        case kModelParamsRecordType:
+          throw StoreError(context + ": model-snapshot record (type " +
+                           std::to_string(type) +
+                           ") inside a dataset read; open this file with "
+                           "serve::LoadModelSnapshot instead");
         default:
           throw StoreError(context + ": unknown record type " +
                            std::to_string(type));
@@ -811,12 +855,7 @@ StoreContents DatasetReader::ReadAll() const {
     if (!d.AtEnd()) {
       throw StoreError(context + ": trailing bytes inside record payload");
     }
-    off += kRecordHeaderSize + payload_size;
-  }
-  if (off != size_) {
-    throw StoreError(path_ + ": " + std::to_string(size_ - off) +
-                     " trailing bytes after the last record");
-  }
+  });
   return out;
 }
 

@@ -43,37 +43,46 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "dataset/datasets.h"
+#include "dataset/wire.h"
 #include "features/featurizer.h"
 #include "features/scaler.h"
 
 namespace tpuperf::data {
 
-inline constexpr std::uint32_t kStoreFormatVersion = 1;
+// Version 2 added the model-snapshot record types (6, 7) used by
+// serve::SaveModelSnapshot; the dataset record layouts are unchanged, so
+// version-1 dataset stores remain readable.
+inline constexpr std::uint32_t kStoreFormatVersion = 2;
 inline constexpr char kStoreMagic[8] = {'T', 'P', 'U', 'P',
                                         'E', 'R', 'F', 'D'};
+
+/// Record types of the store framing. Dataset stores hold types 1-5; model
+/// snapshot files (serve/snapshot.h) hold types 6-7 inside the same framing
+/// (and are rejected with a pointer to serve::LoadModelSnapshot when fed to
+/// DatasetReader::ReadAll).
+inline constexpr std::uint32_t kProgramRecordType = 1;
+inline constexpr std::uint32_t kTileKernelRecordType = 2;
+inline constexpr std::uint32_t kFusionSampleRecordType = 3;
+inline constexpr std::uint32_t kFeaturizedRecordType = 4;
+inline constexpr std::uint32_t kScalerRecordType = 5;
+inline constexpr std::uint32_t kModelConfigRecordType = 6;
+inline constexpr std::uint32_t kModelParamsRecordType = 7;
 
 /// Hash of the feature-extractor layout (block widths, encoded rank, opcode
 /// vocabulary size). Stored in every file header; a mismatch means the
 /// cached featurized matrices no longer describe what the model would see
 /// and the store must be regenerated.
 std::uint64_t FeatureConfigHash();
-
-/// Thrown on any malformed, truncated, corrupted, or incompatible store
-/// file. The message names the file and what failed.
-class StoreError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 /// One kernel's raw featurization keyed by the graph hashes core's
 /// PreparedCache already uses (fingerprint + structural signature for
@@ -147,6 +156,11 @@ class DatasetWriter {
   void Add(const FeaturizedKernel& kernel);
   void AddScaler(const std::string& name, const feat::FeatureScaler& scaler);
 
+  // Appends one raw record (type + payload) with the standard framing
+  // (size + checksum). This is how non-dataset consumers of the framing
+  // (serve's model snapshots) write their record types.
+  void AddRaw(std::uint32_t type, const std::string& payload);
+
   std::uint64_t record_count() const noexcept { return count_; }
 
   // Patches the record count into the header and renames the temporary
@@ -158,7 +172,7 @@ class DatasetWriter {
 
   std::string path_;
   std::string tmp_path_;
-  void* stream_ = nullptr;  // std::ofstream, kept out of the header
+  void* io_ = nullptr;  // platform I/O state, kept out of the header
   std::uint64_t count_ = 0;
   bool finished_ = false;
 };
@@ -186,6 +200,16 @@ class DatasetReader {
   bool mapped() const noexcept { return mapped_; }
 
   StoreContents ReadAll() const;
+
+  // Walks every record, validating the framing (bounds + checksum) and
+  // invoking fn(type, payload, payload_size, context) in file order.
+  // ReadAll() is built on this; serve::LoadModelSnapshot uses it to decode
+  // the snapshot record types. `context` names the file and record index
+  // for diagnostics.
+  void ForEachRecord(
+      const std::function<void(std::uint32_t type, const unsigned char* payload,
+                               std::size_t size, const std::string& context)>&
+          fn) const;
 
  private:
   std::string path_;

@@ -1,0 +1,145 @@
+/// \file
+/// Little-endian wire encoding shared by every consumer of the dataset
+/// store's record framing (dataset/store.cpp and serve's model snapshots).
+/// Values are encoded little-endian regardless of host byte order; the
+/// bounds-checked decoder names the record a malformed read happened in.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace tpuperf::data {
+
+/// Thrown on any malformed, truncated, corrupted, or incompatible store
+/// file. The message names the file and what failed.
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// FNV-1a 64-bit — the per-record payload checksum of the store framing.
+inline std::uint64_t Fnv1a64(const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline std::uint32_t ReadU32At(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t ReadU64At(const unsigned char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Append-only little-endian encoder building one record payload.
+class Enc {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F32(float v) { U32(std::bit_cast<std::uint32_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  const std::string& bytes() const noexcept { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian decoder; every overrun names the record it
+/// happened in.
+class Dec {
+ public:
+  Dec(const unsigned char* data, std::size_t size, std::string context)
+      : data_(data), size_(size), context_(std::move(context)) {}
+
+  std::uint8_t U8() {
+    Require(1);
+    return data_[off_++];
+  }
+  std::uint32_t U32() {
+    Require(4);
+    const std::uint32_t v = ReadU32At(data_ + off_);
+    off_ += 4;
+    return v;
+  }
+  std::uint64_t U64() {
+    Require(8);
+    const std::uint64_t v = ReadU64At(data_ + off_);
+    off_ += 8;
+    return v;
+  }
+  std::int32_t I32() { return static_cast<std::int32_t>(U32()); }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  float F32() { return std::bit_cast<float>(U32()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    Require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + off_), n);
+    off_ += n;
+    return s;
+  }
+
+  bool AtEnd() const noexcept { return off_ == size_; }
+  std::size_t remaining() const noexcept { return size_ - off_; }
+  const std::string& context() const noexcept { return context_; }
+
+  // Guards element counts read from the payload before any allocation: a
+  // crafted count whose elements (>= `min_bytes` each) could not possibly
+  // fit the remaining bytes must fail loudly instead of attempting a
+  // multi-GB resize.
+  void RequireCount(std::uint64_t count, std::size_t min_bytes,
+                    const char* what) const {
+    if (count > remaining() / min_bytes) {
+      throw StoreError(context_ + ": " + what + " count " +
+                       std::to_string(count) +
+                       " exceeds the record payload (corrupt store)");
+    }
+  }
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw StoreError(context_ + ": " + what);
+  }
+
+ private:
+  void Require(std::size_t n) const {
+    if (off_ + n > size_) {
+      throw StoreError(context_ + ": payload overrun at byte " +
+                       std::to_string(off_) + " (corrupt or truncated record)");
+    }
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+  std::string context_;
+};
+
+}  // namespace tpuperf::data

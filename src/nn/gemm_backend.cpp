@@ -67,26 +67,41 @@ void MatMulSparseARowRange(const Matrix& a, const Matrix& b, Matrix& out,
 // Register-tiled main kernel: 4 rows x 16 columns accumulated over the
 // full k extent in registers — each b row is loaded once per 4 output
 // rows and every output element is written exactly once. Batched
-// inference lives on this path; every output row still accumulates over
-// p in ascending order, so row values are independent of how rows are
-// grouped into tiles (packed batches match per-kernel runs). With Accum
-// the register partial sums are added onto `out` (fused backward).
+// inference lives on this path. EVERY row runs through this one loop
+// body, including the trailing partial block when (i1-i0) % 4 != 0: its
+// missing lanes alias the last real row (identical arithmetic, stores
+// masked off), instead of falling back to a separately compiled
+// remainder kernel. That matters for bit-exactness, not just tidiness —
+// the optimizer contracts the tiled body and a scalar remainder loop
+// into different FMA sequences, so the same row used to get different
+// low bits depending on whether its position put it in a full block.
+// With one body, a row's value depends only on its own contents and b,
+// never on its position or on the total row count; packed batches match
+// per-kernel runs exactly (the serve::PredictionService parity
+// contract), and parallel row chunks match the serial kernel at any
+// boundary. With Accum the register partial sums are added onto `out`
+// (fused backward).
 template <bool Accum>
 void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix& out, int i0,
                     int i1) {
   const int k = a.cols(), n = b.cols();
   constexpr int kRowBlock = 4;
   constexpr int kColBlock = 16;
-  int i = i0;
-  for (; i + kRowBlock <= i1; i += kRowBlock) {
+  for (int i = i0; i < i1; i += kRowBlock) {
+    const int valid = std::min(kRowBlock, i1 - i);
+    // Lane r of a partial block reads the last real row; only writes are
+    // guarded, so the aliased reads are never stored through twice.
+    const int r1 = i + std::min(1, valid - 1);
+    const int r2 = i + std::min(2, valid - 1);
+    const int r3 = i + std::min(3, valid - 1);
     const float* __restrict a0 = a.data() + static_cast<size_t>(i) * k;
-    const float* __restrict a1 = a0 + k;
-    const float* __restrict a2 = a1 + k;
-    const float* __restrict a3 = a2 + k;
+    const float* a1 = a.data() + static_cast<size_t>(r1) * k;
+    const float* a2 = a.data() + static_cast<size_t>(r2) * k;
+    const float* a3 = a.data() + static_cast<size_t>(r3) * k;
     float* __restrict o0 = out.data() + static_cast<size_t>(i) * n;
-    float* __restrict o1 = o0 + n;
-    float* __restrict o2 = o1 + n;
-    float* __restrict o3 = o2 + n;
+    float* o1 = out.data() + static_cast<size_t>(r1) * n;
+    float* o2 = out.data() + static_cast<size_t>(r2) * n;
+    float* o3 = out.data() + static_cast<size_t>(r3) * n;
     int j0 = 0;
     for (; j0 + kColBlock <= n; j0 += kColBlock) {
       float acc0[kColBlock] = {}, acc1[kColBlock] = {};
@@ -105,14 +120,14 @@ void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix& out, int i0,
       for (int j = 0; j < kColBlock; ++j) {
         if constexpr (Accum) {
           o0[j0 + j] += acc0[j];
-          o1[j0 + j] += acc1[j];
-          o2[j0 + j] += acc2[j];
-          o3[j0 + j] += acc3[j];
+          if (valid > 1) o1[j0 + j] += acc1[j];
+          if (valid > 2) o2[j0 + j] += acc2[j];
+          if (valid > 3) o3[j0 + j] += acc3[j];
         } else {
           o0[j0 + j] = acc0[j];
-          o1[j0 + j] = acc1[j];
-          o2[j0 + j] = acc2[j];
-          o3[j0 + j] = acc3[j];
+          if (valid > 1) o1[j0 + j] = acc1[j];
+          if (valid > 2) o2[j0 + j] = acc2[j];
+          if (valid > 3) o3[j0 + j] = acc3[j];
         }
       }
     }
@@ -127,20 +142,17 @@ void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix& out, int i0,
       }
       if constexpr (Accum) {
         o0[j0] += s0;
-        o1[j0] += s1;
-        o2[j0] += s2;
-        o3[j0] += s3;
+        if (valid > 1) o1[j0] += s1;
+        if (valid > 2) o2[j0] += s2;
+        if (valid > 3) o3[j0] += s3;
       } else {
         o0[j0] = s0;
-        o1[j0] = s1;
-        o2[j0] = s2;
-        o3[j0] = s3;
+        if (valid > 1) o1[j0] = s1;
+        if (valid > 2) o2[j0] = s2;
+        if (valid > 3) o3[j0] = s3;
       }
     }
   }
-  // Remaining rows (and any call with m < 4): row-at-a-time with the
-  // zero-skip fast path for sparse operands such as adjacency matrices.
-  MatMulSparseARowRange(a, b, out, i, i1);
 }
 
 // Rows [i0, i1) of the zero-skip kernel.

@@ -1,0 +1,255 @@
+#include "serve/prediction_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/env.h"
+#include "core/thread_pool.h"
+#include "serve/snapshot.h"
+
+namespace tpuperf::serve {
+
+using Clock = std::chrono::steady_clock;
+
+ServiceConfig ServiceConfig::FromEnv() {
+  ServiceConfig c;
+  c.max_batch = static_cast<int>(
+      core::EnvInt("TPUPERF_SERVE_MAX_BATCH", c.max_batch, 1, 4096));
+  c.deadline_us = static_cast<long>(
+      core::EnvInt("TPUPERF_SERVE_DEADLINE_US", c.deadline_us, 0, 10000000));
+  c.num_threads =
+      static_cast<int>(core::EnvInt("TPUPERF_SERVE_THREADS", 0, 0, 4096));
+  return c;
+}
+
+// One queued prediction. The promise is fulfilled by whichever worker runs
+// the batch this request was flushed into.
+struct PendingRequest {
+  const ir::Graph* kernel = nullptr;
+  std::uint64_t fingerprint = 0;
+  std::optional<ir::TileConfig> tile;
+  std::promise<double> promise;
+};
+
+struct ServiceImpl {
+  explicit ServiceImpl(int num_threads) : pool(num_threads) {}
+
+  core::ThreadPool pool;
+
+  std::mutex mu;               // guards queue + stopping
+  std::condition_variable cv;  // batcher wakeup (new request / shutdown)
+  std::deque<PendingRequest> queue;
+  bool stopping = false;
+
+  std::mutex inflight_mu;  // guards inflight_batches
+  std::condition_variable inflight_cv;
+  std::size_t inflight_batches = 0;
+
+  std::mutex shutdown_mu;  // serializes Shutdown callers
+  bool joined = false;     // guarded by shutdown_mu
+  std::thread batcher;
+
+  // Stats (monotonic; see ServiceStats).
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> size_flushes{0};
+  std::atomic<std::uint64_t> deadline_flushes{0};
+  std::atomic<std::uint64_t> shutdown_flushes{0};
+  std::atomic<std::uint64_t> batched_items{0};
+};
+
+namespace {
+
+// Scores one flushed batch and fulfills its promises. A per-request prepare
+// failure fails only that request; a model-level failure fails the batch.
+void ProcessBatch(const core::LearnedCostModel& model,
+                  core::PreparedCache& cache,
+                  std::vector<PendingRequest> batch, ServiceImpl& impl) {
+  struct InflightGuard {
+    ServiceImpl& impl;
+    ~InflightGuard() {
+      std::lock_guard lock(impl.inflight_mu);
+      --impl.inflight_batches;
+      impl.inflight_cv.notify_all();
+    }
+  } guard{impl};
+
+  std::vector<core::BatchItem> items;
+  std::vector<PendingRequest*> live;
+  items.reserve(batch.size());
+  live.reserve(batch.size());
+  for (PendingRequest& p : batch) {
+    try {
+      const core::PreparedKernel& prepared =
+          cache.Get(*p.kernel, p.fingerprint);
+      items.push_back(core::BatchItem{
+          &prepared, p.tile.has_value() ? &*p.tile : nullptr});
+      live.push_back(&p);
+    } catch (...) {
+      impl.failed.fetch_add(1, std::memory_order_relaxed);
+      p.promise.set_exception(std::current_exception());
+    }
+  }
+  if (live.empty()) return;
+
+  try {
+    const core::PreparedBatch packed = model.PrepareBatch(items);
+    const std::vector<double> scores = model.PredictBatch(packed);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      live[i]->promise.set_value(scores[i]);
+    }
+    impl.completed.fetch_add(live.size(), std::memory_order_relaxed);
+  } catch (...) {
+    impl.failed.fetch_add(live.size(), std::memory_order_relaxed);
+    for (PendingRequest* p : live) {
+      p->promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace
+
+PredictionService::PredictionService(
+    std::unique_ptr<core::LearnedCostModel> model, ServiceConfig config)
+    : config_(config), model_(std::move(model)) {
+  if (model_ == nullptr) {
+    throw std::invalid_argument("PredictionService: null model");
+  }
+  if (!model_->fitted()) {
+    throw std::invalid_argument(
+        "PredictionService: model scalers are not fitted (train or load a "
+        "snapshot first)");
+  }
+  if (config_.max_batch < 1) config_.max_batch = 1;
+  if (config_.deadline_us < 0) config_.deadline_us = 0;
+  cache_ = std::make_unique<core::PreparedCache>(*model_);
+  const int threads = config_.num_threads > 0
+                          ? config_.num_threads
+                          : core::ThreadPool::DefaultNumThreads();
+  impl_ = std::make_unique<ServiceImpl>(threads);
+  impl_->batcher = std::thread([this] { BatcherLoop(); });
+}
+
+PredictionService::PredictionService(const std::string& snapshot_path,
+                                     ServiceConfig config)
+    : PredictionService(LoadModelSnapshot(snapshot_path), config) {}
+
+PredictionService::~PredictionService() { Shutdown(); }
+
+std::future<double> PredictionService::PredictAsync(
+    const ir::Graph& kernel, const ir::TileConfig* tile) {
+  PendingRequest p;
+  p.kernel = &kernel;
+  p.fingerprint = kernel.Fingerprint();
+  if (tile != nullptr) p.tile = *tile;
+  std::future<double> future = p.promise.get_future();
+  {
+    std::lock_guard lock(impl_->mu);
+    if (impl_->stopping) {
+      throw std::runtime_error(
+          "PredictionService: PredictAsync after Shutdown");
+    }
+    impl_->queue.push_back(std::move(p));
+  }
+  impl_->requests.fetch_add(1, std::memory_order_relaxed);
+  impl_->cv.notify_one();
+  return future;
+}
+
+double PredictionService::Predict(const ir::Graph& kernel,
+                                  const ir::TileConfig* tile) {
+  return PredictAsync(kernel, tile).get();
+}
+
+void PredictionService::BatcherLoop() {
+  ServiceImpl& impl = *impl_;
+  const auto deadline_budget = std::chrono::microseconds(config_.deadline_us);
+  const std::size_t max_batch = static_cast<std::size_t>(config_.max_batch);
+  std::unique_lock lock(impl.mu);
+  while (true) {
+    impl.cv.wait(lock, [&] { return impl.stopping || !impl.queue.empty(); });
+    if (impl.queue.empty()) break;  // stopping with nothing left to flush
+
+    // A batch window opens at the first queued request the batcher observes;
+    // it closes when the window fills, the deadline passes, or we shut down.
+    const auto deadline = Clock::now() + deadline_budget;
+    const bool filled = impl.cv.wait_until(lock, deadline, [&] {
+      return impl.queue.size() >= max_batch || impl.stopping;
+    });
+
+    const std::size_t take = std::min(impl.queue.size(), max_batch);
+    std::vector<PendingRequest> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(impl.queue.front()));
+      impl.queue.pop_front();
+    }
+    if (!filled) {
+      impl.deadline_flushes.fetch_add(1, std::memory_order_relaxed);
+    } else if (take == max_batch) {
+      impl.size_flushes.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      impl.shutdown_flushes.fetch_add(1, std::memory_order_relaxed);
+    }
+    impl.batches.fetch_add(1, std::memory_order_relaxed);
+    impl.batched_items.fetch_add(take, std::memory_order_relaxed);
+
+    {
+      std::lock_guard inflight_lock(impl.inflight_mu);
+      ++impl.inflight_batches;
+    }
+    lock.unlock();
+    // Fire and forget: Shutdown waits on the inflight counter, not on the
+    // discarded future. With zero pool workers Submit runs the batch inline
+    // right here, which is the intended width-1 degenerate mode.
+    impl.pool.Submit([this, moved = std::make_shared<std::vector<
+                                PendingRequest>>(std::move(batch))]() mutable {
+      ProcessBatch(*model_, *cache_, std::move(*moved), *impl_);
+    });
+    lock.lock();
+  }
+}
+
+void PredictionService::Shutdown() {
+  ServiceImpl& impl = *impl_;
+  std::lock_guard shutdown_lock(impl.shutdown_mu);
+  if (impl.joined) return;
+  {
+    std::lock_guard lock(impl.mu);
+    impl.stopping = true;
+  }
+  impl.cv.notify_all();
+  impl.batcher.join();  // the batcher drains the queue before exiting
+  {
+    std::unique_lock lock(impl.inflight_mu);
+    impl.inflight_cv.wait(lock, [&] { return impl.inflight_batches == 0; });
+  }
+  impl.joined = true;
+}
+
+ServiceStats PredictionService::stats() const {
+  const ServiceImpl& impl = *impl_;
+  ServiceStats s;
+  s.requests = impl.requests.load(std::memory_order_relaxed);
+  s.completed = impl.completed.load(std::memory_order_relaxed);
+  s.failed = impl.failed.load(std::memory_order_relaxed);
+  s.batches = impl.batches.load(std::memory_order_relaxed);
+  s.size_flushes = impl.size_flushes.load(std::memory_order_relaxed);
+  s.deadline_flushes = impl.deadline_flushes.load(std::memory_order_relaxed);
+  s.shutdown_flushes = impl.shutdown_flushes.load(std::memory_order_relaxed);
+  s.batched_items = impl.batched_items.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace tpuperf::serve

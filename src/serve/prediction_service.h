@@ -1,0 +1,134 @@
+/// \file
+/// A long-lived prediction engine with adaptive micro-batching (ROADMAP
+/// "serving engine").
+///
+/// The paper's deployment target is a compiler autotuner issuing large
+/// volleys of cost queries (§5.3); production model servers (TF-Serving,
+/// Triton) face the same shape of load and answer it the same way this
+/// service does: coalesce concurrent single predictions into one batched
+/// forward pass, because PredictBatch amortizes every dense layer into one
+/// large GEMM (bench_batch measures the per-item speedup).
+///
+/// ## Batching policy
+///
+/// Requests enter a queue; a dedicated batcher thread drains it into
+/// LearnedCostModel::PredictBatch calls. A batch is flushed when EITHER
+///   * size trigger   — max_batch requests are waiting (default 64, the
+///     packed-batch sweet spot the autotuner evaluators also use), or
+///   * deadline trigger — deadline_us elapsed since the oldest queued
+///     request was observed (bounds added latency under light load; 0
+///     flushes immediately, degenerating to per-request batches), or
+///   * shutdown — Shutdown() drains whatever is queued.
+/// Flushed batches are handed to an owned core::ThreadPool, so a slow batch
+/// never blocks the batcher from accumulating the next one.
+///
+/// ## Semantics
+///
+/// Results are EXACTLY the scores PredictScore would return for the same
+/// (kernel, tile) — batching is a throughput optimization, never an accuracy
+/// trade (tests/serve_test.cpp asserts bit-equality). Kernels are prepared
+/// through a shared core::PreparedCache, so duplicate kernels across
+/// requests featurize once, and a registered dataset-store feature source is
+/// honored. Per-request failures (a throwing featurization) fail that
+/// request's future; other requests in the same batch complete normally.
+///
+/// The caller's Graph must stay alive until its future resolves (the service
+/// featurizes lazily, on the batcher/worker side); tile configs are copied.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "core/cost_model.h"
+#include "core/trainer.h"
+#include "ir/graph.h"
+#include "ir/tile.h"
+
+namespace tpuperf::serve {
+
+struct ServiceImpl;  // queue/pool/stats plumbing, defined in the .cpp
+
+/// Service knobs. Every field has a TPUPERF_SERVE_* environment override
+/// (strict integer parse via core::EnvInt; malformed values warn and keep
+/// the default).
+struct ServiceConfig {
+  // Size trigger: flush when this many requests are waiting.
+  // Env: TPUPERF_SERVE_MAX_BATCH.
+  int max_batch = 64;
+  // Deadline trigger: flush at most this long (microseconds) after the
+  // oldest queued request was seen. Env: TPUPERF_SERVE_DEADLINE_US.
+  long deadline_us = 200;
+  // Worker threads processing flushed batches; 0 means
+  // core::ThreadPool::DefaultNumThreads(). Env: TPUPERF_SERVE_THREADS.
+  int num_threads = 0;
+
+  static ServiceConfig FromEnv();
+};
+
+/// Monotonic counters, readable at any time (atomics; a snapshot is not a
+/// consistent cut but every counter is exact once the service is idle).
+struct ServiceStats {
+  std::uint64_t requests = 0;          // accepted by PredictAsync
+  std::uint64_t completed = 0;         // futures resolved with a value
+  std::uint64_t failed = 0;            // futures resolved with an exception
+  std::uint64_t batches = 0;           // PredictBatch calls issued
+  std::uint64_t size_flushes = 0;      // flushed because max_batch waiting
+  std::uint64_t deadline_flushes = 0;  // flushed because deadline_us elapsed
+  std::uint64_t shutdown_flushes = 0;  // flushed by Shutdown() draining
+  std::uint64_t batched_items = 0;     // requests summed over all batches
+
+  double mean_batch_size() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_items) /
+                              static_cast<double>(batches);
+  }
+};
+
+class PredictionService {
+ public:
+  /// Serves a trained (fitted) model. Throws std::invalid_argument when the
+  /// model's scalers were never fitted (it could not predict anything).
+  explicit PredictionService(std::unique_ptr<core::LearnedCostModel> model,
+                             ServiceConfig config = {});
+  /// Constructs the whole engine from one snapshot file
+  /// (serve::SaveModelSnapshot). Throws data::StoreError on a bad snapshot.
+  explicit PredictionService(const std::string& snapshot_path,
+                             ServiceConfig config = {});
+  /// Drains and stops (equivalent to Shutdown()).
+  ~PredictionService();
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Enqueues one prediction; the future resolves with PredictScore's value
+  /// for (kernel, tile) once a batch containing it completes. Throws
+  /// std::runtime_error after Shutdown(). `tile` may be null; it is copied.
+  std::future<double> PredictAsync(const ir::Graph& kernel,
+                                   const ir::TileConfig* tile = nullptr);
+
+  /// Synchronous convenience wrapper: PredictAsync(...).get().
+  double Predict(const ir::Graph& kernel,
+                 const ir::TileConfig* tile = nullptr);
+
+  /// Stops accepting requests, flushes every queued request, waits for all
+  /// in-flight batches, and joins the batcher. Every future issued before
+  /// the call resolves. Idempotent; called by the destructor.
+  void Shutdown();
+
+  ServiceStats stats() const;
+  const ServiceConfig& config() const noexcept { return config_; }
+  const core::LearnedCostModel& model() const noexcept { return *model_; }
+  /// The shared prepare cache (exposed for tests and cache-warming).
+  core::PreparedCache& prepared_cache() noexcept { return *cache_; }
+
+ private:
+  void BatcherLoop();
+
+  ServiceConfig config_;
+  std::unique_ptr<core::LearnedCostModel> model_;
+  std::unique_ptr<core::PreparedCache> cache_;
+  std::unique_ptr<ServiceImpl> impl_;
+};
+
+}  // namespace tpuperf::serve

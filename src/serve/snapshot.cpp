@@ -1,0 +1,156 @@
+#include "serve/snapshot.h"
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "dataset/store.h"
+#include "dataset/wire.h"
+
+namespace tpuperf::serve {
+namespace {
+
+using core::FeaturePlacement;
+using core::GnnKind;
+using core::LossKind;
+using core::ModelConfig;
+using core::ReductionKind;
+using data::Dec;
+using data::Enc;
+using data::StoreError;
+
+std::string EncodeConfigPayload(const ModelConfig& c) {
+  Enc e;
+  e.U8(static_cast<std::uint8_t>(c.gnn));
+  e.U8(static_cast<std::uint8_t>(c.reduction));
+  e.U8(c.directed_edges ? 1 : 0);
+  e.U8(c.use_static_perf ? 1 : 0);
+  e.U8(static_cast<std::uint8_t>(c.static_perf_placement));
+  e.U8(c.use_tile_features ? 1 : 0);
+  e.U8(static_cast<std::uint8_t>(c.tile_placement));
+  e.I32(c.opcode_embedding_dim);
+  e.I32(c.hidden_dim);
+  e.I32(c.gnn_layers);
+  e.I32(c.node_final_layers);
+  e.I32(c.transformer_layers);
+  e.I32(c.transformer_heads);
+  e.I32(c.gat_heads);
+  e.F32(c.dropout);
+  e.U8(static_cast<std::uint8_t>(c.loss));
+  e.U8(c.log_target ? 1 : 0);
+  e.F64(c.learning_rate);
+  e.F64(c.lr_decay);
+  e.U8(static_cast<std::uint8_t>(c.grad_clip));
+  e.F64(c.grad_clip_norm);
+  e.I32(c.train_steps);
+  e.I32(c.configs_per_batch);
+  e.I32(c.kernels_per_batch);
+  e.U64(c.seed);
+  return e.bytes();
+}
+
+std::uint8_t DecodeEnum(Dec& d, std::uint8_t max_value, const char* what) {
+  const std::uint8_t v = d.U8();
+  if (v > max_value) {
+    d.Fail(std::string("invalid ") + what + " value " + std::to_string(v));
+  }
+  return v;
+}
+
+ModelConfig DecodeConfigPayload(Dec& d) {
+  ModelConfig c;
+  c.gnn = static_cast<GnnKind>(
+      DecodeEnum(d, static_cast<std::uint8_t>(GnnKind::kGat), "gnn kind"));
+  c.reduction = static_cast<ReductionKind>(DecodeEnum(
+      d, static_cast<std::uint8_t>(ReductionKind::kTransformer), "reduction"));
+  c.directed_edges = d.U8() != 0;
+  c.use_static_perf = d.U8() != 0;
+  c.static_perf_placement = static_cast<FeaturePlacement>(DecodeEnum(
+      d, static_cast<std::uint8_t>(FeaturePlacement::kKernelEmbedding),
+      "static-perf placement"));
+  c.use_tile_features = d.U8() != 0;
+  c.tile_placement = static_cast<FeaturePlacement>(DecodeEnum(
+      d, static_cast<std::uint8_t>(FeaturePlacement::kKernelEmbedding),
+      "tile placement"));
+  c.opcode_embedding_dim = d.I32();
+  c.hidden_dim = d.I32();
+  c.gnn_layers = d.I32();
+  c.node_final_layers = d.I32();
+  c.transformer_layers = d.I32();
+  c.transformer_heads = d.I32();
+  c.gat_heads = d.I32();
+  c.dropout = d.F32();
+  c.loss = static_cast<LossKind>(
+      DecodeEnum(d, static_cast<std::uint8_t>(LossKind::kMse), "loss kind"));
+  c.log_target = d.U8() != 0;
+  c.learning_rate = d.F64();
+  c.lr_decay = d.F64();
+  c.grad_clip = static_cast<nn::GradClip>(DecodeEnum(
+      d, static_cast<std::uint8_t>(nn::GradClip::kNorm), "grad-clip kind"));
+  c.grad_clip_norm = d.F64();
+  c.train_steps = d.I32();
+  c.configs_per_batch = d.I32();
+  c.kernels_per_batch = d.I32();
+  c.seed = d.U64();
+  if (c.hidden_dim <= 0 || c.hidden_dim > 65536 ||
+      c.opcode_embedding_dim <= 0 || c.opcode_embedding_dim > 65536) {
+    d.Fail("implausible model dimensions (corrupt snapshot)");
+  }
+  return c;
+}
+
+}  // namespace
+
+void SaveModelSnapshot(const std::string& path,
+                       const core::LearnedCostModel& model) {
+  std::ostringstream params;
+  model.Save(params);
+  data::DatasetWriter writer(path);
+  writer.AddRaw(data::kModelConfigRecordType,
+                EncodeConfigPayload(model.config()));
+  writer.AddRaw(data::kModelParamsRecordType, params.str());
+  writer.Finish();
+}
+
+std::unique_ptr<core::LearnedCostModel> LoadModelSnapshot(
+    const std::string& path) {
+  data::DatasetReader reader(path);
+  std::optional<ModelConfig> config;
+  std::unique_ptr<core::LearnedCostModel> model;
+  reader.ForEachRecord([&](std::uint32_t type, const unsigned char* payload,
+                           std::size_t size, const std::string& context) {
+    Dec d(payload, size, context);
+    switch (type) {
+      case data::kModelConfigRecordType:
+        config = DecodeConfigPayload(d);
+        if (!d.AtEnd()) d.Fail("trailing bytes inside config record");
+        break;
+      case data::kModelParamsRecordType: {
+        if (!config.has_value()) {
+          throw StoreError(context +
+                           ": parameter record precedes the config record "
+                           "(malformed snapshot)");
+        }
+        model = std::make_unique<core::LearnedCostModel>(*config);
+        std::istringstream is(
+            std::string(reinterpret_cast<const char*>(payload), size));
+        try {
+          model->Load(is);
+        } catch (const std::exception& e) {
+          throw StoreError(context + ": " + e.what());
+        }
+        break;
+      }
+      default:
+        throw StoreError(context + ": record type " + std::to_string(type) +
+                         " does not belong in a model snapshot");
+    }
+  });
+  if (model == nullptr) {
+    throw StoreError(path + ": no model parameter record (not a snapshot?)");
+  }
+  return model;
+}
+
+}  // namespace tpuperf::serve

@@ -1,0 +1,38 @@
+/// \file
+/// Model snapshots: one self-contained artifact a prediction service can be
+/// constructed from. A snapshot bundles everything inference needs — the
+/// trained parameters, the fitted FeatureScaler statistics, and the
+/// ModelConfig that shaped the network — inside the dataset store's record
+/// framing (dataset/store.h), reusing its magic/version/checksum corruption
+/// guarantees and atomic-rename writer:
+///
+///     record 1: kModelConfigRecordType — every ModelConfig field, encoded
+///               explicitly (enums validated on load)
+///     record 2: kModelParamsRecordType — LearnedCostModel::Save() bytes
+///               (scaler stats + named/shape-checked parameter store)
+///
+/// LoadModelSnapshot reverses the process: decode the config, construct the
+/// model from it, then stream the parameter record through
+/// LearnedCostModel::Load (which re-checks parameter names and shapes, so a
+/// config/params mismatch fails loudly instead of mispredicting).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/cost_model.h"
+
+namespace tpuperf::serve {
+
+/// Writes `model` (config + scalers + parameters) to `path` atomically.
+/// Throws data::StoreError on I/O failure.
+void SaveModelSnapshot(const std::string& path,
+                       const core::LearnedCostModel& model);
+
+/// Reads a snapshot written by SaveModelSnapshot and reconstructs the model.
+/// Throws data::StoreError on any corruption, truncation, missing record, or
+/// config/parameter mismatch.
+std::unique_ptr<core::LearnedCostModel> LoadModelSnapshot(
+    const std::string& path);
+
+}  // namespace tpuperf::serve

@@ -15,6 +15,7 @@
 
 #include "autotuner/evaluators.h"
 #include "core/cost_model.h"
+#include "core/env.h"
 #include "core/thread_pool.h"
 #include "core/trainer.h"
 #include "dataset/families.h"
@@ -303,6 +304,113 @@ TEST(PreparedCacheThreaded, ConcurrentCollisionKeepsBothEntries) {
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.collisions(), 1u);
   EXPECT_NE(&cache.Get(small, shared_key), &cache.Get(large, shared_key));
+}
+
+// A feature source whose Lookup throws for the first `failures` calls, then
+// behaves as a permanent miss (nullptr -> in-process featurization).
+class FlakyFeatureSource : public feat::KernelFeatureSource {
+ public:
+  explicit FlakyFeatureSource(int failures) : remaining_(failures) {}
+  const feat::KernelFeatures* Lookup(std::uint64_t,
+                                     std::uint64_t) const override {
+    if (remaining_.fetch_sub(1) > 0) {
+      throw std::runtime_error("flaky feature source");
+    }
+    return nullptr;
+  }
+  int lookups() const { return -remaining_.load(); }
+
+ private:
+  mutable std::atomic<int> remaining_;
+};
+
+// Regression: a claimant whose featurization throws must release its
+// in-flight claim during unwind. Before the ClaimGuard in PreparedCache::Get
+// this deadlocked — every other thread waiting on the same kernel slept on
+// in_flight_done_ forever while the claim leaked. Now waiters wake, re-claim,
+// and retry until the source recovers; the test completing at all is the
+// deadlock check.
+TEST(PreparedCacheThreaded, ThrowingFeatureSourceReleasesClaim) {
+  LearnedCostModel model(SmallConfig());
+  const ir::Graph kernel = RandomKernel(91, 9);
+  model.FitNodeScaler(kernel);
+  model.FitTileScaler(ir::TileConfig{{8, 16}});
+  model.FinishFitting();
+  const std::uint64_t fp = kernel.Fingerprint();
+
+  FlakyFeatureSource source(/*failures=*/16);
+  PreparedCache cache(model, &source);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> throws{0};
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      // Hammer until this thread sees one success; every failure must leave
+      // the cache claimable again rather than wedging the remaining threads.
+      for (;;) {
+        try {
+          const PreparedKernel& pk = cache.Get(kernel, fp);
+          ASSERT_EQ(pk.num_nodes, kernel.num_nodes());
+          successes.fetch_add(1);
+          return;
+        } catch (const std::runtime_error&) {
+          throws.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(successes.load(), kThreads);
+  EXPECT_GT(throws.load(), 0);  // the flaky window really was exercised
+  EXPECT_EQ(cache.size(), 1u);  // one entry once the source recovered
+  // The entry is cached: further Gets hit without consulting the source.
+  const int lookups_before = source.lookups();
+  cache.Get(kernel, fp);
+  EXPECT_EQ(source.lookups(), lookups_before);
+}
+
+// ---- Strict TPUPERF_* env parsing ------------------------------------------
+
+// std::stoi regressions: "4x" parsed as 4, "" threw, huge values threw.
+// ParseIntStrict/EnvInt must instead reject malformed values outright and
+// fall back with a warning (thread_pool + serve read their knobs this way).
+TEST(EnvParsing, ParseIntStrictRejectsMalformed) {
+  EXPECT_EQ(ParseIntStrict("4"), 4);
+  EXPECT_EQ(ParseIntStrict("-2"), -2);
+  EXPECT_EQ(ParseIntStrict("999999999999"), 999999999999ll);
+  EXPECT_EQ(ParseIntStrict("4x"), std::nullopt);
+  EXPECT_EQ(ParseIntStrict(""), std::nullopt);
+  EXPECT_EQ(ParseIntStrict(" 4"), std::nullopt);
+  EXPECT_EQ(ParseIntStrict("4 "), std::nullopt);
+  EXPECT_EQ(ParseIntStrict("-"), std::nullopt);
+  EXPECT_EQ(ParseIntStrict("0x10"), std::nullopt);
+  EXPECT_EQ(ParseIntStrict("99999999999999999999"), std::nullopt);  // overflow
+}
+
+TEST(EnvParsing, EnvIntFallsBackOnMalformedAndClamps) {
+  const char* kVar = "TPUPERF_TEST_ENV_INT";
+  struct Cleanup {
+    const char* var;
+    ~Cleanup() { ::unsetenv(var); }
+  } cleanup{kVar};
+
+  ::unsetenv(kVar);
+  EXPECT_EQ(EnvInt(kVar, 7, 0, 100), 7);  // unset -> fallback, silently
+
+  ::setenv(kVar, "4x", 1);
+  EXPECT_EQ(EnvInt(kVar, 7, 0, 100), 7);  // trailing garbage -> fallback
+  ::setenv(kVar, "", 1);
+  EXPECT_EQ(EnvInt(kVar, 7, 0, 100), 7);  // empty -> fallback
+  ::setenv(kVar, "-2", 1);
+  EXPECT_EQ(EnvInt(kVar, 7, -10, 100), -2);  // valid negative passes through
+  EXPECT_EQ(EnvInt(kVar, 7, 0, 100), 0);     // ...and clamps to min_value
+  ::setenv(kVar, "999999999999", 1);
+  EXPECT_EQ(EnvInt(kVar, 7, 0, 100), 100);  // in-range of int64 -> clamp max
+  ::setenv(kVar, "99999999999999999999", 1);
+  EXPECT_EQ(EnvInt(kVar, 7, 0, 100), 7);  // int64 overflow -> fallback
 }
 
 // ---- Parallel-vs-serial model parity ---------------------------------------
