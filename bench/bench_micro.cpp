@@ -21,6 +21,7 @@
 #include "nn/losses.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
+#include "plan/plan.h"
 #include "sim/simulator.h"
 
 namespace tpuperf {
@@ -105,6 +106,38 @@ void BM_ModelInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelInference);
+
+// A compiled plan sized for the fixture kernel (single-kernel replay).
+const plan::CompiledPlan& SinglePlan() {
+  static std::shared_ptr<const plan::CompiledPlan> plan = [] {
+    auto& f = F();
+    int cap = 1;
+    while (cap < f.prepared.num_nodes) cap *= 2;
+    return f.model.CompilePlan(1, cap);
+  }();
+  return *plan;
+}
+
+// Single-stream prediction latency, tape vs compiled-plan replay: the same
+// (kernel, tile) scored by PredictScore (tape build + per-op dispatch) and
+// by PredictWithPlan (static schedule over the preplanned slab). Outputs
+// are bit-identical; the gap is pure dispatch/allocation overhead.
+void BM_PredictScoreLatencyTape(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.PredictScore(f.prepared, &f.tile));
+  }
+}
+BENCHMARK(BM_PredictScoreLatencyTape);
+
+void BM_PredictScoreLatencyPlan(benchmark::State& state) {
+  auto& f = F();
+  const plan::CompiledPlan& plan = SinglePlan();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.PredictWithPlan(plan, f.prepared, &f.tile));
+  }
+}
+BENCHMARK(BM_PredictScoreLatencyPlan);
 
 // A batch of 32 (kernel, tile) pairs drawn from the seed program's fused
 // kernels (cycled when the program has fewer), as the autotuner would form.
@@ -647,6 +680,7 @@ void ReportBatchedThroughput() {
   // numbers (written by the table benches / bench_serve) across the rewrite.
   const std::string dataset_store = bench::PreservedTopLevelJson("dataset_store");
   const std::string serving = bench::PreservedTopLevelJson("serving");
+  const std::string plan_section = bench::PreservedTopLevelJson("plan");
   FILE* json = std::fopen("BENCH_results.json", "w");
   if (json == nullptr) {
     std::printf("could not write BENCH_results.json\n");
@@ -699,9 +733,87 @@ void ReportBatchedThroughput() {
   if (!serving.empty()) {
     std::fprintf(json, ",\n  \"serving\": %s", serving.c_str());
   }
+  if (!plan_section.empty()) {
+    std::fprintf(json, ",\n  \"plan\": %s", plan_section.c_str());
+  }
   std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_results.json\n");
+}
+
+// Times the compiled-plan replay against the tape path — single-stream
+// PredictScore-equivalent latency and the packed batch-32 forward — and
+// verifies bit-exactness, then merges a "plan" section into
+// BENCH_results.json (after ReportBatchedThroughput's wholesale rewrite).
+void ReportPlanLatency() {
+  auto& f = F();
+  auto& b = B32();
+  core::ThreadPool::SetNumThreads(1);
+
+  int node_cap = 1;
+  while (node_cap < b.packed.total_nodes()) node_cap *= 2;
+  const auto batch_plan = f.model.CompilePlan(Batch32::kBatch, node_cap);
+  const plan::CompiledPlan& single_plan = SinglePlan();
+
+  double tape_single = 0;
+  const double tape_single_sec = TimeReps(
+      [&] { tape_single = f.model.PredictScore(f.prepared, &f.tile); });
+  double plan_single = 0;
+  const double plan_single_sec = TimeReps([&] {
+    plan_single = f.model.PredictWithPlan(single_plan, f.prepared, &f.tile);
+  });
+
+  std::vector<double> tape_batch;
+  const double tape_batch_sec =
+      TimeReps([&] { tape_batch = f.model.PredictBatch(b.packed); });
+  std::vector<double> plan_batch;
+  const double plan_batch_sec = TimeReps(
+      [&] { plan_batch = f.model.PredictBatchWithPlan(*batch_plan, b.packed); });
+  core::ThreadPool::SetNumThreads(core::ThreadPool::DefaultNumThreads());
+
+  double max_diff = std::abs(plan_single - tape_single);
+  for (int i = 0; i < Batch32::kBatch; ++i) {
+    max_diff = std::max(max_diff, std::abs(plan_batch[static_cast<size_t>(i)] -
+                                           tape_batch[static_cast<size_t>(i)]));
+  }
+  const double single_speedup = tape_single_sec / plan_single_sec;
+  const double batch_speedup = tape_batch_sec / plan_batch_sec;
+
+  std::printf("\n--- Plan-compiled inference report (1 thread) ---\n");
+  std::printf("single-kernel latency:  tape %8.1f us   plan %8.1f us   %.2fx\n",
+              tape_single_sec * 1e6, plan_single_sec * 1e6, single_speedup);
+  std::printf("batch-%d latency:       tape %8.1f us   plan %8.1f us   %.2fx\n",
+              Batch32::kBatch, tape_batch_sec * 1e6, plan_batch_sec * 1e6,
+              batch_speedup);
+  std::printf("max |plan - tape| = %.3g (must be 0)\n", max_diff);
+  std::printf(
+      "batch plan: %d instructions, %d logical -> %d physical buffers, "
+      "%.1f KiB slab\n",
+      batch_plan->num_instructions(), batch_plan->num_buffers(),
+      batch_plan->num_physical_buffers(),
+      static_cast<double>(batch_plan->slab_bytes()) / 1024.0);
+
+  char value[768];
+  std::snprintf(
+      value, sizeof(value),
+      "{\n"
+      "    \"latency_us_tape\": %.2f,\n"
+      "    \"latency_us_plan\": %.2f,\n"
+      "    \"speedup\": %.3f,\n"
+      "    \"batch32_latency_us_tape\": %.2f,\n"
+      "    \"batch32_latency_us_plan\": %.2f,\n"
+      "    \"batch32_speedup\": %.3f,\n"
+      "    \"max_abs_diff_plan_vs_tape\": %.3g,\n"
+      "    \"plan_instructions\": %d,\n"
+      "    \"plan_logical_buffers\": %d,\n"
+      "    \"plan_physical_buffers\": %d,\n"
+      "    \"plan_slab_bytes\": %zu\n  }",
+      tape_single_sec * 1e6, plan_single_sec * 1e6, single_speedup,
+      tape_batch_sec * 1e6, plan_batch_sec * 1e6, batch_speedup, max_diff,
+      batch_plan->num_instructions(), batch_plan->num_buffers(),
+      batch_plan->num_physical_buffers(), batch_plan->slab_bytes());
+  bench::MergeTopLevelJsonKey("BENCH_results.json", "plan", value);
+  std::printf("merged \"plan\" into BENCH_results.json\n");
 }
 
 }  // namespace tpuperf
@@ -713,5 +825,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   tpuperf::ReportBatchedThroughput();
+  tpuperf::ReportPlanLatency();
   return 0;
 }

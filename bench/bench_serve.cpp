@@ -111,6 +111,7 @@ struct ProfileResult {
   double p50_us = 0, p95_us = 0, p99_us = 0;
   double mean_batch = 0;
   std::uint64_t size_flushes = 0, deadline_flushes = 0;
+  std::uint64_t plan_hits = 0, plan_misses = 0, plan_compiles = 0;
 };
 
 // Closed-loop calibration: 8 synchronous clients hammering the service give
@@ -233,6 +234,9 @@ ProfileResult RunProfile(const std::string& name, const Workload& w,
   r.mean_batch = stats.mean_batch_size();
   r.size_flushes = stats.size_flushes;
   r.deadline_flushes = stats.deadline_flushes;
+  r.plan_hits = stats.plan_hits;
+  r.plan_misses = stats.plan_misses;
+  r.plan_compiles = stats.plan_compiles;
   return r;
 }
 
@@ -288,19 +292,38 @@ int main() {
     const ProfileResult& r = results.back();
     std::printf("%-8s  %6zu req  %7.0f QPS  p50 %7.0fus  p95 %7.0fus  "
                 "p99 %7.0fus  batch %5.1f  (%llu size / %llu deadline "
-                "flushes)\n",
+                "flushes; plan %llu hit / %llu compile)\n",
                 r.name.c_str(), r.requests, r.achieved_qps, r.p50_us, r.p95_us,
                 r.p99_us, r.mean_batch,
                 static_cast<unsigned long long>(r.size_flushes),
-                static_cast<unsigned long long>(r.deadline_flushes));
+                static_cast<unsigned long long>(r.deadline_flushes),
+                static_cast<unsigned long long>(r.plan_hits),
+                static_cast<unsigned long long>(r.plan_compiles));
   }
   PrintRule();
+
+  // Plan-cache effectiveness across all profiles: nearly every flushed batch
+  // should replay a cached compiled plan (hits), with compiles bounded by
+  // the number of distinct batch-shape buckets the workload produces.
+  std::uint64_t plan_hits = 0, plan_misses = 0, plan_compiles = 0;
+  for (const ProfileResult& r : results) {
+    plan_hits += r.plan_hits;
+    plan_misses += r.plan_misses;
+    plan_compiles += r.plan_compiles;
+  }
+  std::printf("plan cache: %llu hits, %llu misses, %llu compiles\n",
+              static_cast<unsigned long long>(plan_hits),
+              static_cast<unsigned long long>(plan_misses),
+              static_cast<unsigned long long>(plan_compiles));
 
   std::ostringstream json;
   json << "{\n";
   json << "    \"calibrated_capacity_qps\": " << capacity << ",\n";
   json << "    \"offered_qps\": " << offered << ",\n";
   json << "    \"repro_scale\": " << scale << ",\n";
+  json << "    \"plan_hits\": " << plan_hits << ",\n";
+  json << "    \"plan_misses\": " << plan_misses << ",\n";
+  json << "    \"plan_compiles\": " << plan_compiles << ",\n";
   json << "    \"profiles\": {\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const ProfileResult& r = results[i];

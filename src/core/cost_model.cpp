@@ -317,8 +317,27 @@ nn::Tensor LearnedCostModel::ForwardImpl(nn::Tape& tape,
   for (const auto& layer : sage_layers_) {
     h = layer.Forward(tape, h, kernel.structure);
   }
-  for (const auto& layer : gat_layers_) {
-    h = layer.Forward(tape, h, kernel.structure);
+  if (!gat_layers_.empty()) {
+    if (nn::FusedOpsEnabled()) {
+      // Routed through the batched overload with one [0, n) segment: the
+      // fused attention kernel's weighted-neighbor sum associates
+      // differently from the unfused MaskedSoftmaxRows + MatMul chain, and
+      // a segment's result is independent of its batch-mates — so this
+      // keeps PredictScore bit-identical to a PredictBatch containing the
+      // same kernel (the exactness contract serve::PredictionService and
+      // the compiled plan promise), as the LSTM/Transformer reductions
+      // below already do.
+      nn::BatchedGraphStructure single;
+      single.blocks = {&kernel.structure};
+      single.offsets = {0, n};
+      for (const auto& layer : gat_layers_) {
+        h = layer.Forward(tape, h, single);
+      }
+    } else {
+      for (const auto& layer : gat_layers_) {
+        h = layer.Forward(tape, h, kernel.structure);
+      }
+    }
   }
 
   h = node_final_.Forward(tape, h);

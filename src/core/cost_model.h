@@ -24,6 +24,10 @@
 #include "nn/layers.h"
 #include "nn/rnn.h"
 
+namespace tpuperf::plan {
+class CompiledPlan;
+}  // namespace tpuperf::plan
+
 namespace tpuperf::core {
 
 // A kernel featurized and scaled once, reusable across tile configs and
@@ -106,6 +110,27 @@ class LearnedCostModel {
   std::vector<double> PredictBatch(const PreparedBatch& batch) const;
   // As PredictBatch, but in seconds (applies exp() for log-target models).
   std::vector<double> PredictBatchSeconds(const PreparedBatch& batch) const;
+
+  // ---- Plan-compiled inference (src/plan) ----------------------------------
+  // Compiles the model's exact inference op sequence into a static schedule
+  // with liveness-planned buffers, valid for batches of up to `max_kernels`
+  // kernels and `max_total_nodes` packed nodes. The plan holds pointers into
+  // this model's parameters (AOT semantics: the model must outlive the plan,
+  // and the plan must be recompiled after parameter updates). Replay is
+  // bit-identical to PredictBatch/PredictScore at any thread-pool width.
+  // Requires fitted scalers and nn::FusedOpsEnabled(); throws
+  // std::logic_error otherwise. `poison_dead_buffers` enables the
+  // plan_test debug mode that NaN-fills retired buffers.
+  std::shared_ptr<const plan::CompiledPlan> CompilePlan(
+      int max_kernels, int max_total_nodes,
+      bool poison_dead_buffers = false) const;
+  // PredictScore through a compiled plan: same result, no tape.
+  double PredictWithPlan(const plan::CompiledPlan& plan,
+                         const PreparedKernel& kernel,
+                         const ir::TileConfig* tile = nullptr) const;
+  // PredictBatch through a compiled plan: same results, no tape.
+  std::vector<double> PredictBatchWithPlan(const plan::CompiledPlan& plan,
+                                           const PreparedBatch& batch) const;
 
   // Differentiable forward pass used by the trainer. `tape` must outlive the
   // returned tensor. `training` enables dropout.

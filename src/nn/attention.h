@@ -33,10 +33,16 @@ class MultiHeadSelfAttention {
   // Batched: block-diagonal attention over the packed segments of `x`.
   Tensor Forward(Tape& tape, Tensor x, std::span<const int> offsets) const;
 
- private:
   struct Head {
     Linear q, k, v;
   };
+
+  // Structural accessors for the plan compiler (src/plan).
+  const std::vector<Head>& heads() const noexcept { return heads_; }
+  const Linear& out() const noexcept { return out_; }
+  int head_dim() const noexcept { return head_dim_; }
+
+ private:
   std::vector<Head> heads_;
   Linear out_;
   int head_dim_ = 0;
@@ -51,6 +57,14 @@ class TransformerEncoderLayer {
 
   Tensor Forward(Tape& tape, Tensor x) const;
   Tensor Forward(Tape& tape, Tensor x, std::span<const int> offsets) const;
+
+  // Structural accessors for the plan compiler (src/plan).
+  const MultiHeadSelfAttention& attention() const noexcept {
+    return attention_;
+  }
+  const LayerNorm& norm1() const noexcept { return norm1_; }
+  const LayerNorm& norm2() const noexcept { return norm2_; }
+  const Mlp& ffn() const noexcept { return ffn_; }
 
  private:
   MultiHeadSelfAttention attention_;
@@ -68,6 +82,10 @@ class TransformerEncoder {
 
   Tensor Forward(Tape& tape, Tensor x) const;
   Tensor Forward(Tape& tape, Tensor x, std::span<const int> offsets) const;
+
+  const std::vector<TransformerEncoderLayer>& layers() const noexcept {
+    return layers_;
+  }
 
  private:
   std::vector<TransformerEncoderLayer> layers_;

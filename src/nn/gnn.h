@@ -71,6 +71,13 @@ class GraphSageLayer {
   // running Forward per kernel.
   Tensor Forward(Tape& tape, Tensor h, const BatchedGraphStructure& gs) const;
 
+  // Structural accessors for the plan compiler (src/plan).
+  const Linear& f2_in() const noexcept { return f2_in_; }
+  const Linear& f2_out() const noexcept { return f2_out_; }
+  const Linear& f3() const noexcept { return f3_; }
+  bool directed() const noexcept { return directed_; }
+  bool l2_normalize() const noexcept { return l2_normalize_; }
+
  private:
   Linear f2_in_, f2_out_, f3_;
   bool directed_ = true;
@@ -92,12 +99,18 @@ class GatLayer {
   // nodes never attend across kernels.
   Tensor Forward(Tape& tape, Tensor h, const BatchedGraphStructure& gs) const;
 
- private:
   struct Head {
     Linear w;
     Parameter* a_src = nullptr;
     Parameter* a_dst = nullptr;
   };
+
+  // Structural accessors for the plan compiler (src/plan).
+  const std::vector<Head>& heads() const noexcept { return heads_; }
+  const Linear& merge() const noexcept { return merge_; }
+  int head_dim() const noexcept { return head_dim_; }
+
+ private:
   std::vector<Head> heads_;
   Linear merge_;
   int head_dim_ = 0;

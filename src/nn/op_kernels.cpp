@@ -1,0 +1,433 @@
+#include "nn/op_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/thread_pool.h"
+#include "nn/fastmath.h"
+
+namespace tpuperf::nn {
+namespace {
+
+// Work (in multiply-adds / transcendental evaluations) below which an op
+// runs serially: fork/join overhead beats the parallel win under this.
+constexpr std::int64_t kParallelOpWork = 1 << 18;
+
+// Runs `body(b0, b1)` over segments [0, batch), sharded across the pool when
+// `parallel`. Every segment kernel writes disjoint output row ranges per
+// segment, so the partitioning (which never depends on pool width) is
+// bit-exact at any thread count.
+template <typename Body>
+void ForEachSegment(int batch, bool parallel, const Body& body) {
+  if (parallel) {
+    core::ParallelFor(0, batch, 1, body);
+  } else {
+    body(0, batch);
+  }
+}
+
+// Grow-only thread_local scratch row: steady-state replay (and the warm tape
+// path) performs zero heap allocations for per-row workspaces.
+std::vector<float>& ScratchRow(size_t min_size) {
+  static thread_local std::vector<float> scratch;
+  if (scratch.size() < min_size) scratch.resize(min_size);
+  return scratch;
+}
+
+}  // namespace
+
+bool UseParallelOpWork(std::int64_t work) {
+  return work >= kParallelOpWork && core::ThreadPool::Global().size() > 1;
+}
+
+void CheckSegmentOffsetsFor(int rows, std::span<const int> offsets,
+                            const char* op) {
+  if (offsets.size() < 2 || offsets.front() != 0 || offsets.back() != rows) {
+    throw std::invalid_argument(std::string(op) + ": bad segment offsets");
+  }
+  for (size_t b = 1; b < offsets.size(); ++b) {
+    if (offsets[b] < offsets[b - 1]) {
+      throw std::invalid_argument(std::string(op) + ": offsets not monotone");
+    }
+  }
+}
+
+void SquaredSegmentOffsetsInto(std::span<const int> offsets,
+                               std::vector<std::int64_t>& sq) {
+  sq.resize(offsets.size());
+  sq[0] = 0;
+  for (size_t b = 0; b + 1 < offsets.size(); ++b) {
+    const std::int64_t len = offsets[b + 1] - offsets[b];
+    sq[b + 1] = sq[b] + len * len;
+  }
+  // The saved probabilities pack into one Matrix row, so the sum of
+  // squared segment lengths must stay indexable by int.
+  if (sq.back() > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument(
+        "block-diagonal attention: sum of squared segment lengths exceeds "
+        "INT_MAX; split the batch");
+  }
+}
+
+int MaxSegmentLength(std::span<const int> offsets) {
+  int max_len = 0;
+  for (size_t b = 0; b + 1 < offsets.size(); ++b) {
+    max_len = std::max(max_len, offsets[b + 1] - offsets[b]);
+  }
+  return max_len;
+}
+
+void RowL2NormalizeForward(Matrix& y, const Matrix& x, float eps,
+                           float* inv_norms) {
+  for (int i = 0; i < x.rows(); ++i) {
+    double acc = 0;
+    for (int j = 0; j < x.cols(); ++j) {
+      acc += static_cast<double>(x.at(i, j)) * x.at(i, j);
+    }
+    const float inv = 1.0f / (std::sqrt(static_cast<float>(acc)) + eps);
+    if (inv_norms != nullptr) inv_norms[static_cast<size_t>(i)] = inv;
+    for (int j = 0; j < x.cols(); ++j) y.at(i, j) = x.at(i, j) * inv;
+  }
+}
+
+void LayerNormRowsForward(Matrix& y, const Matrix& x, const Matrix& gamma,
+                          const Matrix& beta, float eps, Matrix* xhat,
+                          float* inv_std) {
+  const int n = x.rows(), c = x.cols();
+  for (int i = 0; i < n; ++i) {
+    double mean = 0;
+    for (int j = 0; j < c; ++j) mean += x.at(i, j);
+    mean /= c;
+    double var = 0;
+    for (int j = 0; j < c; ++j) {
+      const double d = x.at(i, j) - mean;
+      var += d * d;
+    }
+    var /= c;
+    const float istd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    if (inv_std != nullptr) inv_std[static_cast<size_t>(i)] = istd;
+    // xhat is computed and consumed as float either way, so fusing the
+    // normalize and affine passes is bit-identical to materializing xhat.
+    for (int j = 0; j < c; ++j) {
+      const float xh = (x.at(i, j) - static_cast<float>(mean)) * istd;
+      if (xhat != nullptr) xhat->at(i, j) = xh;
+      y.at(i, j) = xh * gamma.at(0, j) + beta.at(0, j);
+    }
+  }
+}
+
+bool SegmentSumForward(Matrix& y, const Matrix& x,
+                       std::span<const int> offsets) {
+  const int batch = static_cast<int>(offsets.size()) - 1;
+  const bool parallel =
+      batch > 1 && UseParallelOpWork(static_cast<std::int64_t>(x.size()));
+  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      for (int i = offsets[static_cast<size_t>(b)];
+           i < offsets[static_cast<size_t>(b) + 1]; ++i) {
+        for (int j = 0; j < x.cols(); ++j) {
+          y.at(static_cast<int>(b), j) += x.at(i, j);
+        }
+      }
+    }
+  });
+  return parallel;
+}
+
+bool SegmentMeanForward(Matrix& y, const Matrix& x,
+                        std::span<const int> offsets, float* inv) {
+  const int batch = static_cast<int>(offsets.size()) - 1;
+  const bool parallel =
+      batch > 1 && UseParallelOpWork(static_cast<std::int64_t>(x.size()));
+  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const int len = offsets[static_cast<size_t>(b) + 1] -
+                      offsets[static_cast<size_t>(b)];
+      if (len == 0) continue;
+      const float w = 1.0f / static_cast<float>(len);
+      if (inv != nullptr) inv[static_cast<size_t>(b)] = w;
+      for (int i = offsets[static_cast<size_t>(b)];
+           i < offsets[static_cast<size_t>(b) + 1]; ++i) {
+        for (int j = 0; j < x.cols(); ++j) {
+          y.at(static_cast<int>(b), j) += x.at(i, j);
+        }
+      }
+      for (int j = 0; j < x.cols(); ++j) y.at(static_cast<int>(b), j) *= w;
+    }
+  });
+  return parallel;
+}
+
+bool SegmentMaxForward(Matrix& y, const Matrix& x,
+                       std::span<const int> offsets, int* argmax) {
+  const int batch = static_cast<int>(offsets.size()) - 1;
+  const bool parallel =
+      batch > 1 && UseParallelOpWork(static_cast<std::int64_t>(x.size()));
+  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const int begin = offsets[static_cast<size_t>(b)];
+      const int end = offsets[static_cast<size_t>(b) + 1];
+      for (int j = 0; j < x.cols(); ++j) {
+        float best = begin < end ? x.at(begin, j) : 0.0f;
+        int best_row = begin < end ? begin : -1;
+        for (int i = begin + 1; i < end; ++i) {
+          if (x.at(i, j) > best) {
+            best = x.at(i, j);
+            best_row = i;
+          }
+        }
+        y.at(static_cast<int>(b), j) = best;
+        if (argmax != nullptr) {
+          argmax[static_cast<size_t>(b) * x.cols() + j] = best_row;
+        }
+      }
+    }
+  });
+  return parallel;
+}
+
+bool BlockDiagMatMulForward(Matrix& y, std::span<const Matrix* const> blocks,
+                            std::span<const int> offsets, const Matrix& x) {
+  const int batch = static_cast<int>(blocks.size());
+  std::int64_t block_flops = 0;
+  for (int b = 0; b < batch; ++b) {
+    const Matrix& a = *blocks[static_cast<size_t>(b)];
+    const int len = offsets[static_cast<size_t>(b) + 1] -
+                    offsets[static_cast<size_t>(b)];
+    if (a.rows() != len || a.cols() != len) {
+      throw std::invalid_argument(
+          "BlockDiagMatMulConstA: block shape mismatch");
+    }
+    block_flops += 2ll * len * len * x.cols();
+  }
+  const bool parallel = batch > 1 && UseParallelOpWork(block_flops);
+  // Each block writes only its own row segment, so sharding blocks across
+  // the pool is bit-exact at any thread count.
+  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const Matrix& a = *blocks[static_cast<size_t>(b)];
+      const int begin = offsets[static_cast<size_t>(b)];
+      const int len = offsets[static_cast<size_t>(b) + 1] - begin;
+      // y[begin+i, :] += a[i, k] * x[begin+k, :] — same kernel as MatMul.
+      for (int i = 0; i < len; ++i) {
+        for (int k = 0; k < len; ++k) {
+          const float av = a.at(i, k);
+          if (av == 0.0f) continue;
+          for (int j = 0; j < x.cols(); ++j) {
+            y.at(begin + i, j) += av * x.at(begin + k, j);
+          }
+        }
+      }
+    }
+  });
+  return parallel;
+}
+
+bool BlockDiagSelfAttentionForward(Matrix& y, const Matrix& q,
+                                   const Matrix& k, const Matrix& v,
+                                   std::span<const int> offsets,
+                                   std::span<const std::int64_t> sq,
+                                   int max_len, float scale, float* probs) {
+  const int batch = static_cast<int>(offsets.size()) - 1;
+  const int dim = q.cols();
+  const int vdim = v.cols();
+  const bool parallel =
+      batch > 1 && UseParallelOpWork(sq.back() * (2ll * dim + vdim));
+  // Per segment and row: logits, softmax, then the value reduction — the
+  // same float sequence as MatMul/Scale/SoftmaxRows/MatMul per segment, so
+  // outputs are row-for-row identical to the unfused op chain. Segments
+  // write disjoint output rows (bit-exact sharding at any pool width).
+  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<float>& srow = ScratchRow(static_cast<size_t>(max_len));
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const int begin = offsets[static_cast<size_t>(b)];
+      const int len = offsets[static_cast<size_t>(b) + 1] - begin;
+      float* __restrict p_seg =
+          probs != nullptr ? probs + sq[static_cast<size_t>(b)] : nullptr;
+      for (int i = 0; i < len; ++i) {
+        const float* __restrict qi =
+            q.data() + static_cast<size_t>(begin + i) * dim;
+        // Scaled dot-product logits (ascending-p dots, as MatMul computes).
+        for (int j = 0; j < len; ++j) {
+          const float* __restrict kj =
+              k.data() + static_cast<size_t>(begin + j) * dim;
+          float acc = 0.0f;
+          for (int p = 0; p < dim; ++p) acc += qi[p] * kj[p];
+          srow[static_cast<size_t>(j)] = acc * scale;
+        }
+        // Row softmax, exactly as SoftmaxRowsOp.
+        float max_v = -std::numeric_limits<float>::infinity();
+        for (int j = 0; j < len; ++j) {
+          max_v = std::max(max_v, srow[static_cast<size_t>(j)]);
+        }
+        double denom = 0;
+        for (int j = 0; j < len; ++j) {
+          const float e = std::exp(srow[static_cast<size_t>(j)] - max_v);
+          srow[static_cast<size_t>(j)] = e;
+          denom += e;
+        }
+        if (denom > 0) {
+          const float inv = 1.0f / static_cast<float>(denom);
+          for (int j = 0; j < len; ++j) srow[static_cast<size_t>(j)] *= inv;
+        }
+        if (p_seg != nullptr) {
+          std::copy(srow.begin(), srow.begin() + len,
+                    p_seg + static_cast<std::int64_t>(i) * len);
+        }
+        // y_i = sum_j P_ij v_j (ascending j, as the MatMul row kernel).
+        float* __restrict yi = y.data() + static_cast<size_t>(begin + i) * vdim;
+        for (int j = 0; j < len; ++j) {
+          const float pij = srow[static_cast<size_t>(j)];
+          if (pij == 0.0f) continue;
+          const float* __restrict vj =
+              v.data() + static_cast<size_t>(begin + j) * vdim;
+          for (int c = 0; c < vdim; ++c) yi[c] += pij * vj[c];
+        }
+      }
+    }
+  });
+  return parallel;
+}
+
+bool BlockDiagGatAttentionForward(Matrix& y, const Matrix& s, const Matrix& d,
+                                  const Matrix& wh,
+                                  std::span<const Matrix* const> masks,
+                                  std::span<const int> offsets,
+                                  std::span<const std::int64_t> sq,
+                                  int max_len, float alpha, float* probs) {
+  const int batch = static_cast<int>(masks.size());
+  const int dim = wh.cols();
+  const bool parallel = batch > 1 && UseParallelOpWork(sq.back() * (dim + 8ll));
+  // Per segment and row: masked LeakyReLU(s_i + d_j) logits, masked softmax
+  // (the exact float sequence of OuterSum/LeakyRelu/MaskedSoftmaxRows), then
+  // the attention-weighted neighbor sum. Disjoint rows per segment.
+  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<float>& lrow = ScratchRow(static_cast<size_t>(max_len));
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const int begin = offsets[static_cast<size_t>(b)];
+      const int len = offsets[static_cast<size_t>(b) + 1] - begin;
+      const Matrix& mask = *masks[static_cast<size_t>(b)];
+      float* __restrict p_seg =
+          probs != nullptr ? probs + sq[static_cast<size_t>(b)] : nullptr;
+      for (int i = 0; i < len; ++i) {
+        const float si = s.at(begin + i, 0);
+        float max_v = -std::numeric_limits<float>::infinity();
+        for (int j = 0; j < len; ++j) {
+          if (mask.at(i, j) == 0.0f) continue;
+          const float z = si + d.at(begin + j, 0);
+          const float l = z > 0 ? z : alpha * z;
+          lrow[static_cast<size_t>(j)] = l;
+          max_v = std::max(max_v, l);
+        }
+        double denom = 0;
+        for (int j = 0; j < len; ++j) {
+          if (mask.at(i, j) == 0.0f) {
+            lrow[static_cast<size_t>(j)] = 0.0f;
+            continue;
+          }
+          const float e = std::exp(lrow[static_cast<size_t>(j)] - max_v);
+          lrow[static_cast<size_t>(j)] = e;
+          denom += e;
+        }
+        if (denom > 0) {
+          const float inv = 1.0f / static_cast<float>(denom);
+          for (int j = 0; j < len; ++j) lrow[static_cast<size_t>(j)] *= inv;
+        }
+        if (p_seg != nullptr) {
+          std::copy(lrow.begin(), lrow.begin() + len,
+                    p_seg + static_cast<std::int64_t>(i) * len);
+        }
+        // y_i = sum_j P_ij wh_j — zero-skip, as the masked MatMul would.
+        float* __restrict yi = y.data() + static_cast<size_t>(begin + i) * dim;
+        for (int j = 0; j < len; ++j) {
+          const float pij = lrow[static_cast<size_t>(j)];
+          if (pij == 0.0f) continue;
+          const float* __restrict whj =
+              wh.data() + static_cast<size_t>(begin + j) * dim;
+          for (int c = 0; c < dim; ++c) yi[c] += pij * whj[c];
+        }
+      }
+    }
+  });
+  return parallel;
+}
+
+void LstmGatePreactForward(Matrix& y, const Matrix& x_rows,
+                           std::span<const int> ids, const Matrix& h,
+                           const Matrix& w, const Matrix& bias) {
+  const int batch = static_cast<int>(ids.size());
+  const int out_cols = x_rows.cols();
+  MatMulInto(y, h, w);
+  for (int r = 0; r < batch; ++r) {
+    const int src = ids[static_cast<size_t>(r)];
+    if (src < 0 || src >= x_rows.rows()) {
+      throw std::out_of_range("LstmGatePreactOp: id out of range");
+    }
+    float* __restrict out = y.data() + static_cast<size_t>(r) * out_cols;
+    const float* __restrict xr =
+        x_rows.data() + static_cast<size_t>(src) * out_cols;
+    for (int j = 0; j < out_cols; ++j) out[j] += xr[j] + bias.data()[j];
+  }
+}
+
+bool LstmCellForward(Matrix& y, const Matrix& preact, const Matrix& c_prev,
+                     int hidden, Matrix* gates, Matrix* tanh_c) {
+  const int batch = preact.rows();
+  // Activations over whole rows in contiguous per-gate segments (the [B,4h]
+  // layout is [i|f|g|o]), so the transcendental loops vectorize. Rows are
+  // independent — the lockstep batch partitions across the pool (each chunk
+  // owns its rows and a private scratch buffer), bit-exact at any width.
+  const auto cell_rows = [&](std::int64_t r0, std::int64_t r1) {
+    std::vector<float>& act = ScratchRow(static_cast<size_t>(4) * hidden);
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* __restrict p =
+          preact.data() + static_cast<size_t>(r) * 4 * hidden;
+      const float* __restrict cp =
+          c_prev.data() + static_cast<size_t>(r) * hidden;
+      float* __restrict a = act.data();
+      float* __restrict out = y.data() + static_cast<size_t>(r) * 2 * hidden;
+      for (int j = 0; j < 2 * hidden; ++j) a[j] = FastSigmoid(p[j]);
+      for (int j = 2 * hidden; j < 3 * hidden; ++j) a[j] = FastTanh(p[j]);
+      for (int j = 3 * hidden; j < 4 * hidden; ++j) a[j] = FastSigmoid(p[j]);
+      for (int j = 0; j < hidden; ++j) {
+        out[hidden + j] = a[hidden + j] * cp[j] + a[j] * a[2 * hidden + j];
+      }
+      for (int j = 0; j < hidden; ++j) {
+        const float t = FastTanh(out[hidden + j]);
+        out[j] = a[3 * hidden + j] * t;  // h; out[hidden+j] is c
+        if (tanh_c != nullptr) {
+          tanh_c->data()[static_cast<size_t>(r) * hidden + j] = t;
+        }
+      }
+      if (gates != nullptr) {
+        std::copy(act.data(), act.data() + static_cast<size_t>(4) * hidden,
+                  gates->data() + static_cast<size_t>(r) * 4 * hidden);
+      }
+    }
+  };
+  // ~10 transcendentals per cell lane, each tens of flops.
+  const bool parallel_rows = UseParallelOpWork(40ll * batch * hidden);
+  if (parallel_rows) {
+    core::ParallelFor(0, batch, 8, cell_rows);
+  } else {
+    cell_rows(0, batch);
+  }
+  return parallel_rows;
+}
+
+void GatherRowsForward(Matrix& y, const Matrix& table,
+                       std::span<const int> ids) {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int r = ids[i];
+    if (r < 0 || r >= table.rows()) {
+      throw std::out_of_range("GatherRowsOp: id out of range");
+    }
+    const auto src = table.row(r);
+    std::copy(src.begin(), src.end(), y.row(static_cast<int>(i)).begin());
+  }
+}
+
+}  // namespace tpuperf::nn

@@ -1,0 +1,117 @@
+// Into-preplanned-buffer forward kernels shared by the tape ops (nn/ops.cpp)
+// and the compiled-plan executor (src/plan). Each kernel writes a
+// caller-shaped output matrix and performs EXACTLY the float sequence of the
+// corresponding tape op's forward — same accumulation order, same parallel
+// predicate, same grain — so a plan replaying these kernels is bit-identical
+// to the tape path at any core::ThreadPool width.
+//
+// Backward by-products (inverse norms, layer-norm xhat, attention
+// probabilities, LSTM gate activations) are optional out-parameters: the
+// tape ops pass them so their backward closures keep working, the plan
+// executor passes nullptr and pays only for the forward values.
+//
+// Kernels that need per-row scratch (attention score rows, LSTM gate
+// activations) use grow-only thread_local buffers, so steady-state replay
+// performs zero heap allocations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace tpuperf::nn {
+
+// The shared op-level parallel dispatch predicate (work in multiply-adds or
+// transcendental evaluations; see kParallelOpWork in ops.cpp).
+bool UseParallelOpWork(std::int64_t work);
+
+// Throws std::invalid_argument unless `offsets` has >= 2 entries, starts at
+// 0, ends at `rows`, and is monotone.
+void CheckSegmentOffsetsFor(int rows, std::span<const int> offsets,
+                            const char* op);
+
+// Flat storage offsets of the per-segment [len_b, len_b] attention
+// matrices: segment b occupies [sq[b], sq[b+1]) row-major. Resizes `sq`
+// (grow-only when reused). Throws when the total exceeds INT_MAX.
+void SquaredSegmentOffsetsInto(std::span<const int> offsets,
+                               std::vector<std::int64_t>& sq);
+
+int MaxSegmentLength(std::span<const int> offsets);
+
+// y[i, :] = x[i, :] / (|x[i, :]| + eps). `inv_norms`, when non-null, must
+// hold x.rows() floats and receives each row's reciprocal norm.
+void RowL2NormalizeForward(Matrix& y, const Matrix& x, float eps,
+                           float* inv_norms);
+
+// Row layer norm: y = ((x - mean) * istd) * gamma + beta. `xhat` (shaped
+// [n, c]) and `inv_std` (n floats), when non-null, receive the backward
+// state; with xhat == nullptr the normalized value is fused into the output
+// pass (identical floats — xhat is computed and consumed in float either
+// way).
+void LayerNormRowsForward(Matrix& y, const Matrix& x, const Matrix& gamma,
+                          const Matrix& beta, float eps, Matrix* xhat,
+                          float* inv_std);
+
+// Segment reductions. `y` must be pre-shaped [B, x.cols()] and zero-filled
+// (the sums accumulate into it). Each returns the parallel decision it
+// dispatched with (batch > 1 && UseParallelOpWork(x.size())) so the tape
+// ops can replay the identical sharding in their backward closures.
+bool SegmentSumForward(Matrix& y, const Matrix& x,
+                       std::span<const int> offsets);
+// `inv`, when non-null, must hold B floats (zero-initialized) and receives
+// each non-empty segment's 1/len.
+bool SegmentMeanForward(Matrix& y, const Matrix& x,
+                        std::span<const int> offsets, float* inv);
+// `argmax`, when non-null, must hold B * cols ints and receives the row
+// index of each maximum (-1 for empty segments). `y` may be uninitialized
+// (every element is written).
+bool SegmentMaxForward(Matrix& y, const Matrix& x,
+                       std::span<const int> offsets, int* argmax);
+
+// y[seg b] += blocks[b] @ x[seg b] (zero-skip, ascending k then j — the
+// MatMulSparseA row order). `y` must be pre-shaped [x.rows(), x.cols()] and
+// zero-filled. Validates block shapes; returns the parallel decision.
+bool BlockDiagMatMulForward(Matrix& y, std::span<const Matrix* const> blocks,
+                            std::span<const int> offsets, const Matrix& x);
+
+// y[seg b] = Softmax(scale * q_b @ k_b^T) @ v_b. `y` must be pre-shaped
+// [q.rows(), v.cols()] and zero-filled. `sq`/`max_len` come from
+// SquaredSegmentOffsetsInto/MaxSegmentLength over the same offsets.
+// `probs`, when non-null, receives the attention probabilities packed at
+// sq[b] + i * len_b. Returns the parallel decision.
+bool BlockDiagSelfAttentionForward(Matrix& y, const Matrix& q,
+                                   const Matrix& k, const Matrix& v,
+                                   std::span<const int> offsets,
+                                   std::span<const std::int64_t> sq,
+                                   int max_len, float scale, float* probs);
+
+// GAT attention: y[seg b] = MaskedSoftmax(LeakyReLU(s_b (+) d_b^T, alpha),
+// masks[b]) @ wh_b. Same conventions as the self-attention kernel.
+bool BlockDiagGatAttentionForward(Matrix& y, const Matrix& s, const Matrix& d,
+                                  const Matrix& wh,
+                                  std::span<const Matrix* const> masks,
+                                  std::span<const int> offsets,
+                                  std::span<const std::int64_t> sq,
+                                  int max_len, float alpha, float* probs);
+
+// y[r, :] = h[r, :] @ w + x_rows[ids[r], :] + bias[0, :] (the fused LSTM
+// gate pre-activation; GEMM through MatMulInto, then the serial add loop).
+// Throws std::out_of_range on a bad id.
+void LstmGatePreactForward(Matrix& y, const Matrix& x_rows,
+                           std::span<const int> ids, const Matrix& h,
+                           const Matrix& w, const Matrix& bias);
+
+// The fused LSTM cell: y = [h | c] ([B, 2h]) from preact [B, 4h] (gate
+// order i|f|g|o) and c_prev [B, h]. `gates` ([B, 4h]) and `tanh_c`
+// ([B, h]), when non-null, receive the backward state. Returns the
+// parallel decision (UseParallelOpWork(40 * B * h), grain 8).
+bool LstmCellForward(Matrix& y, const Matrix& preact, const Matrix& c_prev,
+                     int hidden, Matrix* gates, Matrix* tanh_c);
+
+// y[i, :] = table[ids[i], :]; throws std::out_of_range on a bad id.
+void GatherRowsForward(Matrix& y, const Matrix& table,
+                       std::span<const int> ids);
+
+}  // namespace tpuperf::nn

@@ -8,19 +8,12 @@
 
 #include "core/thread_pool.h"
 #include "nn/fastmath.h"
+#include "nn/op_kernels.h"
 
 namespace tpuperf::nn {
 namespace {
 
 std::atomic<bool> g_fused_ops{true};
-
-// Work (in multiply-adds / transcendental evaluations) below which an op
-// runs serially: fork/join overhead beats the parallel win under this.
-constexpr std::int64_t kParallelOpWork = 1 << 18;
-
-bool UseParallel(std::int64_t work) {
-  return work >= kParallelOpWork && core::ThreadPool::Global().size() > 1;
-}
 
 void CheckSame(const Matrix& a, const Matrix& b, const char* op) {
   if (!a.same_shape(b)) {
@@ -331,18 +324,13 @@ void RowL2NormalizeBackward(const Matrix& yv,
 Tensor RowL2NormalizeOp(Tape& tape, Tensor x, float eps) {
   const Matrix& xv = x.value();
   Matrix y = tape.NewMatrixUninit(xv.rows(), xv.cols());
-  std::vector<float> inv_norms(static_cast<size_t>(xv.rows()));
-  for (int i = 0; i < xv.rows(); ++i) {
-    double acc = 0;
-    for (int j = 0; j < xv.cols(); ++j) {
-      acc += static_cast<double>(xv.at(i, j)) * xv.at(i, j);
-    }
-    const float inv = 1.0f / (std::sqrt(static_cast<float>(acc)) + eps);
-    inv_norms[static_cast<size_t>(i)] = inv;
-    for (int j = 0; j < xv.cols(); ++j) y.at(i, j) = xv.at(i, j) * inv;
-  }
   TapeNode* xn = x.node();
-  if (!tape.grad_enabled()) return tape.NewNode(std::move(y), {xn}, nullptr);
+  if (!tape.grad_enabled()) {
+    RowL2NormalizeForward(y, xv, eps, nullptr);
+    return tape.NewNode(std::move(y), {xn}, nullptr);
+  }
+  std::vector<float> inv_norms(static_cast<size_t>(xv.rows()));
+  RowL2NormalizeForward(y, xv, eps, inv_norms.data());
   if (FusedOpsEnabled()) {
     // y is read back from self.value in the backward; only the per-row
     // norms are captured.
@@ -406,36 +394,21 @@ Tensor LayerNormRowsOp(Tape& tape, Tensor x, Tensor gamma, Tensor beta,
                        float eps) {
   const Matrix& xv = x.value();
   const int n = xv.rows(), c = xv.cols();
-  Matrix xhat = tape.NewMatrixUninit(n, c);
-  std::vector<float> inv_std(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    double mean = 0;
-    for (int j = 0; j < c; ++j) mean += xv.at(i, j);
-    mean /= c;
-    double var = 0;
-    for (int j = 0; j < c; ++j) {
-      const double d = xv.at(i, j) - mean;
-      var += d * d;
-    }
-    var /= c;
-    const float istd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
-    inv_std[static_cast<size_t>(i)] = istd;
-    for (int j = 0; j < c; ++j) {
-      xhat.at(i, j) = (xv.at(i, j) - static_cast<float>(mean)) * istd;
-    }
-  }
   const Matrix& gv = gamma.value();
   const Matrix& bv = beta.value();
   Matrix y = tape.NewMatrixUninit(n, c);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < c; ++j) {
-      y.at(i, j) = xhat.at(i, j) * gv.at(0, j) + bv.at(0, j);
-    }
-  }
   TapeNode* xn = x.node();
   TapeNode* gn = gamma.node();
   TapeNode* bn = beta.node();
-  if (tape.grad_enabled() && FusedOpsEnabled()) {
+  if (!tape.grad_enabled()) {
+    // Backward state (xhat, inv_std) is skipped for inference.
+    LayerNormRowsForward(y, xv, gv, bv, eps, nullptr, nullptr);
+    return tape.NewNode(std::move(y), {xn, gn, bn}, nullptr);
+  }
+  Matrix xhat = tape.NewMatrixUninit(n, c);
+  std::vector<float> inv_std(static_cast<size_t>(n));
+  LayerNormRowsForward(y, xv, gv, bv, eps, &xhat, inv_std.data());
+  if (FusedOpsEnabled()) {
     // xhat lives on the tape (arena-recycled stash leaf), not in the closure.
     TapeNode* xhat_node = tape.Leaf(std::move(xhat)).node();
     return tape.NewNode(
@@ -663,17 +636,7 @@ Tensor LstmGatePreactOp(Tape& tape, Tensor x_rows, std::span<const int> ids,
     throw std::invalid_argument("LstmGatePreactOp: shape mismatch");
   }
   Matrix y = tape.NewMatrixUninit(batch, out_cols);
-  MatMulInto(y, hv, wv);
-  for (int r = 0; r < batch; ++r) {
-    const int src = ids[static_cast<size_t>(r)];
-    if (src < 0 || src >= xv.rows()) {
-      throw std::out_of_range("LstmGatePreactOp: id out of range");
-    }
-    float* __restrict out = y.data() + static_cast<size_t>(r) * out_cols;
-    const float* __restrict xr =
-        xv.data() + static_cast<size_t>(src) * out_cols;
-    for (int j = 0; j < out_cols; ++j) out[j] += xr[j] + bv.data()[j];
-  }
+  LstmGatePreactForward(y, xv, ids, hv, wv, bv);
   TapeNode* xn = x_rows.node();
   TapeNode* hn = h.node();
   TapeNode* wn = w.node();
@@ -782,44 +745,9 @@ Tensor LstmCellOp(Tape& tape, Tensor preact, Tensor c_prev) {
   const bool need_backward = tape.grad_enabled();
   Matrix gates = tape.NewMatrixUninit(need_backward ? batch : 0, 4 * hidden);
   Matrix tanh_c = tape.NewMatrixUninit(need_backward ? batch : 0, hidden);
-  // Activations over whole rows in contiguous per-gate segments (the [B,4h]
-  // layout is [i|f|g|o]), so the transcendental loops vectorize. Rows are
-  // independent — the lockstep batch partitions across the pool (each chunk
-  // owns its rows and a private scratch buffer), bit-exact at any width.
-  const auto cell_rows = [&](std::int64_t r0, std::int64_t r1) {
-    std::vector<float> act(static_cast<size_t>(4) * hidden);
-    for (std::int64_t r = r0; r < r1; ++r) {
-      const float* __restrict p =
-          pv.data() + static_cast<size_t>(r) * 4 * hidden;
-      const float* __restrict cp = cv.data() + static_cast<size_t>(r) * hidden;
-      float* __restrict a = act.data();
-      float* __restrict out = y.data() + static_cast<size_t>(r) * 2 * hidden;
-      for (int j = 0; j < 2 * hidden; ++j) a[j] = FastSigmoid(p[j]);
-      for (int j = 2 * hidden; j < 3 * hidden; ++j) a[j] = FastTanh(p[j]);
-      for (int j = 3 * hidden; j < 4 * hidden; ++j) a[j] = FastSigmoid(p[j]);
-      for (int j = 0; j < hidden; ++j) {
-        out[hidden + j] = a[hidden + j] * cp[j] + a[j] * a[2 * hidden + j];
-      }
-      for (int j = 0; j < hidden; ++j) {
-        const float t = FastTanh(out[hidden + j]);
-        out[j] = a[3 * hidden + j] * t;  // h; out[hidden+j] is c
-        if (need_backward) {
-          tanh_c.data()[static_cast<size_t>(r) * hidden + j] = t;
-        }
-      }
-      if (need_backward) {
-        std::copy(act.begin(), act.end(),
-                  gates.data() + static_cast<size_t>(r) * 4 * hidden);
-      }
-    }
-  };
-  // ~10 transcendentals per cell lane, each tens of flops.
-  const bool parallel_rows = UseParallel(40ll * batch * hidden);
-  if (parallel_rows) {
-    core::ParallelFor(0, batch, 8, cell_rows);
-  } else {
-    cell_rows(0, batch);
-  }
+  const bool parallel_rows =
+      LstmCellForward(y, pv, cv, hidden, need_backward ? &gates : nullptr,
+                      need_backward ? &tanh_c : nullptr);
   if (!need_backward) {
     return tape.NewNode(std::move(y), {preact.node(), c_prev.node()}, nullptr);
   }
@@ -849,16 +777,7 @@ namespace {
 
 void CheckSegmentOffsets(const Matrix& x, std::span<const int> offsets,
                          const char* op) {
-  if (offsets.size() < 2 || offsets.front() != 0 ||
-      offsets.back() != x.rows()) {
-    throw std::invalid_argument(std::string(op) + ": bad segment offsets");
-  }
-  for (size_t b = 1; b < offsets.size(); ++b) {
-    if (offsets[b] < offsets[b - 1]) {
-      throw std::invalid_argument(std::string(op) +
-                                  ": offsets not monotone");
-    }
-  }
+  CheckSegmentOffsetsFor(x.rows(), offsets, op);
 }
 
 // Runs `body(b0, b1)` over segments [0, batch), sharded across the pool when
@@ -881,18 +800,7 @@ Tensor SegmentSumOp(Tape& tape, Tensor x, std::span<const int> offsets) {
   CheckSegmentOffsets(xv, offsets, "SegmentSumOp");
   const int batch = static_cast<int>(offsets.size()) - 1;
   Matrix y = tape.NewMatrix(batch, xv.cols());
-  const bool parallel =
-      batch > 1 && UseParallel(static_cast<std::int64_t>(xv.size()));
-  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
-    for (std::int64_t b = b0; b < b1; ++b) {
-      for (int i = offsets[static_cast<size_t>(b)];
-           i < offsets[static_cast<size_t>(b) + 1]; ++i) {
-        for (int j = 0; j < xv.cols(); ++j) {
-          y.at(static_cast<int>(b), j) += xv.at(i, j);
-        }
-      }
-    }
-  });
+  const bool parallel = SegmentSumForward(y, xv, offsets);
   TapeNode* xn = x.node();
   std::vector<int> offs(offsets.begin(), offsets.end());
   return tape.NewNode(
@@ -918,25 +826,7 @@ Tensor SegmentMeanOp(Tape& tape, Tensor x, std::span<const int> offsets) {
   const int batch = static_cast<int>(offsets.size()) - 1;
   Matrix y = tape.NewMatrix(batch, xv.cols());
   std::vector<float> inv(static_cast<size_t>(batch), 0.0f);
-  const bool parallel =
-      batch > 1 && UseParallel(static_cast<std::int64_t>(xv.size()));
-  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
-    for (std::int64_t b = b0; b < b1; ++b) {
-      const int len = offsets[static_cast<size_t>(b) + 1] -
-                      offsets[static_cast<size_t>(b)];
-      if (len == 0) continue;
-      inv[static_cast<size_t>(b)] = 1.0f / static_cast<float>(len);
-      for (int i = offsets[static_cast<size_t>(b)];
-           i < offsets[static_cast<size_t>(b) + 1]; ++i) {
-        for (int j = 0; j < xv.cols(); ++j) {
-          y.at(static_cast<int>(b), j) += xv.at(i, j);
-        }
-      }
-      for (int j = 0; j < xv.cols(); ++j) {
-        y.at(static_cast<int>(b), j) *= inv[static_cast<size_t>(b)];
-      }
-    }
-  });
+  const bool parallel = SegmentMeanForward(y, xv, offsets, inv.data());
   TapeNode* xn = x.node();
   std::vector<int> offs(offsets.begin(), offsets.end());
   return tape.NewNode(
@@ -966,26 +856,7 @@ Tensor SegmentMaxOp(Tape& tape, Tensor x, std::span<const int> offsets) {
   Matrix y = tape.NewMatrix(batch, xv.cols());
   // argmax[b * cols + j] = row index of the max within segment b, column j.
   std::vector<int> argmax(static_cast<size_t>(batch) * xv.cols(), -1);
-  const bool parallel =
-      batch > 1 && UseParallel(static_cast<std::int64_t>(xv.size()));
-  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
-    for (std::int64_t b = b0; b < b1; ++b) {
-      const int begin = offsets[static_cast<size_t>(b)];
-      const int end = offsets[static_cast<size_t>(b) + 1];
-      for (int j = 0; j < xv.cols(); ++j) {
-        float best = begin < end ? xv.at(begin, j) : 0.0f;
-        int best_row = begin < end ? begin : -1;
-        for (int i = begin + 1; i < end; ++i) {
-          if (xv.at(i, j) > best) {
-            best = xv.at(i, j);
-            best_row = i;
-          }
-        }
-        y.at(static_cast<int>(b), j) = best;
-        argmax[static_cast<size_t>(b) * xv.cols() + j] = best_row;
-      }
-    }
-  });
+  const bool parallel = SegmentMaxForward(y, xv, offsets, argmax.data());
   TapeNode* xn = x.node();
   return tape.NewNode(
       std::move(y), {xn},
@@ -1013,40 +884,8 @@ Tensor BlockDiagMatMulConstA(Tape& tape,
   if (blocks.size() + 1 != offsets.size()) {
     throw std::invalid_argument("BlockDiagMatMulConstA: blocks/offsets size");
   }
-  const int batch = static_cast<int>(blocks.size());
   Matrix y = tape.NewMatrix(xv.rows(), xv.cols());  // accumulated: keep zeroed
-  std::int64_t block_flops = 0;
-  for (int b = 0; b < batch; ++b) {
-    const Matrix& a = *blocks[static_cast<size_t>(b)];
-    const int len = offsets[static_cast<size_t>(b) + 1] -
-                    offsets[static_cast<size_t>(b)];
-    if (a.rows() != len || a.cols() != len) {
-      throw std::invalid_argument(
-          "BlockDiagMatMulConstA: block shape mismatch");
-    }
-    block_flops += 2ll * len * len * xv.cols();
-  }
-  // Each block writes only its own row segment, so sharding blocks across
-  // the pool is bit-exact at any thread count.
-  const auto forward_blocks = [&](std::int64_t b0, std::int64_t b1) {
-    for (std::int64_t b = b0; b < b1; ++b) {
-      const Matrix& a = *blocks[static_cast<size_t>(b)];
-      const int begin = offsets[static_cast<size_t>(b)];
-      const int len = offsets[static_cast<size_t>(b) + 1] - begin;
-      // y[begin+i, :] += a[i, k] * x[begin+k, :] — same kernel as MatMul.
-      for (int i = 0; i < len; ++i) {
-        for (int k = 0; k < len; ++k) {
-          const float av = a.at(i, k);
-          if (av == 0.0f) continue;
-          for (int j = 0; j < xv.cols(); ++j) {
-            y.at(begin + i, j) += av * xv.at(begin + k, j);
-          }
-        }
-      }
-    }
-  };
-  const bool parallel = batch > 1 && UseParallel(block_flops);
-  ForEachSegment(batch, parallel, forward_blocks);
+  const bool parallel = BlockDiagMatMulForward(y, blocks, offsets, xv);
   TapeNode* xn = x.node();
   std::vector<const Matrix*> blocks_copy(blocks.begin(), blocks.end());
   std::vector<int> offs(offsets.begin(), offsets.end());
@@ -1082,28 +921,12 @@ namespace {
 
 // Flat storage offsets for the per-segment [len_b, len_b] attention
 // matrices: segment b's probabilities occupy [sq[b], sq[b+1]) row-major.
+// (SquaredSegmentOffsetsInto / MaxSegmentLength live in nn/op_kernels.cpp,
+// shared with the compiled-plan executor.)
 std::vector<std::int64_t> SquaredOffsets(std::span<const int> offsets) {
-  std::vector<std::int64_t> sq(offsets.size(), 0);
-  for (size_t b = 0; b + 1 < offsets.size(); ++b) {
-    const std::int64_t len = offsets[b + 1] - offsets[b];
-    sq[b + 1] = sq[b] + len * len;
-  }
-  // The saved probabilities pack into one Matrix row, so the sum of
-  // squared segment lengths must stay indexable by int.
-  if (sq.back() > std::numeric_limits<int>::max()) {
-    throw std::invalid_argument(
-        "block-diagonal attention: sum of squared segment lengths exceeds "
-        "INT_MAX; split the batch");
-  }
+  std::vector<std::int64_t> sq;
+  SquaredSegmentOffsetsInto(offsets, sq);
   return sq;
-}
-
-int MaxSegmentLength(std::span<const int> offsets) {
-  int max_len = 0;
-  for (size_t b = 0; b + 1 < offsets.size(); ++b) {
-    max_len = std::max(max_len, offsets[b + 1] - offsets[b]);
-  }
-  return max_len;
 }
 
 }  // namespace
@@ -1128,62 +951,9 @@ Tensor BlockDiagSelfAttentionOp(Tape& tape, Tensor q, Tensor k, Tensor v,
   Matrix probs = save ? tape.NewMatrixUninit(1, static_cast<int>(sq.back()))
                       : Matrix();
   Matrix y = tape.NewMatrix(qv.rows(), vdim);
-  const bool parallel =
-      batch > 1 && UseParallel(sq.back() * (2ll * dim + vdim));
-  // Per segment and row: logits, softmax, then the value reduction — the
-  // same float sequence as MatMul/Scale/SoftmaxRows/MatMul per segment, so
-  // outputs are row-for-row identical to the unfused op chain. Segments
-  // write disjoint output rows (bit-exact sharding at any pool width).
-  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
-    std::vector<float> srow(static_cast<size_t>(max_len));
-    for (std::int64_t b = b0; b < b1; ++b) {
-      const int begin = offsets[static_cast<size_t>(b)];
-      const int len = offsets[static_cast<size_t>(b) + 1] - begin;
-      float* __restrict p_seg =
-          save ? probs.data() + sq[static_cast<size_t>(b)] : nullptr;
-      for (int i = 0; i < len; ++i) {
-        const float* __restrict qi =
-            qv.data() + static_cast<size_t>(begin + i) * dim;
-        // Scaled dot-product logits (ascending-p dots, as MatMul computes).
-        for (int j = 0; j < len; ++j) {
-          const float* __restrict kj =
-              kv.data() + static_cast<size_t>(begin + j) * dim;
-          float acc = 0.0f;
-          for (int p = 0; p < dim; ++p) acc += qi[p] * kj[p];
-          srow[static_cast<size_t>(j)] = acc * scale;
-        }
-        // Row softmax, exactly as SoftmaxRowsOp.
-        float max_v = -std::numeric_limits<float>::infinity();
-        for (int j = 0; j < len; ++j) {
-          max_v = std::max(max_v, srow[static_cast<size_t>(j)]);
-        }
-        double denom = 0;
-        for (int j = 0; j < len; ++j) {
-          const float e = std::exp(srow[static_cast<size_t>(j)] - max_v);
-          srow[static_cast<size_t>(j)] = e;
-          denom += e;
-        }
-        if (denom > 0) {
-          const float inv = 1.0f / static_cast<float>(denom);
-          for (int j = 0; j < len; ++j) srow[static_cast<size_t>(j)] *= inv;
-        }
-        if (save) {
-          std::copy(srow.begin(), srow.begin() + len,
-                    p_seg + static_cast<std::int64_t>(i) * len);
-        }
-        // y_i = sum_j P_ij v_j (ascending j, as the MatMul row kernel).
-        float* __restrict yi =
-            y.data() + static_cast<size_t>(begin + i) * vdim;
-        for (int j = 0; j < len; ++j) {
-          const float pij = srow[static_cast<size_t>(j)];
-          if (pij == 0.0f) continue;
-          const float* __restrict vj =
-              vv.data() + static_cast<size_t>(begin + j) * vdim;
-          for (int c = 0; c < vdim; ++c) yi[c] += pij * vj[c];
-        }
-      }
-    }
-  });
+  const bool parallel = BlockDiagSelfAttentionForward(
+      y, qv, kv, vv, offsets, sq, max_len, scale,
+      save ? probs.data() : nullptr);
   TapeNode* qn = q.node();
   TapeNode* kn = k.node();
   TapeNode* vn = v.node();
@@ -1305,58 +1075,9 @@ Tensor BlockDiagGatAttentionOp(Tape& tape, Tensor s, Tensor d, Tensor wh,
   Matrix probs = save ? tape.NewMatrixUninit(1, static_cast<int>(sq.back()))
                       : Matrix();
   Matrix y = tape.NewMatrix(whv.rows(), dim);
-  const bool parallel = batch > 1 && UseParallel(sq.back() * (dim + 8ll));
-  // Per segment and row: masked LeakyReLU(s_i + d_j) logits, masked softmax
-  // (the exact float sequence of OuterSum/LeakyRelu/MaskedSoftmaxRows), then
-  // the attention-weighted neighbor sum. Disjoint rows per segment.
-  ForEachSegment(batch, parallel, [&](std::int64_t b0, std::int64_t b1) {
-    std::vector<float> lrow(static_cast<size_t>(max_len));
-    for (std::int64_t b = b0; b < b1; ++b) {
-      const int begin = offsets[static_cast<size_t>(b)];
-      const int len = offsets[static_cast<size_t>(b) + 1] - begin;
-      const Matrix& mask = *masks[static_cast<size_t>(b)];
-      float* __restrict p_seg =
-          save ? probs.data() + sq[static_cast<size_t>(b)] : nullptr;
-      for (int i = 0; i < len; ++i) {
-        const float si = sv.at(begin + i, 0);
-        float max_v = -std::numeric_limits<float>::infinity();
-        for (int j = 0; j < len; ++j) {
-          if (mask.at(i, j) == 0.0f) continue;
-          const float z = si + dv.at(begin + j, 0);
-          const float l = z > 0 ? z : alpha * z;
-          lrow[static_cast<size_t>(j)] = l;
-          max_v = std::max(max_v, l);
-        }
-        double denom = 0;
-        for (int j = 0; j < len; ++j) {
-          if (mask.at(i, j) == 0.0f) {
-            lrow[static_cast<size_t>(j)] = 0.0f;
-            continue;
-          }
-          const float e = std::exp(lrow[static_cast<size_t>(j)] - max_v);
-          lrow[static_cast<size_t>(j)] = e;
-          denom += e;
-        }
-        if (denom > 0) {
-          const float inv = 1.0f / static_cast<float>(denom);
-          for (int j = 0; j < len; ++j) lrow[static_cast<size_t>(j)] *= inv;
-        }
-        if (save) {
-          std::copy(lrow.begin(), lrow.begin() + len,
-                    p_seg + static_cast<std::int64_t>(i) * len);
-        }
-        // y_i = sum_j P_ij wh_j — zero-skip, as the masked MatMul would.
-        float* __restrict yi = y.data() + static_cast<size_t>(begin + i) * dim;
-        for (int j = 0; j < len; ++j) {
-          const float pij = lrow[static_cast<size_t>(j)];
-          if (pij == 0.0f) continue;
-          const float* __restrict whj =
-              whv.data() + static_cast<size_t>(begin + j) * dim;
-          for (int c = 0; c < dim; ++c) yi[c] += pij * whj[c];
-        }
-      }
-    }
-  });
+  const bool parallel = BlockDiagGatAttentionForward(
+      y, sv, dv, whv, masks, offsets, sq, max_len, alpha,
+      save ? probs.data() : nullptr);
   TapeNode* sn = s.node();
   TapeNode* dn = d.node();
   TapeNode* whn = wh.node();
@@ -1498,14 +1219,7 @@ Tensor MeanAllOp(Tape& tape, Tensor x) {
 Tensor GatherRowsOp(Tape& tape, Tensor table, std::span<const int> ids) {
   const Matrix& tv = table.value();
   Matrix y = tape.NewMatrixUninit(static_cast<int>(ids.size()), tv.cols());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    const int r = ids[i];
-    if (r < 0 || r >= tv.rows()) {
-      throw std::out_of_range("GatherRowsOp: id out of range");
-    }
-    const auto src = tv.row(r);
-    std::copy(src.begin(), src.end(), y.row(static_cast<int>(i)).begin());
-  }
+  GatherRowsForward(y, tv, ids);
   TapeNode* tn = table.node();
   std::vector<int> ids_copy(ids.begin(), ids.end());
   return tape.NewNode(std::move(y), {tn},

@@ -14,6 +14,8 @@
 
 #include "core/env.h"
 #include "core/thread_pool.h"
+#include "nn/ops.h"
+#include "plan/plan.h"
 #include "serve/snapshot.h"
 
 namespace tpuperf::serve {
@@ -28,7 +30,60 @@ ServiceConfig ServiceConfig::FromEnv() {
       core::EnvInt("TPUPERF_SERVE_DEADLINE_US", c.deadline_us, 0, 10000000));
   c.num_threads =
       static_cast<int>(core::EnvInt("TPUPERF_SERVE_THREADS", 0, 0, 4096));
+  c.plan_enable = static_cast<int>(
+      core::EnvInt("TPUPERF_PLAN_ENABLE", c.plan_enable, 0, 1));
+  c.plan_cache = static_cast<int>(
+      core::EnvInt("TPUPERF_PLAN_CACHE", c.plan_cache, 0, 64));
   return c;
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::pair<int, int> PlanCache::Bucket(int num_kernels, int total_nodes) {
+  const auto next_pow2 = [](int v) {
+    int p = 1;
+    while (p < v) p *= 2;
+    return p;
+  };
+  // node_capacity must cover at least one node per kernel (the planner
+  // rejects max_total_nodes < max_kernels).
+  const int b = next_pow2(num_kernels < 1 ? 1 : num_kernels);
+  const int n = next_pow2(total_nodes < b ? b : total_nodes);
+  return {b, n};
+}
+
+std::shared_ptr<const plan::CompiledPlan> PlanCache::Lookup(int num_kernels,
+                                                            int total_nodes) {
+  const std::pair<int, int> bucket = Bucket(num_kernels, total_nodes);
+  std::lock_guard lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->bucket == bucket) {
+      entries_.splice(entries_.begin(), entries_, it);
+      return entries_.front().plan;
+    }
+  }
+  return nullptr;
+}
+
+void PlanCache::Insert(int num_kernels, int total_nodes,
+                       std::shared_ptr<const plan::CompiledPlan> plan) {
+  if (capacity_ == 0) return;
+  const std::pair<int, int> bucket = Bucket(num_kernels, total_nodes);
+  std::lock_guard lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->bucket == bucket) {
+      it->plan = std::move(plan);
+      entries_.splice(entries_.begin(), entries_, it);
+      return;
+    }
+  }
+  entries_.push_front(Entry{bucket, std::move(plan)});
+  while (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
 }
 
 // One queued prediction. The promise is fulfilled by whichever worker runs
@@ -44,6 +99,9 @@ struct ServiceImpl {
   explicit ServiceImpl(int num_threads) : pool(num_threads) {}
 
   core::ThreadPool pool;
+
+  // Plan-compiled scoring (null when the plan path is disabled).
+  std::unique_ptr<PlanCache> plan_cache;
 
   std::mutex mu;               // guards queue + stopping
   std::condition_variable cv;  // batcher wakeup (new request / shutdown)
@@ -67,9 +125,42 @@ struct ServiceImpl {
   std::atomic<std::uint64_t> deadline_flushes{0};
   std::atomic<std::uint64_t> shutdown_flushes{0};
   std::atomic<std::uint64_t> batched_items{0};
+  std::atomic<std::uint64_t> plan_hits{0};
+  std::atomic<std::uint64_t> plan_misses{0};
+  std::atomic<std::uint64_t> plan_compiles{0};
 };
 
 namespace {
+
+// Scores a packed batch, preferring a cached compiled plan (compiling one
+// for the batch's shape bucket on a miss). Any plan-path failure — a model
+// configuration the planner rejects, fused ops disabled — falls back to the
+// tape path, which is always available; the two paths are bit-identical.
+std::vector<double> ScorePacked(const core::LearnedCostModel& model,
+                                const core::PreparedBatch& packed,
+                                ServiceImpl& impl) {
+  if (impl.plan_cache != nullptr && nn::FusedOpsEnabled()) {
+    const int b = packed.num_kernels();
+    const int n = packed.total_nodes();
+    std::shared_ptr<const plan::CompiledPlan> plan =
+        impl.plan_cache->Lookup(b, n);
+    if (plan != nullptr) {
+      impl.plan_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      impl.plan_misses.fetch_add(1, std::memory_order_relaxed);
+      const std::pair<int, int> bucket = PlanCache::Bucket(b, n);
+      try {
+        plan = model.CompilePlan(bucket.first, bucket.second);
+        impl.plan_cache->Insert(b, n, plan);
+        impl.plan_compiles.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        plan = nullptr;  // fall through to the tape path
+      }
+    }
+    if (plan != nullptr) return model.PredictBatchWithPlan(*plan, packed);
+  }
+  return model.PredictBatch(packed);
+}
 
 // Scores one flushed batch and fulfills its promises. A per-request prepare
 // failure fails only that request; a model-level failure fails the batch.
@@ -105,7 +196,7 @@ void ProcessBatch(const core::LearnedCostModel& model,
 
   try {
     const core::PreparedBatch packed = model.PrepareBatch(items);
-    const std::vector<double> scores = model.PredictBatch(packed);
+    const std::vector<double> scores = ScorePacked(model, packed, impl);
     for (std::size_t i = 0; i < live.size(); ++i) {
       live[i]->promise.set_value(scores[i]);
     }
@@ -138,6 +229,10 @@ PredictionService::PredictionService(
                           ? config_.num_threads
                           : core::ThreadPool::DefaultNumThreads();
   impl_ = std::make_unique<ServiceImpl>(threads);
+  if (config_.plan_enable != 0 && config_.plan_cache > 0) {
+    impl_->plan_cache =
+        std::make_unique<PlanCache>(static_cast<std::size_t>(config_.plan_cache));
+  }
   impl_->batcher = std::thread([this] { BatcherLoop(); });
 }
 
@@ -249,6 +344,9 @@ ServiceStats PredictionService::stats() const {
   s.deadline_flushes = impl.deadline_flushes.load(std::memory_order_relaxed);
   s.shutdown_flushes = impl.shutdown_flushes.load(std::memory_order_relaxed);
   s.batched_items = impl.batched_items.load(std::memory_order_relaxed);
+  s.plan_hits = impl.plan_hits.load(std::memory_order_relaxed);
+  s.plan_misses = impl.plan_misses.load(std::memory_order_relaxed);
+  s.plan_compiles = impl.plan_compiles.load(std::memory_order_relaxed);
   return s;
 }
 

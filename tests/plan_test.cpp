@@ -1,0 +1,496 @@
+// Tests for plan-compiled inference (src/plan): bit-exact parity between
+// CompiledPlan replay and the tape path across the full GNN × reduction
+// grid at pool widths 1 and 4, allocation-free replay after warm-up, the
+// NaN-poison validation of the liveness plan, PlanCache bucketing/LRU
+// eviction, the service's compile-once-replay-many path, and the
+// TPUPERF_PLAN_* env knobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <random>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/thread_pool.h"
+#include "ir/builder.h"
+#include "nn/ops.h"
+#include "plan/plan.h"
+#include "serve/prediction_service.h"
+
+// ---- Global allocation counter ---------------------------------------------
+// Replaces the global allocator for this test binary so ReplayIsAllocationFree
+// can assert that a warmed-up CompiledPlan::Run performs zero heap
+// allocations. Counting is armed only around the measured Run calls.
+
+namespace {
+std::atomic<bool> g_count_allocations{false};
+std::atomic<std::uint64_t> g_allocation_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tpuperf {
+namespace {
+
+using core::BatchItem;
+using core::GnnKind;
+using core::LearnedCostModel;
+using core::ModelConfig;
+using core::PreparedBatch;
+using core::PreparedKernel;
+using core::ReductionKind;
+
+// A random elementwise kernel with at least `target_nodes` nodes (the same
+// generator batch_test and serve_test use, so batches mix segment lengths).
+ir::Graph RandomKernel(std::uint64_t seed, int target_nodes) {
+  std::mt19937_64 rng(seed);
+  ir::GraphBuilder b;
+  std::vector<ir::NodeId> pool;
+  pool.push_back(b.Parameter(ir::Shape({16, 32})));
+  pool.push_back(b.Parameter(ir::Shape({16, 32})));
+  std::uniform_int_distribution<int> op_pick(0, 3);
+  while (static_cast<int>(pool.size()) < target_nodes) {
+    std::uniform_int_distribution<size_t> node_pick(0, pool.size() - 1);
+    const ir::NodeId x = pool[node_pick(rng)];
+    switch (op_pick(rng)) {
+      case 0:
+        pool.push_back(b.Tanh(x));
+        break;
+      case 1:
+        pool.push_back(b.Relu(x));
+        break;
+      case 2:
+        pool.push_back(b.Unary(ir::OpCode::kExp, x));
+        break;
+      default:
+        pool.push_back(b.Binary(ir::OpCode::kAdd, x, pool[node_pick(rng)]));
+        break;
+    }
+  }
+  b.MarkOutput(pool.back());
+  return std::move(b).Build();
+}
+
+ModelConfig SmallConfig() {
+  ModelConfig c = ModelConfig::TileTaskDefault();
+  c.hidden_dim = 16;
+  c.opcode_embedding_dim = 8;
+  c.gnn_layers = 2;
+  return c;
+}
+
+// Kernels, tiles, and a fitted model for a given architecture point.
+struct Fixture {
+  std::vector<ir::Graph> kernels;
+  std::vector<ir::TileConfig> tiles;
+  std::unique_ptr<LearnedCostModel> model;
+  std::vector<PreparedKernel> prepared;
+
+  explicit Fixture(ModelConfig config, int num_kernels = 6) {
+    for (int k = 0; k < num_kernels; ++k) {
+      kernels.push_back(RandomKernel(
+          1000 + static_cast<std::uint64_t>(k) * 17, 5 + 7 * k));
+      tiles.push_back(ir::TileConfig{
+          {static_cast<std::int64_t>(1 << (k % 5)), 8}});
+    }
+    model = std::make_unique<LearnedCostModel>(config);
+    for (const auto& kernel : kernels) model->FitNodeScaler(kernel);
+    for (const auto& tile : tiles) model->FitTileScaler(tile);
+    model->FinishFitting();
+    for (const auto& kernel : kernels) {
+      prepared.push_back(model->Prepare(kernel));
+    }
+  }
+
+  PreparedBatch MakeBatch() const {
+    std::vector<BatchItem> items;
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      items.push_back({&prepared[i], &tiles[i]});
+    }
+    return model->PrepareBatch(items);
+  }
+};
+
+// Restores the global pool width on scope exit.
+struct PoolWidthGuard {
+  explicit PoolWidthGuard(int n) { core::ThreadPool::SetNumThreads(n); }
+  ~PoolWidthGuard() {
+    core::ThreadPool::SetNumThreads(core::ThreadPool::DefaultNumThreads());
+  }
+};
+
+// ---- Parity ----------------------------------------------------------------
+
+class PlanParityTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, GnnKind, ReductionKind>> {};
+
+// Replaying a compiled plan must be EXACTLY the tape path's output — batched
+// vs PredictBatch and single-kernel vs PredictScore — at every pool width.
+TEST_P(PlanParityTest, BitExactVsTape) {
+  const auto [width, gnn, reduction] = GetParam();
+  PoolWidthGuard pool(width);
+  ModelConfig config = SmallConfig();
+  config.gnn = gnn;
+  config.reduction = reduction;
+  Fixture fx(config);
+
+  const auto plan = fx.model->CompilePlan(8, 512);
+  const PreparedBatch batch = fx.MakeBatch();
+
+  const std::vector<double> tape = fx.model->PredictBatch(batch);
+  const std::vector<double> planned =
+      fx.model->PredictBatchWithPlan(*plan, batch);
+  ASSERT_EQ(planned.size(), tape.size());
+  for (size_t i = 0; i < tape.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(planned[i]));
+    EXPECT_EQ(planned[i], tape[i])
+        << "kernel " << i << " (" << ToString(gnn) << " + "
+        << ToString(reduction) << ", width " << width << ")";
+  }
+  for (size_t i = 0; i < fx.prepared.size(); ++i) {
+    EXPECT_EQ(fx.model->PredictWithPlan(*plan, fx.prepared[i], &fx.tiles[i]),
+              fx.model->PredictScore(fx.prepared[i], &fx.tiles[i]))
+        << "single kernel " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlanParityTest,
+    ::testing::Combine(
+        ::testing::Values(1, 4),
+        ::testing::Values(GnnKind::kNone, GnnKind::kGraphSage, GnnKind::kGat),
+        ::testing::Values(ReductionKind::kPerNode, ReductionKind::kColumnWise,
+                          ReductionKind::kLstm, ReductionKind::kTransformer)));
+
+// The undirected (symmetric-aggregation) GraphSAGE ablation compiles to the
+// sym_norm block aggregation and must also be bit-exact.
+TEST(PlanParity, UndirectedGraphSage) {
+  ModelConfig config = SmallConfig();
+  config.directed_edges = false;
+  Fixture fx(config);
+
+  const auto plan = fx.model->CompilePlan(8, 512);
+  const PreparedBatch batch = fx.MakeBatch();
+  const std::vector<double> tape = fx.model->PredictBatch(batch);
+  const std::vector<double> planned =
+      fx.model->PredictBatchWithPlan(*plan, batch);
+  ASSERT_EQ(planned.size(), tape.size());
+  for (size_t i = 0; i < tape.size(); ++i) {
+    EXPECT_EQ(planned[i], tape[i]) << "kernel " << i;
+  }
+}
+
+// Kernel-embedding feature placement (option 2) routes the per-kernel rows
+// through the post-reduction concat instead of the node broadcast.
+TEST(PlanParity, KernelEmbeddingPlacement) {
+  ModelConfig config = SmallConfig();
+  config.static_perf_placement = core::FeaturePlacement::kKernelEmbedding;
+  config.tile_placement = core::FeaturePlacement::kKernelEmbedding;
+  Fixture fx(config);
+
+  const auto plan = fx.model->CompilePlan(8, 512);
+  const PreparedBatch batch = fx.MakeBatch();
+  const std::vector<double> tape = fx.model->PredictBatch(batch);
+  const std::vector<double> planned =
+      fx.model->PredictBatchWithPlan(*plan, batch);
+  for (size_t i = 0; i < tape.size(); ++i) {
+    EXPECT_EQ(planned[i], tape[i]) << "kernel " << i;
+  }
+}
+
+// A plan replays any batch at or under its capacity: sub-batches and single
+// kernels through the same plan still match the tape exactly.
+TEST(PlanParity, SmallerBatchesThroughOnePlan) {
+  Fixture fx(SmallConfig());
+  const auto plan = fx.model->CompilePlan(8, 512);
+  for (size_t take = 1; take <= fx.prepared.size(); take += 2) {
+    std::vector<BatchItem> items;
+    for (size_t i = 0; i < take; ++i) {
+      items.push_back({&fx.prepared[i], &fx.tiles[i]});
+    }
+    const PreparedBatch batch = fx.model->PrepareBatch(items);
+    const std::vector<double> tape = fx.model->PredictBatch(batch);
+    const std::vector<double> planned =
+        fx.model->PredictBatchWithPlan(*plan, batch);
+    for (size_t i = 0; i < take; ++i) {
+      EXPECT_EQ(planned[i], tape[i]) << "take " << take << " kernel " << i;
+    }
+  }
+}
+
+// ---- Liveness validation ---------------------------------------------------
+
+// In poison mode every retired buffer is filled with NaN the moment its last
+// scheduled reader has run. If the memory plan ever let a live value share a
+// physical buffer with a dead one — or an instruction read past its
+// operands' lifetimes — the NaN would propagate to the output. Equal, finite
+// scores prove no instruction reads a dead buffer.
+TEST(PlanLiveness, PoisonedDeadBuffersNeverRead) {
+  for (const ReductionKind reduction :
+       {ReductionKind::kPerNode, ReductionKind::kColumnWise,
+        ReductionKind::kLstm, ReductionKind::kTransformer}) {
+    ModelConfig config = SmallConfig();
+    config.reduction = reduction;
+    Fixture fx(config);
+
+    const auto poisoned =
+        fx.model->CompilePlan(8, 512, /*poison_dead_buffers=*/true);
+    const PreparedBatch batch = fx.MakeBatch();
+    const std::vector<double> tape = fx.model->PredictBatch(batch);
+    const std::vector<double> planned =
+        fx.model->PredictBatchWithPlan(*poisoned, batch);
+    for (size_t i = 0; i < tape.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(planned[i]));
+      EXPECT_EQ(planned[i], tape[i])
+          << ToString(reduction) << " kernel " << i;
+    }
+  }
+}
+
+// The memory plan must actually reuse buffers: the physical pool should be
+// strictly smaller than the logical buffer count for a multi-layer model.
+TEST(PlanLiveness, PhysicalPoolSmallerThanLogical) {
+  Fixture fx(SmallConfig());
+  const auto plan = fx.model->CompilePlan(8, 512);
+  EXPECT_GT(plan->num_instructions(), 0);
+  EXPECT_GT(plan->num_buffers(), 0);
+  EXPECT_LT(plan->num_physical_buffers(), plan->num_buffers());
+  EXPECT_GT(plan->slab_bytes(), 0u);
+}
+
+// ---- Allocation-free replay ------------------------------------------------
+
+// After warm-up, a width-1 Run must perform ZERO heap allocations: the slab,
+// the execution context, and every kernel scratch are preallocated.
+TEST(PlanReplay, ReplayIsAllocationFree) {
+  PoolWidthGuard pool(1);
+  Fixture fx(SmallConfig());
+  const auto plan = fx.model->CompilePlan(8, 512);
+  const PreparedBatch batch = fx.MakeBatch();
+  const plan::PlanInput input = plan::PlanInput::FromBatch(batch);
+  std::vector<double> out(static_cast<size_t>(batch.num_kernels()));
+
+  plan->Run(input, out);  // warm-up: context + thread-local scratch
+  plan->Run(input, out);
+
+  g_allocation_count.store(0, std::memory_order_relaxed);
+  g_count_allocations.store(true, std::memory_order_relaxed);
+  plan->Run(input, out);
+  plan->Run(input, out);
+  g_count_allocations.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(g_allocation_count.load(std::memory_order_relaxed), 0u);
+  const std::vector<double> tape = fx.model->PredictBatch(batch);
+  for (size_t i = 0; i < tape.size(); ++i) EXPECT_EQ(out[i], tape[i]);
+}
+
+// Concurrent Run calls on ONE shared plan (each borrowing a pooled context)
+// must all reproduce the tape scores. Runs under TSan in CI.
+TEST(PlanReplay, ConcurrentReplayOfSharedPlan) {
+  Fixture fx(SmallConfig());
+  const auto plan = fx.model->CompilePlan(8, 512);
+  const PreparedBatch batch = fx.MakeBatch();
+  const std::vector<double> tape = fx.model->PredictBatch(batch);
+  std::vector<double> single(fx.prepared.size());
+  for (size_t i = 0; i < fx.prepared.size(); ++i) {
+    single[i] = fx.model->PredictScore(fx.prepared[i], &fx.tiles[i]);
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kIters; ++r) {
+        if ((t + r) % 2 == 0) {
+          const std::vector<double> got =
+              fx.model->PredictBatchWithPlan(*plan, batch);
+          for (size_t i = 0; i < tape.size(); ++i) {
+            if (got[i] != tape[i]) mismatches.fetch_add(1);
+          }
+        } else {
+          const size_t i = static_cast<size_t>(t + r) % fx.prepared.size();
+          if (fx.model->PredictWithPlan(*plan, fx.prepared[i],
+                                        &fx.tiles[i]) != single[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---- Compile-time validation -----------------------------------------------
+
+TEST(PlanCompile, RejectsBadArguments) {
+  Fixture fx(SmallConfig());
+  EXPECT_THROW(fx.model->CompilePlan(0, 512), std::invalid_argument);
+  EXPECT_THROW(fx.model->CompilePlan(8, 4), std::invalid_argument);
+
+  LearnedCostModel unfitted(SmallConfig());
+  EXPECT_THROW(unfitted.CompilePlan(8, 512), std::logic_error);
+}
+
+TEST(PlanCompile, RunRejectsOverCapacityBatches) {
+  Fixture fx(SmallConfig());
+  // Capacity of 2 kernels / 32 nodes: the 6-kernel batch must be refused.
+  const auto plan = fx.model->CompilePlan(2, 32);
+  const PreparedBatch batch = fx.MakeBatch();
+  EXPECT_THROW(fx.model->PredictBatchWithPlan(*plan, batch),
+               std::invalid_argument);
+}
+
+// ---- PlanCache -------------------------------------------------------------
+
+TEST(PlanCacheTest, BucketsRoundUpToPowersOfTwo) {
+  EXPECT_EQ(serve::PlanCache::Bucket(1, 1), (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(serve::PlanCache::Bucket(3, 100), (std::pair<int, int>{4, 128}));
+  EXPECT_EQ(serve::PlanCache::Bucket(4, 128), (std::pair<int, int>{4, 128}));
+  EXPECT_EQ(serve::PlanCache::Bucket(5, 129), (std::pair<int, int>{8, 256}));
+  // The node capacity is raised to at least the batch capacity so the
+  // compiled plan is always valid.
+  EXPECT_EQ(serve::PlanCache::Bucket(8, 3), (std::pair<int, int>{8, 8}));
+}
+
+TEST(PlanCacheTest, SharedBucketHitsAndLruEviction) {
+  Fixture fx(SmallConfig());
+  const auto plan = fx.model->CompilePlan(4, 128);
+
+  serve::PlanCache cache(2);
+  EXPECT_EQ(cache.Lookup(3, 100), nullptr);
+  cache.Insert(3, 100, plan);  // bucket (4, 128)
+  EXPECT_EQ(cache.size(), 1u);
+  // Any shape in the same bucket hits the same plan.
+  EXPECT_EQ(cache.Lookup(4, 128).get(), plan.get());
+  EXPECT_EQ(cache.Lookup(3, 65).get(), plan.get());
+  // A different bucket (here: a smaller batch dimension) misses.
+  EXPECT_EQ(cache.Lookup(2, 65), nullptr);
+  EXPECT_EQ(cache.Lookup(3, 300), nullptr);
+
+  cache.Insert(8, 256, plan);   // bucket (8, 256); cache full
+  EXPECT_EQ(cache.Lookup(3, 100).get(), plan.get());  // refresh (4, 128)
+  cache.Insert(16, 512, plan);  // evicts the LRU entry, (8, 256)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(8, 256), nullptr);
+  EXPECT_EQ(cache.Lookup(3, 100).get(), plan.get());
+  EXPECT_EQ(cache.Lookup(16, 512).get(), plan.get());
+}
+
+// ---- Service integration ---------------------------------------------------
+
+// Identical flush compositions must compile ONE plan and replay it for every
+// later batch, with results still exactly PredictScore's.
+TEST(PlanService, CompileOnceReplayMany) {
+  Fixture fx(SmallConfig());
+  std::vector<double> direct(fx.kernels.size());
+  for (size_t i = 0; i < fx.kernels.size(); ++i) {
+    direct[i] = fx.model->PredictScore(fx.prepared[i], &fx.tiles[i]);
+  }
+
+  serve::ServiceConfig config;
+  config.max_batch = static_cast<int>(fx.kernels.size());
+  config.deadline_us = 10000000;  // only the size trigger flushes
+  config.num_threads = 1;
+  auto served_model = std::make_unique<LearnedCostModel>(SmallConfig());
+  for (const auto& kernel : fx.kernels) served_model->FitNodeScaler(kernel);
+  for (const auto& tile : fx.tiles) served_model->FitTileScaler(tile);
+  served_model->FinishFitting();
+  serve::PredictionService service(std::move(served_model), config);
+
+  constexpr int kRounds = 5;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::future<double>> futures;
+    for (size_t i = 0; i < fx.kernels.size(); ++i) {
+      futures.push_back(service.PredictAsync(fx.kernels[i], &fx.tiles[i]));
+    }
+    // Wait out the round so every flush has the same composition (and hence
+    // the same plan bucket).
+    for (size_t i = 0; i < futures.size(); ++i) {
+      EXPECT_EQ(futures[i].get(), direct[i]) << "round " << round;
+    }
+  }
+
+  service.Shutdown();
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(stats.plan_compiles, 1u);
+  EXPECT_EQ(stats.plan_misses, 1u);
+  EXPECT_EQ(stats.plan_hits, static_cast<std::uint64_t>(kRounds - 1));
+}
+
+// plan_enable=0 must bypass the plan path entirely — and stay bit-identical.
+TEST(PlanService, DisabledPlanPathStillExact) {
+  Fixture fx(SmallConfig(), 3);
+  serve::ServiceConfig config;
+  config.plan_enable = 0;
+  auto served_model = std::make_unique<LearnedCostModel>(SmallConfig());
+  for (const auto& kernel : fx.kernels) served_model->FitNodeScaler(kernel);
+  for (const auto& tile : fx.tiles) served_model->FitTileScaler(tile);
+  served_model->FinishFitting();
+  serve::PredictionService service(std::move(served_model), config);
+
+  for (size_t i = 0; i < fx.kernels.size(); ++i) {
+    EXPECT_EQ(service.Predict(fx.kernels[i], &fx.tiles[i]),
+              fx.model->PredictScore(fx.prepared[i], &fx.tiles[i]));
+  }
+  service.Shutdown();
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_hits, 0u);
+  EXPECT_EQ(stats.plan_misses, 0u);
+  EXPECT_EQ(stats.plan_compiles, 0u);
+}
+
+// ---- Config knobs ----------------------------------------------------------
+
+TEST(PlanConfig, FromEnvParsesStrictly) {
+  ::setenv("TPUPERF_PLAN_ENABLE", "0", 1);
+  ::setenv("TPUPERF_PLAN_CACHE", "16", 1);
+  serve::ServiceConfig c = serve::ServiceConfig::FromEnv();
+  EXPECT_EQ(c.plan_enable, 0);
+  EXPECT_EQ(c.plan_cache, 16);
+
+  // Malformed values are ignored (strict full-string parse), keeping the
+  // defaults; well-formed out-of-range values clamp.
+  ::setenv("TPUPERF_PLAN_ENABLE", "yes", 1);
+  ::setenv("TPUPERF_PLAN_CACHE", "8x", 1);
+  c = serve::ServiceConfig::FromEnv();
+  EXPECT_EQ(c.plan_enable, serve::ServiceConfig{}.plan_enable);
+  EXPECT_EQ(c.plan_cache, serve::ServiceConfig{}.plan_cache);
+
+  ::setenv("TPUPERF_PLAN_ENABLE", "", 1);
+  ::setenv("TPUPERF_PLAN_CACHE", "100", 1);
+  c = serve::ServiceConfig::FromEnv();
+  EXPECT_EQ(c.plan_enable, serve::ServiceConfig{}.plan_enable);
+  EXPECT_EQ(c.plan_cache, 64);  // clamped to the cap
+
+  ::unsetenv("TPUPERF_PLAN_ENABLE");
+  ::unsetenv("TPUPERF_PLAN_CACHE");
+}
+
+}  // namespace
+}  // namespace tpuperf
