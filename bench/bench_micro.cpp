@@ -680,6 +680,8 @@ void ReportBatchedThroughput() {
   // numbers (written by the table benches / bench_serve) across the rewrite.
   const std::string dataset_store = bench::PreservedTopLevelJson("dataset_store");
   const std::string serving = bench::PreservedTopLevelJson("serving");
+  const std::string robustness =
+      bench::PreservedTopLevelJson("serving_robustness");
   const std::string plan_section = bench::PreservedTopLevelJson("plan");
   FILE* json = std::fopen("BENCH_results.json", "w");
   if (json == nullptr) {
@@ -732,6 +734,9 @@ void ReportBatchedThroughput() {
   }
   if (!serving.empty()) {
     std::fprintf(json, ",\n  \"serving\": %s", serving.c_str());
+  }
+  if (!robustness.empty()) {
+    std::fprintf(json, ",\n  \"serving_robustness\": %s", robustness.c_str());
   }
   if (!plan_section.empty()) {
     std::fprintf(json, ",\n  \"plan\": %s", plan_section.c_str());

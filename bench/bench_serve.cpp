@@ -17,12 +17,20 @@
 // on the service's exactness contract: each kernel's served score must be
 // bit-identical to a direct PredictScore (nonzero exit otherwise).
 //
+// A fourth profile, "overload", offers 2x the calibrated capacity against a
+// small bounded queue under shed_oldest, demonstrating bounded p99 and a
+// nonzero shed rate instead of unbounded queue growth; it reports into the
+// "serving_robustness" key. The three non-overload profiles must complete
+// every request (shed/expired/failed are counted separately and any loss is
+// a nonzero exit).
+//
 // Results are merged under the "serving" key of ./BENCH_results.json.
 // Request counts scale with REPRO_SCALE (CI smoke uses REPRO_SCALE=0.1).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <future>
@@ -105,13 +113,23 @@ double PercentileUs(std::vector<double>& sorted_us, double q) {
 
 struct ProfileResult {
   std::string name;
-  std::size_t requests = 0;
+  std::size_t requests = 0;   // issued by the generator
+  std::size_t completed = 0;  // resolved with a value (latency recorded)
+  std::size_t shed = 0;       // OverloadedError (shed_oldest victims)
+  std::size_t expired = 0;    // DeadlineExceeded
+  std::size_t failed = 0;     // any other exception
+  std::uint64_t degraded = 0;  // analytical-fallback answers (⊂ completed)
   double offered_qps = 0;
   double achieved_qps = 0;
   double p50_us = 0, p95_us = 0, p99_us = 0;
   double mean_batch = 0;
   std::uint64_t size_flushes = 0, deadline_flushes = 0;
   std::uint64_t plan_hits = 0, plan_misses = 0, plan_compiles = 0;
+
+  // Anything that did not complete. Non-overload profiles must report zero
+  // here (nonzero exits the bench): their latency numbers describe the
+  // batcher only if every request actually completed.
+  std::size_t not_completed() const { return shed + expired + failed; }
 };
 
 // Closed-loop calibration: 8 synchronous clients hammering the service give
@@ -164,12 +182,16 @@ std::vector<double> ArrivalOffsets(const std::string& profile,
 }
 
 ProfileResult RunProfile(const std::string& name, const Workload& w,
-                         std::size_t requests, double rate_qps) {
-  serve::PredictionService service(MakeModel(w), serve::ServiceConfig{});
-  const std::vector<double> at = ArrivalOffsets(name, requests, rate_qps);
+                         std::size_t requests, double rate_qps,
+                         serve::ServiceConfig config = {}) {
+  serve::PredictionService service(MakeModel(w), config);
+  // Bursty volleys use the schedule of the name they wrap ("overload" runs a
+  // steady schedule at its own rate).
+  const std::vector<double> at = ArrivalOffsets(
+      name == "overload" ? "steady" : name, requests, rate_qps);
 
   struct Issued {
-    std::future<double> future;
+    std::future<serve::PredictResult> future;
     Clock::time_point scheduled;
   };
   std::mutex mu;
@@ -199,8 +221,12 @@ ProfileResult RunProfile(const std::string& name, const Workload& w,
     cv.notify_one();
   });
 
-  // Drain in arrival order. Batches flush FIFO and resolve their futures
-  // together, so in-order gets observe each completion promptly.
+  // Drain in arrival order, counting every outcome separately: only
+  // completed requests contribute latency samples (a shed request "resolves"
+  // instantly at its own shed time — folding that into the latency
+  // distribution would flatter the tail).
+  ProfileResult r;
+  r.name = name;
   std::vector<double> latency_us;
   latency_us.reserve(requests);
   for (;;) {
@@ -212,25 +238,33 @@ ProfileResult RunProfile(const std::string& name, const Workload& w,
       next = std::move(issued.front());
       issued.pop_front();
     }
-    next.future.get();
-    latency_us.push_back(std::chrono::duration<double, std::micro>(
-                             Clock::now() - next.scheduled)
-                             .count());
+    try {
+      (void)next.future.get();
+      ++r.completed;
+      latency_us.push_back(std::chrono::duration<double, std::micro>(
+                               Clock::now() - next.scheduled)
+                               .count());
+    } catch (const serve::OverloadedError&) {
+      ++r.shed;
+    } catch (const serve::DeadlineExceeded&) {
+      ++r.expired;
+    } catch (...) {
+      ++r.failed;
+    }
   }
   generator.join();
   const double wall = std::chrono::duration<double>(Clock::now() - start).count();
   service.Shutdown();
 
-  ProfileResult r;
-  r.name = name;
-  r.requests = latency_us.size();
+  r.requests = requests;
   r.offered_qps = rate_qps;
-  r.achieved_qps = static_cast<double>(latency_us.size()) / wall;
+  r.achieved_qps = static_cast<double>(r.completed) / wall;
   std::sort(latency_us.begin(), latency_us.end());
   r.p50_us = PercentileUs(latency_us, 0.50);
   r.p95_us = PercentileUs(latency_us, 0.95);
   r.p99_us = PercentileUs(latency_us, 0.99);
   const serve::ServiceStats stats = service.stats();
+  r.degraded = stats.degraded;
   r.mean_batch = stats.mean_batch_size();
   r.size_flushes = stats.size_flushes;
   r.deadline_flushes = stats.deadline_flushes;
@@ -299,6 +333,48 @@ int main() {
                 static_cast<unsigned long long>(r.deadline_flushes),
                 static_cast<unsigned long long>(r.plan_hits),
                 static_cast<unsigned long long>(r.plan_compiles));
+    if (r.not_completed() != 0) {
+      std::printf(
+          "FAILED: profile %s at 60%% capacity lost %zu requests "
+          "(%zu shed, %zu expired, %zu failed) — the non-overload numbers "
+          "must describe an all-completed run\n",
+          r.name.c_str(), r.not_completed(), r.shed, r.expired, r.failed);
+      return 1;
+    }
+  }
+  PrintRule();
+
+  // ---- Overload profile --------------------------------------------------
+  // 2x the calibrated capacity against a deliberately small bounded queue
+  // under shed_oldest: the point is BOUNDED tail latency and a nonzero shed
+  // rate instead of unbounded queue growth. The cap scales with the request
+  // count so the backlog (~requests/2 at 2x) always overflows it.
+  serve::ServiceConfig overload_config;
+  overload_config.queue_cap = static_cast<int>(std::clamp<std::size_t>(
+      profile_requests / 8, 8, 256));
+  overload_config.overload_policy = serve::OverloadPolicy::kShedOldest;
+  const ProfileResult over = RunProfile("overload", w, profile_requests,
+                                        2.0 * capacity, overload_config);
+  const double shed_rate =
+      over.requests == 0
+          ? 0.0
+          : static_cast<double>(over.shed) / static_cast<double>(over.requests);
+  const double degraded_fraction =
+      over.completed == 0 ? 0.0
+                          : static_cast<double>(over.degraded) /
+                                static_cast<double>(over.completed);
+  std::printf(
+      "overload  %6zu req @ 2x capacity (queue cap %d, shed_oldest): "
+      "%zu completed, %zu shed (%.1f%%), %zu expired, %zu failed, "
+      "degraded %.1f%%, p50 %7.0fus p99 %7.0fus\n",
+      over.requests, overload_config.queue_cap, over.completed, over.shed,
+      100.0 * shed_rate, over.expired, over.failed, 100.0 * degraded_fraction,
+      over.p50_us, over.p99_us);
+  if (over.shed == 0) {
+    std::printf(
+        "FAILED: overload profile shed nothing — admission control never "
+        "engaged, so the queue must have grown unboundedly\n");
+    return 1;
   }
   PrintRule();
 
@@ -338,6 +414,28 @@ int main() {
   }
   json << "    }\n  }";
   MergeTopLevelJsonKey("BENCH_results.json", "serving", json.str());
-  std::printf("wrote \"serving\" section of BENCH_results.json\n");
+
+  std::ostringstream robustness;
+  robustness << "{\n";
+  robustness << "    \"offered_qps\": " << over.offered_qps << ",\n";
+  robustness << "    \"capacity_qps\": " << capacity << ",\n";
+  robustness << "    \"queue_cap\": " << overload_config.queue_cap << ",\n";
+  robustness << "    \"overload_policy\": \"shed_oldest\",\n";
+  robustness << "    \"requests\": " << over.requests << ",\n";
+  robustness << "    \"completed\": " << over.completed << ",\n";
+  robustness << "    \"shed\": " << over.shed << ",\n";
+  robustness << "    \"expired\": " << over.expired << ",\n";
+  robustness << "    \"failed\": " << over.failed << ",\n";
+  robustness << "    \"shed_rate\": " << shed_rate << ",\n";
+  robustness << "    \"degraded\": " << over.degraded << ",\n";
+  robustness << "    \"degraded_fraction\": " << degraded_fraction << ",\n";
+  robustness << "    \"p50_us\": " << over.p50_us << ",\n";
+  robustness << "    \"p99_us\": " << over.p99_us << ",\n";
+  robustness << "    \"repro_scale\": " << scale << "\n  }";
+  MergeTopLevelJsonKey("BENCH_results.json", "serving_robustness",
+                       robustness.str());
+  std::printf(
+      "wrote \"serving\" and \"serving_robustness\" sections of "
+      "BENCH_results.json\n");
   return 0;
 }

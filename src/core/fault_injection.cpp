@@ -1,0 +1,208 @@
+#include "core/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/env.h"
+
+namespace tpuperf::core {
+
+namespace fault_detail {
+std::atomic<int> g_fault_state{0};
+}  // namespace fault_detail
+
+namespace {
+
+struct PointState {
+  FaultSpec spec;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+void WarnBadEntry(std::string_view entry, const char* why) {
+  std::fprintf(stderr,
+               "[tpuperf] warning: ignoring TPUPERF_FAULTS entry \"%.*s\" "
+               "(%s); expected point[:every=N[,after=M][,times=K]]\n",
+               static_cast<int>(entry.size()), entry.data(), why);
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+// PointState holds atomics, so entries must never move; a deque owns them
+// and the map points into it. Both are guarded by `mu` for structural
+// changes; the per-point counters are lock-free under the shared lock.
+struct FaultRegistry::State {
+  mutable std::shared_mutex mu;
+  std::deque<PointState> storage;
+  std::unordered_map<std::string, PointState*> points;
+};
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* instance = new FaultRegistry();
+  return *instance;
+}
+
+FaultRegistry::State& FaultRegistry::state() noexcept {
+  static State* s = new State();
+  return *s;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
+  if (spec.every == 0) spec.every = 1;
+  State& s = state();
+  std::unique_lock lock(s.mu);
+  PointState*& slot = s.points[point];
+  if (slot == nullptr) slot = &s.storage.emplace_back();
+  slot->spec = spec;
+  slot->hits.store(0, std::memory_order_relaxed);
+  slot->fired.store(0, std::memory_order_relaxed);
+  fault_detail::g_fault_state.store(2, std::memory_order_relaxed);
+}
+
+void FaultRegistry::DisarmAll() {
+  State& s = state();
+  std::unique_lock lock(s.mu);
+  s.points.clear();
+  s.storage.clear();
+  fault_detail::g_fault_state.store(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::ArmSpec(std::string_view spec) {
+  DisarmAll();
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = Trim(spec.substr(start, end - start));
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    const std::string_view name = Trim(entry.substr(0, colon));
+    if (name.empty()) {
+      WarnBadEntry(entry, "empty point name");
+      continue;
+    }
+    FaultSpec parsed;
+    bool ok = true;
+    if (colon != std::string_view::npos) {
+      std::string_view params = entry.substr(colon + 1);
+      std::size_t p = 0;
+      while (ok && p <= params.size()) {
+        std::size_t comma = params.find(',', p);
+        if (comma == std::string_view::npos) comma = params.size();
+        const std::string_view kv = Trim(params.substr(p, comma - p));
+        p = comma + 1;
+        if (kv.empty()) continue;
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string_view::npos) {
+          WarnBadEntry(entry, "parameter without '='");
+          ok = false;
+          break;
+        }
+        const std::string_view key = Trim(kv.substr(0, eq));
+        const std::optional<std::int64_t> value =
+            ParseIntStrict(Trim(kv.substr(eq + 1)));
+        if (!value.has_value() || *value < 0) {
+          WarnBadEntry(entry, "parameter value is not a non-negative integer");
+          ok = false;
+          break;
+        }
+        if (key == "every") {
+          if (*value < 1) {
+            WarnBadEntry(entry, "every must be >= 1");
+            ok = false;
+            break;
+          }
+          parsed.every = static_cast<std::uint64_t>(*value);
+        } else if (key == "after") {
+          parsed.after = static_cast<std::uint64_t>(*value);
+        } else if (key == "times") {
+          parsed.times = static_cast<std::uint64_t>(*value);
+        } else {
+          WarnBadEntry(entry, "unknown parameter (want every/after/times)");
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) Arm(std::string(name), parsed);
+  }
+}
+
+void FaultRegistry::ArmFromEnv() {
+  const char* text = std::getenv("TPUPERF_FAULTS");
+  ArmSpec(text == nullptr ? std::string_view() : std::string_view(text));
+}
+
+std::uint64_t FaultRegistry::hits(const std::string& point) const {
+  State& s = const_cast<FaultRegistry*>(this)->state();
+  std::shared_lock lock(s.mu);
+  const auto it = s.points.find(point);
+  return it == s.points.end()
+             ? 0
+             : it->second->hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultRegistry::fired(const std::string& point) const {
+  State& s = const_cast<FaultRegistry*>(this)->state();
+  std::shared_lock lock(s.mu);
+  const auto it = s.points.find(point);
+  return it == s.points.end()
+             ? 0
+             : it->second->fired.load(std::memory_order_relaxed);
+}
+
+bool FaultRegistry::armed(const std::string& point) const {
+  State& s = const_cast<FaultRegistry*>(this)->state();
+  std::shared_lock lock(s.mu);
+  return s.points.find(point) != s.points.end();
+}
+
+bool FaultRegistry::ShouldFireSlow(const char* point) noexcept {
+  // First check in the process: arm from the environment exactly once.
+  // Racing initializers both run ArmFromEnv (idempotent — same env), and
+  // the flag settles to the parsed result.
+  if (fault_detail::g_fault_state.load(std::memory_order_relaxed) == 0) {
+    ArmFromEnv();
+  }
+  if (fault_detail::g_fault_state.load(std::memory_order_relaxed) == 1) {
+    return false;
+  }
+  State& s = state();
+  std::shared_lock lock(s.mu);
+  const auto it = s.points.find(point);
+  if (it == s.points.end()) return false;
+  PointState& p = *it->second;
+  const std::uint64_t hit = p.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit > p.spec.after && (hit - p.spec.after) % p.spec.every == 0) {
+    // `times` caps total injections. fetch_add serializes claimants, so
+    // exactly the first `times` schedule matches fire; losers roll back
+    // their increment (a transient over-count other threads may observe as
+    // "cap reached" — conservative, never over-fires).
+    const std::uint64_t prior = p.fired.fetch_add(1, std::memory_order_relaxed);
+    if (p.spec.times != 0 && prior >= p.spec.times) {
+      p.fired.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tpuperf::core

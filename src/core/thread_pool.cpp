@@ -18,6 +18,8 @@ struct ThreadPool::Queue {
   std::condition_variable cv;
   std::deque<std::function<void()>> tasks;
   bool stopping = false;
+  bool joined = false;  // guarded by shutdown_mu
+  std::mutex shutdown_mu;
 };
 
 namespace {
@@ -72,18 +74,30 @@ ThreadPool::ThreadPool(int num_threads)
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  std::scoped_lock shutdown_lock(queue_->shutdown_mu);
+  if (queue_->joined) return;
+  stopped_.store(true, std::memory_order_release);
   {
     std::scoped_lock lock(queue_->mu);
     queue_->stopping = true;
   }
   queue_->cv.notify_all();
-  for (std::thread& w : workers_) w.join();
+  for (std::thread& w : workers_) w.join();  // workers drain the queue first
+  queue_->joined = true;
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::scoped_lock lock(queue_->mu);
+    // Checked under the lock that Shutdown sets `stopping` under: a task is
+    // either visible to the draining workers or rejected here, so no
+    // enqueued task can be stranded.
+    if (queue_->stopping) {
+      throw ThreadPoolStopped("ThreadPool: task submitted after Shutdown");
+    }
     queue_->tasks.push_back(std::move(task));
   }
   queue_->cv.notify_one();
@@ -107,6 +121,9 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
     const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    throw ThreadPoolStopped("ThreadPool::ParallelFor after Shutdown");
+  }
   if (end <= begin) return;
   const std::int64_t total = end - begin;
   if (grain <= 0) {
@@ -136,8 +153,14 @@ void ThreadPool::ParallelFor(
   // deadlocking (nested ParallelFor is safe for the same reason).
   const std::int64_t helpers = std::min<std::int64_t>(
       static_cast<std::int64_t>(workers_.size()), num_chunks - 1);
-  for (std::int64_t i = 0; i < helpers; ++i) {
-    Enqueue([state] { state->RunChunks(); });
+  try {
+    for (std::int64_t i = 0; i < helpers; ++i) {
+      Enqueue([state] { state->RunChunks(); });
+    }
+  } catch (const ThreadPoolStopped&) {
+    // Shutdown raced in after the top-of-call check. Helpers that made it
+    // into the queue drain before the workers exit; the caller runs every
+    // remaining chunk itself below, so the wait still terminates.
   }
   state->RunChunks();
 

@@ -9,10 +9,12 @@
 // the serial fallback (pool size 1 runs the chunks inline on the caller).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -20,13 +22,30 @@
 
 namespace tpuperf::core {
 
+// Thrown by Submit/ParallelFor on a pool that was Shutdown(): scheduling on
+// a stopped pool is a caller bug, and a typed error beats the alternative
+// (a future that never resolves, or work running on a half-torn-down pool).
+class ThreadPoolStopped : public std::logic_error {
+ public:
+  explicit ThreadPoolStopped(const char* what) : std::logic_error(what) {}
+};
+
 class ThreadPool {
  public:
   // `num_threads` <= 1 creates no workers: all work runs on the caller.
   explicit ThreadPool(int num_threads);
+  // Equivalent to Shutdown().
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains every task already queued, joins the workers, and marks the pool
+  // stopped: Submit and ParallelFor throw ThreadPoolStopped from then on.
+  // Idempotent and safe to call concurrently; called by the destructor.
+  void Shutdown();
+  bool stopped() const noexcept {
+    return stopped_.load(std::memory_order_acquire);
+  }
 
   // Total threads that can execute work (workers + the calling thread's
   // participation in ParallelFor); always >= 1.
@@ -41,7 +60,9 @@ class ThreadPool {
                    const std::function<void(std::int64_t, std::int64_t)>& body);
 
   // Schedules a task on the pool (runs inline when the pool has no workers)
-  // and returns its future.
+  // and returns its future. Throws ThreadPoolStopped after Shutdown(): the
+  // check is under the queue lock on the worker path, so a task is either
+  // enqueued before the workers drain or rejected — never stranded.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -49,6 +70,9 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     if (workers_.empty()) {
+      if (stopped()) {
+        throw ThreadPoolStopped("ThreadPool::Submit after Shutdown");
+      }
       (*task)();
     } else {
       Enqueue([task]() { (*task)(); });
@@ -77,6 +101,7 @@ class ThreadPool {
   std::unique_ptr<Queue> queue_;
   std::vector<std::thread> workers_;
   int num_threads_ = 1;
+  std::atomic<bool> stopped_{false};
 };
 
 // Shorthand for ThreadPool::Global().ParallelFor(...).

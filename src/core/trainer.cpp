@@ -7,6 +7,7 @@
 #include <random>
 #include <unordered_set>
 
+#include "core/fault_injection.h"
 #include "core/thread_pool.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
@@ -116,6 +117,9 @@ const PreparedKernel& PreparedCache::Get(const ir::Graph& kernel,
   };
   ClaimGuard guard{this, key, /*locked=*/false};
   lock.unlock();
+  // Models a throwing featurization (the hazard the guard above exists
+  // for); placed after the claim so injection exercises the release path.
+  MaybeInjectFault("featurize.throw");
   const feat::KernelFeatures* cached =
       features_ != nullptr ? features_->Lookup(fingerprint, sig) : nullptr;
   PreparedKernel prepared =

@@ -10,6 +10,7 @@
 #include <set>
 #include <utility>
 
+#include "core/fault_injection.h"
 #include "core/thread_pool.h"
 #include "sim/hash.h"
 
@@ -787,6 +788,12 @@ void DatasetReader::ForEachRecord(
   for (std::uint64_t r = 0; r < count_; ++r) {
     const std::string context =
         path_ + ": record " + std::to_string(r);
+    // Models mid-stream truncation: the read aborts with the same diagnostic
+    // StoreError contract as a real short file, never a partial load.
+    if (core::FaultPointFires("store.short_read")) {
+      throw StoreError(context +
+                       ": injected short read (fault point store.short_read)");
+    }
     if (off + kRecordHeaderSize > size_) {
       throw StoreError(context + ": record header runs past end of file "
                        "(truncated store)");

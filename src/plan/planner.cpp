@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/fault_injection.h"
 #include "features/featurizer.h"
 #include "nn/ops.h"
 #include "plan/plan.h"
@@ -284,6 +285,9 @@ int EmitLstm(PlanBuilder& b, const nn::Lstm& lstm, int h) {
 
 std::shared_ptr<const plan::CompiledPlan> LearnedCostModel::CompilePlan(
     int max_kernels, int max_total_nodes, bool poison_dead_buffers) const {
+  // Models a planner rejection; every caller must survive it, because the
+  // tape path can always score what a plan can (serve falls back there).
+  MaybeInjectFault("plan.compile_fail");
   if (!fitted_) {
     throw std::logic_error("CompilePlan: scalers not fitted");
   }

@@ -8,15 +8,18 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/env.h"
+#include "core/fault_injection.h"
 #include "core/thread_pool.h"
 #include "nn/ops.h"
 #include "plan/plan.h"
 #include "serve/snapshot.h"
+#include "sim/target.h"
 
 namespace tpuperf::serve {
 
@@ -34,6 +37,20 @@ ServiceConfig ServiceConfig::FromEnv() {
       core::EnvInt("TPUPERF_PLAN_ENABLE", c.plan_enable, 0, 1));
   c.plan_cache = static_cast<int>(
       core::EnvInt("TPUPERF_PLAN_CACHE", c.plan_cache, 0, 64));
+  c.queue_cap = static_cast<int>(
+      core::EnvInt("TPUPERF_SERVE_QUEUE_CAP", c.queue_cap, 0, 1 << 20));
+  c.overload_policy = static_cast<OverloadPolicy>(core::EnvEnum(
+      "TPUPERF_SERVE_OVERLOAD_POLICY", static_cast<int>(c.overload_policy),
+      {{"reject", static_cast<int>(OverloadPolicy::kReject)},
+       {"block", static_cast<int>(OverloadPolicy::kBlock)},
+       {"shed_oldest", static_cast<int>(OverloadPolicy::kShedOldest)}}));
+  c.request_timeout_us = static_cast<long>(core::EnvInt(
+      "TPUPERF_SERVE_REQUEST_TIMEOUT_US", c.request_timeout_us, 0, 60000000));
+  c.breaker_failures = static_cast<int>(core::EnvInt(
+      "TPUPERF_SERVE_BREAKER_FAILURES", c.breaker_failures, 0, 1000000));
+  c.breaker_cooldown_us = static_cast<long>(core::EnvInt(
+      "TPUPERF_SERVE_BREAKER_COOLDOWN_US", c.breaker_cooldown_us, 0,
+      60000000));
   return c;
 }
 
@@ -87,12 +104,14 @@ std::size_t PlanCache::size() const {
 }
 
 // One queued prediction. The promise is fulfilled by whichever worker runs
-// the batch this request was flushed into.
+// the batch this request was flushed into — or by the batcher (expiry), or
+// by an overloaded PredictAsync (shedding).
 struct PendingRequest {
   const ir::Graph* kernel = nullptr;
   std::uint64_t fingerprint = 0;
   std::optional<ir::TileConfig> tile;
-  std::promise<double> promise;
+  std::optional<Clock::time_point> deadline;
+  std::promise<PredictResult> promise;
 };
 
 struct ServiceImpl {
@@ -105,6 +124,7 @@ struct ServiceImpl {
 
   std::mutex mu;               // guards queue + stopping
   std::condition_variable cv;  // batcher wakeup (new request / shutdown)
+  std::condition_variable space_cv;  // producer wakeup (policy `block`)
   std::deque<PendingRequest> queue;
   bool stopping = false;
 
@@ -115,6 +135,15 @@ struct ServiceImpl {
   std::mutex shutdown_mu;  // serializes Shutdown callers
   bool joined = false;     // guarded by shutdown_mu
   std::thread batcher;
+
+  // Circuit breaker (guarded by breaker_mu). `consecutive_failures` counts
+  // model-level batch failures; per-request featurize failures do not trip
+  // the breaker (they are request bugs, not model outages).
+  std::mutex breaker_mu;
+  PredictionService::BreakerState breaker_state =
+      PredictionService::BreakerState::kClosed;
+  int consecutive_failures = 0;
+  Clock::time_point breaker_open_until{};
 
   // Stats (monotonic; see ServiceStats).
   std::atomic<std::uint64_t> requests{0};
@@ -128,14 +157,22 @@ struct ServiceImpl {
   std::atomic<std::uint64_t> plan_hits{0};
   std::atomic<std::uint64_t> plan_misses{0};
   std::atomic<std::uint64_t> plan_compiles{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> expired{0};
+  std::atomic<std::uint64_t> degraded{0};
+  std::atomic<std::uint64_t> breaker_transitions{0};
 };
 
 namespace {
 
+using BreakerState = PredictionService::BreakerState;
+
 // Scores a packed batch, preferring a cached compiled plan (compiling one
 // for the batch's shape bucket on a miss). Any plan-path failure — a model
-// configuration the planner rejects, fused ops disabled — falls back to the
-// tape path, which is always available; the two paths are bit-identical.
+// configuration the planner rejects, fused ops disabled, an injected
+// plan.compile_fail — falls back to the tape path, which is always
+// available; the two paths are bit-identical.
 std::vector<double> ScorePacked(const core::LearnedCostModel& model,
                                 const core::PreparedBatch& packed,
                                 ServiceImpl& impl) {
@@ -162,10 +199,110 @@ std::vector<double> ScorePacked(const core::LearnedCostModel& model,
   return model.PredictBatch(packed);
 }
 
+// How ProcessBatch answers this batch, decided once per batch against the
+// breaker. kProbe is the half-open trial: exactly one batch retries the
+// model while everything else keeps degrading.
+enum class Route { kModel, kDegraded, kProbe };
+
+Route ChooseRoute(ServiceImpl& impl, const ServiceConfig& config) {
+  if (config.breaker_failures <= 0) return Route::kModel;
+  std::lock_guard lock(impl.breaker_mu);
+  switch (impl.breaker_state) {
+    case BreakerState::kClosed:
+      return Route::kModel;
+    case BreakerState::kOpen:
+      if (Clock::now() < impl.breaker_open_until) return Route::kDegraded;
+      impl.breaker_state = BreakerState::kHalfOpen;
+      impl.breaker_transitions.fetch_add(1, std::memory_order_relaxed);
+      return Route::kProbe;
+    case BreakerState::kHalfOpen:
+      return Route::kDegraded;
+  }
+  return Route::kModel;
+}
+
+void SetBreaker(ServiceImpl& impl, BreakerState next) {
+  if (impl.breaker_state == next) return;
+  impl.breaker_state = next;
+  impl.breaker_transitions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OnModelSuccess(ServiceImpl& impl, Route route) {
+  std::lock_guard lock(impl.breaker_mu);
+  impl.consecutive_failures = 0;
+  if (route == Route::kProbe) SetBreaker(impl, BreakerState::kClosed);
+}
+
+void OnModelFailure(ServiceImpl& impl, const ServiceConfig& config,
+                    Route route) {
+  if (config.breaker_failures <= 0) return;
+  std::lock_guard lock(impl.breaker_mu);
+  if (route == Route::kProbe) {
+    // Probe failed: back to a full cooldown of degradation.
+    impl.breaker_open_until =
+        Clock::now() + std::chrono::microseconds(config.breaker_cooldown_us);
+    SetBreaker(impl, BreakerState::kOpen);
+    return;
+  }
+  if (++impl.consecutive_failures >= config.breaker_failures &&
+      impl.breaker_state == BreakerState::kClosed) {
+    impl.consecutive_failures = 0;
+    impl.breaker_open_until =
+        Clock::now() + std::chrono::microseconds(config.breaker_cooldown_us);
+    SetBreaker(impl, BreakerState::kOpen);
+  }
+}
+
+// A probe batch that never reached the model (every request failed
+// featurization) proved nothing: reopen so the next batch can probe again.
+void AbandonProbe(ServiceImpl& impl, const ServiceConfig& config) {
+  std::lock_guard lock(impl.breaker_mu);
+  if (impl.breaker_state != BreakerState::kHalfOpen) return;
+  impl.breaker_open_until =
+      Clock::now() + std::chrono::microseconds(config.breaker_cooldown_us);
+  SetBreaker(impl, BreakerState::kOpen);
+}
+
+// The degraded answer for one request: the deterministic analytical
+// estimate under the request's tile, or — when the request carried none —
+// under the trivial full-shape tile (one iteration over the root output).
+double AnalyticalEstimate(const analytical::AnalyticalModel& fallback,
+                          const ir::Graph& kernel,
+                          const std::optional<ir::TileConfig>& tile) {
+  if (tile.has_value()) return fallback.EstimateRuntime(kernel, *tile);
+  ir::TileConfig full;
+  const ir::NodeId root = kernel.RootId();
+  if (root != ir::kInvalidNode) {
+    const ir::Shape& shape = kernel.node(root).shape;
+    full.dims.reserve(static_cast<std::size_t>(shape.rank()));
+    for (int i = 0; i < shape.rank(); ++i) full.dims.push_back(shape.dim(i));
+  }
+  return fallback.EstimateRuntime(kernel, full);
+}
+
+void DegradeBatch(const analytical::AnalyticalModel& fallback,
+                  std::vector<PendingRequest*>& live, ServiceImpl& impl) {
+  for (PendingRequest* p : live) {
+    try {
+      const double estimate = AnalyticalEstimate(fallback, *p->kernel, p->tile);
+      p->promise.set_value(PredictResult{estimate, /*degraded=*/true});
+      impl.degraded.fetch_add(1, std::memory_order_relaxed);
+      impl.completed.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      impl.failed.fetch_add(1, std::memory_order_relaxed);
+      p->promise.set_exception(std::current_exception());
+    }
+  }
+}
+
 // Scores one flushed batch and fulfills its promises. A per-request prepare
-// failure fails only that request; a model-level failure fails the batch.
+// failure fails only that request; a model-level failure fails the batch
+// (and feeds the circuit breaker, which routes later batches to the
+// analytical fallback while open).
 void ProcessBatch(const core::LearnedCostModel& model,
                   core::PreparedCache& cache,
+                  const analytical::AnalyticalModel& fallback,
+                  const ServiceConfig& config,
                   std::vector<PendingRequest> batch, ServiceImpl& impl) {
   struct InflightGuard {
     ServiceImpl& impl;
@@ -175,6 +312,21 @@ void ProcessBatch(const core::LearnedCostModel& model,
       impl.inflight_cv.notify_all();
     }
   } guard{impl};
+
+  // Models a stalled worker (lock contention, page fault storm): requests
+  // keep queueing behind it and deadlines keep running.
+  if (core::FaultPointFires("batch.slow")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  const Route route = ChooseRoute(impl, config);
+  if (route == Route::kDegraded) {
+    std::vector<PendingRequest*> live;
+    live.reserve(batch.size());
+    for (PendingRequest& p : batch) live.push_back(&p);
+    DegradeBatch(fallback, live, impl);
+    return;
+  }
 
   std::vector<core::BatchItem> items;
   std::vector<PendingRequest*> live;
@@ -192,19 +344,33 @@ void ProcessBatch(const core::LearnedCostModel& model,
       p.promise.set_exception(std::current_exception());
     }
   }
-  if (live.empty()) return;
+  if (live.empty()) {
+    if (route == Route::kProbe) AbandonProbe(impl, config);
+    return;
+  }
 
   try {
+    // Models a model-side outage (the error class the breaker exists for).
+    core::MaybeInjectFault("model.predict_throw");
     const core::PreparedBatch packed = model.PrepareBatch(items);
     const std::vector<double> scores = ScorePacked(model, packed, impl);
     for (std::size_t i = 0; i < live.size(); ++i) {
-      live[i]->promise.set_value(scores[i]);
+      live[i]->promise.set_value(PredictResult{scores[i], /*degraded=*/false});
     }
     impl.completed.fetch_add(live.size(), std::memory_order_relaxed);
+    OnModelSuccess(impl, route);
   } catch (...) {
-    impl.failed.fetch_add(live.size(), std::memory_order_relaxed);
-    for (PendingRequest* p : live) {
-      p->promise.set_exception(std::current_exception());
+    OnModelFailure(impl, config, route);
+    if (config.breaker_failures > 0) {
+      // The model just proved unhealthy; answer THIS batch analytically too
+      // instead of failing futures the breaker would have saved a moment
+      // later.
+      DegradeBatch(fallback, live, impl);
+    } else {
+      impl.failed.fetch_add(live.size(), std::memory_order_relaxed);
+      for (PendingRequest* p : live) {
+        p->promise.set_exception(std::current_exception());
+      }
     }
   }
 }
@@ -224,7 +390,13 @@ PredictionService::PredictionService(
   }
   if (config_.max_batch < 1) config_.max_batch = 1;
   if (config_.deadline_us < 0) config_.deadline_us = 0;
+  if (config_.queue_cap < 0) config_.queue_cap = 0;
+  if (config_.request_timeout_us < 0) config_.request_timeout_us = 0;
+  if (config_.breaker_failures < 0) config_.breaker_failures = 0;
+  if (config_.breaker_cooldown_us < 0) config_.breaker_cooldown_us = 0;
   cache_ = std::make_unique<core::PreparedCache>(*model_);
+  fallback_ =
+      std::make_unique<analytical::AnalyticalModel>(sim::TpuTarget::V2());
   const int threads = config_.num_threads > 0
                           ? config_.num_threads
                           : core::ThreadPool::DefaultNumThreads();
@@ -238,33 +410,71 @@ PredictionService::PredictionService(
 
 PredictionService::PredictionService(const std::string& snapshot_path,
                                      ServiceConfig config)
-    : PredictionService(LoadModelSnapshot(snapshot_path), config) {}
+    : PredictionService(LoadModelSnapshotWithRetry(snapshot_path), config) {}
 
 PredictionService::~PredictionService() { Shutdown(); }
 
-std::future<double> PredictionService::PredictAsync(
-    const ir::Graph& kernel, const ir::TileConfig* tile) {
+std::future<PredictResult> PredictionService::PredictAsync(
+    const ir::Graph& kernel, const ir::TileConfig* tile,
+    PredictOptions options) {
   PendingRequest p;
   p.kernel = &kernel;
   p.fingerprint = kernel.Fingerprint();
   if (tile != nullptr) p.tile = *tile;
-  std::future<double> future = p.promise.get_future();
+  if (options.deadline.has_value()) {
+    p.deadline = *options.deadline;
+  } else if (config_.request_timeout_us > 0) {
+    p.deadline =
+        Clock::now() + std::chrono::microseconds(config_.request_timeout_us);
+  }
+  std::future<PredictResult> future = p.promise.get_future();
+  std::optional<PendingRequest> victim;  // shed under the lock, failed after
   {
-    std::lock_guard lock(impl_->mu);
+    std::unique_lock lock(impl_->mu);
     if (impl_->stopping) {
       throw std::runtime_error(
           "PredictionService: PredictAsync after Shutdown");
+    }
+    const std::size_t cap = config_.queue_cap > 0
+                                ? static_cast<std::size_t>(config_.queue_cap)
+                                : static_cast<std::size_t>(-1);
+    if (impl_->queue.size() >= cap) {
+      switch (config_.overload_policy) {
+        case OverloadPolicy::kReject:
+          impl_->rejected.fetch_add(1, std::memory_order_relaxed);
+          throw OverloadedError(
+              "PredictionService: queue full (" + std::to_string(cap) +
+              " waiting, policy reject)");
+        case OverloadPolicy::kBlock:
+          impl_->space_cv.wait(lock, [&] {
+            return impl_->stopping || impl_->queue.size() < cap;
+          });
+          if (impl_->stopping) {
+            throw std::runtime_error(
+                "PredictionService: PredictAsync after Shutdown");
+          }
+          break;
+        case OverloadPolicy::kShedOldest:
+          victim = std::move(impl_->queue.front());
+          impl_->queue.pop_front();
+          impl_->shed.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
     }
     impl_->queue.push_back(std::move(p));
   }
   impl_->requests.fetch_add(1, std::memory_order_relaxed);
   impl_->cv.notify_one();
+  if (victim.has_value()) {
+    victim->promise.set_exception(std::make_exception_ptr(OverloadedError(
+        "PredictionService: shed by a newer request (policy shed_oldest)")));
+  }
   return future;
 }
 
 double PredictionService::Predict(const ir::Graph& kernel,
                                   const ir::TileConfig* tile) {
-  return PredictAsync(kernel, tile).get();
+  return PredictAsync(kernel, tile).get().value;
 }
 
 void PredictionService::BatcherLoop() {
@@ -283,35 +493,55 @@ void PredictionService::BatcherLoop() {
       return impl.queue.size() >= max_batch || impl.stopping;
     });
 
-    const std::size_t take = std::min(impl.queue.size(), max_batch);
+    // Dequeue up to max_batch LIVE requests: expired ones fail with
+    // DeadlineExceeded here, before they burn a batch slot.
+    const auto now = Clock::now();
     std::vector<PendingRequest> batch;
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(impl.queue.front()));
+    std::vector<PendingRequest> lapsed;
+    batch.reserve(std::min(impl.queue.size(), max_batch));
+    while (!impl.queue.empty() && batch.size() < max_batch) {
+      PendingRequest p = std::move(impl.queue.front());
       impl.queue.pop_front();
+      if (p.deadline.has_value() && now > *p.deadline) {
+        lapsed.push_back(std::move(p));
+      } else {
+        batch.push_back(std::move(p));
+      }
     }
-    if (!filled) {
-      impl.deadline_flushes.fetch_add(1, std::memory_order_relaxed);
-    } else if (take == max_batch) {
-      impl.size_flushes.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      impl.shutdown_flushes.fetch_add(1, std::memory_order_relaxed);
-    }
-    impl.batches.fetch_add(1, std::memory_order_relaxed);
-    impl.batched_items.fetch_add(take, std::memory_order_relaxed);
+    impl.space_cv.notify_all();  // freed queue space (policy `block`)
 
-    {
-      std::lock_guard inflight_lock(impl.inflight_mu);
-      ++impl.inflight_batches;
+    if (!batch.empty()) {
+      if (!filled) {
+        impl.deadline_flushes.fetch_add(1, std::memory_order_relaxed);
+      } else if (batch.size() + lapsed.size() >= max_batch) {
+        impl.size_flushes.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        impl.shutdown_flushes.fetch_add(1, std::memory_order_relaxed);
+      }
+      impl.batches.fetch_add(1, std::memory_order_relaxed);
+      impl.batched_items.fetch_add(batch.size(), std::memory_order_relaxed);
+      {
+        std::lock_guard inflight_lock(impl.inflight_mu);
+        ++impl.inflight_batches;
+      }
     }
     lock.unlock();
-    // Fire and forget: Shutdown waits on the inflight counter, not on the
-    // discarded future. With zero pool workers Submit runs the batch inline
-    // right here, which is the intended width-1 degenerate mode.
-    impl.pool.Submit([this, moved = std::make_shared<std::vector<
-                                PendingRequest>>(std::move(batch))]() mutable {
-      ProcessBatch(*model_, *cache_, std::move(*moved), *impl_);
-    });
+    for (PendingRequest& p : lapsed) {
+      impl.expired.fetch_add(1, std::memory_order_relaxed);
+      p.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+          "PredictionService: request deadline passed before a batch slot "
+          "was available")));
+    }
+    if (!batch.empty()) {
+      // Fire and forget: Shutdown waits on the inflight counter, not on the
+      // discarded future. With zero pool workers Submit runs the batch
+      // inline right here, which is the intended width-1 degenerate mode.
+      impl.pool.Submit([this, moved = std::make_shared<std::vector<
+                                  PendingRequest>>(std::move(batch))]() mutable {
+        ProcessBatch(*model_, *cache_, *fallback_, config_, std::move(*moved),
+                     *impl_);
+      });
+    }
     lock.lock();
   }
 }
@@ -325,6 +555,7 @@ void PredictionService::Shutdown() {
     impl.stopping = true;
   }
   impl.cv.notify_all();
+  impl.space_cv.notify_all();  // blocked producers must wake up and throw
   impl.batcher.join();  // the batcher drains the queue before exiting
   {
     std::unique_lock lock(impl.inflight_mu);
@@ -347,7 +578,18 @@ ServiceStats PredictionService::stats() const {
   s.plan_hits = impl.plan_hits.load(std::memory_order_relaxed);
   s.plan_misses = impl.plan_misses.load(std::memory_order_relaxed);
   s.plan_compiles = impl.plan_compiles.load(std::memory_order_relaxed);
+  s.rejected = impl.rejected.load(std::memory_order_relaxed);
+  s.shed = impl.shed.load(std::memory_order_relaxed);
+  s.expired = impl.expired.load(std::memory_order_relaxed);
+  s.degraded = impl.degraded.load(std::memory_order_relaxed);
+  s.breaker_transitions =
+      impl.breaker_transitions.load(std::memory_order_relaxed);
   return s;
+}
+
+PredictionService::BreakerState PredictionService::breaker_state() const {
+  std::lock_guard lock(impl_->breaker_mu);
+  return impl_->breaker_state;
 }
 
 }  // namespace tpuperf::serve

@@ -34,16 +34,36 @@
 ///
 /// The caller's Graph must stay alive until its future resolves (the service
 /// featurizes lazily, on the batcher/worker side); tile configs are copied.
+///
+/// ## Failure model (docs/ARCHITECTURE.md "Failure model")
+///
+/// The queue is bounded (`queue_cap`); a full queue applies the configured
+/// OverloadPolicy: `reject` throws OverloadedError from PredictAsync,
+/// `block` waits for space (backpressure), `shed_oldest` fails the oldest
+/// queued request's future with OverloadedError and accepts the new one.
+/// Requests carry deadlines (PredictOptions::deadline, or the
+/// `request_timeout_us` default); the batcher fails expired requests with
+/// DeadlineExceeded at dequeue, before they burn a batch slot. A circuit
+/// breaker watches model-level batch failures: after `breaker_failures`
+/// consecutive ones it opens and requests are answered by the analytical
+/// cost model (src/analytical) instead — tagged `PredictResult::degraded`,
+/// deterministic, on the analytical scale (only comparable to other
+/// degraded answers) — until a half-open probe batch succeeds against the
+/// learned model again.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "analytical/analytical_model.h"
 #include "core/cost_model.h"
 #include "core/trainer.h"
 #include "ir/graph.h"
@@ -57,9 +77,47 @@ namespace tpuperf::serve {
 
 struct ServiceImpl;  // queue/pool/stats plumbing, defined in the .cpp
 
+/// Thrown by PredictAsync (policy `reject`) and set on shed futures (policy
+/// `shed_oldest`) when the bounded queue is full.
+class OverloadedError : public std::runtime_error {
+ public:
+  explicit OverloadedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Set on a request's future when its deadline passed before a batch slot
+/// was available (checked at dequeue).
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// What a full queue does to the next arrival.
+enum class OverloadPolicy {
+  kReject = 0,     // PredictAsync throws OverloadedError (fail fast)
+  kBlock = 1,      // PredictAsync blocks until space frees (backpressure)
+  kShedOldest = 2  // oldest queued future fails; the new request is accepted
+};
+
+/// Per-request knobs for PredictAsync.
+struct PredictOptions {
+  /// Absolute deadline; unset applies ServiceConfig::request_timeout_us
+  /// (0 there = no deadline).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+/// One served answer. `degraded` answers come from the analytical fallback
+/// (breaker open) and are on its scale, NOT the learned model's — callers
+/// that cannot use a coarse estimate should treat them as soft failures.
+struct PredictResult {
+  double value = 0.0;
+  bool degraded = false;
+};
+
 /// Service knobs. Every field has a TPUPERF_SERVE_* environment override
-/// (strict integer parse via core::EnvInt; malformed values warn and keep
-/// the default).
+/// (strict integer parse via core::EnvInt, token parse via core::EnvEnum;
+/// malformed values warn and keep the default).
 struct ServiceConfig {
   // Size trigger: flush when this many requests are waiting.
   // Env: TPUPERF_SERVE_MAX_BATCH.
@@ -78,6 +136,23 @@ struct ServiceConfig {
   // Capacity of the per-service plan cache, in distinct batch-shape buckets
   // (LRU beyond that); 0 also disables the plan path. Env: TPUPERF_PLAN_CACHE.
   int plan_cache = 8;
+  // Admission control: queued-request cap (0 = unbounded, the pre-robustness
+  // behavior). Env: TPUPERF_SERVE_QUEUE_CAP.
+  int queue_cap = 4096;
+  // What a full queue does to the next arrival.
+  // Env: TPUPERF_SERVE_OVERLOAD_POLICY = reject | block | shed_oldest.
+  OverloadPolicy overload_policy = OverloadPolicy::kReject;
+  // Default per-request deadline, microseconds from enqueue (0 = none);
+  // PredictOptions::deadline overrides per request.
+  // Env: TPUPERF_SERVE_REQUEST_TIMEOUT_US.
+  long request_timeout_us = 0;
+  // Circuit breaker: consecutive model-level batch failures that open it
+  // (0 disables the breaker — failures keep failing futures).
+  // Env: TPUPERF_SERVE_BREAKER_FAILURES.
+  int breaker_failures = 3;
+  // How long an open breaker degrades before probing the model again.
+  // Env: TPUPERF_SERVE_BREAKER_COOLDOWN_US.
+  long breaker_cooldown_us = 50000;
 
   static ServiceConfig FromEnv();
 };
@@ -120,9 +195,13 @@ class PlanCache {
 /// Monotonic counters, readable at any time (atomics; a snapshot is not a
 /// consistent cut but every counter is exact once the service is idle).
 struct ServiceStats {
+  // Every accepted request resolves exactly one way:
+  //   requests == completed + failed + shed + expired   (once idle)
+  // with `degraded` a subset of `completed` and `rejected` never accepted.
   std::uint64_t requests = 0;          // accepted by PredictAsync
   std::uint64_t completed = 0;         // futures resolved with a value
-  std::uint64_t failed = 0;            // futures resolved with an exception
+  std::uint64_t failed = 0;            // futures resolved with a model or
+                                       // featurization error
   std::uint64_t batches = 0;           // PredictBatch calls issued
   std::uint64_t size_flushes = 0;      // flushed because max_batch waiting
   std::uint64_t deadline_flushes = 0;  // flushed because deadline_us elapsed
@@ -132,6 +211,13 @@ struct ServiceStats {
   std::uint64_t plan_misses = 0;       // batches whose bucket had no plan yet
   std::uint64_t plan_compiles = 0;     // CompilePlan calls (== misses unless
                                        // a compile failed and fell back)
+  std::uint64_t rejected = 0;          // PredictAsync threw OverloadedError
+                                       // (never counted in `requests`)
+  std::uint64_t shed = 0;              // accepted, then failed by shed_oldest
+  std::uint64_t expired = 0;           // failed with DeadlineExceeded
+  std::uint64_t degraded = 0;          // analytical-fallback answers (these
+                                       // also count in `completed`)
+  std::uint64_t breaker_transitions = 0;  // every breaker state change
 
   double mean_batch_size() const noexcept {
     return batches == 0 ? 0.0
@@ -147,7 +233,9 @@ class PredictionService {
   explicit PredictionService(std::unique_ptr<core::LearnedCostModel> model,
                              ServiceConfig config = {});
   /// Constructs the whole engine from one snapshot file
-  /// (serve::SaveModelSnapshot). Throws data::StoreError on a bad snapshot.
+  /// (serve::SaveModelSnapshot), retrying transient load failures with
+  /// bounded backoff (LoadModelSnapshotWithRetry). Throws data::StoreError
+  /// when the final attempt still fails.
   explicit PredictionService(const std::string& snapshot_path,
                              ServiceConfig config = {});
   /// Drains and stops (equivalent to Shutdown()).
@@ -155,13 +243,22 @@ class PredictionService {
   PredictionService(const PredictionService&) = delete;
   PredictionService& operator=(const PredictionService&) = delete;
 
-  /// Enqueues one prediction; the future resolves with PredictScore's value
-  /// for (kernel, tile) once a batch containing it completes. Throws
-  /// std::runtime_error after Shutdown(). `tile` may be null; it is copied.
-  std::future<double> PredictAsync(const ir::Graph& kernel,
-                                   const ir::TileConfig* tile = nullptr);
+  /// Breaker states (see the failure model above). Exposed for tests and
+  /// monitoring; transitions are counted in ServiceStats.
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
 
-  /// Synchronous convenience wrapper: PredictAsync(...).get().
+  /// Enqueues one prediction; the future resolves with PredictScore's value
+  /// for (kernel, tile) once a batch containing it completes — or with a
+  /// tagged degraded analytical estimate while the breaker is open, or
+  /// exceptionally (OverloadedError when shed, DeadlineExceeded when
+  /// expired, the model's error otherwise). Throws std::runtime_error after
+  /// Shutdown() and OverloadedError when full under policy `reject`; blocks
+  /// when full under policy `block`. `tile` may be null; it is copied.
+  std::future<PredictResult> PredictAsync(const ir::Graph& kernel,
+                                          const ir::TileConfig* tile = nullptr,
+                                          PredictOptions options = {});
+
+  /// Synchronous convenience wrapper: PredictAsync(...).get().value.
   double Predict(const ir::Graph& kernel,
                  const ir::TileConfig* tile = nullptr);
 
@@ -171,6 +268,7 @@ class PredictionService {
   void Shutdown();
 
   ServiceStats stats() const;
+  BreakerState breaker_state() const;
   const ServiceConfig& config() const noexcept { return config_; }
   const core::LearnedCostModel& model() const noexcept { return *model_; }
   /// The shared prepare cache (exposed for tests and cache-warming).
@@ -182,6 +280,7 @@ class PredictionService {
   ServiceConfig config_;
   std::unique_ptr<core::LearnedCostModel> model_;
   std::unique_ptr<core::PreparedCache> cache_;
+  std::unique_ptr<analytical::AnalyticalModel> fallback_;
   std::unique_ptr<ServiceImpl> impl_;
 };
 

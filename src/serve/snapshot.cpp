@@ -1,10 +1,13 @@
 #include "serve/snapshot.h"
 
+#include <algorithm>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "core/fault_injection.h"
 #include "dataset/store.h"
 #include "dataset/wire.h"
 
@@ -115,6 +118,13 @@ void SaveModelSnapshot(const std::string& path,
 
 std::unique_ptr<core::LearnedCostModel> LoadModelSnapshot(
     const std::string& path) {
+  // Models a transient load failure (publish race, flaky filesystem) — the
+  // retrying loader below must absorb it.
+  if (core::FaultPointFires("snapshot.load_fail")) {
+    throw StoreError(path +
+                     ": injected transient load failure (fault point "
+                     "snapshot.load_fail)");
+  }
   data::DatasetReader reader(path);
   std::optional<ModelConfig> config;
   std::unique_ptr<core::LearnedCostModel> model;
@@ -151,6 +161,24 @@ std::unique_ptr<core::LearnedCostModel> LoadModelSnapshot(
     throw StoreError(path + ": no model parameter record (not a snapshot?)");
   }
   return model;
+}
+
+std::unique_ptr<core::LearnedCostModel> LoadModelSnapshotWithRetry(
+    const std::string& path, int max_attempts,
+    std::chrono::microseconds initial_backoff) {
+  max_attempts = std::max(1, max_attempts);
+  std::chrono::microseconds backoff =
+      std::max(initial_backoff, std::chrono::microseconds(0));
+  constexpr std::chrono::microseconds kMaxBackoff(100000);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return LoadModelSnapshot(path);
+    } catch (const StoreError&) {
+      if (attempt >= max_attempts) throw;
+    }
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, kMaxBackoff);
+  }
 }
 
 }  // namespace tpuperf::serve

@@ -17,6 +17,7 @@
 /// config/params mismatch fails loudly instead of mispredicting).
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -34,5 +35,18 @@ void SaveModelSnapshot(const std::string& path,
 /// config/parameter mismatch.
 std::unique_ptr<core::LearnedCostModel> LoadModelSnapshot(
     const std::string& path);
+
+/// LoadModelSnapshot with bounded-backoff retry: up to `max_attempts` loads,
+/// sleeping `initial_backoff`, then doubling (capped at 100ms), between
+/// attempts. Snapshot loads race real fleet events — an atomic-rename
+/// publish, a transient network-filesystem hiccup (modeled by the
+/// `snapshot.load_fail` fault point) — where the Nth retry succeeds; a
+/// genuinely corrupt file just fails `max_attempts` times, and the last
+/// data::StoreError is rethrown. Used by the PredictionService snapshot
+/// constructor.
+std::unique_ptr<core::LearnedCostModel> LoadModelSnapshotWithRetry(
+    const std::string& path, int max_attempts = 3,
+    std::chrono::microseconds initial_backoff =
+        std::chrono::microseconds(500));
 
 }  // namespace tpuperf::serve

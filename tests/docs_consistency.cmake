@@ -5,9 +5,9 @@
 #     number of CTest C++ suites (SUITE_COUNT, from TPUPERF_TEST_SUITES);
 #   * every bench binary the build defines must be documented in
 #     docs/BENCHMARKS.md;
-#   * every environment variable the sources read via getenv() or
-#     core::EnvInt() must be documented in docs/BENCHMARKS.md's env-var
-#     matrix;
+#   * every environment variable the sources read via getenv(),
+#     core::EnvInt(), or core::EnvEnum() must be documented in
+#     docs/BENCHMARKS.md's env-var matrix;
 #   * docs/ARCHITECTURE.md and docs/BENCHMARKS.md must exist and be linked
 #     from README.md.
 #
@@ -74,15 +74,16 @@ foreach(bench IN LISTS BENCH_LIST)
 endforeach()
 
 # ---- Every environment variable the sources read is documented --------------
-# Reads happen either through raw getenv() or through the strict numeric
-# parser core::EnvInt("NAME", ...); both spellings are scanned.
+# Reads happen through raw getenv(), the strict numeric parser
+# core::EnvInt("NAME", ...), or the strict token parser
+# core::EnvEnum("NAME", ...); all three spellings are scanned.
 file(GLOB_RECURSE source_files
      "${REPO_ROOT}/src/*.cpp" "${REPO_ROOT}/src/*.h"
      "${REPO_ROOT}/bench/*.cpp" "${REPO_ROOT}/bench/*.h")
 set(env_vars "")
 foreach(source_file IN LISTS source_files)
   file(READ "${source_file}" content)
-  string(REGEX MATCHALL "(getenv|EnvInt)\\(\"[A-Z_]+\"" reads "${content}")
+  string(REGEX MATCHALL "(getenv|EnvInt|EnvEnum)\\(\"[A-Z_]+\"" reads "${content}")
   foreach(read IN LISTS reads)
     string(REGEX REPLACE ".*\"([A-Z_]+)\".*" "\\1" var "${read}")
     list(APPEND env_vars "${var}")

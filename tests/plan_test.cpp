@@ -424,14 +424,14 @@ TEST(PlanService, CompileOnceReplayMany) {
 
   constexpr int kRounds = 5;
   for (int round = 0; round < kRounds; ++round) {
-    std::vector<std::future<double>> futures;
+    std::vector<std::future<serve::PredictResult>> futures;
     for (size_t i = 0; i < fx.kernels.size(); ++i) {
       futures.push_back(service.PredictAsync(fx.kernels[i], &fx.tiles[i]));
     }
     // Wait out the round so every flush has the same composition (and hence
     // the same plan bucket).
     for (size_t i = 0; i < futures.size(); ++i) {
-      EXPECT_EQ(futures[i].get(), direct[i]) << "round " << round;
+      EXPECT_EQ(futures[i].get().value, direct[i]) << "round " << round;
     }
   }
 

@@ -102,7 +102,7 @@ TEST(ServeParity, ExactMatchVsPredictScore) {
   config.num_threads = 2;
   PredictionService service(fx.MakeModel(), config);
 
-  std::vector<std::future<double>> futures;
+  std::vector<std::future<PredictResult>> futures;
   std::vector<size_t> which;
   for (int round = 0; round < 5; ++round) {
     for (size_t i = 0; i < fx.kernels.size(); ++i) {
@@ -115,9 +115,11 @@ TEST(ServeParity, ExactMatchVsPredictScore) {
     const core::PreparedKernel prepared =
         reference->Prepare(fx.kernels[i]);
     const double direct = reference->PredictScore(prepared, &fx.tiles[i]);
-    const double served = futures[r].get();
-    EXPECT_TRUE(std::isfinite(served));
-    EXPECT_EQ(served, direct) << "request " << r << " (kernel " << i << ")";
+    const PredictResult served = futures[r].get();
+    EXPECT_TRUE(std::isfinite(served.value));
+    EXPECT_FALSE(served.degraded);
+    EXPECT_EQ(served.value, direct)
+        << "request " << r << " (kernel " << i << ")";
   }
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.requests, futures.size());
@@ -158,12 +160,12 @@ TEST(ServeFlush, SizeTriggerFlushesFullWindows) {
   config.num_threads = 1;
   PredictionService service(fx.MakeModel(), config);
 
-  std::vector<std::future<double>> futures;
+  std::vector<std::future<PredictResult>> futures;
   for (int r = 0; r < 8; ++r) {
     const size_t i = static_cast<size_t>(r) % fx.kernels.size();
     futures.push_back(service.PredictAsync(fx.kernels[i], &fx.tiles[i]));
   }
-  for (auto& f : futures) EXPECT_TRUE(std::isfinite(f.get()));
+  for (auto& f : futures) EXPECT_TRUE(std::isfinite(f.get().value));
 
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.batches, 2u);
@@ -183,11 +185,11 @@ TEST(ServeFlush, DeadlineTriggerFlushesPartialWindow) {
   config.num_threads = 1;
   PredictionService service(fx.MakeModel(), config);
 
-  std::vector<std::future<double>> futures;
+  std::vector<std::future<PredictResult>> futures;
   for (size_t i = 0; i < fx.kernels.size(); ++i) {
     futures.push_back(service.PredictAsync(fx.kernels[i], &fx.tiles[i]));
   }
-  for (auto& f : futures) EXPECT_TRUE(std::isfinite(f.get()));
+  for (auto& f : futures) EXPECT_TRUE(std::isfinite(f.get().value));
 
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.size_flushes, 0u);
@@ -207,12 +209,12 @@ TEST(ServeShutdown, DrainsQueuedRequests) {
   config.num_threads = 1;
   PredictionService service(fx.MakeModel(), config);
 
-  std::vector<std::future<double>> futures;
+  std::vector<std::future<PredictResult>> futures;
   for (size_t i = 0; i < fx.kernels.size(); ++i) {
     futures.push_back(service.PredictAsync(fx.kernels[i], &fx.tiles[i]));
   }
   service.Shutdown();
-  for (auto& f : futures) EXPECT_TRUE(std::isfinite(f.get()));
+  for (auto& f : futures) EXPECT_TRUE(std::isfinite(f.get().value));
 
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.completed, 5u);
@@ -226,7 +228,7 @@ TEST(ServeShutdown, DrainsQueuedRequests) {
 // still resolve).
 TEST(ServeShutdown, DestructorDrains) {
   Fixture fx(4);
-  std::vector<std::future<double>> futures;
+  std::vector<std::future<PredictResult>> futures;
   {
     ServiceConfig config;
     config.max_batch = 64;
@@ -236,7 +238,7 @@ TEST(ServeShutdown, DestructorDrains) {
       futures.push_back(service.PredictAsync(fx.kernels[i], &fx.tiles[i]));
     }
   }
-  for (auto& f : futures) EXPECT_TRUE(std::isfinite(f.get()));
+  for (auto& f : futures) EXPECT_TRUE(std::isfinite(f.get().value));
 }
 
 // ---- Concurrency -----------------------------------------------------------

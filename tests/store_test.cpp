@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault_injection.h"
 #include "core/thread_pool.h"
 #include "core/trainer.h"
 #include "dataset/families.h"
@@ -431,6 +432,48 @@ TEST_F(StoreCorruptionTest, MissingFileFailsLoudly) {
   } catch (const StoreError& e) {
     EXPECT_NE(std::string(e.what()).find("cannot"), std::string::npos);
   }
+}
+
+// ---- Injected short reads ---------------------------------------------------
+
+// The store.short_read fault point models mid-stream truncation. Wherever
+// the schedule lands it, the reader's corruption contract must hold: a
+// diagnostic StoreError naming the file and record, and never a partial
+// StoreContents handed back.
+TEST_F(StoreTest, InjectedShortReadFailsLoudlyNeverPartially) {
+  const std::string path = Path("short_read.tpds");
+  constexpr int kRecords = 8;
+  {
+    DatasetWriter writer(path);
+    for (int i = 0; i < kRecords; ++i) {
+      writer.Add(tile_->kernels[static_cast<std::size_t>(i) %
+                                tile_->kernels.size()]);
+    }
+    writer.Finish();
+  }
+  // First record, mid-stream, and a sparse schedule: every placement aborts
+  // the whole read the same way.
+  for (const char* spec :
+       {"store.short_read:every=1", "store.short_read:every=1,after=3",
+        "store.short_read:every=5,after=1"}) {
+    core::FaultRegistry::Instance().ArmSpec(spec);
+    DatasetReader reader(path);
+    try {
+      (void)reader.ReadAll();
+      FAIL() << "short read injected by \"" << spec << "\" was swallowed";
+    } catch (const StoreError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("store.short_read"), std::string::npos) << what;
+      EXPECT_NE(what.find(path), std::string::npos) << what;
+      EXPECT_NE(what.find("record"), std::string::npos) << what;
+    }
+  }
+  core::FaultRegistry::Instance().ArmFromEnv();
+
+  // Disarmed, the very same file loads whole — the faults never touched it.
+  DatasetReader reader(path);
+  EXPECT_EQ(reader.ReadAll().tile.kernels.size(),
+            static_cast<std::size_t>(kRecords));
 }
 
 // ---- LoadOrBuild + warm-training parity -------------------------------------

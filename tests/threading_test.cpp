@@ -115,6 +115,34 @@ TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(total.load(), 8 * 64);
 }
 
+// A stopped pool must refuse new work with a typed error — not strand a
+// future or run tasks on a half-torn-down pool. Both the inline (width 1)
+// and worker (width > 1) paths throw.
+TEST(ThreadPool, SubmitAfterShutdownThrowsTyped) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+    pool.Shutdown();
+    EXPECT_TRUE(pool.stopped());
+    EXPECT_THROW(pool.Submit([] { return 0; }), ThreadPoolStopped);
+    pool.Shutdown();  // idempotent
+    EXPECT_THROW(pool.Submit([] { return 0; }), ThreadPoolStopped);
+  }
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownThrowsTyped) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    pool.Shutdown();
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.ParallelFor(0, 16, 4,
+                         [&](std::int64_t, std::int64_t) { ran.fetch_add(1); }),
+        ThreadPoolStopped);
+    EXPECT_EQ(ran.load(), 0);  // rejected up front, nothing partially ran
+  }
+}
+
 TEST(ThreadPool, EnvVarOverridesDefaultThreadCount) {
   ASSERT_EQ(setenv("TPUPERF_NUM_THREADS", "3", /*overwrite=*/1), 0);
   EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3);
@@ -411,6 +439,35 @@ TEST(EnvParsing, EnvIntFallsBackOnMalformedAndClamps) {
   EXPECT_EQ(EnvInt(kVar, 7, 0, 100), 100);  // in-range of int64 -> clamp max
   ::setenv(kVar, "99999999999999999999", 1);
   EXPECT_EQ(EnvInt(kVar, 7, 0, 100), 7);  // int64 overflow -> fallback
+}
+
+TEST(EnvParsing, EnvEnumMatchesTokensStrictly) {
+  const char* kVar = "TPUPERF_TEST_ENV_ENUM";
+  struct Cleanup {
+    const char* var;
+    ~Cleanup() { ::unsetenv(var); }
+  } cleanup{kVar};
+  const std::initializer_list<EnvEnumOption> options = {
+      {"reject", 1}, {"block", 2}, {"shed_oldest", 3}};
+
+  ::unsetenv(kVar);
+  EXPECT_EQ(EnvEnum(kVar, 9, options), 9);  // unset -> fallback, silently
+
+  ::setenv(kVar, "block", 1);
+  EXPECT_EQ(EnvEnum(kVar, 9, options), 2);
+  ::setenv(kVar, "shed_oldest", 1);
+  EXPECT_EQ(EnvEnum(kVar, 9, options), 3);
+
+  // Strict and case-sensitive: near-misses warn and keep the default
+  // instead of guessing.
+  ::setenv(kVar, "Block", 1);
+  EXPECT_EQ(EnvEnum(kVar, 9, options), 9);
+  ::setenv(kVar, "shed-oldest", 1);
+  EXPECT_EQ(EnvEnum(kVar, 9, options), 9);
+  ::setenv(kVar, "", 1);
+  EXPECT_EQ(EnvEnum(kVar, 9, options), 9);
+  ::setenv(kVar, " block", 1);
+  EXPECT_EQ(EnvEnum(kVar, 9, options), 9);
 }
 
 // ---- Parallel-vs-serial model parity ---------------------------------------
