@@ -1,0 +1,272 @@
+// Out-of-core dataset streaming benchmark (sharded stores + StreamingSampler).
+//
+// Measures the three costs the streaming path is supposed to bound as
+// REPRO_SCALE grows: dataset-ready time (cold build+write, or warm scan),
+// training throughput (steps/s through the prefetching shuffle-window
+// iterator), and peak resident memory (VmHWM / VmRSS delta of the training
+// leg, read from /proc/self/status).
+//
+// Two legs:
+//   parity    — 50 training steps in-memory (core::TrainTileTask) vs
+//               streaming with a single window (window >= corpus). The
+//               streaming losses must be BIT-IDENTICAL (first and final) —
+//               nonzero exit otherwise. Skipped under TPUPERF_STREAMING_ONLY.
+//   windowed  — the same 50 steps through shuffle windows of
+//               TPUPERF_STREAM_WINDOW records (default 256) with prefetch,
+//               the configuration whose memory stays O(window).
+//
+// Environment:
+//   REPRO_SCALE               corpus/budget scale (default 1)
+//   TPUPERF_DATASET_DIR       store directory (default ./dataset-streaming-cache)
+//   TPUPERF_STORE_PART_BYTES  shard size for cold writes (default 1 MiB here)
+//   TPUPERF_STREAM_WINDOW     records per shuffle window (default 256)
+//   TPUPERF_STREAMING_ONLY=1  never materialize the in-memory dataset: train
+//                             purely from the store (requires a prior cold
+//                             run at the same scale; featurizer invocations
+//                             must stay 0 — nonzero exit otherwise)
+//
+// Results land under "dataset_streaming" in ./BENCH_results.json, one
+// "scale_<REPRO_SCALE>" subobject per run, so sweeping scale ∈ {1,4,16}
+// accumulates the scaling curve in one file.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analytical/analytical_model.h"
+#include "bench/common.h"
+#include "core/env.h"
+#include "core/trainer.h"
+#include "dataset/streaming.h"
+#include "features/featurizer.h"
+
+namespace {
+
+using namespace tpuperf;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// "VmRSS:" / "VmHWM:" in kB from /proc/self/status; -1 where unavailable.
+long ProcStatusKb(const char* key) {
+  std::ifstream is("/proc/self/status");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind(key, 0) == 0) {
+      return std::atol(line.c_str() + std::strlen(key));
+    }
+  }
+  return -1;
+}
+
+// "scale_16" / "scale_0_3" — JSON-key-safe spelling of REPRO_SCALE.
+std::string ScaleKey(double scale) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "scale_%g", scale);
+  for (char& c : buf) {
+    if (c == '.') c = '_';
+  }
+  return buf;
+}
+
+// Total bytes of the store: the manifest plus its parts, or the single file.
+std::uintmax_t StoreBytes(const std::string& path, std::size_t parts) {
+  std::error_code ec;
+  std::uintmax_t total = std::filesystem::file_size(path, ec);
+  if (ec) return 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".p%03zu", p);
+    const auto bytes = std::filesystem::file_size(path + suffix, ec);
+    if (!ec) total += bytes;
+  }
+  return total;
+}
+
+core::ModelConfig SmokeConfig() {
+  core::ModelConfig config = core::ModelConfig::TileTaskDefault();
+  config.train_steps = 50;  // fixed: the bench compares paths, not quality
+  return config;
+}
+
+struct TrainLeg {
+  core::TrainStats stats;
+  double steps_per_s = 0;
+  long rss_delta_kb = 0;
+};
+
+TrainLeg RunStreaming(const std::string& store_path,
+                      std::span<const int> train_ids, std::uint64_t seed,
+                      std::size_t window_records) {
+  TrainLeg leg;
+  const long rss_before = ProcStatusKb("VmRSS:");
+  data::StreamingSampler sampler(
+      store_path, data::StreamTask::kTile,
+      {.window_records = window_records, .seed = seed});
+  std::printf("  sampler: %zu records, %zu part(s), %zu window(s) of %zu, "
+              "scan %.3fs\n",
+              sampler.total_records(), sampler.part_count(),
+              sampler.windows_per_epoch(), sampler.window_records(),
+              sampler.scan_seconds());
+  core::LearnedCostModel model(SmokeConfig());
+  core::PreparedCache cache(model, sampler.features().get());
+  const auto start = Clock::now();
+  leg.stats = core::TrainTileTaskStreaming(model, sampler, train_ids, cache);
+  const double seconds = SecondsSince(start);
+  leg.steps_per_s = seconds > 0 ? leg.stats.steps / seconds : 0;
+  const long rss_after = ProcStatusKb("VmRSS:");
+  if (rss_before >= 0 && rss_after >= 0) {
+    leg.rss_delta_kb = rss_after - rss_before;
+  }
+  return leg;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Dataset streaming (sharded stores + shuffle-window sampler)",
+      "Out-of-core training: dataset-ready time, steps/s, peak RSS.");
+
+  bench::Env env = bench::MakeEnv();
+  if (env.dataset_dir.empty()) env.dataset_dir = "dataset-streaming-cache";
+  if (env.options.store_part_bytes == 0) {
+    // Sharding is the point of this bench: default to 1 MiB parts unless
+    // the user explicitly pinned a size (0 keeps single-file stores).
+    env.options.store_part_bytes = static_cast<std::uint64_t>(core::EnvInt(
+        "TPUPERF_STORE_PART_BYTES", 1 << 20, 0, std::int64_t{1} << 40));
+  }
+  std::filesystem::create_directories(env.dataset_dir);
+  const bool streaming_only =
+      core::EnvInt("TPUPERF_STREAMING_ONLY", 0, 0, 1) != 0;
+  const std::size_t window_records = static_cast<std::size_t>(
+      core::EnvInt("TPUPERF_STREAM_WINDOW", 256, 1, 1 << 30));
+
+  const std::uint64_t key = data::DatasetCacheKey(
+      "tile", env.sim_v2.target().name, env.corpus, env.options);
+  const std::string store_path = data::StorePath(env.dataset_dir, "tile", key);
+  const std::span<const int> train_ids(env.random_split.train);
+
+  // ---- Dataset-ready: populate (or just scan) the sharded store ------------
+  double dataset_ready_seconds = 0;
+  bool parity_ok = true;
+  double inmemory_steps_per_s = 0;
+  if (streaming_only) {
+    std::error_code ec;
+    if (!std::filesystem::exists(store_path, ec) || ec) {
+      std::printf("ERROR: TPUPERF_STREAMING_ONLY=1 but %s does not exist — "
+                  "run once without it (same REPRO_SCALE) to populate\n",
+                  store_path.c_str());
+      return 1;
+    }
+  } else {
+    analytical::AnalyticalModel analytical(env.sim_v2.target());
+    const data::TileDataset dataset =
+        bench::BuildTile(env, env.sim_v2, analytical);
+    dataset_ready_seconds = bench::StoreBuilds().back().seconds;
+
+    // ---- Parity leg: streaming with one window == in-memory, bit for bit --
+    core::LearnedCostModel model(SmokeConfig());
+    core::PreparedCache cache(model);
+    const auto start = Clock::now();
+    const core::TrainStats inmem =
+        core::TrainTileTask(model, dataset, train_ids, cache);
+    const double inmem_seconds = SecondsSince(start);
+    inmemory_steps_per_s =
+        inmem_seconds > 0 ? inmem.steps / inmem_seconds : 0;
+
+    std::printf("\nParity leg (single window == whole corpus):\n");
+    const TrainLeg single =
+        RunStreaming(store_path, train_ids, env.options.seed,
+                     /*window_records=*/0);
+    parity_ok = single.stats.first_loss == inmem.first_loss &&
+                single.stats.final_loss == inmem.final_loss;
+    std::printf("  in-memory first/final: %.17g / %.17g\n", inmem.first_loss,
+                inmem.final_loss);
+    std::printf("  streaming first/final: %.17g / %.17g  -> %s\n",
+                single.stats.first_loss, single.stats.final_loss,
+                parity_ok ? "bit-identical" : "MISMATCH");
+  }
+
+  // ---- Windowed leg: bounded-memory training -------------------------------
+  std::printf("\nWindowed leg (%zu records/window, prefetch on):\n",
+              window_records);
+  const TrainLeg windowed =
+      RunStreaming(store_path, train_ids, env.options.seed, window_records);
+  const long peak_kb = ProcStatusKb("VmHWM:");
+  const long featurized = feat::FeaturizeKernelInvocations();
+  std::printf("  %ld steps in %.2f steps/s; RSS delta %.1f MB, peak RSS "
+              "%.1f MB; featurizer invoked %ld times\n",
+              windowed.stats.steps, windowed.steps_per_s,
+              windowed.rss_delta_kb / 1024.0, peak_kb / 1024.0, featurized);
+
+  if (streaming_only) {
+    // The whole point of the warm streaming path: every featurization comes
+    // off disk.
+    if (featurized > 0) {
+      std::printf("ERROR: streaming-only run invoked the featurizer %ld "
+                  "times — the streamed feature source is broken\n",
+                  featurized);
+      return 1;
+    }
+    data::StreamingSampler probe(store_path, data::StreamTask::kTile,
+                                 {.window_records = window_records});
+    dataset_ready_seconds = probe.scan_seconds();
+  }
+
+  // ---- Report --------------------------------------------------------------
+  data::StreamingSampler probe(store_path, data::StreamTask::kTile, {});
+  std::vector<std::pair<std::string, std::string>> fields;
+  auto num = [](double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  };
+  fields.emplace_back("repro_scale", num(env.scale));
+  fields.emplace_back("streaming_only", streaming_only ? "true" : "false");
+  fields.emplace_back("records", std::to_string(probe.total_records()));
+  fields.emplace_back("store_parts", std::to_string(probe.part_count()));
+  fields.emplace_back("store_bytes",
+                      std::to_string(StoreBytes(store_path,
+                                                probe.part_count())));
+  fields.emplace_back("window_records", std::to_string(window_records));
+  fields.emplace_back("dataset_ready_seconds", num(dataset_ready_seconds));
+  if (!streaming_only) {
+    fields.emplace_back("parity_bit_identical", parity_ok ? "true" : "false");
+    fields.emplace_back("inmemory_steps_per_s", num(inmemory_steps_per_s));
+  }
+  fields.emplace_back("streaming_steps_per_s", num(windowed.steps_per_s));
+  fields.emplace_back("train_rss_delta_mb",
+                      num(windowed.rss_delta_kb / 1024.0));
+  fields.emplace_back("peak_rss_mb", num(peak_kb / 1024.0));
+  fields.emplace_back("featurizer_invocations", std::to_string(featurized));
+
+  // Field-wise merge so a streaming-only rerun at the same scale refreshes
+  // its measurements without discarding the cold run's parity fields.
+  const std::string section = bench::PreservedTopLevelJson("dataset_streaming");
+  std::string entry = bench::ExtractJsonObject(section, ScaleKey(env.scale));
+  for (const auto& [k, v] : fields) {
+    entry = bench::MergeIntoJsonObject(entry, k, v);
+  }
+  const std::string merged =
+      bench::MergeIntoJsonObject(section, ScaleKey(env.scale), entry);
+  bench::MergeTopLevelJsonKey("BENCH_results.json", "dataset_streaming",
+                              merged);
+  bench::WriteStoreReportJson();
+  if (!bench::ReportDatasetStore(/*enforce_warm=*/false)) return 1;
+  if (!parity_ok) {
+    std::printf("ERROR: streaming losses diverged from the in-memory "
+                "trainer\n");
+    return 1;
+  }
+  return 0;
+}

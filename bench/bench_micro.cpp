@@ -683,6 +683,8 @@ void ReportBatchedThroughput() {
   const std::string robustness =
       bench::PreservedTopLevelJson("serving_robustness");
   const std::string plan_section = bench::PreservedTopLevelJson("plan");
+  const std::string streaming =
+      bench::PreservedTopLevelJson("dataset_streaming");
   FILE* json = std::fopen("BENCH_results.json", "w");
   if (json == nullptr) {
     std::printf("could not write BENCH_results.json\n");
@@ -740,6 +742,9 @@ void ReportBatchedThroughput() {
   }
   if (!plan_section.empty()) {
     std::fprintf(json, ",\n  \"plan\": %s", plan_section.c_str());
+  }
+  if (!streaming.empty()) {
+    std::fprintf(json, ",\n  \"dataset_streaming\": %s", streaming.c_str());
   }
   std::fprintf(json, "\n}\n");
   std::fclose(json);

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/env.h"
 #include "core/trainer.h"
 #include "features/featurizer.h"
 
@@ -125,6 +126,35 @@ std::string RemoveJsonKey(std::string text, const std::string& key) {
   return text;
 }
 
+// The machine-written report never puts braces inside strings, so a quick
+// balance scan is enough to spot a file truncated by an interrupted run.
+// `empty` text is fine (first write).
+bool JsonLooksWellFormed(const std::string& text) {
+  if (text.empty()) return true;
+  std::size_t first = 0;
+  while (first < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[first]))) {
+    ++first;
+  }
+  if (first >= text.size() || text[first] != '{') return false;
+  int depth = 0;
+  std::size_t close = std::string::npos;
+  for (std::size_t i = first; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}') {
+      --depth;
+      if (depth < 0) return false;
+      if (depth == 0) close = i;
+    }
+  }
+  if (depth != 0 || close == std::string::npos) return false;
+  // Nothing but whitespace may follow the closing brace.
+  for (std::size_t i = close + 1; i < text.size(); ++i) {
+    if (!std::isspace(static_cast<unsigned char>(text[i]))) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 double ReproScale() {
@@ -148,9 +178,17 @@ Env MakeEnv() {
   env.options.ApplyScale(env.scale);
   // Scales above 1 also grow the corpus (~scale x variants per family);
   // below 1 only the per-program budgets shrink — the split methods need
-  // every family present.
+  // every family present. The corpus parameters ALSO go into
+  // env.options so the dataset-store cache key covers them: two runs at
+  // different REPRO_SCALE generate different corpora and must never share
+  // a cached store (they used to — the tier-extension seed and scale were
+  // not hashed).
+  env.options.corpus_scale = std::max(1.0, env.scale);
+  env.options.corpus_seed = env.options.seed;
+  env.options.store_part_bytes = static_cast<std::uint64_t>(core::EnvInt(
+      "TPUPERF_STORE_PART_BYTES", 0, 0, std::int64_t{1} << 40));
   env.corpus = data::GenerateCorpus(
-      {.scale = std::max(1.0, env.scale), .seed = env.options.seed});
+      {.scale = env.options.corpus_scale, .seed = env.options.corpus_seed});
   env.random_split = data::RandomSplit(env.corpus, /*seed=*/1234);
   env.manual_split = data::ManualSplit(env.corpus);
   return env;
@@ -210,7 +248,11 @@ bool ReportDatasetStore(bool enforce_warm) {
 }
 
 std::string PreservedTopLevelJson(const std::string& key) {
-  const std::string text = ReadFileIfExists("BENCH_results.json");
+  return ExtractJsonObject(ReadFileIfExists("BENCH_results.json"), key);
+}
+
+std::string ExtractJsonObject(const std::string& text,
+                              const std::string& key) {
   const std::string needle = "\"" + key + "\":";
   const std::size_t key_pos = text.find(needle);
   if (key_pos == std::string::npos) return {};
@@ -286,7 +328,18 @@ void WriteStoreReportJson() {
 
 void MergeTopLevelJsonKey(const std::string& path, const std::string& key,
                           const std::string& value_json) {
-  std::string text = RemoveJsonKey(ReadFileIfExists(path), key);
+  std::string existing = ReadFileIfExists(path);
+  if (!JsonLooksWellFormed(existing)) {
+    // An interrupted run left a torn file. Merging into it used to
+    // silently drop whichever keys fell after the tear; start over loudly
+    // instead so the loss is visible (and bounded to this one file).
+    std::fprintf(stderr,
+                 "[bench] WARNING: %s is malformed (interrupted run?) — "
+                 "rewriting it from scratch; previous sections are lost\n",
+                 path.c_str());
+    existing.clear();
+  }
+  std::string text = RemoveJsonKey(std::move(existing), key);
   const std::string entry = "  \"" + key + "\": " + value_json;
   std::string out;
   const std::size_t end = text.rfind('}');
@@ -301,6 +354,27 @@ void MergeTopLevelJsonKey(const std::string& path, const std::string& key,
   }
   std::ofstream os(path, std::ios::trunc);
   os << out;
+}
+
+std::string MergeIntoJsonObject(const std::string& object_json,
+                                const std::string& key,
+                                const std::string& value_json) {
+  std::string text = object_json;
+  if (!JsonLooksWellFormed(text)) text.clear();
+  text = RemoveJsonKey(std::move(text), key);
+  const std::string entry = "    \"" + key + "\": " + value_json;
+  const std::size_t end = text.rfind('}');
+  if (text.empty() || text[0] != '{' || end == std::string::npos) {
+    return "{\n" + entry + "\n  }";
+  }
+  std::string head = text.substr(0, end);
+  while (!head.empty() &&
+         std::isspace(static_cast<unsigned char>(head.back()))) {
+    head.pop_back();
+  }
+  const bool has_other_keys = head.find(':') != std::string::npos;
+  if (!head.empty() && head.back() == ',') head.pop_back();
+  return head + (has_other_keys ? ",\n" : "\n") + entry + "\n  }";
 }
 
 void CalibrateAnalytical(analytical::AnalyticalModel& analytical,

@@ -12,6 +12,9 @@
 // writes each dataset, later runs load it back — including every kernel's
 // raw featurization, which is registered process-globally so trainers and
 // evaluators never call feat::FeaturizeKernel on a warm cache.
+// TPUPERF_STORE_PART_BYTES > 0 shards newly written stores into part files
+// of roughly that size behind a manifest (store format v3); readers handle
+// both layouts, and the setting does not enter the cache key.
 #pragma once
 
 #include <memory>
@@ -81,9 +84,28 @@ std::string PreservedTopLevelJson(const std::string& key);
 // machine-written JSON report at `path`, preserving every other key.
 // `value_json` is the already-serialized value (object or scalar). The
 // section writers (dataset_store, bench_serve's "serving") all merge
-// through here so none clobbers another's results.
+// through here so none clobbers another's results. A malformed existing
+// file (e.g. a run interrupted mid-write left unbalanced braces) is
+// detected, reported on stderr, and rewritten from scratch with just this
+// key instead of silently merging into — and propagating — the damage.
 void MergeTopLevelJsonKey(const std::string& path, const std::string& key,
                           const std::string& value_json);
+
+// Replaces (or inserts) `"key": <value>` inside an already-serialized JSON
+// object `object_json` (pass "" or "{}" to start fresh). Used by benches
+// that accumulate per-scale subobjects (e.g. "dataset_streaming") across
+// separate runs: pull the object with PreservedTopLevelJson, merge the new
+// scale's entry here, write back with MergeTopLevelJsonKey.
+std::string MergeIntoJsonObject(const std::string& object_json,
+                                const std::string& key,
+                                const std::string& value_json);
+
+// The brace-matched `{...}` value of `"key"` inside already-serialized
+// JSON `text` (first occurrence, any nesting), or "" when absent or not an
+// object. With MergeIntoJsonObject this lets a bench update individual
+// fields of a nested section without discarding what other runs recorded.
+std::string ExtractJsonObject(const std::string& text,
+                              const std::string& key);
 
 // Builds datasets on the given simulator (defaults target TPU v2).
 data::TileDataset BuildTile(const Env& env, const sim::TpuSimulator& sim,

@@ -143,13 +143,240 @@ std::size_t PreparedCache::collisions() const {
   return collisions_;
 }
 
+namespace {
+
+// ---- Shared step loops ------------------------------------------------------
+//
+// One loop struct per task holds everything that must persist ACROSS shuffle
+// windows — the RNG, the Adam state, the global step counter, the loss
+// window — so the in-memory trainers (one RunSteps call over the whole
+// dataset) and the streaming trainers (one RunSteps call per window) execute
+// the SAME step code on the same state. That sharing is what makes streaming
+// losses bit-identical to in-memory losses when the sampler serves a single
+// canonical window.
+
+struct TileTrainLoop {
+  LearnedCostModel& model;
+  const ModelConfig& cfg;
+  PreparedCache& cache;
+  std::mt19937_64 rng;
+  nn::Adam adam;
+  std::vector<nn::Parameter*> params;
+  // One arena-backed tape for the whole run: Clear() recycles every node's
+  // value/grad buffer (and the node shells) into the arena, so steady-state
+  // steps run with (near) zero tape heap allocations instead of rebuilding
+  // the whole tape from malloc each minibatch.
+  nn::TapeArena arena;
+  nn::Tape tape{/*grad_enabled=*/true, &arena};
+  TrainStats stats;
+  double window_loss = 0;
+  int window_count = 0;
+  int step = 0;  // global step, monotone across RunSteps calls
+
+  TileTrainLoop(LearnedCostModel& m, PreparedCache& c)
+      : model(m), cfg(m.config()), cache(c), rng(cfg.seed ^ 0x7e11ull),
+        adam(MakeAdamConfig(cfg)), params(m.params().params()) {}
+
+  // Runs `steps` training steps drawing from `kernels` via the family
+  // grouping (indices into `kernels`).
+  void RunSteps(std::span<const data::TileKernelData> kernels,
+                const std::vector<std::vector<int>>& families, int steps) {
+    for (int s = 0; s < steps; ++s, ++step) {
+      // Balanced sampling: cycle families, pick a random kernel inside.
+      const auto& family =
+          families[static_cast<size_t>(step) % families.size()];
+      std::uniform_int_distribution<size_t> pick(0, family.size() - 1);
+      const auto& kdata = kernels[static_cast<size_t>(family[pick(rng)])];
+      if (kdata.configs.size() < 2) continue;
+
+      const PreparedKernel& pk =
+          cache.Get(kdata.record.kernel.graph, kdata.record.fingerprint);
+
+      // Sample a batch of distinct tile configs of this kernel.
+      const int m = std::min<int>(cfg.configs_per_batch,
+                                  static_cast<int>(kdata.configs.size()));
+      std::vector<int> chosen(kdata.configs.size());
+      std::iota(chosen.begin(), chosen.end(), 0);
+      std::shuffle(chosen.begin(), chosen.end(), rng);
+      chosen.resize(static_cast<size_t>(m));
+
+      // One packed batch (same kernel, m tile configs) -> one forward pass.
+      std::vector<BatchItem> items;
+      std::vector<double> targets;
+      items.reserve(static_cast<size_t>(m));
+      targets.reserve(static_cast<size_t>(m));
+      for (const int c : chosen) {
+        items.push_back({&pk, &kdata.configs[static_cast<size_t>(c)]});
+        targets.push_back(kdata.runtimes[static_cast<size_t>(c)]);
+      }
+      const PreparedBatch batch = model.PrepareBatch(items);
+      tape.Clear();
+      nn::Tensor stacked = model.ForwardBatch(tape, batch, /*training=*/true);
+      nn::Tensor loss;
+      if (cfg.loss == LossKind::kMse) {
+        // Ablation row 'MSE loss (not rank)': regress log runtimes directly.
+        loss = nn::MseLogLoss(tape, stacked, targets);
+      } else {
+        loss =
+            nn::PairwiseRankLoss(tape, stacked, targets, Surrogate(cfg.loss));
+      }
+      tape.Backward(loss);
+      adam.Step(params);
+
+      const double value = loss.scalar();
+      if (step == 0) stats.first_loss = value;
+      window_loss += value;
+      ++window_count;
+      if ((step + 1) % 100 == 0) {
+        adam.DecayLearningRate();
+        if (step + 1 < cfg.train_steps) {
+          window_loss = 0;
+          window_count = 0;
+        }
+      }
+    }
+  }
+
+  TrainStats Finish(Clock::time_point start) {
+    stats.steps = cfg.train_steps;
+    stats.final_loss = window_count > 0 ? window_loss / window_count : 0;
+    stats.wall_seconds = Seconds(start);
+    return stats;
+  }
+};
+
+struct FusionTrainLoop {
+  LearnedCostModel& model;
+  const ModelConfig& cfg;
+  PreparedCache& cache;
+  std::mt19937_64 rng;
+  nn::Adam adam;
+  std::vector<nn::Parameter*> params;
+  // Persistent arena-backed tape — see TileTrainLoop.
+  nn::TapeArena arena;
+  nn::Tape tape{/*grad_enabled=*/true, &arena};
+  TrainStats stats;
+  double window_loss = 0;
+  int window_count = 0;
+  int step = 0;
+
+  FusionTrainLoop(LearnedCostModel& m, PreparedCache& c)
+      : model(m), cfg(m.config()), cache(c), rng(cfg.seed ^ 0xF007ull),
+        adam(MakeAdamConfig(cfg)), params(m.params().params()) {}
+
+  void RunSteps(std::span<const data::FusionSample> samples,
+                const std::vector<std::vector<int>>& families, int steps) {
+    for (int s = 0; s < steps; ++s, ++step) {
+      // Assemble the minibatch: the RNG draws stay serial (so sampling is
+      // identical at any pool width), then the picked kernels featurize
+      // concurrently through the thread-safe cache.
+      std::vector<const data::FusionSample*> picked;
+      picked.reserve(static_cast<size_t>(cfg.kernels_per_batch));
+      for (int b = 0; b < cfg.kernels_per_batch; ++b) {
+        const auto& family =
+            families[(static_cast<size_t>(step) * cfg.kernels_per_batch + b) %
+                     families.size()];
+        std::uniform_int_distribution<size_t> pick(0, family.size() - 1);
+        picked.push_back(&samples[static_cast<size_t>(family[pick(rng)])]);
+      }
+      std::vector<const PreparedKernel*> prepared(picked.size());
+      const auto featurize = [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t b = b0; b < b1; ++b) {
+          const auto& sample = *picked[static_cast<size_t>(b)];
+          prepared[static_cast<size_t>(b)] = &cache.Get(
+              sample.record.kernel.graph, sample.record.fingerprint);
+        }
+      };
+      if (picked.size() > 1 && ThreadPool::Global().size() > 1) {
+        ParallelFor(0, static_cast<std::int64_t>(picked.size()), 1,
+                    featurize);
+      } else {
+        featurize(0, static_cast<std::int64_t>(picked.size()));
+      }
+      std::vector<BatchItem> items;
+      std::vector<double> targets;
+      items.reserve(picked.size());
+      targets.reserve(picked.size());
+      for (size_t b = 0; b < picked.size(); ++b) {
+        items.push_back(
+            {prepared[b], cfg.use_tile_features ? &picked[b]->tile : nullptr});
+        targets.push_back(picked[b]->runtime);
+      }
+      const PreparedBatch batch = model.PrepareBatch(items);
+      tape.Clear();
+      nn::Tensor stacked = model.ForwardBatch(tape, batch, /*training=*/true);
+      nn::Tensor loss;
+      if (cfg.loss == LossKind::kMse) {
+        loss = nn::MseLogLoss(tape, stacked, targets);
+      } else {
+        loss =
+            nn::PairwiseRankLoss(tape, stacked, targets, Surrogate(cfg.loss));
+      }
+      tape.Backward(loss);
+      adam.Step(params);
+
+      const double value = loss.scalar();
+      if (step == 0) stats.first_loss = value;
+      window_loss += value;
+      ++window_count;
+      if ((step + 1) % 100 == 0) {
+        adam.DecayLearningRate();
+        if (step + 1 < cfg.train_steps) {
+          window_loss = 0;
+          window_count = 0;
+        }
+      }
+    }
+  }
+
+  TrainStats Finish(Clock::time_point start) {
+    stats.steps = cfg.train_steps;
+    stats.final_loss = window_count > 0 ? window_loss / window_count : 0;
+    stats.wall_seconds = Seconds(start);
+    return stats;
+  }
+};
+
+std::vector<std::vector<int>> TileFamilies(
+    std::span<const data::TileKernelData> kernels,
+    std::span<const int> train_program_ids) {
+  return GroupByFamily(
+      static_cast<int>(kernels.size()),
+      [&](int i) {
+        const auto& rec = kernels[static_cast<size_t>(i)].record;
+        return std::pair(rec.family, rec.program_id);
+      },
+      train_program_ids);
+}
+
+std::vector<std::vector<int>> FusionFamilies(
+    std::span<const data::FusionSample> samples,
+    std::span<const int> train_program_ids) {
+  return GroupByFamily(
+      static_cast<int>(samples.size()),
+      [&](int i) {
+        const auto& rec = samples[static_cast<size_t>(i)].record;
+        return std::pair(rec.family, rec.program_id);
+      },
+      train_program_ids);
+}
+
+// Default per-window step budget for the streaming trainers.
+int ResolveStepsPerWindow(int requested, int train_steps,
+                          std::size_t windows) {
+  if (requested > 0) return requested;
+  if (windows <= 1) return train_steps;
+  return static_cast<int>(
+      (static_cast<std::size_t>(train_steps) + windows - 1) / windows);
+}
+
+}  // namespace
+
 TrainStats TrainTileTask(LearnedCostModel& model,
                          const data::TileDataset& dataset,
                          std::span<const int> train_program_ids,
                          PreparedCache& cache) {
   const auto start = Clock::now();
-  const ModelConfig& cfg = model.config();
-  std::mt19937_64 rng(cfg.seed ^ 0x7e11ull);
 
   // ---- Fit feature scalers on the training slice ---------------------------
   if (!model.fitted()) {
@@ -166,86 +393,14 @@ TrainStats TrainTileTask(LearnedCostModel& model,
     model.FinishFitting();
   }
 
-  const auto families = GroupByFamily(
-      static_cast<int>(dataset.kernels.size()),
-      [&](int i) {
-        const auto& rec = dataset.kernels[static_cast<size_t>(i)].record;
-        return std::pair(rec.family, rec.program_id);
-      },
-      train_program_ids);
+  const auto families = TileFamilies(dataset.kernels, train_program_ids);
   if (families.empty()) {
     throw std::invalid_argument("TrainTileTask: no training kernels");
   }
 
-  nn::Adam adam(MakeAdamConfig(cfg));
-  const auto params = model.params().params();
-
-  // One arena-backed tape for the whole run: Clear() recycles every node's
-  // value/grad buffer (and the node shells) into the arena, so steady-state
-  // steps run with (near) zero tape heap allocations instead of rebuilding
-  // the whole tape from malloc each minibatch.
-  nn::TapeArena arena;
-  nn::Tape tape(/*grad_enabled=*/true, &arena);
-
-  TrainStats stats;
-  double window_loss = 0;
-  int window_count = 0;
-  for (int step = 0; step < cfg.train_steps; ++step) {
-    // Balanced sampling: cycle families, pick a random kernel inside.
-    const auto& family = families[static_cast<size_t>(step) % families.size()];
-    std::uniform_int_distribution<size_t> pick(0, family.size() - 1);
-    const auto& kdata = dataset.kernels[static_cast<size_t>(family[pick(rng)])];
-    if (kdata.configs.size() < 2) continue;
-
-    const PreparedKernel& pk =
-        cache.Get(kdata.record.kernel.graph, kdata.record.fingerprint);
-
-    // Sample a batch of distinct tile configs of this kernel.
-    const int m = std::min<int>(cfg.configs_per_batch,
-                                static_cast<int>(kdata.configs.size()));
-    std::vector<int> chosen(kdata.configs.size());
-    std::iota(chosen.begin(), chosen.end(), 0);
-    std::shuffle(chosen.begin(), chosen.end(), rng);
-    chosen.resize(static_cast<size_t>(m));
-
-    // One packed batch (same kernel, m tile configs) -> one forward pass.
-    std::vector<BatchItem> items;
-    std::vector<double> targets;
-    items.reserve(static_cast<size_t>(m));
-    targets.reserve(static_cast<size_t>(m));
-    for (const int c : chosen) {
-      items.push_back({&pk, &kdata.configs[static_cast<size_t>(c)]});
-      targets.push_back(kdata.runtimes[static_cast<size_t>(c)]);
-    }
-    const PreparedBatch batch = model.PrepareBatch(items);
-    tape.Clear();
-    nn::Tensor stacked = model.ForwardBatch(tape, batch, /*training=*/true);
-    nn::Tensor loss;
-    if (cfg.loss == LossKind::kMse) {
-      // Ablation row 'MSE loss (not rank)': regress log runtimes directly.
-      loss = nn::MseLogLoss(tape, stacked, targets);
-    } else {
-      loss = nn::PairwiseRankLoss(tape, stacked, targets, Surrogate(cfg.loss));
-    }
-    tape.Backward(loss);
-    adam.Step(params);
-
-    const double value = loss.scalar();
-    if (step == 0) stats.first_loss = value;
-    window_loss += value;
-    ++window_count;
-    if ((step + 1) % 100 == 0) {
-      adam.DecayLearningRate();
-      if (step + 1 < cfg.train_steps) {
-        window_loss = 0;
-        window_count = 0;
-      }
-    }
-  }
-  stats.steps = cfg.train_steps;
-  stats.final_loss = window_count > 0 ? window_loss / window_count : 0;
-  stats.wall_seconds = Seconds(start);
-  return stats;
+  TileTrainLoop loop(model, cache);
+  loop.RunSteps(dataset.kernels, families, loop.cfg.train_steps);
+  return loop.Finish(start);
 }
 
 TrainStats TrainFusionTask(LearnedCostModel& model,
@@ -254,7 +409,6 @@ TrainStats TrainFusionTask(LearnedCostModel& model,
                            PreparedCache& cache) {
   const auto start = Clock::now();
   const ModelConfig& cfg = model.config();
-  std::mt19937_64 rng(cfg.seed ^ 0xF007ull);
 
   if (!model.fitted()) {
     std::unordered_set<int> wanted(train_program_ids.begin(),
@@ -275,90 +429,127 @@ TrainStats TrainFusionTask(LearnedCostModel& model,
     }
   }
 
-  const auto families = GroupByFamily(
-      static_cast<int>(dataset.samples.size()),
-      [&](int i) {
-        const auto& rec = dataset.samples[static_cast<size_t>(i)].record;
-        return std::pair(rec.family, rec.program_id);
-      },
-      train_program_ids);
+  const auto families = FusionFamilies(dataset.samples, train_program_ids);
   if (families.empty()) {
     throw std::invalid_argument("TrainFusionTask: no training samples");
   }
 
-  nn::Adam adam(MakeAdamConfig(cfg));
-  const auto params = model.params().params();
+  FusionTrainLoop loop(model, cache);
+  loop.RunSteps(dataset.samples, families, cfg.train_steps);
+  return loop.Finish(start);
+}
 
-  // Persistent arena-backed tape — see TrainTileTask.
-  nn::TapeArena arena;
-  nn::Tape tape(/*grad_enabled=*/true, &arena);
+// ---- Streaming trainers ----------------------------------------------------
 
-  TrainStats stats;
-  double window_loss = 0;
-  int window_count = 0;
-  for (int step = 0; step < cfg.train_steps; ++step) {
-    // Assemble the minibatch: the RNG draws stay serial (so sampling is
-    // identical at any pool width), then the picked kernels featurize
-    // concurrently through the thread-safe cache.
-    std::vector<const data::FusionSample*> picked;
-    picked.reserve(static_cast<size_t>(cfg.kernels_per_batch));
-    for (int b = 0; b < cfg.kernels_per_batch; ++b) {
-      const auto& family =
-          families[(static_cast<size_t>(step) * cfg.kernels_per_batch + b) %
-                   families.size()];
-      std::uniform_int_distribution<size_t> pick(0, family.size() - 1);
-      picked.push_back(&dataset.samples[static_cast<size_t>(family[pick(rng)])]);
-    }
-    std::vector<const PreparedKernel*> prepared(picked.size());
-    const auto featurize = [&](std::int64_t b0, std::int64_t b1) {
-      for (std::int64_t b = b0; b < b1; ++b) {
-        const auto& sample = *picked[static_cast<size_t>(b)];
-        prepared[static_cast<size_t>(b)] =
-            &cache.Get(sample.record.kernel.graph, sample.record.fingerprint);
+TrainStats TrainTileTaskStreaming(LearnedCostModel& model,
+                                  data::StreamingSampler& sampler,
+                                  std::span<const int> train_program_ids,
+                                  PreparedCache& cache,
+                                  int steps_per_window) {
+  const auto start = Clock::now();
+  if (sampler.task() != data::StreamTask::kTile) {
+    throw std::invalid_argument(
+        "TrainTileTaskStreaming: sampler streams the fusion task");
+  }
+  const ModelConfig& cfg = model.config();
+
+  // Scaler pre-pass: stream the windows in CANONICAL order with the exact
+  // in-memory dedupe (fingerprint only, first occurrence in dataset order)
+  // so the fitted scalers match TrainTileTask bit for bit.
+  if (!model.fitted()) {
+    std::unordered_set<std::uint64_t> seen;
+    std::unordered_set<int> wanted(train_program_ids.begin(),
+                                   train_program_ids.end());
+    for (std::size_t w = 0; w < sampler.windows_per_epoch(); ++w) {
+      const data::StreamWindow window = sampler.Window(w);
+      for (const auto& k : window.tile) {
+        if (!wanted.contains(k.record.program_id)) continue;
+        if (!seen.insert(k.record.fingerprint).second) continue;
+        FitNodeScalerVia(model, cache.feature_source(), k.record.kernel.graph,
+                         k.record.fingerprint);
+        for (const auto& tile : k.configs) model.FitTileScaler(tile);
       }
-    };
-    if (picked.size() > 1 && ThreadPool::Global().size() > 1) {
-      ParallelFor(0, static_cast<std::int64_t>(picked.size()), 1, featurize);
-    } else {
-      featurize(0, static_cast<std::int64_t>(picked.size()));
     }
-    std::vector<BatchItem> items;
-    std::vector<double> targets;
-    items.reserve(picked.size());
-    targets.reserve(picked.size());
-    for (size_t b = 0; b < picked.size(); ++b) {
-      items.push_back(
-          {prepared[b], cfg.use_tile_features ? &picked[b]->tile : nullptr});
-      targets.push_back(picked[b]->runtime);
-    }
-    const PreparedBatch batch = model.PrepareBatch(items);
-    tape.Clear();
-    nn::Tensor stacked = model.ForwardBatch(tape, batch, /*training=*/true);
-    nn::Tensor loss;
-    if (cfg.loss == LossKind::kMse) {
-      loss = nn::MseLogLoss(tape, stacked, targets);
-    } else {
-      loss = nn::PairwiseRankLoss(tape, stacked, targets, Surrogate(cfg.loss));
-    }
-    tape.Backward(loss);
-    adam.Step(params);
+    model.FinishFitting();
+  }
 
-    const double value = loss.scalar();
-    if (step == 0) stats.first_loss = value;
-    window_loss += value;
-    ++window_count;
-    if ((step + 1) % 100 == 0) {
-      adam.DecayLearningRate();
-      if (step + 1 < cfg.train_steps) {
-        window_loss = 0;
-        window_count = 0;
+  const int per_window = ResolveStepsPerWindow(
+      steps_per_window, cfg.train_steps, sampler.windows_per_epoch());
+  TileTrainLoop loop(model, cache);
+  // A window may hold no training kernels (every record filtered out); skip
+  // it — but a full epoch of empty windows means the split has no training
+  // data at all, the in-memory trainers' invalid_argument case.
+  std::size_t consecutive_empty = 0;
+  while (loop.step < cfg.train_steps) {
+    const data::StreamWindow window = sampler.Next();
+    const auto families = TileFamilies(window.tile, train_program_ids);
+    if (families.empty()) {
+      if (++consecutive_empty >= sampler.windows_per_epoch()) {
+        throw std::invalid_argument(
+            "TrainTileTaskStreaming: no training kernels");
       }
+      continue;
+    }
+    consecutive_empty = 0;
+    loop.RunSteps(window.tile, families,
+                  std::min(per_window, cfg.train_steps - loop.step));
+  }
+  return loop.Finish(start);
+}
+
+TrainStats TrainFusionTaskStreaming(LearnedCostModel& model,
+                                    data::StreamingSampler& sampler,
+                                    std::span<const int> train_program_ids,
+                                    PreparedCache& cache,
+                                    int steps_per_window) {
+  const auto start = Clock::now();
+  if (sampler.task() != data::StreamTask::kFusion) {
+    throw std::invalid_argument(
+        "TrainFusionTaskStreaming: sampler streams the tile task");
+  }
+  const ModelConfig& cfg = model.config();
+
+  if (!model.fitted()) {
+    std::unordered_set<int> wanted(train_program_ids.begin(),
+                                   train_program_ids.end());
+    double log_sum = 0;
+    long log_count = 0;
+    for (std::size_t w = 0; w < sampler.windows_per_epoch(); ++w) {
+      const data::StreamWindow window = sampler.Window(w);
+      for (const auto& s : window.fusion) {
+        if (!wanted.contains(s.record.program_id)) continue;
+        FitNodeScalerVia(model, cache.feature_source(), s.record.kernel.graph,
+                         s.record.fingerprint);
+        model.FitTileScaler(s.tile);
+        log_sum += std::log(s.runtime + 1e-9);
+        ++log_count;
+      }
+    }
+    model.FinishFitting();
+    if (cfg.log_target && log_count > 0) {
+      model.SetOutputBias(static_cast<float>(log_sum / log_count));
     }
   }
-  stats.steps = cfg.train_steps;
-  stats.final_loss = window_count > 0 ? window_loss / window_count : 0;
-  stats.wall_seconds = Seconds(start);
-  return stats;
+
+  const int per_window = ResolveStepsPerWindow(
+      steps_per_window, cfg.train_steps, sampler.windows_per_epoch());
+  FusionTrainLoop loop(model, cache);
+  std::size_t consecutive_empty = 0;
+  while (loop.step < cfg.train_steps) {
+    const data::StreamWindow window = sampler.Next();
+    const auto families = FusionFamilies(window.fusion, train_program_ids);
+    if (families.empty()) {
+      if (++consecutive_empty >= sampler.windows_per_epoch()) {
+        throw std::invalid_argument(
+            "TrainFusionTaskStreaming: no training samples");
+      }
+      continue;
+    }
+    consecutive_empty = 0;
+    loop.RunSteps(window.fusion, families,
+                  std::min(per_window, cfg.train_steps - loop.step));
+  }
+  return loop.Finish(start);
 }
 
 }  // namespace tpuperf::core

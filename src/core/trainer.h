@@ -18,6 +18,7 @@
 
 #include "core/cost_model.h"
 #include "dataset/datasets.h"
+#include "dataset/streaming.h"
 
 namespace tpuperf::core {
 
@@ -104,5 +105,30 @@ TrainStats TrainFusionTask(LearnedCostModel& model,
                            const data::FusionDataset& dataset,
                            std::span<const int> train_program_ids,
                            PreparedCache& cache);
+
+// Out-of-core variants: train from a dataset::StreamingSampler instead of a
+// materialized dataset, holding only one shuffle window (plus its prefetched
+// successor) in memory. The step logic is the SAME code as the in-memory
+// trainers (shared loop structs in trainer.cpp), so with a single window
+// (sampler window_records = 0, i.e. window >= corpus) the loss sequence is
+// bit-identical to TrainTileTask / TrainFusionTask — the streaming_test
+// suite holds this with EXPECT_EQ. The scaler pre-pass streams the windows
+// in canonical order with the exact in-memory dedupe (fingerprint-only, in
+// dataset order), so fitted scalers match bit for bit too.
+//
+// `steps_per_window` <= 0 picks the default: all steps when the sampler has
+// one window, otherwise ceil(train_steps / windows_per_epoch) so one pass
+// over the data spreads the step budget across every window.
+TrainStats TrainTileTaskStreaming(LearnedCostModel& model,
+                                  data::StreamingSampler& sampler,
+                                  std::span<const int> train_program_ids,
+                                  PreparedCache& cache,
+                                  int steps_per_window = 0);
+
+TrainStats TrainFusionTaskStreaming(LearnedCostModel& model,
+                                    data::StreamingSampler& sampler,
+                                    std::span<const int> train_program_ids,
+                                    PreparedCache& cache,
+                                    int steps_per_window = 0);
 
 }  // namespace tpuperf::core

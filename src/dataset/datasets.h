@@ -91,6 +91,20 @@ struct DatasetOptions {
   int fusion_configs_per_program = 12;
   std::uint64_t seed = 0x5EEDull;
 
+  // The CorpusOptions that generated the corpus these datasets are built
+  // from. Two corpora can share a program prefix (tier extension grows the
+  // corpus in place), so the dataset-store cache key MUST fold these in —
+  // hashing only the program list would let a scaled-up corpus alias a
+  // stale store written at a smaller scale with a colliding prefix.
+  double corpus_scale = 1.0;
+  std::uint64_t corpus_seed = 0;
+
+  // When > 0, dataset stores written for these options are sharded into
+  // part files of roughly this many bytes behind a manifest (see
+  // dataset/store.h). Purely a storage layout knob: it does NOT enter the
+  // cache key, because the logical dataset is identical either way.
+  std::uint64_t store_part_bytes = 0;
+
   // Multiplies the budgets above; wired to the REPRO_SCALE env var in
   // benches.
   void ApplyScale(double scale);

@@ -1,6 +1,7 @@
 #include "dataset/store.h"
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -31,11 +32,9 @@ std::uint64_t HashString(std::string_view s) noexcept {
   return Fnv1a64(s.data(), s.size());
 }
 
-// Header layout: magic(8) version(4) feature_hash(8) record_count(8).
-constexpr std::size_t kHeaderSize = 28;
+constexpr std::size_t kHeaderSize = kStoreHeaderSize;
 constexpr std::size_t kRecordCountOffset = 20;
-// Per-record prefix: type(4) payload_size(8) checksum(8).
-constexpr std::size_t kRecordHeaderSize = 20;
+constexpr std::size_t kRecordHeaderSize = kStoreRecordHeaderSize;
 
 // ---- IR serialization ------------------------------------------------------
 
@@ -138,22 +137,20 @@ ir::TileConfig DecodeTile(Dec& d) {
   return tile;
 }
 
-void EncodeKernelRecord(Enc& e, const KernelRecord& record) {
-  EncodeGraph(e, record.kernel.graph);
-  e.U8(static_cast<std::uint8_t>(record.kernel.kind));
-  e.U64(record.fingerprint);
-  e.I32(record.program_id);
-  e.Str(record.family);
-}
-
-KernelRecord DecodeKernelRecord(Dec& d) {
-  KernelRecord record;
-  record.kernel.graph = DecodeGraph(d);
+ir::KernelKind DecodeKernelKind(Dec& d) {
   const std::uint8_t kind = d.U8();
   if (kind > static_cast<std::uint8_t>(ir::KernelKind::kDataFormatting)) {
     d.Fail("unknown kernel kind " + std::to_string(kind));
   }
-  record.kernel.kind = static_cast<ir::KernelKind>(kind);
+  return static_cast<ir::KernelKind>(kind);
+}
+
+// Inline (tag 0 / pre-v3) kernel record: the full graph in place. The v3
+// writer always dictionary-compresses, so only the decoder survives.
+KernelRecord DecodeKernelRecordInline(Dec& d) {
+  KernelRecord record;
+  record.kernel.graph = DecodeGraph(d);
+  record.kernel.kind = DecodeKernelKind(d);
   record.fingerprint = d.U64();
   record.program_id = d.I32();
   record.family = d.Str();
@@ -161,6 +158,41 @@ KernelRecord DecodeKernelRecord(Dec& d) {
     d.Fail("stored fingerprint does not match the decoded graph "
            "(serialization drift or tampering)");
   }
+  return record;
+}
+
+// v3 layout tags for kernel-bearing payloads. The writer always emits
+// dictionary references; inline stays decodable for forward flexibility.
+constexpr std::uint8_t kKernelInlineTag = 0;
+constexpr std::uint8_t kKernelDictRefTag = 1;
+
+// Dictionary reference (tag 1): graph + kind + fingerprint live in a
+// kGraphDictRecordType record of the same file; only the per-sample
+// fields are repeated here.
+void EncodeKernelRecordRef(Enc& e, const KernelRecord& record,
+                           std::uint32_t dict_index) {
+  e.U8(kKernelDictRefTag);
+  e.U32(dict_index);
+  e.I32(record.program_id);
+  e.Str(record.family);
+}
+
+// Version-aware kernel-record decode: pre-v3 payloads have no tag byte.
+KernelRecord DecodeKernelRecord(Dec& d, std::uint32_t version,
+                                const GraphDict& dict) {
+  if (version < 3) return DecodeKernelRecordInline(d);
+  const std::uint8_t tag = d.U8();
+  if (tag == kKernelInlineTag) return DecodeKernelRecordInline(d);
+  if (tag != kKernelDictRefTag) {
+    d.Fail("unknown kernel-record layout tag " + std::to_string(tag));
+  }
+  const std::uint32_t index = d.U32();
+  const GraphDict::Entry& entry = dict.At(index, d.context());
+  KernelRecord record;
+  record.kernel = entry.kernel;
+  record.fingerprint = entry.fingerprint;
+  record.program_id = d.I32();
+  record.family = d.Str();
   return record;
 }
 
@@ -182,9 +214,18 @@ ProgramInfo DecodeProgramPayload(Dec& d) {
   return p;
 }
 
-std::string EncodeTileKernelPayload(const TileKernelData& k) {
+std::string EncodeGraphDictPayload(const KernelRecord& record) {
   Enc e;
-  EncodeKernelRecord(e, k.record);
+  EncodeGraph(e, record.kernel.graph);
+  e.U8(static_cast<std::uint8_t>(record.kernel.kind));
+  e.U64(record.fingerprint);
+  return e.bytes();
+}
+
+std::string EncodeTileKernelPayload(const TileKernelData& k,
+                                    std::uint32_t dict_index) {
+  Enc e;
+  EncodeKernelRecordRef(e, k.record, dict_index);
   if (k.configs.size() != k.runtimes.size()) {
     throw StoreError("tile kernel has " + std::to_string(k.configs.size()) +
                      " configs but " + std::to_string(k.runtimes.size()) +
@@ -198,9 +239,10 @@ std::string EncodeTileKernelPayload(const TileKernelData& k) {
   return e.bytes();
 }
 
-TileKernelData DecodeTileKernelPayload(Dec& d) {
+TileKernelData DecodeTileKernelPayload(Dec& d, std::uint32_t version,
+                                       const GraphDict& dict) {
   TileKernelData k;
-  k.record = DecodeKernelRecord(d);
+  k.record = DecodeKernelRecord(d, version, dict);
   const std::uint32_t count = d.U32();
   k.configs.reserve(count);
   k.runtimes.reserve(count);
@@ -211,18 +253,20 @@ TileKernelData DecodeTileKernelPayload(Dec& d) {
   return k;
 }
 
-std::string EncodeFusionSamplePayload(const FusionSample& s) {
+std::string EncodeFusionSamplePayload(const FusionSample& s,
+                                      std::uint32_t dict_index) {
   Enc e;
-  EncodeKernelRecord(e, s.record);
+  EncodeKernelRecordRef(e, s.record, dict_index);
   EncodeTile(e, s.tile);
   e.F64(s.runtime);
   e.U8(s.from_default_config ? 1 : 0);
   return e.bytes();
 }
 
-FusionSample DecodeFusionSamplePayload(Dec& d) {
+FusionSample DecodeFusionSamplePayload(Dec& d, std::uint32_t version,
+                                       const GraphDict& dict) {
   FusionSample s;
-  s.record = DecodeKernelRecord(d);
+  s.record = DecodeKernelRecord(d, version, dict);
   s.tile = DecodeTile(d);
   s.runtime = d.F64();
   s.from_default_config = d.U8() != 0;
@@ -347,6 +391,60 @@ std::pair<std::string, feat::FeatureScaler> DecodeScalerPayload(Dec& d) {
                                          observed)};
 }
 
+// Decodes one record into StoreContents, threading the file's graph
+// dictionary. Shared by ReadAll (single file) and ReadStoreContents
+// (per part, merging in record order).
+void DecodeRecordInto(StoreContents& out, const RecordView& view,
+                      std::uint32_t version, GraphDict& dict) {
+  Dec d(view.payload.data(), view.payload.size(), view.context);
+  try {
+    switch (view.type) {
+      case kProgramRecordType:
+        out.programs.push_back(DecodeProgramPayload(d));
+        break;
+      case kTileKernelRecordType:
+        out.tile.kernels.push_back(DecodeTileKernelPayload(d, version, dict));
+        break;
+      case kFusionSampleRecordType:
+        out.fusion.samples.push_back(
+            DecodeFusionSamplePayload(d, version, dict));
+        break;
+      case kFeaturizedRecordType:
+        out.features->Add(DecodeFeaturizedPayload(d));
+        break;
+      case kScalerRecordType: {
+        auto [name, scaler] = DecodeScalerPayload(d);
+        out.scalers.insert_or_assign(std::move(name), std::move(scaler));
+        break;
+      }
+      case kGraphDictRecordType:
+        dict.Add(view);
+        return;  // GraphDict::Add runs its own trailing-bytes check
+      case kManifestRecordType:
+        throw StoreError(view.context +
+                         ": sharded-store manifest record inside a plain "
+                         "dataset read; open this path with "
+                         "data::ReadStoreContents instead");
+      case kModelConfigRecordType:
+      case kModelParamsRecordType:
+        throw StoreError(view.context + ": model-snapshot record (type " +
+                         std::to_string(view.type) +
+                         ") inside a dataset read; open this file with "
+                         "serve::LoadModelSnapshot instead");
+      default:
+        throw StoreError(view.context + ": unknown record type " +
+                         std::to_string(view.type));
+    }
+  } catch (const StoreError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw StoreError(view.context + ": " + e.what());
+  }
+  if (!d.AtEnd()) {
+    throw StoreError(view.context + ": trailing bytes inside record payload");
+  }
+}
+
 // ---- Shared build-path helpers ---------------------------------------------
 
 using Clock = std::chrono::steady_clock;
@@ -440,6 +538,69 @@ const feat::KernelFeatures* StoredFeatures::Lookup(
   return nullptr;
 }
 
+// ---- GraphDict -------------------------------------------------------------
+
+void GraphDict::Add(const RecordView& record) {
+  Dec d(record.payload.data(), record.payload.size(), record.context);
+  Entry entry;
+  entry.kernel.graph = DecodeGraph(d);
+  entry.kernel.kind = DecodeKernelKind(d);
+  entry.fingerprint = d.U64();
+  if (!d.AtEnd()) d.Fail("trailing bytes inside record payload");
+  if (entry.fingerprint != entry.kernel.graph.Fingerprint()) {
+    d.Fail("stored dictionary fingerprint does not match the decoded graph "
+           "(serialization drift or tampering)");
+  }
+  entry.structural_sig = entry.kernel.graph.StructuralSignature();
+  entries_.push_back(std::move(entry));
+}
+
+const GraphDict::Entry& GraphDict::At(std::uint32_t index,
+                                      const std::string& context) const {
+  if (index >= entries_.size()) {
+    throw StoreError(context + ": kernel record references graph-dictionary "
+                     "index " + std::to_string(index) + " but only " +
+                     std::to_string(entries_.size()) +
+                     " dictionary records precede it (corrupt store)");
+  }
+  return entries_[index];
+}
+
+// ---- Record-level decode entry points --------------------------------------
+
+TileKernelData DecodeTileKernelRecord(const RecordView& record,
+                                      std::uint32_t version,
+                                      const GraphDict& dict) {
+  Dec d(record.payload.data(), record.payload.size(), record.context);
+  TileKernelData k = DecodeTileKernelPayload(d, version, dict);
+  if (!d.AtEnd()) d.Fail("trailing bytes inside record payload");
+  return k;
+}
+
+FusionSample DecodeFusionSampleRecord(const RecordView& record,
+                                      std::uint32_t version,
+                                      const GraphDict& dict) {
+  Dec d(record.payload.data(), record.payload.size(), record.context);
+  FusionSample s = DecodeFusionSamplePayload(d, version, dict);
+  if (!d.AtEnd()) d.Fail("trailing bytes inside record payload");
+  return s;
+}
+
+FeaturizedKernel DecodeFeaturizedRecord(const RecordView& record) {
+  Dec d(record.payload.data(), record.payload.size(), record.context);
+  FeaturizedKernel fk = DecodeFeaturizedPayload(d);
+  if (!d.AtEnd()) d.Fail("trailing bytes inside record payload");
+  return fk;
+}
+
+std::pair<std::uint64_t, std::uint64_t> PeekFeaturizedKey(
+    const RecordView& record) {
+  Dec d(record.payload.data(), record.payload.size(), record.context);
+  const std::uint64_t fingerprint = d.U64();
+  const std::uint64_t sig = d.U64();
+  return {fingerprint, sig};
+}
+
 // ---- Format-level helpers --------------------------------------------------
 
 std::uint64_t FeatureConfigHash() {
@@ -460,13 +621,25 @@ std::uint64_t FeatureConfigHash() {
 // result is checked; failures throw StoreError naming the file and errno.
 // Non-unix builds keep a buffered std::ofstream.
 
+struct DatasetWriter::Part {
+  std::string tmp_path;
+  std::string final_path;
+  std::string file;  // final basename, for the manifest
+#if defined(TPUPERF_STORE_HAS_MMAP)
+  int fd = -1;
+#else
+  std::unique_ptr<std::ofstream> os;
+#endif
+  std::uint64_t records = 0;
+  std::uint64_t bytes = kHeaderSize;
+  std::uint64_t fnv = kFnv1a64Seed;  // running hash of the records region
+
+  void Write(const char* data, std::size_t size);
+};
+
 namespace {
 
 #if defined(TPUPERF_STORE_HAS_MMAP)
-
-struct WriterIo {
-  int fd = -1;
-};
 
 int OpenForWrite(const std::string& path) {
   int fd;
@@ -504,157 +677,234 @@ void WarnClose(int fd, const std::string& path) {
   }
 }
 
-#else
-std::ofstream& Stream(void* p) { return *static_cast<std::ofstream*>(p); }
 #endif
+
+// Unique temporary suffix per writer part: concurrent cold builds of the
+// same key (shared cache dirs) each complete their own file, and the atomic
+// rename makes the last finisher win with a consistent store.
+std::string TmpSuffix(const void* self) {
+  return ".tmp." +
+         std::to_string(static_cast<unsigned long long>(
+             Clock::now().time_since_epoch().count())) +
+         "." + std::to_string(reinterpret_cast<std::uintptr_t>(self));
+}
 
 }  // namespace
 
-DatasetWriter::DatasetWriter(std::string path) : path_(std::move(path)) {
-  // Unique temporary per writer: concurrent cold builds of the same key
-  // (shared cache dirs) each complete their own file, and the atomic rename
-  // makes the last finisher win with a consistent store.
-  tmp_path_ = path_ + ".tmp." +
-              std::to_string(static_cast<unsigned long long>(
-                  Clock::now().time_since_epoch().count())) +
-              "." +
-              std::to_string(reinterpret_cast<std::uintptr_t>(this));
-  Enc e;
-  e.U32(kStoreFormatVersion);
-  e.U64(FeatureConfigHash());
-  e.U64(0);  // record count, patched by Finish()
+void DatasetWriter::Part::Write(const char* data, std::size_t size) {
 #if defined(TPUPERF_STORE_HAS_MMAP)
-  const int fd = OpenForWrite(tmp_path_);
-  if (fd < 0) {
-    throw StoreError(tmp_path_ + ": cannot open for writing (" +
-                     std::string(std::strerror(errno)) + ")");
-  }
-  try {
-    WriteAll(fd, kStoreMagic, sizeof(kStoreMagic), tmp_path_);
-    WriteAll(fd, e.bytes().data(), e.bytes().size(), tmp_path_);
-  } catch (...) {
-    // The destructor never runs when the constructor throws; release the
-    // descriptor and the half-written temporary here.
-    WarnClose(fd, tmp_path_);
-    std::error_code ec;
-    std::filesystem::remove(tmp_path_, ec);
-    throw;
-  }
-  io_ = new WriterIo{fd};
+  WriteAll(fd, data, size, tmp_path);
 #else
-  auto stream = std::make_unique<std::ofstream>(
-      tmp_path_, std::ios::binary | std::ios::trunc);
-  if (!*stream) {
-    throw StoreError(tmp_path_ + ": cannot open for writing");
-  }
-  stream->write(kStoreMagic, sizeof(kStoreMagic));
-  stream->write(e.bytes().data(),
-                static_cast<std::streamsize>(e.bytes().size()));
-  io_ = stream.release();
+  os->write(data, static_cast<std::streamsize>(size));
+  if (!*os) throw StoreError(tmp_path + ": write failed");
 #endif
 }
 
+DatasetWriter::DatasetWriter(std::string path, std::uint64_t max_part_bytes)
+    : path_(std::move(path)), max_part_bytes_(max_part_bytes) {
+  OpenPart();
+}
+
 DatasetWriter::~DatasetWriter() {
-  if (io_ != nullptr) {
+  if (part_ != nullptr) {
 #if defined(TPUPERF_STORE_HAS_MMAP)
-    WriterIo* io = static_cast<WriterIo*>(io_);
-    WarnClose(io->fd, tmp_path_);
-    delete io;
+    WarnClose(part_->fd, part_->tmp_path);
 #else
-    delete &Stream(io_);
+    part_->os.reset();
 #endif
-    io_ = nullptr;
+    std::error_code ec;
+    std::filesystem::remove(part_->tmp_path, ec);
+    part_.reset();
   }
   if (!finished_) {
-    std::error_code ec;
-    std::filesystem::remove(tmp_path_, ec);
+    // Sharded mode: parts already renamed into place are orphans without a
+    // manifest; remove them so an aborted build leaves nothing behind.
+    for (const PartInfo& info : parts_) {
+      std::error_code ec;
+      std::filesystem::remove(
+          StorePartPath(path_, info.file), ec);
+    }
   }
+}
+
+void DatasetWriter::OpenPart() {
+  auto part = std::make_unique<Part>();
+  if (max_part_bytes_ > 0) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".p%03zu", parts_.size());
+    part->final_path = path_ + suffix;
+  } else {
+    part->final_path = path_;
+  }
+  part->file = std::filesystem::path(part->final_path).filename().string();
+  part->tmp_path = part->final_path + TmpSuffix(this);
+  Enc e;
+  e.U32(kStoreFormatVersion);
+  e.U64(FeatureConfigHash());
+  e.U64(0);  // record count, patched by ClosePart()
+#if defined(TPUPERF_STORE_HAS_MMAP)
+  const int fd = OpenForWrite(part->tmp_path);
+  if (fd < 0) {
+    throw StoreError(part->tmp_path + ": cannot open for writing (" +
+                     std::string(std::strerror(errno)) + ")");
+  }
+  part->fd = fd;
+  try {
+    WriteAll(fd, kStoreMagic, sizeof(kStoreMagic), part->tmp_path);
+    WriteAll(fd, e.bytes().data(), e.bytes().size(), part->tmp_path);
+  } catch (...) {
+    WarnClose(fd, part->tmp_path);
+    std::error_code ec;
+    std::filesystem::remove(part->tmp_path, ec);
+    throw;
+  }
+#else
+  part->os = std::make_unique<std::ofstream>(
+      part->tmp_path, std::ios::binary | std::ios::trunc);
+  if (!*part->os) {
+    throw StoreError(part->tmp_path + ": cannot open for writing");
+  }
+  part->os->write(kStoreMagic, sizeof(kStoreMagic));
+  part->os->write(e.bytes().data(),
+                  static_cast<std::streamsize>(e.bytes().size()));
+#endif
+  part_ = std::move(part);
+  dict_.clear();  // dictionaries never span part files
+}
+
+void DatasetWriter::ClosePart() {
+  if (part_ == nullptr) throw StoreError(path_ + ": writer has no open file");
+  Enc e;
+  e.U64(part_->records);
+#if defined(TPUPERF_STORE_HAS_MMAP)
+  const int fd = part_->fd;
+  if (::lseek(fd, static_cast<off_t>(kRecordCountOffset), SEEK_SET) < 0) {
+    throw StoreError(part_->tmp_path + ": seek to record count failed (" +
+                     std::string(std::strerror(errno)) + ")");
+  }
+  WriteAll(fd, e.bytes().data(), e.bytes().size(), part_->tmp_path);
+  part_->fd = -1;
+  // A failed close can mean the kernel could not commit buffered data;
+  // surfacing it here keeps a corrupt store from being renamed into place.
+  if (::close(fd) != 0) {
+    throw StoreError(part_->tmp_path + ": close failed (" +
+                     std::string(std::strerror(errno)) + ")");
+  }
+#else
+  auto& os = *part_->os;
+  os.seekp(static_cast<std::streamoff>(kRecordCountOffset));
+  os.write(e.bytes().data(), static_cast<std::streamsize>(e.bytes().size()));
+  os.flush();
+  const bool ok = static_cast<bool>(os);
+  part_->os.reset();
+  if (!ok) throw StoreError(part_->tmp_path + ": flush failed");
+#endif
+  std::error_code ec;
+  std::filesystem::rename(part_->tmp_path, part_->final_path, ec);
+  if (ec) {
+    throw StoreError(part_->final_path + ": rename from temporary failed (" +
+                     ec.message() + ")");
+  }
+  parts_.push_back(PartInfo{part_->file, part_->records, part_->bytes,
+                            part_->fnv});
+  part_.reset();
+}
+
+void DatasetWriter::MaybeRoll() {
+  if (max_part_bytes_ == 0 || part_ == nullptr) return;
+  if (part_->records == 0 || part_->bytes < max_part_bytes_) return;
+  ClosePart();
+  OpenPart();
 }
 
 void DatasetWriter::WriteRecord(std::uint32_t type,
                                 const std::string& payload) {
-  if (finished_ || io_ == nullptr) {
+  if (finished_ || part_ == nullptr) {
     throw StoreError(path_ + ": writer already finished");
   }
   Enc header;
   header.U32(type);
   header.U64(payload.size());
   header.U64(Fnv1a64(payload.data(), payload.size()));
-#if defined(TPUPERF_STORE_HAS_MMAP)
-  const int fd = static_cast<WriterIo*>(io_)->fd;
-  WriteAll(fd, header.bytes().data(), header.bytes().size(), tmp_path_);
-  WriteAll(fd, payload.data(), payload.size(), tmp_path_);
-#else
-  auto& os = Stream(io_);
-  os.write(header.bytes().data(),
-           static_cast<std::streamsize>(header.bytes().size()));
-  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  if (!os) throw StoreError(tmp_path_ + ": write failed");
-#endif
+  part_->Write(header.bytes().data(), header.bytes().size());
+  part_->Write(payload.data(), payload.size());
+  part_->fnv = Fnv1a64Continue(part_->fnv, header.bytes().data(),
+                               header.bytes().size());
+  part_->fnv = Fnv1a64Continue(part_->fnv, payload.data(), payload.size());
+  part_->bytes += kRecordHeaderSize + payload.size();
+  ++part_->records;
   ++count_;
 }
 
+std::uint32_t DatasetWriter::DictIndexFor(const KernelRecord& record) {
+  const std::uint64_t sig = record.kernel.graph.StructuralSignature();
+  const auto key = std::make_pair(record.fingerprint, sig);
+  const auto it = dict_.find(key);
+  if (it != dict_.end()) return it->second;
+  const auto index = static_cast<std::uint32_t>(dict_.size());
+  WriteRecord(kGraphDictRecordType, EncodeGraphDictPayload(record));
+  dict_.emplace(key, index);
+  return index;
+}
+
 void DatasetWriter::AddRaw(std::uint32_t type, const std::string& payload) {
+  MaybeRoll();
   WriteRecord(type, payload);
 }
 
 void DatasetWriter::Add(const ProgramInfo& program) {
+  MaybeRoll();
   WriteRecord(kProgramRecordType, EncodeProgramPayload(program));
 }
 
 void DatasetWriter::Add(const TileKernelData& kernel) {
-  WriteRecord(kTileKernelRecordType, EncodeTileKernelPayload(kernel));
+  // Roll BEFORE the dictionary lookup so a freshly emitted dictionary
+  // record and its referencing kernel record always land in the same part.
+  MaybeRoll();
+  const std::uint32_t dict_index = DictIndexFor(kernel.record);
+  WriteRecord(kTileKernelRecordType,
+              EncodeTileKernelPayload(kernel, dict_index));
 }
 
 void DatasetWriter::Add(const FusionSample& sample) {
-  WriteRecord(kFusionSampleRecordType, EncodeFusionSamplePayload(sample));
+  MaybeRoll();
+  const std::uint32_t dict_index = DictIndexFor(sample.record);
+  WriteRecord(kFusionSampleRecordType,
+              EncodeFusionSamplePayload(sample, dict_index));
 }
 
 void DatasetWriter::Add(const FeaturizedKernel& kernel) {
+  MaybeRoll();
   WriteRecord(kFeaturizedRecordType, EncodeFeaturizedPayload(kernel));
 }
 
 void DatasetWriter::AddScaler(const std::string& name,
                               const feat::FeatureScaler& scaler) {
+  MaybeRoll();
   WriteRecord(kScalerRecordType, EncodeScalerPayload(name, scaler));
+}
+
+std::size_t DatasetWriter::part_count() const noexcept {
+  return parts_.size() + (part_ != nullptr ? 1 : 0);
 }
 
 void DatasetWriter::Finish() {
   if (finished_) return;
-  if (io_ == nullptr) throw StoreError(path_ + ": writer has no open file");
-  Enc e;
-  e.U64(count_);
-#if defined(TPUPERF_STORE_HAS_MMAP)
-  WriterIo* io = static_cast<WriterIo*>(io_);
-  const int fd = io->fd;
-  if (::lseek(fd, static_cast<off_t>(kRecordCountOffset), SEEK_SET) < 0) {
-    throw StoreError(tmp_path_ + ": seek to record count failed (" +
-                     std::string(std::strerror(errno)) + ")");
-  }
-  WriteAll(fd, e.bytes().data(), e.bytes().size(), tmp_path_);
-  io_ = nullptr;
-  delete io;
-  // A failed close can mean the kernel could not commit buffered data;
-  // surfacing it here keeps a corrupt store from being renamed into place.
-  if (::close(fd) != 0) {
-    throw StoreError(tmp_path_ + ": close failed (" +
-                     std::string(std::strerror(errno)) + ")");
-  }
-#else
-  auto& os = Stream(io_);
-  os.seekp(static_cast<std::streamoff>(kRecordCountOffset));
-  os.write(e.bytes().data(), static_cast<std::streamsize>(e.bytes().size()));
-  os.flush();
-  const bool ok = static_cast<bool>(os);
-  delete &os;
-  io_ = nullptr;
-  if (!ok) throw StoreError(tmp_path_ + ": flush failed");
-#endif
-  std::error_code ec;
-  std::filesystem::rename(tmp_path_, path_, ec);
-  if (ec) {
-    throw StoreError(path_ + ": rename from temporary failed (" +
-                     ec.message() + ")");
+  ClosePart();
+  if (max_part_bytes_ > 0) {
+    // Commit point of a sharded store: the manifest is renamed into place
+    // only after every part. Until then readers see no store at all.
+    Enc e;
+    e.U32(static_cast<std::uint32_t>(parts_.size()));
+    for (const PartInfo& info : parts_) {
+      e.Str(info.file);
+      e.U64(info.records);
+      e.U64(info.bytes);
+      e.U64(info.records_fnv);
+    }
+    DatasetWriter manifest(path_);
+    manifest.AddRaw(kManifestRecordType, e.bytes());
+    manifest.Finish();
   }
   finished_ = true;
 }
@@ -692,9 +942,9 @@ DatasetReader::DatasetReader(std::string path, ReadMode mode)
       throw StoreError(path_ + ": cannot mmap (missing or empty file?)");
     }
 #if defined(TPUPERF_STORE_HAS_MMAP)
-    // Stream fallback: a raw-fd read loop. ::read may return fewer bytes
-    // than asked or fail with EINTR; loop until EOF or a hard error (which
-    // throws StoreError) rather than treating a short read as the end.
+    // Stream mode keeps the descriptor open and preads records on demand —
+    // the file is never buffered whole, so memory stays O(largest record)
+    // and filtered walks seek past unwanted payloads.
     int fd;
     do {
       fd = ::open(path_.c_str(), O_RDONLY);
@@ -710,41 +960,27 @@ DatasetReader::DatasetReader(std::string path, ReadMode mode)
       throw StoreError(path_ + ": fstat failed (" +
                        std::string(std::strerror(saved)) + ")");
     }
-    owned_.resize(st.st_size > 0 ? static_cast<std::size_t>(st.st_size) : 0);
-    std::size_t done = 0;
-    while (done < owned_.size()) {
-      const ssize_t n = ::read(fd, owned_.data() + done, owned_.size() - done);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        const int saved = errno;
-        WarnClose(fd, path_);
-        throw StoreError(path_ + ": read failed at byte " +
-                         std::to_string(done) + " (" +
-                         std::string(std::strerror(saved)) + ")");
-      }
-      if (n == 0) break;  // EOF before st_size (file shrank): validate below
-      done += static_cast<std::size_t>(n);
-    }
-    owned_.resize(done);
-    WarnClose(fd, path_);
+    fd_ = fd;
+    size_ = st.st_size > 0 ? static_cast<std::size_t>(st.st_size) : 0;
 #else
     std::ifstream is(path_, std::ios::binary);
     if (!is) throw StoreError(path_ + ": cannot open");
     owned_.assign(std::istreambuf_iterator<char>(is),
                   std::istreambuf_iterator<char>());
-#endif
     data_ = owned_.data();
     size_ = owned_.size();
+#endif
   }
 
   if (size_ < kHeaderSize) {
     throw StoreError(path_ + ": truncated header (" + std::to_string(size_) +
                      " bytes, need " + std::to_string(kHeaderSize) + ")");
   }
-  if (std::memcmp(data_, kStoreMagic, sizeof(kStoreMagic)) != 0) {
+  const unsigned char* hdr = BytesAt(0, kHeaderSize, header_scratch_);
+  if (std::memcmp(hdr, kStoreMagic, sizeof(kStoreMagic)) != 0) {
     throw StoreError(path_ + ": bad magic — not a tpuperf dataset store");
   }
-  version_ = ReadU32At(data_ + 8);
+  version_ = ReadU32At(hdr + 8);
   if (version_ == 0) {
     throw StoreError(path_ + ": invalid format version 0");
   }
@@ -755,7 +991,7 @@ DatasetReader::DatasetReader(std::string path, ReadMode mode)
                      std::to_string(kStoreFormatVersion) +
                      "); refusing to guess at its layout");
   }
-  feature_hash_ = ReadU64At(data_ + 12);
+  feature_hash_ = ReadU64At(hdr + 12);
   if (feature_hash_ != FeatureConfigHash()) {
     char buf[128];
     std::snprintf(buf, sizeof(buf),
@@ -767,7 +1003,12 @@ DatasetReader::DatasetReader(std::string path, ReadMode mode)
                      " — the featurizer layout changed; regenerate the "
                      "dataset cache");
   }
-  count_ = ReadU64At(data_ + kRecordCountOffset);
+  count_ = ReadU64At(hdr + kRecordCountOffset);
+  // Peek the first record's type for manifest detection (cheap: 4 bytes).
+  if (count_ > 0 && size_ >= kHeaderSize + 4) {
+    first_record_type_ =
+        ReadU32At(BytesAt(kHeaderSize, 4, header_scratch_));
+  }
 }
 
 DatasetReader::~DatasetReader() {
@@ -778,40 +1019,90 @@ DatasetReader::~DatasetReader() {
     std::fprintf(stderr, "[tpuperf] warning: munmap(%s) failed: %s\n",
                  path_.c_str(), std::strerror(errno));
   }
+  if (fd_ >= 0) WarnClose(fd_, path_);
 #endif
 }
 
+const unsigned char* DatasetReader::BytesAt(
+    std::uint64_t offset, std::size_t size,
+    std::vector<unsigned char>& scratch) const {
+  if (data_ != nullptr) return data_ + offset;  // mmap / owned buffer
+#if defined(TPUPERF_STORE_HAS_MMAP)
+  scratch.resize(size);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pread(fd_, scratch.data() + done, size - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StoreError(path_ + ": read failed at byte " +
+                       std::to_string(offset + done) + " (" +
+                       std::string(std::strerror(errno)) + ")");
+    }
+    if (n == 0) {
+      throw StoreError(path_ + ": unexpected end of file at byte " +
+                       std::to_string(offset + done) +
+                       " (file shrank mid-read?)");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return scratch.data();
+#else
+  throw StoreError(path_ + ": internal error — no backing buffer");
+#endif
+}
+
+bool DatasetReader::sharded_manifest() const noexcept {
+  return count_ == 1 && first_record_type_ == kManifestRecordType;
+}
+
 void DatasetReader::ForEachRecord(
-    const std::function<void(std::uint32_t, const unsigned char*, std::size_t,
-                             const std::string&)>& fn) const {
-  std::size_t off = kHeaderSize;
+    const std::function<void(const RecordView&)>& fn,
+    std::span<const std::uint32_t> types) const {
+  std::uint64_t off = kHeaderSize;
   for (std::uint64_t r = 0; r < count_; ++r) {
-    const std::string context =
-        path_ + ": record " + std::to_string(r);
     // Models mid-stream truncation: the read aborts with the same diagnostic
     // StoreError contract as a real short file, never a partial load.
     if (core::FaultPointFires("store.short_read")) {
-      throw StoreError(context +
+      throw StoreError(path_ + ": record " + std::to_string(r) +
                        ": injected short read (fault point store.short_read)");
     }
     if (off + kRecordHeaderSize > size_) {
-      throw StoreError(context + ": record header runs past end of file "
+      throw StoreError(path_ + ": record " + std::to_string(r) +
+                       ": record header runs past end of file "
                        "(truncated store)");
     }
-    const std::uint32_t type = ReadU32At(data_ + off);
-    const std::uint64_t payload_size = ReadU64At(data_ + off + 4);
-    const std::uint64_t checksum = ReadU64At(data_ + off + 12);
+    const unsigned char* hdr =
+        BytesAt(off, kRecordHeaderSize, header_scratch_);
+    const std::uint32_t type = ReadU32At(hdr);
+    const std::uint64_t payload_size = ReadU64At(hdr + 4);
+    const std::uint64_t checksum = ReadU64At(hdr + 12);
     if (payload_size > size_ - (off + kRecordHeaderSize)) {
-      throw StoreError(context + ": payload of " +
-                       std::to_string(payload_size) +
+      throw StoreError(path_ + ": record " + std::to_string(r) +
+                       ": payload of " + std::to_string(payload_size) +
                        " bytes runs past end of file (truncated store)");
     }
-    const unsigned char* payload = data_ + off + kRecordHeaderSize;
-    if (Fnv1a64(payload, payload_size) != checksum) {
-      throw StoreError(context + " (type " + std::to_string(type) +
-                       "): checksum mismatch — corrupted store");
+    const bool wanted =
+        types.empty() ||
+        std::find(types.begin(), types.end(), type) != types.end();
+    if (wanted) {
+      RecordView view;
+      view.type = type;
+      view.offset = off;
+      view.context = path_ + ": record " + std::to_string(r);
+      const unsigned char* payload = BytesAt(
+          off + kRecordHeaderSize, static_cast<std::size_t>(payload_size),
+          scratch_);
+      if (Fnv1a64(payload, payload_size) != checksum) {
+        throw StoreError(view.context + " (type " + std::to_string(type) +
+                         "): checksum mismatch — corrupted store");
+      }
+      view.payload = std::span<const unsigned char>(
+          payload, static_cast<std::size_t>(payload_size));
+      fn(view);
     }
-    fn(type, payload, static_cast<std::size_t>(payload_size), context);
+    // Filtered-out records are skipped by advancing the offset — a stream
+    // reader never buffers (or checksums) payloads nobody asked for.
     off += kRecordHeaderSize + payload_size;
   }
   if (off != size_) {
@@ -820,49 +1111,160 @@ void DatasetReader::ForEachRecord(
   }
 }
 
+void DatasetReader::ScanRecords(
+    const std::function<void(std::uint32_t, std::uint64_t, std::uint64_t)>&
+        fn) const {
+  std::uint64_t off = kHeaderSize;
+  for (std::uint64_t r = 0; r < count_; ++r) {
+    if (off + kRecordHeaderSize > size_) {
+      throw StoreError(path_ + ": record " + std::to_string(r) +
+                       ": record header runs past end of file "
+                       "(truncated store)");
+    }
+    const unsigned char* hdr =
+        BytesAt(off, kRecordHeaderSize, header_scratch_);
+    const std::uint32_t type = ReadU32At(hdr);
+    const std::uint64_t payload_size = ReadU64At(hdr + 4);
+    if (payload_size > size_ - (off + kRecordHeaderSize)) {
+      throw StoreError(path_ + ": record " + std::to_string(r) +
+                       ": payload of " + std::to_string(payload_size) +
+                       " bytes runs past end of file (truncated store)");
+    }
+    fn(type, off, payload_size);
+    off += kRecordHeaderSize + payload_size;
+  }
+  if (off != size_) {
+    throw StoreError(path_ + ": " + std::to_string(size_ - off) +
+                     " trailing bytes after the last record");
+  }
+}
+
+RecordView DatasetReader::ReadRecordAt(std::uint64_t offset) const {
+  if (offset + kRecordHeaderSize > size_) {
+    throw StoreError(path_ + ": record offset " + std::to_string(offset) +
+                     " runs past end of file");
+  }
+  const unsigned char* hdr =
+      BytesAt(offset, kRecordHeaderSize, header_scratch_);
+  RecordView view;
+  view.type = ReadU32At(hdr);
+  view.offset = offset;
+  const std::uint64_t payload_size = ReadU64At(hdr + 4);
+  const std::uint64_t checksum = ReadU64At(hdr + 12);
+  if (payload_size > size_ - (offset + kRecordHeaderSize)) {
+    throw StoreError(path_ + ": record at byte " + std::to_string(offset) +
+                     ": payload of " + std::to_string(payload_size) +
+                     " bytes runs past end of file (truncated store)");
+  }
+  view.context = path_ + ": record at byte " + std::to_string(offset);
+  const unsigned char* payload =
+      BytesAt(offset + kRecordHeaderSize,
+              static_cast<std::size_t>(payload_size), scratch_);
+  if (Fnv1a64(payload, payload_size) != checksum) {
+    throw StoreError(view.context + " (type " + std::to_string(view.type) +
+                     "): checksum mismatch — corrupted store");
+  }
+  view.payload = std::span<const unsigned char>(
+      payload, static_cast<std::size_t>(payload_size));
+  return view;
+}
+
 StoreContents DatasetReader::ReadAll() const {
   StoreContents out;
-  ForEachRecord([&out](std::uint32_t type, const unsigned char* payload,
-                       std::size_t payload_size, const std::string& context) {
-    Dec d(payload, payload_size, context);
-    try {
-      switch (type) {
-        case kProgramRecordType:
-          out.programs.push_back(DecodeProgramPayload(d));
-          break;
-        case kTileKernelRecordType:
-          out.tile.kernels.push_back(DecodeTileKernelPayload(d));
-          break;
-        case kFusionSampleRecordType:
-          out.fusion.samples.push_back(DecodeFusionSamplePayload(d));
-          break;
-        case kFeaturizedRecordType:
-          out.features->Add(DecodeFeaturizedPayload(d));
-          break;
-        case kScalerRecordType: {
-          auto [name, scaler] = DecodeScalerPayload(d);
-          out.scalers.insert_or_assign(std::move(name), std::move(scaler));
-          break;
-        }
-        case kModelConfigRecordType:
-        case kModelParamsRecordType:
-          throw StoreError(context + ": model-snapshot record (type " +
-                           std::to_string(type) +
-                           ") inside a dataset read; open this file with "
-                           "serve::LoadModelSnapshot instead");
-        default:
-          throw StoreError(context + ": unknown record type " +
-                           std::to_string(type));
-      }
-    } catch (const StoreError&) {
-      throw;
-    } catch (const std::exception& e) {
-      throw StoreError(context + ": " + e.what());
-    }
-    if (!d.AtEnd()) {
-      throw StoreError(context + ": trailing bytes inside record payload");
-    }
+  GraphDict dict;
+  ForEachRecord([&](const RecordView& view) {
+    DecodeRecordInto(out, view, version_, dict);
   });
+  return out;
+}
+
+// ---- Sharded stores --------------------------------------------------------
+
+StoreManifest ReadStoreManifest(const DatasetReader& reader) {
+  if (!reader.sharded_manifest()) {
+    throw StoreError(reader.path() +
+                     ": not a sharded-store manifest (expected a single "
+                     "manifest record)");
+  }
+  StoreManifest manifest;
+  reader.ForEachRecord([&manifest](const RecordView& view) {
+    Dec d(view.payload.data(), view.payload.size(), view.context);
+    const std::uint32_t n = d.U32();
+    // Str(>=4) + records(8) + bytes(8) + fnv(8) per part.
+    d.RequireCount(n, 28, "manifest part");
+    for (std::uint32_t i = 0; i < n; ++i) {
+      StorePartInfo part;
+      part.file = d.Str();
+      part.records = d.U64();
+      part.bytes = d.U64();
+      part.records_fnv = d.U64();
+      if (part.file.empty() || part.file.find('/') != std::string::npos) {
+        d.Fail("manifest part name \"" + part.file +
+               "\" is not a plain sibling file name");
+      }
+      manifest.parts.push_back(std::move(part));
+    }
+    if (!d.AtEnd()) d.Fail("trailing bytes inside record payload");
+  });
+  return manifest;
+}
+
+std::string StorePartPath(const std::string& manifest_path,
+                          const std::string& part_file) {
+  return (std::filesystem::path(manifest_path).parent_path() / part_file)
+      .string();
+}
+
+StoreContents ReadStoreContents(const std::string& path, ReadMode mode) {
+  DatasetReader reader(path, mode);
+  if (!reader.sharded_manifest()) return reader.ReadAll();
+  const StoreManifest manifest = ReadStoreManifest(reader);
+  StoreContents out;
+  for (const StorePartInfo& info : manifest.parts) {
+    const std::string part_path = StorePartPath(path, info.file);
+    std::error_code ec;
+    if (!std::filesystem::exists(part_path, ec) || ec) {
+      throw StoreError(path + ": part file " + info.file +
+                       " listed in the manifest is missing — the sharded "
+                       "store is incomplete; delete the manifest and rebuild");
+    }
+    const auto actual_bytes = std::filesystem::file_size(part_path, ec);
+    if (!ec && actual_bytes != info.bytes) {
+      throw StoreError(part_path + ": manifest lists " +
+                       std::to_string(info.bytes) + " bytes but the part is " +
+                       std::to_string(actual_bytes) +
+                       " — truncated or swapped part file");
+    }
+    DatasetReader part(part_path, mode);
+    if (part.record_count() != info.records) {
+      throw StoreError(part_path + ": manifest lists " +
+                       std::to_string(info.records) +
+                       " records but the part holds " +
+                       std::to_string(part.record_count()));
+    }
+    GraphDict dict;
+    std::uint64_t region_fnv = kFnv1a64Seed;
+    part.ForEachRecord([&](const RecordView& view) {
+      // Re-derive the framing header bytes (deterministic encoding) so the
+      // manifest's records-region checksum can be verified without a second
+      // pass over the raw file.
+      Enc hdr;
+      hdr.U32(view.type);
+      hdr.U64(view.payload.size());
+      hdr.U64(Fnv1a64(view.payload.data(), view.payload.size()));
+      region_fnv = Fnv1a64Continue(region_fnv, hdr.bytes().data(),
+                                   hdr.bytes().size());
+      region_fnv =
+          Fnv1a64Continue(region_fnv, view.payload.data(),
+                          view.payload.size());
+      DecodeRecordInto(out, view, part.format_version(), dict);
+    });
+    if (region_fnv != info.records_fnv) {
+      throw StoreError(part_path +
+                       ": records-region checksum does not match the "
+                       "manifest — corrupted or swapped part file");
+    }
+  }
   return out;
 }
 
@@ -882,6 +1284,10 @@ std::uint64_t DatasetCacheKey(std::string_view task, std::string_view target,
       static_cast<std::uint64_t>(options.max_enumerated_tiles),
       static_cast<std::uint64_t>(options.fusion_configs_per_program),
       options.seed);
+  // The generating CorpusOptions: tier extension grows a corpus in place, so
+  // two scales sharing a program-list prefix must not alias to one store.
+  key = sim::HashCombine(key, std::bit_cast<std::uint64_t>(options.corpus_scale),
+                         options.corpus_seed);
   return sim::HashCombine(key, FeatureConfigHash(),
                           static_cast<std::uint64_t>(kStoreFormatVersion));
 }
@@ -917,8 +1323,7 @@ TileDataset LoadOrBuildTileDataset(const std::string& cache_dir,
       DatasetCacheKey("tile", simulator.target().name, corpus, options);
   const std::string path = StorePath(cache_dir, "tile", key);
   if (std::filesystem::exists(path)) {
-    DatasetReader reader(path);
-    StoreContents contents = reader.ReadAll();
+    StoreContents contents = ReadStoreContents(path);
     VerifyPrograms(contents, corpus, path);
     if (features != nullptr) *features = contents.features;
     FillStats(stats, true, path, start);
@@ -930,7 +1335,7 @@ TileDataset LoadOrBuildTileDataset(const std::string& cache_dir,
   for (const TileKernelData& k : dataset.kernels) records.push_back(&k.record);
   auto stored = FeaturizeUnique(records);
   std::filesystem::create_directories(cache_dir);
-  DatasetWriter writer(path);
+  DatasetWriter writer(path, options.store_part_bytes);
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     writer.Add(ProgramInfo{static_cast<int>(i), corpus[i].name,
                            corpus[i].family});
@@ -961,8 +1366,7 @@ FusionDataset LoadOrBuildFusionDataset(
       DatasetCacheKey("fusion", simulator.target().name, corpus, options);
   const std::string path = StorePath(cache_dir, "fusion", key);
   if (std::filesystem::exists(path)) {
-    DatasetReader reader(path);
-    StoreContents contents = reader.ReadAll();
+    StoreContents contents = ReadStoreContents(path);
     VerifyPrograms(contents, corpus, path);
     if (features != nullptr) *features = contents.features;
     FillStats(stats, true, path, start);
@@ -975,7 +1379,7 @@ FusionDataset LoadOrBuildFusionDataset(
   for (const FusionSample& s : dataset.samples) records.push_back(&s.record);
   auto stored = FeaturizeUnique(records);
   std::filesystem::create_directories(cache_dir);
-  DatasetWriter writer(path);
+  DatasetWriter writer(path, options.store_part_bytes);
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     writer.Add(ProgramInfo{static_cast<int>(i), corpus[i].name,
                            corpus[i].family});

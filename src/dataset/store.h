@@ -22,23 +22,59 @@
 /// patched into the header by DatasetWriter::Finish(). Record types:
 /// program info, tile-task kernels (graph + measured tile configs +
 /// runtimes), fusion samples, featurized kernels (raw node features as
-/// f64 + adjacency in CSR form + static perf), and named feature-scaler
-/// statistics. Unknown record types are a read error (not skipped): a
+/// f64 + adjacency in CSR form + static perf), named feature-scaler
+/// statistics, shared kernel-graph dictionary entries, and the shard
+/// manifest. Unknown record types are a read error (not skipped): a
 /// store is only readable by a format version >= the one that wrote it.
+///
+/// ## Sharding (format v3)
+///
+/// A DatasetWriter constructed with `max_part_bytes > 0` shards its output
+/// into part files `<path>.p000`, `<path>.p001`, ... of roughly that many
+/// bytes each. Every part is itself a complete, self-contained store file
+/// (own header, own record count, own graph dictionary), and `<path>`
+/// becomes a tiny manifest store whose single record lists each part's
+/// file name, record count, byte size, and an FNV-1a-64 checksum of its
+/// records region. Parts are renamed into place before the manifest, and
+/// the manifest rename is the commit point: readers either see a complete
+/// sharded store or (on a crashed writer) no manifest at all.
+/// ReadStoreContents() reads both layouts transparently; the
+/// dataset::StreamingSampler iterates parts without materializing them.
+///
+/// ## Graph dictionary (format v3)
+///
+/// Kernel graphs duplicated across records (every FusionSample of the same
+/// kernel under a different tile, tile kernels repeated across shards) are
+/// stored once per file as a dictionary record; kernel-bearing records
+/// reference their graph by dictionary index. Dictionaries never span part
+/// files, so each part stays independently readable.
 ///
 /// ## Corruption guarantees
 ///
 /// Readers verify the magic, reject files written by a NEWER format
 /// version, reject mismatched feature-config hashes (the featurizer
 /// layout changed; cached matrices would be meaningless), and verify
-/// every record's size and checksum — truncation, bit flips, trailing
-/// garbage, and structural nonsense all fail loudly with a diagnostic
-/// StoreError naming the file and failing offset/record, never a silent
-/// partial load. Writers stream to a temporary sibling file renamed
-/// atomically into place by Finish(), so a crashed or unfinished writer
-/// leaves no half-written store behind (the temporary is removed on
-/// destruction). tests/store_test.cpp exercises each failure mode
-/// adversarially.
+/// every decoded record's size and checksum — truncation, bit flips,
+/// trailing garbage, and structural nonsense all fail loudly with a
+/// diagnostic StoreError naming the file and failing offset/record, never
+/// a silent partial load. Sharded reads additionally verify each part's
+/// byte size, record count, and records-region checksum against the
+/// manifest, and a missing part file is a loud error. Writers stream to a
+/// temporary sibling file renamed atomically into place by Finish(), so a
+/// crashed or unfinished writer leaves no half-written store behind (the
+/// temporaries are removed on destruction). tests/store_test.cpp
+/// exercises each failure mode adversarially.
+///
+/// ## Zero-copy lifetime contract
+///
+/// ForEachRecord / ReadRecordAt hand out RecordView spans instead of
+/// copies. For an mmap-backed reader the span points straight into the
+/// mapping and stays valid for the reader's lifetime. For a stream-mode
+/// reader the span points into a scratch buffer owned by the reader that
+/// is REUSED by the next record read: the span is valid only until the
+/// next ForEachRecord callback / ReadRecordAt call (decode before moving
+/// on — ReadAll and the streaming layer do). Readers are not thread-safe;
+/// use one reader per thread.
 #pragma once
 
 #include <cstdint>
@@ -59,17 +95,20 @@
 
 namespace tpuperf::data {
 
-// Version 2 added the model-snapshot record types (6, 7) used by
-// serve::SaveModelSnapshot; the dataset record layouts are unchanged, so
-// version-1 dataset stores remain readable.
-inline constexpr std::uint32_t kStoreFormatVersion = 2;
+// Version 2 added the model-snapshot record types (6, 7). Version 3 added
+// sharded stores (manifest record type 9) and the shared kernel-graph
+// dictionary (record type 8, plus a layout tag byte in the kernel-bearing
+// record payloads). Version-1/2 dataset stores and version-2 model
+// snapshots remain readable.
+inline constexpr std::uint32_t kStoreFormatVersion = 3;
 inline constexpr char kStoreMagic[8] = {'T', 'P', 'U', 'P',
                                         'E', 'R', 'F', 'D'};
 
-/// Record types of the store framing. Dataset stores hold types 1-5; model
-/// snapshot files (serve/snapshot.h) hold types 6-7 inside the same framing
-/// (and are rejected with a pointer to serve::LoadModelSnapshot when fed to
-/// DatasetReader::ReadAll).
+/// Record types of the store framing. Dataset stores hold types 1-5 and 8;
+/// model snapshot files (serve/snapshot.h) hold types 6-7 inside the same
+/// framing (and are rejected with a pointer to serve::LoadModelSnapshot
+/// when fed to DatasetReader::ReadAll); sharded-store manifests hold a
+/// single type-9 record.
 inline constexpr std::uint32_t kProgramRecordType = 1;
 inline constexpr std::uint32_t kTileKernelRecordType = 2;
 inline constexpr std::uint32_t kFusionSampleRecordType = 3;
@@ -77,6 +116,13 @@ inline constexpr std::uint32_t kFeaturizedRecordType = 4;
 inline constexpr std::uint32_t kScalerRecordType = 5;
 inline constexpr std::uint32_t kModelConfigRecordType = 6;
 inline constexpr std::uint32_t kModelParamsRecordType = 7;
+inline constexpr std::uint32_t kGraphDictRecordType = 8;
+inline constexpr std::uint32_t kManifestRecordType = 9;
+
+/// Header layout: magic(8) version(4) feature_hash(8) record_count(8).
+inline constexpr std::size_t kStoreHeaderSize = 28;
+/// Per-record prefix: type(4) payload_size(8) checksum(8).
+inline constexpr std::size_t kStoreRecordHeaderSize = 20;
 
 /// Hash of the feature-extractor layout (block widths, encoded rank, opcode
 /// vocabulary size). Stored in every file header; a mismatch means the
@@ -139,13 +185,14 @@ struct StoreContents {
   std::map<std::string, feat::FeatureScaler> scalers;
 };
 
-/// Streams records to `path`. Writes go to a temporary sibling file that is
+/// Streams records to `path`. Writes go to temporary sibling files
 /// atomically renamed into place by Finish(), so readers never observe a
-/// half-written store; an unfinished writer removes its temporary on
-/// destruction.
+/// half-written store; an unfinished writer removes its temporaries on
+/// destruction. With `max_part_bytes > 0` the output is sharded (see the
+/// file comment); the manifest rename is then the commit point.
 class DatasetWriter {
  public:
-  explicit DatasetWriter(std::string path);
+  explicit DatasetWriter(std::string path, std::uint64_t max_part_bytes = 0);
   ~DatasetWriter();
   DatasetWriter(const DatasetWriter&) = delete;
   DatasetWriter& operator=(const DatasetWriter&) = delete;
@@ -161,18 +208,43 @@ class DatasetWriter {
   // (serve's model snapshots) write their record types.
   void AddRaw(std::uint32_t type, const std::string& payload);
 
+  // Total records written so far, across all parts (dictionary records
+  // included).
   std::uint64_t record_count() const noexcept { return count_; }
+  // Parts this store occupies so far (1 for an unsharded store).
+  std::size_t part_count() const noexcept;
 
-  // Patches the record count into the header and renames the temporary
-  // file to the final path. Throws StoreError on I/O failure.
+  // Patches the record count(s) into the header(s), renames the temporary
+  // file(s) to the final path(s), and — for a sharded store — commits the
+  // manifest last. Throws StoreError on I/O failure.
   void Finish();
 
  private:
+  struct Part;  // one open part sink (platform I/O state), in the .cpp
+  struct PartInfo {
+    std::string file;               // final basename
+    std::uint64_t records = 0;      // framing record count
+    std::uint64_t bytes = 0;        // total file size
+    std::uint64_t records_fnv = 0;  // FNV-1a-64 of bytes [header, end)
+  };
+
+  void OpenPart();
+  // Patches the open part's record count, closes and renames it, and
+  // appends its PartInfo.
+  void ClosePart();
+  // Sharded mode: rolls to a new part when the open one is full.
+  void MaybeRoll();
   void WriteRecord(std::uint32_t type, const std::string& payload);
+  // Dictionary index of this kernel's graph in the open part, emitting the
+  // dictionary record on first use.
+  std::uint32_t DictIndexFor(const KernelRecord& record);
 
   std::string path_;
-  std::string tmp_path_;
-  void* io_ = nullptr;  // platform I/O state, kept out of the header
+  std::uint64_t max_part_bytes_ = 0;  // 0 = unsharded single file
+  std::unique_ptr<Part> part_;
+  std::vector<PartInfo> parts_;  // closed parts (sharded mode)
+  // (fingerprint, structural signature) -> dict index, per open part.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> dict_;
   std::uint64_t count_ = 0;
   bool finished_ = false;
 };
@@ -180,13 +252,26 @@ class DatasetWriter {
 enum class ReadMode {
   kAuto,   // mmap when the platform supports it, else stream
   kMmap,   // require mmap (throws where unsupported)
-  kStream  // buffered read
+  kStream  // incremental fd reads with a per-record scratch buffer
+};
+
+/// One record of a store file, as handed to ForEachRecord callbacks and
+/// returned by ReadRecordAt. See the zero-copy lifetime contract in the
+/// file comment: `payload` aliases the mapping (mmap readers, valid for
+/// the reader's lifetime) or the reader's reusable scratch buffer (stream
+/// readers, valid until the next record is read).
+struct RecordView {
+  std::uint32_t type = 0;
+  std::span<const unsigned char> payload;
+  std::uint64_t offset = 0;  // byte offset of the record header in the file
+  std::string context;       // "<path>: record <r>" for diagnostics
 };
 
 /// Validates the header on construction and decodes records on ReadAll().
 /// Any inconsistency — bad magic, future format version, feature-config
 /// mismatch, truncation, checksum or structural corruption — throws
-/// StoreError with the file name and failing offset/record.
+/// StoreError with the file name and failing offset/record. Not
+/// thread-safe (stream readers share one scratch buffer).
 class DatasetReader {
  public:
   explicit DatasetReader(std::string path, ReadMode mode = ReadMode::kAuto);
@@ -198,38 +283,134 @@ class DatasetReader {
   std::uint64_t feature_config_hash() const noexcept { return feature_hash_; }
   std::uint64_t record_count() const noexcept { return count_; }
   bool mapped() const noexcept { return mapped_; }
+  const std::string& path() const noexcept { return path_; }
 
+  // True when this file is a sharded-store manifest (a single manifest
+  // record). Read it with ReadStoreContents / ReadStoreManifest — ReadAll
+  // on a manifest throws with that pointer.
+  bool sharded_manifest() const noexcept;
+
+  // Decodes this one file's records into StoreContents. For a sharded
+  // store open the MANIFEST path with ReadStoreContents instead.
   StoreContents ReadAll() const;
 
-  // Walks every record, validating the framing (bounds + checksum) and
-  // invoking fn(type, payload, payload_size, context) in file order.
-  // ReadAll() is built on this; serve::LoadModelSnapshot uses it to decode
-  // the snapshot record types. `context` names the file and record index
-  // for diagnostics.
-  void ForEachRecord(
-      const std::function<void(std::uint32_t type, const unsigned char* payload,
-                               std::size_t size, const std::string& context)>&
-          fn) const;
+  // Walks records in file order, validating framing bounds for every
+  // record and the payload checksum for every DELIVERED record, invoking
+  // fn(view) for records whose type is in `types` (empty = all). Records
+  // filtered out are skipped without reading their payload — a stream
+  // reader seeks past them instead of buffering them.
+  void ForEachRecord(const std::function<void(const RecordView&)>& fn,
+                     std::span<const std::uint32_t> types = {}) const;
+
+  // Framing-only walk: validates record-header bounds and invokes
+  // fn(type, offset, payload_size) without reading, checksumming, or
+  // buffering any payload. The streaming layer builds its record index
+  // with this.
+  void ScanRecords(
+      const std::function<void(std::uint32_t type, std::uint64_t offset,
+                               std::uint64_t payload_size)>& fn) const;
+
+  // Random access: reads and checksum-verifies the record whose header
+  // starts at `offset` (an offset previously produced by ScanRecords /
+  // ForEachRecord). Subject to the same lifetime contract as ForEachRecord.
+  RecordView ReadRecordAt(std::uint64_t offset) const;
 
  private:
+  // Returns a pointer to `size` bytes at `offset`, either directly into
+  // the mapping or via pread into the given scratch vector.
+  const unsigned char* BytesAt(std::uint64_t offset, std::size_t size,
+                               std::vector<unsigned char>& scratch) const;
+
   std::string path_;
-  std::vector<unsigned char> owned_;  // stream fallback buffer
-  const unsigned char* data_ = nullptr;
-  std::size_t size_ = 0;
+  std::vector<unsigned char> owned_;  // non-POSIX stream fallback buffer
+  mutable std::vector<unsigned char> scratch_;         // payload buffer
+  mutable std::vector<unsigned char> header_scratch_;  // record headers
+  const unsigned char* data_ = nullptr;  // mmap/owned base; null in fd mode
+  std::size_t size_ = 0;                 // total file size
+  int fd_ = -1;                          // POSIX stream mode descriptor
   void* map_base_ = nullptr;
   std::size_t map_size_ = 0;
   bool mapped_ = false;
   std::uint32_t version_ = 0;
   std::uint64_t feature_hash_ = 0;
   std::uint64_t count_ = 0;
+  std::uint32_t first_record_type_ = 0;  // 0 when the store is empty
 };
+
+/// ---- Sharded stores --------------------------------------------------------
+
+struct StorePartInfo {
+  std::string file;               // basename, sibling of the manifest
+  std::uint64_t records = 0;      // framing record count of the part
+  std::uint64_t bytes = 0;        // part file size in bytes
+  std::uint64_t records_fnv = 0;  // FNV-1a-64 of bytes [header, end)
+};
+
+struct StoreManifest {
+  std::vector<StorePartInfo> parts;
+};
+
+/// Decodes the manifest record of a sharded store. Throws StoreError when
+/// `reader` is not a sharded manifest.
+StoreManifest ReadStoreManifest(const DatasetReader& reader);
+
+/// Resolves a manifest part's file name next to the manifest itself.
+std::string StorePartPath(const std::string& manifest_path,
+                          const std::string& part_file);
+
+/// Reads a dataset store — sharded or single-file — into StoreContents.
+/// For sharded stores every part's existence, byte size, record count, and
+/// records-region checksum are verified against the manifest; any mismatch
+/// or missing part throws StoreError. This is the load path LoadOrBuild*
+/// uses.
+StoreContents ReadStoreContents(const std::string& path,
+                                ReadMode mode = ReadMode::kAuto);
+
+/// ---- Record-level decode (shared with dataset/streaming) -------------------
+
+/// The shared kernel graphs of one store file, in dictionary-record order.
+class GraphDict {
+ public:
+  struct Entry {
+    ir::Kernel kernel;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t structural_sig = 0;
+  };
+
+  // Decodes and appends one kGraphDictRecordType record.
+  void Add(const RecordView& record);
+  const Entry& At(std::uint32_t index, const std::string& context) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::deque<Entry> entries_;
+};
+
+/// Decode one record of the given type; `version` is the file's format
+/// version (kernel-bearing payloads gained a layout tag in v3), `dict` the
+/// file's graph dictionary populated from earlier records.
+TileKernelData DecodeTileKernelRecord(const RecordView& record,
+                                      std::uint32_t version,
+                                      const GraphDict& dict);
+FusionSample DecodeFusionSampleRecord(const RecordView& record,
+                                      std::uint32_t version,
+                                      const GraphDict& dict);
+FeaturizedKernel DecodeFeaturizedRecord(const RecordView& record);
+/// The (fingerprint, structural signature) key of a featurized record,
+/// from its first 16 payload bytes — no full decode.
+std::pair<std::uint64_t, std::uint64_t> PeekFeaturizedKey(
+    const RecordView& record);
 
 /// ---- Cache-directory layer (TPUPERF_DATASET_DIR) ---------------------------
 
 /// Key identifying one concrete dataset build: task, simulated target,
-/// corpus (names + graph fingerprints), generation budgets, and the feature
-/// configuration. Part of the store file name, so distinct builds never
-/// collide in one cache directory.
+/// corpus (names + graph fingerprints + the CorpusOptions that generated
+/// it), generation budgets, and the feature configuration. Part of the
+/// store file name, so distinct builds never collide in one cache
+/// directory. The corpus scale/seed matter because tier extension grows a
+/// corpus in place: two scales sharing a program prefix must not alias.
+/// DatasetOptions::store_part_bytes is deliberately NOT hashed (sharding
+/// is a storage layout, not a different dataset).
 std::uint64_t DatasetCacheKey(std::string_view task, std::string_view target,
                               std::span<const ir::Program> corpus,
                               const DatasetOptions& options);
@@ -247,7 +428,8 @@ struct StoreLoadStats {
 /// Loads the tile-size dataset for (corpus, options, simulator target) from
 /// `cache_dir` when a store exists; otherwise builds it in-process,
 /// featurizes every unique kernel (sharded across core::ThreadPool), and
-/// writes the store for the next run. An empty `cache_dir` means plain
+/// writes the store for the next run (sharded when
+/// options.store_part_bytes > 0). An empty `cache_dir` means plain
 /// in-process generation with no I/O and no featurization. A present but
 /// corrupt store throws StoreError rather than silently rebuilding.
 /// `features` (optional) receives the featurized records for registration

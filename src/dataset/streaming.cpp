@@ -1,0 +1,268 @@
+#include "dataset/streaming.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/thread_pool.h"
+
+namespace tpuperf::data {
+namespace {
+
+// How many part dictionaries stay decoded at once. Windows touch parts in
+// contiguous runs, so a tiny cache already makes eviction rare; the bound
+// keeps dictionary memory O(1) in the part count.
+constexpr std::size_t kDictCacheParts = 4;
+
+// SplitMix64: a tiny, implementation-independent generator for the window
+// shuffle (std::mt19937_64 would work, but hand-rolling keeps the entire
+// shuffle spec'd by this file, and std::shuffle is out anyway — its
+// permutation is implementation-defined).
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint32_t TaskRecordType(StreamTask task) {
+  return task == StreamTask::kTile ? kTileKernelRecordType
+                                   : kFusionSampleRecordType;
+}
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+// ---- StreamedFeatures ------------------------------------------------------
+
+const feat::KernelFeatures* StreamedFeatures::Lookup(
+    std::uint64_t fingerprint, std::uint64_t structural_sig) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(fingerprint, structural_sig);
+  if (const auto hit = cache_.find(key); hit != cache_.end()) {
+    return hit->second;
+  }
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) return nullptr;
+  const Loc* loc = nullptr;
+  for (const Loc& candidate : it->second) {
+    if (candidate.structural_sig == structural_sig) {
+      loc = &candidate;
+      break;
+    }
+  }
+  if (loc == nullptr) return nullptr;
+  if (readers_.size() < part_paths_.size()) {
+    readers_.resize(part_paths_.size());
+  }
+  std::unique_ptr<DatasetReader>& reader = readers_[loc->part];
+  if (reader == nullptr) {
+    reader = std::make_unique<DatasetReader>(part_paths_[loc->part],
+                                             ReadMode::kStream);
+  }
+  const RecordView view = reader->ReadRecordAt(loc->offset);
+  loaded_.push_back(DecodeFeaturizedRecord(view));
+  const feat::KernelFeatures* features = &loaded_.back().features;
+  cache_.emplace(key, features);
+  return features;
+}
+
+std::size_t StreamedFeatures::loaded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loaded_.size();
+}
+
+// ---- StreamingSampler ------------------------------------------------------
+
+StreamingSampler::StreamingSampler(std::string store_path, StreamTask task,
+                                   StreamingOptions options)
+    : task_(task), options_(options),
+      features_(std::make_shared<StreamedFeatures>()) {
+  const auto start = Clock::now();
+
+  // Resolve the store into its part files. A sharded store's parts are
+  // verified against the manifest's byte sizes and record counts here; the
+  // per-record checksums are verified as records stream.
+  DatasetReader root(store_path, ReadMode::kStream);
+  if (root.sharded_manifest()) {
+    const StoreManifest manifest = ReadStoreManifest(root);
+    for (const StorePartInfo& info : manifest.parts) {
+      const std::string part_path = StorePartPath(store_path, info.file);
+      std::error_code ec;
+      if (!std::filesystem::exists(part_path, ec) || ec) {
+        throw StoreError(store_path + ": part file " + info.file +
+                         " listed in the manifest is missing — the sharded "
+                         "store is incomplete; delete the manifest and "
+                         "rebuild");
+      }
+      const auto actual = std::filesystem::file_size(part_path, ec);
+      if (!ec && actual != info.bytes) {
+        throw StoreError(part_path + ": manifest lists " +
+                         std::to_string(info.bytes) +
+                         " bytes but the part is " + std::to_string(actual) +
+                         " — truncated or swapped part file");
+      }
+      parts_.push_back(PartIndex{part_path, 0, {}});
+    }
+  } else {
+    parts_.push_back(PartIndex{store_path, 0, {}});
+  }
+
+  // One streaming pass per part: index task records and dictionary records
+  // by offset, and the featurized records by (fingerprint, signature).
+  // Program and scaler records are seeked past without buffering.
+  const std::uint32_t wanted[] = {kGraphDictRecordType, TaskRecordType(task_),
+                                  kFeaturizedRecordType};
+  features_->part_paths_.reserve(parts_.size());
+  for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+    PartIndex& part = parts_[p];
+    DatasetReader reader(part.path, ReadMode::kStream);
+    part.version = reader.format_version();
+    reader.ForEachRecord(
+        [&](const RecordView& view) {
+          if (view.type == kGraphDictRecordType) {
+            part.dict_offsets.push_back(view.offset);
+          } else if (view.type == kFeaturizedRecordType) {
+            const auto [fingerprint, sig] = PeekFeaturizedKey(view);
+            features_->index_[fingerprint].push_back(
+                StreamedFeatures::Loc{sig, p, view.offset});
+            ++features_->indexed_;
+          } else {
+            records_.emplace_back(p, view.offset);
+          }
+        },
+        wanted);
+    features_->part_paths_.push_back(part.path);
+  }
+
+  window_records_ =
+      (options_.window_records == 0 || options_.window_records >= records_.size())
+          ? std::max<std::size_t>(records_.size(), 1)
+          : options_.window_records;
+  windows_ = (records_.size() + window_records_ - 1) / window_records_;
+  ReshuffleOrder();
+  scan_seconds_ =
+      std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+StreamingSampler::~StreamingSampler() {
+  if (prefetch_valid_) {
+    try {
+      prefetched_.get();
+    } catch (...) {
+      // The prefetch's error would have surfaced on the next Next(); the
+      // sampler is being destroyed, so there is no caller left to rethrow
+      // to.
+    }
+  }
+}
+
+void StreamingSampler::ReshuffleOrder() {
+  order_.resize(windows_);
+  std::iota(order_.begin(), order_.end(), 0u);
+  if (order_.size() < 2) return;
+  std::uint64_t state = options_.seed ^ (epoch_ * 0x9E3779B97F4A7C15ull) ^
+                        0x5747EA33ED57ull;
+  for (std::size_t i = order_.size() - 1; i > 0; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(SplitMix64(state) % (i + 1));
+    std::swap(order_[i], order_[j]);
+  }
+}
+
+std::shared_ptr<const GraphDict> StreamingSampler::DictFor(
+    std::uint32_t part) const {
+  std::lock_guard<std::mutex> lock(dict_mu_);
+  for (const auto& [cached_part, dict] : dict_cache_) {
+    if (cached_part == part) return dict;
+  }
+  auto dict = std::make_shared<GraphDict>();
+  const PartIndex& index = parts_[part];
+  if (!index.dict_offsets.empty()) {
+    DatasetReader reader(index.path, ReadMode::kStream);
+    for (const std::uint64_t offset : index.dict_offsets) {
+      dict->Add(reader.ReadRecordAt(offset));
+    }
+  }
+  dict_cache_.emplace_back(part, dict);
+  if (dict_cache_.size() > kDictCacheParts) dict_cache_.pop_front();
+  return dict;
+}
+
+StreamWindow StreamingSampler::LoadWindow(std::size_t w,
+                                          std::uint64_t epoch) const {
+  StreamWindow out;
+  out.window_index = w;
+  out.epoch = epoch;
+  out.begin = w * window_records_;
+  out.end = std::min(records_.size(), out.begin + window_records_);
+  if (task_ == StreamTask::kTile) {
+    out.tile.reserve(out.size());
+  } else {
+    out.fusion.reserve(out.size());
+  }
+  // Records are in stream order, so the slice touches each part in one
+  // contiguous run; one stream reader per run keeps open descriptors and
+  // resident memory O(1).
+  std::unique_ptr<DatasetReader> reader;
+  std::shared_ptr<const GraphDict> dict;
+  std::uint32_t current_part = 0;
+  for (std::size_t i = out.begin; i < out.end; ++i) {
+    const auto [part, offset] = records_[i];
+    if (reader == nullptr || part != current_part) {
+      reader = std::make_unique<DatasetReader>(parts_[part].path,
+                                               ReadMode::kStream);
+      dict = DictFor(part);
+      current_part = part;
+    }
+    const RecordView view = reader->ReadRecordAt(offset);
+    if (task_ == StreamTask::kTile) {
+      out.tile.push_back(
+          DecodeTileKernelRecord(view, parts_[part].version, *dict));
+    } else {
+      out.fusion.push_back(
+          DecodeFusionSampleRecord(view, parts_[part].version, *dict));
+    }
+  }
+  return out;
+}
+
+StreamWindow StreamingSampler::Window(std::size_t w) const {
+  if (w >= windows_) {
+    throw std::out_of_range("StreamingSampler::Window: index " +
+                            std::to_string(w) + " of " +
+                            std::to_string(windows_));
+  }
+  return LoadWindow(w, epoch_);
+}
+
+void StreamingSampler::LaunchPrefetch() {
+  const std::size_t w = order_[next_in_epoch_];
+  const std::uint64_t ep = epoch_;
+  prefetched_ = core::ThreadPool::Global().Submit(
+      [this, w, ep] { return LoadWindow(w, ep); });
+  prefetch_valid_ = true;
+}
+
+StreamWindow StreamingSampler::Next() {
+  if (windows_ == 0) {
+    throw StoreError("StreamingSampler::Next: the store holds no records "
+                     "for this task");
+  }
+  if (!prefetch_valid_) LaunchPrefetch();
+  StreamWindow window = prefetched_.get();
+  prefetch_valid_ = false;
+  if (++next_in_epoch_ == windows_) {
+    next_in_epoch_ = 0;
+    ++epoch_;
+    ReshuffleOrder();
+  }
+  if (options_.prefetch) LaunchPrefetch();
+  return window;
+}
+
+}  // namespace tpuperf::data

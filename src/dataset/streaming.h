@@ -1,0 +1,189 @@
+/// \file
+/// Out-of-core dataset streaming (ISSUE 9 tentpole).
+///
+/// The paper's datasets (25M tile / 208M fusion samples, §4) never fit in
+/// one host's memory; production training streams shuffled shards instead.
+/// StreamingSampler reproduces that shape over the sharded dataset stores
+/// of dataset/store.h: it scans the part files once at construction
+/// (recording byte offsets, never materializing payloads), then serves
+/// shuffle windows — contiguous chunks of the record stream decoded on
+/// demand with a one-window prefetch on core::ThreadPool — so training
+/// memory is O(window), not O(corpus).
+///
+/// ## Determinism contract
+///
+/// The ORDER of windows within an epoch is shuffled with a hand-rolled
+/// Fisher-Yates keyed only by (seed, epoch) — never std::shuffle, whose
+/// output is implementation-defined. Record order INSIDE a window stays
+/// canonical (store order). Construction of every window is a pure
+/// function of the store bytes and those two integers, so the sequence of
+/// windows is bit-identical at any thread-pool width, and with a single
+/// window (window_records = 0 or >= the corpus) the stream degenerates to
+/// the canonical in-memory order — the streaming trainers then draw
+/// exactly the RNG sequence of the in-memory trainers and reproduce their
+/// losses bit for bit (tests/streaming_test.cpp holds this with EXPECT_EQ).
+///
+/// ## Memory contract
+///
+/// Windows are decoded through stream-mode readers (pread, reused scratch
+/// buffer) rather than mmap, so resident memory stays O(window + largest
+/// record). StreamedFeatures lazily decodes featurized records on Lookup
+/// and caches only the kernels actually touched — O(touched kernels), not
+/// O(corpus).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dataset/store.h"
+#include "features/featurizer.h"
+
+namespace tpuperf::data {
+
+enum class StreamTask { kTile, kFusion };
+
+struct StreamingOptions {
+  // Records per shuffle window. 0 (or anything >= the task's record count)
+  // means one window holding the whole stream in canonical order.
+  std::size_t window_records = 0;
+  // Keys the per-epoch window shuffle (with the epoch number).
+  std::uint64_t seed = 0;
+  // Prefetch the next window on core::ThreadPool::Global() while the
+  // caller trains on the current one.
+  bool prefetch = true;
+};
+
+/// One decoded shuffle window. Exactly one of `tile` / `fusion` is
+/// populated, matching the sampler's task.
+struct StreamWindow {
+  std::vector<TileKernelData> tile;
+  std::vector<FusionSample> fusion;
+  std::size_t begin = 0;  // record range [begin, end) in stream order
+  std::size_t end = 0;
+  std::size_t window_index = 0;  // canonical window number
+  std::uint64_t epoch = 0;
+
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Lazy feat::KernelFeatureSource over the featurized records of a store:
+/// the sampler indexes (fingerprint, signature) -> (part, offset) during
+/// its scan; Lookup preads and decodes a record on first use and caches
+/// the result (stable addresses, mutex-protected — safe for concurrent
+/// Lookup from pool workers). Warm streaming runs therefore keep
+/// feat::FeaturizeKernelInvocations() at zero without ever holding the
+/// full featurized corpus in memory.
+class StreamedFeatures final : public feat::KernelFeatureSource {
+ public:
+  const feat::KernelFeatures* Lookup(
+      std::uint64_t fingerprint, std::uint64_t structural_sig) const override;
+
+  // Featurized records indexed across all parts.
+  std::size_t indexed() const noexcept { return indexed_; }
+  // Records decoded and cached so far (the O(touched) working set).
+  std::size_t loaded() const;
+
+ private:
+  friend class StreamingSampler;
+
+  struct Loc {
+    std::uint64_t structural_sig = 0;
+    std::uint32_t part = 0;
+    std::uint64_t offset = 0;
+  };
+
+  std::vector<std::string> part_paths_;
+  std::unordered_map<std::uint64_t, std::vector<Loc>> index_;
+  std::size_t indexed_ = 0;
+
+  mutable std::mutex mu_;
+  mutable std::deque<FeaturizedKernel> loaded_;  // stable addresses
+  mutable std::map<std::pair<std::uint64_t, std::uint64_t>,
+                   const feat::KernelFeatures*>
+      cache_;
+  mutable std::vector<std::unique_ptr<DatasetReader>> readers_;  // per part
+};
+
+/// Prefetching shuffle-window iterator over a dataset store (sharded or
+/// single-file). Construction scans every part once in stream mode —
+/// validating framing and the checksums of the records it indexes — and
+/// builds the record/dictionary/featurized offset indexes; Next() then
+/// serves windows per the determinism contract above. Not thread-safe
+/// itself (one trainer drives it); the features() source is.
+class StreamingSampler {
+ public:
+  StreamingSampler(std::string store_path, StreamTask task,
+                   StreamingOptions options = {});
+  ~StreamingSampler();
+  StreamingSampler(const StreamingSampler&) = delete;
+  StreamingSampler& operator=(const StreamingSampler&) = delete;
+
+  StreamTask task() const noexcept { return task_; }
+  // Task records (tile kernels or fusion samples) across all parts.
+  std::size_t total_records() const noexcept { return records_.size(); }
+  std::size_t part_count() const noexcept { return parts_.size(); }
+  std::size_t window_records() const noexcept { return window_records_; }
+  std::size_t windows_per_epoch() const noexcept { return windows_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  double scan_seconds() const noexcept { return scan_seconds_; }
+
+  // The next window in the deterministic per-epoch shuffled order,
+  // prefetching its successor before returning.
+  StreamWindow Next();
+
+  // Synchronous canonical accessor: window w in store order, no shuffle,
+  // no prefetch. The streaming trainers' scaler pre-pass walks these so
+  // scaler statistics match the in-memory fit exactly.
+  StreamWindow Window(std::size_t w) const;
+
+  // Lazy feature source over the store's featurized records; register it
+  // with feat::SetGlobalKernelFeatureSource for warm streaming training.
+  std::shared_ptr<StreamedFeatures> features() const noexcept {
+    return features_;
+  }
+
+ private:
+  struct PartIndex {
+    std::string path;
+    std::uint32_t version = 0;
+    std::vector<std::uint64_t> dict_offsets;  // dictionary records, in order
+  };
+
+  StreamWindow LoadWindow(std::size_t w, std::uint64_t epoch) const;
+  // The part's graph dictionary, decoded on demand and cached for a few
+  // parts (windows touch parts in runs, so eviction is rare).
+  std::shared_ptr<const GraphDict> DictFor(std::uint32_t part) const;
+  void ReshuffleOrder();
+  void LaunchPrefetch();
+
+  StreamTask task_;
+  StreamingOptions options_;
+  std::vector<PartIndex> parts_;
+  // (part, record offset) of every task record, in stream order.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> records_;
+  std::size_t window_records_ = 0;
+  std::size_t windows_ = 0;
+  double scan_seconds_ = 0;
+  std::shared_ptr<StreamedFeatures> features_;
+
+  mutable std::mutex dict_mu_;
+  mutable std::deque<std::pair<std::uint32_t,
+                               std::shared_ptr<const GraphDict>>>
+      dict_cache_;
+
+  std::uint64_t epoch_ = 0;
+  std::size_t next_in_epoch_ = 0;
+  std::vector<std::uint32_t> order_;  // window order for epoch_
+  std::future<StreamWindow> prefetched_;
+  bool prefetch_valid_ = false;
+};
+
+}  // namespace tpuperf::data

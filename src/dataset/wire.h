@@ -20,15 +20,25 @@ class StoreError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// FNV-1a 64-bit — the per-record payload checksum of the store framing.
-inline std::uint64_t Fnv1a64(const void* data, std::size_t size) noexcept {
+/// FNV-1a 64-bit offset basis; seed for Fnv1a64Continue chains.
+inline constexpr std::uint64_t kFnv1a64Seed = 1469598103934665603ull;
+
+/// Continues an FNV-1a 64-bit hash over another span of bytes. Writers use
+/// this to maintain a running checksum of a part file's records region
+/// (everything after the header) without re-reading what they wrote.
+inline std::uint64_t Fnv1a64Continue(std::uint64_t h, const void* data,
+                                     std::size_t size) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 1469598103934665603ull;
   for (std::size_t i = 0; i < size; ++i) {
     h ^= p[i];
     h *= 1099511628211ull;
   }
   return h;
+}
+
+/// FNV-1a 64-bit — the per-record payload checksum of the store framing.
+inline std::uint64_t Fnv1a64(const void* data, std::size_t size) noexcept {
+  return Fnv1a64Continue(kFnv1a64Seed, data, size);
 }
 
 inline std::uint32_t ReadU32At(const unsigned char* p) noexcept {

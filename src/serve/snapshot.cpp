@@ -128,32 +128,33 @@ std::unique_ptr<core::LearnedCostModel> LoadModelSnapshot(
   data::DatasetReader reader(path);
   std::optional<ModelConfig> config;
   std::unique_ptr<core::LearnedCostModel> model;
-  reader.ForEachRecord([&](std::uint32_t type, const unsigned char* payload,
-                           std::size_t size, const std::string& context) {
-    Dec d(payload, size, context);
-    switch (type) {
+  reader.ForEachRecord([&](const data::RecordView& record) {
+    Dec d(record.payload.data(), record.payload.size(), record.context);
+    switch (record.type) {
       case data::kModelConfigRecordType:
         config = DecodeConfigPayload(d);
         if (!d.AtEnd()) d.Fail("trailing bytes inside config record");
         break;
       case data::kModelParamsRecordType: {
         if (!config.has_value()) {
-          throw StoreError(context +
+          throw StoreError(record.context +
                            ": parameter record precedes the config record "
                            "(malformed snapshot)");
         }
         model = std::make_unique<core::LearnedCostModel>(*config);
-        std::istringstream is(
-            std::string(reinterpret_cast<const char*>(payload), size));
+        std::istringstream is(std::string(
+            reinterpret_cast<const char*>(record.payload.data()),
+            record.payload.size()));
         try {
           model->Load(is);
         } catch (const std::exception& e) {
-          throw StoreError(context + ": " + e.what());
+          throw StoreError(record.context + ": " + e.what());
         }
         break;
       }
       default:
-        throw StoreError(context + ": record type " + std::to_string(type) +
+        throw StoreError(record.context + ": record type " +
+                         std::to_string(record.type) +
                          " does not belong in a model snapshot");
     }
   });

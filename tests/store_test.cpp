@@ -7,8 +7,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -208,8 +210,15 @@ void RoundTripTileBatch(const TileDataset& dataset, const std::string& path,
     }
     writer.Finish();
   }
+  // Distinct kernel graphs each cost one extra dictionary record (v3
+  // dictionary compression); duplicates reuse the earlier entry.
+  std::set<std::uint64_t> unique_graphs;
+  for (const TileKernelData* k : written) {
+    unique_graphs.insert(k->record.fingerprint);
+  }
   DatasetReader reader(path);
-  ASSERT_EQ(reader.record_count(), static_cast<std::uint64_t>(count));
+  ASSERT_EQ(reader.record_count(),
+            static_cast<std::uint64_t>(count) + unique_graphs.size());
   const StoreContents contents = reader.ReadAll();
   ASSERT_EQ(contents.tile.kernels.size(), static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
@@ -637,6 +646,165 @@ TEST_F(StoreTest, SplitsSurviveStoreRoundTrip) {
     EXPECT_EQ(p.name, (*corpus_)[static_cast<std::size_t>(id)].name);
     EXPECT_EQ(p.family, (*corpus_)[static_cast<std::size_t>(id)].family);
   }
+}
+
+// ---- Sharded stores ---------------------------------------------------------
+
+class ShardedStoreTest : public StoreTest {
+ protected:
+  // Writes the full tile dataset sharded into small parts; returns the
+  // manifest path.
+  std::string WriteSharded(const std::string& name,
+                           std::uint64_t part_bytes = 2048) {
+    const std::string path = Path(name);
+    DatasetWriter writer(path, part_bytes);
+    for (const auto& k : tile_->kernels) writer.Add(k);
+    parts_written_ = writer.part_count();
+    writer.Finish();
+    return path;
+  }
+
+  static std::string PartPath(const std::string& manifest, std::size_t p) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".p%03zu", p);
+    return manifest + suffix;
+  }
+
+  static void ExpectShardedRejected(const std::string& path,
+                                    const std::string& message_fragment) {
+    try {
+      (void)ReadStoreContents(path);
+      FAIL() << "expected StoreError mentioning \"" << message_fragment
+             << "\"";
+    } catch (const StoreError& e) {
+      EXPECT_NE(std::string(e.what()).find(message_fragment),
+                std::string::npos)
+          << "actual error: " << e.what();
+    }
+  }
+
+  std::size_t parts_written_ = 0;
+};
+
+TEST_F(ShardedStoreTest, ShardedRoundTripBitExactAndModeAgnostic) {
+  const std::string path = WriteSharded("sharded.tpds");
+  ASSERT_GT(parts_written_, 1u) << "2 KiB parts must shard this corpus";
+  for (std::size_t p = 0; p < parts_written_; ++p) {
+    EXPECT_TRUE(fs::exists(PartPath(path, p))) << "part " << p;
+  }
+  DatasetReader manifest(path);
+  EXPECT_TRUE(manifest.sharded_manifest());
+  EXPECT_EQ(manifest.record_count(), 1u);
+
+  const StoreContents via_mmap = ReadStoreContents(path, ReadMode::kMmap);
+  const StoreContents via_stream = ReadStoreContents(path, ReadMode::kStream);
+  ASSERT_EQ(via_mmap.tile.kernels.size(), tile_->kernels.size());
+  ASSERT_EQ(via_stream.tile.kernels.size(), tile_->kernels.size());
+  for (std::size_t i = 0; i < tile_->kernels.size(); ++i) {
+    ExpectTileKernelsEqual(tile_->kernels[i], via_mmap.tile.kernels[i]);
+    ExpectTileKernelsEqual(via_mmap.tile.kernels[i],
+                           via_stream.tile.kernels[i]);
+  }
+}
+
+TEST_F(ShardedStoreTest, DictionaryCompressionCollapsesDuplicateGraphs) {
+  // 16 copies of one kernel: the graph is written once (dictionary record)
+  // and referenced 16 times, so the file stays far smaller than 16 full
+  // graph encodings.
+  const std::string once = Path("once.tpds");
+  {
+    DatasetWriter writer(once);
+    writer.Add(tile_->kernels.front());
+    writer.Finish();
+  }
+  const std::string dups = Path("dups.tpds");
+  {
+    DatasetWriter writer(dups);
+    for (int i = 0; i < 16; ++i) writer.Add(tile_->kernels.front());
+    writer.Finish();
+  }
+  EXPECT_LT(fs::file_size(dups), 3 * fs::file_size(once));
+}
+
+TEST_F(ShardedStoreTest, TruncatedManifestFailsLoudly) {
+  const std::string path = WriteSharded("trunc_manifest.tpds");
+  TruncateFile(path, fs::file_size(path) - 9);
+  ExpectShardedRejected(path, "truncated");
+}
+
+TEST_F(ShardedStoreTest, MissingPartFileFailsLoudly) {
+  const std::string path = WriteSharded("missing_part.tpds");
+  ASSERT_GT(parts_written_, 1u);
+  fs::remove(PartPath(path, 1));
+  ExpectShardedRejected(path, "missing");
+}
+
+TEST_F(ShardedStoreTest, ChecksumCorruptionInLaterPartFailsLoudly) {
+  const std::string path = WriteSharded("corrupt_part.tpds");
+  ASSERT_GT(parts_written_, 1u);
+  // Flip a payload byte of the SECOND part: corruption past the first
+  // shard boundary must still be caught.
+  CorruptByte(PartPath(path, 1),
+              kStoreHeaderSize + kStoreRecordHeaderSize + 10);
+  ExpectShardedRejected(path, "checksum");
+}
+
+TEST_F(ShardedStoreTest, TruncatedPartFileFailsLoudly) {
+  const std::string path = WriteSharded("trunc_part.tpds");
+  ASSERT_GT(parts_written_, 1u);
+  const std::string part = PartPath(path, 1);
+  TruncateFile(part, fs::file_size(part) - 5);
+  ExpectShardedRejected(path, "truncated or swapped part file");
+}
+
+// Regression: the cache key must cover the corpus parameters (scale and
+// tier-extension seed). Before the fix, two runs at different REPRO_SCALE
+// hashed to the same key and silently shared one store.
+TEST_F(ShardedStoreTest, CacheKeyCoversCorpusScaleAndSeed) {
+  DatasetOptions base = *options_;
+  const std::uint64_t key =
+      DatasetCacheKey("tile", "TPUv2", *corpus_, base);
+
+  DatasetOptions scaled = base;
+  scaled.corpus_scale = 4.0;
+  EXPECT_NE(DatasetCacheKey("tile", "TPUv2", *corpus_, scaled), key)
+      << "corpus_scale must enter the cache key";
+
+  DatasetOptions reseeded = base;
+  reseeded.corpus_seed = base.corpus_seed + 1;
+  EXPECT_NE(DatasetCacheKey("tile", "TPUv2", *corpus_, reseeded), key)
+      << "corpus_seed must enter the cache key";
+
+  DatasetOptions resharded = base;
+  resharded.store_part_bytes = 1 << 20;
+  EXPECT_EQ(DatasetCacheKey("tile", "TPUv2", *corpus_, resharded), key)
+      << "the shard size is a layout choice, not dataset identity";
+}
+
+TEST_F(ShardedStoreTest, LoadOrBuildRoundTripsShardedStores) {
+  DatasetOptions sharded = *options_;
+  sharded.store_part_bytes = 2048;
+  StoreLoadStats cold_stats;
+  const TileDataset cold = LoadOrBuildTileDataset(
+      dir_.string(), *corpus_, *simulator_, sharded, nullptr, &cold_stats);
+  ASSERT_FALSE(cold_stats.cache_hit);
+  ASSERT_TRUE(fs::exists(cold_stats.path));
+  EXPECT_TRUE(fs::exists(PartPath(cold_stats.path, 1)))
+      << "cold populate must have sharded the store";
+
+  StoreLoadStats warm_stats;
+  std::shared_ptr<StoredFeatures> features;
+  const TileDataset warm = LoadOrBuildTileDataset(
+      dir_.string(), *corpus_, *simulator_, sharded, &features, &warm_stats);
+  ASSERT_TRUE(warm_stats.cache_hit);
+  EXPECT_EQ(warm_stats.path, cold_stats.path)
+      << "store_part_bytes must not change the cache key";
+  ASSERT_EQ(warm.kernels.size(), cold.kernels.size());
+  for (std::size_t i = 0; i < cold.kernels.size(); ++i) {
+    ExpectTileKernelsEqual(cold.kernels[i], warm.kernels[i]);
+  }
+  ASSERT_NE(features, nullptr);
+  EXPECT_FALSE(features->empty());
 }
 
 }  // namespace

@@ -1,0 +1,359 @@
+// Tests for out-of-core dataset streaming (src/dataset/streaming.h):
+// deterministic shuffle-window sequences at thread-pool widths 1 and 4,
+// canonical single-window order, bit-identical streaming-vs-in-memory
+// training for both tasks, bounded windowed training, and the lazy
+// StreamedFeatures source.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "core/trainer.h"
+#include "dataset/families.h"
+#include "dataset/store.h"
+#include "dataset/streaming.h"
+#include "features/featurizer.h"
+
+namespace tpuperf::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new std::vector<ir::Program>();
+    for (const char* family : {"RNNLM", "RankingLike", "Char2FeatsLike",
+                               "NMT"}) {
+      corpus_->push_back(BuildProgram(family, 0));
+      corpus_->push_back(BuildProgram(family, 1));
+    }
+    simulator_ = new sim::TpuSimulator(sim::TpuTarget::V2());
+    analytical_ = new analytical::AnalyticalModel(sim::TpuTarget::V2());
+    options_ = new DatasetOptions();
+    options_->max_tile_configs_per_kernel = 6;
+    options_->fusion_configs_per_program = 2;
+    tile_ = new TileDataset(BuildTileDataset(*corpus_, *simulator_, *options_));
+    fusion_ = new FusionDataset(
+        BuildFusionDataset(*corpus_, *simulator_, *analytical_, *options_));
+  }
+  static void TearDownTestSuite() {
+    delete fusion_;
+    delete tile_;
+    delete options_;
+    delete analytical_;
+    delete simulator_;
+    delete corpus_;
+  }
+
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tpuperf_streaming_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Writes the tile dataset (kernels + deduped featurized records) as a
+  // store, sharded when part_bytes > 0.
+  std::string WriteTileStore(const std::string& name,
+                             std::uint64_t part_bytes) {
+    const std::string path = Path(name);
+    DatasetWriter writer(path, part_bytes);
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    for (const auto& k : tile_->kernels) {
+      writer.Add(k);
+      const std::uint64_t sig = k.record.kernel.graph.StructuralSignature();
+      if (seen.insert({k.record.fingerprint, sig}).second) {
+        writer.Add(FeaturizedKernel{
+            k.record.fingerprint, sig,
+            feat::FeaturizeKernel(k.record.kernel.graph)});
+      }
+    }
+    writer.Finish();
+    return path;
+  }
+
+  std::string WriteFusionStore(const std::string& name,
+                               std::uint64_t part_bytes) {
+    const std::string path = Path(name);
+    DatasetWriter writer(path, part_bytes);
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    for (const auto& s : fusion_->samples) {
+      writer.Add(s);
+      const std::uint64_t sig = s.record.kernel.graph.StructuralSignature();
+      if (seen.insert({s.record.fingerprint, sig}).second) {
+        writer.Add(FeaturizedKernel{
+            s.record.fingerprint, sig,
+            feat::FeaturizeKernel(s.record.kernel.graph)});
+      }
+    }
+    writer.Finish();
+    return path;
+  }
+
+  static std::vector<int> AllProgramIds() {
+    std::vector<int> ids;
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      ids.push_back(static_cast<int>(i));
+    }
+    return ids;
+  }
+
+  static std::vector<ir::Program>* corpus_;
+  static sim::TpuSimulator* simulator_;
+  static analytical::AnalyticalModel* analytical_;
+  static DatasetOptions* options_;
+  static TileDataset* tile_;
+  static FusionDataset* fusion_;
+  fs::path dir_;
+};
+
+std::vector<ir::Program>* StreamingTest::corpus_ = nullptr;
+sim::TpuSimulator* StreamingTest::simulator_ = nullptr;
+analytical::AnalyticalModel* StreamingTest::analytical_ = nullptr;
+DatasetOptions* StreamingTest::options_ = nullptr;
+TileDataset* StreamingTest::tile_ = nullptr;
+FusionDataset* StreamingTest::fusion_ = nullptr;
+
+// Fingerprint trace of `count` consecutive Next() windows — the identity of
+// every record served, in order.
+std::vector<std::uint64_t> DrainFingerprints(StreamingSampler& sampler,
+                                             std::size_t count) {
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const StreamWindow w = sampler.Next();
+    for (const auto& k : w.tile) out.push_back(k.record.fingerprint);
+    for (const auto& s : w.fusion) out.push_back(s.record.fingerprint);
+  }
+  return out;
+}
+
+// ---- Window sequencing ------------------------------------------------------
+
+TEST_F(StreamingTest, SingleWindowIsCanonicalOrder) {
+  const std::string path = WriteTileStore("tile.tpds", /*part_bytes=*/0);
+  StreamingSampler sampler(path, StreamTask::kTile, {});
+  EXPECT_EQ(sampler.total_records(), tile_->kernels.size());
+  EXPECT_EQ(sampler.windows_per_epoch(), 1u);
+  EXPECT_EQ(sampler.part_count(), 1u);
+
+  const StreamWindow window = sampler.Next();
+  ASSERT_EQ(window.tile.size(), tile_->kernels.size());
+  for (std::size_t i = 0; i < tile_->kernels.size(); ++i) {
+    const TileKernelData& a = tile_->kernels[i];
+    const TileKernelData& b = window.tile[i];
+    EXPECT_EQ(a.record.fingerprint, b.record.fingerprint) << "record " << i;
+    EXPECT_EQ(a.record.program_id, b.record.program_id);
+    EXPECT_EQ(a.record.family, b.record.family);
+    ASSERT_EQ(a.runtimes.size(), b.runtimes.size());
+    for (std::size_t j = 0; j < a.runtimes.size(); ++j) {
+      // EXPECT_EQ on doubles: decode must be bit-exact.
+      EXPECT_EQ(a.runtimes[j], b.runtimes[j]);
+    }
+  }
+}
+
+TEST_F(StreamingTest, ShardedStoreServesSameRecordStream) {
+  const std::string single = WriteTileStore("single.tpds", 0);
+  const std::string sharded = WriteTileStore("sharded.tpds", 2048);
+  StreamingSampler a(single, StreamTask::kTile, {.seed = 11});
+  StreamingSampler b(sharded, StreamTask::kTile, {.seed = 11});
+  ASSERT_GT(b.part_count(), 1u) << "2 KiB parts must shard this corpus";
+  EXPECT_EQ(a.total_records(), b.total_records());
+  EXPECT_EQ(DrainFingerprints(a, 1), DrainFingerprints(b, 1));
+}
+
+TEST_F(StreamingTest, WindowSequenceIdenticalAtPoolWidths1And4) {
+  const std::string path = WriteTileStore("tile.tpds", 2048);
+  const StreamingOptions options{.window_records = 2, .seed = 7};
+  std::vector<std::vector<std::uint64_t>> traces;
+  for (const int width : {1, 4}) {
+    core::ThreadPool::SetNumThreads(width);
+    StreamingSampler sampler(path, StreamTask::kTile, options);
+    ASSERT_GT(sampler.windows_per_epoch(), 1u);
+    // Two full epochs: covers the epoch-boundary reshuffle too.
+    traces.push_back(
+        DrainFingerprints(sampler, 2 * sampler.windows_per_epoch()));
+  }
+  EXPECT_EQ(traces[0], traces[1])
+      << "the window sequence must not depend on the pool width";
+}
+
+TEST_F(StreamingTest, WindowOrderDependsOnSeedAndEpoch) {
+  const std::string path = WriteTileStore("tile.tpds", 0);
+  const std::size_t n = tile_->kernels.size();
+  ASSERT_GE(n, 8u);
+  StreamingSampler seed1(path, StreamTask::kTile,
+                         {.window_records = 1, .seed = 1});
+  StreamingSampler seed2(path, StreamTask::kTile,
+                         {.window_records = 1, .seed = 2});
+  const auto epoch0_seed1 = DrainFingerprints(seed1, n);
+  const auto epoch1_seed1 = DrainFingerprints(seed1, n);
+  const auto epoch0_seed2 = DrainFingerprints(seed2, n);
+  EXPECT_NE(epoch0_seed1, epoch0_seed2) << "seed must key the shuffle";
+  EXPECT_NE(epoch0_seed1, epoch1_seed1) << "epoch must reshuffle";
+  // Same multiset every time: a shuffle, not a resample.
+  auto sorted = [](std::vector<std::uint64_t> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(epoch0_seed1), sorted(epoch0_seed2));
+  EXPECT_EQ(sorted(epoch0_seed1), sorted(epoch1_seed1));
+
+  // And a fresh sampler reproduces the exact two-epoch sequence.
+  StreamingSampler replay(path, StreamTask::kTile,
+                          {.window_records = 1, .seed = 1});
+  EXPECT_EQ(DrainFingerprints(replay, n), epoch0_seed1);
+  EXPECT_EQ(DrainFingerprints(replay, n), epoch1_seed1);
+}
+
+// ---- StreamedFeatures -------------------------------------------------------
+
+TEST_F(StreamingTest, StreamedFeaturesMatchInProcessFeaturization) {
+  const std::string path = WriteTileStore("tile.tpds", 2048);
+  StreamingSampler sampler(path, StreamTask::kTile, {});
+  const std::shared_ptr<StreamedFeatures> features = sampler.features();
+  ASSERT_GT(features->indexed(), 0u);
+  EXPECT_EQ(features->loaded(), 0u) << "nothing decoded before first Lookup";
+
+  for (const auto& k : tile_->kernels) {
+    const std::uint64_t sig = k.record.kernel.graph.StructuralSignature();
+    const feat::KernelFeatures* streamed =
+        features->Lookup(k.record.fingerprint, sig);
+    ASSERT_NE(streamed, nullptr);
+    const feat::KernelFeatures direct =
+        feat::FeaturizeKernel(k.record.kernel.graph);
+    EXPECT_EQ(streamed->opcode_ids, direct.opcode_ids);
+    ASSERT_EQ(streamed->node_scalars.size(), direct.node_scalars.size());
+    for (std::size_t i = 0; i < direct.node_scalars.size(); ++i) {
+      EXPECT_EQ(streamed->node_scalars[i], direct.node_scalars[i]);
+    }
+    EXPECT_EQ(streamed->static_perf, direct.static_perf);
+  }
+  EXPECT_LE(features->loaded(), features->indexed());
+  EXPECT_EQ(features->Lookup(0xDEAD, 0xBEEF), nullptr);
+}
+
+// ---- Training parity --------------------------------------------------------
+
+TEST_F(StreamingTest, TileTrainingBitIdenticalToInMemory) {
+  const std::string path = WriteTileStore("tile.tpds", 2048);
+  const std::vector<int> ids = AllProgramIds();
+  core::ModelConfig config = core::ModelConfig::TileTaskDefault();
+  config.hidden_dim = 16;
+  config.opcode_embedding_dim = 8;
+  config.train_steps = 50;
+
+  for (const int width : {1, 4}) {
+    core::ThreadPool::SetNumThreads(width);
+    core::LearnedCostModel in_memory(config);
+    core::PreparedCache in_memory_cache(in_memory, /*features=*/nullptr);
+    const core::TrainStats a =
+        core::TrainTileTask(in_memory, *tile_, ids, in_memory_cache);
+
+    feat::ResetFeaturizeKernelInvocations();
+    StreamingSampler sampler(path, StreamTask::kTile,
+                             {.seed = options_->seed});
+    core::LearnedCostModel streamed(config);
+    core::PreparedCache streamed_cache(streamed, sampler.features().get());
+    const core::TrainStats b =
+        core::TrainTileTaskStreaming(streamed, sampler, ids, streamed_cache);
+    EXPECT_EQ(feat::FeaturizeKernelInvocations(), 0)
+        << "streaming training touched the featurizer (width " << width
+        << ")";
+
+    // Bit-identical, not approximately equal: the streaming trainer runs
+    // the same step code over the same canonical record order.
+    EXPECT_EQ(a.first_loss, b.first_loss) << "width " << width;
+    EXPECT_EQ(a.final_loss, b.final_loss) << "width " << width;
+    EXPECT_EQ(a.steps, b.steps);
+  }
+}
+
+TEST_F(StreamingTest, FusionTrainingBitIdenticalToInMemory) {
+  const std::string path = WriteFusionStore("fusion.tpds", 2048);
+  const std::vector<int> ids = AllProgramIds();
+  core::ModelConfig config = core::ModelConfig::FusionTaskDefault();
+  config.hidden_dim = 16;
+  config.opcode_embedding_dim = 8;
+  config.train_steps = 50;
+
+  for (const int width : {1, 4}) {
+    core::ThreadPool::SetNumThreads(width);
+    core::LearnedCostModel in_memory(config);
+    core::PreparedCache in_memory_cache(in_memory, nullptr);
+    const core::TrainStats a =
+        core::TrainFusionTask(in_memory, *fusion_, ids, in_memory_cache);
+
+    feat::ResetFeaturizeKernelInvocations();
+    StreamingSampler sampler(path, StreamTask::kFusion,
+                             {.seed = options_->seed});
+    core::LearnedCostModel streamed(config);
+    core::PreparedCache streamed_cache(streamed, sampler.features().get());
+    const core::TrainStats b = core::TrainFusionTaskStreaming(
+        streamed, sampler, ids, streamed_cache);
+    EXPECT_EQ(feat::FeaturizeKernelInvocations(), 0) << "width " << width;
+
+    EXPECT_EQ(a.first_loss, b.first_loss) << "width " << width;
+    EXPECT_EQ(a.final_loss, b.final_loss) << "width " << width;
+  }
+}
+
+TEST_F(StreamingTest, WindowedTrainingCompletesAllSteps) {
+  const std::string path = WriteTileStore("tile.tpds", 2048);
+  const std::vector<int> ids = AllProgramIds();
+  core::ModelConfig config = core::ModelConfig::TileTaskDefault();
+  config.hidden_dim = 16;
+  config.opcode_embedding_dim = 8;
+  config.train_steps = 40;
+
+  StreamingSampler sampler(path, StreamTask::kTile,
+                           {.window_records = 3, .seed = 99});
+  ASSERT_GT(sampler.windows_per_epoch(), 1u);
+  core::LearnedCostModel model(config);
+  core::PreparedCache cache(model, sampler.features().get());
+  const core::TrainStats stats =
+      core::TrainTileTaskStreaming(model, sampler, ids, cache);
+  EXPECT_EQ(stats.steps, config.train_steps);
+  EXPECT_TRUE(std::isfinite(stats.first_loss));
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+}
+
+TEST_F(StreamingTest, TaskMismatchThrows) {
+  const std::string path = WriteFusionStore("fusion.tpds", 0);
+  const std::vector<int> ids = AllProgramIds();
+  StreamingSampler sampler(path, StreamTask::kFusion, {});
+  core::LearnedCostModel model(core::ModelConfig::TileTaskDefault());
+  core::PreparedCache cache(model, sampler.features().get());
+  EXPECT_THROW(core::TrainTileTaskStreaming(model, sampler, ids, cache),
+               std::invalid_argument);
+}
+
+TEST_F(StreamingTest, NoTrainingProgramsThrows) {
+  const std::string path = WriteTileStore("tile.tpds", 0);
+  const std::vector<int> none;  // no program ids -> every window empty
+  StreamingSampler sampler(path, StreamTask::kTile, {});
+  core::LearnedCostModel model(core::ModelConfig::TileTaskDefault());
+  core::PreparedCache cache(model, sampler.features().get());
+  EXPECT_THROW(core::TrainTileTaskStreaming(model, sampler, none, cache),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tpuperf::data
