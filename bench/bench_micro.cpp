@@ -16,8 +16,10 @@
 #include "dataset/datasets.h"
 #include "bench/common.h"
 #include "dataset/families.h"
+#include "eval/metrics.h"
 #include "features/featurizer.h"
 #include "nn/gemm_backend.h"
+#include "nn/quant.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
@@ -685,6 +687,7 @@ void ReportBatchedThroughput() {
   const std::string plan_section = bench::PreservedTopLevelJson("plan");
   const std::string streaming =
       bench::PreservedTopLevelJson("dataset_streaming");
+  const std::string quant_section = bench::PreservedTopLevelJson("quant");
   FILE* json = std::fopen("BENCH_results.json", "w");
   if (json == nullptr) {
     std::printf("could not write BENCH_results.json\n");
@@ -745,6 +748,9 @@ void ReportBatchedThroughput() {
   }
   if (!streaming.empty()) {
     std::fprintf(json, ",\n  \"dataset_streaming\": %s", streaming.c_str());
+  }
+  if (!quant_section.empty()) {
+    std::fprintf(json, ",\n  \"quant\": %s", quant_section.c_str());
   }
   std::fprintf(json, "\n}\n");
   std::fclose(json);
@@ -826,6 +832,159 @@ void ReportPlanLatency() {
   std::printf("merged \"plan\" into BENCH_results.json\n");
 }
 
+// Reduced-precision ranking-accuracy gate (nn/quant.h). Trains the tile
+// task's rank model briefly in-process, then scores every enumerated tile
+// of the fused eval kernels at f32, at calibrated int8, and at fp16:
+// per-kernel Kendall tau against simulator ground truth, Tile-Size APE
+// (Eq. 2) over the model-chosen tiles, and the batched predictions/s of
+// each precision. Merges a "quant" section into BENCH_results.json and
+// returns nonzero when a reduced precision degrades the mean tau by more
+// than nn::kQuantTauDegradationBound — the CI accuracy gate.
+int ReportQuantAccuracy() {
+  auto& f = F();
+  core::ThreadPool::SetNumThreads(1);
+
+  auto& tb = RankTrain32();
+  core::LearnedCostModel model = tb.MakeModel(f);
+  {
+    nn::Adam adam(nn::AdamConfig{});
+    nn::TapeArena arena;
+    nn::Tape tape(/*grad_enabled=*/true, &arena);
+    const int steps =
+        std::max(20, static_cast<int>(150 * bench::ReproScale()));
+    for (int i = 0; i < steps; ++i) tb.Step(model, adam, tape);
+  }
+
+  // Eval set: distinct fused kernels with >= 2 tile candidates, with
+  // simulator ground truth per tile.
+  struct EvalKernel {
+    const ir::Graph* graph = nullptr;
+    std::vector<ir::TileConfig> tiles;
+    std::vector<double> truths;
+  };
+  std::vector<EvalKernel> eval_set;
+  for (const auto& k : f.kernels) {
+    if (eval_set.size() >= 6) break;
+    EvalKernel e;
+    e.graph = &k.graph;
+    e.tiles = f.simulator.EnumerateTiles(k.graph, 16);
+    if (e.tiles.size() < 2) continue;
+    for (const auto& t : e.tiles) {
+      e.truths.push_back(f.simulator.Measure(k.graph, t));
+    }
+    eval_set.push_back(std::move(e));
+  }
+  if (eval_set.empty()) {
+    std::printf("quant gate: no eval kernels with multiple tiles; skipped\n");
+    return 0;
+  }
+
+  struct PrecisionEval {
+    std::vector<core::PreparedKernel> prepared;  // precision-specific
+    double mean_tau = 0;
+    double tile_ape = 0;
+    double preds_per_sec = 0;
+  };
+  const auto evaluate = [&](nn::Precision p) {
+    model.SetPrecision(p);
+    PrecisionEval r;
+    r.prepared.reserve(eval_set.size());
+    for (const EvalKernel& e : eval_set) {
+      r.prepared.push_back(model.Prepare(*e.graph));
+    }
+    std::vector<core::BatchItem> items;
+    for (std::size_t ki = 0; ki < eval_set.size(); ++ki) {
+      for (const ir::TileConfig& t : eval_set[ki].tiles) {
+        items.push_back({&r.prepared[ki], &t});
+      }
+    }
+    const core::PreparedBatch packed = model.PrepareBatch(items);
+    std::vector<double> preds;
+    const double sec = TimeReps([&] { preds = model.PredictBatch(packed); });
+    r.preds_per_sec = static_cast<double>(items.size()) / sec;
+
+    std::vector<double> taus;
+    std::vector<eval::KernelTileRuntimes> ape_rows;
+    std::size_t off = 0;
+    for (const EvalKernel& e : eval_set) {
+      const std::size_t n = e.tiles.size();
+      const std::span<const double> pred(preds.data() + off, n);
+      taus.push_back(eval::KendallTau(pred, e.truths));
+      std::size_t chosen = 0, best = 0;
+      for (std::size_t i = 1; i < n; ++i) {
+        if (pred[i] < pred[chosen]) chosen = i;
+        if (e.truths[i] < e.truths[best]) best = i;
+      }
+      ape_rows.push_back({e.truths[chosen], e.truths[best]});
+      off += n;
+    }
+    r.mean_tau = eval::Mean(taus);
+    r.tile_ape = eval::TileSizeApe(ape_rows);
+    return r;
+  };
+
+  const PrecisionEval f32 = evaluate(nn::Precision::kFloat32);
+  {
+    // Calibrate the int8 grid on the f32-prepared eval kernels (requires
+    // f32 precision, which evaluate() just restored).
+    std::vector<const core::PreparedKernel*> sample;
+    for (const core::PreparedKernel& pk : f32.prepared) {
+      sample.push_back(&pk);
+    }
+    model.CalibrateQuantization(sample);
+  }
+  const PrecisionEval int8 = evaluate(nn::Precision::kInt8);
+  const PrecisionEval fp16 = evaluate(nn::Precision::kFp16);
+  model.SetPrecision(nn::Precision::kFloat32);
+  core::ThreadPool::SetNumThreads(core::ThreadPool::DefaultNumThreads());
+
+  const double tau_delta_int8 = f32.mean_tau - int8.mean_tau;
+  const double tau_delta_fp16 = f32.mean_tau - fp16.mean_tau;
+  const bool gate_ok =
+      tau_delta_int8 <= nn::kQuantTauDegradationBound &&
+      tau_delta_fp16 <= nn::kQuantTauDegradationBound;
+
+  std::printf("\n--- Reduced-precision accuracy report (%zu kernels) ---\n",
+              eval_set.size());
+  std::printf("%-6s mean tau %+.4f   tile APE %6.2f%%   %8.0f preds/s\n",
+              "f32", f32.mean_tau, f32.tile_ape, f32.preds_per_sec);
+  std::printf("%-6s mean tau %+.4f   tile APE %6.2f%%   %8.0f preds/s\n",
+              "int8", int8.mean_tau, int8.tile_ape, int8.preds_per_sec);
+  std::printf("%-6s mean tau %+.4f   tile APE %6.2f%%   %8.0f preds/s\n",
+              "fp16", fp16.mean_tau, fp16.tile_ape, fp16.preds_per_sec);
+  std::printf("tau delta: int8 %+.4f, fp16 %+.4f (bound %.3f) -> %s\n",
+              tau_delta_int8, tau_delta_fp16, nn::kQuantTauDegradationBound,
+              gate_ok ? "PASS" : "FAIL");
+
+  char value[768];
+  std::snprintf(
+      value, sizeof(value),
+      "{\n"
+      "    \"eval_kernels\": %zu,\n"
+      "    \"tau_f32\": %.5f,\n"
+      "    \"tau_int8\": %.5f,\n"
+      "    \"tau_fp16\": %.5f,\n"
+      "    \"tau_delta_int8\": %.5f,\n"
+      "    \"tau_delta_fp16\": %.5f,\n"
+      "    \"tile_ape_f32\": %.3f,\n"
+      "    \"tile_ape_int8\": %.3f,\n"
+      "    \"tile_ape_fp16\": %.3f,\n"
+      "    \"ape_delta_int8\": %.3f,\n"
+      "    \"int8_speedup_vs_f32\": %.3f,\n"
+      "    \"fp16_speedup_vs_f32\": %.3f,\n"
+      "    \"tau_degradation_bound\": %.3f,\n"
+      "    \"gate_passed\": %s\n  }",
+      eval_set.size(), f32.mean_tau, int8.mean_tau, fp16.mean_tau,
+      tau_delta_int8, tau_delta_fp16, f32.tile_ape, int8.tile_ape,
+      fp16.tile_ape, int8.tile_ape - f32.tile_ape,
+      int8.preds_per_sec / f32.preds_per_sec,
+      fp16.preds_per_sec / f32.preds_per_sec, nn::kQuantTauDegradationBound,
+      gate_ok ? "true" : "false");
+  bench::MergeTopLevelJsonKey("BENCH_results.json", "quant", value);
+  std::printf("merged \"quant\" into BENCH_results.json\n");
+  return gate_ok ? 0 : 1;
+}
+
 }  // namespace tpuperf
 
 int main(int argc, char** argv) {
@@ -836,5 +995,5 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   tpuperf::ReportBatchedThroughput();
   tpuperf::ReportPlanLatency();
-  return 0;
+  return tpuperf::ReportQuantAccuracy();
 }

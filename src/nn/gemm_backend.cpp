@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "core/thread_pool.h"
+#include "nn/quant.h"
 
 #ifdef TPUPERF_WITH_BLAS
 #include <cblas.h>
@@ -751,6 +752,10 @@ struct Registry {
 #ifdef TPUPERF_WITH_EIGEN
     extras.push_back(std::make_unique<EigenBackend>());
 #endif
+    // The reduced-precision backends (nn/quant.cpp) are always available,
+    // like builtin — so TPUPERF_GEMM_BACKEND=quant-int8 works without a
+    // compile flag and the per-backend bench/parity sweeps cover them.
+    quant_internal::AppendReducedPrecisionBackends(extras);
   }
 
   GemmBackend* FindLocked(std::string_view name) {
@@ -801,6 +806,16 @@ Registry& GetRegistry() {
 }
 
 }  // namespace
+
+GemmParityTolerance GemmBackend::ParityBound(const Matrix& a, const Matrix& b,
+                                             long long inner_extent) const {
+  (void)a;
+  (void)b;
+  (void)inner_extent;
+  // max(kGemmParityRtol, kGemmParityRtol * |ref|) — exactly the historical
+  // kGemmParityRtol * max(1, |ref|) bound every f32 backend was held to.
+  return GemmParityTolerance{};
+}
 
 GemmBackend& BuiltinGemmBackend() {
   return GetRegistry().builtin;  // immutable after construction: no lock
@@ -853,6 +868,18 @@ bool HasGemmBackend(std::string_view name) {
   return r.FindLocked(name) != nullptr;
 }
 
+GemmBackend& GemmBackendByName(std::string_view name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  GemmBackend* backend = r.FindLocked(name);
+  if (backend == nullptr) {
+    throw std::invalid_argument("GemmBackendByName: unknown backend \"" +
+                                std::string(name) + "\" (registered: " +
+                                r.NamesForErrorLocked() + ")");
+  }
+  return *backend;
+}
+
 void SetGemmBackend(std::string_view name) {
   Registry& r = GetRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -868,7 +895,25 @@ void SetGemmBackend(std::string_view name) {
   r.current.store(backend, std::memory_order_release);
 }
 
+namespace {
+// The per-thread reduced-precision override (nn::ScopedPrecision). Checked
+// before the global selection; never set on pool workers — the model's
+// forward passes dispatch every GEMM from the calling thread.
+thread_local GemmBackend* tls_backend_override = nullptr;
+}  // namespace
+
+GemmBackend* SetThreadGemmBackendOverride(GemmBackend* backend) noexcept {
+  GemmBackend* prev = tls_backend_override;
+  tls_backend_override = backend;
+  return prev;
+}
+
+GemmBackend* ThreadGemmBackendOverride() noexcept {
+  return tls_backend_override;
+}
+
 GemmBackend& CurrentGemmBackend() {
+  if (tls_backend_override != nullptr) return *tls_backend_override;
   Registry& r = GetRegistry();
   GemmBackend* backend = r.current.load(std::memory_order_acquire);
   if (backend != nullptr) return *backend;
@@ -941,11 +986,14 @@ void CheckAccumShape(const Matrix& dst, int rows, int cols,
 
 // Runs one entry point on the selected backend; in parity mode (and on a
 // non-builtin backend) recomputes it with the built-in kernels from the
-// same starting state and enforces kGemmParityRtol.
+// same starting state and enforces the backend's own ParityBound.
+// `inner_extent` is the contraction length of the entry point (a.cols()
+// for MatMul/TransposeB, a.rows() for TransposeA) — the reduced-precision
+// backends scale their error bound by it.
 void Dispatch(void (GemmBackend::*entry)(Matrix&, const Matrix&,
                                          const Matrix&),
-              const char* what, Matrix& out, const Matrix& a,
-              const Matrix& b) {
+              const char* what, Matrix& out, const Matrix& a, const Matrix& b,
+              long long inner_extent) {
   GemmBackend& backend = CurrentGemmBackend();
   GemmBackend& builtin = BuiltinGemmBackend();
   if (!GemmParityCheckEnabled() || &backend == &builtin) {
@@ -955,13 +1003,13 @@ void Dispatch(void (GemmBackend::*entry)(Matrix&, const Matrix&,
   Matrix reference = out;  // pre-call state (zeros, or prior accumulation)
   (backend.*entry)(out, a, b);
   (builtin.*entry)(reference, a, b);
+  const GemmParityTolerance bound = backend.ParityBound(a, b, inner_extent);
   for (int i = 0; i < out.rows(); ++i) {
     for (int j = 0; j < out.cols(); ++j) {
       const float got = out.at(i, j);
       const float want = reference.at(i, j);
       const float diff = std::abs(got - want);
-      const float tol =
-          kGemmParityRtol * std::max(1.0f, std::abs(want));
+      const float tol = std::max(bound.atol, bound.rtol * std::abs(want));
       if (diff <= tol) continue;  // NaN diff also falls through and throws
       throw GemmParityError(
           std::string("GEMM parity violation in ") + what + " on backend \"" +
@@ -978,33 +1026,36 @@ void Dispatch(void (GemmBackend::*entry)(Matrix&, const Matrix&,
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   CheckMatMulShapes(a, b, "MatMul");
   Matrix out(a.rows(), b.cols());
-  Dispatch(&GemmBackend::MatMul, "MatMul", out, a, b);
+  Dispatch(&GemmBackend::MatMul, "MatMul", out, a, b, a.cols());
   return out;
 }
 
 void MatMulInto(Matrix& out, const Matrix& a, const Matrix& b) {
   CheckMatMulShapes(a, b, "MatMulInto");
   out = Matrix(a.rows(), b.cols(), out.TakeStorage());  // reshape + zero
-  Dispatch(&GemmBackend::MatMul, "MatMulInto", out, a, b);
+  Dispatch(&GemmBackend::MatMul, "MatMulInto", out, a, b, a.cols());
 }
 
 Matrix MatMulSparseA(const Matrix& a, const Matrix& b) {
   CheckMatMulShapes(a, b, "MatMulSparseA");
   Matrix out(a.rows(), b.cols());
-  Dispatch(&GemmBackend::MatMulSparseA, "MatMulSparseA", out, a, b);
+  Dispatch(&GemmBackend::MatMulSparseA, "MatMulSparseA", out, a, b,
+           a.cols());
   return out;
 }
 
 void MatMulSparseAInto(Matrix& out, const Matrix& a, const Matrix& b) {
   CheckMatMulShapes(a, b, "MatMulSparseAInto");
   out = Matrix(a.rows(), b.cols(), out.TakeStorage());  // reshape + zero
-  Dispatch(&GemmBackend::MatMulSparseA, "MatMulSparseAInto", out, a, b);
+  Dispatch(&GemmBackend::MatMulSparseA, "MatMulSparseAInto", out, a, b,
+           a.cols());
 }
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   CheckTransposeAShapes(a, b, "MatMulTransposeA");
   Matrix out(a.cols(), b.cols());
-  Dispatch(&GemmBackend::MatMulTransposeA, "MatMulTransposeA", out, a, b);
+  Dispatch(&GemmBackend::MatMulTransposeA, "MatMulTransposeA", out, a, b,
+           a.rows());
   return out;
 }
 
@@ -1012,13 +1063,14 @@ void MatMulTransposeAAccum(Matrix& dst, const Matrix& a, const Matrix& b) {
   CheckTransposeAShapes(a, b, "MatMulTransposeAAccum");
   CheckAccumShape(dst, a.cols(), b.cols(), "MatMulTransposeAAccum");
   Dispatch(&GemmBackend::MatMulTransposeAAccum, "MatMulTransposeAAccum", dst,
-           a, b);
+           a, b, a.rows());
 }
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   CheckTransposeBShapes(a, b, "MatMulTransposeB");
   Matrix out(a.rows(), b.rows());
-  Dispatch(&GemmBackend::MatMulTransposeB, "MatMulTransposeB", out, a, b);
+  Dispatch(&GemmBackend::MatMulTransposeB, "MatMulTransposeB", out, a, b,
+           a.cols());
   return out;
 }
 
@@ -1026,7 +1078,7 @@ void MatMulTransposeBAccum(Matrix& dst, const Matrix& a, const Matrix& b) {
   CheckTransposeBShapes(a, b, "MatMulTransposeBAccum");
   CheckAccumShape(dst, a.rows(), b.rows(), "MatMulTransposeBAccum");
   Dispatch(&GemmBackend::MatMulTransposeBAccum, "MatMulTransposeBAccum", dst,
-           a, b);
+           a, b, a.cols());
 }
 
 }  // namespace tpuperf::nn

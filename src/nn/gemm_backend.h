@@ -35,13 +35,17 @@
 ///
 /// Parity mode (`nn::SetGemmParityCheck(true)` or `TPUPERF_GEMM_PARITY=1`):
 /// every dispatched GEMM on a non-builtin backend is recomputed with the
-/// built-in kernels and compared element-wise. Backends are free to reorder
-/// and contract the k-extent sum (FMA, SIMD lane trees), so agreement is
-/// required within `kGemmParityRtol`:
-///     |backend - builtin| <= kGemmParityRtol * max(1, |builtin|)
-/// A violation throws `GemmParityError` naming the entry point, shapes, and
-/// worst element. Parity mode is a debugging tool — it roughly triples the
-/// cost of every checked GEMM.
+/// built-in kernels and compared element-wise against the *backend's own*
+/// tolerance (GemmBackend::ParityBound):
+///     |backend - builtin| <= max(atol, rtol * |builtin|)
+/// Exact-arithmetic backends (blas, eigen) keep the default
+/// {kGemmParityRtol, kGemmParityRtol} — identical to the historical
+/// kGemmParityRtol * max(1, |builtin|) bound — while the reduced-precision
+/// backends (nn/quant.h) widen only their own check to their derived
+/// quantization-error bound; one shared constant can no longer silently
+/// relax the strict backends. A violation throws `GemmParityError` naming
+/// the entry point, shapes, and worst element. Parity mode is a debugging
+/// tool — it roughly triples the cost of every checked GEMM.
 #pragma once
 
 #include <memory>
@@ -66,6 +70,13 @@ inline constexpr float kGemmParityRtol = 1e-4f;
 class GemmParityError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Per-backend parity tolerance: the check passes an element when
+/// |backend - builtin| <= max(atol, rtol * |builtin|).
+struct GemmParityTolerance {
+  float rtol = kGemmParityRtol;
+  float atol = kGemmParityRtol;
 };
 
 /// One GEMM implementation covering all six entry points of nn/matrix.h.
@@ -102,6 +113,15 @@ class GemmBackend {
                                      const Matrix& b) = 0;
   virtual void MatMulTransposeBAccum(Matrix& dst, const Matrix& a,
                                      const Matrix& b) = 0;
+
+  /// The parity-mode tolerance this backend claims for one dispatched
+  /// product with entry-point operands `a`/`b` and contraction extent
+  /// `inner_extent`. The default — {kGemmParityRtol, kGemmParityRtol},
+  /// i.e. exactly the historical kGemmParityRtol * max(1, |builtin|) —
+  /// suits backends that compute in f32; reduced-precision backends
+  /// override it with their derived quantization-error bound.
+  virtual GemmParityTolerance ParityBound(const Matrix& a, const Matrix& b,
+                                          long long inner_extent) const;
 };
 
 /// Base class for backends that wrap an external dense-GEMM library.
@@ -167,6 +187,11 @@ std::vector<std::string> GemmBackendNames();
 
 bool HasGemmBackend(std::string_view name);
 
+/// The registered backend named `name`. Throws std::invalid_argument
+/// (listing the registered names) when unknown. The reference stays valid
+/// until the backend is unregistered.
+GemmBackend& GemmBackendByName(std::string_view name);
+
 // ---- Selection --------------------------------------------------------------
 
 /// Selects the backend every subsequent nn::MatMul* call dispatches to.
@@ -183,6 +208,16 @@ std::string CurrentGemmBackendName();
 /// Re-arms the lazy TPUPERF_GEMM_BACKEND read and clears any programmatic
 /// selection (test hook for env-selection coverage).
 void ResetGemmBackendSelectionForTest();
+
+/// Installs a *thread-local* backend override consulted by
+/// CurrentGemmBackend() before the process-global selection; nullptr
+/// removes it. Returns the previous override so scopes nest. This is how
+/// reduced-precision inference routes one model's GEMMs through the
+/// "quant-int8"/"fp16" backends (nn::ScopedPrecision) without perturbing
+/// concurrent f32 work on other threads.
+GemmBackend* SetThreadGemmBackendOverride(GemmBackend* backend) noexcept;
+/// The current thread's override, or nullptr.
+GemmBackend* ThreadGemmBackendOverride() noexcept;
 
 // ---- Parity mode ------------------------------------------------------------
 

@@ -1,0 +1,192 @@
+/// \file
+/// Reduced-precision inference (ROADMAP "Reduced-precision inference path").
+///
+/// The paper's model exists to *rank* candidate tile/fusion configs, so a
+/// reduced-precision path is acceptable exactly when the ranking survives:
+/// absolute error from quantization is tolerable, Kendall-tau degradation is
+/// not. This module provides the two reduced-precision modes and the error
+/// bounds the tests and the bench gate enforce:
+///
+///   * `Precision::kInt8` — dynamic symmetric int8 GEMM: per-row (left
+///     operand) / per-column (right operand) scales `s = amax/127`, values
+///     rounded to nearest into [-127, 127], exact int32 dot accumulation,
+///     dequantized in f32 via a double-precision scale product. Model-side,
+///     the opcode-embedding table and the scaled feature rows are
+///     fake-quantized with per-feature scales derived from the stored
+///     `FeatureScaler` stats (or a calibration pass, see
+///     `LearnedCostModel::CalibrateQuantization`).
+///   * `Precision::kFp16` — IEEE binary16 emulation: operands are rounded
+///     to half precision (round-to-nearest-even) and the product runs
+///     through the built-in f32 kernels, so the error is purely operand
+///     rounding.
+///
+/// Both modes register GEMM backends ("quant-int8", "fp16") in the
+/// `GemmBackend` registry at process start, with the same routing policy as
+/// BLAS/Eigen (RoutedGemmBackend): sparse and tiny operands stay on the
+/// built-in f32 kernels bit-for-bit. Precision propagates to the tape, the
+/// compiled-plan replay, and `serve::PredictionService` through a
+/// thread-local backend override armed by `ScopedPrecision` inside the
+/// model's Predict* entry points — the plan replays the same instruction
+/// schedule; only the GEMM dispatch changes.
+///
+/// Accuracy contract: the per-product error of the int8 backend is bounded
+/// by `QuantGemmErrorBound` (derived, not tuned), and end-to-end the bench
+/// gate (`bench_micro` "quant" report) plus `quant_test`'s ranking
+/// regression enforce Kendall-tau(int8) >= Kendall-tau(f32) −
+/// `kQuantTauDegradationBound`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "nn/gemm_backend.h"
+#include "nn/matrix.h"
+
+namespace tpuperf::nn {
+
+enum class Precision {
+  kFloat32 = 0,  // the default f32 path; no override armed
+  kInt8 = 1,     // dynamic symmetric int8 GEMM + fake-quantized features
+  kFp16 = 2,     // IEEE binary16 operand rounding, f32 accumulation
+};
+
+/// Stable token: "f32", "int8", "fp16" (also the TPUPERF_PRECISION values).
+std::string_view PrecisionName(Precision p) noexcept;
+
+/// Reads TPUPERF_PRECISION via core::EnvEnum ("f32" | "int8" | "fp16").
+/// Unset keeps kFloat32; an unknown token warns on stderr and keeps
+/// kFloat32 (EnvEnum's contract — strict tokens, loud fallback).
+Precision PrecisionFromEnv() noexcept;
+
+/// The registry backend implementing `p` ("quant-int8" / "fp16"), or
+/// nullptr for kFloat32 — f32 means "whatever the process-global selection
+/// says", not one specific backend.
+GemmBackend* ReducedPrecisionBackend(Precision p);
+
+/// Arms the thread-local GEMM-backend override for `p` on construction and
+/// restores the previous override on destruction. kFloat32 is a no-op (an
+/// outer reduced-precision scope stays armed). The model's Predict* entry
+/// points construct one of these so every GEMM of the pass — tape ops and
+/// compiled-plan instructions alike — dispatches at the model's precision.
+class ScopedPrecision {
+ public:
+  explicit ScopedPrecision(Precision p)
+      : armed_(p != Precision::kFloat32),
+        prev_(armed_ ? SetThreadGemmBackendOverride(ReducedPrecisionBackend(p))
+                     : nullptr) {}
+  ~ScopedPrecision() {
+    if (armed_) SetThreadGemmBackendOverride(prev_);
+  }
+  ScopedPrecision(const ScopedPrecision&) = delete;
+  ScopedPrecision& operator=(const ScopedPrecision&) = delete;
+
+ private:
+  bool armed_;
+  GemmBackend* prev_;
+};
+
+// ---- fp16 emulation ---------------------------------------------------------
+
+/// `v` rounded to the nearest IEEE binary16 value (round-to-nearest-even),
+/// returned as f32. Overflow (|v| >= 65520) rounds to ±inf, subnormal halves
+/// are exact multiples of 2^-24, NaN stays NaN.
+float Fp16Round(float v) noexcept;
+
+void Fp16RoundInPlace(Matrix& m) noexcept;
+void Fp16RoundRow(std::span<float> row) noexcept;
+
+// ---- int8 primitives --------------------------------------------------------
+
+/// The symmetric scale for a group with max-abs `amax`: amax/127, floored
+/// at FLT_MIN so |v|/s never exceeds 127 and the division never hits a
+/// denormal blowup. amax <= 0 (all-zero group) returns 0 — quantized values
+/// and dequantized results are exactly 0.
+float QuantScaleForAmax(float amax) noexcept;
+
+/// A row-major int8 matrix with one symmetric scale per row.
+struct QuantizedMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<std::int8_t> data;  // [rows * cols]
+  std::vector<float> scales;      // [rows], QuantScaleForAmax per row
+
+  std::int8_t at(int r, int c) const {
+    return data[static_cast<size_t>(r) * static_cast<size_t>(cols) +
+                static_cast<size_t>(c)];
+  }
+};
+
+/// Quantizes each row of `m` with its own dynamic symmetric scale.
+QuantizedMatrix QuantizeRowsInt8(const Matrix& m);
+
+/// The f32 reconstruction q.at(r,c) * q.scales[r]. Round-trip error per
+/// element is bounded by scales[r] / 2, plus ~|v| * 2^-24 when the f32
+/// division lands within an ulp of a rounding tie.
+Matrix DequantizeRowsInt8(const QuantizedMatrix& q);
+
+/// Largest |element| of `m` (0 for empty).
+float MaxAbs(const Matrix& m) noexcept;
+
+/// Per-element bound on |a@b − dequant(quant(a) @ quant(b))| for an
+/// inner extent `k` and operand magnitudes amax_a/amax_b, all groups
+/// quantized at QuantScaleForAmax of their amax (row/column grouping can
+/// only tighten it). With ea/eb the rounding errors (|ea| <= sa/2):
+///   |a·eb + b·ea − ea·eb| summed over k
+///     <= k * (amax_a*sb/2 + amax_b*sa/2 + sa*sb/4).
+/// Computed in double so denormal-magnitude scale products do not flush.
+double QuantGemmErrorBound(long long inner_extent, float amax_a,
+                           float amax_b) noexcept;
+
+/// Per-element bound for the fp16-emulated product: operand rounding is
+/// relative 2^-11 (plus absolute 2^-25 in the subnormal range), so
+///   k * (amax_a*amax_b*2^-10 + (amax_a + amax_b + 1) * 2^-24).
+double Fp16GemmErrorBound(long long inner_extent, float amax_a,
+                          float amax_b) noexcept;
+
+// ---- Fake quantization (model-side features and embeddings) -----------------
+
+/// Rounds row[j] to the int8 grid of scales[j]: clamp(round(v/s), ±127)*s.
+/// scales[j] <= 0 zeroes the element (feature constant/absent in the
+/// calibration range); |v| > 127*s saturates — values outside the
+/// calibrated range land on the grid edge.
+void FakeQuantRow(std::span<float> row, std::span<const float> scales);
+
+/// FakeQuantRow applied to every row of `m` (scales are per column).
+void FakeQuantColumns(Matrix& m, std::span<const float> scales);
+
+/// Fake-quantizes each column of `m` at its own dynamic scale
+/// (QuantScaleForAmax of the column amax); returns the scales used.
+std::vector<float> FakeQuantColumnsDynamic(Matrix& m);
+
+/// Per-feature int8 scales from FeatureScaler min/max stats. The scaler
+/// maps observed [min, max] onto [0, 1] (clamping), so the transformed
+/// magnitude bound is 1 and the scale is 1/127 wherever max > min; a
+/// degenerate feature (max <= min) always transforms to 0 and gets scale 0.
+std::vector<float> PerFeatureInt8Scales(std::span<const double> mins,
+                                        std::span<const double> maxs);
+
+// ---- Documented bounds ------------------------------------------------------
+
+/// Parity-mode relative term of the int8 backend (the absolute term comes
+/// from QuantGemmErrorBound; see GemmBackend::ParityBound).
+inline constexpr float kQuantInt8ParityRtol = 0.05f;
+
+/// Parity-mode relative term of the fp16 backend.
+inline constexpr float kFp16ParityRtol = 2e-3f;
+
+/// The CI-enforced ranking contract: mean Kendall-tau under a reduced
+/// precision may trail the f32 tau by at most this much. Enforced by the
+/// bench_micro "quant" report (nonzero exit) and quant_test's ranking
+/// regression.
+inline constexpr double kQuantTauDegradationBound = 0.05;
+
+namespace quant_internal {
+/// Called once by the GemmBackend registry constructor: appends the
+/// always-available reduced-precision backends ("quant-int8", "fp16").
+void AppendReducedPrecisionBackends(
+    std::vector<std::unique_ptr<GemmBackend>>& extras);
+}  // namespace quant_internal
+
+}  // namespace tpuperf::nn

@@ -3,7 +3,10 @@
 // registered backend against the built-in kernels (including empty, 1-row,
 // and non-multiple-of-tile shapes), routed fallback for sparse/tiny
 // operands, threaded parity at pool widths 1 and 4, and the parity-check
-// mode.
+// mode. Parity tolerances are per backend (GemmBackend::ParityBound): the
+// reduced-precision backends are checked against their own derived bounds
+// while the f32 backends keep the strict kGemmParityRtol default, so one
+// shared constant can never silently relax the strict checks.
 #include "nn/gemm_backend.h"
 
 #include <gtest/gtest.h>
@@ -16,6 +19,7 @@
 
 #include "core/thread_pool.h"
 #include "nn/matrix.h"
+#include "nn/quant.h"
 
 namespace tpuperf::nn {
 namespace {
@@ -38,12 +42,16 @@ Matrix PseudoRandom(int rows, int cols, std::uint64_t seed,
   return m;
 }
 
-void ExpectNear(const Matrix& got, const Matrix& want, const char* what) {
+// Per-backend comparison: |got - want| <= max(atol, rtol * |want|). The
+// default GemmParityTolerance is the strict f32 bound, identical to the
+// historical shared kGemmParityRtol * max(1, |want|) check.
+void ExpectNear(const Matrix& got, const Matrix& want, const char* what,
+                GemmParityTolerance tol = GemmParityTolerance{}) {
   ASSERT_TRUE(got.same_shape(want)) << what;
   for (int i = 0; i < got.rows(); ++i) {
     for (int j = 0; j < got.cols(); ++j) {
       const float g = got.at(i, j), w = want.at(i, j);
-      ASSERT_LE(std::abs(g - w), kGemmParityRtol * std::max(1.0f, std::abs(w)))
+      ASSERT_LE(std::abs(g - w), std::max(tol.atol, tol.rtol * std::abs(w)))
           << what << " at (" << i << "," << j << "): " << g << " vs " << w;
     }
   }
@@ -168,6 +176,41 @@ TEST_F(GemmBackendTest, RegisteredBackendsAreListed) {
   EXPECT_FALSE(HasGemmBackend("no-such-backend"));
 }
 
+TEST_F(GemmBackendTest, ReducedPrecisionBackendsAreAlwaysRegistered) {
+  EXPECT_TRUE(HasGemmBackend("quant-int8"));
+  EXPECT_TRUE(HasGemmBackend("fp16"));
+  EXPECT_EQ(ReducedPrecisionBackend(Precision::kInt8)->name(), "quant-int8");
+  EXPECT_EQ(ReducedPrecisionBackend(Precision::kFp16)->name(), "fp16");
+  EXPECT_EQ(ReducedPrecisionBackend(Precision::kFloat32), nullptr);
+}
+
+TEST_F(GemmBackendTest, ParityTolerancesAreSplitPerBackend) {
+  // Widening the int8 bound must not touch what the strict backends are
+  // held to. Every f32 backend keeps the default bound...
+  const Matrix a = PseudoRandom(64, 48, 30);
+  const Matrix b = PseudoRandom(48, 32, 31);
+  for (const char* name : {"builtin", "naive-test", "broken-test"}) {
+    const GemmParityTolerance tol =
+        GemmBackendByName(name).ParityBound(a, b, 48);
+    EXPECT_EQ(tol.rtol, kGemmParityRtol) << name;
+    EXPECT_EQ(tol.atol, kGemmParityRtol) << name;
+  }
+  // ...while the reduced-precision backends widen only their own, by a
+  // derived error bound that scales with the contraction extent.
+  const GemmParityTolerance int8_tol =
+      GemmBackendByName("quant-int8").ParityBound(a, b, 48);
+  EXPECT_EQ(int8_tol.rtol, kQuantInt8ParityRtol);
+  EXPECT_GT(int8_tol.atol,
+            0.9 * QuantGemmErrorBound(48, MaxAbs(a), MaxAbs(b)));
+  const GemmParityTolerance longer =
+      GemmBackendByName("quant-int8").ParityBound(a, b, 480);
+  EXPECT_GT(longer.atol, 5.0f * int8_tol.atol);
+  const GemmParityTolerance fp16_tol =
+      GemmBackendByName("fp16").ParityBound(a, b, 48);
+  EXPECT_EQ(fp16_tol.rtol, kFp16ParityRtol);
+  EXPECT_LT(fp16_tol.atol, int8_tol.atol);  // fp16 is the tighter mode
+}
+
 TEST_F(GemmBackendTest, DuplicateRegistrationThrows) {
   EXPECT_THROW(RegisterGemmBackend(std::make_unique<NaiveBackend>()),
                std::invalid_argument);
@@ -262,53 +305,62 @@ const GemmShape kShapes[] = {
 };
 
 // Runs all six entry points (plus the Into variants) of the *selected*
-// backend and compares against the built-in backend invoked directly.
+// backend and compares against the built-in backend invoked directly,
+// within the selected backend's own ParityBound for each product (the
+// contraction extent is s.k for every entry in this grid).
 void CheckAllEntryPointsAgainstBuiltin(const GemmShape& s) {
   GemmBackend& builtin = BuiltinGemmBackend();
+  GemmBackend& selected = CurrentGemmBackend();
   const Matrix a = PseudoRandom(s.m, s.k, 1, s.sparsity);
   const Matrix b = PseudoRandom(s.k, s.n, 2);
   const Matrix ta_a = PseudoRandom(s.k, s.m, 3, s.sparsity);  // [k,m]
   const Matrix tb_b = PseudoRandom(s.n, s.k, 4);              // [n,k]
 
   {
+    const GemmParityTolerance tol = selected.ParityBound(a, b, s.k);
     Matrix want(s.m, s.n);
     builtin.MatMul(want, a, b);
-    ExpectNear(MatMul(a, b), want, "MatMul");
+    ExpectNear(MatMul(a, b), want, "MatMul", tol);
     Matrix into = PseudoRandom(2, 2, 99);  // wrong shape: must reshape
     MatMulInto(into, a, b);
-    ExpectNear(into, want, "MatMulInto");
+    ExpectNear(into, want, "MatMulInto", tol);
   }
   {
+    const GemmParityTolerance tol = selected.ParityBound(a, b, s.k);
     Matrix want(s.m, s.n);
     builtin.MatMulSparseA(want, a, b);
-    ExpectNear(MatMulSparseA(a, b), want, "MatMulSparseA");
+    ExpectNear(MatMulSparseA(a, b), want, "MatMulSparseA", tol);
     Matrix into = PseudoRandom(1, 3, 98);
     MatMulSparseAInto(into, a, b);
-    ExpectNear(into, want, "MatMulSparseAInto");
+    ExpectNear(into, want, "MatMulSparseAInto", tol);
   }
   {
+    const GemmParityTolerance tol = selected.ParityBound(ta_a, b, s.k);
     Matrix want(s.m, s.n);
     builtin.MatMulTransposeA(want, ta_a, b);
-    ExpectNear(MatMulTransposeA(ta_a, b), want, "MatMulTransposeA");
+    ExpectNear(MatMulTransposeA(ta_a, b), want, "MatMulTransposeA", tol);
   }
   {
+    const GemmParityTolerance tol = selected.ParityBound(a, tb_b, s.k);
     Matrix want(s.m, s.n);
     builtin.MatMulTransposeB(want, a, tb_b);
-    ExpectNear(MatMulTransposeB(a, tb_b), want, "MatMulTransposeB");
+    ExpectNear(MatMulTransposeB(a, tb_b), want, "MatMulTransposeB", tol);
   }
   {
+    const GemmParityTolerance tol = selected.ParityBound(ta_a, b, s.k);
     Matrix want = PseudoRandom(s.m, s.n, 5);
     Matrix got = want;
     builtin.MatMulTransposeAAccum(want, ta_a, b);
     MatMulTransposeAAccum(got, ta_a, b);
-    ExpectNear(got, want, "MatMulTransposeAAccum");
+    ExpectNear(got, want, "MatMulTransposeAAccum", tol);
   }
   {
+    const GemmParityTolerance tol = selected.ParityBound(a, tb_b, s.k);
     Matrix want = PseudoRandom(s.m, s.n, 6);
     Matrix got = want;
     builtin.MatMulTransposeBAccum(want, a, tb_b);
     MatMulTransposeBAccum(got, a, tb_b);
-    ExpectNear(got, want, "MatMulTransposeBAccum");
+    ExpectNear(got, want, "MatMulTransposeBAccum", tol);
   }
 }
 
@@ -377,11 +429,15 @@ TEST_F(GemmBackendTest, PoolWidthDoesNotChangeAnyBackendsResults) {
   // kernels actually shard. Builtin results must be bit-identical across
   // widths; routed backends must be too (the library path never consults
   // the pool, the fallback paths shard deterministically).
+  // The reduced-precision backends are covered too: int8 accumulates in
+  // exact int32 (so row partitioning cannot change a bit) and fp16
+  // delegates to the deterministic builtin kernels after operand rounding.
   const Matrix a = PseudoRandom(200, 128, 13);
   const Matrix sparse_a = PseudoRandom(200, 128, 14, 8);
   const Matrix b = PseudoRandom(128, 160, 15);
-  for (const std::string& name : {std::string("builtin"),
-                                  std::string("naive-test")}) {
+  for (const std::string& name :
+       {std::string("builtin"), std::string("naive-test"),
+        std::string("quant-int8"), std::string("fp16")}) {
     SCOPED_TRACE("backend=" + name);
     SetGemmBackend(name);
     core::ThreadPool::SetNumThreads(1);
